@@ -1,0 +1,180 @@
+// Command lotteryctl inspects ticket currency graphs — the analog of
+// the paper's user-level commands (mktkt, mkcur, fund, lstkt; §4.7),
+// driven by a declarative JSON spec instead of one syscall-wrapper
+// command per operation.
+//
+// Usage:
+//
+//	lotteryctl -example          # print the paper's Figure 3 as a spec
+//	lotteryctl -eval graph.json  # build the graph, print base values
+//	lotteryctl -eval -           # read the spec from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/ticket"
+	"repro/internal/trace"
+)
+
+// fig3Spec is the paper's Figure 3 currency graph as a spec.
+const fig3Spec = `{
+  "currencies": [
+    {"name": "alice", "owner": "alice"},
+    {"name": "bob",   "owner": "bob"},
+    {"name": "task1", "owner": "alice"},
+    {"name": "task2", "owner": "alice"},
+    {"name": "task3", "owner": "bob"}
+  ],
+  "holders": ["thread1", "thread2", "thread3", "thread4"],
+  "tickets": [
+    {"currency": "base",  "amount": 1000, "to": "alice"},
+    {"currency": "base",  "amount": 2000, "to": "bob"},
+    {"currency": "alice", "amount": 100,  "to": "task1"},
+    {"currency": "alice", "amount": 200,  "to": "task2"},
+    {"currency": "bob",   "amount": 100,  "to": "task3"},
+    {"currency": "task1", "amount": 100,  "to": "thread1"},
+    {"currency": "task2", "amount": 200,  "to": "thread2"},
+    {"currency": "task2", "amount": 300,  "to": "thread3"},
+    {"currency": "task3", "amount": 100,  "to": "thread4"}
+  ],
+  "active": ["thread2", "thread3", "thread4"]
+}
+`
+
+func main() {
+	var (
+		evalPath = flag.String("eval", "", "path to a graph spec JSON ('-' for stdin)")
+		example  = flag.Bool("example", false, "print the paper's Figure 3 graph spec")
+		simPath  = flag.String("simulate", "", "build the spec, run its active holders as compute-bound threads, report CPU shares (fundx analog)")
+		simFor   = flag.Duration("for", 60*time.Second, "virtual duration for -simulate")
+		seed     = flag.Uint("seed", 1, "PRNG seed for -simulate")
+		doTrace  = flag.Bool("trace", false, "with -simulate: print the last scheduler events and dispatch latencies")
+	)
+	flag.Parse()
+
+	switch {
+	case *example:
+		fmt.Print(fig3Spec)
+	case *evalPath != "":
+		if err := eval(*evalPath); err != nil {
+			fmt.Fprintln(os.Stderr, "lotteryctl:", err)
+			os.Exit(1)
+		}
+	case *simPath != "":
+		if err := simulate(*simPath, *simFor, uint32(*seed), *doTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "lotteryctl:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// simulate is the fundx analog: it grafts the spec onto a live
+// kernel, runs every *active* holder as a compute-bound thread with
+// the funding the spec gives it, and reports the CPU shares the
+// lottery delivered.
+func simulate(path string, dur time.Duration, seed uint32, doTrace bool) error {
+	spec, err := loadSpec(path)
+	if err != nil {
+		return err
+	}
+	sys := core.NewSystem(core.WithSeed(seed))
+	defer sys.Shutdown()
+	var rec *trace.Recorder
+	if doTrace {
+		rec = trace.NewRecorder(20)
+		sys.SetTracer(rec)
+	}
+	g, err := spec.BuildInto(sys.Tickets())
+	if err != nil {
+		return err
+	}
+	type entry struct {
+		name string
+		th   *kernel.Thread
+	}
+	var entries []entry
+	for _, name := range g.SortedHolderNames() {
+		h := g.HolderS[name]
+		if !h.Active() {
+			continue
+		}
+		th := sys.Spawn(name, func(ctx *kernel.Ctx) {
+			for {
+				ctx.Compute(10 * sim.Millisecond)
+			}
+		})
+		// Move the spec holder's funding onto the thread.
+		for _, tk := range h.Backing() {
+			if err := tk.Retarget(th.Holder()); err != nil {
+				return err
+			}
+		}
+		entries = append(entries, entry{name, th})
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no active holders in spec")
+	}
+	sys.RunFor(dur)
+	fmt.Printf("CPU shares after %v under lottery scheduling (seed %d):\n", dur, seed)
+	var total float64
+	for _, e := range entries {
+		total += e.th.CPUTime().Seconds()
+	}
+	for _, e := range entries {
+		sec := e.th.CPUTime().Seconds()
+		fmt.Printf("  %-12s %8.2fs  %5.1f%%  (funding %.1f base units)\n",
+			e.name, sec, 100*sec/total, e.th.Holder().Value())
+	}
+	if rec != nil {
+		fmt.Printf("last scheduler events (%d total recorded):\n", rec.Total())
+		fmt.Print(rec.Format(20))
+	}
+	return nil
+}
+
+func loadSpec(path string) (*ticket.GraphSpec, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ticket.ParseGraphSpec(data)
+}
+
+func eval(path string) error {
+	spec, err := loadSpec(path)
+	if err != nil {
+		return err
+	}
+	g, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	fmt.Print(g.System.DumpGraph())
+	fmt.Println("holder values (base units):")
+	for _, name := range g.SortedHolderNames() {
+		h := g.HolderS[name]
+		state := "idle"
+		if h.Active() {
+			state = "active"
+		}
+		fmt.Printf("  %-12s %10.1f (%s)\n", name, h.Value(), state)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+// Command lotterysim runs the paper-reproduction experiments and
+// prints their tables and series.
+//
+// Usage:
+//
+//	lotterysim -list
+//	lotterysim -run fig4            # one experiment at full length
+//	lotterysim -run all -scale 0.1  # everything, abbreviated 10x
+//	lotterysim -run fig7 -seed 7
+//
+// Scale 1 reproduces the paper's full experiment durations (hundreds
+// of simulated seconds; tens of wall seconds). Smaller scales shrink
+// durations proportionally for quick looks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "", "experiment id to run, or 'all'")
+		scale  = flag.Float64("scale", 1.0, "time scale (1 = paper-length runs)")
+		seed   = flag.Uint("seed", 1, "PRNG seed (same seed = identical run)")
+		list   = flag.Bool("list", false, "list available experiments")
+		asJSON = flag.Bool("json", false, "emit structured results as JSON instead of text reports")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, r := range experiments.All() {
+			fmt.Printf("  %-15s %s\n", r.ID, r.Title)
+		}
+		if *run == "" {
+			fmt.Println("\nrun one with: lotterysim -run <id> [-scale 0.1] [-seed N]")
+		}
+		return
+	}
+
+	runners := experiments.All()
+	if *run != "all" {
+		r := experiments.Find(*run)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "lotterysim: unknown experiment %q (try -list)\n", *run)
+			os.Exit(1)
+		}
+		runners = []experiments.Runner{*r}
+	}
+	if *asJSON {
+		out := make(map[string]any, len(runners))
+		for _, r := range runners {
+			out[r.ID] = r.Exec(*scale, uint32(*seed))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "lotterysim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for i, r := range runners {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		fmt.Printf("=== %s: %s (scale %g, seed %d)\n", r.ID, r.Title, *scale, *seed)
+		fmt.Print(r.Run(*scale, uint32(*seed)))
+		fmt.Printf("--- completed in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Lottery
+// Scheduling: Flexible Proportional-Share Resource Management"
+// (Waldspurger & Weihl, OSDI 1994).
+//
+// The implementation lives under internal/: the ticket/currency
+// system, the lottery draw structures, the scheduling policies, a
+// deterministic simulated kernel, the paper's workloads, and one
+// experiment harness per figure. bench_test.go in this directory
+// regenerates every table and figure; see DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package repro

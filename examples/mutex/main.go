@@ -1,0 +1,72 @@
+// mutex: the paper's §6.1 lottery-scheduled lock. Two groups of
+// threads with 2:1 funding contend for one mutex; acquisition rates
+// and waiting times track the funding. The holder also inherits the
+// waiters' funding through the mutex inheritance ticket, so a poorly
+// funded holder cannot be starved while richer threads wait — the
+// priority-inversion fix, by funding instead of by priority hackery.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/random"
+	"repro/internal/sim"
+	"repro/internal/ticket"
+)
+
+func main() {
+	sys := core.NewSystem(core.WithSeed(11))
+	defer sys.Shutdown()
+	m := sys.NewMutex("shared", kernel.MutexLottery, random.NewPM(1234))
+
+	type group struct {
+		name    string
+		tickets ticket.Amount
+		acq     int
+		wait    sim.Duration
+	}
+	groups := []*group{
+		{name: "rich", tickets: 200},
+		{name: "poor", tickets: 100},
+	}
+	jitter := random.NewPM(5)
+	for _, g := range groups {
+		g := g
+		for i := 0; i < 4; i++ {
+			seed := jitter.Uint31()
+			th := sys.Spawn(fmt.Sprintf("%s-%d", g.name, i), func(ctx *kernel.Ctx) {
+				rng := random.NewPM(seed)
+				for {
+					before := ctx.Now()
+					m.Lock(ctx)
+					g.wait += ctx.Now().Sub(before)
+					g.acq++
+					ctx.Compute(50 * sim.Millisecond) // hold
+					m.Unlock(ctx)
+					// Think ~50ms with jitter so cycles drift across
+					// quantum boundaries and the lock really contends.
+					ctx.Compute(sim.Duration(40+rng.Intn(20)) * sim.Millisecond)
+				}
+			})
+			th.Fund(g.tickets)
+		}
+	}
+
+	sys.RunFor(120 * sim.Second)
+	fmt.Println("two minutes of 8-way contention, 2:1 group funding:")
+	for _, g := range groups {
+		mean := time0(g.wait, g.acq)
+		fmt.Printf("  %s: %4d acquisitions, mean wait %v\n", g.name, g.acq, mean)
+	}
+	fmt.Printf("acquisition ratio: %.2f (funding ratio 2.0; paper observed 1.80)\n",
+		float64(groups[0].acq)/float64(groups[1].acq))
+}
+
+func time0(total sim.Duration, n int) sim.Duration {
+	if n == 0 {
+		return 0
+	}
+	return (total / sim.Duration(n)).Round(sim.Millisecond)
+}

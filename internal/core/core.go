@@ -1,0 +1,85 @@
+// Package core is the library's front door: it bundles the simulated
+// kernel, the lottery scheduling policy, and the ticket/currency
+// system into one System with sensible defaults (100 ms quantum,
+// list-based lottery with move-to-front, Park-Miller PRNG), matching
+// the configuration of the paper's Mach prototype.
+//
+// Typical use:
+//
+//	sys := core.NewSystem(core.WithSeed(42))
+//	defer sys.Shutdown()
+//	a := sys.Spawn("A", func(ctx *kernel.Ctx) { ... })
+//	a.Fund(200)
+//	b := sys.Spawn("B", func(ctx *kernel.Ctx) { ... })
+//	b.Fund(100)
+//	sys.RunFor(60 * sim.Second)
+//	// a received ~2/3 of the CPU, b ~1/3.
+//
+// Substrates remain individually importable (internal/ticket,
+// internal/lottery, internal/sched, internal/kernel) for callers that
+// need a different composition — e.g. a stride or timesharing policy,
+// or a lottery over something that is not a CPU.
+package core
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/random"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// System is a simulated machine under lottery scheduling.
+type System struct {
+	*kernel.Kernel
+	// Lottery is the scheduling policy, exposed for compensation and
+	// search-length introspection. It is nil when WithPolicy installed
+	// a non-lottery policy.
+	Lottery *sched.Lottery
+}
+
+// Option configures NewSystem.
+type Option func(*options)
+
+type options struct {
+	seed        uint32
+	quantum     sim.Duration
+	moveToFront bool
+	policy      sched.Policy
+	cpus        int
+}
+
+// WithSeed sets the PRNG seed; the default is 1. Runs with the same
+// seed and workload are bit-identical.
+func WithSeed(seed uint32) Option { return func(o *options) { o.seed = seed } }
+
+// WithQuantum overrides the paper's default 100 ms scheduling quantum.
+func WithQuantum(q sim.Duration) Option { return func(o *options) { o.quantum = q } }
+
+// WithoutMoveToFront disables the run-queue move-to-front heuristic
+// (§4.2); used by the ablation benchmarks.
+func WithoutMoveToFront() Option { return func(o *options) { o.moveToFront = false } }
+
+// WithPolicy replaces the lottery policy entirely (e.g.
+// sched.NewStride() or sched.NewTimeSharing() for baseline runs).
+func WithPolicy(p sched.Policy) Option { return func(o *options) { o.policy = p } }
+
+// WithCPUs sets the processor count (default 1, matching the paper's
+// uniprocessor testbed). Each free CPU draws from the shared run
+// queue, excluding threads already running elsewhere.
+func WithCPUs(n int) Option { return func(o *options) { o.cpus = n } }
+
+// NewSystem creates a simulated machine at virtual time zero.
+func NewSystem(opts ...Option) *System {
+	o := options{seed: 1, quantum: kernel.DefaultQuantum, moveToFront: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s := &System{}
+	policy := o.policy
+	if policy == nil {
+		s.Lottery = sched.NewLottery(random.NewPM(o.seed), o.moveToFront)
+		policy = s.Lottery
+	}
+	s.Kernel = kernel.New(kernel.Config{Policy: policy, Quantum: o.quantum, CPUs: o.cpus})
+	return s
+}

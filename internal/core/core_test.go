@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestSystemDefaults(t *testing.T) {
+	sys := NewSystem()
+	defer sys.Shutdown()
+	if sys.Lottery == nil {
+		t.Fatal("default System has no lottery policy")
+	}
+	if sys.Quantum() != 100*sim.Millisecond {
+		t.Errorf("quantum = %v, want the paper's 100ms", sys.Quantum())
+	}
+	if !sys.Lottery.MoveToFront {
+		t.Error("move-to-front should default on (the prototype used it)")
+	}
+}
+
+func TestSystemProportionalShare(t *testing.T) {
+	sys := NewSystem(WithSeed(7))
+	defer sys.Shutdown()
+	body := func(ctx *kernel.Ctx) {
+		for {
+			ctx.Compute(10 * sim.Millisecond)
+		}
+	}
+	a := sys.Spawn("A", body)
+	b := sys.Spawn("B", body)
+	a.Fund(300)
+	b.Fund(100)
+	sys.RunFor(200 * sim.Second)
+	ratio := float64(a.CPUTime()) / float64(b.CPUTime())
+	if math.Abs(ratio-3) > 0.3 {
+		t.Errorf("CPU ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestSystemOptions(t *testing.T) {
+	sys := NewSystem(WithQuantum(10*sim.Millisecond), WithoutMoveToFront(), WithSeed(3))
+	defer sys.Shutdown()
+	if sys.Quantum() != 10*sim.Millisecond {
+		t.Errorf("quantum = %v", sys.Quantum())
+	}
+	if sys.Lottery.MoveToFront {
+		t.Error("WithoutMoveToFront ignored")
+	}
+}
+
+func TestSystemWithPolicy(t *testing.T) {
+	sys := NewSystem(WithPolicy(sched.NewRoundRobin()))
+	defer sys.Shutdown()
+	if sys.Lottery != nil {
+		t.Error("Lottery should be nil under a custom policy")
+	}
+	if sys.Policy().Name() != "round-robin" {
+		t.Errorf("policy = %s", sys.Policy().Name())
+	}
+	body := func(ctx *kernel.Ctx) {
+		for {
+			ctx.Compute(10 * sim.Millisecond)
+		}
+	}
+	a := sys.Spawn("A", body)
+	b := sys.Spawn("B", body)
+	a.Fund(300) // ignored by round-robin
+	b.Fund(100)
+	sys.RunFor(10 * sim.Second)
+	if a.CPUTime() != b.CPUTime() {
+		t.Errorf("round-robin split %v/%v, want equal", a.CPUTime(), b.CPUTime())
+	}
+}
+
+func TestSystemDeterminismAcrossSeeds(t *testing.T) {
+	run := func(seed uint32) sim.Duration {
+		sys := NewSystem(WithSeed(seed))
+		defer sys.Shutdown()
+		a := sys.Spawn("A", func(ctx *kernel.Ctx) {
+			for {
+				ctx.Compute(10 * sim.Millisecond)
+			}
+		})
+		b := sys.Spawn("B", func(ctx *kernel.Ctx) {
+			for {
+				ctx.Compute(10 * sim.Millisecond)
+			}
+		})
+		a.Fund(100)
+		b.Fund(100)
+		sys.RunFor(20 * sim.Second)
+		return a.CPUTime()
+	}
+	if run(5) != run(5) {
+		t.Error("same seed diverged")
+	}
+	if run(5) == run(6) {
+		t.Error("different seeds produced identical schedules (suspicious)")
+	}
+}

@@ -1,0 +1,34 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Example shows the library's primary flow: spawn threads, fund them
+// with tickets, run virtual time, observe proportional CPU shares.
+func Example() {
+	sys := core.NewSystem(core.WithSeed(2024))
+	defer sys.Shutdown()
+
+	spin := func(ctx *kernel.Ctx) {
+		for {
+			ctx.Compute(10 * sim.Millisecond)
+		}
+	}
+	a := sys.Spawn("A", spin)
+	b := sys.Spawn("B", spin)
+	a.Fund(200)
+	b.Fund(100)
+
+	sys.RunFor(60 * sim.Second)
+	ratio := float64(a.CPUTime()) / float64(b.CPUTime())
+	fmt.Printf("allocated 2:1, observed %.1f:1\n", ratio)
+	fmt.Printf("CPU fully used: %v\n", a.CPUTime()+b.CPUTime() == 60*sim.Second)
+	// Output:
+	// allocated 2:1, observed 2.0:1
+	// CPU fully used: true
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/lottery"
+	"repro/internal/random"
+)
+
+// AccuracyConfig parameterizes the §2 accuracy sweep: the throughput
+// of a client with probability p over blocks of n lotteries has
+// coefficient of variation sqrt((1-p)/(n*p)) — allocation accuracy
+// improves with the square root of the number of allocations. With a
+// 10 ms quantum that is 100 lotteries per second, the basis for the
+// paper's claim that "reasonable fairness can be achieved over
+// subsecond time intervals".
+type AccuracyConfig struct {
+	Seed   uint32
+	P      float64
+	Blocks []int // lottery-block sizes to sweep
+	Trials int   // blocks measured per size
+	Scale  float64
+}
+
+// DefaultAccuracyConfig sweeps 100..100k lotteries at p = 1/3.
+func DefaultAccuracyConfig() AccuracyConfig {
+	return AccuracyConfig{
+		Seed:   1,
+		P:      1.0 / 3,
+		Blocks: []int{100, 1_000, 10_000, 100_000},
+		Trials: 100,
+	}
+}
+
+// AccuracyRow is one block size's outcome.
+type AccuracyRow struct {
+	N           int
+	ExpectedCoV float64
+	ObservedCoV float64
+	// SecondsAt100Hz is how much wall time n lotteries take at the
+	// paper's 10 ms quantum (100 lotteries/sec).
+	SecondsAt100Hz float64
+}
+
+// AccuracyResult is the sweep data set.
+type AccuracyResult struct {
+	P    float64
+	Rows []AccuracyRow
+}
+
+// RunAccuracy executes the sweep.
+func RunAccuracy(cfg AccuracyConfig) AccuracyResult {
+	if cfg.P <= 0 || cfg.P >= 1 || len(cfg.Blocks) == 0 || cfg.Trials < 2 {
+		panic(fmt.Sprintf("experiments: bad AccuracyConfig %+v", cfg))
+	}
+	trials := cfg.Trials
+	if cfg.Scale > 0 && cfg.Scale != 1 {
+		trials = int(float64(trials) * cfg.Scale)
+		if trials < 10 {
+			trials = 10
+		}
+	}
+	src := random.NewPM(cfg.Seed)
+	l := lottery.NewList[int](false)
+	l.Add(0, cfg.P)
+	l.Add(1, 1-cfg.P)
+
+	res := AccuracyResult{P: cfg.P}
+	for _, n := range cfg.Blocks {
+		fracs := make([]float64, trials)
+		for t := 0; t < trials; t++ {
+			wins := 0
+			for i := 0; i < n; i++ {
+				if w, _ := l.Draw(src); w == 0 {
+					wins++
+				}
+			}
+			fracs[t] = float64(wins) / float64(n)
+		}
+		var mean float64
+		for _, f := range fracs {
+			mean += f
+		}
+		mean /= float64(trials)
+		var varSum float64
+		for _, f := range fracs {
+			d := f - mean
+			varSum += d * d
+		}
+		sd := math.Sqrt(varSum / float64(trials))
+		res.Rows = append(res.Rows, AccuracyRow{
+			N:              n,
+			ExpectedCoV:    math.Sqrt((1 - cfg.P) / (float64(n) * cfg.P)),
+			ObservedCoV:    sd / mean,
+			SecondsAt100Hz: float64(n) / 100,
+		})
+	}
+	return res
+}
+
+// Format renders the sweep.
+func (r AccuracyResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 2: allocation accuracy improves with sqrt(n)  (p = %.3f)\n", r.P)
+	fmt.Fprintf(&b, "%10s %14s %14s %16s\n", "lotteries", "CoV expected", "CoV observed", "time @10ms quantum")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10d %14.4f %14.4f %15.0fs\n",
+			row.N, row.ExpectedCoV, row.ObservedCoV, row.SecondsAt100Hz)
+	}
+	b.WriteString("each 10x in allocations cuts relative deviation ~3.16x (sqrt(10))\n")
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/lottery"
+	"repro/internal/random"
+)
+
+// AnalyticsConfig parameterizes the §2 sanity table: observed lottery
+// statistics against the binomial/geometric closed forms.
+type AnalyticsConfig struct {
+	Seed      uint32
+	Lotteries int
+	Trials    int
+	Probs     []float64
+	Scale     float64
+}
+
+// DefaultAnalyticsConfig covers p = 0.1, 0.25, 0.5.
+func DefaultAnalyticsConfig() AnalyticsConfig {
+	return AnalyticsConfig{Seed: 1, Lotteries: 5000, Trials: 200, Probs: []float64{0.1, 0.25, 0.5}}
+}
+
+// AnalyticsRow is one probability's outcome.
+type AnalyticsRow struct {
+	P            float64
+	ExpectedWins float64 // n*p
+	ObservedWins float64
+	ExpectedVar  float64 // n*p*(1-p)
+	ObservedVar  float64
+	ExpectedCoV  float64 // sqrt((1-p)/(n*p))
+	ObservedCoV  float64
+	ExpectedWait float64 // 1/p
+	ObservedWait float64
+}
+
+// AnalyticsResult is the §2 data set.
+type AnalyticsResult struct {
+	Lotteries int
+	Rows      []AnalyticsRow
+}
+
+// RunAnalytics executes the table.
+func RunAnalytics(cfg AnalyticsConfig) AnalyticsResult {
+	n := cfg.Lotteries
+	trials := cfg.Trials
+	if cfg.Scale > 0 && cfg.Scale != 1 {
+		trials = int(float64(trials) * cfg.Scale)
+		if trials < 10 {
+			trials = 10
+		}
+	}
+	src := random.NewPM(cfg.Seed)
+	res := AnalyticsResult{Lotteries: n}
+	for _, p := range cfg.Probs {
+		l := lottery.NewList[int](false)
+		l.Add(0, p)
+		l.Add(1, 1-p)
+		// Binomial: wins per n-lottery block, across trials blocks.
+		wins := make([]float64, trials)
+		for t := 0; t < trials; t++ {
+			w := 0
+			for i := 0; i < n; i++ {
+				if v, _ := l.Draw(src); v == 0 {
+					w++
+				}
+			}
+			wins[t] = float64(w)
+		}
+		var mean, varSum float64
+		for _, w := range wins {
+			mean += w
+		}
+		mean /= float64(trials)
+		for _, w := range wins {
+			d := w - mean
+			varSum += d * d
+		}
+		variance := varSum / float64(trials)
+		// Geometric: lotteries until first win. The geometric
+		// distribution's deviation is ~1/p, so use a large sample to
+		// pin the mean.
+		geoSamples := trials * 50
+		var waitSum float64
+		for t := 0; t < geoSamples; t++ {
+			k := 0
+			for {
+				k++
+				if v, _ := l.Draw(src); v == 0 {
+					break
+				}
+			}
+			waitSum += float64(k)
+		}
+		res.Rows = append(res.Rows, AnalyticsRow{
+			P:            p,
+			ExpectedWins: float64(n) * p,
+			ObservedWins: mean,
+			ExpectedVar:  float64(n) * p * (1 - p),
+			ObservedVar:  variance,
+			ExpectedCoV:  math.Sqrt((1 - p) / (float64(n) * p)),
+			ObservedCoV:  math.Sqrt(variance) / mean,
+			ExpectedWait: 1 / p,
+			ObservedWait: waitSum / float64(geoSamples),
+		})
+	}
+	return res
+}
+
+// Format renders the §2 table.
+func (r AnalyticsResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 2 analytics: %d-lottery blocks, binomial/geometric checks\n", r.Lotteries)
+	fmt.Fprintf(&b, "%6s | %10s %10s | %10s %10s | %8s %8s | %8s %8s\n",
+		"p", "E[wins]", "obs", "Var", "obs", "CoV", "obs", "E[wait]", "obs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6.2f | %10.1f %10.1f | %10.1f %10.1f | %8.4f %8.4f | %8.2f %8.2f\n",
+			row.P, row.ExpectedWins, row.ObservedWins,
+			row.ExpectedVar, row.ObservedVar,
+			row.ExpectedCoV, row.ObservedCoV,
+			row.ExpectedWait, row.ObservedWait)
+	}
+	return b.String()
+}

@@ -1,0 +1,59 @@
+// Package experiments reproduces every figure and table of the
+// paper's evaluation (§5, §6) on the simulated kernel. Each
+// experiment has a config with paper-faithful defaults, a Run function
+// returning a structured result, and a Format method that prints the
+// same rows/series the paper plots. DESIGN.md carries the experiment
+// index; EXPERIMENTS.md records paper-vs-measured values.
+//
+// All experiments are deterministic under their config seed. Configs
+// expose a Scale knob so the test suite can run abbreviated versions
+// of the multi-hundred-second originals.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/ticket"
+)
+
+// ticketAmount converts an int for ticket-issue call sites.
+func ticketAmount(v int) ticket.Amount { return ticket.Amount(v) }
+
+// scaleDur scales a duration by the experiment's Scale factor
+// (Scale <= 0 means 1.0 — full paper length).
+func scaleDur(d sim.Duration, scale float64) sim.Duration {
+	if scale <= 0 || scale == 1 {
+		return d
+	}
+	return sim.Duration(float64(d) * scale)
+}
+
+// sampleEvery schedules fn on k's engine every interval, starting one
+// interval from now, until the kernel stops running. Experiments use
+// it to record counter time series.
+func sampleEvery(k *kernel.Kernel, interval sim.Duration, fn func(now sim.Time)) {
+	var tick func()
+	tick = func() {
+		fn(k.Now())
+		k.Engine().After(interval, tick)
+	}
+	k.Engine().After(interval, tick)
+}
+
+// ratioString formats a list of values as a normalized ratio against
+// the last element, e.g. "7.69 : 2.51 : 1".
+func ratioString(vals ...float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	last := vals[len(vals)-1]
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%.2f", stats.Ratio(v, last))
+	}
+	return strings.Join(parts, " : ")
+}

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFig1WinnerIsThirdClient(t *testing.T) {
+	r := RunFig1()
+	if r.Winner != 2 {
+		t.Errorf("winner = client %d, want client 3", r.Winner+1)
+	}
+	if r.Examined != 3 {
+		t.Errorf("examined = %d, want 3", r.Examined)
+	}
+	if !strings.Contains(r.Format(), "winner: client 3") {
+		t.Errorf("format:\n%s", r.Format())
+	}
+}
+
+func TestFig4ObservedTracksAllocated(t *testing.T) {
+	cfg := Fig4Config{Seed: 3, MinRatio: 1, MaxRatio: 7, Runs: 1, Duration: 60 * sim.Second, Scale: 0.5}
+	r := RunFig4(cfg)
+	if len(r.Points) != 7 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if math.Abs(p.Observed-p.Allocated)/p.Allocated > 0.30 {
+			t.Errorf("allocated %v observed %v: > 30%% off", p.Allocated, p.Observed)
+		}
+	}
+	// The fit should be near the ideal line.
+	if math.Abs(r.Slope-1) > 0.15 {
+		t.Errorf("slope = %v, want ~1", r.Slope)
+	}
+	if r.Format() == "" {
+		t.Error("empty format")
+	}
+}
+
+func TestFig5WindowsNearTwoToOne(t *testing.T) {
+	cfg := DefaultFig5Config()
+	cfg.Scale = 0.5 // 100 s run, 4 s windows
+	r := RunFig5(cfg)
+	if len(r.Windows) < 10 {
+		t.Fatalf("windows = %d", len(r.Windows))
+	}
+	whole := float64(r.TotalA) / float64(r.TotalB)
+	if math.Abs(whole-2) > 0.15 {
+		t.Errorf("whole-run ratio = %v, want ~2", whole)
+	}
+	// Most windows should be within 50% of 2:1 (randomized scheduler,
+	// small windows); none should show inversion by more than 2x.
+	bad := 0
+	for _, w := range r.Windows {
+		if w.RateB <= 0 || w.RateA <= 0 {
+			bad++
+			continue
+		}
+		ratio := w.RateA / w.RateB
+		if ratio < 1 || ratio > 4 {
+			bad++
+		}
+	}
+	if frac := float64(bad) / float64(len(r.Windows)); frac > 0.2 {
+		t.Errorf("%.0f%% of windows far from 2:1", frac*100)
+	}
+	_ = r.Format()
+}
+
+func TestFig5ShortQuantumTightensWindows(t *testing.T) {
+	// §5.1: with a 10 ms quantum the same fairness appears over
+	// sub-second windows.
+	cfg := Fig5Config{Seed: 5, Duration: 20 * sim.Second, Window: 500 * sim.Millisecond,
+		Quantum: 10 * sim.Millisecond}
+	r := RunFig5(cfg)
+	bad := 0
+	for _, w := range r.Windows {
+		ratio := w.RateA / w.RateB
+		if ratio < 1.4 || ratio > 2.9 {
+			bad++
+		}
+	}
+	if frac := float64(bad) / float64(len(r.Windows)); frac > 0.25 {
+		t.Errorf("%.0f%% of 500ms windows far from 2:1 at 10ms quantum", frac*100)
+	}
+}
+
+func TestFig6StaggeredTasksConverge(t *testing.T) {
+	cfg := DefaultFig6Config()
+	cfg.Scale = 0.3 // 300 s, staggered 36 s
+	r := RunFig6(cfg)
+	if len(r.FinalTrials) != 3 {
+		t.Fatalf("tasks = %d", len(r.FinalTrials))
+	}
+	// All three converge: later tasks get within 40% of the first.
+	for i := 1; i < 3; i++ {
+		ratio := float64(r.FinalTrials[i]) / float64(r.FinalTrials[0])
+		if ratio < 0.6 {
+			t.Errorf("task %d trials ratio = %v; no catch-up", i, ratio)
+		}
+	}
+	// Errors end up comparable.
+	for i := 1; i < 3; i++ {
+		if r.FinalErrors[i] > r.FinalErrors[0]*2 {
+			t.Errorf("task %d error %v >> task 0 error %v", i, r.FinalErrors[i], r.FinalErrors[0])
+		}
+	}
+	_ = r.Format()
+}
+
+func TestFig7ThroughputAndResponseShape(t *testing.T) {
+	cfg := DefaultFig7Config()
+	cfg.Duration = 400 * sim.Second
+	cfg.CorpusBytes = 400_000 // query cost 1 s at 0.4 MB/s
+	r := RunFig7(cfg)
+	if r.MatchCount != 8 {
+		t.Errorf("match count = %d, want 8", r.MatchCount)
+	}
+	a, b, c := r.Clients[0], r.Clients[1], r.Clients[2]
+	// A finished its 20 queries and stopped.
+	if a.Completed != 20 {
+		t.Errorf("A completed %d, want 20", a.Completed)
+	}
+	// While all three competed, response times ordered A < B <= C
+	// (C may complete nothing in that window; 0 means "slower than
+	// the window", which respects the ordering trivially).
+	if b.MeanRespWhileASec != 0 && a.MeanRespWhileASec >= b.MeanRespWhileASec {
+		t.Errorf("A response %v should beat B %v while competing",
+			a.MeanRespWhileASec, b.MeanRespWhileASec)
+	}
+	if c.MeanRespWhileASec != 0 && b.MeanRespWhileASec != 0 &&
+		b.MeanRespWhileASec >= c.MeanRespWhileASec {
+		t.Errorf("B response %v should beat C %v while competing",
+			b.MeanRespWhileASec, c.MeanRespWhileASec)
+	}
+	// While A ran, B:C throughput tracked 3:1 within slack.
+	if r.AtHighExit[1] <= r.AtHighExit[2] {
+		t.Errorf("B (%v) should lead C (%v) at A's exit", r.AtHighExit[1], r.AtHighExit[2])
+	}
+	_ = r.Format()
+}
+
+func TestFig8RatiosSwitch(t *testing.T) {
+	cfg := DefaultFig8Config()
+	cfg.UseDisplay = false // clean ratios for assertions
+	cfg.Scale = 0.5
+	r := RunFig8(cfg)
+	p1AB := r.Phase1[0] / r.Phase1[1]
+	p1BC := r.Phase1[1] / r.Phase1[2]
+	if math.Abs(p1AB-1.5) > 0.3 || math.Abs(p1BC-2) > 0.5 {
+		t.Errorf("phase1 ratios A/B=%v B/C=%v, want 1.5 and 2", p1AB, p1BC)
+	}
+	// After the switch: A:B:C = 3:1:2, so C overtakes B.
+	if r.Phase2[2] <= r.Phase2[1] {
+		t.Errorf("phase2: C rate %v should exceed B rate %v", r.Phase2[2], r.Phase2[1])
+	}
+	p2AC := r.Phase2[0] / r.Phase2[2]
+	if math.Abs(p2AC-1.5) > 0.35 {
+		t.Errorf("phase2 A/C = %v, want ~1.5", p2AC)
+	}
+	_ = r.Format()
+}
+
+func TestFig8DisplayDistortsButPreservesOrder(t *testing.T) {
+	cfg := DefaultFig8Config()
+	cfg.Scale = 0.4
+	r := RunFig8(cfg)
+	// With the display server the ratios compress (paper: 1.92:1.50:1
+	// instead of 3:2:1) but the order holds.
+	if !(r.Phase1[0] > r.Phase1[1] && r.Phase1[1] > r.Phase1[2]) {
+		t.Errorf("phase1 order broken: %v", r.Phase1)
+	}
+	if ab := r.Phase1[0] / r.Phase1[2]; ab >= 3 {
+		t.Errorf("A/C = %v; display serialization should compress below 3", ab)
+	}
+}
+
+func TestFig9Insulation(t *testing.T) {
+	cfg := DefaultFig9Config()
+	cfg.Scale = 0.6
+	r := RunFig9(cfg)
+	// A's tasks keep their 2:1 internal ratio in both phases.
+	if math.Abs(r.A1A2RatioBefore-2) > 0.35 || math.Abs(r.A1A2RatioAfter-2) > 0.35 {
+		t.Errorf("A2:A1 = %v / %v, want ~2 in both phases", r.A1A2RatioBefore, r.A1A2RatioAfter)
+	}
+	// A's absolute rates barely move when B3 starts.
+	for _, pair := range [][2]float64{
+		{r.A1RateBefore, r.A1RateAfter},
+		{r.A2RateBefore, r.A2RateAfter},
+	} {
+		if pair[0] <= 0 {
+			t.Fatal("zero rate")
+		}
+		if d := math.Abs(pair[1]-pair[0]) / pair[0]; d > 0.15 {
+			t.Errorf("A rate moved %v%% when B3 started (insulation broken)", d*100)
+		}
+	}
+	// B1 and B2 drop to about half their old rates.
+	for _, pair := range [][2]float64{
+		{r.B1RateBefore, r.B1RateAfter},
+		{r.B2RateBefore, r.B2RateAfter},
+	} {
+		ratio := pair[1] / pair[0]
+		if math.Abs(ratio-0.5) > 0.12 {
+			t.Errorf("B rate after/before = %v, want ~0.5", ratio)
+		}
+	}
+	// Aggregate A:B stays ~1:1 (their currencies are funded equally).
+	agg := float64(r.AggA) / float64(r.AggB)
+	if math.Abs(agg-1) > 0.1 {
+		t.Errorf("aggregate A:B = %v, want ~1", agg)
+	}
+	_ = r.Format()
+}
+
+func TestFig11MutexShape(t *testing.T) {
+	cfg := DefaultFig11Config()
+	r := RunFig11(cfg)
+	if r.Groups[0].Acquisitions == 0 || r.Groups[1].Acquisitions == 0 {
+		t.Fatalf("no acquisitions: %+v", r)
+	}
+	// Paper: 1.80:1 acquisitions and 1:2.11 waits for 2:1 funding.
+	if r.AcqRatio < 1.3 || r.AcqRatio > 2.6 {
+		t.Errorf("acquisition ratio = %v, want ~1.8", r.AcqRatio)
+	}
+	if r.WaitRatio < 1.3 {
+		t.Errorf("wait ratio B:A = %v, want > 1.3 (paper 2.11)", r.WaitRatio)
+	}
+	if r.Groups[0].MeanWaitSec >= r.Groups[1].MeanWaitSec {
+		t.Error("better-funded group waits longer")
+	}
+	_ = r.Format()
+}
+
+func TestOverheadComparable(t *testing.T) {
+	cfg := DefaultOverheadConfig()
+	cfg.Scale = 0.25
+	cfg.DBClients = 3
+	cfg.DBQueries = 5
+	cfg.CorpusBytes = 100_000
+	r := RunOverhead(cfg)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// All policies deliver the same useful work in virtual time (the
+	// CPU is fully consumed either way); within 1%.
+	base := float64(r.Rows[0].TotalIterations)
+	for _, row := range r.Rows[1:] {
+		if math.Abs(float64(row.TotalIterations)-base)/base > 0.01 {
+			t.Errorf("%s iterations %d vs lottery %0.f: >1%% apart",
+				row.Policy, row.TotalIterations, base)
+		}
+	}
+	// Every policy finished the DB run.
+	for _, row := range r.Rows {
+		if row.DBCompletionSec <= 0 {
+			t.Errorf("%s: DB run did not complete", row.Policy)
+		}
+		if row.Decisions == 0 {
+			t.Errorf("%s: no scheduling decisions", row.Policy)
+		}
+	}
+	_ = r.Format()
+}
+
+func TestInverseResidencyTracksTickets(t *testing.T) {
+	cfg := DefaultInverseConfig()
+	cfg.Scale = 0.5
+	r := RunInverse(cfg)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if math.Abs(row.ResidencyShare-row.PredictedShare) > 0.03 {
+			t.Errorf("%s: residency share %.3f vs predicted fixed point %.3f",
+				row.Name, row.ResidencyShare, row.PredictedShare)
+		}
+	}
+	// Monotone: more tickets, more resident memory.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i-1].Tickets > r.Rows[i].Tickets &&
+			r.Rows[i-1].MeanResidency <= r.Rows[i].MeanResidency {
+			t.Errorf("residency not monotone in tickets: %+v", r.Rows)
+		}
+	}
+	_ = r.Format()
+}
+
+func TestAnalyticsMatchesClosedForms(t *testing.T) {
+	cfg := DefaultAnalyticsConfig()
+	cfg.Scale = 0.5
+	r := RunAnalytics(cfg)
+	for _, row := range r.Rows {
+		if math.Abs(row.ObservedWins-row.ExpectedWins)/row.ExpectedWins > 0.02 {
+			t.Errorf("p=%v: wins %v vs %v", row.P, row.ObservedWins, row.ExpectedWins)
+		}
+		if math.Abs(row.ObservedVar-row.ExpectedVar)/row.ExpectedVar > 0.35 {
+			t.Errorf("p=%v: var %v vs %v", row.P, row.ObservedVar, row.ExpectedVar)
+		}
+		if math.Abs(row.ObservedWait-row.ExpectedWait)/row.ExpectedWait > 0.06 {
+			t.Errorf("p=%v: wait %v vs %v", row.P, row.ObservedWait, row.ExpectedWait)
+		}
+	}
+	_ = r.Format()
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 10 {
+		t.Fatalf("registry has %d runners", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		if r.ID == "" || r.Title == "" || r.Exec == nil {
+			t.Errorf("incomplete runner: %s %s", r.ID, r.Title)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate id %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if Find("fig4") == nil || Find("nope") != nil {
+		t.Error("Find broken")
+	}
+	// Smoke-run the cheap ones through the registry interface.
+	for _, id := range []string{"fig1", "analytics", "inverse"} {
+		out := Find(id).Run(0.2, 1)
+		if out == "" {
+			t.Errorf("%s produced no output", id)
+		}
+	}
+}

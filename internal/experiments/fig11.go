@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/random"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig11Config parameterizes the lottery-scheduled mutex experiment
+// (Figures 10/11): eight threads in two groups with a 2:1 ticket
+// allocation repeatedly acquire one mutex, hold it for Hold, release,
+// and compute for Think before reacquiring.
+type Fig11Config struct {
+	Seed      uint32
+	Duration  sim.Duration
+	GroupSize int
+	Hold      sim.Duration
+	Think     sim.Duration
+	// ThinkJitter adds a uniform +-jitter to each think period. The
+	// paper's hardware gets contention for free from asynchronous
+	// clock interrupts; in a deterministic simulator a 50+50 ms cycle
+	// aligns exactly with the 100 ms quantum and never contends, so a
+	// small jitter restores the physical asynchrony.
+	ThinkJitter sim.Duration
+	Scale       float64
+}
+
+// DefaultFig11Config matches the paper: 8 threads, 2:1, 50 ms hold,
+// 50 ms compute, two minutes.
+func DefaultFig11Config() Fig11Config {
+	return Fig11Config{
+		Seed:        1,
+		Duration:    120 * sim.Second,
+		GroupSize:   4,
+		Hold:        50 * sim.Millisecond,
+		Think:       50 * sim.Millisecond,
+		ThinkJitter: 10 * sim.Millisecond,
+	}
+}
+
+// Fig11Group is one group's outcome.
+type Fig11Group struct {
+	Name         string
+	Tickets      int
+	Acquisitions int
+	MeanWaitSec  float64
+	StdevWaitSec float64
+	Histogram    *stats.Histogram
+}
+
+// Fig11Result is the Figure 11 data set.
+type Fig11Result struct {
+	Groups [2]Fig11Group
+	// AcqRatio is group A : group B acquisitions (paper: 1.80:1).
+	AcqRatio float64
+	// WaitRatio is mean wait A : B (paper: 1 : 2.11).
+	WaitRatio float64
+}
+
+// RunFig11 executes the experiment.
+func RunFig11(cfg Fig11Config) Fig11Result {
+	if cfg.GroupSize <= 0 {
+		panic("experiments: Fig11Config.GroupSize must be positive")
+	}
+	dur := scaleDur(cfg.Duration, cfg.Scale)
+	sys := core.NewSystem(core.WithSeed(cfg.Seed))
+	defer sys.Shutdown()
+	m := sys.NewMutex("shared", kernel.MutexLottery, random.NewPM(cfg.Seed+500))
+
+	type groupSpec struct {
+		name    string
+		tickets int
+	}
+	specs := [2]groupSpec{{"A", 200}, {"B", 100}}
+	acquisitions := [2]int{}
+	var waits [2][]float64
+	jitterRng := random.NewPM(cfg.Seed + 900)
+
+	for g := 0; g < 2; g++ {
+		g := g
+		for i := 0; i < cfg.GroupSize; i++ {
+			seed := jitterRng.Uint31()
+			th := sys.Spawn(fmt.Sprintf("%s%d", specs[g].name, i), func(ctx *kernel.Ctx) {
+				rng := random.NewPM(seed)
+				for {
+					before := ctx.Now()
+					m.Lock(ctx)
+					waits[g] = append(waits[g], ctx.Now().Sub(before).Seconds())
+					acquisitions[g]++
+					ctx.Compute(cfg.Hold)
+					m.Unlock(ctx)
+					think := cfg.Think
+					if cfg.ThinkJitter > 0 {
+						think += sim.Duration(rng.Int64n(int64(2*cfg.ThinkJitter))) - cfg.ThinkJitter
+					}
+					if think < 0 {
+						think = 0
+					}
+					ctx.Compute(think)
+				}
+			})
+			th.Fund(ticketAmount(specs[g].tickets))
+		}
+	}
+	sys.RunFor(dur)
+
+	var res Fig11Result
+	for g := 0; g < 2; g++ {
+		h := stats.NewHistogram(0.25, 16) // 250 ms buckets to 4 s, as in the figure
+		for _, w := range waits[g] {
+			h.Observe(w)
+		}
+		res.Groups[g] = Fig11Group{
+			Name:         specs[g].name,
+			Tickets:      specs[g].tickets,
+			Acquisitions: acquisitions[g],
+			MeanWaitSec:  stats.Mean(waits[g]),
+			StdevWaitSec: stats.StdDev(waits[g]),
+			Histogram:    h,
+		}
+	}
+	res.AcqRatio = stats.Ratio(float64(acquisitions[0]), float64(acquisitions[1]))
+	res.WaitRatio = stats.Ratio(res.Groups[1].MeanWaitSec, res.Groups[0].MeanWaitSec)
+	return res
+}
+
+// Format renders the Figure 11 report.
+func (r Fig11Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 11: lottery-scheduled mutex, 2:1 group funding\n")
+	for _, g := range r.Groups {
+		fmt.Fprintf(&b, "group %s (%d tickets): %d acquisitions, wait mean %.3fs sd %.3fs\n",
+			g.Name, g.Tickets, g.Acquisitions, g.MeanWaitSec, g.StdevWaitSec)
+		b.WriteString(g.Histogram.String())
+	}
+	fmt.Fprintf(&b, "acquisition ratio A:B = %.2f (paper: 1.80)\n", r.AcqRatio)
+	fmt.Fprintf(&b, "mean wait ratio B:A = %.2f (paper: 2.11)\n", r.WaitRatio)
+	return b.String()
+}

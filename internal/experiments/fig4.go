@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig4Config parameterizes the relative-rate-accuracy experiment
+// (Figure 4): two Dhrystone tasks with ticket ratio R:1 for each
+// integral R in [MinRatio, MaxRatio], Runs runs of Duration each.
+type Fig4Config struct {
+	Seed     uint32
+	MinRatio int
+	MaxRatio int
+	Runs     int
+	Duration sim.Duration
+	Scale    float64
+}
+
+// DefaultFig4Config matches the paper: ratios 1..10, three 60 s runs
+// each.
+func DefaultFig4Config() Fig4Config {
+	return Fig4Config{Seed: 1, MinRatio: 1, MaxRatio: 10, Runs: 3, Duration: 60 * sim.Second}
+}
+
+// Fig4Point is one run's outcome.
+type Fig4Point struct {
+	Allocated float64 // ticket ratio
+	Observed  float64 // iteration ratio
+}
+
+// Fig4Result is the Figure 4 data set.
+type Fig4Result struct {
+	Points []Fig4Point
+	// Slope and Intercept of the least-squares fit of observed on
+	// allocated; the ideal line has slope 1, intercept 0.
+	Slope, Intercept float64
+}
+
+// RunFig4 executes the experiment.
+func RunFig4(cfg Fig4Config) Fig4Result {
+	if cfg.Runs <= 0 || cfg.MaxRatio < cfg.MinRatio || cfg.MinRatio < 1 {
+		panic(fmt.Sprintf("experiments: bad Fig4Config %+v", cfg))
+	}
+	dur := scaleDur(cfg.Duration, cfg.Scale)
+	var res Fig4Result
+	seed := cfg.Seed
+	for r := cfg.MinRatio; r <= cfg.MaxRatio; r++ {
+		for run := 0; run < cfg.Runs; run++ {
+			seed++
+			sys := core.NewSystem(core.WithSeed(seed))
+			d1 := &workload.Dhrystone{Name: "high"}
+			d2 := &workload.Dhrystone{Name: "low"}
+			sys.Spawn("high", d1.Body()).Fund(ticketAmount(r * 100))
+			sys.Spawn("low", d2.Body()).Fund(100)
+			sys.RunFor(dur)
+			observed := stats.Ratio(float64(d1.Iterations()), float64(d2.Iterations()))
+			res.Points = append(res.Points, Fig4Point{Allocated: float64(r), Observed: observed})
+			sys.Shutdown()
+		}
+	}
+	xs := make([]float64, len(res.Points))
+	ys := make([]float64, len(res.Points))
+	for i, p := range res.Points {
+		xs[i], ys[i] = p.Allocated, p.Observed
+	}
+	res.Slope, res.Intercept = stats.LinearFit(xs, ys)
+	return res
+}
+
+// Format renders the Figure 4 table.
+func (r Fig4Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: relative rate accuracy (two Dhrystone tasks)\n")
+	fmt.Fprintf(&b, "%12s %12s %10s\n", "allocated", "observed", "error%")
+	for _, p := range r.Points {
+		errPct := (p.Observed/p.Allocated - 1) * 100
+		fmt.Fprintf(&b, "%12.0f %12.2f %9.1f%%\n", p.Allocated, p.Observed, errPct)
+	}
+	fmt.Fprintf(&b, "least-squares fit: observed = %.3f*allocated + %.3f (ideal 1.000x+0.000)\n",
+		r.Slope, r.Intercept)
+	return b.String()
+}

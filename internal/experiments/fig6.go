@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/ticket"
+	"repro/internal/workload"
+)
+
+// Fig6Config parameterizes the Monte-Carlo experiment (Figure 6):
+// Tasks staggered Stagger apart, each funding itself proportionally to
+// the square of its relative error, for a Duration-long run.
+type Fig6Config struct {
+	Seed     uint32
+	Tasks    int
+	Stagger  sim.Duration
+	Duration sim.Duration
+	Scale    float64
+}
+
+// DefaultFig6Config matches the paper: three identical integrations
+// started two minutes apart, plotted over 1000 s.
+func DefaultFig6Config() Fig6Config {
+	return Fig6Config{Seed: 1, Tasks: 3, Stagger: 120 * sim.Second, Duration: 1000 * sim.Second}
+}
+
+// Fig6Result is the Figure 6 data set.
+type Fig6Result struct {
+	// Series holds one cumulative-trials series per task (sampled
+	// every 5 s of virtual time).
+	Series []*stats.Series
+	// FinalTrials and FinalErrors are end-of-run values per task.
+	FinalTrials []uint64
+	FinalErrors []float64
+	// Starts are the task start times in seconds.
+	Starts []float64
+}
+
+// RunFig6 executes the experiment. The tasks share one currency
+// ("mc"), so their mutual inflation is locally contained exactly as
+// §3.2/§3.3 prescribe for mutually trusting clients.
+func RunFig6(cfg Fig6Config) Fig6Result {
+	if cfg.Tasks <= 0 {
+		panic("experiments: Fig6Config.Tasks must be positive")
+	}
+	dur := scaleDur(cfg.Duration, cfg.Scale)
+	stagger := scaleDur(cfg.Stagger, cfg.Scale)
+	sys := core.NewSystem(core.WithSeed(cfg.Seed))
+	defer sys.Shutdown()
+
+	mcCurrency := sys.Tickets().MustCurrency("mc", "scientist")
+	sys.Tickets().Base().MustIssue(1000, mcCurrency)
+
+	tasks := make([]*workload.MonteCarlo, cfg.Tasks)
+	series := make([]*stats.Series, cfg.Tasks)
+	starts := make([]float64, cfg.Tasks)
+	for i := 0; i < cfg.Tasks; i++ {
+		i := i
+		name := fmt.Sprintf("mc%d", i)
+		tasks[i] = workload.NewMonteCarlo(name, cfg.Seed*1000+uint32(i)+7)
+		series[i] = &stats.Series{Name: name}
+		startAt := sim.Duration(i) * stagger
+		starts[i] = sim.Time(startAt).Seconds()
+		sys.Engine().Schedule(sim.Time(startAt), func() {
+			th := sys.Spawn(name, tasks[i].Body())
+			tk := mcCurrency.MustIssue(ticket.Amount(int64(1e9)), th.Holder())
+			tasks[i].AttachFunding(tk)
+		})
+	}
+	sampleEvery(sys.Kernel, 5*sim.Second, func(now sim.Time) {
+		for i, t := range tasks {
+			series[i].Add(now.Seconds(), float64(t.Trials()))
+		}
+	})
+	sys.RunFor(dur)
+
+	res := Fig6Result{Series: series, Starts: starts}
+	for _, t := range tasks {
+		res.FinalTrials = append(res.FinalTrials, t.Trials())
+		res.FinalErrors = append(res.FinalErrors, t.RelativeError())
+	}
+	return res
+}
+
+// Format renders the Figure 6 series.
+func (r Fig6Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: Monte-Carlo execution rates (funding ~ error^2)\n")
+	end := 0.0
+	for _, s := range r.Series {
+		if p := s.Last(); p.T > end {
+			end = p.T
+		}
+	}
+	b.WriteString(stats.FormatTable(stats.SampleTimes(end, 20), r.Series...))
+	for i := range r.FinalTrials {
+		fmt.Fprintf(&b, "task %d (start %.0fs): %d trials, relative error %.5f\n",
+			i, r.Starts[i], r.FinalTrials[i], r.FinalErrors[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/workload/textgen"
+)
+
+// Fig7Config parameterizes the client-server experiment (Figure 7):
+// three clients with an 8:3:1 ticket allocation querying a ticketless
+// multithreaded text-search server funded purely by RPC ticket
+// transfers. The high-priority client issues HighClientQueries queries
+// and terminates; the others run for the whole Duration.
+type Fig7Config struct {
+	Seed              uint32
+	Duration          sim.Duration
+	CorpusBytes       int
+	Workers           int
+	HighClientQueries int
+	// ScanRate is server scan throughput in bytes/sec of CPU. The
+	// default 0.4 MB/s reproduces the paper's ~11.5 s query cost on a
+	// 25 MHz DECStation (4.6 MB / 11.5 s), which is what makes the
+	// reported response times 17.19/43.19/132.20 s come out.
+	ScanRate float64
+	Scale    float64
+}
+
+// DefaultFig7Config matches the paper.
+func DefaultFig7Config() Fig7Config {
+	return Fig7Config{
+		Seed:              1,
+		Duration:          800 * sim.Second,
+		CorpusBytes:       textgen.DefaultSize,
+		Workers:           3,
+		HighClientQueries: 20,
+		ScanRate:          0.4e6,
+	}
+}
+
+// Fig7Client is one client's outcome.
+type Fig7Client struct {
+	Name             string
+	Tickets          int
+	Completed        uint64
+	MeanResponseSec  float64
+	StdevResponseSec float64
+	// MeanRespWhileASec averages only the queries completed while the
+	// 8-ticket client was still running — the period the paper's
+	// response-time ratios describe. (After A exits, B and C split the
+	// freed share and their responses drop, visible as the slope
+	// change in the figure.)
+	MeanRespWhileASec float64
+	Series            *stats.Series
+}
+
+// Fig7Result is the Figure 7 data set.
+type Fig7Result struct {
+	Clients []Fig7Client
+	// AtHighExit reports, per client, queries completed when the
+	// 8-ticket client finished its 20 queries (paper: "the other
+	// clients have completed a total of 10 requests").
+	AtHighExit []float64
+	// HighExitTime is that moment in seconds.
+	HighExitTime float64
+	// MatchCount is the substring count each query returned (8).
+	MatchCount int
+}
+
+// RunFig7 executes the experiment.
+func RunFig7(cfg Fig7Config) Fig7Result {
+	dur := scaleDur(cfg.Duration, cfg.Scale)
+	sys := core.NewSystem(core.WithSeed(cfg.Seed))
+	defer sys.Shutdown()
+
+	corpus := textgen.Corpus(cfg.Seed+100, cfg.CorpusBytes, textgen.DefaultNeedle, textgen.DefaultPlantCount)
+	server := workload.NewDBServer(sys.Kernel, workload.DBServerConfig{
+		Corpus:   corpus,
+		Workers:  cfg.Workers,
+		ScanRate: cfg.ScanRate,
+	})
+
+	allocations := []struct {
+		name    string
+		tickets int
+	}{{"A(8)", 800}, {"B(3)", 300}, {"C(1)", 100}}
+	clients := make([]*workload.DBClient, len(allocations))
+	for i, a := range allocations {
+		clients[i] = workload.NewDBClient(a.name, server)
+		if i == 0 {
+			clients[i].MaxQueries = cfg.HighClientQueries
+		}
+		th := sys.Spawn(a.name, clients[i].Body())
+		th.Fund(ticketAmount(a.tickets))
+	}
+	sys.RunFor(dur)
+
+	res := Fig7Result{MatchCount: clients[len(clients)-1].LastCount()}
+	// When did the high client finish?
+	if p := clients[0].Series().Last(); p.V >= float64(cfg.HighClientQueries) {
+		res.HighExitTime = p.T
+	} else {
+		res.HighExitTime = dur.Seconds() // did not finish in scaled runs
+	}
+	for i, c := range clients {
+		rts := c.ResponseTimes()
+		// Restrict to queries completed while A was active: the j-th
+		// response completes at the j-th series point.
+		var whileA []float64
+		for j, p := range c.Series().Points {
+			if p.T <= res.HighExitTime+1e-9 && j < len(rts) {
+				whileA = append(whileA, rts[j])
+			}
+		}
+		res.Clients = append(res.Clients, Fig7Client{
+			Name:              allocations[i].name,
+			Tickets:           allocations[i].tickets,
+			Completed:         c.Completed(),
+			MeanResponseSec:   stats.Mean(rts),
+			StdevResponseSec:  stats.StdDev(rts),
+			MeanRespWhileASec: stats.Mean(whileA),
+			Series:            c.Series(),
+		})
+		res.AtHighExit = append(res.AtHighExit, c.Series().ValueAt(res.HighExitTime))
+	}
+	return res
+}
+
+// Format renders the Figure 7 table.
+func (r Fig7Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: query processing rates (8:3:1 allocation, transfer-funded server)\n")
+	fmt.Fprintf(&b, "%8s %8s %10s %14s %14s %16s\n",
+		"client", "tickets", "queries", "mean resp(s)", "sd resp(s)", "resp while A(s)")
+	for _, c := range r.Clients {
+		fmt.Fprintf(&b, "%8s %8d %10d %14.2f %14.2f %16.2f\n",
+			c.Name, c.Tickets, c.Completed, c.MeanResponseSec, c.StdevResponseSec,
+			c.MeanRespWhileASec)
+	}
+	var rts []float64
+	for _, c := range r.Clients {
+		rts = append(rts, c.MeanRespWhileASec)
+	}
+	fmt.Fprintf(&b, "response-time ratio (vs A): %s (paper: 1 : 2.51 : 7.69 rel. A)\n",
+		ratioString(rts[2], rts[1], rts[0]))
+	// A stops after its 20 queries, so whole-run throughput is only
+	// meaningful for B and C (paper: 38 and 13 queries, 2.92:1).
+	fmt.Fprintf(&b, "whole-run B:C throughput: %d : %d = %s (allocated 3 : 1; paper 38 : 13)\n",
+		r.Clients[1].Completed, r.Clients[2].Completed,
+		ratioString(float64(r.Clients[1].Completed), float64(r.Clients[2].Completed)))
+	fmt.Fprintf(&b, "at high-client exit (t=%.0fs): completions %v (paper: B+C total = 10)\n",
+		r.HighExitTime, r.AtHighExit)
+	fmt.Fprintf(&b, "every query counted %d matches (paper: 8)\n", r.MatchCount)
+	return b.String()
+}

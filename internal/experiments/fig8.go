@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/ticket"
+	"repro/internal/workload"
+)
+
+// Fig8Config parameterizes the MPEG-viewer experiment (Figure 8):
+// three viewers with an initial A:B:C = 3:2:1 allocation changed to
+// 3:1:2 at SwitchAt.
+type Fig8Config struct {
+	Seed     uint32
+	Duration sim.Duration
+	SwitchAt sim.Duration
+	// UseDisplay routes frames through a single-threaded display
+	// server, reproducing the §5.4 X-server round-robin distortion;
+	// false reproduces the cleaner "-no display" ratios.
+	UseDisplay bool
+	Scale      float64
+}
+
+// DefaultFig8Config matches the paper: 300 s, allocation change
+// mid-run, display server on (the Figure 8 run).
+func DefaultFig8Config() Fig8Config {
+	return Fig8Config{Seed: 1, Duration: 300 * sim.Second, SwitchAt: 150 * sim.Second, UseDisplay: true}
+}
+
+// Fig8Result is the Figure 8 data set.
+type Fig8Result struct {
+	// Series holds cumulative frames per viewer.
+	Series []*stats.Series
+	// Phase1/Phase2 are observed frame-rate ratios (vs viewer C's
+	// phase-1 rate and viewer B's phase-2 rate as the paper
+	// normalizes: A:B:C).
+	Phase1, Phase2 [3]float64
+	SwitchAtSec    float64
+}
+
+// RunFig8 executes the experiment.
+func RunFig8(cfg Fig8Config) Fig8Result {
+	dur := scaleDur(cfg.Duration, cfg.Scale)
+	switchAt := scaleDur(cfg.SwitchAt, cfg.Scale)
+	sys := core.NewSystem(core.WithSeed(cfg.Seed))
+	defer sys.Shutdown()
+
+	var display *workload.DisplayServer
+	if cfg.UseDisplay {
+		display = workload.NewDisplayServer(sys.Kernel, 50)
+	}
+	names := []string{"A", "B", "C"}
+	initial := []int{300, 200, 100}
+	changed := []int{300, 100, 200}
+	viewers := make([]*workload.Viewer, 3)
+	tks := make([]*ticket.Ticket, 3)
+	series := make([]*stats.Series, 3)
+	for i := range viewers {
+		viewers[i] = &workload.Viewer{Name: names[i], Display: display}
+		th := sys.Spawn(names[i], viewers[i].Body())
+		tks[i] = th.Fund(ticketAmount(initial[i]))
+		series[i] = &stats.Series{Name: names[i]}
+	}
+	sampleEvery(sys.Kernel, 1*sim.Second, func(now sim.Time) {
+		for i, v := range viewers {
+			series[i].Add(now.Seconds(), float64(v.Frames()))
+		}
+	})
+	sys.Engine().Schedule(sim.Time(switchAt), func() {
+		for i, tk := range tks {
+			if err := tk.SetAmount(ticketAmount(changed[i])); err != nil {
+				panic(err)
+			}
+		}
+	})
+	sys.RunFor(dur)
+
+	res := Fig8Result{Series: series, SwitchAtSec: switchAt.Seconds()}
+	for i, s := range series {
+		sw := s.ValueAt(switchAt.Seconds())
+		res.Phase1[i] = sw / switchAt.Seconds()
+		res.Phase2[i] = (s.ValueAt(dur.Seconds()) - sw) / (dur - switchAt).Seconds()
+	}
+	return res
+}
+
+// Format renders the Figure 8 series and phase ratios.
+func (r Fig8Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: controlling video rates (3:2:1 -> 3:1:2 at the arrow)\n")
+	end := 0.0
+	for _, s := range r.Series {
+		if p := s.Last(); p.T > end {
+			end = p.T
+		}
+	}
+	b.WriteString(stats.FormatTable(stats.SampleTimes(end, 20), r.Series...))
+	fmt.Fprintf(&b, "allocation change at t=%.0fs\n", r.SwitchAtSec)
+	fmt.Fprintf(&b, "phase 1 frame rates (A,B,C f/s): %.2f %.2f %.2f ratio %s (allocated 3:2:1)\n",
+		r.Phase1[0], r.Phase1[1], r.Phase1[2],
+		ratioString(r.Phase1[0], r.Phase1[1], r.Phase1[2]))
+	fmt.Fprintf(&b, "phase 2 frame rates (A,B,C f/s): %.2f %.2f %.2f ratio A:C:B %s (allocated 3:2:1 after relabel)\n",
+		r.Phase2[0], r.Phase2[1], r.Phase2[2],
+		ratioString(r.Phase2[0], r.Phase2[2], r.Phase2[1]))
+	return b.String()
+}

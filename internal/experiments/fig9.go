@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig9Config parameterizes the load-insulation experiment (Figure 9):
+// currencies A and B are identically funded from base; A1=100.A and
+// A2=200.A run for the whole experiment, B1=100.B and B2=200.B
+// likewise, and B3=300.B starts at StartB3. The inflation caused by
+// B3 must be locally contained in currency B.
+type Fig9Config struct {
+	Seed     uint32
+	Duration sim.Duration
+	StartB3  sim.Duration
+	Scale    float64
+}
+
+// DefaultFig9Config matches the paper: 300 s, B3 starting halfway.
+func DefaultFig9Config() Fig9Config {
+	return Fig9Config{Seed: 1, Duration: 300 * sim.Second, StartB3: 150 * sim.Second}
+}
+
+// Fig9Result is the Figure 9 data set.
+type Fig9Result struct {
+	// Series: A1, A2, B1, B2, B3 cumulative iterations.
+	Series []*stats.Series
+	// AggA and AggB are aggregate iterations per currency group.
+	AggA, AggB uint64
+	// A1A2Before/After and B1B2RateBefore/After capture the insulation
+	// claims: A's tasks and internal ratio are unaffected by B3, while
+	// B1/B2 slow to half their pre-B3 rates.
+	A1A2RatioBefore, A1A2RatioAfter float64
+	B1RateBefore, B1RateAfter       float64
+	B2RateBefore, B2RateAfter       float64
+	A1RateBefore, A1RateAfter       float64
+	A2RateBefore, A2RateAfter       float64
+}
+
+// RunFig9 executes the experiment.
+func RunFig9(cfg Fig9Config) Fig9Result {
+	dur := scaleDur(cfg.Duration, cfg.Scale)
+	startB3 := scaleDur(cfg.StartB3, cfg.Scale)
+	sys := core.NewSystem(core.WithSeed(cfg.Seed))
+	defer sys.Shutdown()
+
+	ta := sys.Tickets()
+	curA := ta.MustCurrency("A", "userA")
+	curB := ta.MustCurrency("B", "userB")
+	ta.Base().MustIssue(1000, curA)
+	ta.Base().MustIssue(1000, curB)
+
+	mk := func(name string, cur string, amount int) *workload.Dhrystone {
+		d := &workload.Dhrystone{Name: name}
+		th := sys.Spawn(name, d.Body())
+		th.FundFrom(ta.Currency(cur), ticketAmount(amount))
+		return d
+	}
+	a1 := mk("A1", "A", 100)
+	a2 := mk("A2", "A", 200)
+	b1 := mk("B1", "B", 100)
+	b2 := mk("B2", "B", 200)
+	var b3 *workload.Dhrystone
+	sys.Engine().Schedule(sim.Time(startB3), func() {
+		b3 = mk("B3", "B", 300)
+	})
+
+	names := []string{"A1", "A2", "B1", "B2", "B3"}
+	tasks := []*workload.Dhrystone{a1, a2, b1, b2, nil}
+	series := make([]*stats.Series, len(names))
+	for i, n := range names {
+		series[i] = &stats.Series{Name: n}
+	}
+	sampleEvery(sys.Kernel, 1*sim.Second, func(now sim.Time) {
+		tasks[4] = b3
+		for i, d := range tasks {
+			v := 0.0
+			if d != nil {
+				v = float64(d.Iterations())
+			}
+			series[i].Add(now.Seconds(), v)
+		}
+	})
+	sys.RunFor(dur)
+
+	rate := func(s *stats.Series, from, to sim.Duration) float64 {
+		return (s.ValueAt(to.Seconds()) - s.ValueAt(from.Seconds())) / (to - from).Seconds()
+	}
+	res := Fig9Result{Series: series}
+	res.AggA = a1.Iterations() + a2.Iterations()
+	res.AggB = b1.Iterations() + b2.Iterations()
+	if b3 != nil {
+		res.AggB += b3.Iterations()
+	}
+	res.A1RateBefore = rate(series[0], 0, startB3)
+	res.A1RateAfter = rate(series[0], startB3, dur)
+	res.A2RateBefore = rate(series[1], 0, startB3)
+	res.A2RateAfter = rate(series[1], startB3, dur)
+	res.B1RateBefore = rate(series[2], 0, startB3)
+	res.B1RateAfter = rate(series[2], startB3, dur)
+	res.B2RateBefore = rate(series[3], 0, startB3)
+	res.B2RateAfter = rate(series[3], startB3, dur)
+	res.A1A2RatioBefore = stats.Ratio(res.A2RateBefore, res.A1RateBefore)
+	res.A1A2RatioAfter = stats.Ratio(res.A2RateAfter, res.A1RateAfter)
+	return res
+}
+
+// Format renders the Figure 9 report.
+func (r Fig9Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: currencies insulate loads (B3=300.B starts mid-run)\n")
+	end := 0.0
+	for _, s := range r.Series {
+		if p := s.Last(); p.T > end {
+			end = p.T
+		}
+	}
+	b.WriteString(stats.FormatTable(stats.SampleTimes(end, 15), r.Series...))
+	fmt.Fprintf(&b, "aggregate A = %d, aggregate B = %d, A:B = %.3f (paper: 1.01:1)\n",
+		r.AggA, r.AggB, stats.Ratio(float64(r.AggA), float64(r.AggB)))
+	fmt.Fprintf(&b, "A2:A1 ratio before/after B3: %.2f / %.2f (allocated 2, unaffected)\n",
+		r.A1A2RatioBefore, r.A1A2RatioAfter)
+	fmt.Fprintf(&b, "A1 rate before/after: %.0f / %.0f it/s (insulated)\n", r.A1RateBefore, r.A1RateAfter)
+	fmt.Fprintf(&b, "A2 rate before/after: %.0f / %.0f it/s (insulated)\n", r.A2RateBefore, r.A2RateAfter)
+	fmt.Fprintf(&b, "B1 rate before/after: %.0f / %.0f it/s (halved by B3's inflation)\n",
+		r.B1RateBefore, r.B1RateAfter)
+	fmt.Fprintf(&b, "B2 rate before/after: %.0f / %.0f it/s (halved by B3's inflation)\n",
+		r.B2RateBefore, r.B2RateAfter)
+	return b.String()
+}

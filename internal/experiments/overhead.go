@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/workload/textgen"
+)
+
+// OverheadConfig parameterizes the §5.6 system-overhead comparison:
+// the same workloads run under the lottery scheduler and under the
+// conventional timesharing policy (plus stride and round-robin for
+// context), comparing total useful work, scheduling-decision counts,
+// and host-side cost per decision.
+type OverheadConfig struct {
+	Seed     uint32
+	Tasks    int // Dhrystone task count (paper ran 3 and 8)
+	Duration sim.Duration
+	// DBClients/DBQueries reproduce the §5.6 database benchmark: five
+	// clients each performing 20 queries, timed start to finish.
+	DBClients   int
+	DBQueries   int
+	CorpusBytes int
+	ScanRate    float64
+	Scale       float64
+}
+
+// DefaultOverheadConfig matches the paper's 3-task Dhrystone run and
+// 5-client database run.
+func DefaultOverheadConfig() OverheadConfig {
+	return OverheadConfig{
+		Seed:        1,
+		Tasks:       3,
+		Duration:    200 * sim.Second,
+		DBClients:   5,
+		DBQueries:   20,
+		CorpusBytes: 500_000,
+		ScanRate:    2e6,
+	}
+}
+
+// OverheadRow is one policy's outcome.
+type OverheadRow struct {
+	Policy string
+	// TotalIterations across all Dhrystone tasks (the paper's §5.6
+	// metric: lottery was 2.7% slower for 3 tasks, 0.8% for 8).
+	TotalIterations uint64
+	// Decisions and the mean host-time cost of the whole simulation
+	// per scheduling decision (includes draw + dispatch machinery).
+	Decisions   uint64
+	HostPerDec  time.Duration
+	WallPerSimS time.Duration
+	// DBCompletionSec is the virtual time for all DB clients to finish
+	// their queries (paper: 1155.5 s lottery vs 1135.5 s Mach).
+	DBCompletionSec float64
+}
+
+// OverheadResult is the §5.6 data set.
+type OverheadResult struct {
+	Tasks int
+	Rows  []OverheadRow
+}
+
+// policies returns fresh policy instances for each run.
+func policies(seed uint32) []struct {
+	name string
+	mk   func() sched.Policy
+} {
+	return []struct {
+		name string
+		mk   func() sched.Policy
+	}{
+		{"lottery", func() sched.Policy { return nil }}, // nil = core default
+		{"timesharing", func() sched.Policy { return sched.NewTimeSharing() }},
+		{"stride", func() sched.Policy { return sched.NewStride() }},
+		{"round-robin", func() sched.Policy { return sched.NewRoundRobin() }},
+	}
+}
+
+// RunOverhead executes the experiment.
+func RunOverhead(cfg OverheadConfig) OverheadResult {
+	dur := scaleDur(cfg.Duration, cfg.Scale)
+	res := OverheadResult{Tasks: cfg.Tasks}
+	for _, p := range policies(cfg.Seed) {
+		opts := []core.Option{core.WithSeed(cfg.Seed)}
+		if pol := p.mk(); pol != nil {
+			opts = append(opts, core.WithPolicy(pol))
+		}
+
+		// Dhrystone phase.
+		sys := core.NewSystem(opts...)
+		tasks := make([]*workload.Dhrystone, cfg.Tasks)
+		for i := range tasks {
+			tasks[i] = &workload.Dhrystone{Name: fmt.Sprintf("d%d", i)}
+			sys.Spawn(tasks[i].Name, tasks[i].Body()).Fund(100)
+		}
+		start := time.Now()
+		sys.RunFor(dur)
+		wall := time.Since(start)
+		row := OverheadRow{Policy: p.name}
+		for _, d := range tasks {
+			row.TotalIterations += d.Iterations()
+		}
+		row.Decisions = sys.Decisions()
+		if row.Decisions > 0 {
+			row.HostPerDec = wall / time.Duration(row.Decisions)
+		}
+		row.WallPerSimS = time.Duration(float64(wall) / dur.Seconds())
+		sys.Shutdown()
+
+		// Database phase (fresh system, same policy type).
+		opts2 := []core.Option{core.WithSeed(cfg.Seed + 1)}
+		if pol := p.mk(); pol != nil {
+			opts2 = append(opts2, core.WithPolicy(pol))
+		}
+		dbsys := core.NewSystem(opts2...)
+		corpus := textgen.Corpus(cfg.Seed+9, cfg.CorpusBytes, textgen.DefaultNeedle, 8)
+		server := workload.NewDBServer(dbsys.Kernel, workload.DBServerConfig{
+			Corpus: corpus, Workers: cfg.DBClients, ScanRate: cfg.ScanRate,
+		})
+		clients := make([]*workload.DBClient, cfg.DBClients)
+		for i := range clients {
+			clients[i] = workload.NewDBClient(fmt.Sprintf("c%d", i), server)
+			clients[i].MaxQueries = cfg.DBQueries
+			dbsys.Spawn(clients[i].Name, clients[i].Body()).Fund(100)
+		}
+		// Run until every client finishes (bounded fail-safe horizon).
+		horizon := sim.Duration(10*cfg.DBClients*cfg.DBQueries) * server.QueryCost()
+		for step := 0; step < 1000; step++ {
+			doneAll := true
+			for _, c := range clients {
+				if int(c.Completed()) < cfg.DBQueries {
+					doneAll = false
+					break
+				}
+			}
+			if doneAll {
+				break
+			}
+			if sim.Duration(dbsys.Now()) > horizon {
+				break
+			}
+			dbsys.RunFor(horizon / 100)
+		}
+		var latest float64
+		for _, c := range clients {
+			if p := c.Series().Last(); p.V >= float64(cfg.DBQueries) && p.T > latest {
+				latest = p.T
+			}
+		}
+		row.DBCompletionSec = latest
+		dbsys.Shutdown()
+
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Format renders the §5.6 comparison.
+func (r OverheadResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 5.6: system overhead (%d Dhrystone tasks + DB run)\n", r.Tasks)
+	fmt.Fprintf(&b, "%-12s %16s %12s %12s %14s %12s\n",
+		"policy", "total iters", "decisions", "host/dec", "wall/sim-sec", "DB done(s)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %16d %12d %12v %14v %12.1f\n",
+			row.Policy, row.TotalIterations, row.Decisions,
+			row.HostPerDec.Round(time.Nanosecond),
+			row.WallPerSimS.Round(time.Microsecond),
+			row.DBCompletionSec)
+	}
+	if len(r.Rows) >= 2 {
+		base := float64(r.Rows[1].TotalIterations)
+		if base > 0 {
+			delta := (float64(r.Rows[0].TotalIterations)/base - 1) * 100
+			fmt.Fprintf(&b, "lottery vs timesharing useful work: %+.2f%% (paper: -2.7%% at 3 tasks, -0.8%% at 8)\n", delta)
+		}
+		d0, d1 := r.Rows[0].DBCompletionSec, r.Rows[1].DBCompletionSec
+		if d1 > 0 {
+			fmt.Fprintf(&b, "lottery vs timesharing DB completion: %+.2f%% (paper: +1.7%%)\n",
+				(stats.Ratio(d0, d1)-1)*100)
+		}
+	}
+	return b.String()
+}

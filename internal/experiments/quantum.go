@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/lottery"
+	"repro/internal/random"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// QuantumConfig parameterizes the quantum-length ablation: §2 and §5.1
+// note that halving the quantum doubles the lotteries per second and
+// therefore tightens fairness over any fixed horizon ("shorter time
+// quanta can be used to further improve accuracy while maintaining a
+// fixed proportion of scheduler overhead").
+type QuantumConfig struct {
+	Seed     uint32
+	Quanta   []sim.Duration
+	Duration sim.Duration
+	Window   sim.Duration
+	Scale    float64
+}
+
+// DefaultQuantumConfig sweeps 10/25/50/100 ms quanta over 1 s windows.
+func DefaultQuantumConfig() QuantumConfig {
+	return QuantumConfig{
+		Seed: 1,
+		Quanta: []sim.Duration{
+			10 * sim.Millisecond, 25 * sim.Millisecond,
+			50 * sim.Millisecond, 100 * sim.Millisecond,
+		},
+		Duration: 60 * sim.Second,
+		Window:   1 * sim.Second,
+	}
+}
+
+// QuantumRow is one quantum's outcome.
+type QuantumRow struct {
+	Quantum sim.Duration
+	// RatioCoV is the coefficient of variation of the per-window A:B
+	// CPU ratio for a 2:1 allocation — smaller is fairer at short
+	// horizons.
+	RatioCoV float64
+	// LotteriesPerSec at this quantum.
+	LotteriesPerSec float64
+}
+
+// QuantumResult is the sweep data set.
+type QuantumResult struct {
+	Window sim.Duration
+	Rows   []QuantumRow
+}
+
+// RunQuantum executes the sweep.
+func RunQuantum(cfg QuantumConfig) QuantumResult {
+	if len(cfg.Quanta) == 0 {
+		panic("experiments: QuantumConfig needs quanta")
+	}
+	dur := scaleDur(cfg.Duration, cfg.Scale)
+	res := QuantumResult{Window: cfg.Window}
+	for _, q := range cfg.Quanta {
+		sys := core.NewSystem(core.WithSeed(cfg.Seed), core.WithQuantum(q))
+		spin := func(ctx *kernel.Ctx) {
+			for {
+				ctx.Compute(2 * sim.Millisecond)
+			}
+		}
+		a := sys.Spawn("A", spin)
+		b := sys.Spawn("B", spin)
+		a.Fund(200)
+		b.Fund(100)
+		var ratios []float64
+		var lastA, lastB sim.Duration
+		for now := sim.Duration(0); now < dur; now += cfg.Window {
+			sys.RunFor(cfg.Window)
+			dA := a.CPUTime() - lastA
+			dB := b.CPUTime() - lastB
+			lastA, lastB = a.CPUTime(), b.CPUTime()
+			if dB > 0 {
+				ratios = append(ratios, float64(dA)/float64(dB))
+			}
+		}
+		sys.Shutdown()
+		res.Rows = append(res.Rows, QuantumRow{
+			Quantum:         q,
+			RatioCoV:        stats.CoV(ratios),
+			LotteriesPerSec: float64(sim.Second) / float64(q),
+		})
+	}
+	return res
+}
+
+// Format renders the sweep.
+func (r QuantumResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Quantum ablation: per-%v-window 2:1 ratio stability vs quantum\n", r.Window)
+	fmt.Fprintf(&b, "%10s %16s %12s\n", "quantum", "lotteries/sec", "ratio CoV")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10v %16.0f %12.4f\n", row.Quantum, row.LotteriesPerSec, row.RatioCoV)
+	}
+	b.WriteString("shorter quanta -> more lotteries per window -> tighter short-horizon fairness (§5.1)\n")
+	return b.String()
+}
+
+// MTFConfig parameterizes the move-to-front ablation (§4.2: "since
+// those clients with the largest number of tickets will be selected
+// most frequently, a simple 'move to front' heuristic can be very
+// effective").
+type MTFConfig struct {
+	Seed    uint32
+	Clients int
+	// HeavyShare is the fraction of all tickets held by one client at
+	// the tail of the list.
+	HeavyShare float64
+	Draws      int
+	Scale      float64
+}
+
+// DefaultMTFConfig uses 256 clients with one 50%-share client.
+func DefaultMTFConfig() MTFConfig {
+	return MTFConfig{Seed: 1, Clients: 256, HeavyShare: 0.5, Draws: 200_000}
+}
+
+// MTFResult is the ablation data set.
+type MTFResult struct {
+	Clients          int
+	AvgSearchPlain   float64
+	AvgSearchMTF     float64
+	HeavyWinsPlain   float64 // fraction, to show MTF preserves odds
+	HeavyWinsMTF     float64
+	HeavyShareWanted float64
+}
+
+// RunMTF executes the ablation: the same skewed population drawn with
+// and without the heuristic.
+func RunMTF(cfg MTFConfig) MTFResult {
+	if cfg.Clients < 2 || cfg.HeavyShare <= 0 || cfg.HeavyShare >= 1 || cfg.Draws <= 0 {
+		panic(fmt.Sprintf("experiments: bad MTFConfig %+v", cfg))
+	}
+	draws := cfg.Draws
+	if cfg.Scale > 0 && cfg.Scale != 1 {
+		draws = int(float64(draws) * cfg.Scale)
+		if draws < 1000 {
+			draws = 1000
+		}
+	}
+	run := func(mtf bool) (avgSearch, heavyFrac float64) {
+		l := lottery.NewList[int](mtf)
+		light := (1 - cfg.HeavyShare) / float64(cfg.Clients-1)
+		for i := 0; i < cfg.Clients-1; i++ {
+			l.Add(i, light)
+		}
+		heavy := cfg.Clients - 1
+		l.Add(heavy, cfg.HeavyShare)
+		src := random.NewPM(cfg.Seed)
+		heavyWins := 0
+		totalSearch := 0
+		for i := 0; i < draws; i++ {
+			// Probe the search length the current list order gives an
+			// independent uniform winning value, then hold a real draw
+			// (which applies the move-to-front reordering).
+			probe := lottery.Uniform(src, l.Total())
+			totalSearch += l.SearchLength(probe)
+			w, _ := l.Draw(src)
+			if w == heavy {
+				heavyWins++
+			}
+		}
+		return float64(totalSearch) / float64(draws), float64(heavyWins) / float64(draws)
+	}
+	plainSearch, plainHeavy := run(false)
+	mtfSearch, mtfHeavy := run(true)
+	return MTFResult{
+		Clients:          cfg.Clients,
+		AvgSearchPlain:   plainSearch,
+		AvgSearchMTF:     mtfSearch,
+		HeavyWinsPlain:   plainHeavy,
+		HeavyWinsMTF:     mtfHeavy,
+		HeavyShareWanted: cfg.HeavyShare,
+	}
+}
+
+// Format renders the ablation.
+func (r MTFResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Move-to-front ablation: %d clients, one holding %.0f%% of tickets at the tail\n",
+		r.Clients, r.HeavyShareWanted*100)
+	fmt.Fprintf(&b, "average search length: plain %.1f, move-to-front %.1f\n",
+		r.AvgSearchPlain, r.AvgSearchMTF)
+	fmt.Fprintf(&b, "heavy client win rate: plain %.3f, mtf %.3f (allocated %.3f — odds unchanged)\n",
+		r.HeavyWinsPlain, r.HeavyWinsMTF, r.HeavyShareWanted)
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package experiments
+
+// Result is a structured experiment outcome that can render itself as
+// the paper-style text report. The concrete types (Fig4Result, ...)
+// expose their fields so callers can also consume them directly or
+// marshal them to JSON (lotterysim -json).
+type Result interface {
+	Format() string
+}
+
+// Runner is a named experiment the CLI can execute.
+type Runner struct {
+	ID    string
+	Title string
+	// Exec executes the experiment at the given time scale (1 = the
+	// paper's full durations) and seed, returning the structured
+	// result.
+	Exec func(scale float64, seed uint32) Result
+}
+
+// Run executes the experiment and returns the formatted report.
+func (r Runner) Run(scale float64, seed uint32) string {
+	return r.Exec(scale, seed).Format()
+}
+
+// All returns every experiment in a stable order.
+func All() []Runner {
+	return []Runner{
+		{"fig1", "List-based lottery worked example", func(scale float64, seed uint32) Result {
+			return RunFig1()
+		}},
+		{"analytics", "Binomial/geometric lottery statistics (§2)", func(scale float64, seed uint32) Result {
+			cfg := DefaultAnalyticsConfig()
+			cfg.Scale, cfg.Seed = scale, seed
+			return RunAnalytics(cfg)
+		}},
+		{"accuracy", "Allocation accuracy improves with sqrt(n) (§2)", func(scale float64, seed uint32) Result {
+			cfg := DefaultAccuracyConfig()
+			cfg.Scale, cfg.Seed = scale, seed
+			return RunAccuracy(cfg)
+		}},
+		{"fig4", "Relative rate accuracy", func(scale float64, seed uint32) Result {
+			cfg := DefaultFig4Config()
+			cfg.Scale, cfg.Seed = scale, seed
+			return RunFig4(cfg)
+		}},
+		{"fig5", "Fairness over time", func(scale float64, seed uint32) Result {
+			cfg := DefaultFig5Config()
+			cfg.Scale, cfg.Seed = scale, seed
+			return RunFig5(cfg)
+		}},
+		{"fig6", "Monte-Carlo dynamic ticket inflation", func(scale float64, seed uint32) Result {
+			cfg := DefaultFig6Config()
+			cfg.Scale, cfg.Seed = scale, seed
+			return RunFig6(cfg)
+		}},
+		{"fig7", "Client-server query processing (8:3:1)", func(scale float64, seed uint32) Result {
+			cfg := DefaultFig7Config()
+			cfg.Scale, cfg.Seed = scale, seed
+			if scale > 0 && scale < 1 {
+				// Keep the run affordable: scale the database with the
+				// duration so queries still complete.
+				cfg.CorpusBytes = int(float64(cfg.CorpusBytes) * scale)
+				if cfg.CorpusBytes < 50_000 {
+					cfg.CorpusBytes = 50_000
+				}
+			}
+			return RunFig7(cfg)
+		}},
+		{"fig8", "MPEG viewer frame rates (3:2:1 -> 3:1:2)", func(scale float64, seed uint32) Result {
+			cfg := DefaultFig8Config()
+			cfg.Scale, cfg.Seed = scale, seed
+			return RunFig8(cfg)
+		}},
+		{"fig8-nodisplay", "MPEG viewers without display server (-no display)", func(scale float64, seed uint32) Result {
+			cfg := DefaultFig8Config()
+			cfg.Scale, cfg.Seed = scale, seed
+			cfg.UseDisplay = false
+			return RunFig8(cfg)
+		}},
+		{"fig9", "Currencies insulate loads", func(scale float64, seed uint32) Result {
+			cfg := DefaultFig9Config()
+			cfg.Scale, cfg.Seed = scale, seed
+			return RunFig9(cfg)
+		}},
+		{"fig11", "Lottery-scheduled mutex waiting times", func(scale float64, seed uint32) Result {
+			cfg := DefaultFig11Config()
+			cfg.Scale, cfg.Seed = scale, seed
+			return RunFig11(cfg)
+		}},
+		{"overhead", "System overhead vs conventional policies (§5.6)", func(scale float64, seed uint32) Result {
+			cfg := DefaultOverheadConfig()
+			cfg.Scale, cfg.Seed = scale, seed
+			return RunOverhead(cfg)
+		}},
+		{"overhead8", "System overhead with eight tasks (§5.6)", func(scale float64, seed uint32) Result {
+			cfg := DefaultOverheadConfig()
+			cfg.Scale, cfg.Seed = scale, seed
+			cfg.Tasks = 8
+			return RunOverhead(cfg)
+		}},
+		{"inverse", "Inverse-lottery page replacement (§6.2)", func(scale float64, seed uint32) Result {
+			cfg := DefaultInverseConfig()
+			cfg.Scale, cfg.Seed = scale, seed
+			return RunInverse(cfg)
+		}},
+		{"iobw", "Lottery-scheduled I/O bandwidth (§6)", func(scale float64, seed uint32) Result {
+			cfg := DefaultIOBWConfig()
+			cfg.Scale, cfg.Seed = scale, seed
+			return RunIOBW(cfg)
+		}},
+		{"inversion", "Priority inversion: fixed priorities vs lottery funding (§3.1, §6.1)", func(scale float64, seed uint32) Result {
+			cfg := DefaultInversionConfig()
+			cfg.Scale, cfg.Seed = scale, seed
+			return RunInversion(cfg)
+		}},
+		{"convergence", "Monte-Carlo convergence vs funding exponent (§5.2 ablation)", func(scale float64, seed uint32) Result {
+			cfg := DefaultConvergenceConfig()
+			cfg.Scale, cfg.Seed = scale, seed
+			return RunConvergence(cfg)
+		}},
+		{"quantum", "Quantum length vs short-horizon fairness (§5.1 ablation)", func(scale float64, seed uint32) Result {
+			cfg := DefaultQuantumConfig()
+			cfg.Scale, cfg.Seed = scale, seed
+			return RunQuantum(cfg)
+		}},
+		{"mtf", "Move-to-front heuristic ablation (§4.2)", func(scale float64, seed uint32) Result {
+			cfg := DefaultMTFConfig()
+			cfg.Scale, cfg.Seed = scale, seed
+			return RunMTF(cfg)
+		}},
+		{"stride", "Lottery vs stride: allocation error vs horizon", func(scale float64, seed uint32) Result {
+			cfg := DefaultStrideCompareConfig()
+			cfg.Scale, cfg.Seed = scale, seed
+			return RunStrideCompare(cfg)
+		}},
+		{"smp", "Multiprocessor lottery: share compression vs CPU count", func(scale float64, seed uint32) Result {
+			cfg := DefaultSMPConfig()
+			cfg.Scale, cfg.Seed = scale, seed
+			return RunSMP(cfg)
+		}},
+	}
+}
+
+// Find returns the runner with the given id, or nil.
+func Find(id string) *Runner {
+	for _, r := range All() {
+		if r.ID == id {
+			r := r
+			return &r
+		}
+	}
+	return nil
+}

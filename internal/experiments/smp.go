@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/ticket"
+)
+
+// SMPConfig parameterizes the multiprocessor extension experiment:
+// the same 3:3:1:1 workload on 1, 2, and 3 CPUs. On a uniprocessor
+// the CPU-time ratio equals the ticket ratio; with more CPUs the
+// per-quantum draws become weighted sampling without replacement
+// (a running thread cannot win a second processor), which compresses
+// the observed ratio — the documented caveat of naive multiprocessor
+// lotteries (DESIGN.md §5).
+type SMPConfig struct {
+	Seed     uint32
+	CPUCases []int
+	Weights  []int64
+	Duration sim.Duration
+	Scale    float64
+}
+
+// DefaultSMPConfig compares 1, 2, and 3 CPUs.
+func DefaultSMPConfig() SMPConfig {
+	return SMPConfig{
+		Seed:     1,
+		CPUCases: []int{1, 2, 3},
+		Weights:  []int64{300, 300, 100, 100},
+		Duration: 120 * sim.Second,
+	}
+}
+
+// SMPRow is one machine size's outcome.
+type SMPRow struct {
+	CPUs        int
+	HeavyShares []float64 // CPU-seconds per heavy thread
+	LightShares []float64
+	Ratio       float64 // mean heavy : mean light
+	TotalCPU    float64 // must equal CPUs * duration
+}
+
+// SMPResult is the experiment data set.
+type SMPResult struct {
+	Weights     []int64
+	DurationSec float64
+	Rows        []SMPRow
+}
+
+// RunSMP executes the experiment.
+func RunSMP(cfg SMPConfig) SMPResult {
+	if len(cfg.CPUCases) == 0 || len(cfg.Weights) < 2 {
+		panic(fmt.Sprintf("experiments: bad SMPConfig %+v", cfg))
+	}
+	dur := scaleDur(cfg.Duration, cfg.Scale)
+	res := SMPResult{Weights: cfg.Weights, DurationSec: dur.Seconds()}
+	// Split threads into heavy (max weight) and light (the rest).
+	maxW := cfg.Weights[0]
+	for _, w := range cfg.Weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	for _, n := range cfg.CPUCases {
+		sys := core.NewSystem(core.WithSeed(cfg.Seed), core.WithCPUs(n))
+		var ths []*kernel.Thread
+		for _, w := range cfg.Weights {
+			th := sys.Spawn("w", func(ctx *kernel.Ctx) {
+				for {
+					ctx.Compute(10 * sim.Millisecond)
+				}
+			})
+			th.Fund(ticket.Amount(w))
+			ths = append(ths, th)
+		}
+		sys.RunFor(dur)
+		row := SMPRow{CPUs: n}
+		var heavySum, lightSum float64
+		var nh, nl int
+		for i, th := range ths {
+			sec := th.CPUTime().Seconds()
+			row.TotalCPU += sec
+			if cfg.Weights[i] == maxW {
+				row.HeavyShares = append(row.HeavyShares, sec)
+				heavySum += sec
+				nh++
+			} else {
+				row.LightShares = append(row.LightShares, sec)
+				lightSum += sec
+				nl++
+			}
+		}
+		if lightSum > 0 {
+			row.Ratio = (heavySum / float64(nh)) / (lightSum / float64(nl))
+		}
+		res.Rows = append(res.Rows, row)
+		sys.Shutdown()
+	}
+	return res
+}
+
+// Format renders the comparison.
+func (r SMPResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multiprocessor extension: weights %v over %gs\n", r.Weights, r.DurationSec)
+	fmt.Fprintf(&b, "%6s %16s %16s %12s %12s\n",
+		"CPUs", "heavy CPU(s)", "light CPU(s)", "ratio", "total CPU")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d %16s %16s %12.2f %12.1f\n",
+			row.CPUs, joinSeconds(row.HeavyShares), joinSeconds(row.LightShares),
+			row.Ratio, row.TotalCPU)
+	}
+	b.WriteString("1 CPU reproduces the ticket ratio; more CPUs compress it\n")
+	b.WriteString("(per-quantum weighted sampling without replacement — see DESIGN.md)\n")
+	return b.String()
+}
+
+func joinSeconds(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%.0f", x)
+	}
+	return strings.Join(parts, "/")
+}

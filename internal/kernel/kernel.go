@@ -1,0 +1,410 @@
+// Package kernel implements a small simulated kernel in the image of
+// the paper's modified Mach 3.0: threads funded by lottery tickets, a
+// pluggable scheduling policy dispatched at quantum granularity,
+// sleep/wakeup, wait queues, mutexes (including the lottery-scheduled
+// mutex of §6.1), and synchronous RPC ports with ticket transfers (the
+// mach_msg modification of §4.6). The default configuration is the
+// paper's uniprocessor; Config.CPUs > 1 enables a shared-run-queue
+// multiprocessor where each free CPU draws from the lottery excluding
+// threads running elsewhere (see the SMP tests for the resulting
+// sampling-without-replacement share semantics).
+//
+// Simulated threads are written as plain Go functions receiving a
+// *Ctx; they run on coroutines resumed one at a time by the event
+// engine, so the whole kernel is single-threaded and deterministic
+// under a seed. Virtual CPU consumption is explicit (Ctx.Compute),
+// which is what gives the reproduction the scheduling control the Go
+// runtime otherwise hides.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/ticket"
+	"repro/internal/trace"
+)
+
+// Tracer receives scheduler events; *trace.Recorder satisfies it.
+type Tracer interface {
+	Record(at sim.Time, kind trace.Kind, thread string)
+}
+
+// DefaultQuantum is the paper's scheduling quantum on the DECStation
+// platform (§4): 100 ms.
+const DefaultQuantum = 100 * sim.Millisecond
+
+// Config parameterizes a Kernel.
+type Config struct {
+	// Policy is the scheduling discipline; required.
+	Policy sched.Policy
+	// Quantum is the scheduling quantum; DefaultQuantum if zero.
+	Quantum sim.Duration
+	// CPUs is the number of processors (default 1, the paper's
+	// uniprocessor DECStation). With more, each free CPU holds its
+	// own lottery over the clients not running elsewhere — the
+	// shared-run-queue multiprocessor the paper's tree-based
+	// "distributed lottery scheduler" note points toward.
+	CPUs int
+}
+
+// Kernel owns the virtual machine: event engine, ticket system,
+// scheduler, and threads.
+type Kernel struct {
+	eng     *sim.Engine
+	tickets *ticket.System
+	policy  sched.Policy
+	quantum sim.Duration
+
+	threads  []*Thread
+	byClient map[*sched.Client]*Thread
+	cpus     []*cpuState
+	// runningSet mirrors the clients currently on a CPU; dispatch
+	// excludes them so a thread cannot win two processors at once.
+	runningSet map[*sched.Client]bool
+	// dispatchPending collapses multiple wakeups at one instant into a
+	// single scheduling decision.
+	dispatchPending bool
+	nextTID         int
+	nextObjID       int
+
+	// stats
+	decisions   uint64 // scheduling decisions (lotteries held)
+	preemptions uint64
+	shutdown    bool
+
+	tracer Tracer
+}
+
+// cpuState is one processor's dispatch state.
+type cpuState struct {
+	id       int
+	running  *Thread
+	idleFrom sim.Time
+	idleTime sim.Duration
+}
+
+// New creates a kernel at virtual time zero.
+func New(cfg Config) *Kernel {
+	if cfg.Policy == nil {
+		panic("kernel: Config.Policy is required")
+	}
+	q := cfg.Quantum
+	if q == 0 {
+		q = DefaultQuantum
+	}
+	if q < 0 {
+		panic("kernel: negative quantum")
+	}
+	ncpu := cfg.CPUs
+	if ncpu == 0 {
+		ncpu = 1
+	}
+	if ncpu < 0 {
+		panic("kernel: negative CPU count")
+	}
+	k := &Kernel{
+		eng:        sim.NewEngine(),
+		tickets:    ticket.NewSystem(),
+		policy:     cfg.Policy,
+		quantum:    q,
+		byClient:   make(map[*sched.Client]*Thread),
+		runningSet: make(map[*sched.Client]bool),
+	}
+	for i := 0; i < ncpu; i++ {
+		k.cpus = append(k.cpus, &cpuState{id: i})
+	}
+	// Periodic policy housekeeping (decay-usage aging), once per
+	// virtual second, self-rescheduling.
+	var tick func()
+	tick = func() {
+		k.policy.Tick(k.eng.Now())
+		k.eng.After(sim.Second, tick)
+	}
+	k.eng.After(sim.Second, tick)
+	return k
+}
+
+// Engine exposes the event engine (experiments schedule phase changes
+// with it).
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Tickets exposes the kernel's ticket system.
+func (k *Kernel) Tickets() *ticket.System { return k.tickets }
+
+// Policy returns the scheduling policy.
+func (k *Kernel) Policy() sched.Policy { return k.policy }
+
+// Quantum returns the scheduling quantum.
+func (k *Kernel) Quantum() sim.Duration { return k.quantum }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() sim.Time { return k.eng.Now() }
+
+// Decisions returns how many scheduling decisions (lotteries, for the
+// lottery policy) have been made.
+func (k *Kernel) Decisions() uint64 { return k.decisions }
+
+// Preemptions returns how many quantum-expiry preemptions occurred.
+func (k *Kernel) Preemptions() uint64 { return k.preemptions }
+
+// CPUs returns the processor count.
+func (k *Kernel) CPUs() int { return len(k.cpus) }
+
+// IdleTime returns total idle time summed over all CPUs.
+func (k *Kernel) IdleTime() sim.Duration {
+	var idle sim.Duration
+	for _, c := range k.cpus {
+		idle += c.idleTime
+		if c.running == nil {
+			idle += k.eng.Now().Sub(c.idleFrom)
+		}
+	}
+	return idle
+}
+
+// Threads returns all threads ever spawned (including exited ones).
+func (k *Kernel) Threads() []*Thread { return append([]*Thread(nil), k.threads...) }
+
+// SetTracer installs a scheduler-event observer (nil disables
+// tracing). Tracing costs one call per dispatch/block/wake/exit and
+// nothing when disabled.
+func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
+
+func (k *Kernel) emit(kind trace.Kind, t *Thread) {
+	if k.tracer != nil {
+		k.tracer.Record(k.eng.Now(), kind, t.name)
+	}
+}
+
+// RunUntil advances virtual time to the deadline, executing all
+// scheduling and workload activity in between. It may be called
+// repeatedly; experiments change ticket allocations between calls.
+func (k *Kernel) RunUntil(t sim.Time) {
+	if k.shutdown {
+		panic("kernel: RunUntil after Shutdown")
+	}
+	k.eng.RunUntil(t)
+}
+
+// RunFor advances virtual time by d.
+func (k *Kernel) RunFor(d sim.Duration) { k.RunUntil(k.eng.Now().Add(d)) }
+
+// Shutdown terminates every live thread coroutine so no goroutines
+// leak. The kernel cannot run afterwards; statistics remain readable.
+func (k *Kernel) Shutdown() {
+	if k.shutdown {
+		return
+	}
+	k.shutdown = true
+	for _, t := range k.threads {
+		t.co.Kill()
+	}
+}
+
+// maybeDispatch arranges for a scheduling decision at the current
+// instant unless every CPU is busy or one is already pending.
+func (k *Kernel) maybeDispatch() {
+	if k.dispatchPending || k.shutdown {
+		return
+	}
+	if k.policy.Len() <= len(k.runningSet) {
+		return
+	}
+	free := false
+	for _, c := range k.cpus {
+		if c.running == nil {
+			free = true
+			break
+		}
+	}
+	if !free {
+		return
+	}
+	k.dispatchPending = true
+	k.eng.Schedule(k.eng.Now(), k.dispatch)
+}
+
+// dispatch fills every free CPU, holding one scheduling decision per
+// assignment. Threads already on a CPU are excluded from the draw.
+func (k *Kernel) dispatch() {
+	k.dispatchPending = false
+	if k.shutdown {
+		return
+	}
+	for _, cpu := range k.cpus {
+		if cpu.running != nil {
+			continue
+		}
+		c := k.policy.PickExcluding(k.eng.Now(), k.runningSet)
+		if c == nil {
+			return
+		}
+		t := k.byClient[c]
+		if t == nil {
+			panic("kernel: policy picked unknown client " + c.Name)
+		}
+		if t.state != StateRunnable {
+			panic(fmt.Sprintf("kernel: policy picked %s in state %v", t.name, t.state))
+		}
+		k.decisions++
+		cpu.idleTime += k.eng.Now().Sub(cpu.idleFrom)
+		cpu.running = t
+		k.runningSet[c] = true
+		t.cpu = cpu.id
+		t.state = StateRunning
+		t.dispatches++
+		t.quantumBudget = k.quantum
+		k.emit(trace.KindDispatch, t)
+		k.runSlice(t)
+	}
+}
+
+// runSlice drives the running thread: consume pending CPU bursts and
+// service syscalls until the quantum budget is exhausted or the
+// thread gives up the CPU.
+func (k *Kernel) runSlice(t *Thread) {
+	zeroGuard := 0
+	for {
+		if t.remaining > 0 {
+			slice := t.remaining
+			if t.quantumBudget < slice {
+				slice = t.quantumBudget
+			}
+			t.sliceEvent = k.eng.After(slice, func() { k.sliceDone(t, slice) })
+			return
+		}
+		// The thread has no pending CPU burst: ask it what's next.
+		if !k.service(t) {
+			return
+		}
+		zeroGuard++
+		if zeroGuard > 1_000_000 {
+			panic("kernel: livelock — thread " + t.name + " issues syscalls without consuming CPU")
+		}
+	}
+}
+
+// sliceDone fires when the running thread has consumed a CPU slice.
+func (k *Kernel) sliceDone(t *Thread, slice sim.Duration) {
+	t.sliceEvent = nil
+	t.remaining -= slice
+	t.quantumBudget -= slice
+	t.cpuTime += slice
+	if t.remaining > 0 {
+		// Budget exhausted mid-burst: quantum-expiry preemption.
+		k.preemptions++
+		k.emit(trace.KindPreempt, t)
+		k.endQuantum(t, false)
+		return
+	}
+	if t.quantumBudget <= 0 {
+		// Burst finished exactly with the quantum.
+		k.endQuantum(t, false)
+		return
+	}
+	k.runSlice(t)
+}
+
+// endQuantum accounts the finished slice to the policy and frees the
+// thread's CPU. The thread stays runnable (preemption/yield);
+// blocking paths call policy.Remove themselves after this.
+func (k *Kernel) endQuantum(t *Thread, voluntary bool) {
+	used := k.quantum - t.quantumBudget
+	k.policy.Used(t.client, used, k.quantum, voluntary, k.eng.Now())
+	t.state = StateRunnable
+	k.freeCPU(t)
+	k.maybeDispatch()
+}
+
+// freeCPU releases the processor t is running on.
+func (k *Kernel) freeCPU(t *Thread) {
+	if t.cpu < 0 {
+		panic("kernel: freeing CPU of non-running thread " + t.name)
+	}
+	cpu := k.cpus[t.cpu]
+	if cpu.running != t {
+		panic("kernel: CPU bookkeeping corrupt for " + t.name)
+	}
+	cpu.running = nil
+	cpu.idleFrom = k.eng.Now()
+	delete(k.runningSet, t.client)
+	t.cpu = -1
+}
+
+// service resumes the thread coroutine for its next request. It
+// returns false when the thread no longer runs (blocked, slept,
+// yielded, or exited).
+func (k *Kernel) service(t *Thread) bool {
+	req, alive := t.co.Resume()
+	if !alive {
+		k.exit(t)
+		return false
+	}
+	switch req.kind {
+	case scCompute:
+		t.remaining = req.dur
+		return true
+	case scSleep:
+		k.endQuantum(t, true)
+		k.deschedule(t, StateSleeping)
+		wakeAt := k.eng.Now().Add(req.dur)
+		t.sleepEvent = k.eng.Schedule(wakeAt, func() {
+			t.sleepEvent = nil
+			k.wake(t)
+		})
+		return false
+	case scBlock:
+		k.endQuantum(t, true)
+		k.deschedule(t, StateBlocked)
+		req.wq.waiters = append(req.wq.waiters, t)
+		t.waitingOn = req.wq
+		return false
+	case scYield:
+		k.endQuantum(t, true)
+		return false
+	default:
+		panic(fmt.Sprintf("kernel: unknown syscall %d from %s", req.kind, t.name))
+	}
+}
+
+// deschedule removes a thread from the runnable set and deactivates
+// its tickets (§4.4: "When a thread is removed from the run queue, its
+// tickets are deactivated").
+func (k *Kernel) deschedule(t *Thread, s State) {
+	t.state = s
+	k.policy.Remove(t.client, k.eng.Now())
+	t.holder.SetActive(false)
+	if s != StateExited {
+		k.emit(trace.KindBlock, t)
+	}
+}
+
+// wake makes a sleeping or blocked thread runnable again, reactivating
+// its tickets.
+func (k *Kernel) wake(t *Thread) {
+	switch t.state {
+	case StateSleeping, StateBlocked:
+	default:
+		panic(fmt.Sprintf("kernel: wake of %s in state %v", t.name, t.state))
+	}
+	t.waitingOn = nil
+	t.state = StateRunnable
+	t.holder.SetActive(true)
+	k.policy.Add(t.client, k.eng.Now())
+	k.emit(trace.KindWake, t)
+	k.maybeDispatch()
+}
+
+// exit finalizes a thread whose body returned.
+func (k *Kernel) exit(t *Thread) {
+	used := k.quantum - t.quantumBudget
+	k.policy.Used(t.client, used, k.quantum, true, k.eng.Now())
+	k.deschedule(t, StateExited)
+	t.exitTime = k.eng.Now()
+	k.freeCPU(t)
+	k.emit(trace.KindExit, t)
+	t.done.WakeAll()
+	k.maybeDispatch()
+}

@@ -1,0 +1,402 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/random"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/ticket"
+)
+
+func newLotteryKernel(seed uint32) *Kernel {
+	return New(Config{Policy: sched.NewLottery(random.NewPM(seed), true)})
+}
+
+// spinner returns a body that consumes CPU in fixed bursts forever.
+func spinner(burst sim.Duration) func(*Ctx) {
+	return func(ctx *Ctx) {
+		for {
+			ctx.Compute(burst)
+		}
+	}
+}
+
+func TestSingleThreadTiming(t *testing.T) {
+	k := newLotteryKernel(1)
+	defer k.Shutdown()
+	var finished sim.Time
+	th := k.Spawn("worker", func(ctx *Ctx) {
+		ctx.Compute(1 * sim.Second)
+		finished = ctx.Now()
+	})
+	th.Fund(100)
+	k.RunFor(2 * sim.Second)
+	if finished != sim.Time(1*sim.Second) {
+		t.Errorf("1s of compute finished at %v, want t+1s", finished)
+	}
+	if th.CPUTime() != 1*sim.Second {
+		t.Errorf("cpuTime = %v, want 1s", th.CPUTime())
+	}
+	if !th.Exited() {
+		t.Error("thread did not exit")
+	}
+	// 1 s of compute at a 100 ms quantum is 10 full quanta, plus one
+	// zero-CPU dispatch that runs the thread's exit path.
+	if th.Dispatches() != 11 {
+		t.Errorf("dispatches = %d, want 11", th.Dispatches())
+	}
+	if idle := k.IdleTime(); idle != 1*sim.Second {
+		t.Errorf("idle time = %v, want 1s", idle)
+	}
+}
+
+func TestComputeSplitAcrossQuanta(t *testing.T) {
+	// A single 350 ms burst at 100 ms quantum: preempted 3 times, done
+	// at exactly 350 ms.
+	k := newLotteryKernel(2)
+	defer k.Shutdown()
+	var done sim.Time
+	th := k.Spawn("w", func(ctx *Ctx) {
+		ctx.Compute(350 * sim.Millisecond)
+		done = ctx.Now()
+	})
+	th.Fund(10)
+	k.RunFor(1 * sim.Second)
+	if done != sim.Time(350*sim.Millisecond) {
+		t.Errorf("done at %v, want t+350ms", done)
+	}
+	if k.Preemptions() != 3 {
+		t.Errorf("preemptions = %d, want 3", k.Preemptions())
+	}
+}
+
+func TestLotteryProportionalCPU(t *testing.T) {
+	k := newLotteryKernel(42)
+	defer k.Shutdown()
+	a := k.Spawn("A", spinner(10*sim.Millisecond))
+	b := k.Spawn("B", spinner(10*sim.Millisecond))
+	a.Fund(200)
+	b.Fund(100)
+	k.RunFor(300 * sim.Second) // 3000 quanta
+	ratio := float64(a.CPUTime()) / float64(b.CPUTime())
+	if math.Abs(ratio-2) > 0.15 {
+		t.Errorf("CPU ratio = %v, want ~2 for a 2:1 allocation", ratio)
+	}
+	// The CPU never idles with runnable threads.
+	if k.IdleTime() != 0 {
+		t.Errorf("idle = %v with compute-bound threads", k.IdleTime())
+	}
+	total := a.CPUTime() + b.CPUTime()
+	if total != 300*sim.Second {
+		t.Errorf("total CPU = %v, want 300s", total)
+	}
+}
+
+func TestSleepTiming(t *testing.T) {
+	k := newLotteryKernel(3)
+	defer k.Shutdown()
+	var wakes []sim.Time
+	th := k.Spawn("sleeper", func(ctx *Ctx) {
+		for i := 0; i < 3; i++ {
+			ctx.Sleep(50 * sim.Millisecond)
+			wakes = append(wakes, ctx.Now())
+		}
+	})
+	th.Fund(10)
+	k.RunFor(1 * sim.Second)
+	want := []sim.Time{
+		sim.Time(50 * sim.Millisecond),
+		sim.Time(100 * sim.Millisecond),
+		sim.Time(150 * sim.Millisecond),
+	}
+	if len(wakes) != 3 {
+		t.Fatalf("wakes = %v", wakes)
+	}
+	for i := range want {
+		if wakes[i] != want[i] {
+			t.Errorf("wake %d at %v, want %v", i, wakes[i], want[i])
+		}
+	}
+	if th.CPUTime() != 0 {
+		t.Errorf("sleeper consumed %v CPU", th.CPUTime())
+	}
+}
+
+// TestCompensationEndToEnd reproduces §4.5 in the full kernel: equal
+// funding, A compute-bound, B uses 20 ms then yields. Compensation
+// tickets keep their CPU shares equal.
+func TestCompensationEndToEnd(t *testing.T) {
+	k := newLotteryKernel(5)
+	defer k.Shutdown()
+	a := k.Spawn("A", spinner(500*sim.Millisecond))
+	b := k.Spawn("B", func(ctx *Ctx) {
+		for {
+			ctx.Compute(20 * sim.Millisecond)
+			ctx.Yield()
+		}
+	})
+	a.Fund(400)
+	b.Fund(400)
+	k.RunFor(200 * sim.Second)
+	ratio := float64(a.CPUTime()) / float64(b.CPUTime())
+	if math.Abs(ratio-1) > 0.12 {
+		t.Errorf("CPU ratio = %v, want ~1 (compensation tickets, §4.5)", ratio)
+	}
+}
+
+func TestWaitQueueBlockWake(t *testing.T) {
+	k := newLotteryKernel(6)
+	defer k.Shutdown()
+	wq := k.NewWaitQueue("cond")
+	var order []string
+	blocker := k.Spawn("blocker", func(ctx *Ctx) {
+		order = append(order, "blocking")
+		ctx.Block(wq)
+		order = append(order, "woken")
+	})
+	blocker.Fund(10)
+	waker := k.Spawn("waker", func(ctx *Ctx) {
+		ctx.Sleep(100 * sim.Millisecond)
+		order = append(order, "waking")
+		wq.WakeOne()
+	})
+	waker.Fund(10)
+	k.RunFor(1 * sim.Second)
+	want := []string{"blocking", "waking", "woken"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+	if blocker.State() != StateExited || waker.State() != StateExited {
+		t.Error("threads did not exit")
+	}
+}
+
+func TestWakeAllAndWakeThread(t *testing.T) {
+	k := newLotteryKernel(7)
+	defer k.Shutdown()
+	wq := k.NewWaitQueue("barrier")
+	woken := 0
+	for i := 0; i < 5; i++ {
+		th := k.Spawn("w", func(ctx *Ctx) {
+			ctx.Block(wq)
+			woken++
+		})
+		th.Fund(10)
+	}
+	k.RunFor(100 * sim.Millisecond)
+	if wq.Len() != 5 {
+		t.Fatalf("waiters = %d, want 5", wq.Len())
+	}
+	// Wake a specific middle thread first.
+	mid := wq.Waiters()[2]
+	wq.WakeThread(mid)
+	k.RunFor(100 * sim.Millisecond)
+	if woken != 1 || wq.Len() != 4 {
+		t.Fatalf("after WakeThread: woken=%d len=%d", woken, wq.Len())
+	}
+	wq.WakeAll()
+	k.RunFor(100 * sim.Millisecond)
+	if woken != 5 || wq.Len() != 0 {
+		t.Errorf("after WakeAll: woken=%d len=%d", woken, wq.Len())
+	}
+}
+
+func TestJoin(t *testing.T) {
+	k := newLotteryKernel(8)
+	defer k.Shutdown()
+	var events []string
+	worker := k.Spawn("worker", func(ctx *Ctx) {
+		ctx.Compute(300 * sim.Millisecond)
+		events = append(events, "worker done")
+	})
+	worker.Fund(10)
+	j := k.Spawn("joiner", func(ctx *Ctx) {
+		ctx.Join(worker)
+		events = append(events, "joined")
+		ctx.Join(worker) // joining an exited thread returns immediately
+		events = append(events, "joined again")
+	})
+	j.Fund(10)
+	k.RunFor(2 * sim.Second)
+	if len(events) != 3 || events[0] != "worker done" || events[2] != "joined again" {
+		t.Errorf("events = %v", events)
+	}
+}
+
+func TestSpawnStaggeredViaEngine(t *testing.T) {
+	// Experiments start tasks mid-run by scheduling Spawn on the
+	// engine; CPU must be shared from that point on.
+	k := newLotteryKernel(9)
+	defer k.Shutdown()
+	a := k.Spawn("A", spinner(10*sim.Millisecond))
+	a.Fund(100)
+	var b *Thread
+	k.Engine().After(10*sim.Second, func() {
+		b = k.Spawn("B", spinner(10*sim.Millisecond))
+		b.Fund(100)
+	})
+	k.RunFor(30 * sim.Second)
+	// A ran alone for 10 s then shared ~50/50 for 20 s: expect ~20 s.
+	aSec := a.CPUTime().Seconds()
+	bSec := b.CPUTime().Seconds()
+	if math.Abs(aSec-20) > 1.5 {
+		t.Errorf("A cpu = %vs, want ~20s", aSec)
+	}
+	if math.Abs(bSec-10) > 1.5 {
+		t.Errorf("B cpu = %vs, want ~10s", bSec)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []sim.Duration {
+		k := newLotteryKernel(12345)
+		defer k.Shutdown()
+		var ths []*Thread
+		for i := 0; i < 4; i++ {
+			th := k.Spawn("t", func(ctx *Ctx) {
+				for {
+					ctx.Compute(7 * sim.Millisecond)
+					ctx.Sleep(3 * sim.Millisecond)
+				}
+			})
+			th.Fund(ticketAmount(i))
+			ths = append(ths, th)
+		}
+		k.RunFor(20 * sim.Second)
+		var out []sim.Duration
+		for _, th := range ths {
+			out = append(out, th.CPUTime())
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at thread %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func ticketAmount(i int) ticket.Amount { return ticket.Amount(100 * (i + 1)) }
+
+func TestShutdownLeaksNothing(t *testing.T) {
+	k := newLotteryKernel(10)
+	for i := 0; i < 20; i++ {
+		th := k.Spawn("w", spinner(time10ms()))
+		th.Fund(10)
+	}
+	k.RunFor(1 * sim.Second)
+	k.Shutdown()
+	sim.WaitAllCoroutines()
+	// Running after shutdown must panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("RunUntil after Shutdown did not panic")
+		}
+	}()
+	k.RunFor(1 * sim.Second)
+}
+
+func time10ms() sim.Duration { return 10 * sim.Millisecond }
+
+func TestUnfundedThreadsStillRun(t *testing.T) {
+	// With zero tickets anywhere the lottery degrades to picking the
+	// first queued client; the CPU must not idle.
+	k := newLotteryKernel(11)
+	defer k.Shutdown()
+	a := k.Spawn("A", spinner(10*sim.Millisecond))
+	b := k.Spawn("B", spinner(10*sim.Millisecond))
+	k.RunFor(1 * sim.Second)
+	if a.CPUTime()+b.CPUTime() != 1*sim.Second {
+		t.Errorf("unfunded threads got %v + %v CPU", a.CPUTime(), b.CPUTime())
+	}
+}
+
+func TestDynamicRefundingTakesEffect(t *testing.T) {
+	// §2: "any changes to relative ticket allocations are immediately
+	// reflected in the next allocation decision". Change 1:1 to 9:1
+	// mid-run by SetAmount between RunUntil calls.
+	k := newLotteryKernel(13)
+	defer k.Shutdown()
+	a := k.Spawn("A", spinner(10*sim.Millisecond))
+	b := k.Spawn("B", spinner(10*sim.Millisecond))
+	tkA := a.Fund(100)
+	b.Fund(100)
+	k.RunFor(100 * sim.Second)
+	phase1A, phase1B := a.CPUTime(), b.CPUTime()
+	if err := tkA.SetAmount(900); err != nil {
+		t.Fatal(err)
+	}
+	k.RunFor(100 * sim.Second)
+	dA := (a.CPUTime() - phase1A).Seconds()
+	dB := (b.CPUTime() - phase1B).Seconds()
+	if ratio := dA / dB; math.Abs(ratio-9) > 1.5 {
+		t.Errorf("phase-2 ratio = %v, want ~9", ratio)
+	}
+}
+
+func TestTimeSharingKernelIntegration(t *testing.T) {
+	// The kernel also drives conventional policies; two equal
+	// compute-bound threads split the CPU evenly under decay-usage.
+	k := New(Config{Policy: sched.NewTimeSharing()})
+	defer k.Shutdown()
+	a := k.Spawn("A", spinner(10*sim.Millisecond))
+	b := k.Spawn("B", spinner(10*sim.Millisecond))
+	_ = a
+	_ = b
+	k.RunFor(100 * sim.Second)
+	ratio := float64(a.CPUTime()) / float64(b.CPUTime())
+	if math.Abs(ratio-1) > 0.05 {
+		t.Errorf("timesharing ratio = %v, want ~1", ratio)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"nil policy":       {},
+		"negative quantum": {Policy: sched.NewRoundRobin(), Quantum: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestCtxValidation(t *testing.T) {
+	k := newLotteryKernel(14)
+	defer k.Shutdown()
+	panics := make(map[string]bool)
+	th := k.Spawn("w", func(ctx *Ctx) {
+		for _, c := range []struct {
+			name string
+			f    func()
+		}{
+			{"negative compute", func() { ctx.Compute(-1) }},
+			{"negative sleep", func() { ctx.Sleep(-1) }},
+			{"self join", func() { ctx.Join(ctx.Thread()) }},
+		} {
+			func() {
+				defer func() { panics[c.name] = recover() != nil }()
+				c.f()
+			}()
+		}
+		ctx.Compute(0) // no-op, must not yield or panic
+	})
+	th.Fund(10)
+	k.RunFor(1 * sim.Second)
+	for _, name := range []string{"negative compute", "negative sleep", "self join"} {
+		if !panics[name] {
+			t.Errorf("%s did not panic", name)
+		}
+	}
+	if !th.Exited() {
+		t.Error("validation thread did not exit cleanly")
+	}
+}

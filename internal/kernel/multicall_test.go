@@ -1,0 +1,157 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestMultiCallBasic(t *testing.T) {
+	k := newLotteryKernel(40)
+	defer k.Shutdown()
+	ports := make([]*Port, 3)
+	for i := range ports {
+		i := i
+		ports[i] = k.NewPort("svc")
+		server := k.Spawn("server", func(ctx *Ctx) {
+			for {
+				m := ports[i].Receive(ctx)
+				ctx.Compute(10 * sim.Millisecond)
+				ports[i].Reply(ctx, m, m.Req.(int)*10+i)
+			}
+		})
+		server.Fund(1)
+	}
+	var got []any
+	client := k.Spawn("client", func(ctx *Ctx) {
+		got = MultiCall(ctx, ports, []any{1, 2, 3})
+	})
+	client.Fund(600)
+	k.RunFor(5 * sim.Second)
+	if len(got) != 3 {
+		t.Fatalf("replies = %v", got)
+	}
+	want := []int{10, 21, 32}
+	for i, w := range want {
+		if got[i].(int) != w {
+			t.Errorf("reply[%d] = %v, want %d", i, got[i], w)
+		}
+	}
+}
+
+// TestMultiCallSplitsFunding: the client's 600 base tickets divide
+// into 200 per server while all three process in parallel (§3.1).
+func TestMultiCallSplitsFunding(t *testing.T) {
+	k := newLotteryKernel(41)
+	defer k.Shutdown()
+	ports := make([]*Port, 3)
+	values := make([]float64, 3)
+	for i := range ports {
+		i := i
+		ports[i] = k.NewPort("svc")
+		k.Spawn("server", func(ctx *Ctx) {
+			m := ports[i].Receive(ctx)
+			ctx.Compute(50 * sim.Millisecond)
+			values[i] = ctx.Thread().Holder().Value()
+			ports[i].Reply(ctx, m, nil)
+		})
+	}
+	// Servers are ticketless: let them reach Receive alone first.
+	k.RunFor(10 * sim.Millisecond)
+	client := k.Spawn("client", func(ctx *Ctx) {
+		MultiCall(ctx, ports, []any{0, 0, 0})
+	})
+	client.Fund(600)
+	hog := k.Spawn("hog", spinner(10*sim.Millisecond))
+	hog.Fund(600)
+	k.RunFor(10 * sim.Second)
+	for i, v := range values {
+		if math.Abs(v-200) > 1e-6 {
+			t.Errorf("server %d funding during request = %v, want 200", i, v)
+		}
+	}
+	// After all replies the transfers are gone: only hog's 600 are
+	// active (client exited).
+	if got := k.Tickets().Base().ActiveAmount(); got != 600 {
+		t.Errorf("final base active = %d, want 600", got)
+	}
+}
+
+func TestMultiCallQueuesAndCompletes(t *testing.T) {
+	// One server handles both of the client's split requests serially.
+	k := newLotteryKernel(42)
+	defer k.Shutdown()
+	p := k.NewPort("svc")
+	server := k.Spawn("server", func(ctx *Ctx) {
+		for {
+			m := p.Receive(ctx)
+			ctx.Compute(20 * sim.Millisecond)
+			p.Reply(ctx, m, "ok")
+		}
+	})
+	server.Fund(1)
+	done := false
+	client := k.Spawn("client", func(ctx *Ctx) {
+		out := MultiCall(ctx, []*Port{p, p}, []any{"a", "b"})
+		done = len(out) == 2 && out[0] == "ok" && out[1] == "ok"
+	})
+	client.Fund(100)
+	k.RunFor(5 * sim.Second)
+	if !done {
+		t.Error("MultiCall to a single busy server did not complete")
+	}
+}
+
+func TestMultiCallValidation(t *testing.T) {
+	k := newLotteryKernel(43)
+	defer k.Shutdown()
+	p := k.NewPort("svc")
+	results := make(map[string]bool)
+	client := k.Spawn("client", func(ctx *Ctx) {
+		func() {
+			defer func() { results["empty"] = recover() != nil }()
+			MultiCall(ctx, nil, nil)
+		}()
+		func() {
+			defer func() { results["mismatch"] = recover() != nil }()
+			MultiCall(ctx, []*Port{p}, []any{1, 2})
+		}()
+	})
+	client.Fund(10)
+	k.RunFor(1 * sim.Second)
+	for _, name := range []string{"empty", "mismatch"} {
+		if !results[name] {
+			t.Errorf("%s did not panic", name)
+		}
+	}
+}
+
+// TestMinimumFractionalTransfer: a client whose per-ticket amounts are
+// smaller than the fan-out still transfers at least 1 per ticket, so
+// servers are never handed a zero-valued (inactive-forever) transfer.
+func TestMinimumFractionalTransfer(t *testing.T) {
+	k := newLotteryKernel(44)
+	defer k.Shutdown()
+	ports := make([]*Port, 4)
+	for i := range ports {
+		i := i
+		ports[i] = k.NewPort("svc")
+		k.Spawn("server", func(ctx *Ctx) {
+			m := ports[i].Receive(ctx)
+			ctx.Compute(sim.Millisecond)
+			ports[i].Reply(ctx, m, nil)
+		})
+	}
+	k.RunFor(10 * sim.Millisecond)
+	done := false
+	client := k.Spawn("client", func(ctx *Ctx) {
+		MultiCall(ctx, ports, make([]any, 4))
+		done = true
+	})
+	client.Fund(2) // 2 tickets split 4 ways -> 1 each (minimum)
+	k.RunFor(5 * sim.Second)
+	if !done {
+		t.Error("MultiCall with tiny funding did not complete")
+	}
+}

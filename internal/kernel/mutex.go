@@ -1,0 +1,190 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/random"
+	"repro/internal/ticket"
+)
+
+// MutexMode selects how a mutex picks its next owner on release.
+type MutexMode int
+
+const (
+	// MutexFIFO wakes waiters in arrival order — the conventional
+	// baseline ("the standard mutex implementation" of §6.1).
+	MutexFIFO MutexMode = iota
+	// MutexLottery holds a lottery among the waiters weighted by
+	// their funding, and funds the owner with the waiters' aggregate
+	// funding through an inheritance ticket (§6.1). This is the
+	// lottery-scheduled mutex whose acquisition and waiting-time
+	// ratios Figure 11 reports, and it resolves priority inversion the
+	// way §3.1 describes.
+	MutexLottery
+)
+
+// Mutex is a kernel mutex. Lock/Unlock must be called from thread
+// bodies.
+type Mutex struct {
+	k    *Kernel
+	name string
+	mode MutexMode
+	src  random.Source
+
+	owner *Thread
+	wq    WaitQueue
+	// transfers holds, per blocked waiter, the tickets it issued to
+	// fund the mutex currency while it waits.
+	transfers map[*Thread][]*ticket.Ticket
+
+	// Lottery mode: the mutex currency is backed by waiter transfers;
+	// the inheritance ticket (the only ticket issued in the currency)
+	// funds whichever thread currently holds the mutex.
+	currency *ticket.Currency
+	inherit  *ticket.Ticket
+	park     *ticket.Holder
+
+	acquisitions uint64
+	contentions  uint64
+}
+
+// NewMutex creates a mutex. src is used only by MutexLottery (it may
+// be nil for MutexFIFO).
+func (k *Kernel) NewMutex(name string, mode MutexMode, src random.Source) *Mutex {
+	m := &Mutex{
+		k:         k,
+		name:      name,
+		mode:      mode,
+		src:       src,
+		transfers: make(map[*Thread][]*ticket.Ticket),
+	}
+	m.wq.name = "mutex:" + name
+	if mode == MutexLottery {
+		if src == nil {
+			panic("kernel: lottery mutex needs a random source")
+		}
+		k.nextObjID++
+		m.currency = k.tickets.MustCurrency(fmt.Sprintf("mutex:%s#%d", name, k.nextObjID), "kernel")
+		m.park = k.tickets.NewHolder("mutex:" + name + ":idle")
+		m.inherit = m.currency.MustIssue(1, m.park)
+	}
+	return m
+}
+
+// Acquisitions returns the total number of Lock acquisitions.
+func (m *Mutex) Acquisitions() uint64 { return m.acquisitions }
+
+// Contentions returns how many Lock calls had to wait.
+func (m *Mutex) Contentions() uint64 { return m.contentions }
+
+// Owner returns the current holder (nil when free).
+func (m *Mutex) Owner() *Thread { return m.owner }
+
+// Lock acquires the mutex, blocking while it is held. While blocked,
+// the calling thread funds the mutex currency with a copy of its own
+// funding, so in lottery mode the holder computes with its own funding
+// plus that of every waiter (§6.1: "a thread which acquires the mutex
+// executes with its own funding plus the funding of all waiting
+// threads").
+func (m *Mutex) Lock(ctx *Ctx) {
+	t := ctx.t
+	if m.owner == t {
+		panic("kernel: recursive Lock of mutex " + m.name)
+	}
+	if m.owner == nil {
+		m.grant(t)
+		return
+	}
+	m.contentions++
+	if m.mode == MutexLottery {
+		m.transfers[t] = mirrorFunding(t.holder, m.currency)
+	}
+	ctx.Block(&m.wq)
+	if m.owner != t {
+		panic("kernel: mutex " + m.name + " woke a non-owner waiter " + t.name)
+	}
+}
+
+// Unlock releases the mutex. Only the owner may call it. If threads
+// are waiting, the next owner is chosen per the mutex mode and
+// granted; the releasing thread keeps running ("The next thread to
+// execute may be the selected waiter or some other thread" — §6.1).
+func (m *Mutex) Unlock(ctx *Ctx) {
+	t := ctx.t
+	if m.owner != t {
+		panic(fmt.Sprintf("kernel: Unlock of mutex %s by non-owner %s", m.name, t.name))
+	}
+	if len(m.wq.waiters) == 0 {
+		m.owner = nil
+		if m.mode == MutexLottery {
+			if err := m.inherit.Retarget(m.park); err != nil {
+				panic("kernel: mutex inherit park failed: " + err.Error())
+			}
+		}
+		return
+	}
+	var next *Thread
+	switch m.mode {
+	case MutexFIFO:
+		next = m.wq.waiters[0]
+	case MutexLottery:
+		next = m.drawWaiter()
+	}
+	// The winner's transfer tickets are destroyed: it no longer funds
+	// the mutex, it owns it.
+	for _, tk := range m.transfers[next] {
+		tk.Destroy()
+	}
+	delete(m.transfers, next)
+	m.grant(next)
+	m.wq.WakeThread(next)
+}
+
+// grant installs t as owner and moves the inheritance ticket to it.
+func (m *Mutex) grant(t *Thread) {
+	m.owner = t
+	m.acquisitions++
+	if m.mode == MutexLottery {
+		if err := m.inherit.Retarget(t.holder); err != nil {
+			panic("kernel: mutex inherit transfer failed: " + err.Error())
+		}
+	}
+}
+
+// drawWaiter holds the release lottery among waiters, weighted by
+// each waiter's funding (valued as if it were competing; a blocked
+// thread's own tickets are deactivated). All-unfunded waiter sets
+// fall back to FIFO.
+func (m *Mutex) drawWaiter() *Thread {
+	return drawWaiterByFunding(m.src, m.wq.waiters)
+}
+
+// mirrorFunding issues, for each ticket currently backing h, a new
+// ticket of the same amount and denomination backing dst. This is the
+// transfer mechanism of §4.6/§6.1: the blocked client's rights flow to
+// the party working on its behalf, while the originals deactivate with
+// the blocked thread.
+func mirrorFunding(h *ticket.Holder, dst ticket.Node) []*ticket.Ticket {
+	return mirrorFundingFraction(h, dst, 1, 1)
+}
+
+// mirrorFundingFraction issues num/den of each backing ticket's amount
+// (minimum 1) — the §3.1 divided transfer.
+func mirrorFundingFraction(h *ticket.Holder, dst ticket.Node, num, den int) []*ticket.Ticket {
+	if num <= 0 || den <= 0 || num > den {
+		panic(fmt.Sprintf("kernel: bad transfer fraction %d/%d", num, den))
+	}
+	var out []*ticket.Ticket
+	for _, tk := range h.Backing() {
+		amount := tk.Amount() * ticket.Amount(num) / ticket.Amount(den)
+		if amount < 1 {
+			amount = 1
+		}
+		nt, err := tk.Currency().Issue(amount, dst)
+		if err != nil {
+			panic("kernel: ticket transfer failed: " + err.Error())
+		}
+		out = append(out, nt)
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/random"
+	"repro/internal/sim"
+	"repro/internal/ticket"
+)
+
+func TestMutexUncontended(t *testing.T) {
+	k := newLotteryKernel(20)
+	defer k.Shutdown()
+	m := k.NewMutex("m", MutexFIFO, nil)
+	done := false
+	th := k.Spawn("w", func(ctx *Ctx) {
+		m.Lock(ctx)
+		ctx.Compute(10 * sim.Millisecond)
+		m.Unlock(ctx)
+		done = true
+	})
+	th.Fund(10)
+	k.RunFor(1 * sim.Second)
+	if !done {
+		t.Fatal("thread never finished")
+	}
+	if m.Acquisitions() != 1 || m.Contentions() != 0 {
+		t.Errorf("acq=%d cont=%d", m.Acquisitions(), m.Contentions())
+	}
+	if m.Owner() != nil {
+		t.Error("mutex still owned after unlock")
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	k := newLotteryKernel(21)
+	defer k.Shutdown()
+	m := k.NewMutex("m", MutexFIFO, nil)
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 5; i++ {
+		th := k.Spawn("w", func(ctx *Ctx) {
+			for j := 0; j < 10; j++ {
+				m.Lock(ctx)
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				ctx.Compute(20 * sim.Millisecond)
+				inside--
+				m.Unlock(ctx)
+				ctx.Compute(5 * sim.Millisecond)
+			}
+		})
+		th.Fund(100)
+	}
+	k.RunFor(60 * sim.Second)
+	if maxInside != 1 {
+		t.Errorf("max threads inside critical section = %d", maxInside)
+	}
+	if m.Acquisitions() != 50 {
+		t.Errorf("acquisitions = %d, want 50", m.Acquisitions())
+	}
+}
+
+func TestMutexFIFOOrder(t *testing.T) {
+	k := newLotteryKernel(22)
+	defer k.Shutdown()
+	m := k.NewMutex("m", MutexFIFO, nil)
+	var order []int
+	// The holder sleeps while holding the mutex, so each waiter gets
+	// the CPU to itself and reaches Lock in spawn order —
+	// deterministic arrival.
+	hold := k.Spawn("holder", func(ctx *Ctx) {
+		m.Lock(ctx)
+		ctx.Sleep(500 * sim.Millisecond)
+		m.Unlock(ctx)
+	})
+	hold.Fund(1000)
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Engine().After(sim.Duration(i+1)*50*sim.Millisecond, func() {
+			th := k.Spawn("waiter", func(ctx *Ctx) {
+				m.Lock(ctx)
+				order = append(order, i)
+				m.Unlock(ctx)
+			})
+			th.Fund(10)
+		})
+	}
+	k.RunFor(5 * sim.Second)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("FIFO order = %v", order)
+	}
+}
+
+func TestMutexPanics(t *testing.T) {
+	k := newLotteryKernel(23)
+	defer k.Shutdown()
+	m := k.NewMutex("m", MutexFIFO, nil)
+	results := make(map[string]bool)
+	a := k.Spawn("a", func(ctx *Ctx) {
+		m.Lock(ctx)
+		func() {
+			defer func() { results["recursive"] = recover() != nil }()
+			m.Lock(ctx)
+		}()
+		m.Unlock(ctx)
+		func() {
+			defer func() { results["double unlock"] = recover() != nil }()
+			m.Unlock(ctx)
+		}()
+	})
+	a.Fund(10)
+	k.RunFor(1 * sim.Second)
+	for _, name := range []string{"recursive", "double unlock"} {
+		if !results[name] {
+			t.Errorf("%s did not panic", name)
+		}
+	}
+	// Lottery mutex without a source panics at creation.
+	defer func() {
+		if recover() == nil {
+			t.Error("lottery mutex with nil source did not panic")
+		}
+	}()
+	k.NewMutex("bad", MutexLottery, nil)
+}
+
+// TestLotteryMutexInheritance checks §6.1's funding flow: while a
+// poorly funded thread holds the mutex and richer threads wait, the
+// holder computes with its own funding plus the waiters' (via the
+// inheritance ticket), so it cannot be starved by unrelated CPU hogs
+// (priority inversion by funding is impossible).
+func TestLotteryMutexInheritance(t *testing.T) {
+	k := newLotteryKernel(24)
+	defer k.Shutdown()
+	m := k.NewMutex("m", MutexLottery, random.NewPM(99))
+
+	// The poor thread runs alone at t=0, so it deterministically
+	// acquires the mutex before the rich waiters and the hog exist.
+	var ownerValueWhileHolding float64
+	poor := k.Spawn("poor", func(ctx *Ctx) {
+		m.Lock(ctx)
+		ctx.Compute(5 * sim.Second)
+		ownerValueWhileHolding = ctx.Thread().Holder().Value()
+		ctx.Compute(200 * sim.Millisecond)
+		m.Unlock(ctx)
+	})
+	poor.Fund(10)
+	k.Engine().After(50*sim.Millisecond, func() {
+		for i := 0; i < 2; i++ {
+			rich := k.Spawn("rich", func(ctx *Ctx) {
+				m.Lock(ctx)
+				m.Unlock(ctx)
+			})
+			rich.Fund(1000)
+		}
+		// A CPU hog competing with everyone.
+		hog := k.Spawn("hog", spinner(10*sim.Millisecond))
+		hog.Fund(1000)
+	})
+	k.RunFor(60 * sim.Second)
+	// While holding: own 10 + 2x1000 transferred = 2010.
+	if math.Abs(ownerValueWhileHolding-2010) > 1 {
+		t.Errorf("owner funding while holding = %v, want ~2010", ownerValueWhileHolding)
+	}
+	if m.Owner() != nil {
+		t.Error("mutex still held at end")
+	}
+}
+
+// TestLotteryMutexProportionalAcquisitions is a miniature of Figure
+// 11: two groups of threads with 2:1 funding contend for one mutex;
+// the acquisition ratio should be near 2:1 and group-A waits shorter.
+func TestLotteryMutexProportionalAcquisitions(t *testing.T) {
+	k := newLotteryKernel(25)
+	defer k.Shutdown()
+	m := k.NewMutex("m", MutexLottery, random.NewPM(123))
+	acq := make([]int, 2)
+	var waits [2]sim.Duration
+	spawnGroup := func(group int, amount int64, n int) {
+		for i := 0; i < n; i++ {
+			th := k.Spawn("g", func(ctx *Ctx) {
+				for {
+					before := ctx.Now()
+					m.Lock(ctx)
+					waits[group] += ctx.Now().Sub(before)
+					acq[group]++
+					ctx.Compute(50 * sim.Millisecond)
+					m.Unlock(ctx)
+					// 73 ms (not 50) so hold+think does not align with
+					// the 100 ms quantum: the drift causes mid-hold
+					// preemptions and therefore real contention, as
+					// asynchronous clock interrupts do on the paper's
+					// hardware.
+					ctx.Compute(73 * sim.Millisecond)
+				}
+			})
+			th.Fund(ticket.Amount(amount))
+			_ = th
+		}
+	}
+	spawnGroup(0, 200, 4)
+	spawnGroup(1, 100, 4)
+	k.RunFor(240 * sim.Second)
+	if acq[0]+acq[1] == 0 {
+		t.Fatal("no acquisitions")
+	}
+	ratio := float64(acq[0]) / float64(acq[1])
+	if ratio < 1.3 || ratio > 2.7 {
+		t.Errorf("acquisition ratio = %v (%d:%d), want ~2", ratio, acq[0], acq[1])
+	}
+	meanWaitA := float64(waits[0]) / float64(acq[0])
+	meanWaitB := float64(waits[1]) / float64(acq[1])
+	if meanWaitA >= meanWaitB {
+		t.Errorf("better-funded group waits longer: %v vs %v", meanWaitA, meanWaitB)
+	}
+}

@@ -1,0 +1,225 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/ticket"
+)
+
+// Port is a synchronous RPC endpoint in the image of a Mach port with
+// the paper's modified mach_msg (§4.6): a client Call transfers a copy
+// of its ticket funding to the server side for the duration of the
+// request, so a server with no tickets of its own computes with its
+// clients' aggregate rights ("The server has no tickets of its own,
+// and relies completely upon the tickets transferred by clients" —
+// §5.3).
+type Port struct {
+	k    *Kernel
+	name string
+
+	queue     []*Msg // sent but not yet received
+	recvq     WaitQueue
+	delivered map[*Thread]*Msg
+	// park holds transfer tickets of queued messages: it is never
+	// active, so parked transfers stay deactivated until a server
+	// thread receives the message (§4.6: "the transfer ticket is
+	// placed on a list that is checked by the server thread when it
+	// attempts to receive the call message").
+	park *ticket.Holder
+
+	calls   uint64
+	replies uint64
+}
+
+// Msg is one in-flight RPC.
+type Msg struct {
+	// Req is the client's request payload.
+	Req any
+	// Reply is set by the server before Reply.
+	Reply any
+
+	client    *Thread
+	server    *Thread
+	transfers []*ticket.Ticket
+	replyq    WaitQueue
+	replied   bool
+	// group, when non-nil, marks this message as part of a MultiCall:
+	// the client wakes only when every message in the group has been
+	// replied to.
+	group *callGroup
+
+	sentAt     sim.Time
+	receivedAt sim.Time
+	repliedAt  sim.Time
+}
+
+// callGroup tracks an in-flight MultiCall.
+type callGroup struct {
+	remaining int
+	wq        WaitQueue
+}
+
+// Client returns the calling thread.
+func (m *Msg) Client() *Thread { return m.client }
+
+// QueueDelay returns how long the message waited before a server
+// received it.
+func (m *Msg) QueueDelay() sim.Duration { return m.receivedAt.Sub(m.sentAt) }
+
+// NewPort creates a port.
+func (k *Kernel) NewPort(name string) *Port {
+	return &Port{
+		k:         k,
+		name:      name,
+		delivered: make(map[*Thread]*Msg),
+		park:      k.tickets.NewHolder("port:" + name + ":parked"),
+	}
+}
+
+// Calls returns how many Call invocations the port has seen.
+func (p *Port) Calls() uint64 { return p.calls }
+
+// Replies returns how many replies have been sent.
+func (p *Port) Replies() uint64 { return p.replies }
+
+// Backlog returns the number of sent-but-unreceived messages.
+func (p *Port) Backlog() int { return len(p.queue) }
+
+// IdleServers returns the number of servers blocked in Receive.
+func (p *Port) IdleServers() int { return p.recvq.Len() }
+
+// Call performs a synchronous RPC: it sends req, transfers the
+// caller's funding to the receiving server thread, blocks until the
+// server replies, and returns the reply value.
+func (p *Port) Call(ctx *Ctx, req any) any {
+	t := ctx.t
+	p.calls++
+	m := &Msg{Req: req, client: t, sentAt: p.k.eng.Now()}
+	m.replyq.name = p.name + ".reply"
+	if w := p.popReceiver(); w != nil {
+		// A server thread is already waiting: fund it immediately
+		// (§4.6) and hand it the message.
+		m.server = w
+		m.receivedAt = p.k.eng.Now()
+		m.transfers = mirrorFunding(t.holder, w.holder)
+		p.delivered[w] = m
+		p.recvqWake(w)
+	} else {
+		m.transfers = mirrorFunding(t.holder, p.park)
+		p.queue = append(p.queue, m)
+	}
+	ctx.Block(&m.replyq)
+	if !m.replied {
+		panic("kernel: RPC client " + t.name + " woke without a reply")
+	}
+	return m.Reply
+}
+
+// Receive blocks until a message is available and returns it. The
+// receiving thread inherits the client's transferred funding until it
+// replies.
+func (p *Port) Receive(ctx *Ctx) *Msg {
+	t := ctx.t
+	if len(p.queue) > 0 {
+		m := p.queue[0]
+		p.queue = p.queue[1:]
+		m.server = t
+		m.receivedAt = p.k.eng.Now()
+		for _, tk := range m.transfers {
+			if err := tk.Retarget(t.holder); err != nil {
+				panic("kernel: RPC transfer retarget failed: " + err.Error())
+			}
+		}
+		return m
+	}
+	ctx.Block(&p.recvq)
+	m := p.delivered[t]
+	if m == nil {
+		panic("kernel: server " + t.name + " woke from Receive without a message")
+	}
+	delete(p.delivered, t)
+	return m
+}
+
+// Reply completes an RPC: the transferred tickets are destroyed and
+// the client wakes with the reply value.
+func (p *Port) Reply(ctx *Ctx, m *Msg, reply any) {
+	if m.server != ctx.t {
+		panic("kernel: Reply by thread that did not receive the message")
+	}
+	if m.replied {
+		panic("kernel: double Reply")
+	}
+	m.Reply = reply
+	m.replied = true
+	m.repliedAt = p.k.eng.Now()
+	p.replies++
+	for _, tk := range m.transfers {
+		tk.Destroy()
+	}
+	m.transfers = nil
+	if m.group != nil {
+		m.group.remaining--
+		if m.group.remaining == 0 {
+			m.group.wq.WakeAll()
+		}
+		return
+	}
+	m.replyq.WakeAll()
+}
+
+// MultiCall sends one request to each port simultaneously, dividing
+// the caller's ticket transfer evenly across the servers — §3.1:
+// "Clients also have the ability to divide ticket transfers across
+// multiple servers on which they may be waiting." It blocks until
+// every reply has arrived and returns the replies in port order.
+// ports and reqs must be non-empty and the same length.
+func MultiCall(ctx *Ctx, ports []*Port, reqs []any) []any {
+	if len(ports) == 0 || len(ports) != len(reqs) {
+		panic(fmt.Sprintf("kernel: MultiCall with %d ports and %d requests", len(ports), len(reqs)))
+	}
+	t := ctx.t
+	group := &callGroup{remaining: len(ports)}
+	group.wq.name = t.name + ".multicall"
+	msgs := make([]*Msg, len(ports))
+	n := len(ports)
+	for i, p := range ports {
+		p.calls++
+		m := &Msg{Req: reqs[i], client: t, sentAt: p.k.eng.Now(), group: group}
+		msgs[i] = m
+		if w := p.popReceiver(); w != nil {
+			m.server = w
+			m.receivedAt = p.k.eng.Now()
+			m.transfers = mirrorFundingFraction(t.holder, w.holder, 1, n)
+			p.delivered[w] = m
+			p.recvqWake(w)
+		} else {
+			m.transfers = mirrorFundingFraction(t.holder, p.park, 1, n)
+			p.queue = append(p.queue, m)
+		}
+	}
+	ctx.Block(&group.wq)
+	out := make([]any, len(msgs))
+	for i, m := range msgs {
+		if !m.replied {
+			panic("kernel: MultiCall woke with an unreplied message")
+		}
+		out[i] = m.Reply
+	}
+	return out
+}
+
+// popReceiver removes the longest-idle server from the receive queue
+// without waking it (the caller wakes it after attaching the message).
+func (p *Port) popReceiver() *Thread {
+	if len(p.recvq.waiters) == 0 {
+		return nil
+	}
+	w := p.recvq.waiters[0]
+	p.recvq.waiters = p.recvq.waiters[1:]
+	return w
+}
+
+// recvqWake wakes a server previously popped with popReceiver.
+func (p *Port) recvqWake(w *Thread) { p.k.wake(w) }

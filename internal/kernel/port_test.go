@@ -1,0 +1,266 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/ticket"
+)
+
+func TestPortBasicRPC(t *testing.T) {
+	k := newLotteryKernel(30)
+	defer k.Shutdown()
+	p := k.NewPort("svc")
+	server := k.Spawn("server", func(ctx *Ctx) {
+		for {
+			m := p.Receive(ctx)
+			ctx.Compute(10 * sim.Millisecond)
+			p.Reply(ctx, m, m.Req.(int)*2)
+		}
+	})
+	_ = server // server is deliberately unfunded: it runs on transfers
+	var got []int
+	client := k.Spawn("client", func(ctx *Ctx) {
+		for i := 1; i <= 3; i++ {
+			got = append(got, p.Call(ctx, i).(int))
+		}
+	})
+	client.Fund(100)
+	k.RunFor(5 * sim.Second)
+	if len(got) != 3 || got[0] != 2 || got[1] != 4 || got[2] != 6 {
+		t.Errorf("replies = %v", got)
+	}
+	if p.Calls() != 3 || p.Replies() != 3 {
+		t.Errorf("calls=%d replies=%d", p.Calls(), p.Replies())
+	}
+	if p.Backlog() != 0 {
+		t.Errorf("backlog = %d", p.Backlog())
+	}
+}
+
+// TestPortTicketTransfer verifies §4.6: during request processing the
+// (otherwise ticketless) server thread is funded with a copy of the
+// client's tickets; after the reply the funding is gone.
+func TestPortTicketTransfer(t *testing.T) {
+	k := newLotteryKernel(31)
+	defer k.Shutdown()
+	p := k.NewPort("svc")
+	var duringValue, afterValue float64
+	server := k.Spawn("server", func(ctx *Ctx) {
+		m := p.Receive(ctx)
+		ctx.Compute(10 * sim.Millisecond)
+		duringValue = ctx.Thread().Holder().Value()
+		p.Reply(ctx, m, nil)
+		ctx.Compute(10 * sim.Millisecond)
+		afterValue = ctx.Thread().Holder().Value()
+	})
+	_ = server
+	// The ticketless server runs alone at t=0 so it reaches its first
+	// Receive; clients arrive afterwards (the bootstrap the paper gets
+	// from the server's startup phase).
+	k.Engine().After(10*sim.Millisecond, func() {
+		client := k.Spawn("client", func(ctx *Ctx) {
+			p.Call(ctx, "q")
+		})
+		client.Fund(250)
+		// A competitor keeps the CPU contended so the transfer matters.
+		hog := k.Spawn("hog", spinner(10*sim.Millisecond))
+		hog.Fund(250)
+	})
+	k.RunFor(5 * sim.Second)
+	if math.Abs(duringValue-250) > 1e-6 {
+		t.Errorf("server funding during request = %v, want 250", duringValue)
+	}
+	if afterValue != 0 {
+		t.Errorf("server funding after reply = %v, want 0", afterValue)
+	}
+}
+
+// TestPortClientTicketsFollowBlocking: while the client is blocked in
+// Call its own tickets are inactive, so total active base funding is
+// conserved (no double counting of the transferred rights).
+func TestPortNoDoubleCounting(t *testing.T) {
+	k := newLotteryKernel(32)
+	defer k.Shutdown()
+	p := k.NewPort("svc")
+	var baseActiveDuring ticket.Amount
+	server := k.Spawn("server", func(ctx *Ctx) {
+		m := p.Receive(ctx)
+		ctx.Compute(10 * sim.Millisecond)
+		baseActiveDuring = ctx.Kernel().Tickets().Base().ActiveAmount()
+		p.Reply(ctx, m, nil)
+	})
+	_ = server
+	client := k.Spawn("client", func(ctx *Ctx) {
+		p.Call(ctx, "q")
+	})
+	client.Fund(300)
+	k.RunFor(5 * sim.Second)
+	// Only the transferred 300 should be active during processing (the
+	// client's own ticket is deactivated while it blocks).
+	if baseActiveDuring != 300 {
+		t.Errorf("base active during processing = %d, want 300", baseActiveDuring)
+	}
+}
+
+func TestPortQueuesWhenNoReceiver(t *testing.T) {
+	k := newLotteryKernel(33)
+	defer k.Shutdown()
+	p := k.NewPort("svc")
+	var replies int
+	for i := 0; i < 3; i++ {
+		c := k.Spawn("client", func(ctx *Ctx) {
+			p.Call(ctx, 1)
+			replies++
+		})
+		c.Fund(100)
+	}
+	// Server starts late: messages must queue.
+	k.RunFor(500 * sim.Millisecond)
+	if p.Backlog() != 3 {
+		t.Fatalf("backlog = %d, want 3", p.Backlog())
+	}
+	server := k.Spawn("server", func(ctx *Ctx) {
+		for {
+			m := p.Receive(ctx)
+			ctx.Compute(5 * sim.Millisecond)
+			p.Reply(ctx, m, nil)
+		}
+	})
+	_ = server
+	k.RunFor(5 * sim.Second)
+	if replies != 3 {
+		t.Errorf("replies = %d, want 3", replies)
+	}
+}
+
+func TestPortMultipleWorkers(t *testing.T) {
+	k := newLotteryKernel(34)
+	defer k.Shutdown()
+	p := k.NewPort("svc")
+	served := make(map[int]int) // worker -> count
+	for w := 0; w < 3; w++ {
+		w := w
+		worker := k.Spawn("worker", func(ctx *Ctx) {
+			for {
+				m := p.Receive(ctx)
+				ctx.Compute(30 * sim.Millisecond)
+				served[w]++
+				p.Reply(ctx, m, nil)
+			}
+		})
+		// Minimal bootstrap funding so every worker can reach its
+		// first Receive against funded competition (§4.6 notes that a
+		// server with fewer threads than messages "should be directly
+		// funded").
+		worker.Fund(1)
+	}
+	done := 0
+	for c := 0; c < 4; c++ {
+		cl := k.Spawn("client", func(ctx *Ctx) {
+			for i := 0; i < 25; i++ {
+				p.Call(ctx, i)
+				done++
+			}
+		})
+		cl.Fund(100)
+	}
+	k.RunFor(60 * sim.Second)
+	if done != 100 {
+		t.Fatalf("completed calls = %d, want 100", done)
+	}
+	total := 0
+	busyWorkers := 0
+	for _, n := range served {
+		total += n
+		if n > 0 {
+			busyWorkers++
+		}
+	}
+	if total != 100 {
+		t.Errorf("served total = %d", total)
+	}
+	if busyWorkers < 2 {
+		t.Errorf("only %d workers served requests", busyWorkers)
+	}
+}
+
+// TestPortProportionalService is a miniature Figure 7: two clients
+// with a 3:1 allocation drive a ticketless single-worker server; the
+// better-funded client completes about 3x the queries.
+func TestPortProportionalService(t *testing.T) {
+	k := newLotteryKernel(35)
+	defer k.Shutdown()
+	p := k.NewPort("db")
+	// One worker per client: with a single FIFO worker the queue
+	// discipline, not CPU funding, would set the service ratio. The
+	// paper's server is multithreaded for the same reason.
+	for w := 0; w < 2; w++ {
+		worker := k.Spawn("server", func(ctx *Ctx) {
+			for {
+				m := p.Receive(ctx)
+				ctx.Compute(100 * sim.Millisecond) // query cost
+				p.Reply(ctx, m, nil)
+			}
+		})
+		worker.Fund(1) // bootstrap to the first Receive
+	}
+	counts := make([]int, 2)
+	mk := func(idx int, amount ticket.Amount) {
+		th := k.Spawn("client", func(ctx *Ctx) {
+			for {
+				p.Call(ctx, idx)
+				counts[idx]++
+			}
+		})
+		th.Fund(amount)
+	}
+	mk(0, 300)
+	mk(1, 100)
+	k.RunFor(200 * sim.Second)
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 2.2 || ratio > 4.0 {
+		t.Errorf("throughput ratio = %v (%v), want ~3", ratio, counts)
+	}
+}
+
+func TestPortReplyValidation(t *testing.T) {
+	k := newLotteryKernel(36)
+	defer k.Shutdown()
+	p := k.NewPort("svc")
+	results := make(map[string]bool)
+	var msg *Msg
+	server := k.Spawn("server", func(ctx *Ctx) {
+		msg = p.Receive(ctx)
+		p.Reply(ctx, msg, nil)
+		func() {
+			defer func() { results["double reply"] = recover() != nil }()
+			p.Reply(ctx, msg, nil)
+		}()
+	})
+	_ = server
+	intruder := k.Spawn("intruder", func(ctx *Ctx) {
+		ctx.Sleep(200 * sim.Millisecond)
+		if msg != nil {
+			func() {
+				defer func() { results["foreign reply"] = recover() != nil }()
+				p.Reply(ctx, msg, nil)
+			}()
+		}
+	})
+	intruder.Fund(10)
+	client := k.Spawn("client", func(ctx *Ctx) {
+		p.Call(ctx, 1)
+	})
+	client.Fund(100)
+	k.RunFor(2 * sim.Second)
+	for _, name := range []string{"double reply", "foreign reply"} {
+		if !results[name] {
+			t.Errorf("%s did not panic", name)
+		}
+	}
+}

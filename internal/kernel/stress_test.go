@@ -1,0 +1,209 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/random"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/ticket"
+)
+
+// stressOutcome captures everything a stress run measures, for
+// determinism comparison.
+type stressOutcome struct {
+	cpu       []sim.Duration
+	decisions uint64
+	idle      sim.Duration
+	mutexAcqs uint64
+	rpcDone   uint64
+	now       sim.Time
+}
+
+// runStress builds a randomized machine — compute/sleep/yield loops,
+// mutex users, RPC clients and servers — runs it, and returns the
+// outcome. Everything derives from seed.
+func runStress(t testing.TB, seed uint32, dur sim.Duration) stressOutcome {
+	t.Helper()
+	k := New(Config{Policy: sched.NewLottery(random.NewPM(seed), true)})
+	defer k.Shutdown()
+	rng := random.NewPM(seed + 1)
+
+	mtxA := k.NewMutex("a", MutexFIFO, nil)
+	mtxB := k.NewMutex("b", MutexLottery, random.NewPM(seed+2))
+	port := k.NewPort("svc")
+
+	var rpcDone uint64
+	inside := map[*Mutex]int{}
+
+	// Two ticketless servers, bootstrapped with 1 ticket each.
+	for i := 0; i < 2; i++ {
+		s := k.Spawn("server", func(ctx *Ctx) {
+			for {
+				m := port.Receive(ctx)
+				ctx.Compute(sim.Duration(1+m.Req.(int)) * sim.Millisecond)
+				port.Reply(ctx, m, nil)
+			}
+		})
+		s.Fund(1)
+	}
+
+	const nThreads = 12
+	threads := make([]*Thread, nThreads)
+	for i := 0; i < nThreads; i++ {
+		tseed := rng.Uint31()
+		ops := 30 + rng.Intn(50)
+		th := k.Spawn(fmt.Sprintf("w%d", i), func(ctx *Ctx) {
+			r := random.NewPM(tseed)
+			for op := 0; op < ops; op++ {
+				switch r.Intn(6) {
+				case 0, 1:
+					ctx.Compute(sim.Duration(1+r.Intn(150)) * sim.Millisecond)
+				case 2:
+					ctx.Sleep(sim.Duration(1+r.Intn(100)) * sim.Millisecond)
+				case 3:
+					ctx.Yield()
+				case 4:
+					m := mtxA
+					if r.Intn(2) == 0 {
+						m = mtxB
+					}
+					m.Lock(ctx)
+					inside[m]++
+					if inside[m] != 1 {
+						panic("mutual exclusion violated")
+					}
+					ctx.Compute(sim.Duration(1+r.Intn(30)) * sim.Millisecond)
+					inside[m]--
+					m.Unlock(ctx)
+				case 5:
+					port.Call(ctx, r.Intn(20))
+					rpcDone++
+				}
+			}
+		})
+		th.Fund(ticket.Amount(1 + rng.Intn(500)))
+		threads[i] = th
+	}
+	k.RunUntil(sim.Time(dur))
+
+	out := stressOutcome{
+		decisions: k.Decisions(),
+		idle:      k.IdleTime(),
+		mutexAcqs: mtxA.Acquisitions() + mtxB.Acquisitions(),
+		rpcDone:   rpcDone,
+		now:       k.Now(),
+	}
+	for _, th := range threads {
+		out.cpu = append(out.cpu, th.CPUTime())
+	}
+	return out
+}
+
+// TestStressInvariants drives random machines across seeds and checks
+// the global accounting invariants.
+func TestStressInvariants(t *testing.T) {
+	for seed := uint32(1); seed <= 8; seed++ {
+		out := runStress(t, seed, 60*sim.Second)
+		// CPU conservation: thread CPU + server CPU + idle == elapsed.
+		var total sim.Duration
+		for _, c := range out.cpu {
+			total += c
+		}
+		// Server CPU isn't in out.cpu; bound instead: total <= elapsed,
+		// and idle + total <= elapsed.
+		if total > sim.Duration(out.now) {
+			t.Fatalf("seed %d: thread CPU %v exceeds elapsed %v", seed, total, out.now)
+		}
+		if out.idle+total > sim.Duration(out.now) {
+			t.Fatalf("seed %d: idle %v + cpu %v exceeds elapsed %v", seed, out.idle, total, out.now)
+		}
+		if out.decisions == 0 {
+			t.Fatalf("seed %d: no scheduling decisions", seed)
+		}
+		if out.mutexAcqs == 0 || out.rpcDone == 0 {
+			t.Fatalf("seed %d: degenerate run (mutex %d, rpc %d)", seed, out.mutexAcqs, out.rpcDone)
+		}
+	}
+}
+
+// TestStressDeterminism: identical seeds produce bit-identical
+// machines, including mutex and RPC interleavings.
+func TestStressDeterminism(t *testing.T) {
+	a := runStress(t, 99, 45*sim.Second)
+	b := runStress(t, 99, 45*sim.Second)
+	if a.decisions != b.decisions || a.idle != b.idle ||
+		a.mutexAcqs != b.mutexAcqs || a.rpcDone != b.rpcDone {
+		t.Fatalf("runs diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.cpu {
+		if a.cpu[i] != b.cpu[i] {
+			t.Fatalf("thread %d cpu diverged: %v vs %v", i, a.cpu[i], b.cpu[i])
+		}
+	}
+	c := runStress(t, 100, 45*sim.Second)
+	same := c.decisions == a.decisions && c.mutexAcqs == a.mutexAcqs && c.rpcDone == a.rpcDone
+	if same {
+		t.Error("different seeds produced identical outcomes (suspicious)")
+	}
+}
+
+// TestStressShutdownLeaksNothing: after Shutdown, every coroutine
+// goroutine exits even with threads parked in mutexes, ports, sleeps,
+// and the run queue.
+func TestStressShutdownLeaksNothing(t *testing.T) {
+	for seed := uint32(20); seed < 24; seed++ {
+		runStress(t, seed, 20*sim.Second) // Shutdown via defer
+	}
+	sim.WaitAllCoroutines()
+}
+
+// TestStressTicketConservation: at any stopping point, the base
+// currency's active amount equals the active funding reachable from
+// live holders — i.e. transfers never duplicate or leak base rights.
+func TestStressTicketConservation(t *testing.T) {
+	k := New(Config{Policy: sched.NewLottery(random.NewPM(7), true)})
+	defer k.Shutdown()
+	port := k.NewPort("svc")
+	server := k.Spawn("server", func(ctx *Ctx) {
+		for {
+			m := port.Receive(ctx)
+			ctx.Compute(5 * sim.Millisecond)
+			port.Reply(ctx, m, nil)
+		}
+	})
+	server.Fund(1)
+	m := k.NewMutex("m", MutexLottery, random.NewPM(8))
+	for i := 0; i < 6; i++ {
+		th := k.Spawn("w", func(ctx *Ctx) {
+			for {
+				m.Lock(ctx)
+				ctx.Compute(13 * sim.Millisecond)
+				m.Unlock(ctx)
+				port.Call(ctx, nil)
+				ctx.Compute(29 * sim.Millisecond)
+			}
+		})
+		th.Fund(100)
+	}
+	// Total issued base rights: 1 (server) + 600 (workers). Transfers
+	// mirror amounts while their originals are deactivated, so at any
+	// instant the ACTIVE base amount can never exceed what a fully
+	// active system would show, and never exceeds total issued plus
+	// in-flight mirror copies. Strongest cheap invariant: active <=
+	// total issued in base, which includes mirrors.
+	for step := 0; step < 50; step++ {
+		k.RunFor(200 * sim.Millisecond)
+		base := k.Tickets().Base()
+		if base.ActiveAmount() > base.TotalIssued() {
+			t.Fatalf("active %d > issued %d", base.ActiveAmount(), base.TotalIssued())
+		}
+		// No unbounded mirror leak: issued stays within the original
+		// 601 plus one full mirror set per blocked client (6 workers
+		// x 100 + slack).
+		if base.TotalIssued() > 601+700 {
+			t.Fatalf("issued base amount leaked: %d", base.TotalIssued())
+		}
+	}
+}

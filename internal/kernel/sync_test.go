@@ -1,0 +1,257 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/random"
+	"repro/internal/sim"
+	"repro/internal/ticket"
+)
+
+func TestSemaphoreBoundsConcurrency(t *testing.T) {
+	k := newLotteryKernel(70)
+	defer k.Shutdown()
+	sem := k.NewSemaphore("pool", 3, MutexFIFO, nil)
+	inside, maxInside := 0, 0
+	for i := 0; i < 8; i++ {
+		th := k.Spawn("w", func(ctx *Ctx) {
+			for j := 0; j < 20; j++ {
+				sem.Acquire(ctx)
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				ctx.Compute(17 * sim.Millisecond)
+				inside--
+				sem.Release()
+				ctx.Compute(5 * sim.Millisecond)
+			}
+		})
+		th.Fund(100)
+	}
+	k.RunFor(60 * sim.Second)
+	if maxInside != 3 {
+		t.Errorf("max concurrent holders = %d, want 3", maxInside)
+	}
+	if sem.Acquisitions() != 160 {
+		t.Errorf("acquisitions = %d, want 160", sem.Acquisitions())
+	}
+	if sem.Units() != 3 || sem.Waiters() != 0 {
+		t.Errorf("final units=%d waiters=%d", sem.Units(), sem.Waiters())
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	k := newLotteryKernel(71)
+	defer k.Shutdown()
+	sem := k.NewSemaphore("s", 1, MutexFIFO, nil)
+	if !sem.TryAcquire() {
+		t.Fatal("TryAcquire on free semaphore failed")
+	}
+	if sem.TryAcquire() {
+		t.Fatal("TryAcquire on empty semaphore succeeded")
+	}
+	sem.Release()
+	if sem.Units() != 1 {
+		t.Errorf("units = %d", sem.Units())
+	}
+}
+
+func TestSemaphoreLotteryFavorsFunding(t *testing.T) {
+	// One unit, 6 contenders in two 2:1-funded groups: acquisition
+	// counts track funding like the fig11 mutex.
+	k := newLotteryKernel(72)
+	defer k.Shutdown()
+	sem := k.NewSemaphore("s", 1, MutexLottery, random.NewPM(500))
+	acq := [2]int{}
+	for g := 0; g < 2; g++ {
+		g := g
+		amount := []int64{200, 100}[g]
+		for i := 0; i < 3; i++ {
+			th := k.Spawn("w", func(ctx *Ctx) {
+				for {
+					sem.Acquire(ctx)
+					acq[g]++
+					ctx.Compute(50 * sim.Millisecond)
+					sem.Release()
+					ctx.Compute(73 * sim.Millisecond) // drift vs quantum
+				}
+			})
+			th.Fund(ticket.Amount(amount))
+		}
+	}
+	k.RunFor(240 * sim.Second)
+	if acq[0] == 0 || acq[1] == 0 {
+		t.Fatalf("acquisitions: %v", acq)
+	}
+	ratio := float64(acq[0]) / float64(acq[1])
+	if ratio < 1.25 || ratio > 2.75 {
+		t.Errorf("acquisition ratio = %v (%v), want ~2", ratio, acq)
+	}
+}
+
+func TestSemaphoreValidation(t *testing.T) {
+	k := newLotteryKernel(73)
+	defer k.Shutdown()
+	for name, f := range map[string]func(){
+		"zero units":     func() { k.NewSemaphore("x", 0, MutexFIFO, nil) },
+		"lottery no src": func() { k.NewSemaphore("x", 1, MutexLottery, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCondProducerConsumer(t *testing.T) {
+	k := newLotteryKernel(74)
+	defer k.Shutdown()
+	m := k.NewMutex("m", MutexFIFO, nil)
+	notEmpty := k.NewCond("notEmpty", m, MutexFIFO, nil)
+	var queue []int
+	var consumed []int
+	consumer := k.Spawn("consumer", func(ctx *Ctx) {
+		for len(consumed) < 10 {
+			m.Lock(ctx)
+			for len(queue) == 0 {
+				notEmpty.Wait(ctx)
+			}
+			v := queue[0]
+			queue = queue[1:]
+			consumed = append(consumed, v)
+			m.Unlock(ctx)
+		}
+	})
+	consumer.Fund(100)
+	producer := k.Spawn("producer", func(ctx *Ctx) {
+		for i := 0; i < 10; i++ {
+			ctx.Compute(20 * sim.Millisecond)
+			m.Lock(ctx)
+			queue = append(queue, i)
+			notEmpty.Signal()
+			m.Unlock(ctx)
+		}
+	})
+	producer.Fund(100)
+	k.RunFor(10 * sim.Second)
+	if len(consumed) != 10 {
+		t.Fatalf("consumed %d items", len(consumed))
+	}
+	for i, v := range consumed {
+		if v != i {
+			t.Errorf("consumed[%d] = %d (order broken)", i, v)
+		}
+	}
+	if notEmpty.Waiters() != 0 {
+		t.Errorf("stale cond waiters: %d", notEmpty.Waiters())
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	k := newLotteryKernel(75)
+	defer k.Shutdown()
+	m := k.NewMutex("m", MutexFIFO, nil)
+	cond := k.NewCond("gate", m, MutexFIFO, nil)
+	open := false
+	passed := 0
+	for i := 0; i < 5; i++ {
+		th := k.Spawn("w", func(ctx *Ctx) {
+			m.Lock(ctx)
+			for !open {
+				cond.Wait(ctx)
+			}
+			passed++
+			m.Unlock(ctx)
+		})
+		th.Fund(100)
+	}
+	opener := k.Spawn("opener", func(ctx *Ctx) {
+		ctx.Sleep(500 * sim.Millisecond)
+		m.Lock(ctx)
+		open = true
+		cond.Broadcast()
+		m.Unlock(ctx)
+	})
+	opener.Fund(100)
+	k.RunFor(10 * sim.Second)
+	if passed != 5 {
+		t.Errorf("passed = %d, want 5", passed)
+	}
+}
+
+func TestCondWaitWithoutMutexPanics(t *testing.T) {
+	k := newLotteryKernel(76)
+	defer k.Shutdown()
+	m := k.NewMutex("m", MutexFIFO, nil)
+	cond := k.NewCond("c", m, MutexFIFO, nil)
+	panicked := false
+	th := k.Spawn("w", func(ctx *Ctx) {
+		defer func() { panicked = recover() != nil }()
+		cond.Wait(ctx)
+	})
+	th.Fund(10)
+	k.RunFor(1 * sim.Second)
+	if !panicked {
+		t.Error("Wait without mutex did not panic")
+	}
+	// Validation of constructors.
+	for name, f := range map[string]func(){
+		"nil mutex":      func() { k.NewCond("x", nil, MutexFIFO, nil) },
+		"lottery no src": func() { k.NewCond("x", m, MutexLottery, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestCondSignalLotteryFavorsFunding: the signaled waiter is drawn by
+// funding in lottery mode.
+func TestCondSignalLotteryFavorsFunding(t *testing.T) {
+	k := newLotteryKernel(77)
+	defer k.Shutdown()
+	m := k.NewMutex("m", MutexFIFO, nil)
+	cond := k.NewCond("c", m, MutexLottery, random.NewPM(600))
+	winners := map[string]int{}
+	mkWaiter := func(name string, amount int64) {
+		th := k.Spawn(name, func(ctx *Ctx) {
+			for {
+				m.Lock(ctx)
+				cond.Wait(ctx)
+				winners[name]++
+				m.Unlock(ctx)
+			}
+		})
+		th.Fund(ticket.Amount(amount))
+	}
+	mkWaiter("rich", 900)
+	mkWaiter("poor", 100)
+	signaler := k.Spawn("signaler", func(ctx *Ctx) {
+		for {
+			ctx.Sleep(20 * sim.Millisecond)
+			m.Lock(ctx)
+			cond.Signal()
+			m.Unlock(ctx)
+		}
+	})
+	signaler.Fund(100)
+	k.RunFor(120 * sim.Second)
+	total := winners["rich"] + winners["poor"]
+	if total == 0 {
+		t.Fatal("no signals delivered")
+	}
+	frac := float64(winners["rich"]) / float64(total)
+	if frac < 0.8 {
+		t.Errorf("rich waiter won %.0f%% of signals, want ~90%%", frac*100)
+	}
+}

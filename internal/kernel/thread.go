@@ -1,0 +1,270 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/ticket"
+	"repro/internal/trace"
+)
+
+// State is a thread's lifecycle state.
+type State int
+
+// Thread states.
+const (
+	StateRunnable State = iota
+	StateRunning
+	StateSleeping
+	StateBlocked
+	StateExited
+)
+
+func (s State) String() string {
+	switch s {
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateSleeping:
+		return "sleeping"
+	case StateBlocked:
+		return "blocked"
+	case StateExited:
+		return "exited"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// syscall kinds the coroutine body can yield.
+type syscallKind int
+
+const (
+	scCompute syscallKind = iota
+	scSleep
+	scBlock
+	scYield
+)
+
+type syscall struct {
+	kind syscallKind
+	dur  sim.Duration
+	wq   *WaitQueue
+}
+
+// Thread is a simulated kernel thread. Its funding is the ticket
+// Holder; the sched.Client mirrors it into the scheduling policy.
+type Thread struct {
+	k      *Kernel
+	id     int
+	name   string
+	holder *ticket.Holder
+	client *sched.Client
+	co     *sim.Coroutine[*syscall]
+	state  State
+
+	remaining     sim.Duration // unconsumed CPU of the current burst
+	quantumBudget sim.Duration
+	sliceEvent    *sim.Event
+	sleepEvent    *sim.Event
+	waitingOn     *WaitQueue
+	cpu           int // processor currently running this thread; -1 if none
+
+	cpuTime    sim.Duration
+	dispatches uint64
+	startTime  sim.Time
+	exitTime   sim.Time
+
+	done WaitQueue
+}
+
+// Spawn creates a thread running body and makes it runnable
+// immediately. The thread starts with no tickets; fund it through
+// Holder() (typically before the first RunUntil, or at any event
+// boundary).
+func (k *Kernel) Spawn(name string, body func(*Ctx)) *Thread {
+	if k.shutdown {
+		panic("kernel: Spawn after Shutdown")
+	}
+	k.nextTID++
+	t := &Thread{
+		k:         k,
+		id:        k.nextTID,
+		name:      name,
+		holder:    k.tickets.NewHolder(name),
+		state:     StateRunnable,
+		startTime: k.eng.Now(),
+		cpu:       -1,
+	}
+	t.done.name = name + ".done"
+	t.client = &sched.Client{
+		ID:     t.id,
+		Name:   name,
+		Weight: t.holder.Value,
+	}
+	ctx := &Ctx{t: t}
+	t.co = sim.NewCoroutine[*syscall](func(yield sim.Yielder[*syscall]) {
+		ctx.yield = yield
+		body(ctx)
+	})
+	k.threads = append(k.threads, t)
+	k.byClient[t.client] = t
+	t.holder.SetActive(true)
+	k.policy.Add(t.client, k.eng.Now())
+	k.emit(trace.KindWake, t) // joining the run queue for the first time
+	k.maybeDispatch()
+	return t
+}
+
+// ID returns the thread id.
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread name.
+func (t *Thread) Name() string { return t.name }
+
+// State returns the thread's current state.
+func (t *Thread) State() State { return t.state }
+
+// Holder returns the thread's ticket holder — the node tickets back
+// to fund the thread.
+func (t *Thread) Holder() *ticket.Holder { return t.holder }
+
+// Client returns the thread's scheduling client (for policy-specific
+// knobs such as TimeSharing.SetNice or Client.Priority).
+func (t *Thread) Client() *sched.Client { return t.client }
+
+// CPUTime returns the virtual CPU time the thread has consumed.
+func (t *Thread) CPUTime() sim.Duration { return t.cpuTime }
+
+// Dispatches returns how many quanta the thread has been granted.
+func (t *Thread) Dispatches() uint64 { return t.dispatches }
+
+// Exited reports whether the thread body has returned.
+func (t *Thread) Exited() bool { return t.state == StateExited }
+
+// Fund issues a base-currency ticket of the given amount backing the
+// thread — the common one-line setup in experiments.
+func (t *Thread) Fund(amount ticket.Amount) *ticket.Ticket {
+	return t.k.tickets.Base().MustIssue(amount, t.holder)
+}
+
+// FundFrom issues a ticket in the given currency backing the thread.
+func (t *Thread) FundFrom(c *ticket.Currency, amount ticket.Amount) *ticket.Ticket {
+	return c.MustIssue(amount, t.holder)
+}
+
+// Ctx is the face of the kernel inside a thread body. All methods
+// must be called only from that body (they yield the coroutine).
+type Ctx struct {
+	t     *Thread
+	yield sim.Yielder[*syscall]
+}
+
+// Kernel returns the owning kernel.
+func (c *Ctx) Kernel() *Kernel { return c.t.k }
+
+// Thread returns the current thread.
+func (c *Ctx) Thread() *Thread { return c.t }
+
+// Now returns the current virtual time.
+func (c *Ctx) Now() sim.Time { return c.t.k.eng.Now() }
+
+// Compute consumes d of virtual CPU time, competing for the processor
+// under the kernel's scheduling policy (the call returns after the
+// thread has actually been allocated that much CPU, however many
+// quanta that takes). Compute(0) is a no-op; negative durations
+// panic.
+func (c *Ctx) Compute(d sim.Duration) {
+	if d < 0 {
+		panic("kernel: Compute with negative duration")
+	}
+	if d == 0 {
+		return
+	}
+	c.yield(&syscall{kind: scCompute, dur: d})
+}
+
+// Sleep blocks the thread for d of virtual time without consuming
+// CPU. The thread's tickets deactivate while it sleeps.
+func (c *Ctx) Sleep(d sim.Duration) {
+	if d < 0 {
+		panic("kernel: Sleep with negative duration")
+	}
+	c.yield(&syscall{kind: scSleep, dur: d})
+}
+
+// Yield gives up the remainder of the current quantum but leaves the
+// thread runnable.
+func (c *Ctx) Yield() {
+	c.yield(&syscall{kind: scYield})
+}
+
+// Block parks the thread on wq until another thread or event wakes it
+// with WakeOne/WakeAll/WakeThread.
+func (c *Ctx) Block(wq *WaitQueue) {
+	c.yield(&syscall{kind: scBlock, wq: wq})
+}
+
+// Join blocks until other has exited. Joining self panics.
+func (c *Ctx) Join(other *Thread) {
+	if other == c.t {
+		panic("kernel: thread joining itself")
+	}
+	if other.Exited() {
+		return
+	}
+	c.Block(&other.done)
+}
+
+// WaitQueue is a FIFO queue of blocked threads.
+type WaitQueue struct {
+	name    string
+	waiters []*Thread
+}
+
+// NewWaitQueue creates a named wait queue.
+func (k *Kernel) NewWaitQueue(name string) *WaitQueue {
+	return &WaitQueue{name: name}
+}
+
+// Len returns the number of blocked threads.
+func (wq *WaitQueue) Len() int { return len(wq.waiters) }
+
+// Waiters returns the blocked threads in FIFO order.
+func (wq *WaitQueue) Waiters() []*Thread { return append([]*Thread(nil), wq.waiters...) }
+
+// WakeOne wakes the longest-waiting thread, returning it (nil when
+// the queue is empty).
+func (wq *WaitQueue) WakeOne() *Thread {
+	if len(wq.waiters) == 0 {
+		return nil
+	}
+	t := wq.waiters[0]
+	wq.waiters = wq.waiters[1:]
+	t.k.wake(t)
+	return t
+}
+
+// WakeAll wakes every blocked thread in FIFO order.
+func (wq *WaitQueue) WakeAll() {
+	ws := wq.waiters
+	wq.waiters = nil
+	for _, t := range ws {
+		t.k.wake(t)
+	}
+}
+
+// WakeThread wakes a specific blocked thread (the lottery mutex picks
+// winners this way). It panics if the thread is not on the queue.
+func (wq *WaitQueue) WakeThread(t *Thread) {
+	for i, x := range wq.waiters {
+		if x == t {
+			wq.waiters = append(wq.waiters[:i], wq.waiters[i+1:]...)
+			t.k.wake(t)
+			return
+		}
+	}
+	panic(fmt.Sprintf("kernel: WakeThread(%s) not on queue %s", t.name, wq.name))
+}

@@ -1,0 +1,88 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestKernelTracing(t *testing.T) {
+	k := newLotteryKernel(60)
+	defer k.Shutdown()
+	rec := trace.NewRecorder(0)
+	k.SetTracer(rec)
+
+	worker := k.Spawn("worker", func(ctx *Ctx) {
+		ctx.Compute(250 * sim.Millisecond) // 2 preemptions at 100 ms quantum
+		ctx.Sleep(50 * sim.Millisecond)
+		ctx.Compute(10 * sim.Millisecond)
+	})
+	worker.Fund(100)
+	k.RunFor(1 * sim.Second)
+
+	counts := rec.Counts()
+	if counts[trace.KindWake] != 2 { // spawn + sleep wake
+		t.Errorf("wakes = %d, want 2", counts[trace.KindWake])
+	}
+	if counts[trace.KindPreempt] != 2 {
+		t.Errorf("preempts = %d, want 2", counts[trace.KindPreempt])
+	}
+	if counts[trace.KindBlock] != 1 { // the sleep
+		t.Errorf("blocks = %d, want 1", counts[trace.KindBlock])
+	}
+	if counts[trace.KindExit] != 1 {
+		t.Errorf("exits = %d, want 1", counts[trace.KindExit])
+	}
+	if counts[trace.KindDispatch] == 0 {
+		t.Error("no dispatches recorded")
+	}
+	// Alone on the CPU: wake-to-dispatch latency is zero.
+	lats := rec.Latencies()
+	if len(lats) != 1 || lats[0].Max != 0 {
+		t.Errorf("latencies = %+v", lats)
+	}
+	// Disabling tracing stops recording.
+	k.SetTracer(nil)
+	before := rec.Total()
+	idle := k.Spawn("idle", func(ctx *Ctx) {})
+	_ = idle
+	k.RunFor(100 * sim.Millisecond)
+	if rec.Total() != before {
+		t.Error("events recorded after SetTracer(nil)")
+	}
+}
+
+func TestKernelTraceLatencyUnderContention(t *testing.T) {
+	k := newLotteryKernel(61)
+	defer k.Shutdown()
+	rec := trace.NewRecorder(0)
+	k.SetTracer(rec)
+	// A hog keeps the CPU busy; a sleeper wakes repeatedly and must
+	// wait for a lottery win, so its dispatch latency is non-zero.
+	hog := k.Spawn("hog", spinner(10*sim.Millisecond))
+	hog.Fund(900)
+	sleeper := k.Spawn("sleeper", func(ctx *Ctx) {
+		for {
+			ctx.Sleep(100 * sim.Millisecond)
+			ctx.Compute(1 * sim.Millisecond)
+		}
+	})
+	sleeper.Fund(100)
+	k.RunFor(30 * sim.Second)
+	var sleeperLat trace.Latency
+	for _, l := range rec.Latencies() {
+		if l.Thread == "sleeper" {
+			sleeperLat = l
+		}
+	}
+	if sleeperLat.N == 0 {
+		t.Fatal("no sleeper latency samples")
+	}
+	if sleeperLat.Mean == 0 {
+		t.Error("sleeper dispatch latency zero under contention")
+	}
+	if sleeperLat.Mean > 2*sim.Second {
+		t.Errorf("sleeper latency %v implausibly large", sleeperLat.Mean)
+	}
+}

@@ -1,0 +1,64 @@
+package lottery_test
+
+import (
+	"fmt"
+
+	"repro/internal/lottery"
+	"repro/internal/random"
+)
+
+// ExampleList_Draw reproduces the paper's Figure 1: five clients with
+// 10, 2, 5, 1, 2 tickets; the winning value 15 selects the third
+// client.
+func ExampleList_Draw() {
+	l := lottery.NewList[string](false)
+	for i, w := range []float64{10, 2, 5, 1, 2} {
+		l.Add(fmt.Sprintf("client-%d", i+1), w)
+	}
+	// A scripted source that makes the uniform draw land on 15 of 20.
+	src := &random.Scripted{Values: []uint32{uint32(15.0/20*(1<<31)) + 2}}
+	winner, _ := l.Draw(src)
+	fmt.Println("total tickets:", l.Total())
+	fmt.Println("winner:", winner)
+	// Output:
+	// total tickets: 20
+	// winner: client-3
+}
+
+// ExampleTree shows the O(log n) partial-sum tree: same interface,
+// same probabilities, logarithmic draws.
+func ExampleTree() {
+	tr := lottery.NewTree[string](4)
+	gold := tr.Add("gold", 75)
+	tr.Add("silver", 25)
+	fmt.Println("total:", tr.Total())
+	tr.Update(gold, 50)
+	fmt.Println("after update:", tr.Total())
+
+	src := random.NewPM(7)
+	wins := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		w, _ := tr.Draw(src)
+		wins[w]++
+	}
+	fmt.Println("gold won more than silver:", wins["gold"] > wins["silver"])
+	// Output:
+	// total: 100
+	// after update: 75
+	// gold won more than silver: true
+}
+
+// ExampleDrawInverse shows the §6.2 inverse lottery: the loser
+// relinquishes a resource unit, and better-funded clients lose less
+// often.
+func ExampleDrawInverse() {
+	weights := []float64{3, 2, 1}
+	for i := range weights {
+		fmt.Printf("client %d loss probability: %.3f\n",
+			i, lottery.InverseProbability(weights, i))
+	}
+	// Output:
+	// client 0 loss probability: 0.250
+	// client 1 loss probability: 0.333
+	// client 2 loss probability: 0.417
+}

@@ -1,0 +1,80 @@
+package lottery
+
+import (
+	"fmt"
+
+	"repro/internal/random"
+)
+
+// DrawInverse holds an inverse lottery (§6.2): it selects a "loser"
+// that must relinquish a unit of a resource it holds. A client with t
+// of the T total tickets is selected with probability
+//
+//	(1/(n-1)) * (1 - t/T)
+//
+// so the more tickets a client holds, the less likely it is to lose a
+// unit. The implementation draws a normal lottery over the
+// complemented weights (T - t_i), whose total is (n-1)*T; dividing
+// through recovers exactly the paper's expression, including its
+// 1/(n-1) normalization term.
+//
+// It returns the index of the losing client. An error is returned for
+// fewer than two clients (the normalization is undefined at n == 1 —
+// with a single client there is no choice to make), for negative
+// weights, or when all weights are zero AND the complement total is
+// zero (only possible at n == 1, so in practice: all-equal weights of
+// any value are fine; every client then loses with probability 1/n...
+// see the n-equal case in the tests).
+func DrawInverse(src random.Source, weights []float64) (int, error) {
+	n := len(weights)
+	if n < 2 {
+		return 0, fmt.Errorf("lottery: inverse lottery needs >= 2 clients, got %d", n)
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			return 0, fmt.Errorf("lottery: negative weight %v at %d", w, i)
+		}
+		total += w
+	}
+	// Complement weights: c_i = total - w_i, summing to (n-1)*total.
+	// With total == 0 every client is equally (un)funded; fall back to
+	// a uniform choice, which is the limit of the formula.
+	compTotal := float64(n-1) * total
+	if compTotal <= 0 {
+		return int(Uniform(src, float64(n))), nil
+	}
+	winning := Uniform(src, compTotal)
+	var sum float64
+	for i, w := range weights {
+		sum += total - w
+		if winning < sum {
+			return i, nil
+		}
+	}
+	// Round-off fallback: last client with a positive complement.
+	for i := n - 1; i >= 0; i-- {
+		if total-weights[i] > 0 {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("lottery: inverse lottery degenerate weights %v", weights)
+}
+
+// InverseProbability returns the closed-form selection probability of
+// client i in an inverse lottery over the given weights: the value
+// experiments compare observed victim frequencies against.
+func InverseProbability(weights []float64, i int) float64 {
+	n := len(weights)
+	if n < 2 {
+		return 0
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return 1 / float64(n)
+	}
+	return (1 - weights[i]/total) / float64(n-1)
+}

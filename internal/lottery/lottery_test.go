@@ -1,0 +1,309 @@
+package lottery
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/random"
+)
+
+// valueFor returns a Park-Miller raw value that makes Uniform(src,
+// total) come out just above want.
+func valueFor(want, total float64) uint32 {
+	u := want / total
+	return uint32(u*float64(pmMax+1)) + 2
+}
+
+// TestListLotteryPaperExample reproduces Figure 1: five clients
+// holding 10, 2, 5, 1, 2 tickets (total 20); the winning value 15
+// falls in the third client's [12, 17) interval.
+func TestListLotteryPaperExample(t *testing.T) {
+	l := NewList[string](false)
+	weights := []float64{10, 2, 5, 1, 2}
+	names := []string{"c1", "c2", "c3", "c4", "c5"}
+	for i, w := range weights {
+		l.Add(names[i], w)
+	}
+	if l.Total() != 20 {
+		t.Fatalf("total = %v, want 20", l.Total())
+	}
+	src := &random.Scripted{Values: []uint32{valueFor(15, 20)}}
+	winner, ok := l.Draw(src)
+	if !ok || winner != "c3" {
+		t.Fatalf("winner = %q ok=%v, want c3 (the paper's third client)", winner, ok)
+	}
+	// The search should have examined exactly 3 clients.
+	if n := l.SearchLength(15); n != 3 {
+		t.Errorf("search length = %d, want 3", n)
+	}
+}
+
+func TestListDrawEmptyAndZero(t *testing.T) {
+	l := NewList[int](false)
+	if _, ok := l.Draw(random.NewPM(1)); ok {
+		t.Error("draw on empty list succeeded")
+	}
+	l.Add(1, 0)
+	if _, ok := l.Draw(random.NewPM(1)); ok {
+		t.Error("draw with zero total succeeded")
+	}
+}
+
+func TestListZeroWeightNeverWins(t *testing.T) {
+	l := NewList[string](false)
+	l.Add("zero", 0)
+	l.Add("heavy", 10)
+	src := random.NewPM(5)
+	for i := 0; i < 1000; i++ {
+		w, ok := l.Draw(src)
+		if !ok || w != "heavy" {
+			t.Fatalf("draw %d: got %q ok=%v", i, w, ok)
+		}
+	}
+}
+
+func TestListUpdateRemove(t *testing.T) {
+	l := NewList[string](false)
+	a := l.Add("a", 5)
+	b := l.Add("b", 3)
+	if l.Total() != 8 {
+		t.Fatalf("total = %v", l.Total())
+	}
+	l.Update(a, 1)
+	if l.Total() != 4 || a.Weight() != 1 {
+		t.Fatalf("after update total=%v w=%v", l.Total(), a.Weight())
+	}
+	l.Remove(b)
+	if l.Total() != 1 || l.Len() != 1 {
+		t.Fatalf("after remove total=%v len=%d", l.Total(), l.Len())
+	}
+	l.Remove(a)
+	if l.Total() != 0 || l.Len() != 0 {
+		t.Fatalf("after removing all total=%v len=%d", l.Total(), l.Len())
+	}
+}
+
+func TestListHandleMisusePanics(t *testing.T) {
+	l := NewList[int](false)
+	it := l.Add(1, 2)
+	l.Remove(it)
+	for name, f := range map[string]func(){
+		"double remove":  func() { l.Remove(it) },
+		"update removed": func() { l.Update(it, 3) },
+		"negative add":   func() { l.Add(2, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMoveToFront(t *testing.T) {
+	l := NewList[string](true)
+	l.Add("a", 1)
+	l.Add("b", 1)
+	l.Add("c", 98)
+	// Force a win by "c": winning value 50 lands in c's interval.
+	src := &random.Scripted{Values: []uint32{valueFor(50, 100)}}
+	w, ok := l.Draw(src)
+	if !ok || w != "c" {
+		t.Fatalf("winner = %q", w)
+	}
+	order := l.Values()
+	if order[0] != "c" || order[1] != "a" || order[2] != "b" {
+		t.Errorf("order after MTF = %v, want [c a b]", order)
+	}
+	// Handles must survive the reordering.
+	if l.Total() != 100 {
+		t.Errorf("total = %v", l.Total())
+	}
+}
+
+func TestMoveToFrontShortensSearches(t *testing.T) {
+	// One heavy client at the tail: without MTF every draw walks the
+	// whole list; with MTF the second draw finds it at the head.
+	build := func(mtf bool) *List[int] {
+		l := NewList[int](mtf)
+		for i := 0; i < 99; i++ {
+			l.Add(i, 1)
+		}
+		l.Add(99, 901) // 90% of the weight, at the tail
+		return l
+	}
+	src := &random.Scripted{Values: []uint32{valueFor(500, 1000)}}
+	mtf := build(true)
+	if w, ok := mtf.Draw(src); !ok || w != 99 {
+		t.Fatalf("priming draw winner = %v, want heavy client 99", w)
+	}
+	// After the heavy client's first win it sits at the front.
+	if mtf.Values()[0] != 99 {
+		t.Fatal("winner not moved to front")
+	}
+	if n := mtf.SearchLength(500); n != 1 {
+		t.Errorf("MTF search length = %d, want 1", n)
+	}
+	plain := build(false)
+	if n := plain.SearchLength(500); n != 100 {
+		t.Errorf("plain search length = %d, want 100", n)
+	}
+}
+
+// distributionCheck draws many times and verifies each client's win
+// frequency is within a loose chi-square bound of its weight share.
+func distributionCheck(t *testing.T, draw func(src random.Source) (int, bool), weights []float64, draws int) {
+	t.Helper()
+	src := random.NewPM(20240705)
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		w, ok := draw(src)
+		if !ok {
+			t.Fatal("draw failed")
+		}
+		counts[w]++
+	}
+	var chi2 float64
+	df := 0
+	for i, w := range weights {
+		if w == 0 {
+			if counts[i] != 0 {
+				t.Fatalf("zero-weight client %d won %d times", i, counts[i])
+			}
+			continue
+		}
+		e := float64(draws) * w / total
+		d := float64(counts[i]) - e
+		chi2 += d * d / e
+		df++
+	}
+	df--
+	// Wilson-Hilferty 99.9th percentile approximation.
+	crit := func(df int) float64 {
+		d := float64(df)
+		tt := 1 - 2/(9*d) + 3.0902*math.Sqrt(2/(9*d))
+		return d * tt * tt * tt
+	}(df)
+	if chi2 > crit {
+		t.Errorf("chi2 = %v > %v (df=%d): counts %v for weights %v",
+			chi2, crit, df, counts, weights)
+	}
+}
+
+func TestListDistribution(t *testing.T) {
+	weights := []float64{10, 2, 5, 1, 2, 0, 30}
+	l := NewList[int](false)
+	for i, w := range weights {
+		l.Add(i, w)
+	}
+	distributionCheck(t, l.Draw, weights, 50000)
+}
+
+func TestListDistributionWithMTF(t *testing.T) {
+	// Move-to-front reorders the list but must not change win
+	// probabilities.
+	weights := []float64{1, 2, 3, 4, 40}
+	l := NewList[int](true)
+	for i, w := range weights {
+		l.Add(i, w)
+	}
+	distributionCheck(t, l.Draw, weights, 50000)
+}
+
+func TestListFractionalWeights(t *testing.T) {
+	// Currency conversion yields fractional base values (e.g. 1000/3);
+	// proportions must still hold.
+	weights := []float64{1000.0 / 3, 2000.0 / 3}
+	l := NewList[int](false)
+	for i, w := range weights {
+		l.Add(i, w)
+	}
+	distributionCheck(t, l.Draw, weights, 30000)
+}
+
+// TestLotteryBinomial verifies the §2 analytics: a client with p = t/T
+// wins n·p lotteries on average with variance n·p·(1-p).
+func TestLotteryBinomial(t *testing.T) {
+	const nLotteries = 20000
+	const trials = 50
+	p := 0.25 // client holds 1 of 4 tickets
+	l := NewList[int](false)
+	l.Add(0, 1)
+	l.Add(1, 3)
+	src := random.NewPM(7)
+	winCounts := make([]float64, trials)
+	for tr := 0; tr < trials; tr++ {
+		wins := 0
+		for i := 0; i < nLotteries; i++ {
+			if w, _ := l.Draw(src); w == 0 {
+				wins++
+			}
+		}
+		winCounts[tr] = float64(wins)
+	}
+	var mean float64
+	for _, w := range winCounts {
+		mean += w
+	}
+	mean /= trials
+	wantMean := nLotteries * p
+	if math.Abs(mean-wantMean)/wantMean > 0.02 {
+		t.Errorf("mean wins = %v, want ~%v", mean, wantMean)
+	}
+	var varSum float64
+	for _, w := range winCounts {
+		d := w - mean
+		varSum += d * d
+	}
+	variance := varSum / trials
+	wantVar := nLotteries * p * (1 - p)
+	if math.Abs(variance-wantVar)/wantVar > 0.5 {
+		t.Errorf("variance = %v, want ~%v (binomial)", variance, wantVar)
+	}
+}
+
+// TestGeometricFirstWin verifies E[lotteries until first win] = 1/p.
+func TestGeometricFirstWin(t *testing.T) {
+	p := 0.1
+	l := NewList[int](false)
+	l.Add(0, 1)
+	l.Add(1, 9)
+	src := random.NewPM(99)
+	const trials = 5000
+	var totalWait float64
+	for tr := 0; tr < trials; tr++ {
+		n := 0
+		for {
+			n++
+			if w, _ := l.Draw(src); w == 0 {
+				break
+			}
+		}
+		totalWait += float64(n)
+	}
+	mean := totalWait / trials
+	want := 1 / p
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("mean first-win wait = %v, want ~%v", mean, want)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	src := random.NewPM(3)
+	for i := 0; i < 10000; i++ {
+		u := Uniform(src, 20)
+		if u < 0 || u >= 20 {
+			t.Fatalf("Uniform = %v out of [0,20)", u)
+		}
+	}
+	if Uniform(src, 0) != 0 || Uniform(src, -5) != 0 {
+		t.Error("Uniform with non-positive total should be 0")
+	}
+}

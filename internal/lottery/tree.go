@@ -1,0 +1,185 @@
+package lottery
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/random"
+)
+
+// Tree is the paper's "tree of partial ticket sums" (§4.2): draws,
+// weight updates, insertions, and removals are all O(log n), which is
+// what makes lottery scheduling practical for large client counts
+// ("a tree-based lottery need only generate a random number and
+// perform lg n additions and comparisons to select a winner" — §5.6).
+//
+// The implementation is an implicit complete binary tree stored in a
+// slice: leaves hold client weights, internal nodes hold subtree sums.
+// Freed leaves are recycled through a free list so long-running
+// simulations do not grow without bound.
+type Tree[T any] struct {
+	cap    int       // number of leaf slots (power of two)
+	sums   []float64 // 1-based implicit tree; len == 2*cap
+	values []T       // per-leaf client values
+	used   []bool
+	free   []int // recycled leaf slots
+	next   int   // high-water mark: slots >= next have never been used
+	n      int   // live entries
+}
+
+// TreeItem is a handle to an entry in a Tree.
+type TreeItem struct {
+	slot int
+}
+
+// NewTree returns an empty tree lottery with capacity for at least
+// hint clients (it grows on demand).
+func NewTree[T any](hint int) *Tree[T] {
+	c := 1
+	for c < hint || c < 2 {
+		c *= 2
+	}
+	t := &Tree[T]{cap: c}
+	t.sums = make([]float64, 2*c)
+	t.values = make([]T, c)
+	t.used = make([]bool, c)
+	return t
+}
+
+// Len returns the number of live entries.
+func (t *Tree[T]) Len() int { return t.n }
+
+// Total returns the sum of all weights (the root partial sum).
+func (t *Tree[T]) Total() float64 { return t.sums[1] }
+
+// Add inserts a client with the given weight and returns its handle.
+func (t *Tree[T]) Add(v T, weight float64) TreeItem {
+	if weight < 0 {
+		panic(fmt.Sprintf("lottery: negative weight %v", weight))
+	}
+	slot := t.allocSlot()
+	t.values[slot] = v
+	t.used[slot] = true
+	t.n++
+	t.setLeaf(slot, weight)
+	return TreeItem{slot: slot}
+}
+
+// Update changes an entry's weight.
+func (t *Tree[T]) Update(it TreeItem, weight float64) {
+	if weight < 0 {
+		panic(fmt.Sprintf("lottery: negative weight %v", weight))
+	}
+	if !t.used[it.slot] {
+		panic("lottery: Update of removed tree item")
+	}
+	t.setLeaf(it.slot, weight)
+}
+
+// Weight returns the entry's current weight.
+func (t *Tree[T]) Weight(it TreeItem) float64 {
+	return t.sums[t.cap+it.slot]
+}
+
+// Value returns the client stored in the entry.
+func (t *Tree[T]) Value(it TreeItem) T { return t.values[it.slot] }
+
+// Remove deletes an entry and recycles its slot.
+func (t *Tree[T]) Remove(it TreeItem) {
+	if !t.used[it.slot] {
+		panic("lottery: Remove of removed tree item")
+	}
+	t.setLeaf(it.slot, 0)
+	t.used[it.slot] = false
+	var zero T
+	t.values[it.slot] = zero
+	t.free = append(t.free, it.slot)
+	t.n--
+}
+
+// Draw holds one lottery over the tree: it descends from the root,
+// going left when the winning value falls inside the left subtree's
+// partial sum and right (subtracting that sum) otherwise.
+func (t *Tree[T]) Draw(src random.Source) (T, bool) {
+	var zero T
+	total := t.sums[1]
+	if total <= 0 || t.n == 0 {
+		return zero, false
+	}
+	winning := Uniform(src, total)
+	i := 1
+	for i < t.cap {
+		left := 2 * i
+		if winning < t.sums[left] {
+			i = left
+		} else {
+			winning -= t.sums[left]
+			i = left + 1
+		}
+	}
+	slot := i - t.cap
+	if !t.used[slot] || t.sums[i] <= 0 {
+		// Float drift steered the descent into an empty leaf (the
+		// winning value landed in accumulated round-off past the last
+		// real interval). Fall back to the heaviest live leaf; the
+		// event has probability ~0 and fairness is unaffected.
+		slot = t.heaviestLeaf()
+		if slot < 0 {
+			return zero, false
+		}
+	}
+	return t.values[slot], true
+}
+
+func (t *Tree[T]) heaviestLeaf() int {
+	best, bestW := -1, math.Inf(-1)
+	for s := 0; s < t.cap; s++ {
+		if t.used[s] && t.sums[t.cap+s] > bestW {
+			best, bestW = s, t.sums[t.cap+s]
+		}
+	}
+	if bestW <= 0 {
+		return -1
+	}
+	return best
+}
+
+// setLeaf writes a leaf weight and repairs the partial sums on the
+// root path. Sums are recomputed from children (rather than adjusted
+// by a delta) so float error cannot accumulate across updates.
+func (t *Tree[T]) setLeaf(slot int, weight float64) {
+	i := t.cap + slot
+	t.sums[i] = weight
+	for i >>= 1; i >= 1; i >>= 1 {
+		t.sums[i] = t.sums[2*i] + t.sums[2*i+1]
+	}
+}
+
+func (t *Tree[T]) allocSlot() int {
+	if n := len(t.free); n > 0 {
+		slot := t.free[n-1]
+		t.free = t.free[:n-1]
+		return slot
+	}
+	if t.next < t.cap {
+		slot := t.next
+		t.next++
+		return slot
+	}
+	// Grow: double the capacity and rebuild.
+	old := *t
+	t.cap *= 2
+	t.sums = make([]float64, 2*t.cap)
+	t.values = make([]T, t.cap)
+	t.used = make([]bool, t.cap)
+	copy(t.values, old.values)
+	copy(t.used, old.used)
+	for s := 0; s < old.cap; s++ {
+		t.sums[t.cap+s] = old.sums[old.cap+s]
+	}
+	for i := t.cap - 1; i >= 1; i-- {
+		t.sums[i] = t.sums[2*i] + t.sums[2*i+1]
+	}
+	t.next = old.cap + 1
+	return old.cap
+}

@@ -1,0 +1,280 @@
+package lottery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/random"
+)
+
+func TestTreeBasics(t *testing.T) {
+	tr := NewTree[string](4)
+	a := tr.Add("a", 10)
+	b := tr.Add("b", 2)
+	c := tr.Add("c", 5)
+	if tr.Len() != 3 || tr.Total() != 17 {
+		t.Fatalf("len=%d total=%v", tr.Len(), tr.Total())
+	}
+	if tr.Value(a) != "a" || tr.Weight(b) != 2 {
+		t.Fatal("handle accessors wrong")
+	}
+	tr.Update(c, 8)
+	if tr.Total() != 20 {
+		t.Fatalf("total after update = %v", tr.Total())
+	}
+	tr.Remove(b)
+	if tr.Len() != 2 || tr.Total() != 18 {
+		t.Fatalf("after remove len=%d total=%v", tr.Len(), tr.Total())
+	}
+}
+
+func TestTreePaperExample(t *testing.T) {
+	// Same Figure 1 draw as the list test: winning value 15 over
+	// weights 10,2,5,1,2 picks the third client.
+	tr := NewTree[string](8)
+	for i, w := range []float64{10, 2, 5, 1, 2} {
+		tr.Add([]string{"c1", "c2", "c3", "c4", "c5"}[i], w)
+	}
+	src := &random.Scripted{Values: []uint32{valueFor(15, 20)}}
+	winner, ok := tr.Draw(src)
+	if !ok || winner != "c3" {
+		t.Fatalf("winner = %q ok=%v, want c3", winner, ok)
+	}
+}
+
+func TestTreeDrawEmpty(t *testing.T) {
+	tr := NewTree[int](2)
+	if _, ok := tr.Draw(random.NewPM(1)); ok {
+		t.Error("draw on empty tree succeeded")
+	}
+	it := tr.Add(1, 0)
+	if _, ok := tr.Draw(random.NewPM(1)); ok {
+		t.Error("draw with zero total succeeded")
+	}
+	tr.Remove(it)
+	if _, ok := tr.Draw(random.NewPM(1)); ok {
+		t.Error("draw after removing all succeeded")
+	}
+}
+
+func TestTreeGrowth(t *testing.T) {
+	tr := NewTree[int](2)
+	items := make([]TreeItem, 0, 100)
+	want := 0.0
+	for i := 0; i < 100; i++ {
+		items = append(items, tr.Add(i, float64(i+1)))
+		want += float64(i + 1)
+	}
+	if tr.Len() != 100 || math.Abs(tr.Total()-want) > 1e-9 {
+		t.Fatalf("after growth len=%d total=%v want %v", tr.Len(), tr.Total(), want)
+	}
+	for i, it := range items {
+		if tr.Value(it) != i || tr.Weight(it) != float64(i+1) {
+			t.Fatalf("item %d corrupted by growth: value=%v weight=%v", i, tr.Value(it), tr.Weight(it))
+		}
+	}
+}
+
+func TestTreeSlotRecycling(t *testing.T) {
+	tr := NewTree[int](4)
+	a := tr.Add(1, 1)
+	b := tr.Add(2, 2)
+	tr.Remove(a)
+	c := tr.Add(3, 3) // should reuse a's slot
+	if tr.Len() != 2 || tr.Total() != 5 {
+		t.Fatalf("len=%d total=%v", tr.Len(), tr.Total())
+	}
+	if tr.Value(b) != 2 || tr.Value(c) != 3 {
+		t.Fatal("values corrupted by recycling")
+	}
+	// Interleave removal and growth.
+	tr.Remove(b)
+	for i := 0; i < 20; i++ {
+		tr.Add(100+i, 1)
+	}
+	if tr.Len() != 21 {
+		t.Fatalf("len = %d, want 21", tr.Len())
+	}
+}
+
+func TestTreeHandleMisusePanics(t *testing.T) {
+	tr := NewTree[int](2)
+	it := tr.Add(1, 1)
+	tr.Remove(it)
+	for name, f := range map[string]func(){
+		"double remove":  func() { tr.Remove(it) },
+		"update removed": func() { tr.Update(it, 2) },
+		"negative add":   func() { tr.Add(2, -3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTreeDistribution(t *testing.T) {
+	weights := []float64{10, 2, 5, 1, 2, 0, 30}
+	tr := NewTree[int](8)
+	for i, w := range weights {
+		tr.Add(i, w)
+	}
+	distributionCheck(t, tr.Draw, weights, 50000)
+}
+
+// TestTreeMatchesListDraws: with identical entry order and the same
+// random stream, tree and list lotteries pick the same winners (they
+// partition [0, total) into the same intervals).
+func TestTreeMatchesListDraws(t *testing.T) {
+	weights := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	l := NewList[int](false)
+	tr := NewTree[int](16)
+	for i, w := range weights {
+		l.Add(i, w)
+		tr.Add(i, w)
+	}
+	srcA := random.NewPM(31415)
+	srcB := random.NewPM(31415)
+	for i := 0; i < 20000; i++ {
+		wa, oka := l.Draw(srcA)
+		wb, okb := tr.Draw(srcB)
+		if !oka || !okb || wa != wb {
+			t.Fatalf("draw %d: list %v/%v tree %v/%v", i, wa, oka, wb, okb)
+		}
+	}
+}
+
+// TestTreeTotalInvariant is a property test: after arbitrary add,
+// update, and remove sequences, the root sum equals the sum of live
+// leaf weights.
+func TestTreeTotalInvariant(t *testing.T) {
+	f := func(seed uint32, opsRaw []byte) bool {
+		rng := random.NewPM(seed)
+		tr := NewTree[int](2)
+		var live []TreeItem
+		var want float64
+		for _, op := range opsRaw {
+			switch op % 3 {
+			case 0: // add
+				w := float64(rng.Intn(100))
+				live = append(live, tr.Add(int(op), w))
+				want += w
+			case 1: // update
+				if len(live) > 0 {
+					it := live[rng.Intn(len(live))]
+					w := float64(rng.Intn(100))
+					want += w - tr.Weight(it)
+					tr.Update(it, w)
+				}
+			case 2: // remove
+				if len(live) > 0 {
+					i := rng.Intn(len(live))
+					want -= tr.Weight(live[i])
+					tr.Remove(live[i])
+					live = append(live[:i], live[i+1:]...)
+				}
+			}
+			if math.Abs(tr.Total()-want) > 1e-6 {
+				return false
+			}
+			if tr.Len() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverseLottery(t *testing.T) {
+	weights := []float64{3, 2, 1}
+	src := random.NewPM(2718)
+	const draws = 60000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		v, err := DrawInverse(src, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[v]++
+	}
+	// Closed form: p_i = (1 - w_i/6) / 2 -> 1/4, 1/3, 5/12.
+	for i := range weights {
+		want := InverseProbability(weights, i)
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("client %d victim rate = %v, want %v", i, got, want)
+		}
+	}
+	// The better-funded client loses less often.
+	if !(counts[0] < counts[1] && counts[1] < counts[2]) {
+		t.Errorf("victim ordering wrong: %v", counts)
+	}
+}
+
+func TestInverseProbabilitiesSumToOne(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 20 {
+			raw = raw[:20]
+		}
+		weights := make([]float64, len(raw))
+		for i, r := range raw {
+			weights[i] = float64(r)
+		}
+		var sum float64
+		for i := range weights {
+			sum += InverseProbability(weights, i)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverseLotteryErrors(t *testing.T) {
+	src := random.NewPM(1)
+	if _, err := DrawInverse(src, []float64{1}); err == nil {
+		t.Error("single client accepted")
+	}
+	if _, err := DrawInverse(src, nil); err == nil {
+		t.Error("no clients accepted")
+	}
+	if _, err := DrawInverse(src, []float64{1, -2}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestInverseLotteryAllZero(t *testing.T) {
+	src := random.NewPM(77)
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		v, err := DrawInverse(src, []float64{0, 0, 0, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		got := float64(c) / 40000
+		if math.Abs(got-0.25) > 0.01 {
+			t.Errorf("client %d rate = %v, want 0.25 (uniform fallback)", i, got)
+		}
+	}
+	if InverseProbability([]float64{0, 0}, 0) != 0.5 {
+		t.Error("zero-total InverseProbability wrong")
+	}
+	if InverseProbability([]float64{1}, 0) != 0 {
+		t.Error("n=1 InverseProbability should be 0")
+	}
+}

@@ -1,0 +1,197 @@
+package mem
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/random"
+)
+
+func TestFreeFramesFirst(t *testing.T) {
+	m := NewManager(10, random.NewPM(1))
+	c := m.Register("a", 100)
+	for i := 0; i < 10; i++ {
+		if v := m.Fault(c); v != nil {
+			t.Fatalf("fault %d evicted %s with free frames", i, v.Name())
+		}
+	}
+	if m.Free() != 0 || c.Resident() != 10 {
+		t.Errorf("free=%d resident=%d", m.Free(), c.Resident())
+	}
+	if m.Evictions() != 0 || m.Faults() != 10 {
+		t.Errorf("evictions=%d faults=%d", m.Evictions(), m.Faults())
+	}
+}
+
+func TestConservation(t *testing.T) {
+	m := NewManager(50, random.NewPM(2))
+	a := m.Register("a", 300)
+	b := m.Register("b", 100)
+	rng := random.NewPM(99)
+	clients := []*Client{a, b}
+	for i := 0; i < 2000; i++ {
+		c := clients[rng.Intn(2)]
+		switch rng.Intn(3) {
+		case 0, 1:
+			m.Fault(c)
+		case 2:
+			if c.Resident() > 0 {
+				m.Release(c, 1+rng.Intn(c.Resident()))
+			}
+		}
+		if a.Resident()+b.Resident()+m.Free() != 50 {
+			t.Fatalf("frame conservation violated at step %d: %d+%d+%d",
+				i, a.Resident(), b.Resident(), m.Free())
+		}
+		if a.Resident() < 0 || b.Resident() < 0 || m.Free() < 0 {
+			t.Fatalf("negative accounting at step %d", i)
+		}
+	}
+}
+
+// TestInverseLotterySteadyStateResidency drives continuous
+// replacement with a 3:1 ticket allocation. Under replacement the
+// inverse lottery is a negative-feedback loop: a client whose victim
+// probability exceeds its fault share shrinks, lowering its (1-t/T) *
+// m/M weight, until every client's eviction rate equals its fault
+// rate. The funding therefore shows up in the steady-state residency:
+// weights equalize when (1-3/4)*mA == (1-1/4)*mB, i.e. mA/mB == 3 —
+// memory is space-shared in proportion to tickets, which is exactly
+// the §6.2 goal of "probabilistic proportional-share guarantees for
+// finely divisible space-shared resources".
+func TestInverseLotterySteadyStateResidency(t *testing.T) {
+	m := NewManager(100, random.NewPM(31))
+	a := m.Register("a", 300)
+	b := m.Register("b", 100)
+	// Fill memory 50/50, then alternate faults.
+	for i := 0; i < 50; i++ {
+		m.Fault(a)
+		m.Fault(b)
+	}
+	const rounds = 40000
+	evict := map[*Client]int{}
+	residASum, samples := 0.0, 0
+	for i := 0; i < rounds; i++ {
+		f := a
+		if i%2 == 1 {
+			f = b
+		}
+		if v := m.Fault(f); v != nil {
+			evict[v]++
+		}
+		if i > rounds/2 { // measure after convergence
+			residASum += float64(a.Resident())
+			samples++
+		}
+	}
+	meanResidA := residASum / float64(samples)
+	// Steady state: a holds ~75 of 100 frames (3:1).
+	if math.Abs(meanResidA-75) > 4 {
+		t.Errorf("steady-state residency of a = %v, want ~75 (3:1 share)", meanResidA)
+	}
+	// In equilibrium each client's evictions match its fault rate.
+	ratio := float64(evict[a]) / float64(evict[b])
+	if math.Abs(ratio-1) > 0.1 {
+		t.Errorf("equilibrium eviction ratio = %v, want ~1", ratio)
+	}
+}
+
+func TestVictimProbabilityClosedForm(t *testing.T) {
+	m := NewManager(100, random.NewPM(4))
+	a := m.Register("a", 300)
+	b := m.Register("b", 100)
+	for i := 0; i < 60; i++ {
+		m.Fault(a)
+	}
+	for i := 0; i < 40; i++ {
+		m.Fault(b)
+	}
+	// Weights: a = (1-0.75)*0.6 = 0.15; b = (1-0.25)*0.4 = 0.30.
+	pa, pb := m.VictimProbability(a), m.VictimProbability(b)
+	if math.Abs(pa-1.0/3) > 1e-9 || math.Abs(pb-2.0/3) > 1e-9 {
+		t.Errorf("probabilities = %v, %v; want 1/3, 2/3", pa, pb)
+	}
+	// Probabilities sum to 1 over clients with residency.
+	if math.Abs(pa+pb-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v", pa+pb)
+	}
+}
+
+func TestResidencyBoundsVictims(t *testing.T) {
+	// A client with no resident pages can never be a victim.
+	m := NewManager(10, random.NewPM(5))
+	holder := m.Register("holder", 1)
+	idle := m.Register("idle", 1000)
+	for i := 0; i < 10; i++ {
+		m.Fault(holder)
+	}
+	for i := 0; i < 200; i++ {
+		if v := m.Fault(holder); v != holder {
+			t.Fatalf("evicted %v; only holder has pages", v.Name())
+		}
+	}
+	if idle.EvictedFrom() != 0 {
+		t.Error("idle client lost pages it never held")
+	}
+}
+
+func TestDynamicTicketChange(t *testing.T) {
+	m := NewManager(40, random.NewPM(6))
+	a := m.Register("a", 100)
+	b := m.Register("b", 100)
+	for i := 0; i < 20; i++ {
+		m.Fault(a)
+		m.Fault(b)
+	}
+	// Equal funding: victim probabilities equal.
+	if math.Abs(m.VictimProbability(a)-0.5) > 1e-9 {
+		t.Fatalf("pa = %v", m.VictimProbability(a))
+	}
+	a.SetTickets(900)
+	// a now holds 90% of tickets: pa = (1-0.9)*0.5 / ((1-0.9)*0.5 + (1-0.1)*0.5) = 0.1.
+	if pa := m.VictimProbability(a); math.Abs(pa-0.1) > 1e-9 {
+		t.Errorf("pa after inflation = %v, want 0.1", pa)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	m := NewManager(4, random.NewPM(7))
+	c := m.Register("c", 1)
+	other := NewManager(4, random.NewPM(8)).Register("x", 1)
+	for name, f := range map[string]func(){
+		"zero frames":      func() { NewManager(0, random.NewPM(1)) },
+		"nil source":       func() { NewManager(4, nil) },
+		"negative tickets": func() { m.Register("neg", -1) },
+		"foreign fault":    func() { m.Fault(other) },
+		"release too many": func() { m.Release(c, 5) },
+		"release negative": func() { m.Release(c, -1) },
+		"set negative":     func() { c.SetTickets(-2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSelfEvictionWhenDominant(t *testing.T) {
+	// One client holding all frames replaces its own pages; the
+	// fallback path (all weights zero happens when it also holds all
+	// tickets) must still pick it, not crash.
+	m := NewManager(8, random.NewPM(9))
+	solo := m.Register("solo", 100)
+	for i := 0; i < 8; i++ {
+		m.Fault(solo)
+	}
+	v := m.Fault(solo)
+	if v != solo {
+		t.Errorf("victim = %v, want solo", v)
+	}
+	if solo.Resident() != 8 {
+		t.Errorf("resident = %d, want 8 (self-replacement)", solo.Resident())
+	}
+}

@@ -1,0 +1,165 @@
+// Package random implements the Park-Miller "minimal standard"
+// pseudo-random number generator used by the paper's lottery scheduler
+// (Appendix A), plus the small set of derived distributions the
+// simulator and experiments need.
+//
+// The generator is the multiplicative linear congruential generator
+//
+//	S' = (A * S) mod M,  A = 16807,  M = 2^31 - 1
+//
+// implemented with the same overflow-folding trick as the paper's MIPS
+// assembly: the 46-bit product is split at bit 31 and the two halves
+// are added, which is congruent to the product modulo 2^31-1. The
+// stream is identical to the reference implementation; seed 1 yields
+// 1043618065 after 10,000 steps (Park & Miller's published check).
+package random
+
+// Park-Miller generator constants.
+const (
+	// A is the multiplier of the minimal standard generator.
+	A = 16807
+	// M is the modulus 2^31 - 1 (a Mersenne prime).
+	M = 1<<31 - 1
+)
+
+// Source is the interface lottery draw structures use to obtain random
+// numbers. It is satisfied by *PM and by test doubles that script the
+// returned values.
+type Source interface {
+	// Uint31 returns a uniformly distributed value in [1, 2^31-2].
+	// (The Park-Miller state space excludes 0 and M.)
+	Uint31() uint32
+}
+
+// PM is a Park-Miller minimal standard generator. It is deliberately
+// tiny: a single 32-bit word of state, no allocation, ~3 ns per draw.
+// It is NOT safe for concurrent use; each simulator owns its own.
+type PM struct {
+	state uint32
+}
+
+// NewPM returns a generator seeded with seed. A seed of 0 (which would
+// fix the generator at 0 forever) is mapped to 1; seeds are otherwise
+// reduced into the legal state range [1, M-1].
+func NewPM(seed uint32) *PM {
+	p := &PM{}
+	p.Seed(seed)
+	return p
+}
+
+// Seed resets the generator state. Zero and M map to 1 so that every
+// seed produces a legal, non-degenerate stream.
+func (p *PM) Seed(seed uint32) {
+	seed %= M
+	if seed == 0 {
+		seed = 1
+	}
+	p.state = seed
+}
+
+// State returns the current raw generator state (the last value
+// returned by Uint31, or the seed if no draws have been made).
+func (p *PM) State() uint32 { return p.state }
+
+// Uint31 advances the generator and returns the new state, a uniform
+// value in [1, M-1]. This is the paper's fastrand.
+func (p *PM) Uint31() uint32 {
+	prod := uint64(p.state) * A
+	// Fold the product at bit 31: (hi<<31 + lo) mod M == hi + lo (mod M)
+	// because 2^31 ≡ 1 (mod 2^31-1).
+	s := uint32(prod>>31) + uint32(prod&M)
+	if s >= M {
+		s -= M
+	}
+	p.state = s
+	return s
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+// n must be < 2^31-1, which holds for every lottery the system runs
+// (ticket totals are capped well below that by ticket.MaxBaseUnits).
+func (p *PM) Intn(n int) int {
+	if n <= 0 {
+		panic("random: Intn with non-positive n")
+	}
+	if n >= M {
+		panic("random: Intn range exceeds generator period")
+	}
+	// Rejection sampling to avoid modulo bias. The generator yields
+	// values in [1, M-1]; shift to [0, M-2] first.
+	limit := uint32((M - 1) / uint32(n) * uint32(n))
+	for {
+		v := p.Uint31() - 1
+		if v < limit {
+			return int(v % uint32(n))
+		}
+	}
+}
+
+// Int64n returns a uniform value in [0, n) for n up to 2^31-2 widths;
+// larger n are composed from two draws.
+func (p *PM) Int64n(n int64) int64 {
+	if n <= 0 {
+		panic("random: Int64n with non-positive n")
+	}
+	if n < M {
+		return int64(p.Intn(int(n)))
+	}
+	// Compose a 62-bit uniform value from two 31-bit draws and reject.
+	limit := (int64(1)<<62 - 1) / n * n
+	for {
+		hi := int64(p.Uint31()-1) & (1<<31 - 1)
+		lo := int64(p.Uint31()-1) & (1<<31 - 1)
+		v := hi<<31 | lo
+		if v < limit {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (p *PM) Float64() float64 {
+	return float64(p.Uint31()-1) / float64(M-1)
+}
+
+// Perm returns a pseudo-random permutation of [0, n) using the
+// Fisher-Yates shuffle.
+func (p *PM) Perm(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := p.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Split returns a new generator whose seed is derived from this
+// generator's stream. It lets one experiment seed give independent
+// streams to independent components.
+func (p *PM) Split() *PM {
+	return NewPM(p.Uint31())
+}
+
+var _ Source = (*PM)(nil)
+
+// Scripted is a Source for tests: it replays a fixed sequence of
+// values, then panics if exhausted. Values must lie in [1, 2^31-2].
+type Scripted struct {
+	Values []uint32
+	next   int
+}
+
+// Uint31 returns the next scripted value.
+func (s *Scripted) Uint31() uint32 {
+	if s.next >= len(s.Values) {
+		panic("random: Scripted source exhausted")
+	}
+	v := s.Values[s.next]
+	s.next++
+	return v
+}
+
+var _ Source = (*Scripted)(nil)

@@ -1,0 +1,109 @@
+// Package sched implements CPU scheduling policies behind a single
+// Policy interface: the paper's lottery scheduler (with compensation
+// tickets, §4.5), and the baselines it is evaluated against or
+// contrasted with — a decay-usage timesharing policy in the style of
+// Mach/4.3BSD (§5.6 compares overhead against "the standard Mach
+// timesharing policy"), round-robin, static priorities (§7), and
+// stride scheduling (the deterministic proportional-share comparator
+// from the authors' follow-on work, used here for ablations).
+//
+// Policies are driven by the simulated kernel: Add/Remove track the
+// runnable set, Pick selects the next thread to receive a quantum, and
+// Used reports how much of its quantum the thread actually consumed.
+package sched
+
+import (
+	"repro/internal/sim"
+)
+
+// Client is a schedulable entity as seen by a policy. The kernel owns
+// one Client per thread and keeps Weight pointing at the thread's
+// live ticket funding, so every lottery re-values tickets exactly as
+// the paper's prototype does ("the running ticket sum accumulates the
+// value of each thread's currency in base units", §4.4).
+type Client struct {
+	// ID is a small unique integer (diagnostics and deterministic
+	// tie-breaks).
+	ID int
+	// Name is the thread name (diagnostics).
+	Name string
+	// Weight returns the client's current funding in base units.
+	// Proportional-share policies call it on every decision; it must
+	// be non-negative.
+	Weight func() float64
+	// Priority is used only by the fixed-priority policy; larger is
+	// more important.
+	Priority int
+}
+
+// Policy is a uniprocessor scheduling discipline.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Add inserts a client into the runnable set. Adding a client
+	// twice panics (it would corrupt run-queue accounting).
+	Add(c *Client, now sim.Time)
+	// Remove takes a blocked or exited client out of the runnable
+	// set. Removing an absent client panics.
+	Remove(c *Client, now sim.Time)
+	// Pick returns the client that should run next, or nil when the
+	// runnable set is empty. The client stays in the runnable set;
+	// the kernel calls Remove if it blocks.
+	Pick(now sim.Time) *Client
+	// PickExcluding is Pick restricted to clients not in excluded —
+	// the multiprocessor dispatch path, where clients already running
+	// on another CPU stay in the runnable set (their tickets remain
+	// active) but cannot be dispatched twice. A nil map behaves like
+	// Pick.
+	PickExcluding(now sim.Time, excluded map[*Client]bool) *Client
+	// Used informs the policy that c consumed used out of a quantum-
+	// sized slice. voluntary reports that c gave up the CPU itself
+	// (blocked, slept, yielded, or exited) rather than being
+	// preempted at quantum end.
+	Used(c *Client, used, quantum sim.Duration, voluntary bool, now sim.Time)
+	// Tick performs periodic housekeeping (e.g. decay-usage aging).
+	// The kernel calls it once per virtual second.
+	Tick(now sim.Time)
+	// Len returns the size of the runnable set.
+	Len() int
+}
+
+// clientSet is the slice-based membership helper policies share.
+// Removal is swap-with-last, so the order is not insertion order, but
+// it is a pure function of the operation sequence — policies iterate
+// it instead of a map so draws stay deterministic under a seed.
+type clientSet struct {
+	clients []*Client
+	index   map[*Client]int
+}
+
+func newClientSet() clientSet {
+	return clientSet{index: make(map[*Client]int)}
+}
+
+func (s *clientSet) add(c *Client) {
+	if _, dup := s.index[c]; dup {
+		panic("sched: client added twice: " + c.Name)
+	}
+	s.index[c] = len(s.clients)
+	s.clients = append(s.clients, c)
+}
+
+func (s *clientSet) remove(c *Client) {
+	i, ok := s.index[c]
+	if !ok {
+		panic("sched: removing absent client: " + c.Name)
+	}
+	last := len(s.clients) - 1
+	s.clients[i] = s.clients[last]
+	s.index[s.clients[i]] = i
+	s.clients = s.clients[:last]
+	delete(s.index, c)
+}
+
+func (s *clientSet) contains(c *Client) bool {
+	_, ok := s.index[c]
+	return ok
+}
+
+func (s *clientSet) len() int { return len(s.clients) }

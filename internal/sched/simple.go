@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"repro/internal/sim"
+)
+
+// RoundRobin runs runnable clients in FIFO rotation with no notion of
+// share at all — the simplest conventional baseline.
+type RoundRobin struct {
+	set   clientSet
+	queue []*Client
+}
+
+// NewRoundRobin returns an empty round-robin scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{set: newClientSet()} }
+
+// Name implements Policy.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Len implements Policy.
+func (r *RoundRobin) Len() int { return r.set.len() }
+
+// Add implements Policy.
+func (r *RoundRobin) Add(c *Client, now sim.Time) {
+	r.set.add(c)
+	r.queue = append(r.queue, c)
+}
+
+// Remove implements Policy.
+func (r *RoundRobin) Remove(c *Client, now sim.Time) {
+	r.set.remove(c)
+	for i, x := range r.queue {
+		if x == c {
+			r.queue = append(r.queue[:i], r.queue[i+1:]...)
+			return
+		}
+	}
+	panic("sched: round-robin queue corrupt for client " + c.Name)
+}
+
+// Pick implements Policy: head of the queue.
+func (r *RoundRobin) Pick(now sim.Time) *Client {
+	return r.PickExcluding(now, nil)
+}
+
+// PickExcluding implements Policy: first non-excluded entry.
+func (r *RoundRobin) PickExcluding(now sim.Time, excluded map[*Client]bool) *Client {
+	for _, c := range r.queue {
+		if !excluded[c] {
+			return c
+		}
+	}
+	return nil
+}
+
+// Used implements Policy: rotate the client to the tail.
+func (r *RoundRobin) Used(c *Client, used, quantum sim.Duration, voluntary bool, now sim.Time) {
+	for i, x := range r.queue {
+		if x == c {
+			r.queue = append(r.queue[:i], r.queue[i+1:]...)
+			r.queue = append(r.queue, c)
+			return
+		}
+	}
+}
+
+// Tick implements Policy (no periodic work).
+func (r *RoundRobin) Tick(now sim.Time) {}
+
+// FixedPriority always runs the runnable client with the highest
+// Priority field, round-robin within a level. It exhibits exactly the
+// starvation and priority-inversion pathologies §1 and §7 describe;
+// the kernel's priority-inversion experiment uses it as the foil for
+// ticket transfers.
+type FixedPriority struct {
+	set   clientSet
+	queue []*Client
+}
+
+// NewFixedPriority returns an empty fixed-priority scheduler.
+func NewFixedPriority() *FixedPriority { return &FixedPriority{set: newClientSet()} }
+
+// Name implements Policy.
+func (f *FixedPriority) Name() string { return "fixed-priority" }
+
+// Len implements Policy.
+func (f *FixedPriority) Len() int { return f.set.len() }
+
+// Add implements Policy.
+func (f *FixedPriority) Add(c *Client, now sim.Time) {
+	f.set.add(c)
+	f.queue = append(f.queue, c)
+}
+
+// Remove implements Policy.
+func (f *FixedPriority) Remove(c *Client, now sim.Time) {
+	f.set.remove(c)
+	for i, x := range f.queue {
+		if x == c {
+			f.queue = append(f.queue[:i], f.queue[i+1:]...)
+			return
+		}
+	}
+	panic("sched: fixed-priority queue corrupt for client " + c.Name)
+}
+
+// Pick implements Policy: highest Priority; queue order breaks ties.
+func (f *FixedPriority) Pick(now sim.Time) *Client {
+	return f.PickExcluding(now, nil)
+}
+
+// PickExcluding implements Policy.
+func (f *FixedPriority) PickExcluding(now sim.Time, excluded map[*Client]bool) *Client {
+	var best *Client
+	for _, c := range f.queue {
+		if excluded[c] {
+			continue
+		}
+		if best == nil || c.Priority > best.Priority {
+			best = c
+		}
+	}
+	return best
+}
+
+// Used implements Policy: rotate within the priority level.
+func (f *FixedPriority) Used(c *Client, used, quantum sim.Duration, voluntary bool, now sim.Time) {
+	for i, x := range f.queue {
+		if x == c {
+			f.queue = append(f.queue[:i], f.queue[i+1:]...)
+			f.queue = append(f.queue, c)
+			return
+		}
+	}
+}
+
+// Tick implements Policy (no periodic work).
+func (f *FixedPriority) Tick(now sim.Time) {}

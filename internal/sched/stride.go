@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// stride1 is the stride constant: strides are stride1/weight, so a
+// large constant keeps integer-ish resolution for big weight ratios.
+const stride1 = float64(1 << 20)
+
+// Stride implements stride scheduling, the deterministic
+// proportional-share algorithm from Waldspurger & Weihl's follow-on
+// work (cited here as the natural ablation partner: same goal as the
+// lottery, zero variance). Each client advances a virtual "pass" by
+// stride1/weight per quantum consumed; the client with the minimum
+// pass runs next. Clients joining the runnable set start at the
+// global pass so returning sleepers neither monopolize nor starve.
+type Stride struct {
+	set   clientSet
+	state map[*Client]*strideState
+	// globalPass tracks the weighted average progress of the runnable
+	// set; it advances as CPU time is consumed.
+	globalPass float64
+}
+
+type strideState struct {
+	pass float64
+	// remain preserves a preempted-mid-quantum client's fractional
+	// pass progress across block/unblock cycles.
+	remain float64
+}
+
+// NewStride returns an empty stride scheduler.
+func NewStride() *Stride {
+	return &Stride{set: newClientSet(), state: make(map[*Client]*strideState)}
+}
+
+// Name implements Policy.
+func (s *Stride) Name() string { return "stride" }
+
+// Len implements Policy.
+func (s *Stride) Len() int { return s.set.len() }
+
+// Add implements Policy.
+func (s *Stride) Add(c *Client, now sim.Time) {
+	s.set.add(c)
+	st, ok := s.state[c]
+	if !ok {
+		st = &strideState{}
+		s.state[c] = st
+	}
+	// Join at the global pass (plus any carried remainder) so a
+	// returning client competes fairly from now on instead of
+	// claiming all the CPU it "missed" while blocked.
+	st.pass = s.globalPass + st.remain
+	st.remain = 0
+}
+
+// Remove implements Policy.
+func (s *Stride) Remove(c *Client, now sim.Time) {
+	st := s.state[c]
+	s.set.remove(c)
+	// Save how far ahead of the global pass the client was.
+	st.remain = st.pass - s.globalPass
+	if st.remain < 0 {
+		st.remain = 0
+	}
+}
+
+// Pick implements Policy: minimum pass wins; ties break on client ID
+// so the schedule is deterministic.
+func (s *Stride) Pick(now sim.Time) *Client {
+	return s.PickExcluding(now, nil)
+}
+
+// PickExcluding implements Policy.
+func (s *Stride) PickExcluding(now sim.Time, excluded map[*Client]bool) *Client {
+	var best *Client
+	bestPass := math.Inf(1)
+	for _, c := range s.set.clients {
+		if excluded[c] {
+			continue
+		}
+		p := s.state[c].pass
+		if p < bestPass || (p == bestPass && (best == nil || c.ID < best.ID)) {
+			best, bestPass = c, p
+		}
+	}
+	return best
+}
+
+// Used implements Policy: the client's pass advances by its stride
+// scaled by the fraction of the quantum it consumed, and the global
+// pass advances by the aggregate stride for that CPU time.
+func (s *Stride) Used(c *Client, used, quantum sim.Duration, voluntary bool, now sim.Time) {
+	if quantum <= 0 || used <= 0 {
+		return
+	}
+	frac := float64(used) / float64(quantum)
+	w := c.Weight()
+	if w <= 0 {
+		w = 1e-9 // unfunded clients drift forward very fast: they run only when alone
+	}
+	st, ok := s.state[c]
+	if !ok {
+		return
+	}
+	st.pass += frac * stride1 / w
+	total := s.totalWeight()
+	if total > 0 {
+		s.globalPass += frac * stride1 / total
+	}
+}
+
+// Tick implements Policy (no periodic work).
+func (s *Stride) Tick(now sim.Time) {}
+
+func (s *Stride) totalWeight() float64 {
+	var sum float64
+	for _, c := range s.set.clients {
+		w := c.Weight()
+		if w > 0 {
+			sum += w
+		}
+	}
+	return sum
+}

@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"repro/internal/sim"
+)
+
+// TimeSharing is a decay-usage priority scheduler in the style of the
+// standard Mach/4.3BSD timesharing policy the paper measures overhead
+// against (§5.6) and criticizes for its ad-hoc control (§1, §7):
+// recent CPU usage raises a thread's priority number (lowering its
+// precedence), usage decays geometrically once per second, and the
+// scheduler runs the lowest priority number, round-robin within a
+// level. It has no notion of tickets — that is the point of the
+// baseline: relative rates cannot be specified, only nudged via the
+// nice parameter.
+type TimeSharing struct {
+	set   clientSet
+	state map[*Client]*tsState
+	// queue orders clients for round-robin within equal priority.
+	queue []*Client
+	// Nice offsets, settable per client (akin to Unix nice).
+	nice map[*Client]int
+}
+
+type tsState struct {
+	// usage is recent CPU consumption in quantum units; it decays by
+	// usageDecay once per second.
+	usage float64
+}
+
+const (
+	// usageDecay approximates 4.3BSD's load-dependent decay filter
+	// with its behaviour under a steady load of ~1.
+	usageDecay = 0.66
+	// usageWeight converts accumulated usage into priority penalty.
+	usageWeight = 4.0
+)
+
+// NewTimeSharing returns an empty decay-usage scheduler.
+func NewTimeSharing() *TimeSharing {
+	return &TimeSharing{
+		set:   newClientSet(),
+		state: make(map[*Client]*tsState),
+		nice:  make(map[*Client]int),
+	}
+}
+
+// Name implements Policy.
+func (ts *TimeSharing) Name() string { return "timesharing" }
+
+// Len implements Policy.
+func (ts *TimeSharing) Len() int { return ts.set.len() }
+
+// SetNice adjusts a client's static priority offset; positive values
+// lower its precedence. It is the only control knob the baseline has,
+// included to demonstrate §1's point that such knobs do not give
+// proportional control.
+func (ts *TimeSharing) SetNice(c *Client, nice int) { ts.nice[c] = nice }
+
+// Add implements Policy. Usage survives blocking: a freshly woken
+// interactive thread keeps its (low) usage and therefore its high
+// precedence, which is exactly the decay-usage heuristic.
+func (ts *TimeSharing) Add(c *Client, now sim.Time) {
+	ts.set.add(c)
+	if _, ok := ts.state[c]; !ok {
+		ts.state[c] = &tsState{}
+	}
+	ts.queue = append(ts.queue, c)
+}
+
+// Remove implements Policy.
+func (ts *TimeSharing) Remove(c *Client, now sim.Time) {
+	ts.set.remove(c)
+	for i, x := range ts.queue {
+		if x == c {
+			ts.queue = append(ts.queue[:i], ts.queue[i+1:]...)
+			return
+		}
+	}
+	panic("sched: timesharing queue corrupt for client " + c.Name)
+}
+
+// priorityOf computes the dynamic priority number (lower runs first).
+func (ts *TimeSharing) priorityOf(c *Client) float64 {
+	return ts.state[c].usage*usageWeight + float64(ts.nice[c])
+}
+
+// Pick implements Policy: minimum priority number; the round-robin
+// queue breaks ties.
+func (ts *TimeSharing) Pick(now sim.Time) *Client {
+	return ts.PickExcluding(now, nil)
+}
+
+// PickExcluding implements Policy.
+func (ts *TimeSharing) PickExcluding(now sim.Time, excluded map[*Client]bool) *Client {
+	var best *Client
+	bestPri := 0.0
+	for _, c := range ts.queue {
+		if excluded[c] {
+			continue
+		}
+		p := ts.priorityOf(c)
+		if best == nil || p < bestPri {
+			best, bestPri = c, p
+		}
+	}
+	return best
+}
+
+// Used implements Policy: consumed CPU raises usage; the client moves
+// to the tail of the round-robin queue.
+func (ts *TimeSharing) Used(c *Client, used, quantum sim.Duration, voluntary bool, now sim.Time) {
+	if st, ok := ts.state[c]; ok && quantum > 0 {
+		st.usage += float64(used) / float64(quantum)
+	}
+	for i, x := range ts.queue {
+		if x == c {
+			ts.queue = append(ts.queue[:i], ts.queue[i+1:]...)
+			ts.queue = append(ts.queue, c)
+			break
+		}
+	}
+}
+
+// Tick implements Policy: once-per-second geometric usage decay for
+// every client the policy has ever seen (blocked clients decay too,
+// as in BSD).
+func (ts *TimeSharing) Tick(now sim.Time) {
+	for _, st := range ts.state {
+		st.usage *= usageDecay
+	}
+}
+
+// Usage exposes a client's decayed usage for tests.
+func (ts *TimeSharing) Usage(c *Client) float64 {
+	if st, ok := ts.state[c]; ok {
+		return st.usage
+	}
+	return 0
+}

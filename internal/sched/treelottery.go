@@ -1,0 +1,182 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/lottery"
+	"repro/internal/random"
+	"repro/internal/sim"
+)
+
+// StaticLottery is a lottery policy backed by the O(log n) tree of
+// partial ticket sums (§4.2: "For large n, a more efficient
+// implementation is to use a tree of partial ticket sums"; §5.6: a
+// tree-based lottery needs only "lg n additions and comparisons").
+//
+// The trade-off against the list-based Lottery is freshness: the list
+// re-values every client's funding on every draw, so arbitrary
+// currency dynamics (transfers, inflation) are always current, at O(n)
+// per decision. StaticLottery caches each client's funding when it is
+// added and updates the tree only on compensation changes and explicit
+// Refresh calls — O(log n) per decision, for workloads whose funding
+// is fixed or changes at known points.
+type StaticLottery struct {
+	src   random.Source
+	tree  *lottery.Tree[*Client]
+	items map[*Client]lottery.TreeItem
+	base  map[*Client]float64 // cached funding
+	comp  map[*Client]float64
+	saved map[*Client]float64 // compensation parked across blocking
+	// order keeps a deterministic queue for the zero-funding fallback
+	// (map iteration would randomize schedules).
+	order []*Client
+}
+
+// NewStaticLottery returns an empty tree-backed lottery policy.
+func NewStaticLottery(src random.Source) *StaticLottery {
+	return &StaticLottery{
+		src:   src,
+		tree:  lottery.NewTree[*Client](16),
+		items: make(map[*Client]lottery.TreeItem),
+		base:  make(map[*Client]float64),
+		comp:  make(map[*Client]float64),
+		saved: make(map[*Client]float64),
+	}
+}
+
+// Name implements Policy.
+func (l *StaticLottery) Name() string { return "static-lottery" }
+
+// Len implements Policy.
+func (l *StaticLottery) Len() int { return l.tree.Len() }
+
+// Add implements Policy: the client's funding is sampled here.
+func (l *StaticLottery) Add(c *Client, now sim.Time) {
+	if _, dup := l.items[c]; dup {
+		panic("sched: client added twice: " + c.Name)
+	}
+	w := c.Weight()
+	if w < 0 {
+		panic(fmt.Sprintf("sched: negative weight %v for %s", w, c.Name))
+	}
+	m := 1.0
+	if v, ok := l.saved[c]; ok {
+		m = v
+		delete(l.saved, c)
+	}
+	l.base[c] = w
+	l.comp[c] = m
+	l.items[c] = l.tree.Add(c, w*m)
+	l.order = append(l.order, c)
+}
+
+// Remove implements Policy.
+func (l *StaticLottery) Remove(c *Client, now sim.Time) {
+	it, ok := l.items[c]
+	if !ok {
+		panic("sched: removing absent client: " + c.Name)
+	}
+	if m := l.comp[c]; m != 1 {
+		l.saved[c] = m
+	}
+	l.tree.Remove(it)
+	delete(l.items, c)
+	delete(l.base, c)
+	delete(l.comp, c)
+	for i, x := range l.order {
+		if x == c {
+			l.order = append(l.order[:i], l.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Refresh re-samples the client's funding; callers invoke it after
+// changing ticket allocations for a client scheduled by this policy.
+func (l *StaticLottery) Refresh(c *Client) {
+	it, ok := l.items[c]
+	if !ok {
+		return
+	}
+	w := c.Weight()
+	if w < 0 {
+		panic(fmt.Sprintf("sched: negative weight %v for %s", w, c.Name))
+	}
+	l.base[c] = w
+	l.tree.Update(it, w*l.comp[c])
+}
+
+// Pick implements Policy: one O(log n) draw. The winner's
+// compensation ticket is destroyed (§4.5).
+func (l *StaticLottery) Pick(now sim.Time) *Client {
+	return l.PickExcluding(now, nil)
+}
+
+// maxExclusionRetries bounds rejection sampling in PickExcluding
+// before falling back to a linear scan: the tree cannot exclude
+// entries natively, so draws landing on excluded clients are redrawn.
+const maxExclusionRetries = 64
+
+// PickExcluding implements Policy. Exclusion uses rejection sampling
+// against the tree (redraw on an excluded winner), falling back to a
+// deterministic linear scan if the excluded set dominates the weight.
+func (l *StaticLottery) PickExcluding(now sim.Time, excluded map[*Client]bool) *Client {
+	if l.tree.Len() == 0 {
+		return nil
+	}
+	var winner *Client
+	for try := 0; try < maxExclusionRetries; try++ {
+		w, ok := l.tree.Draw(l.src)
+		if !ok {
+			break
+		}
+		if !excluded[w] {
+			winner = w
+			break
+		}
+	}
+	if winner == nil {
+		// Zero total weight, or rejection sampling exhausted: fall
+		// back to the deterministic queue, rotating like the list
+		// policy's degrade path.
+		for i, c := range l.order {
+			if excluded[c] {
+				continue
+			}
+			winner = c
+			copy(l.order[i:], l.order[i+1:])
+			l.order[len(l.order)-1] = winner
+			break
+		}
+		if winner == nil {
+			return nil
+		}
+	}
+	if l.comp[winner] != 1 {
+		l.comp[winner] = 1
+		l.tree.Update(l.items[winner], l.base[winner])
+	}
+	return winner
+}
+
+// Used implements Policy: compensation as in the list-based Lottery.
+func (l *StaticLottery) Used(c *Client, used, quantum sim.Duration, voluntary bool, now sim.Time) {
+	grant := voluntary && used > 0 && used < quantum
+	if it, ok := l.items[c]; ok {
+		if grant {
+			l.comp[c] = compFactor(used, quantum)
+		} else {
+			l.comp[c] = 1
+		}
+		l.tree.Update(it, l.base[c]*l.comp[c])
+		return
+	}
+	if grant {
+		l.saved[c] = compFactor(used, quantum)
+	} else {
+		delete(l.saved, c)
+	}
+}
+
+// Tick implements Policy (no periodic work).
+func (l *StaticLottery) Tick(now sim.Time) {}

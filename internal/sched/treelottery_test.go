@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/random"
+	"repro/internal/sim"
+)
+
+func TestStaticLotteryProportions(t *testing.T) {
+	weights := []float64{3, 2, 1}
+	var clients []*Client
+	for i, w := range weights {
+		clients = append(clients, staticClient(i, w))
+	}
+	p := NewStaticLottery(random.NewPM(54321))
+	const n = 30000
+	got := runCompute(p, clients, n)
+	for i, w := range weights {
+		want := float64(n) * w / 6
+		gotQ := float64(got[i] / quantum)
+		if math.Abs(gotQ-want)/want > 0.05 {
+			t.Errorf("client %d got %v quanta, want ~%v", i, gotQ, want)
+		}
+	}
+}
+
+func TestStaticLotteryCompensation(t *testing.T) {
+	// Same §4.5 scenario as the list policy: equal funding, B yields
+	// at 20 ms; CPU shares stay ~1:1.
+	a := staticClient(0, 400)
+	b := staticClient(1, 400)
+	p := NewStaticLottery(random.NewPM(9))
+	now := sim.Time(0)
+	p.Add(a, now)
+	p.Add(b, now)
+	cpu := []sim.Duration{0, 0}
+	for i := 0; i < 50000; i++ {
+		c := p.Pick(now)
+		if c == a {
+			cpu[0] += quantum
+			now = now.Add(quantum)
+			p.Used(a, quantum, quantum, false, now)
+		} else {
+			used := 20 * sim.Millisecond
+			cpu[1] += used
+			now = now.Add(used)
+			p.Used(b, used, quantum, true, now)
+		}
+	}
+	ratio := float64(cpu[0]) / float64(cpu[1])
+	if math.Abs(ratio-1) > 0.06 {
+		t.Errorf("CPU ratio = %v, want ~1", ratio)
+	}
+}
+
+func TestStaticLotteryCompensationSurvivesBlocking(t *testing.T) {
+	a := staticClient(0, 100)
+	b := staticClient(1, 100)
+	p := NewStaticLottery(random.NewPM(4))
+	now := sim.Time(0)
+	p.Add(a, now)
+	p.Add(b, now)
+	p.Used(b, 25*sim.Millisecond, quantum, true, now)
+	p.Remove(b, now)
+	p.Add(b, now)
+	// b re-enters with its 4x boost: over many draws b wins ~80%.
+	bWins := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if p.Pick(now) == b {
+			bWins++
+		}
+		// Do not report usage: keep weights frozen mid-experiment.
+		p.comp[b] = 4 // re-arm the boost Pick just cleared
+		p.tree.Update(p.items[b], p.base[b]*4)
+	}
+	frac := float64(bWins) / n
+	if math.Abs(frac-0.8) > 0.03 {
+		t.Errorf("boosted win fraction = %v, want ~0.8", frac)
+	}
+}
+
+func TestStaticLotteryRefresh(t *testing.T) {
+	w := 100.0
+	a := &Client{ID: 0, Name: "a", Weight: func() float64 { return w }}
+	b := staticClient(1, 100)
+	p := NewStaticLottery(random.NewPM(6))
+	now := sim.Time(0)
+	p.Add(a, now)
+	p.Add(b, now)
+
+	w = 300 // funding changed behind the policy's back
+	// Without Refresh the cached weight still gives ~50%.
+	aWins := 0
+	for i := 0; i < 4000; i++ {
+		if c := p.Pick(now); c == a {
+			aWins++
+		}
+	}
+	if frac := float64(aWins) / 4000; math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("stale share = %v, want ~0.5 (cached)", frac)
+	}
+	p.Refresh(a)
+	aWins = 0
+	for i := 0; i < 4000; i++ {
+		if c := p.Pick(now); c == a {
+			aWins++
+		}
+	}
+	if frac := float64(aWins) / 4000; math.Abs(frac-0.75) > 0.05 {
+		t.Errorf("refreshed share = %v, want ~0.75", frac)
+	}
+	p.Refresh(staticClient(9, 1)) // unknown client: no-op
+}
+
+func TestStaticLotteryZeroFundingRotates(t *testing.T) {
+	a := staticClient(0, 0)
+	b := staticClient(1, 0)
+	p := NewStaticLottery(random.NewPM(2))
+	now := sim.Time(0)
+	p.Add(a, now)
+	p.Add(b, now)
+	first := p.Pick(now)
+	second := p.Pick(now)
+	if first == second {
+		t.Errorf("zero-funding fallback did not rotate")
+	}
+	if p.Pick(now) != first {
+		t.Errorf("rotation not cyclic")
+	}
+}
+
+func TestStaticLotteryMembershipPanics(t *testing.T) {
+	p := NewStaticLottery(random.NewPM(1))
+	c := staticClient(0, 1)
+	p.Add(c, 0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double add did not panic")
+			}
+		}()
+		p.Add(c, 0)
+	}()
+	p.Remove(c, 0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("absent remove did not panic")
+			}
+		}()
+		p.Remove(c, 0)
+	}()
+	if p.Pick(0) != nil {
+		t.Error("Pick on empty policy != nil")
+	}
+	if p.Name() != "static-lottery" {
+		t.Error("name wrong")
+	}
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCoroutineBasicAlternation(t *testing.T) {
+	c := NewCoroutine[int](func(yield Yielder[int]) {
+		for i := 1; i <= 3; i++ {
+			yield(i)
+		}
+	})
+	for want := 1; want <= 3; want++ {
+		req, alive := c.Resume()
+		if !alive || req != want {
+			t.Fatalf("Resume = (%d, %v), want (%d, true)", req, alive, want)
+		}
+	}
+	if _, alive := c.Resume(); alive {
+		t.Fatal("coroutine alive after body returned")
+	}
+	if !c.Finished() {
+		t.Error("Finished() false after completion")
+	}
+}
+
+func TestCoroutineSharedRequestReply(t *testing.T) {
+	// Replies travel through fields of the yielded request.
+	type req struct {
+		question int
+		answer   int
+	}
+	var got []int
+	c := NewCoroutine[*req](func(yield Yielder[*req]) {
+		r := &req{question: 21}
+		yield(r)
+		got = append(got, r.answer)
+	})
+	r, alive := c.Resume()
+	if !alive || r.question != 21 {
+		t.Fatal("first resume wrong")
+	}
+	r.answer = 42
+	if _, alive := c.Resume(); alive {
+		t.Fatal("body should have finished")
+	}
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("body saw answer %v", got)
+	}
+}
+
+func TestCoroutineImmediateReturn(t *testing.T) {
+	c := NewCoroutine[int](func(yield Yielder[int]) {})
+	if _, alive := c.Resume(); alive {
+		t.Fatal("empty body reported alive")
+	}
+}
+
+func TestResumeFinishedPanics(t *testing.T) {
+	c := NewCoroutine[int](func(yield Yielder[int]) {})
+	c.Resume()
+	defer func() {
+		if recover() == nil {
+			t.Error("Resume of finished coroutine did not panic")
+		}
+	}()
+	c.Resume()
+}
+
+func TestCoroutinePanicPropagates(t *testing.T) {
+	c := NewCoroutine[int](func(yield Yielder[int]) {
+		yield(1)
+		panic("workload bug")
+	})
+	c.Resume()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("body panic not propagated")
+		}
+		if !strings.Contains(r.(string), "workload bug") {
+			t.Errorf("panic value %v does not mention cause", r)
+		}
+	}()
+	c.Resume()
+}
+
+func TestKillRunsDeferredCleanup(t *testing.T) {
+	cleaned := false
+	c := NewCoroutine[int](func(yield Yielder[int]) {
+		defer func() { cleaned = true }()
+		for i := 0; ; i++ {
+			yield(i)
+		}
+	})
+	c.Resume()
+	c.Kill()
+	WaitAllCoroutines()
+	if !cleaned {
+		t.Error("deferred cleanup did not run on Kill")
+	}
+	if !c.Finished() {
+		t.Error("killed coroutine not finished")
+	}
+	c.Kill() // double kill is a no-op
+}
+
+func TestKillBeforeFirstResume(t *testing.T) {
+	ran := false
+	c := NewCoroutine[int](func(yield Yielder[int]) { ran = true })
+	c.Kill()
+	WaitAllCoroutines()
+	if ran {
+		t.Error("body ran despite Kill before first Resume")
+	}
+}
+
+func TestManyCoroutinesNoLeak(t *testing.T) {
+	// A mix of completed and killed coroutines must all terminate.
+	var cos []*Coroutine[int]
+	for i := 0; i < 100; i++ {
+		c := NewCoroutine[int](func(yield Yielder[int]) {
+			for j := 0; j < 5; j++ {
+				yield(j)
+			}
+		})
+		cos = append(cos, c)
+	}
+	for i, c := range cos {
+		switch i % 3 {
+		case 0: // drain fully
+			for {
+				if _, alive := c.Resume(); !alive {
+					break
+				}
+			}
+		case 1: // partial then kill
+			c.Resume()
+			c.Kill()
+		case 2: // kill untouched
+			c.Kill()
+		}
+	}
+	WaitAllCoroutines() // hangs (test timeout) if anything leaked
+}
+
+func TestCoroutineWithEngine(t *testing.T) {
+	// Integration: a coroutine yielding "sleep" requests driven by the
+	// event engine.
+	type sleepReq struct{ d Duration }
+	e := NewEngine()
+	var wakes []Time
+	c := NewCoroutine[sleepReq](func(yield Yielder[sleepReq]) {
+		for i := 0; i < 3; i++ {
+			yield(sleepReq{d: 10 * Millisecond})
+		}
+	})
+	var pump func()
+	pump = func() {
+		req, alive := c.Resume()
+		if !alive {
+			return
+		}
+		wakes = append(wakes, e.Now())
+		e.After(req.d, pump)
+	}
+	e.Schedule(0, pump)
+	e.Run()
+	want := []Time{0, Time(10 * Millisecond), Time(20 * Millisecond)}
+	if len(wakes) != len(want) {
+		t.Fatalf("wakes = %v", wakes)
+	}
+	for i := range want {
+		if wakes[i] != want[i] {
+			t.Errorf("wake %d at %v, want %v", i, wakes[i], want[i])
+		}
+	}
+}

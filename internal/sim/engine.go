@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at    Time
+	seq   uint64 // FIFO tie-break for simultaneous events
+	index int    // heap index; -1 when not queued
+	fn    func()
+}
+
+// At returns the virtual time the event fires at.
+func (e *Event) At() Time { return e.at }
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+// Engine is a virtual clock plus an ordered event queue. Events at
+// the same instant fire in scheduling order, which keeps simulations
+// deterministic.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	nsteps uint64
+}
+
+// NewEngine returns an engine at time zero with no events.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns how many events have been executed (diagnostics).
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// Len returns the number of pending events.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// Schedule queues fn to run at the given instant. Scheduling in the
+// past panics: it always indicates a simulation bug, and silently
+// reordering time would corrupt every downstream measurement.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event function")
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run d after the current instant.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling a fired or already
+// cancelled event is a harmless no-op, which makes timeout patterns
+// ("cancel the timer on the wake path") straightforward.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Step executes the next event, advancing the clock to its instant.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.nsteps++
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events until the queue is empty or the next event
+// is after the deadline, then advances the clock to exactly the
+// deadline. Events scheduled at the deadline itself still run.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

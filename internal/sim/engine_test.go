@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/random"
+)
+
+func TestEngineBasicOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Errorf("final time = %v", e.Now())
+	}
+	if e.Steps() != 3 {
+		t.Errorf("steps = %d", e.Steps())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	var chain func()
+	chain = func() {
+		fired = append(fired, e.Now())
+		if e.Now() < 50 {
+			e.After(10, chain)
+		}
+	}
+	e.Schedule(10, chain)
+	e.Run()
+	want := []Time{10, 20, 30, 40, 50}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v", fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Errorf("fired[%d] = %v, want %v", i, fired[i], want[i])
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	if !ev.Pending() {
+		t.Error("event not pending after Schedule")
+	}
+	e.Cancel(ev)
+	if ev.Pending() {
+		t.Error("event pending after Cancel")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	e.Cancel(ev) // double cancel is a no-op
+	e.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, e.Schedule(Time(i*10), func() { fired = append(fired, i) }))
+	}
+	for i := 0; i < 20; i += 2 {
+		e.Cancel(events[i])
+	}
+	e.Run()
+	if len(fired) != 10 {
+		t.Fatalf("fired %d events, want 10: %v", len(fired), fired)
+	}
+	for _, v := range fired {
+		if v%2 == 0 {
+			t.Errorf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 || e.Now() != 25 {
+		t.Fatalf("after RunUntil(25): fired=%v now=%v", fired, e.Now())
+	}
+	// Events at exactly the deadline run.
+	e.RunUntil(30)
+	if len(fired) != 3 || e.Now() != 30 {
+		t.Fatalf("after RunUntil(30): fired=%v now=%v", fired, e.Now())
+	}
+	// RunUntil advances the clock even with no events.
+	e.RunUntil(100)
+	if len(fired) != 4 || e.Now() != 100 {
+		t.Fatalf("after RunUntil(100): fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Run()
+	for name, f := range map[string]func(){
+		"past":     func() { e.Schedule(5, func() {}) },
+		"nil fn":   func() { e.Schedule(20, nil) },
+		"negative": func() { e.After(-1, func() {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+	if e.Len() != 0 {
+		t.Error("Len != 0")
+	}
+}
+
+// TestHeapProperty drives random schedule/cancel sequences and checks
+// events always fire in non-decreasing time order.
+func TestHeapProperty(t *testing.T) {
+	f := func(seed uint32, raw []uint8) bool {
+		rng := random.NewPM(seed)
+		e := NewEngine()
+		var pending []*Event
+		last := Time(-1)
+		ok := true
+		fire := func(at Time) func() {
+			return func() {
+				if at < last {
+					ok = false
+				}
+				last = at
+			}
+		}
+		for _, op := range raw {
+			if op%4 == 0 && len(pending) > 0 {
+				e.Cancel(pending[rng.Intn(len(pending))])
+			} else {
+				at := e.Now() + Time(rng.Intn(1000))
+				pending = append(pending, e.Schedule(at, fire(at)))
+			}
+			if op%7 == 0 {
+				e.Step()
+			}
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tt := Time(0).Add(1500 * Millisecond)
+	if tt.Seconds() != 1.5 {
+		t.Errorf("Seconds = %v", tt.Seconds())
+	}
+	if d := tt.Sub(Time(500 * Millisecond)); d != Second {
+		t.Errorf("Sub = %v", d)
+	}
+	if s := Time(Second).String(); s != "t+1s" {
+		t.Errorf("String = %q", s)
+	}
+}

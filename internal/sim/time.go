@@ -1,0 +1,45 @@
+// Package sim is the discrete-event simulation substrate underneath
+// the simulated kernel: a virtual clock, a cancellable event queue,
+// and a coroutine facility that runs simulated threads as goroutines
+// resumed one at a time.
+//
+// The paper's experiments ran on a real DECStation under Mach; this
+// package replaces the hardware clock and trap machinery with virtual
+// time, giving the reproduction exact, deterministic control over
+// quanta and dispatch (which the Go runtime scheduler otherwise
+// hides). See DESIGN.md for the substitution argument.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an instant of virtual time, in nanoseconds since the start
+// of the simulation.
+type Time int64
+
+// Duration re-exports time.Duration: virtual durations use the same
+// nanosecond unit and formatting as wall durations.
+type Duration = time.Duration
+
+// Convenience re-exports so workload code reads naturally.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t - u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the instant as float64 seconds, the unit experiment
+// plots use.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the instant as a duration since simulation start.
+func (t Time) String() string { return fmt.Sprintf("t+%v", Duration(t)) }

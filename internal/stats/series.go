@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one (time, value) sample of a time series. Time is in
+// seconds of virtual time; Value is whatever the series measures
+// (cumulative iterations, frames, queries, ...).
+type Point struct {
+	T float64
+	V float64
+}
+
+// Series is an append-only time series with helpers for the windowed
+// and cumulative views the paper's figures plot.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample. Samples must be appended in non-decreasing
+// time order; Add panics otherwise so bugs surface at the source.
+func (s *Series) Add(t, v float64) {
+	if n := len(s.Points); n > 0 && t < s.Points[n-1].T {
+		panic(fmt.Sprintf("stats: Series %q time went backwards: %v after %v",
+			s.Name, t, s.Points[n-1].T))
+	}
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Last returns the most recent sample, or a zero Point for an empty
+// series.
+func (s *Series) Last() Point {
+	if len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// ValueAt returns the value of the series at time t, defined as the
+// value of the latest sample with sample.T <= t (step interpolation),
+// or 0 before the first sample.
+func (s *Series) ValueAt(t float64) float64 {
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return s.Points[i-1].V
+}
+
+// WindowRates converts a cumulative series into per-window rates: for
+// each window of width w seconds in [0, end), the increase of the
+// series across the window divided by w. This is exactly the paper's
+// Figure 5 view ("average iterations over a series of 8 second time
+// windows"). It panics if w <= 0.
+func (s *Series) WindowRates(w, end float64) []Point {
+	if w <= 0 {
+		panic("stats: WindowRates with non-positive window")
+	}
+	var out []Point
+	for t := 0.0; t+w <= end+1e-9; t += w {
+		lo, hi := s.ValueAt(t), s.ValueAt(t+w)
+		out = append(out, Point{T: t + w/2, V: (hi - lo) / w})
+	}
+	return out
+}
+
+// Values returns just the values of the points.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// FormatTable renders several series as an aligned text table sampled
+// at the given times (step interpolation), with one row per time. The
+// experiment CLI uses it to print figure data.
+func FormatTable(times []float64, series ...*Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s", "time(s)")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, t := range times {
+		fmt.Fprintf(&b, "%10.1f", t)
+		for _, s := range series {
+			fmt.Fprintf(&b, " %14.2f", s.ValueAt(t))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SampleTimes returns n+1 evenly spaced times covering [0, end].
+func SampleTimes(end float64, n int) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, 0, n+1)
+	for i := 0; i <= n; i++ {
+		out = append(out, end*float64(i)/float64(n))
+	}
+	return out
+}
+
+// Histogram is a fixed-width bucket histogram over [0, BucketWidth*len(Counts)).
+// Values beyond the last bucket are clamped into it; the paper's
+// Figure 11 waiting-time histograms are rendered from this.
+type Histogram struct {
+	BucketWidth float64
+	Counts      []int
+	overflow    int
+	total       int
+	sum         float64
+}
+
+// NewHistogram creates a histogram with n buckets of width w.
+func NewHistogram(w float64, n int) *Histogram {
+	if w <= 0 || n <= 0 {
+		panic("stats: NewHistogram needs positive width and bucket count")
+	}
+	return &Histogram{BucketWidth: w, Counts: make([]int, n)}
+}
+
+// Observe records one value. Negative values go to bucket 0.
+func (h *Histogram) Observe(v float64) {
+	h.total++
+	h.sum += v
+	i := int(v / h.BucketWidth)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+		h.overflow++
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Mean returns the mean of the observed values (not bucket centers).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Overflow returns how many observations were clamped into the final
+// bucket.
+func (h *Histogram) Overflow() int { return h.overflow }
+
+// String renders the histogram as rows of "lo-hi: count |bar|".
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.Counts {
+		lo := float64(i) * h.BucketWidth
+		hi := lo + h.BucketWidth
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", c*50/maxCount)
+		}
+		fmt.Fprintf(&b, "%8.2f-%-8.2f %6d %s\n", lo, hi, c, bar)
+	}
+	return b.String()
+}

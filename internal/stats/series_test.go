@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeriesAddAndLast(t *testing.T) {
+	var s Series
+	if p := s.Last(); p.T != 0 || p.V != 0 {
+		t.Error("empty Last not zero")
+	}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.Add(2, 25) // equal times allowed
+	if p := s.Last(); p.T != 2 || p.V != 25 {
+		t.Errorf("Last = %+v", p)
+	}
+}
+
+func TestSeriesAddBackwardsPanics(t *testing.T) {
+	var s Series
+	s.Add(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards Add did not panic")
+		}
+	}()
+	s.Add(4, 2)
+}
+
+func TestValueAtStepInterpolation(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(3, 30)
+	cases := []struct{ t, want float64 }{
+		{0, 0}, {0.99, 0}, {1, 10}, {2, 10}, {2.99, 10}, {3, 30}, {100, 30},
+	}
+	for _, c := range cases {
+		if got := s.ValueAt(c.t); got != c.want {
+			t.Errorf("ValueAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestWindowRates(t *testing.T) {
+	// Cumulative counter increasing at 5/sec for 4 s then 1/sec.
+	var s Series
+	for i := 0; i <= 40; i++ {
+		tt := float64(i) / 10
+		v := 5 * tt
+		if tt > 4 {
+			v = 20 + (tt - 4)
+		}
+		s.Add(tt, v)
+	}
+	rates := s.WindowRates(2, 4)
+	if len(rates) != 2 {
+		t.Fatalf("got %d windows, want 2", len(rates))
+	}
+	for _, r := range rates {
+		if math.Abs(r.V-5) > 1e-9 {
+			t.Errorf("window at %v rate %v, want 5", r.T, r.V)
+		}
+	}
+}
+
+func TestWindowRatesPanicsOnBadWindow(t *testing.T) {
+	var s Series
+	defer func() {
+		if recover() == nil {
+			t.Error("WindowRates(0, ...) did not panic")
+		}
+	}()
+	s.WindowRates(0, 10)
+}
+
+func TestFormatTable(t *testing.T) {
+	a := &Series{Name: "a"}
+	b := &Series{Name: "b"}
+	a.Add(0, 0)
+	a.Add(10, 100)
+	b.Add(0, 0)
+	b.Add(10, 50)
+	out := FormatTable([]float64{0, 10}, a, b)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Errorf("missing headers in:\n%s", out)
+	}
+	if !strings.Contains(out, "100.00") || !strings.Contains(out, "50.00") {
+		t.Errorf("missing values in:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("got %d lines, want 3", len(lines))
+	}
+}
+
+func TestSampleTimes(t *testing.T) {
+	ts := SampleTimes(100, 4)
+	want := []float64{0, 25, 50, 75, 100}
+	if len(ts) != len(want) {
+		t.Fatalf("len = %d", len(ts))
+	}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Errorf("ts[%d] = %v, want %v", i, ts[i], want[i])
+		}
+	}
+	if got := SampleTimes(10, 0); len(got) != 2 {
+		t.Errorf("n<1 should clamp to 1 interval, got %v", got)
+	}
+}
+
+func TestSeriesValues(t *testing.T) {
+	var s Series
+	s.Add(0, 1)
+	s.Add(1, 2)
+	vs := s.Values()
+	if len(vs) != 2 || vs[0] != 1 || vs[1] != 2 {
+		t.Errorf("Values = %v", vs)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(1.0, 4) // buckets [0,1) [1,2) [2,3) [3,4+]
+	for _, v := range []float64{0.5, 1.5, 1.9, 3.2, 99, -1} {
+		h.Observe(v)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	wantCounts := []int{2, 2, 0, 2} // -1 clamps to bucket 0; 99 clamps to last
+	for i, w := range wantCounts {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Overflow() != 1 {
+		t.Errorf("Overflow = %d, want 1", h.Overflow())
+	}
+	wantMean := (0.5 + 1.5 + 1.9 + 3.2 + 99 - 1) / 6
+	if math.Abs(h.Mean()-wantMean) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", h.Mean(), wantMean)
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Error("histogram render missing bars")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1, 2)
+	if h.Mean() != 0 || h.Total() != 0 {
+		t.Error("empty histogram stats nonzero")
+	}
+	_ = h.String() // must not panic with zero max
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	for _, c := range []struct {
+		w float64
+		n int
+	}{{0, 5}, {1, 0}, {-1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v,%d) did not panic", c.w, c.n)
+				}
+			}()
+			NewHistogram(c.w, c.n)
+		}()
+	}
+}

@@ -1,0 +1,199 @@
+// Package stats provides the small statistics toolkit the experiment
+// harnesses and tests use: descriptive statistics, histograms,
+// chi-square goodness-of-fit, windowed time series, and least-squares
+// fits. Everything is stdlib-only and deterministic.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (division by n),
+// or 0 when fewer than two samples are present.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// CoV returns the coefficient of variation (stddev/mean). The paper
+// reports the per-client win CoV as sqrt((1-p)/(n*p)); experiments
+// compare the observed value against that closed form. Returns 0 when
+// the mean is 0.
+func CoV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// Min returns the smallest element of xs; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs (average of the two middle elements
+// for even lengths); it panics on an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Median of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Summary bundles the descriptive statistics the experiment tables
+// print for a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero
+// Summary with N == 0.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		Median: Median(xs),
+	}
+}
+
+// String formats the summary as a single table-ready row.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.Max)
+}
+
+// ChiSquare returns the chi-square statistic for observed counts
+// against expected counts. The slices must be the same non-zero
+// length; expected entries must be positive.
+func ChiSquare(observed []int, expected []float64) (float64, error) {
+	if len(observed) == 0 || len(observed) != len(expected) {
+		return 0, fmt.Errorf("stats: ChiSquare needs equal-length non-empty slices (got %d, %d)",
+			len(observed), len(expected))
+	}
+	var chi2 float64
+	for i, o := range observed {
+		e := expected[i]
+		if e <= 0 {
+			return 0, fmt.Errorf("stats: ChiSquare expected[%d] = %v must be positive", i, e)
+		}
+		d := float64(o) - e
+		chi2 += d * d / e
+	}
+	return chi2, nil
+}
+
+// ChiSquareCritical999 returns an approximate 99.9th-percentile
+// critical value for the chi-square distribution with df degrees of
+// freedom, using the Wilson-Hilferty cube approximation. Tests use it
+// as a loose "this would be astonishing if the draw were fair" bound.
+func ChiSquareCritical999(df int) float64 {
+	if df <= 0 {
+		return 0
+	}
+	const z999 = 3.0902 // standard normal 99.9th percentile
+	d := float64(df)
+	t := 1 - 2/(9*d) + z999*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}
+
+// LinearFit returns the least-squares slope and intercept of y on x.
+// It panics if the slices differ in length or have fewer than two
+// points, or if all x are identical.
+func LinearFit(x, y []float64) (slope, intercept float64) {
+	if len(x) != len(y) || len(x) < 2 {
+		panic("stats: LinearFit needs two equal-length samples of >= 2 points")
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy float64
+	for i := range x {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		panic("stats: LinearFit with degenerate x")
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	return slope, intercept
+}
+
+// Ratio returns a/b, or +Inf for b == 0 with a > 0, or NaN for 0/0.
+// Experiment tables report observed:allocated ratios with it.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return math.NaN()
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}

@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almostEqual(m, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); !almostEqual(v, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", v)
+	}
+	if sd := StdDev(xs); !almostEqual(sd, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", sd)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Variance(nil) != 0 || Variance([]float64{3}) != 0 {
+		t.Error("Variance of <2 samples should be 0")
+	}
+	if CoV(nil) != 0 {
+		t.Error("CoV(nil) != 0")
+	}
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Error("Summarize(nil).N != 0")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if Min(xs) != 1 {
+		t.Errorf("Min = %v", Min(xs))
+	}
+	if Max(xs) != 9 {
+		t.Errorf("Max = %v", Max(xs))
+	}
+	if med := Median(xs); !almostEqual(med, 3.5, 1e-12) {
+		t.Errorf("Median = %v, want 3.5", med)
+	}
+	if med := Median([]float64{5, 1, 3}); med != 3 {
+		t.Errorf("odd Median = %v, want 3", med)
+	}
+	// Median must not mutate its input.
+	if xs[0] != 3 || xs[len(xs)-1] != 6 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestMinMaxPanicOnEmpty(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Min":    func() { Min(nil) },
+		"Max":    func() { Max(nil) },
+		"Median": func() { Median(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(nil) did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("Summary.String empty")
+	}
+}
+
+// Property: mean lies within [min, max] and variance is non-negative.
+func TestMomentsProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9 && Variance(xs) >= -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	obs := []int{10, 20, 30}
+	exp := []float64{10, 20, 30}
+	chi2, err := ChiSquare(obs, exp)
+	if err != nil || chi2 != 0 {
+		t.Errorf("perfect fit chi2 = %v err = %v", chi2, err)
+	}
+	chi2, err = ChiSquare([]int{12, 18, 30}, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4.0/10 + 4.0/20
+	if !almostEqual(chi2, want, 1e-12) {
+		t.Errorf("chi2 = %v, want %v", chi2, want)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, err := ChiSquare(nil, nil); err == nil {
+		t.Error("empty inputs accepted")
+	}
+	if _, err := ChiSquare([]int{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := ChiSquare([]int{1}, []float64{0}); err == nil {
+		t.Error("zero expected accepted")
+	}
+}
+
+func TestChiSquareCritical999(t *testing.T) {
+	// Reference values: df=1 -> 10.83, df=10 -> 29.59, df=100 -> 149.45.
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 10.83}, {10, 29.59}, {100, 149.45},
+	}
+	for _, c := range cases {
+		got := ChiSquareCritical999(c.df)
+		// Wilson-Hilferty is a cube approximation; it is ~3% high at
+		// df=1 and converges quickly. 5% is adequate for the loose
+		// fairness bounds the suite uses it for.
+		if math.Abs(got-c.want)/c.want > 0.05 {
+			t.Errorf("critical(df=%d) = %v, want ~%v", c.df, got, c.want)
+		}
+	}
+	if ChiSquareCritical999(0) != 0 {
+		t.Error("df=0 should give 0")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // y = 2x + 1
+	slope, intercept := LinearFit(x, y)
+	if !almostEqual(slope, 2, 1e-12) || !almostEqual(intercept, 1, 1e-12) {
+		t.Errorf("fit = (%v, %v), want (2, 1)", slope, intercept)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		x, y []float64
+	}{
+		{"short", []float64{1}, []float64{1}},
+		{"mismatch", []float64{1, 2}, []float64{1}},
+		{"degenerate", []float64{2, 2}, []float64{1, 3}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LinearFit %s did not panic", c.name)
+				}
+			}()
+			LinearFit(c.x, c.y)
+		}()
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("Ratio(6,3) != 2")
+	}
+	if !math.IsInf(Ratio(1, 0), 1) {
+		t.Error("Ratio(1,0) not +Inf")
+	}
+	if !math.IsNaN(Ratio(0, 0)) {
+		t.Error("Ratio(0,0) not NaN")
+	}
+}
+
+func TestCoVMatchesClosedForm(t *testing.T) {
+	// CoV of {1,1,1} is 0; CoV of {0,2} is 1.
+	if CoV([]float64{1, 1, 1}) != 0 {
+		t.Error("constant sample CoV != 0")
+	}
+	if got := CoV([]float64{0, 2}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("CoV({0,2}) = %v, want 1", got)
+	}
+}

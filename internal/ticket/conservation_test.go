@@ -1,0 +1,231 @@
+package ticket
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/random"
+)
+
+// buildRandomGraph constructs a random layered funding DAG:
+// the base currency funds layer-1 currencies, each subsequent layer is
+// funded by one or more earlier currencies, and every currency issues
+// tickets to at least one holder so no value leaks. Returns the system
+// and the holders.
+func buildRandomGraph(seed uint32, nCurrencies, nHolders int) (*System, []*Holder) {
+	rng := random.NewPM(seed)
+	s := NewSystem()
+	currencies := []*Currency{s.Base()}
+	for i := 0; i < nCurrencies; i++ {
+		c := s.MustCurrency(name("c", i), "u")
+		// Fund from 1-2 random earlier currencies to keep acyclicity
+		// trivially true while still producing diamonds.
+		nFund := 1 + rng.Intn(2)
+		for j := 0; j < nFund; j++ {
+			src := currencies[rng.Intn(len(currencies))]
+			src.MustIssue(Amount(1+rng.Intn(500)), c)
+		}
+		currencies = append(currencies, c)
+	}
+	holders := make([]*Holder, nHolders)
+	for i := range holders {
+		holders[i] = s.NewHolder(name("h", i))
+		src := currencies[rng.Intn(len(currencies))]
+		src.MustIssue(Amount(1+rng.Intn(500)), holders[i])
+	}
+	// Every currency must fund at least one holder-reaching path;
+	// simplest: give each currency one direct holder too.
+	for i, c := range currencies {
+		h := s.NewHolder(name("hc", i))
+		c.MustIssue(Amount(1+rng.Intn(500)), h)
+		holders = append(holders, h)
+	}
+	return s, holders
+}
+
+func name(prefix string, i int) string {
+	return prefix + string(rune('A'+i%26)) + string(rune('0'+(i/26)%10))
+}
+
+// checkInvariants verifies the structural invariants of a system:
+// each currency's active amount equals the sum of its active issued
+// ticket amounts, total equals the sum of all issued amounts, and a
+// ticket is active only if its target wants backing.
+func checkInvariants(t *testing.T, s *System) {
+	t.Helper()
+	for _, cname := range s.Currencies() {
+		c := s.Currency(cname)
+		var active, total Amount
+		for _, tk := range c.Issued() {
+			total += tk.Amount()
+			if tk.Active() {
+				active += tk.Amount()
+			}
+			if tk.Active() != tk.Funds().wantsBacking() {
+				t.Fatalf("ticket %v active=%v but target wants %v",
+					tk, tk.Active(), tk.Funds().wantsBacking())
+			}
+		}
+		if active != c.ActiveAmount() {
+			t.Fatalf("currency %s active %d != recomputed %d", cname, c.ActiveAmount(), active)
+		}
+		if total != c.TotalIssued() {
+			t.Fatalf("currency %s total %d != recomputed %d", cname, c.TotalIssued(), total)
+		}
+	}
+}
+
+// conservation checks the fundamental property of the currency design:
+// when every holder is active, the total value of all holders equals
+// the base currency's active amount (value can neither be created nor
+// destroyed by intermediate currencies — §3.3 "a base currency that is
+// conserved").
+func conservation(t *testing.T, s *System, holders []*Holder) {
+	t.Helper()
+	var sum float64
+	for _, h := range holders {
+		sum += h.Value()
+	}
+	base := float64(s.Base().ActiveAmount())
+	if math.Abs(sum-base) > 1e-6*math.Max(1, base) {
+		t.Fatalf("conservation violated: holders sum %v, base active %v", sum, base)
+	}
+}
+
+func TestConservationRandomGraphs(t *testing.T) {
+	for seed := uint32(1); seed <= 25; seed++ {
+		s, holders := buildRandomGraph(seed, 8, 12)
+		for _, h := range holders {
+			h.SetActive(true)
+		}
+		checkInvariants(t, s)
+		conservation(t, s, holders)
+	}
+}
+
+func TestConservationUnderChurn(t *testing.T) {
+	// Randomly toggle holder activity and inflate tickets; invariants
+	// must hold at every step, and conservation must hold whenever all
+	// holders are active.
+	for seed := uint32(100); seed < 110; seed++ {
+		rng := random.NewPM(seed)
+		s, holders := buildRandomGraph(seed, 6, 10)
+		for _, h := range holders {
+			h.SetActive(true)
+		}
+		for step := 0; step < 200; step++ {
+			h := holders[rng.Intn(len(holders))]
+			switch rng.Intn(3) {
+			case 0:
+				h.SetActive(!h.Active())
+			case 1:
+				if b := h.Backing(); len(b) > 0 {
+					_ = b[0].SetAmount(Amount(1 + rng.Intn(400)))
+				}
+			case 2:
+				h.SetActive(true)
+			}
+			checkInvariants(t, s)
+		}
+		for _, h := range holders {
+			h.SetActive(true)
+		}
+		conservation(t, s, holders)
+	}
+}
+
+// TestConservationQuick drives the same property through testing/quick
+// so the corpus of graph shapes is not hand-picked.
+func TestConservationQuick(t *testing.T) {
+	f := func(seed uint32, nc, nh uint8) bool {
+		s, holders := buildRandomGraph(seed, int(nc%10)+1, int(nh%15)+1)
+		for _, h := range holders {
+			h.SetActive(true)
+		}
+		var sum float64
+		for _, h := range holders {
+			sum += h.Value()
+		}
+		base := float64(s.Base().ActiveAmount())
+		return math.Abs(sum-base) <= 1e-6*math.Max(1, base)
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPartialActivityConservation: with some holders inactive, the sum
+// of active holder values still equals the base active amount, because
+// deactivation propagates exactly.
+func TestPartialActivityConservation(t *testing.T) {
+	for seed := uint32(7); seed < 17; seed++ {
+		rng := random.NewPM(seed * 31)
+		s, holders := buildRandomGraph(seed, 8, 14)
+		for _, h := range holders {
+			h.SetActive(rng.Intn(2) == 0)
+		}
+		checkInvariants(t, s)
+		var sum float64
+		for _, h := range holders {
+			sum += h.Value()
+		}
+		base := float64(s.Base().ActiveAmount())
+		if math.Abs(sum-base) > 1e-6*math.Max(1, base) {
+			t.Fatalf("seed %d: partial conservation violated: %v vs %v", seed, sum, base)
+		}
+	}
+}
+
+// TestConservationUnderStructuralChurn extends the churn test with
+// structural mutations — issuing new tickets, retargeting transfers,
+// and destroying tickets — the operations the kernel's RPC and mutex
+// paths perform constantly.
+func TestConservationUnderStructuralChurn(t *testing.T) {
+	for seed := uint32(300); seed < 308; seed++ {
+		rng := random.NewPM(seed)
+		s, holders := buildRandomGraph(seed, 5, 8)
+		for _, h := range holders {
+			h.SetActive(true)
+		}
+		var extras []*Ticket
+		currencyOf := func() *Currency {
+			names := s.Currencies()
+			return s.Currency(names[rng.Intn(len(names))])
+		}
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(5) {
+			case 0: // issue a new ticket to a random holder
+				h := holders[rng.Intn(len(holders))]
+				if tk, err := currencyOf().Issue(Amount(1+rng.Intn(200)), h); err == nil {
+					extras = append(extras, tk)
+				}
+			case 1: // retarget an extra ticket to another holder
+				if len(extras) > 0 {
+					tk := extras[rng.Intn(len(extras))]
+					h := holders[rng.Intn(len(holders))]
+					_ = tk.Retarget(h) // cycles rejected, that's fine
+				}
+			case 2: // destroy an extra ticket
+				if n := len(extras); n > 0 {
+					i := rng.Intn(n)
+					extras[i].Destroy()
+					extras = append(extras[:i], extras[i+1:]...)
+				}
+			case 3: // toggle a holder
+				holders[rng.Intn(len(holders))].SetActive(rng.Intn(2) == 0)
+			case 4: // inflate
+				h := holders[rng.Intn(len(holders))]
+				if b := h.Backing(); len(b) > 0 {
+					_ = b[rng.Intn(len(b))].SetAmount(Amount(1 + rng.Intn(300)))
+				}
+			}
+			checkInvariants(t, s)
+		}
+		for _, h := range holders {
+			h.SetActive(true)
+		}
+		conservation(t, s, holders)
+	}
+}

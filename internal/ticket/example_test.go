@@ -1,0 +1,77 @@
+package ticket_test
+
+import (
+	"fmt"
+
+	"repro/internal/ticket"
+)
+
+// Example reproduces the paper's Figure 3 currency graph and the base
+// values it quotes: thread2 = 400, thread3 = 600, thread4 = 2000.
+func Example() {
+	s := ticket.NewSystem()
+	alice := s.MustCurrency("alice", "alice")
+	bob := s.MustCurrency("bob", "bob")
+	task1 := s.MustCurrency("task1", "alice")
+	task2 := s.MustCurrency("task2", "alice")
+	task3 := s.MustCurrency("task3", "bob")
+
+	s.Base().MustIssue(1000, alice)
+	s.Base().MustIssue(2000, bob)
+	alice.MustIssue(100, task1) // task1 is idle: this ticket stays inactive
+	alice.MustIssue(200, task2)
+	bob.MustIssue(100, task3)
+
+	threads := make(map[string]*ticket.Holder)
+	for _, spec := range []struct {
+		name string
+		cur  *ticket.Currency
+		amt  ticket.Amount
+	}{
+		{"thread2", task2, 200},
+		{"thread3", task2, 300},
+		{"thread4", task3, 100},
+	} {
+		h := s.NewHolder(spec.name)
+		spec.cur.MustIssue(spec.amt, h)
+		h.SetActive(true)
+		threads[spec.name] = h
+	}
+
+	for _, name := range []string{"thread2", "thread3", "thread4"} {
+		fmt.Printf("%s = %.0f base units\n", name, threads[name].Value())
+	}
+	fmt.Printf("base active = %d (conserved)\n", s.Base().ActiveAmount())
+	// Output:
+	// thread2 = 400 base units
+	// thread3 = 600 base units
+	// thread4 = 2000 base units
+	// base active = 3000 (conserved)
+}
+
+// ExampleTicket_SetAmount shows ticket inflation inside a currency:
+// the currency's external value is unchanged (insulation), while the
+// internal split shifts.
+func ExampleTicket_SetAmount() {
+	s := ticket.NewSystem()
+	group := s.MustCurrency("group", "root")
+	s.Base().MustIssue(300, group)
+
+	a := s.NewHolder("a")
+	b := s.NewHolder("b")
+	group.MustIssue(100, a)
+	tb := group.MustIssue(100, b)
+	a.SetActive(true)
+	b.SetActive(true)
+	fmt.Printf("before: a=%.0f b=%.0f\n", a.Value(), b.Value())
+
+	// b inflates its ticket 3x: only the intra-group split changes.
+	if err := tb.SetAmount(300); err != nil {
+		panic(err)
+	}
+	fmt.Printf("after:  a=%.0f b=%.0f (group still worth %.0f)\n",
+		a.Value(), b.Value(), group.Value())
+	// Output:
+	// before: a=150 b=150
+	// after:  a=75 b=225 (group still worth 300)
+}

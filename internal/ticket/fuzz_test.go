@@ -1,0 +1,44 @@
+package ticket
+
+import (
+	"testing"
+)
+
+// FuzzParseGraphSpec checks that arbitrary input never crashes the
+// spec parser or Build, and that every accepted spec yields a system
+// satisfying the structural invariants.
+func FuzzParseGraphSpec(f *testing.F) {
+	f.Add([]byte(fig3JSON))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"currencies":[{"name":"a"}],"holders":["h"],` +
+		`"tickets":[{"currency":"base","amount":5,"to":"a"},` +
+		`{"currency":"a","amount":1,"to":"h"}],"active":["h"]}`))
+	f.Add([]byte(`{"tickets":[{"currency":"base","amount":-1,"to":"x"}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseGraphSpec(data)
+		if err != nil {
+			return
+		}
+		g, err := spec.Build()
+		if err != nil {
+			return
+		}
+		// Accepted specs must produce consistent systems.
+		for _, name := range g.System.Currencies() {
+			c := g.System.Currency(name)
+			var active, total Amount
+			for _, tk := range c.Issued() {
+				total += tk.Amount()
+				if tk.Active() {
+					active += tk.Amount()
+				}
+			}
+			if active != c.ActiveAmount() || total != c.TotalIssued() {
+				t.Fatalf("currency %s inconsistent after Build", name)
+			}
+			if c.Value() < 0 {
+				t.Fatalf("currency %s negative value", name)
+			}
+		}
+	})
+}

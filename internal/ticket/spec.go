@@ -1,0 +1,152 @@
+package ticket
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// GraphSpec is a declarative description of a funding graph, loadable
+// from JSON. It is the programmatic analog of the paper's user-level
+// commands (mktkt, mkcur, fund — §4.7): cmd/lotteryctl evaluates a
+// spec and prints the resulting base values.
+//
+// Example:
+//
+//	{
+//	  "currencies": [{"name": "alice", "owner": "alice"}],
+//	  "holders":    ["thread1"],
+//	  "tickets": [
+//	    {"currency": "base",  "amount": 1000, "to": "alice"},
+//	    {"currency": "alice", "amount": 100,  "to": "thread1"}
+//	  ],
+//	  "active": ["thread1"]
+//	}
+//
+// Ticket targets name either a currency or a holder; holder names take
+// precedence on collision (and a collision is almost certainly a spec
+// bug, so Build rejects it).
+type GraphSpec struct {
+	Currencies []CurrencySpec `json:"currencies"`
+	Holders    []string       `json:"holders"`
+	Tickets    []TicketSpec   `json:"tickets"`
+	// Active lists the holders that should be competing after Build;
+	// all others stay inactive.
+	Active []string `json:"active"`
+}
+
+// CurrencySpec declares one currency.
+type CurrencySpec struct {
+	Name  string `json:"name"`
+	Owner string `json:"owner"`
+}
+
+// TicketSpec declares one ticket issue.
+type TicketSpec struct {
+	Currency string `json:"currency"`
+	Amount   Amount `json:"amount"`
+	To       string `json:"to"`
+}
+
+// ParseGraphSpec decodes a JSON spec, rejecting unknown fields so
+// typos in hand-written specs fail loudly.
+func ParseGraphSpec(data []byte) (*GraphSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var spec GraphSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("ticket: bad graph spec: %w", err)
+	}
+	return &spec, nil
+}
+
+// Graph is the result of building a GraphSpec: a live System plus
+// name-indexed holders and tickets.
+type Graph struct {
+	System  *System
+	HolderS map[string]*Holder
+	Tickets []*Ticket
+}
+
+// Build instantiates the spec into a fresh System.
+func (spec *GraphSpec) Build() (*Graph, error) {
+	return spec.BuildInto(NewSystem())
+}
+
+// BuildInto instantiates the spec into an existing System — used by
+// tools that graft a user-described funding graph onto a live kernel's
+// ticket system (the fundx analog, §4.7). Currency names must not
+// collide with ones already present.
+func (spec *GraphSpec) BuildInto(s *System) (*Graph, error) {
+	g := &Graph{System: s, HolderS: make(map[string]*Holder)}
+
+	for _, cs := range spec.Currencies {
+		owner := cs.Owner
+		if owner == "" {
+			owner = "root"
+		}
+		if _, err := s.NewCurrency(cs.Name, owner); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range spec.Holders {
+		if name == "" {
+			return nil, fmt.Errorf("ticket: empty holder name")
+		}
+		if s.Currency(name) != nil {
+			return nil, fmt.Errorf("ticket: holder %q collides with a currency name", name)
+		}
+		if _, dup := g.HolderS[name]; dup {
+			return nil, fmt.Errorf("ticket: duplicate holder %q", name)
+		}
+		g.HolderS[name] = s.NewHolder(name)
+	}
+	for _, ts := range spec.Tickets {
+		c := s.Currency(ts.Currency)
+		if c == nil {
+			return nil, fmt.Errorf("ticket: unknown currency %q in ticket spec", ts.Currency)
+		}
+		var to Node
+		if h, ok := g.HolderS[ts.To]; ok {
+			to = h
+		} else if dst := s.Currency(ts.To); dst != nil {
+			to = dst
+		} else {
+			return nil, fmt.Errorf("ticket: unknown ticket target %q", ts.To)
+		}
+		t, err := c.Issue(ts.Amount, to)
+		if err != nil {
+			return nil, err
+		}
+		g.Tickets = append(g.Tickets, t)
+	}
+	for _, name := range spec.Active {
+		h, ok := g.HolderS[name]
+		if !ok {
+			return nil, fmt.Errorf("ticket: unknown active holder %q", name)
+		}
+		h.SetActive(true)
+	}
+	return g, nil
+}
+
+// HolderValues returns the holders' base-unit values keyed by name.
+func (g *Graph) HolderValues() map[string]float64 {
+	out := make(map[string]float64, len(g.HolderS))
+	for name, h := range g.HolderS {
+		out[name] = h.Value()
+	}
+	return out
+}
+
+// SortedHolderNames returns holder names in sorted order for
+// deterministic output.
+func (g *Graph) SortedHolderNames() []string {
+	out := make([]string, 0, len(g.HolderS))
+	for name := range g.HolderS {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

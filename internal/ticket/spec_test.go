@@ -1,0 +1,133 @@
+package ticket
+
+import (
+	"strings"
+	"testing"
+)
+
+const fig3JSON = `{
+  "currencies": [
+    {"name": "alice", "owner": "alice"},
+    {"name": "bob",   "owner": "bob"},
+    {"name": "task1", "owner": "alice"},
+    {"name": "task2", "owner": "alice"},
+    {"name": "task3", "owner": "bob"}
+  ],
+  "holders": ["thread1", "thread2", "thread3", "thread4"],
+  "tickets": [
+    {"currency": "base",  "amount": 1000, "to": "alice"},
+    {"currency": "base",  "amount": 2000, "to": "bob"},
+    {"currency": "alice", "amount": 100,  "to": "task1"},
+    {"currency": "alice", "amount": 200,  "to": "task2"},
+    {"currency": "bob",   "amount": 100,  "to": "task3"},
+    {"currency": "task1", "amount": 100,  "to": "thread1"},
+    {"currency": "task2", "amount": 200,  "to": "thread2"},
+    {"currency": "task2", "amount": 300,  "to": "thread3"},
+    {"currency": "task3", "amount": 100,  "to": "thread4"}
+  ],
+  "active": ["thread2", "thread3", "thread4"]
+}`
+
+func TestSpecBuildsFigure3(t *testing.T) {
+	spec, err := ParseGraphSpec([]byte(fig3JSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := g.HolderValues()
+	want := map[string]float64{"thread1": 0, "thread2": 400, "thread3": 600, "thread4": 2000}
+	for name, w := range want {
+		if !almostEqual(vals[name], w) {
+			t.Errorf("%s = %v, want %v", name, vals[name], w)
+		}
+	}
+	names := g.SortedHolderNames()
+	if len(names) != 4 || names[0] != "thread1" || names[3] != "thread4" {
+		t.Errorf("SortedHolderNames = %v", names)
+	}
+}
+
+func TestSpecParseErrors(t *testing.T) {
+	if _, err := ParseGraphSpec([]byte(`{bad json`)); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := ParseGraphSpec([]byte(`{"unknown_field": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestSpecBuildErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"unknown currency", `{"tickets":[{"currency":"nope","amount":1,"to":"base"}]}`, "unknown currency"},
+		{"unknown target", `{"tickets":[{"currency":"base","amount":1,"to":"nope"}]}`, "unknown ticket target"},
+		{"empty holder", `{"holders":[""]}`, "empty holder"},
+		{"dup holder", `{"holders":["x","x"]}`, "duplicate holder"},
+		{"holder/currency collision", `{"currencies":[{"name":"x"}],"holders":["x"]}`, "collides"},
+		{"unknown active", `{"active":["ghost"]}`, "unknown active holder"},
+		{"dup currency", `{"currencies":[{"name":"x"},{"name":"x"}]}`, "already exists"},
+		{"bad amount", `{"holders":["h"],"tickets":[{"currency":"base","amount":-1,"to":"h"}]}`, "positive"},
+	}
+	for _, c := range cases {
+		spec, err := ParseGraphSpec([]byte(c.json))
+		if err != nil {
+			t.Fatalf("%s: parse error %v", c.name, err)
+		}
+		_, err = spec.Build()
+		if err == nil {
+			t.Errorf("%s: Build succeeded, want error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestSpecDefaultOwner(t *testing.T) {
+	spec, err := ParseGraphSpec([]byte(`{"currencies":[{"name":"c"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.System.Currency("c").Owner(); got != "root" {
+		t.Errorf("default owner = %q, want root", got)
+	}
+}
+
+func TestBuildIntoExistingSystem(t *testing.T) {
+	s := NewSystem()
+	pre := s.MustCurrency("preexisting", "root")
+	_ = pre
+	spec, err := ParseGraphSpec([]byte(fig3JSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.BuildInto(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.System != s {
+		t.Fatal("BuildInto used a different system")
+	}
+	if s.Currency("alice") == nil || s.Currency("preexisting") == nil {
+		t.Error("currencies missing after graft")
+	}
+	if !almostEqual(g.HolderS["thread4"].Value(), 2000) {
+		t.Errorf("thread4 = %v", g.HolderS["thread4"].Value())
+	}
+	// Name collisions with existing currencies are rejected.
+	spec2, _ := ParseGraphSpec([]byte(`{"currencies":[{"name":"preexisting"}]}`))
+	if _, err := spec2.BuildInto(s); err == nil {
+		t.Error("currency collision accepted")
+	}
+}

@@ -1,0 +1,508 @@
+// Package ticket implements the paper's resource-rights substrate:
+// lottery tickets, ticket currencies, and the acyclic funding graph
+// that relates them (§3, §4.3-§4.4 of Waldspurger & Weihl, OSDI '94).
+//
+// Tickets are issued ("denominated") in a currency and back ("fund")
+// either another currency or a Holder — a leaf client such as a
+// scheduler thread. Every currency is ultimately backed by tickets
+// denominated in the conserved base currency, so arbitrary inflation
+// inside one currency cannot dilute rights outside it.
+//
+// A ticket is active while its holder competes for a resource.
+// Deactivating the last active ticket issued in a currency recursively
+// deactivates the currency's backing tickets, and symmetrically for
+// activation, exactly as described in §4.4.
+//
+// The package is not safe for concurrent use: a System belongs to one
+// simulated kernel, which is single-threaded by construction.
+package ticket
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Amount is a ticket face amount, denominated in some currency.
+type Amount int64
+
+// MaxBaseUnits caps the total amount issued in any single currency.
+// It keeps lottery totals comfortably inside the Park-Miller draw
+// range and makes accidental runaway inflation an error rather than
+// an overflow.
+const MaxBaseUnits Amount = 1 << 30
+
+// Node is anything a ticket can back: a *Currency or a *Holder.
+type Node interface {
+	// NodeName returns the diagnostic name of the node.
+	NodeName() string
+	// attach and detach maintain the node's backing-ticket list.
+	attach(t *Ticket)
+	detach(t *Ticket)
+	// wantsBacking reports whether tickets backing this node should
+	// currently be active (a Holder that is competing, or a Currency
+	// with a non-zero active amount).
+	wantsBacking() bool
+	// system returns the owning System, for cross-system checks.
+	system() *System
+}
+
+// System owns a funding graph: one base currency, any number of
+// derived currencies and holders. All mutations go through the System
+// so that valuation caches can be invalidated with a generation bump.
+type System struct {
+	base       *Currency
+	currencies map[string]*Currency
+	gen        uint64 // bumped on any mutation that can change values
+	nextID     int
+}
+
+// NewSystem creates an empty funding graph containing only the base
+// currency.
+func NewSystem() *System {
+	s := &System{currencies: make(map[string]*Currency)}
+	s.base = &Currency{sys: s, name: "base", owner: "root", isBase: true}
+	s.currencies["base"] = s.base
+	return s
+}
+
+// Base returns the system's base currency.
+func (s *System) Base() *Currency { return s.base }
+
+// Currency returns the named currency, or nil if it does not exist.
+func (s *System) Currency(name string) *Currency { return s.currencies[name] }
+
+// Currencies returns the currency names in sorted order (diagnostics).
+func (s *System) Currencies() []string {
+	out := make([]string, 0, len(s.currencies))
+	for name := range s.currencies {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Generation returns the mutation generation; valuation caches key on
+// it. Exposed for tests and for schedulers that memoize derived state.
+func (s *System) Generation() uint64 { return s.gen }
+
+func (s *System) mutate() { s.gen++ }
+
+// NewCurrency creates a currency owned by the given principal. The
+// name "base" is reserved and duplicate names are rejected: currencies
+// are the unit of trust in the paper's model, so silently aliasing two
+// of them would be a policy hole.
+func (s *System) NewCurrency(name, owner string) (*Currency, error) {
+	if name == "" {
+		return nil, fmt.Errorf("ticket: currency name must be non-empty")
+	}
+	if _, dup := s.currencies[name]; dup {
+		return nil, fmt.Errorf("ticket: currency %q already exists", name)
+	}
+	c := &Currency{sys: s, name: name, owner: owner}
+	s.currencies[name] = c
+	s.mutate()
+	return c, nil
+}
+
+// MustCurrency is NewCurrency for experiment setup code where a
+// failure is a programming error.
+func (s *System) MustCurrency(name, owner string) *Currency {
+	c, err := s.NewCurrency(name, owner)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewHolder creates a leaf client (e.g. a thread). Holders begin
+// inactive; the scheduler activates them when they join the run queue.
+func (s *System) NewHolder(name string) *Holder {
+	return &Holder{sys: s, name: name}
+}
+
+// Currency denominates tickets. Its value in base units is the sum of
+// the values of its backing tickets; each ticket issued in it is worth
+// value * amount / activeAmount (§4.4).
+type Currency struct {
+	sys     *System
+	name    string
+	owner   string
+	isBase  bool
+	backing []*Ticket // tickets funding this currency (denominated elsewhere)
+	issued  []*Ticket // tickets denominated in this currency
+	active  Amount    // sum of amounts of active issued tickets
+	total   Amount    // sum of amounts of all issued tickets
+
+	// inflators lists principals other than the owner permitted to
+	// issue tickets in this currency (§3.2: inflation is a right that
+	// must be guarded; §4.7: ACL-style protection).
+	inflators map[string]bool
+
+	cachedValue float64
+	cachedGen   uint64
+	destroyed   bool
+}
+
+// Name returns the currency's unique name.
+func (c *Currency) Name() string { return c.name }
+
+// NodeName implements Node.
+func (c *Currency) NodeName() string { return "currency:" + c.name }
+
+// Owner returns the owning principal.
+func (c *Currency) Owner() string { return c.owner }
+
+// ActiveAmount returns the sum of amounts of active tickets issued in
+// this currency.
+func (c *Currency) ActiveAmount() Amount { return c.active }
+
+// TotalIssued returns the sum of amounts of all tickets issued in this
+// currency, active or not.
+func (c *Currency) TotalIssued() Amount { return c.total }
+
+// Backing returns a copy of the currency's backing-ticket list.
+func (c *Currency) Backing() []*Ticket { return append([]*Ticket(nil), c.backing...) }
+
+// Issued returns a copy of the list of tickets denominated in c.
+func (c *Currency) Issued() []*Ticket { return append([]*Ticket(nil), c.issued...) }
+
+func (c *Currency) system() *System { return c.sys }
+
+func (c *Currency) attach(t *Ticket) { c.backing = append(c.backing, t) }
+
+func (c *Currency) detach(t *Ticket) { c.backing = removeTicket(c.backing, t) }
+
+func (c *Currency) wantsBacking() bool { return c.active > 0 }
+
+// AllowInflation grants principal the right to issue tickets in c.
+func (c *Currency) AllowInflation(principal string) {
+	if c.inflators == nil {
+		c.inflators = make(map[string]bool)
+	}
+	c.inflators[principal] = true
+}
+
+// RevokeInflation removes a previously granted inflation right.
+func (c *Currency) RevokeInflation(principal string) {
+	delete(c.inflators, principal)
+}
+
+// CanIssue reports whether principal may issue tickets in c. The
+// owner always may; the base currency is owned by "root".
+func (c *Currency) CanIssue(principal string) bool {
+	return principal == c.owner || c.inflators[principal]
+}
+
+// Issue creates a ticket of the given amount denominated in c, backing
+// the node to. It fails on non-positive amounts, cross-system nodes,
+// destroyed currencies, per-currency issuance overflow, and — the
+// important one — funding cycles: if to is a currency whose value
+// already depends on c, the issue is rejected to keep the graph
+// acyclic (§3.3: "currency relationships may form an arbitrary acyclic
+// graph").
+func (c *Currency) Issue(amount Amount, to Node) (*Ticket, error) {
+	return c.IssueAs(c.owner, amount, to)
+}
+
+// IssueAs is Issue with an explicit principal, enforcing the
+// currency's inflation ACL.
+func (c *Currency) IssueAs(principal string, amount Amount, to Node) (*Ticket, error) {
+	if c.destroyed {
+		return nil, fmt.Errorf("ticket: issue in destroyed currency %q", c.name)
+	}
+	if !c.CanIssue(principal) {
+		return nil, fmt.Errorf("ticket: principal %q may not inflate currency %q", principal, c.name)
+	}
+	if amount <= 0 {
+		return nil, fmt.Errorf("ticket: amount must be positive, got %d", amount)
+	}
+	if to == nil {
+		return nil, fmt.Errorf("ticket: nil funding target")
+	}
+	if to.system() != c.sys {
+		return nil, fmt.Errorf("ticket: %s belongs to a different system", to.NodeName())
+	}
+	if c.total+amount > MaxBaseUnits {
+		return nil, fmt.Errorf("ticket: currency %q issuance would exceed MaxBaseUnits", c.name)
+	}
+	if dst, ok := to.(*Currency); ok {
+		if dst.destroyed {
+			return nil, fmt.Errorf("ticket: funding destroyed currency %q", dst.name)
+		}
+		if dst == c || c.dependsOn(dst) {
+			return nil, fmt.Errorf("ticket: funding %q with %q would create a cycle", dst.name, c.name)
+		}
+	}
+	c.sys.nextID++
+	t := &Ticket{sys: c.sys, id: c.sys.nextID, amount: amount, currency: c, funds: to}
+	c.issued = append(c.issued, t)
+	c.total += amount
+	to.attach(t)
+	c.sys.mutate()
+	if to.wantsBacking() {
+		t.activate()
+	}
+	return t, nil
+}
+
+// MustIssue is Issue for setup code.
+func (c *Currency) MustIssue(amount Amount, to Node) *Ticket {
+	t, err := c.Issue(amount, to)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// dependsOn reports whether c's value depends (transitively) on d:
+// i.e. whether following c's backing tickets' denominations reaches d.
+func (c *Currency) dependsOn(d *Currency) bool {
+	seen := make(map[*Currency]bool)
+	var walk func(cur *Currency) bool
+	walk = func(cur *Currency) bool {
+		if cur == d {
+			return true
+		}
+		if seen[cur] {
+			return false
+		}
+		seen[cur] = true
+		for _, t := range cur.backing {
+			if walk(t.currency) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(c)
+}
+
+// Destroy removes an empty currency from the system, destroying its
+// backing tickets. It fails while tickets are still issued in it, so
+// rights denominated in the currency cannot be silently voided.
+func (c *Currency) Destroy() error {
+	if c.isBase {
+		return fmt.Errorf("ticket: cannot destroy the base currency")
+	}
+	if c.destroyed {
+		return fmt.Errorf("ticket: currency %q already destroyed", c.name)
+	}
+	if len(c.issued) > 0 {
+		return fmt.Errorf("ticket: currency %q still has %d issued tickets", c.name, len(c.issued))
+	}
+	for len(c.backing) > 0 {
+		c.backing[0].Destroy()
+	}
+	c.destroyed = true
+	delete(c.sys.currencies, c.name)
+	c.sys.mutate()
+	return nil
+}
+
+// Holder is a leaf client of the funding graph — in the simulated
+// kernel, a thread. Its Value is what the lottery scheduler weighs.
+type Holder struct {
+	sys     *System
+	name    string
+	backing []*Ticket
+	active  bool
+}
+
+// Name returns the holder's diagnostic name.
+func (h *Holder) Name() string { return h.name }
+
+// NodeName implements Node.
+func (h *Holder) NodeName() string { return "holder:" + h.name }
+
+func (h *Holder) system() *System { return h.sys }
+
+func (h *Holder) attach(t *Ticket) { h.backing = append(h.backing, t) }
+
+func (h *Holder) detach(t *Ticket) { h.backing = removeTicket(h.backing, t) }
+
+func (h *Holder) wantsBacking() bool { return h.active }
+
+// Backing returns a copy of the holder's ticket list.
+func (h *Holder) Backing() []*Ticket { return append([]*Ticket(nil), h.backing...) }
+
+// Active reports whether the holder is competing (its tickets are
+// active).
+func (h *Holder) Active() bool { return h.active }
+
+// SetActive marks the holder as competing or not, activating or
+// deactivating its backing tickets. The scheduler calls this as
+// threads join and leave the run queue (§4.4: "When a thread is
+// removed from the run queue, its tickets are deactivated").
+func (h *Holder) SetActive(active bool) {
+	if h.active == active {
+		return
+	}
+	h.active = active
+	for _, t := range h.backing {
+		if active {
+			t.activate()
+		} else {
+			t.deactivate()
+		}
+	}
+	h.sys.mutate()
+}
+
+// Ticket is a resource right: amount units denominated in a currency,
+// backing a currency or holder.
+type Ticket struct {
+	sys       *System
+	id        int
+	amount    Amount
+	currency  *Currency
+	funds     Node
+	active    bool
+	destroyed bool
+}
+
+// Amount returns the ticket's face amount.
+func (t *Ticket) Amount() Amount { return t.amount }
+
+// Currency returns the currency the ticket is denominated in.
+func (t *Ticket) Currency() *Currency { return t.currency }
+
+// Funds returns the node the ticket backs, or nil after Destroy.
+func (t *Ticket) Funds() Node { return t.funds }
+
+// Active reports whether the ticket currently competes.
+func (t *Ticket) Active() bool { return t.active }
+
+// ID returns a unique (per system) ticket identifier.
+func (t *Ticket) ID() int { return t.id }
+
+func (t *Ticket) String() string {
+	target := "nowhere"
+	if t.funds != nil {
+		target = t.funds.NodeName()
+	}
+	return fmt.Sprintf("%d.%s -> %s", t.amount, t.currency.name, target)
+}
+
+// activate marks the ticket active and propagates the activation to
+// the denomination currency's backing tickets if its active amount
+// just became non-zero.
+func (t *Ticket) activate() {
+	if t.active || t.destroyed {
+		return
+	}
+	t.active = true
+	c := t.currency
+	wasZero := c.active == 0
+	c.active += t.amount
+	c.sys.mutate()
+	if wasZero && !c.isBase {
+		for _, bt := range c.backing {
+			bt.activate()
+		}
+	}
+}
+
+// deactivate is the inverse of activate (§4.4).
+func (t *Ticket) deactivate() {
+	if !t.active || t.destroyed {
+		return
+	}
+	t.active = false
+	c := t.currency
+	c.active -= t.amount
+	c.sys.mutate()
+	if c.active == 0 && !c.isBase {
+		for _, bt := range c.backing {
+			bt.deactivate()
+		}
+	}
+}
+
+// SetAmount changes the ticket's face amount, preserving activation.
+// This is the primitive behind ticket inflation/deflation of a live
+// allocation — the Monte-Carlo experiment adjusts a task's ticket
+// value as a function of its relative error (§5.2). Fails on
+// non-positive amounts or currency overflow.
+func (t *Ticket) SetAmount(amount Amount) error {
+	if t.destroyed {
+		return fmt.Errorf("ticket: SetAmount on destroyed ticket")
+	}
+	if amount <= 0 {
+		return fmt.Errorf("ticket: amount must be positive, got %d", amount)
+	}
+	c := t.currency
+	if c.total-t.amount+amount > MaxBaseUnits {
+		return fmt.Errorf("ticket: currency %q issuance would exceed MaxBaseUnits", c.name)
+	}
+	delta := amount - t.amount
+	c.total += delta
+	if t.active {
+		// The active amount changes but cannot reach zero (amount>0),
+		// so no propagation is needed.
+		c.active += delta
+	}
+	t.amount = amount
+	c.sys.mutate()
+	return nil
+}
+
+// Retarget moves the ticket to back a different node, preserving the
+// denomination. This is how whole-ticket transfers (§3.1) move rights
+// between threads. Cycle and system checks are as for Issue.
+func (t *Ticket) Retarget(to Node) error {
+	if t.destroyed {
+		return fmt.Errorf("ticket: Retarget on destroyed ticket")
+	}
+	if to == nil {
+		return fmt.Errorf("ticket: nil retarget node")
+	}
+	if to.system() != t.sys {
+		return fmt.Errorf("ticket: %s belongs to a different system", to.NodeName())
+	}
+	if dst, ok := to.(*Currency); ok {
+		if dst.destroyed {
+			return fmt.Errorf("ticket: retarget to destroyed currency %q", dst.name)
+		}
+		if dst == t.currency || t.currency.dependsOn(dst) {
+			return fmt.Errorf("ticket: retargeting to %q would create a cycle", dst.name)
+		}
+	}
+	t.funds.detach(t)
+	t.funds = to
+	to.attach(t)
+	// Activation follows the new target's needs.
+	if to.wantsBacking() {
+		t.activate()
+	} else {
+		t.deactivate()
+	}
+	t.sys.mutate()
+	return nil
+}
+
+// Destroy deactivates the ticket and removes it from the graph.
+// Destroying twice is a no-op.
+func (t *Ticket) Destroy() {
+	if t.destroyed {
+		return
+	}
+	t.deactivate()
+	c := t.currency
+	c.issued = removeTicket(c.issued, t)
+	c.total -= t.amount
+	if t.funds != nil {
+		t.funds.detach(t)
+		t.funds = nil
+	}
+	t.destroyed = true
+	c.sys.mutate()
+}
+
+func removeTicket(list []*Ticket, t *Ticket) []*Ticket {
+	for i, x := range list {
+		if x == t {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}

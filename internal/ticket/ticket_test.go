@@ -1,0 +1,458 @@
+package ticket
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// fig3 builds the paper's Figure 3 currency graph:
+//
+//	base  -- 1000.base -> alice -- 100.alice -> task1 (inactive)
+//	                            \- 200.alice -> task2 -- 200.task2 -> thread2
+//	                                                  \- 300.task2 -> thread3
+//	base  -- 2000.base -> bob   -- 100.bob   -> task3 -- 100.task3 -> thread4
+//
+// With task1 idle, the paper gives thread2 = 400, thread3 = 600,
+// thread4 = 2000 base units.
+func fig3(t testing.TB) (*System, map[string]*Holder) {
+	t.Helper()
+	s := NewSystem()
+	alice := s.MustCurrency("alice", "alice")
+	bob := s.MustCurrency("bob", "bob")
+	task1 := s.MustCurrency("task1", "alice")
+	task2 := s.MustCurrency("task2", "alice")
+	task3 := s.MustCurrency("task3", "bob")
+
+	s.Base().MustIssue(1000, alice)
+	s.Base().MustIssue(2000, bob)
+	alice.MustIssue(100, task1)
+	alice.MustIssue(200, task2)
+	bob.MustIssue(100, task3)
+
+	threads := map[string]*Holder{
+		"thread1": s.NewHolder("thread1"),
+		"thread2": s.NewHolder("thread2"),
+		"thread3": s.NewHolder("thread3"),
+		"thread4": s.NewHolder("thread4"),
+	}
+	task1.MustIssue(100, threads["thread1"]) // thread1 stays inactive
+	task2.MustIssue(200, threads["thread2"])
+	task2.MustIssue(300, threads["thread3"])
+	task3.MustIssue(100, threads["thread4"])
+
+	threads["thread2"].SetActive(true)
+	threads["thread3"].SetActive(true)
+	threads["thread4"].SetActive(true)
+	return s, threads
+}
+
+func TestPaperFigure3Values(t *testing.T) {
+	s, threads := fig3(t)
+	want := map[string]float64{
+		"thread1": 0, // inactive
+		"thread2": 400,
+		"thread3": 600,
+		"thread4": 2000,
+	}
+	for name, w := range want {
+		if got := threads[name].Value(); !almostEqual(got, w) {
+			t.Errorf("%s value = %v, want %v", name, got, w)
+		}
+	}
+	if got := s.Base().Value(); !almostEqual(got, 3000) {
+		t.Errorf("base value = %v, want 3000", got)
+	}
+	// Conservation: active leaf values sum to the base active amount.
+	var sum float64
+	for _, h := range threads {
+		sum += h.Value()
+	}
+	if !almostEqual(sum, float64(s.Base().ActiveAmount())) {
+		t.Errorf("conservation violated: leaves sum %v, base active %d",
+			sum, s.Base().ActiveAmount())
+	}
+}
+
+func TestPaperFigure3ActivationShift(t *testing.T) {
+	s, threads := fig3(t)
+	// Waking thread1 activates task1's funding: alice's active amount
+	// becomes 300, so alice's 1000 base units are split 1:2 between
+	// task1 and task2.
+	threads["thread1"].SetActive(true)
+	cases := map[string]float64{
+		"thread1": 1000.0 / 3,
+		"thread2": 1000 * 2.0 / 3 * 200 / 500,
+		"thread3": 1000 * 2.0 / 3 * 300 / 500,
+		"thread4": 2000,
+	}
+	for name, w := range cases {
+		if got := threads[name].Value(); !almostEqual(got, w) {
+			t.Errorf("%s value = %v, want %v", name, got, w)
+		}
+	}
+	// Blocking every alice thread deactivates alice's backing ticket,
+	// shrinking the base active amount to bob's 2000.
+	threads["thread1"].SetActive(false)
+	threads["thread2"].SetActive(false)
+	threads["thread3"].SetActive(false)
+	if got := s.Base().ActiveAmount(); got != 2000 {
+		t.Errorf("base active = %d, want 2000 after alice idles", got)
+	}
+	if got := threads["thread4"].Value(); !almostEqual(got, 2000) {
+		t.Errorf("thread4 value = %v, want 2000", got)
+	}
+}
+
+func TestActivationPropagationDepth(t *testing.T) {
+	// A chain base -> c1 -> c2 -> c3 -> holder: activating the single
+	// holder must activate every backing ticket up the chain.
+	s := NewSystem()
+	prev := Node(s.Base())
+	var chain []*Currency
+	for _, name := range []string{"c1", "c2", "c3"} {
+		c := s.MustCurrency(name, "u")
+		chain = append(chain, c)
+		if p, ok := prev.(*Currency); ok {
+			p.MustIssue(10, c)
+		}
+		prev = c
+	}
+	h := s.NewHolder("h")
+	chain[2].MustIssue(5, h)
+
+	for _, c := range chain {
+		if c.ActiveAmount() != 0 {
+			t.Fatalf("currency %s active before holder wakes", c.Name())
+		}
+	}
+	h.SetActive(true)
+	if s.Base().ActiveAmount() != 10 {
+		t.Errorf("base active = %d, want 10", s.Base().ActiveAmount())
+	}
+	if got := h.Value(); !almostEqual(got, 10) {
+		t.Errorf("holder value = %v, want 10", got)
+	}
+	h.SetActive(false)
+	if s.Base().ActiveAmount() != 0 {
+		t.Errorf("base active = %d, want 0 after deactivation", s.Base().ActiveAmount())
+	}
+}
+
+func TestIssueValidation(t *testing.T) {
+	s := NewSystem()
+	c := s.MustCurrency("c", "u")
+	h := s.NewHolder("h")
+
+	if _, err := c.Issue(0, h); err == nil {
+		t.Error("zero amount accepted")
+	}
+	if _, err := c.Issue(-5, h); err == nil {
+		t.Error("negative amount accepted")
+	}
+	if _, err := c.Issue(10, nil); err == nil {
+		t.Error("nil target accepted")
+	}
+	if _, err := c.Issue(MaxBaseUnits+1, h); err == nil {
+		t.Error("overflow amount accepted")
+	}
+	other := NewSystem()
+	if _, err := c.Issue(10, other.NewHolder("x")); err == nil {
+		t.Error("cross-system target accepted")
+	}
+	if _, err := c.Issue(10, c); err == nil {
+		t.Error("self-funding accepted")
+	}
+}
+
+func TestCycleRejection(t *testing.T) {
+	s := NewSystem()
+	a := s.MustCurrency("a", "u")
+	b := s.MustCurrency("b", "u")
+	c := s.MustCurrency("c", "u")
+	s.Base().MustIssue(100, a)
+	a.MustIssue(10, b)
+	b.MustIssue(10, c)
+	// c -> a would close the loop a -> b -> c -> a.
+	if _, err := c.Issue(10, a); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	// Diamond shapes are legal: a funds c directly too (acyclic graph,
+	// not a tree — §3.3).
+	if _, err := a.Issue(10, c); err != nil {
+		t.Fatalf("diamond rejected: %v", err)
+	}
+}
+
+func TestCurrencyNameValidation(t *testing.T) {
+	s := NewSystem()
+	if _, err := s.NewCurrency("", "u"); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := s.NewCurrency("base", "u"); err == nil {
+		t.Error("duplicate of base accepted")
+	}
+	s.MustCurrency("x", "u")
+	if _, err := s.NewCurrency("x", "u"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestInflationACL(t *testing.T) {
+	s := NewSystem()
+	c := s.MustCurrency("shared", "alice")
+	h := s.NewHolder("h")
+	if _, err := c.IssueAs("bob", 10, h); err == nil {
+		t.Error("non-owner inflation accepted without grant")
+	}
+	c.AllowInflation("bob")
+	if _, err := c.IssueAs("bob", 10, h); err != nil {
+		t.Errorf("granted inflation rejected: %v", err)
+	}
+	c.RevokeInflation("bob")
+	if _, err := c.IssueAs("bob", 10, h); err == nil {
+		t.Error("revoked inflation accepted")
+	}
+	if !c.CanIssue("alice") {
+		t.Error("owner cannot issue")
+	}
+}
+
+func TestSetAmountInflation(t *testing.T) {
+	s := NewSystem()
+	h1 := s.NewHolder("h1")
+	h2 := s.NewHolder("h2")
+	t1 := s.Base().MustIssue(100, h1)
+	s.Base().MustIssue(100, h2)
+	h1.SetActive(true)
+	h2.SetActive(true)
+
+	if !almostEqual(h1.Value(), 100) || !almostEqual(h2.Value(), 100) {
+		t.Fatal("initial values wrong")
+	}
+	if err := t1.SetAmount(300); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(h1.Value(), 300) {
+		t.Errorf("h1 value = %v after inflation, want 300", h1.Value())
+	}
+	// Base-denominated inflation dilutes nothing for h2 (base tickets
+	// are worth face value), matching the conserved-base design.
+	if !almostEqual(h2.Value(), 100) {
+		t.Errorf("h2 value = %v, want 100", h2.Value())
+	}
+	if s.Base().ActiveAmount() != 400 {
+		t.Errorf("base active = %d, want 400", s.Base().ActiveAmount())
+	}
+
+	if err := t1.SetAmount(0); err == nil {
+		t.Error("SetAmount(0) accepted")
+	}
+	if err := t1.SetAmount(MaxBaseUnits); err == nil {
+		t.Error("overflowing SetAmount accepted")
+	}
+}
+
+func TestInflationInsulatedByCurrency(t *testing.T) {
+	// §5.5: inflation inside currency B must not affect holders funded
+	// through currency A.
+	s := NewSystem()
+	a := s.MustCurrency("A", "a")
+	b := s.MustCurrency("B", "b")
+	s.Base().MustIssue(100, a)
+	s.Base().MustIssue(100, b)
+	ha := s.NewHolder("ha")
+	hb1 := s.NewHolder("hb1")
+	hb2 := s.NewHolder("hb2")
+	a.MustIssue(100, ha)
+	b.MustIssue(100, hb1)
+	tb2 := b.MustIssue(100, hb2)
+	for _, h := range []*Holder{ha, hb1, hb2} {
+		h.SetActive(true)
+	}
+	if !almostEqual(ha.Value(), 100) || !almostEqual(hb1.Value(), 50) {
+		t.Fatalf("setup values wrong: ha=%v hb1=%v", ha.Value(), hb1.Value())
+	}
+	// Inflate hb2's funding 4x: B's internal split changes, A is
+	// untouched.
+	if err := tb2.SetAmount(400); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(ha.Value(), 100) {
+		t.Errorf("ha value = %v after B inflation, want 100 (insulation)", ha.Value())
+	}
+	if !almostEqual(hb1.Value(), 20) || !almostEqual(hb2.Value(), 80) {
+		t.Errorf("B split = %v/%v, want 20/80", hb1.Value(), hb2.Value())
+	}
+}
+
+func TestRetargetTransfersRights(t *testing.T) {
+	s := NewSystem()
+	client := s.NewHolder("client")
+	server := s.NewHolder("server")
+	tk := s.Base().MustIssue(100, client)
+	client.SetActive(true)
+	server.SetActive(true)
+
+	if !almostEqual(client.Value(), 100) || !almostEqual(server.Value(), 0) {
+		t.Fatal("setup values wrong")
+	}
+	if err := tk.Retarget(server); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(client.Value(), 0) || !almostEqual(server.Value(), 100) {
+		t.Errorf("after transfer: client=%v server=%v", client.Value(), server.Value())
+	}
+	// Retargeting to an inactive holder deactivates the ticket.
+	idle := s.NewHolder("idle")
+	if err := tk.Retarget(idle); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Active() {
+		t.Error("ticket active while backing an idle holder")
+	}
+	if s.Base().ActiveAmount() != 0 {
+		t.Errorf("base active = %d, want 0", s.Base().ActiveAmount())
+	}
+}
+
+func TestRetargetValidation(t *testing.T) {
+	s := NewSystem()
+	a := s.MustCurrency("a", "u")
+	b := s.MustCurrency("b", "u")
+	s.Base().MustIssue(10, a)
+	tk := a.MustIssue(5, b)
+
+	if err := tk.Retarget(nil); err == nil {
+		t.Error("nil retarget accepted")
+	}
+	if err := tk.Retarget(a); err == nil {
+		t.Error("self-cycle retarget accepted")
+	}
+	other := NewSystem()
+	if err := tk.Retarget(other.NewHolder("x")); err == nil {
+		t.Error("cross-system retarget accepted")
+	}
+	tk.Destroy()
+	if err := tk.Retarget(b); err == nil {
+		t.Error("retarget of destroyed ticket accepted")
+	}
+}
+
+func TestDestroyTicket(t *testing.T) {
+	s := NewSystem()
+	h := s.NewHolder("h")
+	tk := s.Base().MustIssue(100, h)
+	h.SetActive(true)
+	if s.Base().ActiveAmount() != 100 {
+		t.Fatal("activation failed")
+	}
+	tk.Destroy()
+	if s.Base().ActiveAmount() != 0 || s.Base().TotalIssued() != 0 {
+		t.Errorf("destroy left active=%d total=%d", s.Base().ActiveAmount(), s.Base().TotalIssued())
+	}
+	if len(h.Backing()) != 0 {
+		t.Error("destroy left ticket attached to holder")
+	}
+	if tk.Value() != 0 {
+		t.Error("destroyed ticket has value")
+	}
+	tk.Destroy() // second destroy is a no-op
+	if err := tk.SetAmount(5); err == nil {
+		t.Error("SetAmount on destroyed ticket accepted")
+	}
+}
+
+func TestDestroyCurrency(t *testing.T) {
+	s := NewSystem()
+	c := s.MustCurrency("c", "u")
+	bt := s.Base().MustIssue(100, c)
+	h := s.NewHolder("h")
+	it := c.MustIssue(10, h)
+
+	if err := c.Destroy(); err == nil {
+		t.Error("destroy of currency with issued tickets accepted")
+	}
+	it.Destroy()
+	if err := c.Destroy(); err != nil {
+		t.Fatalf("destroy failed: %v", err)
+	}
+	if s.Currency("c") != nil {
+		t.Error("destroyed currency still registered")
+	}
+	if bt.Value() != 0 {
+		t.Error("backing ticket survived currency destruction with value")
+	}
+	if err := c.Destroy(); err == nil {
+		t.Error("double destroy accepted")
+	}
+	if _, err := c.Issue(1, h); err == nil {
+		t.Error("issue in destroyed currency accepted")
+	}
+	if err := s.Base().Destroy(); err == nil {
+		t.Error("base destroy accepted")
+	}
+}
+
+func TestFundedValue(t *testing.T) {
+	s := NewSystem()
+	h := s.NewHolder("h")
+	s.Base().MustIssue(250, h)
+	if got := h.FundedValue(); !almostEqual(got, 250) {
+		t.Errorf("FundedValue (inactive) = %v, want 250", got)
+	}
+	if h.Active() {
+		t.Error("FundedValue left holder active")
+	}
+	h.SetActive(true)
+	if got := h.FundedValue(); !almostEqual(got, 250) {
+		t.Errorf("FundedValue (active) = %v, want 250", got)
+	}
+}
+
+func TestDumpGraph(t *testing.T) {
+	s, _ := fig3(t)
+	dump := s.DumpGraph()
+	for _, want := range []string{"currency base", "currency alice", "200.task2", "value"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestTicketString(t *testing.T) {
+	s := NewSystem()
+	h := s.NewHolder("h")
+	tk := s.Base().MustIssue(7, h)
+	if got := tk.String(); got != "7.base -> holder:h" {
+		t.Errorf("String = %q", got)
+	}
+	tk.Destroy()
+	if !strings.Contains(tk.String(), "nowhere") {
+		t.Errorf("destroyed String = %q", tk.String())
+	}
+}
+
+func TestValueCacheConsistency(t *testing.T) {
+	// Cached and uncached valuations must agree across a sequence of
+	// mutations.
+	s, threads := fig3(t)
+	check := func() {
+		t.Helper()
+		for _, name := range s.Currencies() {
+			c := s.Currency(name)
+			if got, want := c.Value(), c.valueUncached(); !almostEqual(got, want) {
+				t.Fatalf("currency %s cached %v != uncached %v", name, got, want)
+			}
+		}
+	}
+	check()
+	threads["thread1"].SetActive(true)
+	check()
+	threads["thread4"].SetActive(false)
+	check()
+	threads["thread4"].SetActive(true)
+	check()
+}

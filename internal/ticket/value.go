@@ -1,0 +1,115 @@
+package ticket
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value returns the currency's value in base units: the sum of the
+// values of its active backing tickets. The base currency's value is
+// defined as its active amount, which makes a base-denominated
+// ticket's value equal its face amount (§4.4).
+//
+// Values are memoized per system generation; any graph mutation
+// invalidates the cache. The uncached path is exercised directly by
+// valueUncached and cross-checked in tests, mirroring the paper's
+// note that "currency conversions can be accelerated by caching
+// values".
+func (c *Currency) Value() float64 {
+	if c.isBase {
+		return float64(c.active)
+	}
+	if c.cachedGen == c.sys.gen && c.cachedGen != 0 {
+		return c.cachedValue
+	}
+	v := c.valueUncached()
+	c.cachedValue, c.cachedGen = v, c.sys.gen
+	return v
+}
+
+// valueUncached recomputes the currency value by walking the funding
+// DAG. Acyclicity is guaranteed at Issue/Retarget time, so the
+// recursion terminates.
+func (c *Currency) valueUncached() float64 {
+	if c.isBase {
+		return float64(c.active)
+	}
+	var v float64
+	for _, t := range c.backing {
+		if t.active {
+			v += t.Value()
+		}
+	}
+	return v
+}
+
+// Value returns the ticket's value in base units: the value of its
+// denomination currency scaled by the ticket's share of the active
+// amount issued in that currency. Inactive tickets are worth 0; so
+// are tickets in a currency with zero active amount (nothing is
+// competing, so there is no share to compute).
+func (t *Ticket) Value() float64 {
+	if !t.active || t.destroyed {
+		return 0
+	}
+	c := t.currency
+	if c.isBase {
+		return float64(t.amount)
+	}
+	if c.active == 0 {
+		return 0
+	}
+	return c.Value() * float64(t.amount) / float64(c.active)
+}
+
+// Value returns the holder's total funding in base units — the weight
+// the lottery scheduler uses. Inactive holders are worth 0.
+func (h *Holder) Value() float64 {
+	if !h.active {
+		return 0
+	}
+	var v float64
+	for _, t := range h.backing {
+		if t.active {
+			v += t.Value()
+		}
+	}
+	return v
+}
+
+// FundedValue returns the holder's funding ignoring the holder's own
+// active flag: the value it would have if it were competing. The
+// kernel uses it when deciding compensation-ticket sizes for threads
+// that are about to rejoin the run queue.
+func (h *Holder) FundedValue() float64 {
+	if h.active {
+		return h.Value()
+	}
+	h.SetActive(true)
+	v := h.Value()
+	h.SetActive(false)
+	return v
+}
+
+// DumpGraph renders the funding graph for diagnostics: each currency
+// with its value, active/total amounts, and issued tickets. Output is
+// deterministic (sorted by currency name).
+func (s *System) DumpGraph() string {
+	var b strings.Builder
+	for _, name := range s.Currencies() {
+		c := s.currencies[name]
+		fmt.Fprintf(&b, "currency %s value=%.1f active=%d/%d owner=%s\n",
+			c.name, c.Value(), c.active, c.total, c.owner)
+		issued := append([]*Ticket(nil), c.issued...)
+		sort.Slice(issued, func(i, j int) bool { return issued[i].id < issued[j].id })
+		for _, t := range issued {
+			mark := " "
+			if t.active {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, "  %s %s (value %.1f)\n", mark, t, t.Value())
+		}
+	}
+	return b.String()
+}

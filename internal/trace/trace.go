@@ -1,0 +1,179 @@
+// Package trace records scheduler events from a simulated kernel and
+// summarizes them: per-thread dispatch counts, run-queue latency
+// (runnable -> dispatched), time-in-state, and a printable event log.
+// It is the observability layer a production scheduler ships with;
+// experiments use it to debug allocation anomalies, and lotterysim
+// exposes it through -trace.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind is the type of a scheduler event.
+type Kind int
+
+// Event kinds.
+const (
+	KindDispatch Kind = iota // thread starts a quantum
+	KindPreempt              // quantum expired
+	KindBlock                // thread left the run queue
+	KindWake                 // thread rejoined the run queue
+	KindExit                 // thread finished
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindDispatch:
+		return "dispatch"
+	case KindPreempt:
+		return "preempt"
+	case KindBlock:
+		return "block"
+	case KindWake:
+		return "wake"
+	case KindExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded scheduler event.
+type Event struct {
+	At     sim.Time
+	Kind   Kind
+	Thread string
+}
+
+// Recorder accumulates events. A bounded capacity (0 = unlimited)
+// turns it into a ring buffer holding the most recent events, so
+// long simulations can trace without unbounded memory.
+type Recorder struct {
+	cap    int
+	events []Event
+	start  int // ring head when wrapped
+	total  uint64
+
+	// latency accounting
+	wakeAt  map[string]sim.Time
+	latency map[string]*latAcc
+}
+
+type latAcc struct {
+	total sim.Duration
+	n     uint64
+	max   sim.Duration
+}
+
+// NewRecorder creates a recorder keeping at most capacity events
+// (0 = unlimited).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 0 {
+		panic("trace: negative capacity")
+	}
+	return &Recorder{
+		cap:     capacity,
+		wakeAt:  make(map[string]sim.Time),
+		latency: make(map[string]*latAcc),
+	}
+}
+
+// Record appends an event.
+func (r *Recorder) Record(at sim.Time, kind Kind, thread string) {
+	r.total++
+	ev := Event{At: at, Kind: kind, Thread: thread}
+	if r.cap > 0 && len(r.events) == r.cap {
+		r.events[r.start] = ev
+		r.start = (r.start + 1) % r.cap
+	} else {
+		r.events = append(r.events, ev)
+	}
+	switch kind {
+	case KindWake:
+		r.wakeAt[thread] = at
+	case KindDispatch:
+		if w, ok := r.wakeAt[thread]; ok {
+			acc := r.latency[thread]
+			if acc == nil {
+				acc = &latAcc{}
+				r.latency[thread] = acc
+			}
+			d := at.Sub(w)
+			acc.total += d
+			acc.n++
+			if d > acc.max {
+				acc.max = d
+			}
+			delete(r.wakeAt, thread)
+		}
+	}
+}
+
+// Total returns how many events have ever been recorded (including
+// ones evicted from the ring).
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Events returns the retained events in time order.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
+	return out
+}
+
+// Latency summarizes a thread's wake-to-dispatch latency.
+type Latency struct {
+	Thread string
+	Mean   sim.Duration
+	Max    sim.Duration
+	N      uint64
+}
+
+// Latencies returns per-thread dispatch-latency summaries, sorted by
+// thread name.
+func (r *Recorder) Latencies() []Latency {
+	out := make([]Latency, 0, len(r.latency))
+	for name, acc := range r.latency {
+		l := Latency{Thread: name, Max: acc.max, N: acc.n}
+		if acc.n > 0 {
+			l.Mean = acc.total / sim.Duration(acc.n)
+		}
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Thread < out[j].Thread })
+	return out
+}
+
+// Counts returns per-kind event counts over the retained window.
+func (r *Recorder) Counts() map[Kind]uint64 {
+	out := make(map[Kind]uint64)
+	for _, ev := range r.events {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+// Format renders the retained log (last n events; n <= 0 means all)
+// plus the latency table.
+func (r *Recorder) Format(n int) string {
+	evs := r.Events()
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	var b strings.Builder
+	for _, ev := range evs {
+		fmt.Fprintf(&b, "%12v %-9s %s\n", sim.Duration(ev.At), ev.Kind, ev.Thread)
+	}
+	if lats := r.Latencies(); len(lats) > 0 {
+		b.WriteString("wake-to-dispatch latency:\n")
+		for _, l := range lats {
+			fmt.Fprintf(&b, "  %-12s mean %-12v max %-12v n=%d\n", l.Thread, l.Mean, l.Max, l.N)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(0, KindWake, "a")
+	r.Record(sim.Time(10*sim.Millisecond), KindDispatch, "a")
+	r.Record(sim.Time(110*sim.Millisecond), KindPreempt, "a")
+	r.Record(sim.Time(110*sim.Millisecond), KindBlock, "a")
+	if r.Total() != 4 {
+		t.Errorf("Total = %d", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 4 || evs[0].Kind != KindWake || evs[3].Kind != KindBlock {
+		t.Errorf("events = %v", evs)
+	}
+	counts := r.Counts()
+	if counts[KindDispatch] != 1 || counts[KindWake] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestLatencyAccounting(t *testing.T) {
+	r := NewRecorder(0)
+	// Two wake->dispatch cycles: 10 ms and 30 ms.
+	r.Record(0, KindWake, "a")
+	r.Record(sim.Time(10*sim.Millisecond), KindDispatch, "a")
+	r.Record(sim.Time(50*sim.Millisecond), KindWake, "a")
+	r.Record(sim.Time(80*sim.Millisecond), KindDispatch, "a")
+	// Re-dispatch without an intervening wake must not count.
+	r.Record(sim.Time(90*sim.Millisecond), KindDispatch, "a")
+	lats := r.Latencies()
+	if len(lats) != 1 {
+		t.Fatalf("latencies = %v", lats)
+	}
+	l := lats[0]
+	if l.N != 2 || l.Mean != 20*sim.Millisecond || l.Max != 30*sim.Millisecond {
+		t.Errorf("latency = %+v", l)
+	}
+}
+
+func TestRingBuffer(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		r.Record(sim.Time(i), KindDispatch, "a")
+	}
+	if r.Total() != 10 {
+		t.Errorf("Total = %d", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.At != sim.Time(7+i) {
+			t.Errorf("event %d at %v, want %v (most recent retained, in order)", i, ev.At, sim.Time(7+i))
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(0, KindWake, "worker")
+	r.Record(sim.Time(5*sim.Millisecond), KindDispatch, "worker")
+	out := r.Format(0)
+	for _, want := range []string{"wake", "dispatch", "worker", "wake-to-dispatch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+	// Tail limiting.
+	if got := r.Format(1); strings.Contains(got, "wake\n") {
+		t.Errorf("Format(1) kept more than one event:\n%s", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindDispatch: "dispatch", KindPreempt: "preempt",
+		KindBlock: "block", KindWake: "wake", KindExit: "exit",
+		Kind(99): "kind(99)",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewRecorder(-1)
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kernel"
+	"repro/internal/random"
+	"repro/internal/sim"
+	"repro/internal/ticket"
+)
+
+// MonteCarlo is the §5.2 workload: a genuine Monte-Carlo numerical
+// integration whose relative error shrinks as 1/sqrt(trials), and
+// which periodically re-funds itself proportionally to the square of
+// that error ("Each task periodically sets its ticket value to be
+// proportional to the square of its relative error"). A freshly
+// started experiment therefore receives a large CPU share that tapers
+// off as it catches up with older experiments — the Figure 6 dynamic.
+//
+// The integrand is f(x) = x*x over [0,1] (true value 1/3), estimated
+// by averaging f at uniform sample points, exactly the shape of the
+// sample code in Numerical Recipes the paper's tasks were based on.
+type MonteCarlo struct {
+	// Name labels the task.
+	Name string
+	// TrialCost is virtual CPU per trial (default 50 µs).
+	TrialCost sim.Duration
+	// Batch is trials per Compute call (default 20 = 1 ms).
+	Batch int
+	// RefundEvery is how many trials between funding updates
+	// (default 2000, i.e. every ~100 ms of CPU).
+	RefundEvery int
+	// FundingScale converts squared relative error into a ticket
+	// amount (default 1e9); amounts are clamped to [1, FundingScale].
+	FundingScale float64
+	// ErrExponent is the exponent of the funding function
+	// scale*error^k (default 2, the paper's choice). §5.2: "any
+	// monotonically increasing function of the relative error would
+	// cause convergence. A linear function would cause the tasks to
+	// converge more slowly, while a cubic function would result in
+	// more rapid convergence."
+	ErrExponent float64
+
+	rng    *random.PM
+	funded *ticket.Ticket
+
+	trials uint64
+	sum    float64
+	sumSq  float64
+}
+
+// NewMonteCarlo creates a task with its own deterministic sample
+// stream.
+func NewMonteCarlo(name string, seed uint32) *MonteCarlo {
+	return &MonteCarlo{Name: name, rng: random.NewPM(seed)}
+}
+
+// AttachFunding gives the task the ticket it inflates and deflates.
+// The ticket is typically issued in the task's own currency or the
+// base currency; §3.2's warning about unguarded inflation is the
+// reason experiments put mutually-trusting Monte-Carlo tasks in one
+// currency.
+func (mc *MonteCarlo) AttachFunding(t *ticket.Ticket) { mc.funded = t }
+
+// Trials returns the number of completed trials.
+func (mc *MonteCarlo) Trials() uint64 { return mc.trials }
+
+// Estimate returns the current integral estimate.
+func (mc *MonteCarlo) Estimate() float64 {
+	if mc.trials == 0 {
+		return 0
+	}
+	return mc.sum / float64(mc.trials)
+}
+
+// RelativeError returns the estimated relative standard error of the
+// estimate: stddev(samples)/sqrt(n) divided by the estimate. Before
+// any trials it is 1 (maximal).
+func (mc *MonteCarlo) RelativeError() float64 {
+	n := float64(mc.trials)
+	if n < 2 {
+		return 1
+	}
+	mean := mc.sum / n
+	if mean == 0 {
+		return 1
+	}
+	variance := mc.sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	stderr := math.Sqrt(variance / n)
+	re := stderr / math.Abs(mean)
+	if re > 1 {
+		re = 1
+	}
+	return re
+}
+
+// Body returns the thread body: batches of real Monte-Carlo trials,
+// with periodic dynamic re-funding.
+func (mc *MonteCarlo) Body() func(*kernel.Ctx) {
+	cost := mc.TrialCost
+	if cost == 0 {
+		cost = 50 * sim.Microsecond
+	}
+	if cost < 0 {
+		panic(fmt.Sprintf("workload: negative TrialCost %v", cost))
+	}
+	batch := mc.Batch
+	if batch == 0 {
+		batch = 20
+	}
+	refund := mc.RefundEvery
+	if refund == 0 {
+		refund = 2000
+	}
+	if mc.FundingScale == 0 {
+		mc.FundingScale = 1e9
+	}
+	if mc.ErrExponent == 0 {
+		mc.ErrExponent = 2
+	}
+	if mc.ErrExponent < 0 {
+		panic(fmt.Sprintf("workload: negative ErrExponent %v", mc.ErrExponent))
+	}
+	if mc.rng == nil {
+		mc.rng = random.NewPM(1)
+	}
+	return func(ctx *kernel.Ctx) {
+		sinceRefund := 0
+		for {
+			ctx.Compute(sim.Duration(batch) * cost)
+			for i := 0; i < batch; i++ {
+				x := mc.rng.Float64()
+				f := x * x
+				mc.sum += f
+				mc.sumSq += f * f
+			}
+			mc.trials += uint64(batch)
+			sinceRefund += batch
+			if sinceRefund >= refund {
+				sinceRefund = 0
+				mc.refund()
+			}
+		}
+	}
+}
+
+// maxFundingAmount caps a task's dynamic ticket amount well below
+// ticket.MaxBaseUnits so several saturated tasks cannot overflow their
+// shared currency. FundingScale may exceed it: a large scale buys
+// differentiation at small errors (amounts only saturate near error
+// 1), which matters for high ErrExponent values whose re^k underflows
+// the 1-ticket floor otherwise.
+const maxFundingAmount = ticket.Amount(1 << 28)
+
+// refund sets the task's ticket amount proportional to its relative
+// error raised to ErrExponent (§5.2; the paper used the square).
+func (mc *MonteCarlo) refund() {
+	if mc.funded == nil {
+		return
+	}
+	re := mc.RelativeError()
+	raw := math.Ceil(mc.FundingScale * math.Pow(re, mc.ErrExponent))
+	amount := maxFundingAmount
+	if raw < float64(maxFundingAmount) {
+		amount = ticket.Amount(raw)
+	}
+	if amount < 1 {
+		amount = 1
+	}
+	if err := mc.funded.SetAmount(amount); err != nil {
+		panic("workload: Monte-Carlo refund failed: " + err.Error())
+	}
+}

@@ -1,0 +1,81 @@
+package textgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzCountSubstringFolded checks the fast single-pass counter against
+// the straightforward ToLower-copy implementation on arbitrary inputs.
+func FuzzCountSubstringFolded(f *testing.F) {
+	f.Add([]byte("The Lottery is a LOTTERY"), "lottery")
+	f.Add([]byte("aaaa"), "aa")
+	f.Add([]byte(""), "")
+	f.Add([]byte("abcABC"), "bCa")
+	f.Fuzz(func(t *testing.T, text []byte, needle string) {
+		if len(needle) > 64 || len(text) > 1<<16 {
+			return
+		}
+		got := CountSubstringFolded(text, needle)
+		want := CountSubstring(text, needle)
+		if got != want {
+			t.Fatalf("folded %d != reference %d for %q in %q", got, want, needle, text)
+		}
+	})
+}
+
+// FuzzCorpusPlantCount checks that generated corpora always contain
+// the needle exactly the requested number of times.
+func FuzzCorpusPlantCount(f *testing.F) {
+	f.Add(uint32(1), 10_000, uint8(4))
+	f.Add(uint32(99), 50_000, uint8(0))
+	f.Fuzz(func(t *testing.T, seed uint32, size int, plantRaw uint8) {
+		if size <= 0 || size > 200_000 {
+			return
+		}
+		plant := int(plantRaw % 32)
+		text := Corpus(seed, size, "lottery", plant)
+		if got := CountSubstring(text, "lottery"); got != plant {
+			t.Fatalf("planted %d, found %d", plant, got)
+		}
+		if len(text) < size {
+			t.Fatalf("corpus %d < requested %d", len(text), size)
+		}
+	})
+}
+
+// FuzzCountSubstringUnicode exercises non-ASCII bytes: folding is
+// ASCII-only by design, and the two implementations must still agree.
+func FuzzCountSubstringUnicode(f *testing.F) {
+	f.Add("héllo wörld", "ö")
+	f.Fuzz(func(t *testing.T, text, needle string) {
+		if len(needle) > 16 || len(text) > 1<<12 {
+			return
+		}
+		a := CountSubstring([]byte(text), needle)
+		b := CountSubstringFolded([]byte(text), needle)
+		if a != b {
+			t.Fatalf("mismatch %d vs %d for %q in %q", a, b, needle, text)
+		}
+	})
+}
+
+// TestFoldedUnicodeSpotChecks pins a few non-ASCII cases outside the
+// fuzzer.
+func TestFoldedUnicodeSpotChecks(t *testing.T) {
+	cases := []struct {
+		text, needle string
+	}{
+		{"héllo HÉLLO", "héllo"},
+		{strings.Repeat("日本語", 10), "本"},
+		{string(bytes.Repeat([]byte{0xff, 0x41}, 5)), "a"},
+	}
+	for _, c := range cases {
+		a := CountSubstring([]byte(c.text), c.needle)
+		b := CountSubstringFolded([]byte(c.text), c.needle)
+		if a != b {
+			t.Errorf("%q in %q: %d vs %d", c.needle, c.text, a, b)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package textgen generates the deterministic pseudo-English corpus
+// that stands in for the paper's 4.6 MB Shakespeare "database" (§5.3).
+// The paper's query — a case-insensitive substring count whose search
+// string occurs exactly 8 times — is reproduced by planting the needle
+// a known number of times in text that cannot contain it by accident.
+package textgen
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/random"
+)
+
+// DefaultSize matches the paper's 4.6 MB database.
+const DefaultSize = 4_600_000
+
+// DefaultNeedle is the paper's search string, which "incidentally
+// occurs a total of 8 times in Shakespeare's plays".
+const DefaultNeedle = "lottery"
+
+// DefaultPlantCount matches the paper's 8 occurrences.
+const DefaultPlantCount = 8
+
+// words is a vocabulary of common English words. None contains the
+// letter sequence "lot", so the default needle can only appear where
+// Corpus plants it.
+var words = []string{
+	"the", "and", "when", "with", "from", "this", "that", "have",
+	"been", "were", "they", "their", "there", "which", "would",
+	"king", "queen", "crown", "sword", "night", "day", "heart",
+	"mind", "speak", "answer", "friend", "enemy", "honor", "grace",
+	"noble", "humble", "great", "small", "light", "dark", "fire",
+	"water", "earth", "wind", "storm", "peace", "war", "truth",
+	"false", "brave", "fear", "hope", "dream", "sleep", "wake",
+	"morning", "evening", "summer", "winter", "spring", "garden",
+	"castle", "tower", "bridge", "river", "mountain", "valley",
+	"father", "mother", "brother", "sister", "daughter", "son",
+	"prince", "duke", "army", "banner", "crowd", "music",
+	"dance", "feast", "wine", "bread", "gold", "silver", "iron",
+	"stone", "wood", "paper", "letter", "message", "herald",
+	"journey", "return", "depart", "arrive", "remain", "change",
+	"grow", "fade", "rise", "fall", "stand", "kneel", "run",
+	"walk", "ride", "sail", "fight", "yield", "win", "weep",
+	"laugh", "smile", "frown", "whisper", "shout", "sing", "pray",
+}
+
+// Corpus returns a deterministic pseudo-English text of at least size
+// bytes in which needle occurs (case-insensitively) exactly plant
+// times. It panics on invalid arguments or if the vocabulary could
+// form the needle accidentally.
+func Corpus(seed uint32, size int, needle string, plant int) []byte {
+	if size <= 0 {
+		panic(fmt.Sprintf("textgen: size must be positive, got %d", size))
+	}
+	if plant < 0 {
+		panic("textgen: negative plant count")
+	}
+	if needle == "" && plant > 0 {
+		panic("textgen: empty needle cannot be planted")
+	}
+	lowNeedle := strings.ToLower(needle)
+	for _, w := range words {
+		if strings.Contains(w, lowNeedle) && needle != "" {
+			panic(fmt.Sprintf("textgen: vocabulary word %q contains needle %q", w, needle))
+		}
+	}
+
+	rng := random.NewPM(seed)
+	var b bytes.Buffer
+	b.Grow(size + 64)
+	// Choose plant offsets as fractions of the target size, then emit
+	// words until each offset passes, inserting the needle there.
+	plantAt := make([]int, plant)
+	for i := range plantAt {
+		plantAt[i] = (i*2 + 1) * size / (2 * plant) // evenly spread
+	}
+	next := 0
+	col := 0
+	sentence := 0
+	for b.Len() < size {
+		if next < len(plantAt) && b.Len() >= plantAt[next] {
+			// Alternate case to exercise the case-insensitive search.
+			n := needle
+			if next%2 == 1 {
+				n = strings.ToUpper(needle)
+			}
+			b.WriteString(n)
+			b.WriteByte(' ')
+			next++
+			continue
+		}
+		w := words[rng.Intn(len(words))]
+		if sentence == 0 {
+			w = strings.ToUpper(w[:1]) + w[1:]
+		}
+		b.WriteString(w)
+		sentence++
+		if sentence >= 8+rng.Intn(8) {
+			b.WriteString(". ")
+			sentence = 0
+		} else {
+			b.WriteByte(' ')
+		}
+		col += len(w) + 1
+		if col > 60 {
+			b.WriteByte('\n')
+			col = 0
+		}
+	}
+	// Emit any offsets that were beyond the final size.
+	for ; next < len(plantAt); next++ {
+		b.WriteString(needle)
+		b.WriteByte(' ')
+	}
+	return b.Bytes()
+}
+
+// DefaultCorpus returns the standard experiment corpus: ~4.6 MB with
+// "lottery" planted 8 times.
+func DefaultCorpus(seed uint32) []byte {
+	return Corpus(seed, DefaultSize, DefaultNeedle, DefaultPlantCount)
+}
+
+// CountSubstring returns the number of (possibly overlapping)
+// ASCII-case-insensitive occurrences of needle in text — the paper's
+// query operation ("a case-insensitive substring search over the
+// entire database ... returns a count of the matches found"). Case
+// folding is ASCII-only, matching a 1994 strcasestr over an ASCII
+// corpus; non-ASCII bytes compare exactly.
+func CountSubstring(text []byte, needle string) int {
+	if len(needle) == 0 {
+		return 0
+	}
+	low := asciiLower(text)
+	n := asciiLower([]byte(needle))
+	count := 0
+	for i := 0; ; {
+		j := bytes.Index(low[i:], n)
+		if j < 0 {
+			break
+		}
+		count++
+		i += j + 1 // overlapping occurrences count, like repeated scan
+	}
+	return count
+}
+
+// asciiLower returns a lowercased copy, folding only A-Z.
+func asciiLower(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		out[i] = foldASCII(c)
+	}
+	return out
+}
+
+// CountSubstringFolded is CountSubstring without the ToLower copy:
+// a single pass with ASCII case folding. The DB server uses it so a
+// 4.6 MB query does not allocate 4.6 MB per request.
+func CountSubstringFolded(text []byte, needle string) int {
+	if len(needle) == 0 || len(needle) > len(text) {
+		return 0
+	}
+	n := string(asciiLower([]byte(needle)))
+	first := n[0]
+	count := 0
+	limit := len(text) - len(n)
+outer:
+	for i := 0; i <= limit; i++ {
+		if foldASCII(text[i]) != first {
+			continue
+		}
+		for j := 1; j < len(n); j++ {
+			if foldASCII(text[i+j]) != n[j] {
+				continue outer
+			}
+		}
+		count++
+	}
+	return count
+}
+
+func foldASCII(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
+}

@@ -1,0 +1,116 @@
+package textgen
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := Corpus(42, 100_000, "lottery", 8)
+	b := Corpus(42, 100_000, "lottery", 8)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corpora")
+	}
+	c := Corpus(43, 100_000, "lottery", 8)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestCorpusSizeAndPlantCount(t *testing.T) {
+	for _, plant := range []int{0, 1, 8, 50} {
+		text := Corpus(7, 200_000, "lottery", plant)
+		if len(text) < 200_000 {
+			t.Fatalf("corpus too small: %d", len(text))
+		}
+		if got := CountSubstring(text, "lottery"); got != plant {
+			t.Errorf("plant=%d: needle found %d times", plant, got)
+		}
+	}
+}
+
+func TestCorpusCaseVariants(t *testing.T) {
+	// Planted needles alternate case; case-sensitive counting must see
+	// fewer than the case-insensitive count.
+	text := Corpus(9, 300_000, "lottery", 8)
+	caseSensitive := bytes.Count(text, []byte("lottery"))
+	if caseSensitive >= 8 {
+		t.Errorf("expected mixed-case plants, got %d lowercase", caseSensitive)
+	}
+	if got := CountSubstring(text, "LOTTERY"); got != 8 {
+		t.Errorf("case-insensitive search for upper needle = %d", got)
+	}
+}
+
+func TestDefaultCorpus(t *testing.T) {
+	text := DefaultCorpus(1)
+	if len(text) < DefaultSize {
+		t.Fatalf("default corpus %d bytes, want >= %d", len(text), DefaultSize)
+	}
+	if got := CountSubstring(text, DefaultNeedle); got != DefaultPlantCount {
+		t.Errorf("default needle count = %d, want %d", got, DefaultPlantCount)
+	}
+}
+
+func TestCountSubstring(t *testing.T) {
+	cases := []struct {
+		text, needle string
+		want         int
+	}{
+		{"aaa", "a", 3},
+		{"aaaa", "aa", 3}, // overlapping
+		{"The Lottery is a LOTTERY", "lottery", 2},
+		{"nothing here", "zebra", 0},
+		{"", "x", 0},
+		{"abc", "", 0},
+		{"short", "longer-than-text", 0},
+	}
+	for _, c := range cases {
+		if got := CountSubstring([]byte(c.text), c.needle); got != c.want {
+			t.Errorf("CountSubstring(%q, %q) = %d, want %d", c.text, c.needle, got, c.want)
+		}
+		if got := CountSubstringFolded([]byte(c.text), c.needle); got != c.want {
+			t.Errorf("CountSubstringFolded(%q, %q) = %d, want %d", c.text, c.needle, got, c.want)
+		}
+	}
+}
+
+func TestFoldedMatchesAllocating(t *testing.T) {
+	text := Corpus(11, 150_000, "lottery", 8)
+	for _, needle := range []string{"lottery", "the", "KING", "zebra", "ing", ". "} {
+		a := CountSubstring(text, needle)
+		b := CountSubstringFolded(text, needle)
+		if a != b {
+			t.Errorf("needle %q: allocating %d != folded %d", needle, a, b)
+		}
+	}
+}
+
+func TestCorpusPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero size":            func() { Corpus(1, 0, "x", 0) },
+		"negative plant":       func() { Corpus(1, 100, "x", -1) },
+		"empty needle":         func() { Corpus(1, 100, "", 3) },
+		"needle in vocabulary": func() { Corpus(1, 100, "king", 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkCountSubstringFolded(b *testing.B) {
+	text := Corpus(1, 1_000_000, "lottery", 8)
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if CountSubstringFolded(text, "lottery") != 8 {
+			b.Fatal("wrong count")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// DisplayServer models the single-threaded X11R5 server of §5.4: one
+// thread that processes display requests in arrival order. The paper
+// observed that its round-robin processing of client requests
+// distorts intended frame-rate ratios; routing viewer frames through
+// a DisplayServer reproduces that distortion, and running viewers
+// with it disabled reproduces the cleaner "-no display" numbers.
+type DisplayServer struct {
+	// PerFrameCost is display-server CPU per submitted frame
+	// (default 4 ms).
+	PerFrameCost sim.Duration
+
+	port      *kernel.Port
+	displayed uint64
+}
+
+// NewDisplayServer creates the server and spawns its single thread.
+// The server is funded directly (the X server owns its own resources;
+// it is not a transfer-funded pure server).
+func NewDisplayServer(k *kernel.Kernel, funding int64) *DisplayServer {
+	ds := &DisplayServer{port: k.NewPort("display"), PerFrameCost: 4 * sim.Millisecond}
+	th := k.Spawn("Xserver", func(ctx *kernel.Ctx) {
+		for {
+			m := ds.port.Receive(ctx)
+			ctx.Compute(ds.PerFrameCost)
+			ds.displayed++
+			ds.port.Reply(ctx, m, nil)
+		}
+	})
+	if funding > 0 {
+		th.Fund(amount(funding))
+	}
+	return ds
+}
+
+// Displayed returns the number of frames the server has drawn.
+func (ds *DisplayServer) Displayed() uint64 { return ds.displayed }
+
+// Viewer is an mpeg_play stand-in (§5.4): it decodes frames at a
+// fixed CPU cost each and optionally submits them synchronously to a
+// DisplayServer, counting displayed frames.
+type Viewer struct {
+	// Name labels the viewer.
+	Name string
+	// DecodeCost is CPU per frame (default 30 ms, ~33 fps maximum on
+	// an idle machine — the right scale for the paper's observed
+	// single-digit frame rates under 3-way contention).
+	DecodeCost sim.Duration
+	// Display, when non-nil, receives every decoded frame.
+	Display *DisplayServer
+
+	frames uint64
+}
+
+// Frames returns the number of frames completed (decoded and, if a
+// display is attached, drawn).
+func (v *Viewer) Frames() uint64 { return v.frames }
+
+// Body returns the viewer thread body.
+func (v *Viewer) Body() func(*kernel.Ctx) {
+	cost := v.DecodeCost
+	if cost == 0 {
+		cost = 30 * sim.Millisecond
+	}
+	if cost < 0 {
+		panic(fmt.Sprintf("workload: negative DecodeCost %v", cost))
+	}
+	return func(ctx *kernel.Ctx) {
+		for {
+			ctx.Compute(cost)
+			if v.Display != nil {
+				v.Display.port.Call(ctx, v.Name)
+			}
+			v.frames++
+		}
+	}
+}

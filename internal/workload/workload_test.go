@@ -1,0 +1,303 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/iodev"
+	"repro/internal/random"
+	"repro/internal/sim"
+	"repro/internal/ticket"
+	"repro/internal/workload/textgen"
+)
+
+func TestDhrystoneIterationAccounting(t *testing.T) {
+	sys := core.NewSystem(WithSeedOpt(1))
+	defer sys.Shutdown()
+	d := &Dhrystone{Name: "d"}
+	th := sys.Spawn("d", d.Body())
+	th.Fund(100)
+	sys.RunFor(10 * sim.Second)
+	// 10 s alone at 25 µs/iteration = 400,000 iterations.
+	want := uint64(10 * sim.Second / DefaultIterCost)
+	got := d.Iterations()
+	if math.Abs(float64(got)-float64(want)) > float64(want)*0.001 {
+		t.Errorf("iterations = %d, want ~%d", got, want)
+	}
+}
+
+// WithSeedOpt re-exports core.WithSeed for brevity in this package's
+// tests.
+var WithSeedOpt = core.WithSeed
+
+func TestDhrystoneProportional(t *testing.T) {
+	sys := core.NewSystem(core.WithSeed(2))
+	defer sys.Shutdown()
+	d1 := &Dhrystone{Name: "d1"}
+	d2 := &Dhrystone{Name: "d2"}
+	sys.Spawn("d1", d1.Body()).Fund(200)
+	sys.Spawn("d2", d2.Body()).Fund(100)
+	sys.RunFor(60 * sim.Second)
+	ratio := float64(d1.Iterations()) / float64(d2.Iterations())
+	if math.Abs(ratio-2) > 0.2 {
+		t.Errorf("iteration ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestDhrystoneKernelDoesWork(t *testing.T) {
+	a := DhrystoneKernel(1000)
+	b := DhrystoneKernel(1000)
+	if a != b {
+		t.Error("kernel not deterministic")
+	}
+	if DhrystoneKernel(2000) == a {
+		t.Error("different rounds gave identical checksum (suspicious)")
+	}
+}
+
+func TestMonteCarloConverges(t *testing.T) {
+	sys := core.NewSystem(core.WithSeed(3))
+	defer sys.Shutdown()
+	mc := NewMonteCarlo("mc", 77)
+	th := sys.Spawn("mc", mc.Body())
+	th.Fund(100)
+	sys.RunFor(20 * sim.Second)
+	if mc.Trials() == 0 {
+		t.Fatal("no trials")
+	}
+	if math.Abs(mc.Estimate()-1.0/3) > 0.01 {
+		t.Errorf("estimate = %v, want ~1/3", mc.Estimate())
+	}
+	re := mc.RelativeError()
+	if re <= 0 || re > 0.05 {
+		t.Errorf("relative error = %v after %d trials", re, mc.Trials())
+	}
+}
+
+func TestMonteCarloErrorDecreases(t *testing.T) {
+	sys := core.NewSystem(core.WithSeed(4))
+	defer sys.Shutdown()
+	mc := NewMonteCarlo("mc", 5)
+	sys.Spawn("mc", mc.Body()).Fund(100)
+	sys.RunFor(2 * sim.Second)
+	early := mc.RelativeError()
+	sys.RunFor(20 * sim.Second)
+	late := mc.RelativeError()
+	if late >= early {
+		t.Errorf("relative error did not decrease: %v -> %v", early, late)
+	}
+}
+
+func TestMonteCarloDynamicRefunding(t *testing.T) {
+	sys := core.NewSystem(core.WithSeed(5))
+	defer sys.Shutdown()
+	mc := NewMonteCarlo("mc", 6)
+	th := sys.Spawn("mc", mc.Body())
+	tk := th.Fund(ticket.Amount(int64(1e9)))
+	mc.AttachFunding(tk)
+	sys.RunFor(30 * sim.Second)
+	// After 30 s of trials the error is small, so the ticket must have
+	// deflated dramatically from its initial 1e9.
+	if tk.Amount() >= 1e6 {
+		t.Errorf("ticket amount = %d, want deflated well below 1e6", tk.Amount())
+	}
+	if tk.Amount() < 1 {
+		t.Errorf("ticket amount = %d, must stay >= 1", tk.Amount())
+	}
+}
+
+// TestMonteCarloNewTaskCatchesUp is a miniature Figure 6: a task
+// started later runs faster (larger error -> more funding) until it
+// catches up with the older task.
+func TestMonteCarloNewTaskCatchesUp(t *testing.T) {
+	sys := core.NewSystem(core.WithSeed(6))
+	defer sys.Shutdown()
+	old := NewMonteCarlo("old", 11)
+	thOld := sys.Spawn("old", old.Body())
+	old.AttachFunding(thOld.Fund(ticket.Amount(int64(1e9))))
+
+	young := NewMonteCarlo("young", 12)
+	sys.Engine().After(30*sim.Second, func() {
+		thY := sys.Spawn("young", young.Body())
+		young.AttachFunding(thY.Fund(ticket.Amount(int64(1e9))))
+	})
+	sys.RunFor(120 * sim.Second)
+	if young.Trials() == 0 {
+		t.Fatal("young task never ran")
+	}
+	ratio := float64(young.Trials()) / float64(old.Trials())
+	// With error^2 funding the young task converges toward the old
+	// one; by 120 s it should be within 25%.
+	if ratio < 0.75 {
+		t.Errorf("young/old trials = %v, want convergence toward 1", ratio)
+	}
+	// Errors should also be comparable.
+	if young.RelativeError() > old.RelativeError()*1.6 {
+		t.Errorf("young error %v much worse than old %v",
+			young.RelativeError(), old.RelativeError())
+	}
+}
+
+func TestViewerFrameRates(t *testing.T) {
+	sys := core.NewSystem(core.WithSeed(7))
+	defer sys.Shutdown()
+	a := &Viewer{Name: "A"}
+	b := &Viewer{Name: "B"}
+	c := &Viewer{Name: "C"}
+	sys.Spawn("A", a.Body()).Fund(300)
+	sys.Spawn("B", b.Body()).Fund(200)
+	sys.Spawn("C", c.Body()).Fund(100)
+	sys.RunFor(120 * sim.Second)
+	ab := float64(a.Frames()) / float64(b.Frames())
+	bc := float64(b.Frames()) / float64(c.Frames())
+	if math.Abs(ab-1.5) > 0.25 {
+		t.Errorf("A:B frame ratio = %v, want ~1.5", ab)
+	}
+	if math.Abs(bc-2) > 0.4 {
+		t.Errorf("B:C frame ratio = %v, want ~2", bc)
+	}
+}
+
+func TestViewerWithDisplayServer(t *testing.T) {
+	sys := core.NewSystem(core.WithSeed(8))
+	defer sys.Shutdown()
+	ds := NewDisplayServer(sys.Kernel, 50)
+	a := &Viewer{Name: "A", Display: ds}
+	b := &Viewer{Name: "B", Display: ds}
+	sys.Spawn("A", a.Body()).Fund(300)
+	sys.Spawn("B", b.Body()).Fund(100)
+	sys.RunFor(60 * sim.Second)
+	// At the deadline up to one frame per viewer is in flight (drawn by
+	// the server but not yet counted by the blocked viewer).
+	diff := int64(ds.Displayed()) - int64(a.Frames()+b.Frames())
+	if diff < 0 || diff > 2 {
+		t.Errorf("displayed %d vs decoded %d+%d (diff %d)", ds.Displayed(), a.Frames(), b.Frames(), diff)
+	}
+	// The single-threaded display server serializes clients, so the
+	// ratio is distorted below the allocated 3:1 (the §5.4 X-server
+	// effect), but the better-funded viewer still leads.
+	ratio := float64(a.Frames()) / float64(b.Frames())
+	if ratio <= 1.1 {
+		t.Errorf("A:B = %v; better-funded viewer should lead", ratio)
+	}
+	if ratio >= 3 {
+		t.Errorf("A:B = %v; display serialization should compress the 3:1 ratio", ratio)
+	}
+}
+
+func TestDBServerAnswersQueries(t *testing.T) {
+	sys := core.NewSystem(core.WithSeed(9))
+	defer sys.Shutdown()
+	corpus := textgen.Corpus(3, 200_000, "lottery", 8)
+	s := NewDBServer(sys.Kernel, DBServerConfig{Corpus: corpus, Workers: 2})
+	c := NewDBClient("c", s)
+	c.MaxQueries = 5
+	th := sys.Spawn("c", c.Body())
+	th.Fund(100)
+	sys.RunFor(60 * sim.Second)
+	if c.Completed() != 5 {
+		t.Fatalf("completed = %d, want 5", c.Completed())
+	}
+	if c.LastCount() != 8 {
+		t.Errorf("match count = %d, want 8", c.LastCount())
+	}
+	if len(c.ResponseTimes()) != 5 {
+		t.Errorf("response times = %v", c.ResponseTimes())
+	}
+	for _, rt := range c.ResponseTimes() {
+		if rt <= 0 {
+			t.Errorf("non-positive response time %v", rt)
+		}
+	}
+	if s.Queries() != 5 {
+		t.Errorf("server queries = %d", s.Queries())
+	}
+}
+
+func TestDBServerProportionalThroughput(t *testing.T) {
+	sys := core.NewSystem(core.WithSeed(10))
+	defer sys.Shutdown()
+	corpus := textgen.Corpus(4, 500_000, "lottery", 8)
+	s := NewDBServer(sys.Kernel, DBServerConfig{Corpus: corpus, Workers: 3})
+	c1 := NewDBClient("c1", s)
+	c2 := NewDBClient("c2", s)
+	sys.Spawn("c1", c1.Body()).Fund(300)
+	sys.Spawn("c2", c2.Body()).Fund(100)
+	sys.RunFor(120 * sim.Second)
+	if c1.Completed() == 0 || c2.Completed() == 0 {
+		t.Fatalf("completions: %d, %d", c1.Completed(), c2.Completed())
+	}
+	ratio := float64(c1.Completed()) / float64(c2.Completed())
+	if ratio < 2.2 || ratio > 4.2 {
+		t.Errorf("throughput ratio = %v, want ~3", ratio)
+	}
+	// Response times are inversely related to funding.
+	m1 := mean(c1.ResponseTimes())
+	m2 := mean(c2.ResponseTimes())
+	if m1 >= m2 {
+		t.Errorf("better-funded client has slower responses: %v vs %v", m1, m2)
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"dhrystone negative cost":  func() { (&Dhrystone{IterCost: -1}).Body() },
+		"dhrystone negative batch": func() { (&Dhrystone{Batch: -1}).Body() },
+		"montecarlo negative cost": func() { (&MonteCarlo{TrialCost: -1}).Body() },
+		"montecarlo negative exp":  func() { (&MonteCarlo{ErrExponent: -1}).Body() },
+		"viewer negative cost":     func() { (&Viewer{DecodeCost: -1}).Body() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestDBServerDiskScheduling is the footnote-7 variant: a slow disk is
+// the bottleneck; per-query disk bandwidth is funded by the inherited
+// client tickets, so a 3:1 client allocation yields ~3:1 throughput
+// even though the CPU is nearly free.
+func TestDBServerDiskScheduling(t *testing.T) {
+	sys := core.NewSystem(core.WithSeed(21))
+	defer sys.Shutdown()
+	corpus := textgen.Corpus(6, 200_000, "lottery", 8)
+	disk := iodev.NewDevice(sys.Kernel, "disk", 1e6, random.NewPM(99)) // 0.2s/query read
+	s := NewDBServer(sys.Kernel, DBServerConfig{
+		Corpus:   corpus,
+		Workers:  2,
+		ScanRate: 100e6, // CPU almost free: 2 ms/query
+		Disk:     disk,
+	})
+	c1 := NewDBClient("c1", s)
+	c2 := NewDBClient("c2", s)
+	sys.Spawn("c1", c1.Body()).Fund(300)
+	sys.Spawn("c2", c2.Body()).Fund(100)
+	sys.RunFor(240 * sim.Second)
+	if c1.Completed() == 0 || c2.Completed() == 0 {
+		t.Fatalf("completions: %d, %d", c1.Completed(), c2.Completed())
+	}
+	ratio := float64(c1.Completed()) / float64(c2.Completed())
+	if ratio < 2.0 || ratio > 4.2 {
+		t.Errorf("disk-bound throughput ratio = %v, want ~3", ratio)
+	}
+	if disk.Utilization() < 0.9 {
+		t.Errorf("disk utilization = %v; the disk should be the bottleneck", disk.Utilization())
+	}
+	if c1.LastCount() != 8 || c2.LastCount() != 8 {
+		t.Error("wrong match counts")
+	}
+}
