@@ -1,0 +1,46 @@
+// Command benchjson converts `go test -bench` text output (on stdin)
+// into a JSON record, so benchmark history can be tracked in files
+// like BENCH_rt.json:
+//
+//	go test -run xxx -bench . ./internal/rt/ | benchjson -o BENCH_rt.json
+//
+// With -o - (the default) the JSON is written to stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	out := flag.String("o", "-", "output file (- for stdout)")
+	flag.Parse()
+
+	set, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(set.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(set, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,150 @@
+// Command lotteryd demonstrates the real-time dispatcher as a tiny
+// HTTP service: each request class is a currency-funded client of an
+// rt.Dispatcher, so classes receive worker time in proportion to
+// their ticket funding no matter how unbalanced the offered load.
+//
+//	lotteryd -addr :8080 -workers 2 -classes gold=500,silver=300,bronze=200
+//
+//	curl 'http://localhost:8080/work?class=gold&busy=5ms'   # do one job
+//	curl 'http://localhost:8080/snapshot'                   # achieved vs entitled
+//
+// /work enqueues a job for its class and blocks until a worker has
+// run it; a class whose queue is full answers 503 (the dispatcher's
+// Reject backpressure policy). /snapshot returns the dispatcher's
+// atomic rt.Snapshot as JSON: per-class dispatch counts, achieved vs
+// entitled share, queue depth, and wait-latency percentiles.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/rt"
+	"repro/internal/ticket"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queueCap := flag.Int("queue", 256, "per-class queue capacity")
+	seed := flag.Uint("seed", 1, "lottery PRNG seed")
+	slice := flag.Duration("slice", 0, "expected slice for compensation tickets (0 = off)")
+	classes := flag.String("classes", "gold=500,silver=300,bronze=200",
+		"comma-separated class=tickets funding map")
+	flag.Parse()
+
+	funding, err := parseClasses(*classes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	d := rt.New(rt.Config{
+		Workers:       *workers,
+		QueueCap:      *queueCap,
+		Seed:          uint32(*seed),
+		ExpectedSlice: *slice,
+	})
+	defer d.Close()
+
+	clients := make(map[string]*rt.Client, len(funding))
+	names := make([]string, 0, len(funding))
+	for name, amount := range funding {
+		c, err := d.NewClient(name, amount, rt.WithOverflow(rt.Reject))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		clients[name] = c
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/work", func(w http.ResponseWriter, r *http.Request) {
+		c, ok := clients[r.URL.Query().Get("class")]
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown class; have %s", strings.Join(names, ", ")),
+				http.StatusBadRequest)
+			return
+		}
+		busy := time.Millisecond
+		if v := r.URL.Query().Get("busy"); v != "" {
+			var err error
+			if busy, err = time.ParseDuration(v); err != nil {
+				http.Error(w, "bad busy duration: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		enqueued := time.Now()
+		task, err := c.Submit(func() { spin(busy) })
+		switch {
+		case errors.Is(err, rt.ErrQueueFull):
+			http.Error(w, "class queue full", http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		if err := task.Wait(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"class":    c.Name(),
+			"busy":     busy.String(),
+			"total_ms": float64(time.Since(enqueued).Microseconds()) / 1000,
+		})
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, d.Snapshot())
+	})
+
+	log.Printf("lotteryd: %d workers, classes %s, listening on %s",
+		d.Workers(), *classes, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// spin busy-loops for roughly d, modeling CPU-bound work (sleeping
+// would not contend for the worker pool in any interesting way).
+func spin(d time.Duration) {
+	for end := time.Now().Add(d); time.Now().Before(end); {
+	}
+}
+
+func parseClasses(s string) (map[string]ticket.Amount, error) {
+	out := make(map[string]ticket.Amount)
+	for _, part := range strings.Split(s, ",") {
+		name, amount, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("lotteryd: bad class spec %q (want name=tickets)", part)
+		}
+		var n ticket.Amount
+		if _, err := fmt.Sscanf(amount, "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("lotteryd: bad ticket amount in %q", part)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("lotteryd: duplicate class %q", name)
+		}
+		out[name] = n
+	}
+	if len(out) == 0 {
+		return nil, errors.New("lotteryd: no classes configured")
+	}
+	return out, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

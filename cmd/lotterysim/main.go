@@ -20,16 +20,19 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		run    = flag.String("run", "", "experiment id to run, or 'all'")
-		scale  = flag.Float64("scale", 1.0, "time scale (1 = paper-length runs)")
-		seed   = flag.Uint("seed", 1, "PRNG seed (same seed = identical run)")
-		list   = flag.Bool("list", false, "list available experiments")
-		asJSON = flag.Bool("json", false, "emit structured results as JSON instead of text reports")
+		run     = flag.String("run", "", "experiment id to run, or 'all'")
+		scale   = flag.Float64("scale", 1.0, "time scale (1 = paper-length runs)")
+		seed    = flag.Uint("seed", 1, "PRNG seed (same seed = identical run)")
+		list    = flag.Bool("list", false, "list available experiments")
+		asJSON  = flag.Bool("json", false, "emit structured results as JSON instead of text reports")
+		doTrace = flag.Bool("trace", false, "trace the experiment's scheduler: per-thread wait-latency percentiles (p50/p95/p99) and the last events")
 	)
 	flag.Parse()
 
@@ -70,9 +73,21 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
+		var rec *trace.Recorder
+		if *doTrace {
+			// Retain only the tail of the event log (experiments emit an
+			// event per quantum); latency accounting covers the full run.
+			rec = trace.NewRecorder(16)
+			core.SetDefaultTracer(rec)
+		}
 		start := time.Now()
 		fmt.Printf("=== %s: %s (scale %g, seed %d)\n", r.ID, r.Title, *scale, *seed)
 		fmt.Print(r.Run(*scale, uint32(*seed)))
+		if rec != nil {
+			core.SetDefaultTracer(nil)
+			fmt.Printf("scheduler trace (%d events recorded, last %d shown):\n", rec.Total(), len(rec.Events()))
+			fmt.Print(rec.Format(16))
+		}
 		fmt.Printf("--- completed in %v\n", time.Since(start).Round(time.Millisecond))
 	}
 }

@@ -1,0 +1,98 @@
+// Package benchfmt parses `go test -bench` text output into a
+// structured form suitable for JSON emission, so benchmark results
+// (dispatcher throughput, draw latency) can be recorded and compared
+// across revisions. It understands the standard benchmark line shape
+//
+//	BenchmarkName/sub-8   1000000   1234 ns/op   567 extra/unit   ...
+//
+// and the goos/goarch/pkg/cpu header lines.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: its name (with the -GOMAXPROCS suffix
+// stripped into Procs), iteration count, and every value/unit metric
+// pair on the line (ns/op, B/op, allocs/op, and any ReportMetric
+// custom units).
+type Result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Set is a parsed benchmark run: header metadata plus results in
+// input order.
+type Set struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Parse reads `go test -bench` output from r. Non-benchmark lines
+// (PASS, ok, test logs) are ignored. A malformed Benchmark line is an
+// error; an input with no benchmark lines is not.
+func Parse(r io.Reader) (*Set, error) {
+	s := &Set{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			s.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			s.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			s.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			s.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			s.Results = append(s.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	// Name, iterations, then value/unit pairs: at least 4 fields.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, fmt.Errorf("benchfmt: malformed benchmark line %q", line)
+	}
+	res := Result{Name: fields[0], Procs: 1, Metrics: make(map[string]float64)}
+	// The benchmark framework appends -GOMAXPROCS to the name.
+	if i := strings.LastIndex(res.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Name, res.Procs = res.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("benchfmt: bad iteration count in %q: %v", line, err)
+	}
+	res.Iterations = iters
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("benchfmt: bad metric value in %q: %v", line, err)
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, nil
+}

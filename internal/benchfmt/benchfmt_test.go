@@ -1,0 +1,85 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/rt
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkDispatchThroughput/uncontended-1         	  351972	      3164 ns/op	    316041 tasks/s	     400 B/op	       8 allocs/op
+BenchmarkDispatchThroughput/contended-1           	  504450	      2304 ns/op	    434019 tasks/s	     208 B/op	       6 allocs/op
+BenchmarkDrawLatency/clients=8-1                  	 5000000	       240.1 ns/op
+PASS
+ok  	repro/internal/rt	4.2s
+`
+
+func TestParse(t *testing.T) {
+	s, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Goos != "linux" || s.Goarch != "amd64" || s.Pkg != "repro/internal/rt" {
+		t.Errorf("header = %q/%q/%q", s.Goos, s.Goarch, s.Pkg)
+	}
+	if !strings.Contains(s.CPU, "Xeon") {
+		t.Errorf("cpu = %q", s.CPU)
+	}
+	if len(s.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(s.Results))
+	}
+	r := s.Results[1]
+	if r.Name != "BenchmarkDispatchThroughput/contended" {
+		t.Errorf("name = %q", r.Name)
+	}
+	if r.Procs != 1 {
+		t.Errorf("procs = %d", r.Procs)
+	}
+	if r.Iterations != 504450 {
+		t.Errorf("iterations = %d", r.Iterations)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 2304, "tasks/s": 434019, "B/op": 208, "allocs/op": 6,
+	} {
+		if got := r.Metrics[unit]; got != want {
+			t.Errorf("metric %s = %v, want %v", unit, got, want)
+		}
+	}
+	if got := s.Results[2].Metrics["ns/op"]; got != 240.1 {
+		t.Errorf("fractional ns/op = %v", got)
+	}
+}
+
+func TestParseNameWithoutProcsSuffix(t *testing.T) {
+	s, err := Parse(strings.NewReader("BenchmarkFoo 100 10 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Results[0]; r.Name != "BenchmarkFoo" || r.Procs != 1 {
+		t.Errorf("got %+v", r)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	for _, in := range []string{
+		"BenchmarkFoo 100 10\n",        // dangling value without unit
+		"BenchmarkFoo nope 10 ns/op\n", // bad iteration count
+		"BenchmarkFoo 100 x ns/op\n",   // bad metric value
+	} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q): want error", in)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	s, err := Parse(strings.NewReader("PASS\nok\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 0 {
+		t.Errorf("got %d results, want 0", len(s.Results))
+	}
+}

@@ -68,6 +68,18 @@ func WithPolicy(p sched.Policy) Option { return func(o *options) { o.policy = p 
 // queue, excluding threads already running elsewhere.
 func WithCPUs(n int) Option { return func(o *options) { o.cpus = n } }
 
+// defaultTracer, when non-nil, is installed on every System that
+// NewSystem creates. It lets a CLI observe the kernels an experiment
+// builds internally without threading a recorder through every
+// experiment config (lotterysim -trace). Not safe to change while
+// systems are being created concurrently; the CLIs set it once at
+// startup.
+var defaultTracer kernel.Tracer
+
+// SetDefaultTracer installs (or, with nil, removes) the tracer that
+// future NewSystem calls attach to their kernel.
+func SetDefaultTracer(t kernel.Tracer) { defaultTracer = t }
+
 // NewSystem creates a simulated machine at virtual time zero.
 func NewSystem(opts ...Option) *System {
 	o := options{seed: 1, quantum: kernel.DefaultQuantum, moveToFront: true}
@@ -81,5 +93,8 @@ func NewSystem(opts ...Option) *System {
 		policy = s.Lottery
 	}
 	s.Kernel = kernel.New(kernel.Config{Policy: policy, Quantum: o.quantum, CPUs: o.cpus})
+	if defaultTracer != nil {
+		s.Kernel.SetTracer(defaultTracer)
+	}
 	return s
 }

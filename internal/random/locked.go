@@ -1,0 +1,66 @@
+package random
+
+import "sync"
+
+// Locked wraps a Source with a mutex so concurrent goroutines can
+// share one stream. The stream stays deterministic as a multiset (the
+// same values are produced for a given seed and draw count), but the
+// assignment of values to goroutines depends on lock acquisition
+// order. *PM itself is NOT safe for concurrent use; wrap it in Locked
+// or give each goroutine its own shard (see Sharded) before sharing.
+type Locked struct {
+	mu  sync.Mutex
+	src Source
+}
+
+// NewLocked returns src behind a mutex.
+func NewLocked(src Source) *Locked {
+	if src == nil {
+		panic("random: NewLocked with nil source")
+	}
+	return &Locked{src: src}
+}
+
+// Uint31 implements Source.
+func (l *Locked) Uint31() uint32 {
+	l.mu.Lock()
+	v := l.src.Uint31()
+	l.mu.Unlock()
+	return v
+}
+
+var _ Source = (*Locked)(nil)
+
+// Sharded is a fixed set of independent Park-Miller streams derived
+// from one seed, one per shard. Concurrent components (e.g. worker
+// goroutines) each take a distinct shard with Shard(i) and then draw
+// without any locking: shard i's stream is fully determined by the
+// master seed and i, regardless of how the other shards interleave.
+//
+// Shards are derived by splitting a master generator, so distinct
+// shards carry distinct (and, for the Park-Miller generator's period
+// of 2^31-2, non-overlapping in practice) state trajectories.
+type Sharded struct {
+	shards []*PM
+}
+
+// NewSharded returns n independent streams seeded from seed.
+// It panics if n <= 0.
+func NewSharded(seed uint32, n int) *Sharded {
+	if n <= 0 {
+		panic("random: NewSharded with non-positive shard count")
+	}
+	master := NewPM(seed)
+	s := &Sharded{shards: make([]*PM, n)}
+	for i := range s.shards {
+		s.shards[i] = master.Split()
+	}
+	return s
+}
+
+// Len returns the shard count.
+func (s *Sharded) Len() int { return len(s.shards) }
+
+// Shard returns stream i. Each shard is a plain *PM: safe only for
+// the single goroutine that owns it.
+func (s *Sharded) Shard(i int) *PM { return s.shards[i] }

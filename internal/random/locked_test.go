@@ -1,0 +1,114 @@
+package random
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLockedDeterministicMultiset checks that N concurrent drawers
+// sharing a Locked source collectively consume exactly the first k
+// values of the underlying stream (as a multiset), i.e. locking
+// serializes the stream without skipping or duplicating values.
+func TestLockedDeterministicMultiset(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 2000
+	)
+	l := NewLocked(NewPM(42))
+	var mu sync.Mutex
+	got := make(map[uint32]int)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]uint32, 0, perG)
+			for i := 0; i < perG; i++ {
+				local = append(local, l.Uint31())
+			}
+			mu.Lock()
+			for _, v := range local {
+				got[v]++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	want := make(map[uint32]int)
+	ref := NewPM(42)
+	for i := 0; i < goroutines*perG; i++ {
+		want[ref.Uint31()]++
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distinct values: got %d, want %d", len(got), len(want))
+	}
+	for v, n := range want {
+		if got[v] != n {
+			t.Fatalf("value %d drawn %d times, want %d", v, got[v], n)
+		}
+	}
+}
+
+func TestLockedNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLocked(nil) did not panic")
+		}
+	}()
+	NewLocked(nil)
+}
+
+// TestShardedIndependence checks that shards are deterministic per
+// (seed, index) and that concurrent use of distinct shards neither
+// races nor perturbs any shard's stream.
+func TestShardedIndependence(t *testing.T) {
+	const (
+		shards = 4
+		draws  = 5000
+	)
+	// Reference streams, drawn sequentially.
+	want := make([][]uint32, shards)
+	ref := NewSharded(7, shards)
+	for i := 0; i < shards; i++ {
+		want[i] = make([]uint32, draws)
+		for j := 0; j < draws; j++ {
+			want[i][j] = ref.Shard(i).Uint31()
+		}
+	}
+	// Same streams, drawn concurrently from a fresh Sharded.
+	s := NewSharded(7, shards)
+	got := make([][]uint32, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := s.Shard(i)
+			got[i] = make([]uint32, draws)
+			for j := 0; j < draws; j++ {
+				got[i][j] = src.Uint31()
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < shards; i++ {
+		for j := 0; j < draws; j++ {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("shard %d draw %d: got %d, want %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestShardedDistinctStreams(t *testing.T) {
+	s := NewSharded(1, 3)
+	a, b, c := s.Shard(0).Uint31(), s.Shard(1).Uint31(), s.Shard(2).Uint31()
+	if a == b || b == c || a == c {
+		t.Fatalf("shards produced identical first draws: %d %d %d", a, b, c)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+}

@@ -34,6 +34,8 @@ type Source interface {
 // PM is a Park-Miller minimal standard generator. It is deliberately
 // tiny: a single 32-bit word of state, no allocation, ~3 ns per draw.
 // It is NOT safe for concurrent use; each simulator owns its own.
+// Concurrent callers must either share one stream behind a mutex
+// (Locked) or give each goroutine its own derived stream (Sharded).
 type PM struct {
 	state uint32
 }

@@ -1,0 +1,69 @@
+package rt
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/lottery"
+	"repro/internal/random"
+	"repro/internal/ticket"
+)
+
+// benchDispatch measures end-to-end dispatch throughput: tasks/sec
+// from Submit through worker pickup to completion, with nclients
+// competing for the pool.
+func benchDispatch(b *testing.B, nclients int) {
+	d := New(Config{Workers: 2, QueueCap: 4096, Seed: 42})
+	defer d.Close()
+	clients := make([]*Client, nclients)
+	for i := range clients {
+		c, err := d.NewClient(fmt.Sprintf("c%d", i), ticket.Amount(100*(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[i] = c
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	tasks := make([]*Task, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		t, err := clients[i%nclients].Submit(func() {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks = append(tasks, t)
+	}
+	for _, t := range tasks {
+		<-t.Done()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+}
+
+// BenchmarkDispatchThroughput exercises the dispatcher uncontended
+// (one client: every draw is trivial) and contended (eight clients
+// competing by lottery for every slot).
+func BenchmarkDispatchThroughput(b *testing.B) {
+	b.Run("uncontended", func(b *testing.B) { benchDispatch(b, 1) })
+	b.Run("contended", func(b *testing.B) { benchDispatch(b, 8) })
+}
+
+// BenchmarkDrawLatency isolates the per-dispatch lottery cost: one
+// draw from a populated tree, no queueing or goroutine handoff.
+func BenchmarkDrawLatency(b *testing.B) {
+	for _, n := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("clients=%d", n), func(b *testing.B) {
+			tree := lottery.NewTree[int](n)
+			for i := 0; i < n; i++ {
+				tree.Add(i, float64(100*(i+1)))
+			}
+			rng := random.NewPM(42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := tree.Draw(rng); !ok {
+					b.Fatal("empty draw")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,244 @@
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lottery"
+	"repro/internal/ticket"
+)
+
+// OverflowPolicy selects what Submit does when a client's queue is at
+// capacity.
+type OverflowPolicy int
+
+const (
+	// Block makes Submit wait until the queue has room (or the
+	// dispatcher closes / the client leaves).
+	Block OverflowPolicy = iota
+	// Reject makes Submit fail fast with ErrQueueFull.
+	Reject
+)
+
+// ClientOption configures a client at creation.
+type ClientOption func(*Client)
+
+// WithQueueCap overrides the dispatcher's default per-client queue
+// bound.
+func WithQueueCap(n int) ClientOption { return func(c *Client) { c.qcap = n } }
+
+// WithOverflow sets the client's backpressure policy (default Block).
+func WithOverflow(p OverflowPolicy) ClientOption { return func(c *Client) { c.policy = p } }
+
+// waitSampleCap bounds the per-client ring of recent wait-latency
+// samples used for Snapshot percentiles.
+const waitSampleCap = 2048
+
+// Client is one competitor for the worker pool: a FIFO queue of tasks
+// backed by ticket funding. Clients are created via Dispatcher.
+// NewClient or Tenant.NewClient and retired with Leave. All methods
+// are safe for concurrent use.
+type Client struct {
+	d       *Dispatcher
+	tenant  *Tenant
+	name    string
+	holder  *ticket.Holder
+	funding *ticket.Ticket // tenant currency -> holder
+	policy  OverflowPolicy
+	notFull *sync.Cond // queue has room (Block submitters wait here)
+
+	// Queue: slice-backed FIFO with a head index; compacted on empty.
+	queue []*Task
+	head  int
+	qcap  int
+
+	item   lottery.TreeItem // valid while inTree
+	inTree bool
+	comp   float64 // compensation multiplier (>= 1)
+	left   bool    // Leave called: no new submissions
+	torn   bool    // funding destroyed, removed from dispatcher
+	lent   bool    // funding currently transferred via WaitOn
+
+	// Stats. Counters written under d.mu are plain; panics is atomic
+	// because workers record it outside the lock.
+	submittedN  uint64
+	rejectedN   uint64
+	dispatchedN uint64
+	panics      atomic.Uint64
+	waitRing    []float64 // recent wait latencies, seconds
+	waitStart   int
+}
+
+// Name returns the client's name.
+func (c *Client) Name() string { return c.name }
+
+// Tenant returns the tenant whose currency funds the client.
+func (c *Client) Tenant() *Tenant { return c.tenant }
+
+// Submit enqueues fn for dispatch and returns a handle to wait on.
+// Under the Block policy it blocks while the queue is full; under
+// Reject it fails fast with ErrQueueFull. It fails with ErrClosed
+// after Close and ErrClientLeft after Leave.
+func (c *Client) Submit(fn func()) (*Task, error) {
+	if fn == nil {
+		panic("rt: Submit with nil task")
+	}
+	d := c.d
+	d.mu.Lock()
+	for c.policy == Block && c.pendingLocked() >= c.qcap && !d.closed && !c.left {
+		c.notFull.Wait()
+	}
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.left {
+		d.mu.Unlock()
+		return nil, ErrClientLeft
+	}
+	if c.pendingLocked() >= c.qcap {
+		c.rejectedN++
+		d.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	t := &Task{client: c, fn: fn, enqueued: time.Now(), done: make(chan struct{})}
+	c.queue = append(c.queue, t)
+	c.submittedN++
+	d.pending++
+	if c.pendingLocked() == 1 {
+		// Empty -> nonempty: the client starts competing. Activating
+		// the holder can change same-tenant siblings' weights too, so
+		// mark all weights dirty rather than computing just this one.
+		c.holder.SetActive(true)
+		c.item = d.tree.Add(c, d.weightLocked(c))
+		c.inTree = true
+		d.weightsDirty = true
+	}
+	d.work.Signal()
+	d.mu.Unlock()
+	return t, nil
+}
+
+// pendingLocked returns the queued (not yet dispatched) task count.
+func (c *Client) pendingLocked() int { return len(c.queue) - c.head }
+
+// popLocked removes the queue head; the caller guarantees the queue
+// is nonempty. When the queue empties the client leaves the lottery
+// and, if it has left, is torn down.
+func (c *Client) popLocked() *Task {
+	t := c.queue[c.head]
+	c.queue[c.head] = nil
+	c.head++
+	if c.head == len(c.queue) {
+		c.queue = c.queue[:0]
+		c.head = 0
+	}
+	c.d.pending--
+	if c.pendingLocked() == 0 {
+		c.d.tree.Remove(c.item)
+		c.inTree = false
+		c.holder.SetActive(false)
+		c.d.weightsDirty = true
+		if c.left {
+			c.teardownLocked()
+		}
+	}
+	return t
+}
+
+// observeWaitLocked records one enqueue-to-dispatch latency in the
+// bounded sample ring.
+func (c *Client) observeWaitLocked(d time.Duration) {
+	v := d.Seconds()
+	if len(c.waitRing) < waitSampleCap {
+		c.waitRing = append(c.waitRing, v)
+	} else {
+		c.waitRing[c.waitStart] = v
+		c.waitStart = (c.waitStart + 1) % waitSampleCap
+	}
+}
+
+// SetTickets changes the client's funding amount inside its tenant's
+// currency — ticket inflation/deflation (§3.2). It redistributes
+// share among the tenant's own clients and leaves every other tenant
+// untouched.
+func (c *Client) SetTickets(amount ticket.Amount) error {
+	d := c.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c.torn {
+		return ErrClientLeft
+	}
+	if err := c.funding.SetAmount(amount); err != nil {
+		return err
+	}
+	d.weightsDirty = true
+	return nil
+}
+
+// Tickets returns the client's funding amount in its tenant currency.
+func (c *Client) Tickets() ticket.Amount {
+	c.d.mu.Lock()
+	defer c.d.mu.Unlock()
+	return c.funding.Amount()
+}
+
+// Leave retires the client: new submissions fail with ErrClientLeft,
+// already-queued tasks still run, and once the queue drains the
+// client's tickets (and, for a dedicated tenant, its currency) are
+// destroyed. Blocked submitters are woken with ErrClientLeft.
+func (c *Client) Leave() {
+	d := c.d
+	d.mu.Lock()
+	if !c.left {
+		c.left = true
+		c.notFull.Broadcast()
+		if c.pendingLocked() == 0 && !c.torn {
+			c.teardownLocked()
+		}
+	}
+	d.mu.Unlock()
+}
+
+// Abandon retires the client immediately: new submissions fail with
+// ErrClientLeft and tasks still queued are completed with
+// ErrClientLeft without running. A task already handed to a worker
+// finishes normally. Use Leave to let queued work drain instead.
+func (c *Client) Abandon() {
+	d := c.d
+	d.mu.Lock()
+	var dropped []*Task
+	if !c.torn {
+		c.left = true
+		c.notFull.Broadcast()
+		if n := c.pendingLocked(); n > 0 {
+			dropped = append(dropped, c.queue[c.head:]...)
+			c.queue = c.queue[:0]
+			c.head = 0
+			d.pending -= n
+			d.tree.Remove(c.item)
+			c.inTree = false
+			c.holder.SetActive(false)
+		}
+		c.teardownLocked()
+	}
+	d.mu.Unlock()
+	for _, t := range dropped {
+		t.finish(ErrClientLeft)
+	}
+}
+
+// teardownLocked destroys the client's funding and removes it from
+// the dispatcher. Called with the queue empty and not in the tree.
+func (c *Client) teardownLocked() {
+	c.torn = true
+	c.lent = false
+	c.funding.Destroy()
+	c.tenant.clients--
+	if c.tenant.dedicated && c.tenant.clients == 0 {
+		c.tenant.teardownLocked()
+	}
+	c.d.removeClientLocked(c)
+	c.d.weightsDirty = true
+}

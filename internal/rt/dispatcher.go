@@ -1,0 +1,266 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lottery"
+	"repro/internal/random"
+	"repro/internal/ticket"
+)
+
+// Sentinel errors returned by Submit and WaitOn.
+var (
+	// ErrClosed is returned once Close has been called.
+	ErrClosed = errors.New("rt: dispatcher closed")
+	// ErrQueueFull is returned by Submit on a Reject-policy client
+	// whose queue is at capacity.
+	ErrQueueFull = errors.New("rt: client queue full")
+	// ErrClientLeft is returned by Submit after Client.Leave.
+	ErrClientLeft = errors.New("rt: client left")
+)
+
+// maxCompensation is the default cap on the compensation multiplier;
+// same rationale as the simulator's scheduler (a task that completes
+// in essentially zero time would otherwise earn a near-infinite
+// boost).
+const maxCompensation = 1000.0
+
+// minElapsed floors the measured task duration used for compensation,
+// bounding the multiplier even for tasks faster than the clock's
+// resolution.
+const minElapsed = time.Microsecond
+
+// Config parameterizes a Dispatcher. The zero value is usable: a
+// worker per processor, 1024-entry queues, and no compensation.
+type Config struct {
+	// Workers is the size of the worker pool; default GOMAXPROCS.
+	Workers int
+	// QueueCap is the default per-client queue bound; default 1024.
+	// Individual clients can override it with WithQueueCap.
+	QueueCap int
+	// Seed seeds the dispatcher's Park-Miller lottery stream;
+	// default 1. Note that under real concurrency the *assignment*
+	// of wins to wall-clock instants is not reproducible — only the
+	// draw stream itself is.
+	Seed uint32
+	// ExpectedSlice enables wall-clock compensation tickets (§3.4):
+	// a task that completes in elapsed < ExpectedSlice boosts its
+	// client's weight by ExpectedSlice/elapsed (capped) until the
+	// client next wins. Zero disables compensation.
+	ExpectedSlice time.Duration
+	// MaxCompensation caps the compensation multiplier; default 1000.
+	MaxCompensation float64
+}
+
+// Dispatcher proportionally shares a bounded pool of worker
+// goroutines among clients using lottery scheduling. Create one with
+// New, add clients with NewClient or NewTenant, and stop it with
+// Close. All methods are safe for concurrent use.
+type Dispatcher struct {
+	mu      sync.Mutex
+	work    *sync.Cond // signaled when a client gains pending work or Close begins
+	tree    *lottery.Tree[*Client]
+	rng     *random.PM // guarded by mu
+	tickets *ticket.System
+	base    *ticket.Currency
+	clients []*Client
+	pending int // queued tasks across all clients
+	closed  bool
+
+	// weightsDirty is set by any ticket-graph mutation (activation,
+	// funding change, transfer); the next draw refreshes every
+	// in-tree weight once, amortizing reweighs across mutations.
+	weightsDirty bool
+
+	slice    time.Duration
+	maxComp  float64
+	queueCap int // default per-client queue bound
+
+	workers    int
+	wg         sync.WaitGroup
+	dispatched atomic.Uint64
+	completed  atomic.Uint64
+	panicked   atomic.Uint64
+}
+
+// New creates a dispatcher and starts its worker pool.
+func New(cfg Config) *Dispatcher {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1024
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxCompensation <= 1 {
+		cfg.MaxCompensation = maxCompensation
+	}
+	d := &Dispatcher{
+		tree:     lottery.NewTree[*Client](16),
+		rng:      random.NewPM(cfg.Seed),
+		tickets:  ticket.NewSystem(),
+		slice:    cfg.ExpectedSlice,
+		maxComp:  cfg.MaxCompensation,
+		workers:  cfg.Workers,
+		queueCap: cfg.QueueCap,
+	}
+	d.work = sync.NewCond(&d.mu)
+	d.base = d.tickets.Base()
+	d.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go d.worker()
+	}
+	return d
+}
+
+// Workers returns the pool size.
+func (d *Dispatcher) Workers() int { return d.workers }
+
+// Close stops accepting new work, wakes blocked submitters with
+// ErrClosed, drains every queued task, waits for in-flight tasks to
+// finish, and returns. It is idempotent; concurrent calls all block
+// until the drain completes.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	if !d.closed {
+		d.closed = true
+		d.work.Broadcast()
+		for _, c := range d.clients {
+			c.notFull.Broadcast()
+		}
+	}
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+// worker is one pool goroutine: wait for pending work, win it by
+// lottery, run it with panic isolation, settle compensation, repeat.
+// Exits when the dispatcher is closed and fully drained.
+func (d *Dispatcher) worker() {
+	defer d.wg.Done()
+	for {
+		d.mu.Lock()
+		for d.tree.Len() == 0 && !d.closed {
+			d.work.Wait()
+		}
+		if d.tree.Len() == 0 && d.closed {
+			d.mu.Unlock()
+			return
+		}
+		if d.weightsDirty {
+			d.reweighLocked()
+		}
+		c, ok := d.tree.Draw(d.rng)
+		if !ok {
+			// Every pending client has zero funding (e.g. all lent
+			// away): fall back to the first pending client so zero
+			// total weight degrades to FIFO service, not livelock.
+			c = d.firstPendingLocked()
+			if c == nil {
+				d.mu.Unlock()
+				continue
+			}
+		}
+		t := c.popLocked()
+		// Winning a dispatch consumes any compensation boost (§3.4:
+		// the ticket lasts "until it next wins").
+		if c.comp != 1 {
+			c.comp = 1
+			if c.inTree {
+				d.tree.Update(c.item, d.weightLocked(c))
+			}
+		}
+		c.dispatchedN++
+		d.dispatched.Add(1)
+		c.observeWaitLocked(time.Since(t.enqueued))
+		c.notFull.Signal()
+		d.mu.Unlock()
+
+		start := time.Now()
+		err := runTask(t)
+		elapsed := time.Since(start)
+
+		if err != nil {
+			d.panicked.Add(1)
+			c.panics.Add(1)
+		}
+		if d.slice > 0 {
+			comp := 1.0
+			if elapsed < d.slice {
+				e := elapsed
+				if e < minElapsed {
+					e = minElapsed
+				}
+				comp = float64(d.slice) / float64(e)
+				if comp > d.maxComp {
+					comp = d.maxComp
+				}
+			}
+			d.mu.Lock()
+			if !c.torn {
+				c.comp = comp
+				if c.inTree {
+					d.tree.Update(c.item, d.weightLocked(c))
+				}
+			}
+			d.mu.Unlock()
+		}
+		d.completed.Add(1)
+		t.finish(err)
+	}
+}
+
+// runTask executes the task body, converting a panic into an error so
+// one misbehaving task cannot take down a pool worker.
+func runTask(t *Task) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("rt: task panicked: %v", p)
+		}
+	}()
+	t.fn()
+	return nil
+}
+
+// weightLocked is the client's lottery weight: its funding in base
+// units scaled by its compensation multiplier.
+func (d *Dispatcher) weightLocked(c *Client) float64 {
+	return c.holder.Value() * c.comp
+}
+
+// reweighLocked refreshes every in-tree weight after a ticket-graph
+// mutation (any mutation can move value between clients, even across
+// currencies).
+func (d *Dispatcher) reweighLocked() {
+	for _, c := range d.clients {
+		if c.inTree {
+			d.tree.Update(c.item, d.weightLocked(c))
+		}
+	}
+	d.weightsDirty = false
+}
+
+func (d *Dispatcher) firstPendingLocked() *Client {
+	for _, c := range d.clients {
+		if c.inTree {
+			return c
+		}
+	}
+	return nil
+}
+
+func (d *Dispatcher) removeClientLocked(c *Client) {
+	for i, x := range d.clients {
+		if x == c {
+			d.clients = append(d.clients[:i], d.clients[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package rt is the real-time lottery dispatcher: it runs the paper's
+// proportional-share machinery (Waldspurger & Weihl, OSDI '94) over
+// actual goroutines under wall-clock time, proportionally sharing a
+// bounded worker pool among competing clients.
+//
+// Everything else in this repository schedules virtual time on a
+// single goroutine; this package is the bridge to a live system. The
+// mechanisms map onto the paper as follows:
+//
+//   - Lotteries (§2, §4.2): each free worker slot is awarded by a
+//     lottery over the clients with pending work, drawn in O(log n)
+//     from the same partial-sum tree (internal/lottery.Tree) the
+//     simulator uses.
+//   - Ticket currencies (§3.3, §4.3–4.4): clients are funded through
+//     the internal/ticket currency graph. Each tenant owns a currency
+//     backed by base tickets; inflating tickets inside one tenant's
+//     currency redistributes that tenant's share internally and cannot
+//     dilute any other tenant.
+//   - Ticket transfers (§3.2): Client.WaitOn lends the waiter's
+//     funding to the client it blocks on for the duration of the wait,
+//     the mach_msg transfer pattern.
+//   - Compensation tickets (§3.4): a client whose task finishes after
+//     using only a fraction f of the configured slice has its weight
+//     boosted by 1/f until it next wins a dispatch, so clients with
+//     short tasks keep their entitled share of the pool.
+//
+// The dispatcher adds the robustness a wall-clock system needs and a
+// simulator does not: bounded per-client queues with block or reject
+// backpressure, panic isolation per task, graceful drain on Close, and
+// an atomic Snapshot with per-client achieved vs. entitled share and
+// wait-latency percentiles.
+//
+// All dispatcher state — including the ticket graph and the PRNG,
+// neither of which is concurrency-safe on its own — is guarded by one
+// mutex. Draws, queue operations, and weight updates are O(log n) or
+// O(1) under that lock; task bodies run outside it.
+package rt

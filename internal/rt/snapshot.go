@@ -1,0 +1,116 @@
+package rt
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// ClientSnapshot is one client's view in a Snapshot.
+type ClientSnapshot struct {
+	Name   string `json:"name"`
+	Tenant string `json:"tenant"`
+	// Funding is the client's current backing in base units (the
+	// value it would compete with), reflecting any outstanding
+	// transfers in or out.
+	Funding float64 `json:"funding"`
+	// EntitledShare is Funding over the sum of all clients' Funding.
+	EntitledShare float64 `json:"entitled_share"`
+	// AchievedShare is Dispatched over the dispatcher's total.
+	AchievedShare float64 `json:"achieved_share"`
+	Dispatched    uint64  `json:"dispatched"`
+	Submitted     uint64  `json:"submitted"`
+	Rejected      uint64  `json:"rejected"`
+	Panics        uint64  `json:"panics"`
+	QueueDepth    int     `json:"queue_depth"`
+	// Compensation is the client's current §3.4 multiplier (1 = none).
+	Compensation float64 `json:"compensation"`
+	// WaitP50/WaitP99 are enqueue-to-dispatch latency percentiles
+	// over the client's recent dispatches (bounded window).
+	WaitP50 time.Duration `json:"wait_p50_ns"`
+	WaitP99 time.Duration `json:"wait_p99_ns"`
+}
+
+// Snapshot is an atomic view of the dispatcher: all fields are read
+// under one critical section, so shares and counts are mutually
+// consistent.
+type Snapshot struct {
+	Workers    int              `json:"workers"`
+	Closed     bool             `json:"closed"`
+	Pending    int              `json:"pending"`
+	Dispatched uint64           `json:"dispatched"`
+	Completed  uint64           `json:"completed"`
+	Panicked   uint64           `json:"panicked"`
+	Clients    []ClientSnapshot `json:"clients"`
+}
+
+// Snapshot captures the dispatcher's current state. Clients are
+// sorted by name.
+func (d *Dispatcher) Snapshot() Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := Snapshot{
+		Workers:    d.workers,
+		Closed:     d.closed,
+		Pending:    d.pending,
+		Dispatched: d.dispatched.Load(),
+		Completed:  d.completed.Load(),
+		Panicked:   d.panicked.Load(),
+		Clients:    make([]ClientSnapshot, 0, len(d.clients)),
+	}
+	// Entitlement is the share each client would hold if every client
+	// were competing, so idle holders are activated together before
+	// valuation (valuing them one at a time would let each idle
+	// client claim its currency's whole active amount). The toggling
+	// mutates the graph generation; weights are marked dirty below.
+	var idle []*Client
+	for _, c := range d.clients {
+		if !c.holder.Active() {
+			c.holder.SetActive(true)
+			idle = append(idle, c)
+		}
+	}
+	var totalFunding float64
+	fundings := make([]float64, len(d.clients))
+	for i, c := range d.clients {
+		fundings[i] = c.holder.Value()
+		totalFunding += fundings[i]
+	}
+	for _, c := range idle {
+		c.holder.SetActive(false)
+	}
+	for i, c := range d.clients {
+		cs := ClientSnapshot{
+			Name:         c.name,
+			Tenant:       c.tenant.name,
+			Funding:      fundings[i],
+			Dispatched:   c.dispatchedN,
+			Submitted:    c.submittedN,
+			Rejected:     c.rejectedN,
+			Panics:       c.panics.Load(),
+			QueueDepth:   c.pendingLocked(),
+			Compensation: c.comp,
+		}
+		if totalFunding > 0 {
+			cs.EntitledShare = fundings[i] / totalFunding
+		}
+		if s.Dispatched > 0 {
+			cs.AchievedShare = float64(c.dispatchedN) / float64(s.Dispatched)
+		}
+		if len(c.waitRing) > 0 {
+			sorted := append([]float64(nil), c.waitRing...)
+			sort.Float64s(sorted)
+			cs.WaitP50 = secToDur(stats.PercentileSorted(sorted, 50))
+			cs.WaitP99 = secToDur(stats.PercentileSorted(sorted, 99))
+		}
+		s.Clients = append(s.Clients, cs)
+	}
+	d.weightsDirty = true // FundedValue toggled activations above
+	sort.Slice(s.Clients, func(i, j int) bool { return s.Clients[i].Name < s.Clients[j].Name })
+	return s
+}
+
+func secToDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

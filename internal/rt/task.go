@@ -1,0 +1,91 @@
+package rt
+
+import (
+	"fmt"
+	"time"
+)
+
+// Task is a submitted unit of work. Wait (or Done + Err) observes its
+// completion; a task whose body panicked completes with an error.
+type Task struct {
+	client   *Client
+	fn       func()
+	enqueued time.Time
+	done     chan struct{}
+	err      error // written once before done is closed
+}
+
+// Client returns the client the task was submitted to.
+func (t *Task) Client() *Client { return t.client }
+
+// Done returns a channel closed when the task has finished.
+func (t *Task) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the task finishes and returns its error (non-nil
+// only if the task body panicked).
+func (t *Task) Wait() error {
+	<-t.done
+	return t.err
+}
+
+// Err returns the task's error if it has finished, nil otherwise.
+func (t *Task) Err() error {
+	select {
+	case <-t.done:
+		return t.err
+	default:
+		return nil
+	}
+}
+
+func (t *Task) finish(err error) {
+	t.err = err
+	close(t.done)
+}
+
+// WaitOn blocks until t finishes, lending the calling client's
+// funding to t's client for the duration — the paper's ticket
+// transfer (§3.2): a client blocked on another's progress funds the
+// client it waits on, so the work it needs inherits its share.
+//
+// A client lends its funding to at most one task at a time; while a
+// transfer is outstanding, further WaitOn calls on the same client
+// just wait. Waiting on one's own task, or a task from a different
+// dispatcher, performs no transfer.
+func (c *Client) WaitOn(t *Task) error {
+	if t == nil {
+		panic("rt: WaitOn nil task")
+	}
+	d := c.d
+	if t.client == c || t.client.d != d {
+		return t.Wait()
+	}
+	d.mu.Lock()
+	transferred := false
+	if !c.left && !c.lent && !t.client.torn {
+		if err := c.funding.Retarget(t.client.holder); err != nil {
+			d.mu.Unlock()
+			return fmt.Errorf("rt: ticket transfer: %w", err)
+		}
+		c.lent = true
+		transferred = true
+		d.weightsDirty = true
+	}
+	d.mu.Unlock()
+
+	<-t.done
+
+	if transferred {
+		d.mu.Lock()
+		// Skip restore if the client was torn down while waiting
+		// (teardown destroyed the lent ticket and cleared lent).
+		if c.lent && !c.torn {
+			if err := c.funding.Retarget(c.holder); err == nil {
+				d.weightsDirty = true
+			}
+			c.lent = false
+		}
+		d.mu.Unlock()
+	}
+	return t.err
+}

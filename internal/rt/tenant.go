@@ -1,0 +1,143 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ticket"
+)
+
+// Tenant is a currency-funded principal: a currency backed by base
+// tickets, in which the tenant's clients are denominated. Ticket
+// amounts inside the currency set relative shares among the tenant's
+// own clients; the tenant's base funding sets its share against other
+// tenants. Inflation inside one tenant therefore cannot dilute
+// another (§3.3, §4.3).
+type Tenant struct {
+	d       *Dispatcher
+	name    string
+	cur     *ticket.Currency
+	funding *ticket.Ticket // base -> cur
+	clients int
+	// dedicated marks the implicit single-client tenants made by
+	// Dispatcher.NewClient, torn down when their one client leaves.
+	dedicated bool
+}
+
+// NewTenant creates a currency named name funded with funding base
+// units. Names must be unique across the dispatcher.
+func (d *Dispatcher) NewTenant(name string, funding ticket.Amount) (*Tenant, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.newTenantLocked(name, funding, false)
+}
+
+func (d *Dispatcher) newTenantLocked(name string, funding ticket.Amount, dedicated bool) (*Tenant, error) {
+	if d.closed {
+		return nil, ErrClosed
+	}
+	cur, err := d.tickets.NewCurrency(name, name)
+	if err != nil {
+		return nil, err
+	}
+	fund, err := d.base.Issue(funding, cur)
+	if err != nil {
+		_ = cur.Destroy()
+		return nil, err
+	}
+	d.weightsDirty = true
+	return &Tenant{d: d, name: name, cur: cur, funding: fund, dedicated: dedicated}, nil
+}
+
+// Name returns the tenant's currency name.
+func (t *Tenant) Name() string { return t.name }
+
+// SetFunding changes the tenant's base funding, rescaling its share
+// against every other tenant.
+func (t *Tenant) SetFunding(funding ticket.Amount) error {
+	t.d.mu.Lock()
+	defer t.d.mu.Unlock()
+	if err := t.funding.SetAmount(funding); err != nil {
+		return err
+	}
+	t.d.weightsDirty = true
+	return nil
+}
+
+// Funding returns the tenant's base funding.
+func (t *Tenant) Funding() ticket.Amount {
+	t.d.mu.Lock()
+	defer t.d.mu.Unlock()
+	return t.funding.Amount()
+}
+
+// NewClient adds a client funded with amount tickets denominated in
+// the tenant's currency. The name must be unique within the
+// dispatcher's diagnostics (not enforced); amount must be positive.
+func (t *Tenant) NewClient(name string, amount ticket.Amount, opts ...ClientOption) (*Client, error) {
+	d := t.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	holder := d.tickets.NewHolder(name)
+	fund, err := t.cur.Issue(amount, holder)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		d:       d,
+		tenant:  t,
+		name:    name,
+		holder:  holder,
+		funding: fund,
+		qcap:    d.queueCap,
+		comp:    1,
+	}
+	c.notFull = sync.NewCond(&d.mu)
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.qcap <= 0 {
+		return nil, fmt.Errorf("rt: client %q: queue capacity must be positive", name)
+	}
+	t.clients++
+	d.clients = append(d.clients, c)
+	d.weightsDirty = true
+	return c, nil
+}
+
+// NewClient creates a dedicated single-client tenant: a currency
+// named name funded with funding base units, whose whole value backs
+// the returned client. It is the common case for independent request
+// classes; use NewTenant + Tenant.NewClient to share one currency
+// among several clients.
+func (d *Dispatcher) NewClient(name string, funding ticket.Amount, opts ...ClientOption) (*Client, error) {
+	d.mu.Lock()
+	t, err := d.newTenantLocked(name, funding, true)
+	d.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	c, err := t.NewClient(name, funding, opts...)
+	if err != nil {
+		d.mu.Lock()
+		t.teardownLocked()
+		d.mu.Unlock()
+		return nil, err
+	}
+	return c, nil
+}
+
+// teardownLocked destroys a tenant's funding and currency once its
+// last client is gone. Only dedicated tenants are torn down
+// automatically.
+func (t *Tenant) teardownLocked() {
+	t.funding.Destroy()
+	if err := t.cur.Destroy(); err != nil {
+		// Still-issued tickets mean a live client; leave the currency.
+		return
+	}
+	t.d.weightsDirty = true
+}

@@ -97,6 +97,50 @@ func Median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
+// Percentile returns the p-th percentile of xs (0 <= p <= 100) using
+// linear interpolation between closest ranks, the common "exclusive of
+// extrapolation" definition: Percentile(xs, 50) == Median(xs) and the
+// 0th/100th percentiles are the min/max. It panics on an empty sample
+// or a p outside [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: Percentile %v outside [0, 100]", p))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+// PercentileSorted is Percentile for a sample the caller has already
+// sorted ascending; it avoids the copy-and-sort per call, which
+// matters when several percentiles are read from one sample.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: PercentileSorted of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: PercentileSorted %v outside [0, 100]", p))
+	}
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
 // Summary bundles the descriptive statistics the experiment tables
 // print for a sample.
 type Summary struct {

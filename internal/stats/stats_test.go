@@ -208,3 +208,60 @@ func TestCoVMatchesClosedForm(t *testing.T) {
 		t.Errorf("CoV({0,2}) = %v, want 1", got)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+		{75, 40},
+		{40, 29}, // rank 1.6: 20 + 0.6*(35-20)
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Percentile must not mutate its argument, and must agree with
+	// Median and with PercentileSorted.
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Error("Percentile mutated its input")
+	}
+	if got := Percentile(xs, 50); got != Median(xs) {
+		t.Errorf("Percentile(50) = %v, Median = %v", got, Median(xs))
+	}
+	sorted := []float64{15, 20, 35, 40, 50}
+	if got := PercentileSorted(sorted, 75); !almostEqual(got, 40, 1e-9) {
+		t.Errorf("PercentileSorted(75) = %v, want 40", got)
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("single-sample Percentile = %v, want 7", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"empty", func() { Percentile(nil, 50) }},
+		{"negative p", func() { Percentile([]float64{1}, -1) }},
+		{"p > 100", func() { Percentile([]float64{1}, 101) }},
+		{"sorted empty", func() { PercentileSorted(nil, 50) }},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", c.name)
+				}
+			}()
+			c.fn()
+		}()
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Kind is the type of a scheduler event.
@@ -64,10 +65,47 @@ type Recorder struct {
 	latency map[string]*latAcc
 }
 
+// latSampleCap bounds the per-thread latency samples retained for
+// percentile computation: a ring of the most recent observations, so
+// arbitrarily long runs trace in bounded memory. Mean/max/count stay
+// exact over the full run; percentiles describe the retained window.
+const latSampleCap = 4096
+
 type latAcc struct {
 	total sim.Duration
 	n     uint64
 	max   sim.Duration
+
+	samples []float64 // ring of recent latencies, in seconds
+	start   int       // ring head once wrapped
+}
+
+func (a *latAcc) observe(d sim.Duration) {
+	a.total += d
+	a.n++
+	if d > a.max {
+		a.max = d
+	}
+	v := sim.Duration(d).Seconds()
+	if len(a.samples) < latSampleCap {
+		a.samples = append(a.samples, v)
+	} else {
+		a.samples[a.start] = v
+		a.start = (a.start + 1) % latSampleCap
+	}
+}
+
+// percentiles returns the p50/p95/p99 of the retained samples.
+func (a *latAcc) percentiles() (p50, p95, p99 sim.Duration) {
+	if len(a.samples) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]float64(nil), a.samples...)
+	sort.Float64s(sorted)
+	sec := func(p float64) sim.Duration {
+		return sim.Duration(stats.PercentileSorted(sorted, p) * float64(sim.Second))
+	}
+	return sec(50), sec(95), sec(99)
 }
 
 // NewRecorder creates a recorder keeping at most capacity events
@@ -103,12 +141,7 @@ func (r *Recorder) Record(at sim.Time, kind Kind, thread string) {
 				acc = &latAcc{}
 				r.latency[thread] = acc
 			}
-			d := at.Sub(w)
-			acc.total += d
-			acc.n++
-			if d > acc.max {
-				acc.max = d
-			}
+			acc.observe(at.Sub(w))
 			delete(r.wakeAt, thread)
 		}
 	}
@@ -126,11 +159,16 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
-// Latency summarizes a thread's wake-to-dispatch latency.
+// Latency summarizes a thread's wake-to-dispatch latency. Mean, Max,
+// and N cover the whole run; P50/P95/P99 are computed over the most
+// recent observations (a bounded per-thread window).
 type Latency struct {
 	Thread string
 	Mean   sim.Duration
 	Max    sim.Duration
+	P50    sim.Duration
+	P95    sim.Duration
+	P99    sim.Duration
 	N      uint64
 }
 
@@ -143,6 +181,7 @@ func (r *Recorder) Latencies() []Latency {
 		if acc.n > 0 {
 			l.Mean = acc.total / sim.Duration(acc.n)
 		}
+		l.P50, l.P95, l.P99 = acc.percentiles()
 		out = append(out, l)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Thread < out[j].Thread })
@@ -172,7 +211,8 @@ func (r *Recorder) Format(n int) string {
 	if lats := r.Latencies(); len(lats) > 0 {
 		b.WriteString("wake-to-dispatch latency:\n")
 		for _, l := range lats {
-			fmt.Fprintf(&b, "  %-12s mean %-12v max %-12v n=%d\n", l.Thread, l.Mean, l.Max, l.N)
+			fmt.Fprintf(&b, "  %-12s mean %-10v p50 %-10v p95 %-10v p99 %-10v max %-10v n=%d\n",
+				l.Thread, l.Mean, l.P50, l.P95, l.P99, l.Max, l.N)
 		}
 	}
 	return b.String()

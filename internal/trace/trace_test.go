@@ -100,3 +100,71 @@ func TestNegativeCapacityPanics(t *testing.T) {
 	}()
 	NewRecorder(-1)
 }
+
+func TestLatencyPercentiles(t *testing.T) {
+	r := NewRecorder(0)
+	// 100 wake->dispatch cycles with latencies 1ms..100ms.
+	at := sim.Time(0)
+	for i := 1; i <= 100; i++ {
+		r.Record(at, KindWake, "a")
+		at = at.Add(sim.Duration(i) * sim.Millisecond)
+		r.Record(at, KindDispatch, "a")
+		at = at.Add(sim.Millisecond)
+	}
+	lats := r.Latencies()
+	if len(lats) != 1 || lats[0].N != 100 {
+		t.Fatalf("latencies = %v", lats)
+	}
+	l := lats[0]
+	// Linear-interpolated percentiles of 1..100 ms.
+	wantP50 := 50*sim.Millisecond + 500*sim.Microsecond
+	wantP95 := 95*sim.Millisecond + 50*sim.Microsecond
+	wantP99 := 99*sim.Millisecond + 10*sim.Microsecond
+	tol := sim.Duration(sim.Microsecond)
+	for _, c := range []struct {
+		name      string
+		got, want sim.Duration
+	}{
+		{"p50", l.P50, wantP50},
+		{"p95", l.P95, wantP95},
+		{"p99", l.P99, wantP99},
+	} {
+		d := c.got - c.want
+		if d < -tol || d > tol {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	out := r.Format(0)
+	for _, want := range []string{"p50", "p95", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLatencySampleWindowBounded(t *testing.T) {
+	r := NewRecorder(0)
+	at := sim.Time(0)
+	// Overfill the per-thread sample ring: latSampleCap samples of
+	// 1 ms, then latSampleCap samples of 2 ms. The retained window
+	// must hold only the 2 ms samples.
+	for phase, lat := range []sim.Duration{sim.Millisecond, 2 * sim.Millisecond} {
+		_ = phase
+		for i := 0; i < latSampleCap; i++ {
+			r.Record(at, KindWake, "a")
+			at = at.Add(lat)
+			r.Record(at, KindDispatch, "a")
+		}
+	}
+	l := r.Latencies()[0]
+	if l.N != 2*latSampleCap {
+		t.Fatalf("N = %d, want %d", l.N, 2*latSampleCap)
+	}
+	if l.P50 != 2*sim.Millisecond || l.P99 != 2*sim.Millisecond {
+		t.Errorf("window percentiles = p50 %v p99 %v, want 2ms (recent window only)", l.P50, l.P99)
+	}
+	// Mean still covers the whole run: (1+2)/2 = 1.5 ms.
+	if l.Mean != sim.Duration(float64(3*sim.Millisecond)/2) {
+		t.Errorf("Mean = %v, want 1.5ms", l.Mean)
+	}
+}
