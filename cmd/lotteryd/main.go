@@ -10,41 +10,76 @@
 //
 // /work enqueues a job for its class and blocks until a worker has
 // run it; a class whose queue is full answers 503 (the dispatcher's
-// Reject backpressure policy). /snapshot returns the dispatcher's
-// atomic rt.Snapshot as JSON: per-class dispatch counts, achieved vs
-// entitled share, queue depth, and wait-latency percentiles.
+// Reject backpressure policy). The job is bound to the request
+// context: a caller that disconnects while its job is still queued
+// cancels it, reclaiming the queue slot without a worker ever
+// touching it. /snapshot returns the dispatcher's atomic rt.Snapshot
+// as JSON: per-class dispatch counts, achieved vs entitled share,
+// cancellations, queue depth, and wait-latency percentiles.
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: the listener
+// closes, in-flight requests finish, and the dispatcher drains its
+// backlog, all bounded by -grace; a second deadline overrun discards
+// still-queued jobs rather than hanging forever.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/rt"
 	"repro/internal/ticket"
 )
 
+// errConfig marks flag/configuration errors, which exit 2 (usage)
+// rather than 1 (runtime failure).
+var errConfig = errors.New("lotteryd: bad configuration")
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-	queueCap := flag.Int("queue", 256, "per-class queue capacity")
-	seed := flag.Uint("seed", 1, "lottery PRNG seed")
-	slice := flag.Duration("slice", 0, "expected slice for compensation tickets (0 = off)")
-	classes := flag.String("classes", "gold=500,silver=300,bronze=200",
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, errConfig) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body, factored out of main so tests can drive the
+// full lifecycle: it serves until ctx is done (the signal path), then
+// shuts the HTTP server and dispatcher down gracefully. If ready is
+// non-nil the bound listen address is sent on it once serving.
+func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("lotteryd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queueCap := fs.Int("queue", 256, "per-class queue capacity")
+	seed := fs.Uint("seed", 1, "lottery PRNG seed")
+	slice := fs.Duration("slice", 0, "expected slice for compensation tickets (0 = off)")
+	grace := fs.Duration("grace", 5*time.Second, "graceful shutdown deadline for in-flight requests and queued jobs")
+	classes := fs.String("classes", "gold=500,silver=300,bronze=200",
 		"comma-separated class=tickets funding map")
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%w: %v", errConfig, err)
+	}
 
 	funding, err := parseClasses(*classes)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return fmt.Errorf("%w: %v", errConfig, err)
 	}
 
 	d := rt.New(rt.Config{
@@ -53,15 +88,14 @@ func main() {
 		Seed:          uint32(*seed),
 		ExpectedSlice: *slice,
 	})
-	defer d.Close()
 
 	clients := make(map[string]*rt.Client, len(funding))
 	names := make([]string, 0, len(funding))
 	for name, amount := range funding {
 		c, err := d.NewClient(name, amount, rt.WithOverflow(rt.Reject))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			d.Close()
+			return err
 		}
 		clients[name] = c
 		names = append(names, name)
@@ -85,16 +119,23 @@ func main() {
 			}
 		}
 		enqueued := time.Now()
-		task, err := c.Submit(func() { spin(busy) })
+		// The job rides the request context: a disconnected caller
+		// cancels its still-queued job and frees the slot.
+		task, err := c.SubmitCtx(r.Context(), func() { spin(busy) })
 		switch {
 		case errors.Is(err, rt.ErrQueueFull):
 			http.Error(w, "class queue full", http.StatusServiceUnavailable)
 			return
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			return // caller went away before the job was admitted
 		case err != nil:
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}
-		if err := task.Wait(); err != nil {
+		switch err := task.WaitCtx(r.Context()); {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			return // caller went away; a queued job was cancelled with it
+		case err != nil:
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -108,9 +149,50 @@ func main() {
 		writeJSON(w, d.Snapshot())
 	})
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		d.Close()
+		return fmt.Errorf("lotteryd: listen: %w", err)
+	}
+	srv := &http.Server{
+		Handler: mux,
+		// No Read/WriteTimeout: /work legitimately blocks while its
+		// job waits out the backlog. Header and idle timeouts still
+		// bound dead connections.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
 	log.Printf("lotteryd: %d workers, classes %s, listening on %s",
-		d.Workers(), *classes, *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+		d.Workers(), *classes, ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		d.Close()
+		return fmt.Errorf("lotteryd: serve: %w", err)
+	case <-ctx.Done():
+		log.Printf("lotteryd: shutdown signal; draining (grace %v)", *grace)
+	}
+
+	// Stop accepting connections and let in-flight requests finish,
+	// then drain the dispatcher's backlog — each bounded by the grace
+	// deadline so a stuck queue cannot wedge shutdown.
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	shutErr := srv.Shutdown(shutCtx)
+	if err := d.CloseTimeout(*grace); err != nil {
+		log.Printf("lotteryd: drain cut short, queued jobs discarded: %v", err)
+	}
+	if shutErr != nil {
+		return fmt.Errorf("lotteryd: shutdown: %w", shutErr)
+	}
+	log.Printf("lotteryd: drained cleanly")
+	return nil
 }
 
 // spin busy-loops for roughly d, modeling CPU-bound work (sleeping

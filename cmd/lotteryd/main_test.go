@@ -1,0 +1,156 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon with test-friendly flags and returns
+// its base URL and result channel.
+func startDaemon(t *testing.T, ctx context.Context, extra ...string) (string, chan error) {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-workers", "2",
+		"-queue", "16",
+		"-grace", "5s",
+		"-classes", "gold=2,bronze=1",
+	}, extra...)
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, args, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr.String(), done
+	case err := <-done:
+		t.Fatalf("daemon exited before serving: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never started serving")
+	}
+	return "", nil
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestRunGracefulShutdown drives the full lifecycle: serve requests,
+// then cancel the run context (the signal path) while a slow request
+// is in flight, and verify the in-flight request completes and run
+// returns cleanly.
+func TestRunGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, done := startDaemon(t, ctx)
+
+	if code, body := get(t, base+"/work?class=gold&busy=1ms"); code != http.StatusOK {
+		t.Fatalf("/work = %d: %s", code, body)
+	}
+	if code, body := get(t, base+"/work?class=unknown"); code != http.StatusBadRequest {
+		t.Fatalf("/work unknown class = %d: %s", code, body)
+	}
+	code, body := get(t, base+"/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("/snapshot = %d: %s", code, body)
+	}
+	var snap struct {
+		Workers   int    `json:"workers"`
+		Completed uint64 `json:"completed"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/snapshot not JSON: %v\n%s", err, body)
+	}
+	if snap.Workers != 2 || snap.Completed < 1 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+
+	// Start a slow request, then shut down while it is in flight.
+	var wg sync.WaitGroup
+	slowCode := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		code, _ := get(t, base+"/work?class=bronze&busy=300ms")
+		slowCode <- code
+	}()
+	time.Sleep(100 * time.Millisecond) // let the slow request reach a worker
+	cancel()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run after shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run never returned after shutdown")
+	}
+	wg.Wait()
+	if code := <-slowCode; code != http.StatusOK {
+		t.Fatalf("in-flight request during shutdown = %d, want 200", code)
+	}
+}
+
+// TestRunSIGINT exercises the real signal path: a SIGINT to the
+// process must drain the daemon and make run return nil.
+func TestRunSIGINT(t *testing.T) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	base, done := startDaemon(t, ctx)
+	if code, body := get(t, base+"/work?class=gold"); code != http.StatusOK {
+		t.Fatalf("/work = %d: %s", code, body)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run after SIGINT: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run never returned after SIGINT")
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	if err := run(context.Background(), []string{"-classes", "gold=-1"}, nil); err == nil {
+		t.Fatal("run accepted a negative ticket amount")
+	}
+	if err := run(context.Background(), []string{"-classes", ""}, nil); err == nil {
+		t.Fatal("run accepted an empty class map")
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	m, err := parseClasses("gold=500, silver=300,bronze=200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || m["gold"] != 500 || m["silver"] != 300 || m["bronze"] != 200 {
+		t.Fatalf("parseClasses: %v", m)
+	}
+	for _, bad := range []string{"", "gold", "gold=0", "gold=x", "gold=1,gold=2"} {
+		if _, err := parseClasses(bad); err == nil {
+			t.Errorf("parseClasses(%q) accepted", bad)
+		}
+	}
+}

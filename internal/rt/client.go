@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,7 +16,7 @@ type OverflowPolicy int
 
 const (
 	// Block makes Submit wait until the queue has room (or the
-	// dispatcher closes / the client leaves).
+	// dispatcher closes / the client leaves / the context is done).
 	Block OverflowPolicy = iota
 	// Reject makes Submit fail fast with ErrQueueFull.
 	Reject
@@ -60,11 +61,19 @@ type Client struct {
 	torn   bool    // funding destroyed, removed from dispatcher
 	lent   bool    // funding currently transferred via WaitOn
 
+	// dispatchSeq counts dispatches handed to workers. Compensation
+	// settlement is tagged with the sequence it was dispatched under
+	// and only the most recent dispatch may settle, so a slow task
+	// finishing late cannot overwrite (or resurrect) a boost the
+	// client already consumed by winning again on another worker.
+	dispatchSeq uint64
+
 	// Stats. Counters written under d.mu are plain; panics is atomic
 	// because workers record it outside the lock.
 	submittedN  uint64
 	rejectedN   uint64
 	dispatchedN uint64
+	cancelledN  uint64
 	panics      atomic.Uint64
 	waitRing    []float64 // recent wait latencies, seconds
 	waitStart   int
@@ -84,10 +93,53 @@ func (c *Client) Submit(fn func()) (*Task, error) {
 	if fn == nil {
 		panic("rt: Submit with nil task")
 	}
+	return c.submit(context.Background(), fn)
+}
+
+// SubmitCtx is Submit bound to a context. Cancelling ctx (or its
+// deadline passing, e.g. via context.WithTimeout for a per-task
+// deadline) while the task is still queued removes it from the queue:
+// the slot is reclaimed, a blocked submitter is admitted, the client
+// leaves the lottery if its queue empties, and Wait returns ctx.Err().
+// A task already handed to a worker is never interrupted; it runs to
+// completion and Wait returns its own result. A Block-policy submit
+// waiting for queue room also unblocks with ctx.Err() when ctx fires.
+func (c *Client) SubmitCtx(ctx context.Context, fn func()) (*Task, error) {
+	if ctx == nil {
+		panic("rt: SubmitCtx with nil context")
+	}
+	if fn == nil {
+		panic("rt: Submit with nil task")
+	}
+	return c.submit(ctx, fn)
+}
+
+func (c *Client) submit(ctx context.Context, fn func()) (*Task, error) {
 	d := c.d
+	cancellable := ctx.Done() != nil
+	if cancellable {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Wake this submitter out of a Block-policy wait when the
+		// context fires while the queue is full.
+		stopWake := context.AfterFunc(ctx, func() {
+			d.mu.Lock()
+			c.notFull.Broadcast()
+			d.mu.Unlock()
+		})
+		defer stopWake()
+	}
 	d.mu.Lock()
 	for c.policy == Block && c.pendingLocked() >= c.qcap && !d.closed && !c.left {
+		if cancellable && ctx.Err() != nil {
+			break
+		}
 		c.notFull.Wait()
+	}
+	if cancellable && ctx.Err() != nil {
+		d.mu.Unlock()
+		return nil, ctx.Err()
 	}
 	if d.closed {
 		d.mu.Unlock()
@@ -102,7 +154,7 @@ func (c *Client) Submit(fn func()) (*Task, error) {
 		d.mu.Unlock()
 		return nil, ErrQueueFull
 	}
-	t := &Task{client: c, fn: fn, enqueued: time.Now(), done: make(chan struct{})}
+	t := &Task{client: c, ctx: ctx, fn: fn, enqueued: time.Now(), done: make(chan struct{})}
 	c.queue = append(c.queue, t)
 	c.submittedN++
 	d.pending++
@@ -115,6 +167,11 @@ func (c *Client) Submit(fn func()) (*Task, error) {
 		c.inTree = true
 		d.weightsDirty = true
 	}
+	if cancellable {
+		// Registered under the lock so t.stop is visible to whichever
+		// worker (or cancel path) finishes the task.
+		t.stop = context.AfterFunc(ctx, func() { d.cancelQueued(t) })
+	}
 	d.work.Signal()
 	d.mu.Unlock()
 	return t, nil
@@ -123,9 +180,8 @@ func (c *Client) Submit(fn func()) (*Task, error) {
 // pendingLocked returns the queued (not yet dispatched) task count.
 func (c *Client) pendingLocked() int { return len(c.queue) - c.head }
 
-// popLocked removes the queue head; the caller guarantees the queue
-// is nonempty. When the queue empties the client leaves the lottery
-// and, if it has left, is torn down.
+// popLocked removes the queue head and marks it running; the caller
+// guarantees the queue is nonempty.
 func (c *Client) popLocked() *Task {
 	t := c.queue[c.head]
 	c.queue[c.head] = nil
@@ -134,17 +190,49 @@ func (c *Client) popLocked() *Task {
 		c.queue = c.queue[:0]
 		c.head = 0
 	}
+	t.state = taskRunning
 	c.d.pending--
 	if c.pendingLocked() == 0 {
-		c.d.tree.Remove(c.item)
-		c.inTree = false
-		c.holder.SetActive(false)
-		c.d.weightsDirty = true
-		if c.left {
-			c.teardownLocked()
-		}
+		c.emptiedLocked()
 	}
 	return t
+}
+
+// removeQueuedLocked splices a still-queued task out of the FIFO,
+// reclaiming its slot for a blocked submitter. Reports whether the
+// task was found.
+func (c *Client) removeQueuedLocked(t *Task) bool {
+	for i := c.head; i < len(c.queue); i++ {
+		if c.queue[i] != t {
+			continue
+		}
+		copy(c.queue[i:], c.queue[i+1:])
+		c.queue[len(c.queue)-1] = nil
+		c.queue = c.queue[:len(c.queue)-1]
+		if c.head == len(c.queue) {
+			c.queue = c.queue[:0]
+			c.head = 0
+		}
+		c.d.pending--
+		c.notFull.Signal()
+		if c.pendingLocked() == 0 {
+			c.emptiedLocked()
+		}
+		return true
+	}
+	return false
+}
+
+// emptiedLocked is the nonempty -> empty transition: the client stops
+// competing and, if it has left, is torn down.
+func (c *Client) emptiedLocked() {
+	c.d.tree.Remove(c.item)
+	c.inTree = false
+	c.holder.SetActive(false)
+	c.d.weightsDirty = true
+	if c.left && !c.torn {
+		c.teardownLocked()
+	}
 }
 
 // observeWaitLocked records one enqueue-to-dispatch latency in the
@@ -214,6 +302,9 @@ func (c *Client) Abandon() {
 		c.notFull.Broadcast()
 		if n := c.pendingLocked(); n > 0 {
 			dropped = append(dropped, c.queue[c.head:]...)
+			for _, t := range dropped {
+				t.state = taskDone
+			}
 			c.queue = c.queue[:0]
 			c.head = 0
 			d.pending -= n

@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -72,6 +73,11 @@ type Dispatcher struct {
 	pending int // queued tasks across all clients
 	closed  bool
 
+	// rr is the rotation cursor for the zero-total-weight fallback:
+	// with no funded pending client, service degrades to round-robin
+	// over the in-tree clients rather than starving all but one.
+	rr int
+
 	// weightsDirty is set by any ticket-graph mutation (activation,
 	// funding change, transfer); the next draw refreshes every
 	// in-tree weight once, amortizing reweighs across mutations.
@@ -86,6 +92,7 @@ type Dispatcher struct {
 	dispatched atomic.Uint64
 	completed  atomic.Uint64
 	panicked   atomic.Uint64
+	cancelled  uint64 // tasks cancelled while queued; guarded by mu
 }
 
 // New creates a dispatcher and starts its worker pool.
@@ -127,7 +134,22 @@ func (d *Dispatcher) Workers() int { return d.workers }
 // ErrClosed, drains every queued task, waits for in-flight tasks to
 // finish, and returns. It is idempotent; concurrent calls all block
 // until the drain completes.
-func (d *Dispatcher) Close() {
+func (d *Dispatcher) Close() { _ = d.CloseCtx(context.Background()) }
+
+// CloseTimeout is CloseCtx bounded by a timeout.
+func (d *Dispatcher) CloseTimeout(timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return d.CloseCtx(ctx)
+}
+
+// CloseCtx is Close with a drain deadline: it stops accepting new
+// work and drains queued tasks like Close, but if ctx is done before
+// the backlog drains, the still-queued tasks are discarded (completed
+// with ErrClosed without running) and only in-flight tasks are waited
+// for — a running task is never interrupted. It returns nil after a
+// full graceful drain and ctx.Err() if the backlog was cut short.
+func (d *Dispatcher) CloseCtx(ctx context.Context) error {
 	d.mu.Lock()
 	if !d.closed {
 		d.closed = true
@@ -137,7 +159,69 @@ func (d *Dispatcher) Close() {
 		}
 	}
 	d.mu.Unlock()
-	d.wg.Wait()
+	if ctx.Done() == nil {
+		d.wg.Wait()
+		return nil
+	}
+	drained := make(chan struct{})
+	go func() { d.wg.Wait(); close(drained) }()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+	}
+	dropped := d.discardQueued()
+	for _, t := range dropped {
+		t.finish(ErrClosed)
+	}
+	<-drained
+	return ctx.Err()
+}
+
+// discardQueued empties every client queue after a drain deadline,
+// returning the dropped tasks for completion outside the lock.
+// Teardown of left clients is skipped: the dispatcher is dying and
+// the whole ticket system dies with it.
+func (d *Dispatcher) discardQueued() []*Task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var dropped []*Task
+	for _, c := range d.clients {
+		n := c.pendingLocked()
+		if n == 0 {
+			continue
+		}
+		for _, t := range c.queue[c.head:] {
+			t.state = taskDone
+			dropped = append(dropped, t)
+		}
+		c.queue = c.queue[:0]
+		c.head = 0
+		d.pending -= n
+		d.tree.Remove(c.item)
+		c.inTree = false
+		c.holder.SetActive(false)
+		d.weightsDirty = true
+	}
+	d.work.Broadcast()
+	return dropped
+}
+
+// cancelQueued is the submission-context watcher: if the task is
+// still queued, remove it, reclaim its slot, and complete it with the
+// context's error. A task already running is left alone.
+func (d *Dispatcher) cancelQueued(t *Task) {
+	c := t.client
+	d.mu.Lock()
+	if t.state != taskQueued || !c.removeQueuedLocked(t) {
+		d.mu.Unlock()
+		return
+	}
+	t.state = taskDone
+	c.cancelledN++
+	d.cancelled++
+	d.mu.Unlock()
+	t.finish(t.ctx.Err())
 }
 
 // worker is one pool goroutine: wait for pending work, win it by
@@ -160,9 +244,10 @@ func (d *Dispatcher) worker() {
 		c, ok := d.tree.Draw(d.rng)
 		if !ok {
 			// Every pending client has zero funding (e.g. all lent
-			// away): fall back to the first pending client so zero
-			// total weight degrades to FIFO service, not livelock.
-			c = d.firstPendingLocked()
+			// away): rotate round-robin over the pending clients so
+			// zero total weight degrades to FIFO service, not livelock
+			// or starvation of all but one client.
+			c = d.nextPendingLocked()
 			if c == nil {
 				d.mu.Unlock()
 				continue
@@ -177,6 +262,8 @@ func (d *Dispatcher) worker() {
 				d.tree.Update(c.item, d.weightLocked(c))
 			}
 		}
+		c.dispatchSeq++
+		seq := c.dispatchSeq
 		c.dispatchedN++
 		d.dispatched.Add(1)
 		c.observeWaitLocked(time.Since(t.enqueued))
@@ -204,7 +291,11 @@ func (d *Dispatcher) worker() {
 				}
 			}
 			d.mu.Lock()
-			if !c.torn {
+			// Only the client's most recent dispatch may settle: a
+			// slow task finishing late must not overwrite (or
+			// resurrect) a boost the client already consumed by
+			// winning again on another worker.
+			if !c.torn && seq == c.dispatchSeq {
 				c.comp = comp
 				if c.inTree {
 					d.tree.Update(c.item, d.weightLocked(c))
@@ -247,9 +338,19 @@ func (d *Dispatcher) reweighLocked() {
 	d.weightsDirty = false
 }
 
-func (d *Dispatcher) firstPendingLocked() *Client {
-	for _, c := range d.clients {
+// nextPendingLocked rotates round-robin among the clients currently
+// in the lottery tree. It is the zero-total-weight fallback; always
+// returning the earliest-created client here would starve every
+// other pending client (cf. sched.StaticLottery's rotation).
+func (d *Dispatcher) nextPendingLocked() *Client {
+	n := len(d.clients)
+	if n == 0 {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		c := d.clients[(d.rr+i)%n]
 		if c.inTree {
+			d.rr = (d.rr + i + 1) % n
 			return c
 		}
 	}

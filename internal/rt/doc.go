@@ -30,6 +30,30 @@
 // an atomic Snapshot with per-client achieved vs. entitled share and
 // wait-latency percentiles.
 //
+// # Task lifecycle
+//
+// A task moves through a small state machine:
+//
+//	queued ──────────► running ──► done
+//	   │  (worker wins a slot)      ▲
+//	   └────────────────────────────┘
+//	     (submission context done, Abandon,
+//	      or a deadline-bounded Close)
+//
+// SubmitCtx binds a task to a context: while the task is still
+// queued, cancellation (or a context.WithTimeout deadline) removes it
+// from the queue — the slot is reclaimed, a blocked Block-policy
+// submitter is admitted, the client leaves the lottery if its queue
+// empties, and Task.Wait returns the context's error. Once a worker
+// has won the task it runs to completion; workers are not
+// preemptible, matching the paper's quantum semantics (a won quantum
+// is consumed whole). Task.WaitCtx bounds only the wait, never the
+// task. CloseCtx / CloseTimeout drain with a deadline: queued tasks
+// still outstanding when the deadline passes are completed with
+// ErrClosed without running, while in-flight tasks always finish.
+// SubmitRetry layers exponential backoff over ErrQueueFull for
+// Reject-policy clients.
+//
 // All dispatcher state — including the ticket graph and the PRNG,
 // neither of which is concurrency-safe on its own — is guarded by one
 // mutex. Draws, queue operations, and weight updates are O(log n) or

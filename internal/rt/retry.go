@@ -1,0 +1,67 @@
+package rt
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Backoff is an exponential-backoff schedule for SubmitRetry. The
+// zero value starts at 1ms, doubles each attempt, caps the delay at
+// 100ms, and retries until the context is done.
+type Backoff struct {
+	// Base is the delay before the first retry; default 1ms.
+	Base time.Duration
+	// Max caps the delay between retries; default 100ms.
+	Max time.Duration
+	// Factor multiplies the delay after each retry; default 2.
+	Factor float64
+	// Attempts bounds the total number of Submit attempts; 0 means
+	// retry until ctx is done.
+	Attempts int
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 100 * time.Millisecond
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	return b
+}
+
+// SubmitRetry is SubmitCtx with retry-on-full for Reject-policy
+// clients: when Submit fails with ErrQueueFull it backs off per b and
+// tries again, until the task is admitted, b.Attempts submits have
+// failed (returning ErrQueueFull), or ctx is done (returning
+// ctx.Err()). Any other error fails fast. With b.Attempts == 0 and a
+// context that is never done, a permanently full queue retries
+// forever — bound one or the other.
+func (c *Client) SubmitRetry(ctx context.Context, fn func(), b Backoff) (*Task, error) {
+	b = b.withDefaults()
+	delay := b.Base
+	for attempt := 1; ; attempt++ {
+		t, err := c.SubmitCtx(ctx, fn)
+		if !errors.Is(err, ErrQueueFull) {
+			return t, err
+		}
+		if b.Attempts > 0 && attempt >= b.Attempts {
+			return nil, err
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+		delay = time.Duration(float64(delay) * b.Factor)
+		if delay > b.Max {
+			delay = b.Max
+		}
+	}
+}

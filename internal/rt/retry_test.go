@@ -1,0 +1,100 @@
+package rt
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSubmitRetryEventuallyAdmits(t *testing.T) {
+	d := New(Config{Workers: 1})
+	defer d.Close()
+	gate := parkWorkers(t, d)
+	c, err := d.NewClient("c", 100, WithQueueCap(1), WithOverflow(Reject))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(func() {}); err != nil { // fill the queue
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("plain Submit on full queue: %v, want ErrQueueFull", err)
+	}
+	admitted := make(chan error, 1)
+	go func() {
+		_, err := c.SubmitRetry(context.Background(), func() {}, Backoff{})
+		admitted <- err
+	}()
+	select {
+	case err := <-admitted:
+		t.Fatalf("SubmitRetry returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(gate) // the queue drains; a retry must succeed
+	select {
+	case err := <-admitted:
+		if err != nil {
+			t.Fatalf("SubmitRetry after drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SubmitRetry never admitted after queue drained")
+	}
+}
+
+func TestSubmitRetryAttemptsExhausted(t *testing.T) {
+	d := New(Config{Workers: 1})
+	defer d.Close()
+	gate := parkWorkers(t, d)
+	defer close(gate)
+	c, err := d.NewClient("c", 100, WithQueueCap(1), WithOverflow(Reject))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.SubmitRetry(context.Background(), func() {},
+		Backoff{Base: time.Millisecond, Attempts: 3})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("SubmitRetry with exhausted attempts: %v, want ErrQueueFull", err)
+	}
+	// 3 attempts = 2 backoffs (1ms + 2ms); well under a second.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("SubmitRetry took %v for 3 attempts", elapsed)
+	}
+	if got := d.Snapshot().Clients[0].Rejected; got < 3 {
+		t.Fatalf("rejected = %d, want >= 3", got)
+	}
+}
+
+func TestSubmitRetryContextCancelled(t *testing.T) {
+	d := New(Config{Workers: 1})
+	defer d.Close()
+	gate := parkWorkers(t, d)
+	defer close(gate)
+	c, err := d.NewClient("c", 100, WithQueueCap(1), WithOverflow(Reject))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.SubmitRetry(ctx, func() {}, Backoff{Base: 10 * time.Millisecond})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("SubmitRetry after cancel: %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SubmitRetry not unblocked by context cancellation")
+	}
+}

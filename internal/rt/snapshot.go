@@ -22,8 +22,11 @@ type ClientSnapshot struct {
 	Dispatched    uint64  `json:"dispatched"`
 	Submitted     uint64  `json:"submitted"`
 	Rejected      uint64  `json:"rejected"`
-	Panics        uint64  `json:"panics"`
-	QueueDepth    int     `json:"queue_depth"`
+	// Cancelled counts tasks removed from the queue by submission-
+	// context cancellation before any worker ran them.
+	Cancelled  uint64 `json:"cancelled"`
+	Panics     uint64 `json:"panics"`
+	QueueDepth int    `json:"queue_depth"`
 	// Compensation is the client's current §3.4 multiplier (1 = none).
 	Compensation float64 `json:"compensation"`
 	// WaitP50/WaitP99 are enqueue-to-dispatch latency percentiles
@@ -42,6 +45,7 @@ type Snapshot struct {
 	Dispatched uint64           `json:"dispatched"`
 	Completed  uint64           `json:"completed"`
 	Panicked   uint64           `json:"panicked"`
+	Cancelled  uint64           `json:"cancelled"`
 	Clients    []ClientSnapshot `json:"clients"`
 }
 
@@ -57,6 +61,7 @@ func (d *Dispatcher) Snapshot() Snapshot {
 		Dispatched: d.dispatched.Load(),
 		Completed:  d.completed.Load(),
 		Panicked:   d.panicked.Load(),
+		Cancelled:  d.cancelled,
 		Clients:    make([]ClientSnapshot, 0, len(d.clients)),
 	}
 	// Entitlement is the share each client would hold if every client
@@ -88,6 +93,7 @@ func (d *Dispatcher) Snapshot() Snapshot {
 			Dispatched:   c.dispatchedN,
 			Submitted:    c.submittedN,
 			Rejected:     c.rejectedN,
+			Cancelled:    c.cancelledN,
 			Panics:       c.panics.Load(),
 			QueueDepth:   c.pendingLocked(),
 			Compensation: c.comp,

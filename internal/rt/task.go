@@ -1,18 +1,38 @@
 package rt
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
 
+// taskState tracks the task lifecycle: queued → running → done.
+// Guarded by the dispatcher mutex; the done channel is the lock-free
+// view of the terminal state. A cancelled task goes queued → done
+// directly; a running task is never interrupted (workers are not
+// preemptible, matching the paper's quantum semantics — once a
+// quantum is won it runs to completion).
+type taskState int
+
+const (
+	taskQueued taskState = iota
+	taskRunning
+	taskDone
+)
+
 // Task is a submitted unit of work. Wait (or Done + Err) observes its
-// completion; a task whose body panicked completes with an error.
+// completion; a task whose body panicked completes with an error, and
+// a task cancelled while still queued completes with its context's
+// error without ever running.
 type Task struct {
 	client   *Client
+	ctx      context.Context
 	fn       func()
 	enqueued time.Time
 	done     chan struct{}
-	err      error // written once before done is closed
+	err      error     // written once before done is closed
+	state    taskState // guarded by client.d.mu
+	stop     func() bool
 }
 
 // Client returns the client the task was submitted to.
@@ -21,11 +41,32 @@ func (t *Task) Client() *Client { return t.client }
 // Done returns a channel closed when the task has finished.
 func (t *Task) Done() <-chan struct{} { return t.done }
 
-// Wait blocks until the task finishes and returns its error (non-nil
-// only if the task body panicked).
+// Wait blocks until the task finishes and returns its error: nil on
+// success, the panic error if the body panicked, the submission
+// context's error if the task was cancelled while queued, or
+// ErrClosed / ErrClientLeft if it was discarded by a deadline-bounded
+// Close or Abandon.
 func (t *Task) Wait() error {
 	<-t.done
 	return t.err
+}
+
+// WaitCtx blocks until the task finishes or ctx is done, whichever
+// comes first. When ctx fires first it returns ctx.Err() and the task
+// keeps its place: abandoning a wait does not cancel the task (cancel
+// the submission context for that). Completion wins if both are ready.
+func (t *Task) WaitCtx(ctx context.Context) error {
+	select {
+	case <-t.done:
+		return t.err
+	default:
+	}
+	select {
+	case <-t.done:
+		return t.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Err returns the task's error if it has finished, nil otherwise.
@@ -41,6 +82,9 @@ func (t *Task) Err() error {
 func (t *Task) finish(err error) {
 	t.err = err
 	close(t.done)
+	if t.stop != nil {
+		t.stop() // release the context watcher
+	}
 }
 
 // WaitOn blocks until t finishes, lending the calling client's

@@ -81,27 +81,30 @@ func (t *Tenant) NewClient(name string, amount ticket.Amount, opts ...ClientOpti
 	if d.closed {
 		return nil, ErrClosed
 	}
-	holder := d.tickets.NewHolder(name)
-	fund, err := t.cur.Issue(amount, holder)
-	if err != nil {
-		return nil, err
-	}
 	c := &Client{
-		d:       d,
-		tenant:  t,
-		name:    name,
-		holder:  holder,
-		funding: fund,
-		qcap:    d.queueCap,
-		comp:    1,
+		d:      d,
+		tenant: t,
+		name:   name,
+		qcap:   d.queueCap,
+		comp:   1,
 	}
 	c.notFull = sync.NewCond(&d.mu)
 	for _, opt := range opts {
 		opt(c)
 	}
+	// Validate options before issuing any tickets, so a rejected
+	// client cannot leak funding into the tenant's currency (a leaked
+	// ticket would silently dilute every sibling client).
 	if c.qcap <= 0 {
 		return nil, fmt.Errorf("rt: client %q: queue capacity must be positive", name)
 	}
+	holder := d.tickets.NewHolder(name)
+	fund, err := t.cur.Issue(amount, holder)
+	if err != nil {
+		return nil, err
+	}
+	c.holder = holder
+	c.funding = fund
 	t.clients++
 	d.clients = append(d.clients, c)
 	d.weightsDirty = true
@@ -134,9 +137,14 @@ func (d *Dispatcher) NewClient(name string, funding ticket.Amount, opts ...Clien
 // last client is gone. Only dedicated tenants are torn down
 // automatically.
 func (t *Tenant) teardownLocked() {
-	t.funding.Destroy()
+	// Destroy the currency first: it refuses while tickets are still
+	// issued in it, and on success destroys its own backing (the base
+	// funding). Destroying the funding before this check would leave a
+	// still-live currency with zero backing — issued rights silently
+	// devalued to nothing.
 	if err := t.cur.Destroy(); err != nil {
-		// Still-issued tickets mean a live client; leave the currency.
+		// Still-issued tickets mean a live client; leave the currency
+		// and its base funding intact.
 		return
 	}
 	t.d.weightsDirty = true
