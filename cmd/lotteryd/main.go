@@ -7,6 +7,8 @@
 //
 //	curl 'http://localhost:8080/work?class=gold&busy=5ms'   # do one job
 //	curl 'http://localhost:8080/snapshot'                   # achieved vs entitled
+//	curl 'http://localhost:8080/metrics'                    # Prometheus text format
+//	curl 'http://localhost:8080/debug/events?n=20'          # recent dispatcher events
 //
 // /work enqueues a job for its class and blocks until a worker has
 // run it; a class whose queue is full answers 503 (the dispatcher's
@@ -17,6 +19,15 @@
 // as JSON: per-class dispatch counts, achieved vs entitled share,
 // cancellations, queue depth, and wait-latency percentiles.
 //
+// Observability: /metrics exposes the dispatcher's rt_* families
+// (per-class dispatch/reject/cancel counters, queue depths,
+// wait-latency histograms) plus per-endpoint http_requests_total and
+// http_request_seconds, all from one metrics.Registry. /debug/events
+// streams the most recent dispatcher lifecycle events as JSON lines
+// (ring capacity set by -events; ?n= limits the tail). -pprof
+// additionally mounts net/http/pprof under /debug/pprof/ — opt-in,
+// since profiling endpoints should not be exposed by default.
+//
 // On SIGINT/SIGTERM the daemon shuts down gracefully: the listener
 // closes, in-flight requests finish, and the dispatcher drains its
 // backlog, all bounded by -grace; a second deadline overrun discards
@@ -24,6 +35,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -32,13 +44,16 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/rt"
 	"repro/internal/ticket"
 )
@@ -73,8 +88,13 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	grace := fs.Duration("grace", 5*time.Second, "graceful shutdown deadline for in-flight requests and queued jobs")
 	classes := fs.String("classes", "gold=500,silver=300,bronze=200",
 		"comma-separated class=tickets funding map")
+	events := fs.Int("events", 2048, "dispatcher event ring capacity for /debug/events (0 disables)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("%w: %v", errConfig, err)
+	}
+	if *events < 0 {
+		return fmt.Errorf("%w: -events must be >= 0", errConfig)
 	}
 
 	funding, err := parseClasses(*classes)
@@ -82,12 +102,20 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		return fmt.Errorf("%w: %v", errConfig, err)
 	}
 
-	d := rt.New(rt.Config{
+	reg := metrics.NewRegistry()
+	var rec *rt.EventRecorder
+	cfg := rt.Config{
 		Workers:       *workers,
 		QueueCap:      *queueCap,
 		Seed:          uint32(*seed),
 		ExpectedSlice: *slice,
-	})
+		Metrics:       reg,
+	}
+	if *events > 0 {
+		rec = rt.NewEventRecorder(*events)
+		cfg.Observer = rec
+	}
+	d := rt.New(cfg)
 
 	clients := make(map[string]*rt.Client, len(funding))
 	names := make([]string, 0, len(funding))
@@ -102,8 +130,33 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	}
 	sort.Strings(names)
 
+	// Every endpoint below reports into the same registry the
+	// dispatcher exports through, so one /metrics scrape covers both
+	// scheduling behaviour and HTTP serving behaviour.
+	httpReqs := reg.CounterVec("http_requests_total",
+		"HTTP requests served, by endpoint and status code.", "path", "code")
+	httpLat := reg.HistogramVec("http_request_seconds",
+		"HTTP request latency in seconds, by endpoint.",
+		metrics.ExpBuckets(1e-4, 4, 10), "path")
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("/work", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(path string, h http.HandlerFunc) {
+		lat := httpLat.With(path)
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			sw := &statusWriter{ResponseWriter: w}
+			h(sw, r)
+			code := sw.status
+			if code == 0 {
+				// Handler wrote no response (e.g. /work's caller-gone
+				// paths); net/http sends an implicit 200.
+				code = http.StatusOK
+			}
+			httpReqs.With(path, strconv.Itoa(code)).Inc()
+			lat.Observe(time.Since(start).Seconds())
+		})
+	}
+	handle("/work", func(w http.ResponseWriter, r *http.Request) {
 		c, ok := clients[r.URL.Query().Get("class")]
 		if !ok {
 			http.Error(w, fmt.Sprintf("unknown class; have %s", strings.Join(names, ", ")),
@@ -145,9 +198,40 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 			"total_ms": float64(time.Since(enqueued).Microseconds()) / 1000,
 		})
 	})
-	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	handle("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, d.Snapshot())
 	})
+	metricsHandler := reg.Handler()
+	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		metricsHandler.ServeHTTP(w, r)
+	})
+	handle("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		if rec == nil {
+			http.Error(w, "event recording disabled (-events 0)", http.StatusNotFound)
+			return
+		}
+		n := 0 // 0 = everything retained
+		if v := r.URL.Query().Get("n"); v != "" {
+			var err error
+			if n, err = strconv.Atoi(v); err != nil || n < 0 {
+				http.Error(w, "bad n: want a non-negative integer", http.StatusBadRequest)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := rec.WriteJSON(w, n); err != nil {
+			log.Printf("lotteryd: /debug/events write: %v", err)
+		}
+	})
+	if *pprofOn {
+		// Explicit routes rather than a blank import: pprof stays off
+		// the default mux and off this one unless asked for.
+		handle("/debug/pprof/", pprof.Index)
+		handle("/debug/pprof/cmdline", pprof.Cmdline)
+		handle("/debug/pprof/profile", pprof.Profile)
+		handle("/debug/pprof/symbol", pprof.Symbol)
+		handle("/debug/pprof/trace", pprof.Trace)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -224,9 +308,41 @@ func parseClasses(s string) (map[string]ticket.Amount, error) {
 	return out, nil
 }
 
+// statusWriter records the status code a handler sends so the metrics
+// middleware can label http_requests_total with it. A handler that
+// never calls WriteHeader leaves status 0 (net/http's implicit 200).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// writeJSON encodes v into a buffer first so an encoding failure can
+// still become a clean 500 instead of a half-written 200 body, and so
+// Content-Length is known up front.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		log.Printf("lotteryd: encoding response: %v", err)
+		http.Error(w, "internal error", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
 }

@@ -1,13 +1,18 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"testing"
@@ -131,12 +136,224 @@ func TestRunSIGINT(t *testing.T) {
 	}
 }
 
+// TestMetricsEndpoint loads the daemon, then checks that /metrics
+// serves parseable Prometheus text whose per-class dispatch counters
+// sum to /snapshot's dispatched total, and that the HTTP middleware
+// families appear.
+func TestMetricsEndpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, done := startDaemon(t, ctx)
+
+	for i := 0; i < 20; i++ {
+		class := "gold"
+		if i%3 == 0 {
+			class = "bronze"
+		}
+		if code, body := get(t, base+"/work?class="+class); code != http.StatusOK {
+			t.Fatalf("/work = %d: %s", code, body)
+		}
+	}
+	// One 400 so http_requests_total has a non-200 series.
+	if code, _ := get(t, base+"/work?class=nope"); code != http.StatusBadRequest {
+		t.Fatalf("unknown class = %d, want 400", code)
+	}
+
+	code, snapBody := get(t, base+"/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("/snapshot = %d", code)
+	}
+	var snap struct {
+		Dispatched uint64 `json:"dispatched"`
+	}
+	if err := json.Unmarshal(snapBody, &snap); err != nil {
+		t.Fatalf("/snapshot not JSON: %v", err)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text format", ct)
+	}
+	metricsBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Parse the exposition line by line: every non-comment line must be
+	// `name{labels} value` or `name value` with a float value.
+	var clientDispatched uint64
+	sc := bufio.NewScanner(strings.NewReader(string(metricsBody)))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lastSpace := strings.LastIndexByte(line, ' ')
+		if lastSpace < 0 {
+			t.Fatalf("unparseable metrics line: %q", line)
+		}
+		val, err := strconv.ParseFloat(line[lastSpace+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in line %q: %v", line, err)
+		}
+		if strings.HasPrefix(line, "rt_client_dispatched_total{") {
+			clientDispatched += uint64(val)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance check: per-client dispatch counters sum to the
+	// snapshot's dispatched total. All 20 successful /work requests
+	// completed before /snapshot and /metrics were read, and /metrics
+	// reads the same dispatcher state, so the totals must agree exactly.
+	if clientDispatched != snap.Dispatched {
+		t.Errorf("sum(rt_client_dispatched_total) = %d, /snapshot dispatched = %d",
+			clientDispatched, snap.Dispatched)
+	}
+	if snap.Dispatched < 20 {
+		t.Errorf("dispatched = %d, want >= 20", snap.Dispatched)
+	}
+	for _, want := range []string{
+		`rt_client_dispatched_total{client="gold",tenant="gold"}`,
+		`rt_client_wait_seconds_bucket{client="gold",tenant="gold",le="+Inf"}`,
+		`http_requests_total{path="/work",code="200"}`,
+		`http_requests_total{path="/work",code="400"}`,
+		`http_request_seconds_count{path="/work"}`,
+		"# TYPE rt_dispatched_total counter",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	cancel()
+	<-done
+}
+
+// TestDebugEventsEndpoint checks the /debug/events ring: JSON lines in
+// the shared {"at_ns","kind","who"} schema, the ?n= tail limit, and a
+// 404 when recording is disabled with -events 0.
+func TestDebugEventsEndpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, done := startDaemon(t, ctx)
+
+	for i := 0; i < 5; i++ {
+		if code, body := get(t, base+"/work?class=gold"); code != http.StatusOK {
+			t.Fatalf("/work = %d: %s", code, body)
+		}
+	}
+	resp, err := http.Get(base + "/debug/events?n=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d event lines, want 4:\n%s", len(lines), body)
+	}
+	for _, line := range lines {
+		var ev struct {
+			AtNS int64  `json:"at_ns"`
+			Kind string `json:"kind"`
+			Who  string `json:"who"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("event line not JSON: %v\n%s", err, line)
+		}
+		if ev.AtNS <= 0 || ev.Kind == "" || ev.Who != "gold" {
+			t.Errorf("implausible event: %s", line)
+		}
+	}
+	if code, _ := get(t, base+"/debug/events?n=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad n = %d, want 400", code)
+	}
+	cancel()
+	<-done
+
+	// Disabled ring: the endpoint must 404, and the daemon still work.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	base2, done2 := startDaemon(t, ctx2, "-events", "0")
+	if code, _ := get(t, base2+"/work?class=gold"); code != http.StatusOK {
+		t.Fatal("daemon with -events 0 cannot serve work")
+	}
+	if code, _ := get(t, base2+"/debug/events"); code != http.StatusNotFound {
+		t.Errorf("/debug/events with -events 0 = %d, want 404", code)
+	}
+	cancel2()
+	<-done2
+}
+
+// TestPprofGating checks that pprof routes exist only behind -pprof.
+func TestPprofGating(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, done := startDaemon(t, ctx)
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusNotFound {
+		t.Errorf("pprof without -pprof = %d, want 404", code)
+	}
+	cancel()
+	<-done
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	base2, done2 := startDaemon(t, ctx2, "-pprof")
+	if code, body := get(t, base2+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof with -pprof = %d: %s", code, body)
+	}
+	cancel2()
+	<-done2
+}
+
+// TestWriteJSON covers the satellite bugfix: success sets
+// Content-Length, and an unencodable value yields a 500 instead of a
+// silently truncated 200.
+func TestWriteJSON(t *testing.T) {
+	rr := httptest.NewRecorder()
+	writeJSON(rr, map[string]int{"a": 1})
+	if rr.Code != http.StatusOK {
+		t.Fatalf("code = %d", rr.Code)
+	}
+	if got := rr.Header().Get("Content-Length"); got != fmt.Sprint(rr.Body.Len()) {
+		t.Errorf("Content-Length = %q, body is %d bytes", got, rr.Body.Len())
+	}
+	var m map[string]int
+	if err := json.Unmarshal(rr.Body.Bytes(), &m); err != nil || m["a"] != 1 {
+		t.Errorf("body = %q (%v)", rr.Body.String(), err)
+	}
+
+	rr = httptest.NewRecorder()
+	writeJSON(rr, make(chan int)) // channels are not JSON-encodable
+	if rr.Code != http.StatusInternalServerError {
+		t.Errorf("unencodable value: code = %d, want 500", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); strings.Contains(ct, "application/json") {
+		t.Errorf("error response claims JSON Content-Type %q", ct)
+	}
+}
+
 func TestRunBadConfig(t *testing.T) {
 	if err := run(context.Background(), []string{"-classes", "gold=-1"}, nil); err == nil {
 		t.Fatal("run accepted a negative ticket amount")
 	}
 	if err := run(context.Background(), []string{"-classes", ""}, nil); err == nil {
 		t.Fatal("run accepted an empty class map")
+	}
+	if err := run(context.Background(), []string{"-events", "-1"}, nil); err == nil {
+		t.Fatal("run accepted a negative event ring capacity")
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -33,6 +34,7 @@ func main() {
 		list    = flag.Bool("list", false, "list available experiments")
 		asJSON  = flag.Bool("json", false, "emit structured results as JSON instead of text reports")
 		doTrace = flag.Bool("trace", false, "trace the experiment's scheduler: per-thread wait-latency percentiles (p50/p95/p99) and the last events")
+		traceTo = flag.String("trace-json", "", "export scheduler events as JSON lines to this file ('-' = stdout), in the same {at_ns,kind,who} schema lotteryd's /debug/events serves")
 	)
 	flag.Parse()
 
@@ -69,15 +71,35 @@ func main() {
 		}
 		return
 	}
+	var jsonOut io.Writer
+	if *traceTo != "" {
+		if *traceTo == "-" {
+			jsonOut = os.Stdout
+		} else {
+			f, err := os.Create(*traceTo)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lotterysim:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			jsonOut = f
+		}
+	}
 	for i, r := range runners {
 		if i > 0 {
 			fmt.Println()
 		}
 		var rec *trace.Recorder
-		if *doTrace {
-			// Retain only the tail of the event log (experiments emit an
-			// event per quantum); latency accounting covers the full run.
-			rec = trace.NewRecorder(16)
+		if *doTrace || jsonOut != nil {
+			// Retain only the tail of the event log when printing text
+			// (experiments emit an event per quantum); keep a deeper ring
+			// for the JSON export. Latency accounting covers the full run
+			// either way.
+			capacity := 16
+			if jsonOut != nil {
+				capacity = 65536
+			}
+			rec = trace.NewRecorder(capacity)
 			core.SetDefaultTracer(rec)
 		}
 		start := time.Now()
@@ -85,8 +107,16 @@ func main() {
 		fmt.Print(r.Run(*scale, uint32(*seed)))
 		if rec != nil {
 			core.SetDefaultTracer(nil)
-			fmt.Printf("scheduler trace (%d events recorded, last %d shown):\n", rec.Total(), len(rec.Events()))
-			fmt.Print(rec.Format(16))
+			if *doTrace {
+				fmt.Printf("scheduler trace (%d events recorded, last %d shown):\n", rec.Total(), min(len(rec.Events()), 16))
+				fmt.Print(rec.Format(16))
+			}
+			if jsonOut != nil {
+				if err := rec.WriteJSON(jsonOut, 0); err != nil {
+					fmt.Fprintln(os.Stderr, "lotterysim: trace-json:", err)
+					os.Exit(1)
+				}
+			}
 		}
 		fmt.Printf("--- completed in %v\n", time.Since(start).Round(time.Millisecond))
 	}

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"testing"
+)
+
+// BenchmarkCounterInc is the hot-path floor: one atomic add.
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewCounter()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+// BenchmarkHistogramObserve is the cost a latency observation adds to
+// an instrumented path: bound search plus three atomic updates.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(ExpBuckets(1e-6, 2, 26))
+	b.RunParallel(func(pb *testing.PB) {
+		v := 1e-4
+		for pb.Next() {
+			h.Observe(v)
+			v *= 1.001
+			if v > 1 {
+				v = 1e-6
+			}
+		}
+	})
+}
+
+// BenchmarkHistogramQuantile is the Snapshot-side read: O(buckets).
+func BenchmarkHistogramQuantile(b *testing.B) {
+	h := NewHistogram(ExpBuckets(1e-6, 2, 26))
+	for i := 0; i < 4096; i++ {
+		h.Observe(float64(i) * 1e-5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Quantile(99)
+	}
+}
+
+// BenchmarkWriteTo scrapes a registry shaped like a loaded lotteryd:
+// a handful of scalar families plus per-client vec series.
+func BenchmarkWriteTo(b *testing.B) {
+	r := NewRegistry()
+	r.Counter("rt_dispatched_total", "d").Add(1 << 20)
+	r.Gauge("rt_pending_tasks", "p").Set(17)
+	v := r.CounterVec("rt_client_dispatched_total", "c", "client", "tenant")
+	hv := r.HistogramVec("rt_client_wait_seconds", "w", ExpBuckets(1e-6, 2, 26), "client", "tenant")
+	for i := 0; i < 16; i++ {
+		name := fmt.Sprintf("c%d", i)
+		v.With(name, name).Add(uint64(i) * 1000)
+		h := hv.With(name, name)
+		for j := 0; j < 100; j++ {
+			h.Observe(float64(j) * 1e-4)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

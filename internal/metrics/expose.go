@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition format version
+// written by WriteTo and advertised by Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteTo renders every registered family in the Prometheus text
+// format: families sorted by name, series sorted by label values,
+// histogram series expanded into cumulative _bucket lines plus _sum
+// and _count. It implements io.WriterTo.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	for _, fs := range r.snapshot() {
+		f := fs.f
+		buf.WriteString("# HELP ")
+		buf.WriteString(f.name)
+		buf.WriteByte(' ')
+		buf.WriteString(escapeHelp(f.help))
+		buf.WriteByte('\n')
+		buf.WriteString("# TYPE ")
+		buf.WriteString(f.name)
+		buf.WriteByte(' ')
+		buf.WriteString(f.kind.String())
+		buf.WriteByte('\n')
+		for _, s := range fs.series {
+			writeSeries(&buf, f, s)
+		}
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+func writeSeries(buf *bytes.Buffer, f *family, s *series) {
+	switch {
+	case s.hist != nil:
+		cum, count, sum := s.hist.snapshot()
+		for i, bound := range f.bounds {
+			writeSample(buf, f.name+"_bucket", f.labels, s.labelValues,
+				"le", formatFloat(bound), strconv.FormatUint(cum[i], 10))
+		}
+		writeSample(buf, f.name+"_bucket", f.labels, s.labelValues,
+			"le", "+Inf", strconv.FormatUint(cum[len(cum)-1], 10))
+		writeSample(buf, f.name+"_sum", f.labels, s.labelValues, "", "", formatFloat(sum))
+		writeSample(buf, f.name+"_count", f.labels, s.labelValues, "", "", strconv.FormatUint(count, 10))
+	case s.counter != nil:
+		writeSample(buf, f.name, f.labels, s.labelValues, "", "", strconv.FormatUint(s.counter.Value(), 10))
+	case s.gauge != nil:
+		writeSample(buf, f.name, f.labels, s.labelValues, "", "", formatFloat(s.gauge.Value()))
+	case s.fn != nil:
+		writeSample(buf, f.name, f.labels, s.labelValues, "", "", formatFloat(s.fn()))
+	}
+}
+
+// writeSample writes one `name{labels} value` line. extraName/extraVal
+// append one more label pair (the histogram `le`) when non-empty.
+func writeSample(buf *bytes.Buffer, name string, labels, values []string, extraName, extraVal, sample string) {
+	buf.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		buf.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			buf.WriteString(l)
+			buf.WriteString(`="`)
+			buf.WriteString(escapeLabel(values[i]))
+			buf.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				buf.WriteByte(',')
+			}
+			buf.WriteString(extraName)
+			buf.WriteString(`="`)
+			buf.WriteString(extraVal)
+			buf.WriteByte('"')
+		}
+		buf.WriteByte('}')
+	}
+	buf.WriteByte(' ')
+	buf.WriteString(sample)
+	buf.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+// Handler returns an http.Handler serving the registry in the
+// Prometheus text format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var buf bytes.Buffer
+		if _, err := r.WriteTo(&buf); err != nil {
+			http.Error(w, "metrics: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+		_, _ = w.Write(buf.Bytes())
+	})
+}

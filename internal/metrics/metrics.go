@@ -1,0 +1,201 @@
+// Package metrics is a zero-dependency metrics toolkit for the
+// wall-clock side of the reproduction: atomic counters, gauges, and
+// fixed-bucket histograms collected in a Registry and exposed in the
+// Prometheus text format (version 0.0.4) via WriteTo or an
+// http.Handler.
+//
+// Instruments are lock-free on the update path — a Counter increment
+// is one atomic add, a Histogram observation a bounded search plus
+// three atomic operations — so they can sit on a dispatcher's hot
+// path. Scrapes never block updates: WriteTo snapshots the registry's
+// structure under short internal locks and then reads instrument
+// values atomically (or through registered callbacks), so a scrape
+// and a million concurrent increments interleave freely.
+//
+// Histograms use fixed upper bounds chosen at creation (see
+// ExpBuckets for log-scaled latency buckets). Quantile estimates are
+// computed from the bucket counts in O(buckets) with linear
+// interpolation inside the winning bucket — the classic
+// Prometheus-side histogram_quantile, available here directly so the
+// same histogram can back both a /metrics scrape and an in-process
+// snapshot.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// unusable; create one with NewCounter or Registry.Counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// NewCounter returns a standalone counter, not attached to any
+// registry (useful when the value backs an in-process snapshot only).
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down. The zero value is
+// unusable; create one with NewGauge or Registry.Gauge.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// NewGauge returns a standalone gauge, not attached to any registry.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta float64) { addFloat(&g.bits, delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. An observation v
+// lands in the first bucket whose upper bound is >= v (bounds are
+// inclusive, matching the Prometheus `le` label); values above every
+// bound land in the implicit +Inf bucket. The zero value is unusable;
+// create one with NewHistogram or Registry.Histogram.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram returns a standalone histogram over the given upper
+// bounds, which must be ascending and non-empty. The slice is copied.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsInf(b, 0) || math.IsNaN(b) {
+			panic("metrics: histogram bounds must be finite (+Inf is implicit)")
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sum, v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the p-th percentile (p in [0,100]) from the
+// bucket counts: the winning bucket is found by cumulative rank and
+// the value is linearly interpolated inside it. Observations in the
+// +Inf bucket clamp to the largest finite bound. Returns 0 with no
+// observations. The estimate's resolution is the bucket width, which
+// for ExpBuckets-style bounds is a constant relative error.
+func (h *Histogram) Quantile(p float64) float64 {
+	if p < 0 {
+		p = 0
+	} else if p > 100 {
+		p = 100
+	}
+	// Snapshot the per-bucket counts and derive the total from them so
+	// the walk is self-consistent even mid-update.
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := p / 100 * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < target {
+			continue
+		}
+		if i == len(h.bounds) {
+			return h.bounds[len(h.bounds)-1] // +Inf bucket: clamp
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		return lo + (hi-lo)*(target-prev)/float64(c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// snapshot returns the cumulative bucket counts (one per bound, then
+// +Inf), the total count, and the sum, for exposition.
+func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
+	cum = make([]uint64, len(h.counts))
+	var running uint64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return cum, running, h.Sum()
+}
+
+// ExpBuckets returns n strictly ascending upper bounds starting at
+// start and multiplying by factor — log-scaled buckets giving a
+// constant relative quantile error. start must be positive, factor
+// > 1, n >= 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// addFloat atomically adds delta to the float64 stored in bits.
+func addFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		want := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, want) {
+			return
+		}
+	}
+}

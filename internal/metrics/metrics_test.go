@@ -1,0 +1,310 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewGauge()
+	g.Set(2.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 1.25 {
+		t.Fatalf("Value = %g, want 1.25", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-3, 2, 4)
+	want := []float64{1e-3, 2e-3, 4e-3, 8e-3}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExpBuckets(0, 2, 4) },
+		func() { ExpBuckets(1, 1, 4) },
+		func() { ExpBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad ExpBuckets accepted")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// TestHistogramInvariants checks the core histogram accounting:
+// bucketing is inclusive on the upper bound, cumulative counts are
+// nondecreasing, the +Inf bucket equals _count, and _sum is the sum
+// of observations.
+func TestHistogramInvariants(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	obs := []float64{0.5, 1, 1.5, 2, 3, 8, 100}
+	var sum float64
+	for _, v := range obs {
+		h.Observe(v)
+		sum += v
+	}
+	cum, count, gotSum := h.snapshot()
+	// le=1: 0.5, 1; le=2: +1.5, 2; le=4: +3; +Inf: +8, 100.
+	want := []uint64{2, 4, 5, 7}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("cum[%d] = %d, want %d", i, cum[i], want[i])
+		}
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Errorf("cumulative counts decrease at %d", i)
+		}
+	}
+	if count != uint64(len(obs)) || cum[len(cum)-1] != count {
+		t.Errorf("count = %d, +Inf = %d, want %d", count, cum[len(cum)-1], len(obs))
+	}
+	if math.Abs(gotSum-sum) > 1e-9 {
+		t.Errorf("sum = %g, want %g", gotSum, sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1e-3, 2, 20))
+	if q := h.Quantile(50); q != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", q)
+	}
+	// 1000 observations uniform in (0, 1]: the median must land near
+	// 0.5 within one bucket's relative width (factor 2).
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	if q := h.Quantile(50); q < 0.25 || q > 1.0 {
+		t.Errorf("p50 = %g, want within one log2 bucket of 0.5", q)
+	}
+	if p99, p50 := h.Quantile(99), h.Quantile(50); p99 < p50 {
+		t.Errorf("p99 %g < p50 %g", p99, p50)
+	}
+	// Everything beyond the last bound clamps to it.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(50)
+	if q := h2.Quantile(99); q != 1 {
+		t.Errorf("overflow quantile = %g, want clamp to 1", q)
+	}
+}
+
+// TestExpositionGolden pins the full text format: family ordering,
+// label rendering, histogram expansion, and value formatting.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a_total", "A counter.")
+	c.Add(3)
+	g := r.Gauge("b_gauge", "A gauge.")
+	g.Set(-1.5)
+	r.GaugeFunc("b_gauge_fn", "A gauge from a callback.", func() float64 { return 2.25 })
+	v := r.CounterVec("c_total", "A labeled counter.", "class", "code")
+	v.With("gold", "200").Add(7)
+	v.With("bronze", "200").Inc()
+	h := r.Histogram("d_seconds", "A histogram.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	want := `# HELP a_total A counter.
+# TYPE a_total counter
+a_total 3
+# HELP b_gauge A gauge.
+# TYPE b_gauge gauge
+b_gauge -1.5
+# HELP b_gauge_fn A gauge from a callback.
+# TYPE b_gauge_fn gauge
+b_gauge_fn 2.25
+# HELP c_total A labeled counter.
+# TYPE c_total counter
+c_total{class="bronze",code="200"} 1
+c_total{class="gold",code="200"} 7
+# HELP d_seconds A histogram.
+# TYPE d_seconds histogram
+d_seconds_bucket{le="0.1"} 1
+d_seconds_bucket{le="1"} 2
+d_seconds_bucket{le="+Inf"} 3
+d_seconds_sum 2.55
+d_seconds_count 3
+`
+	var buf bytes.Buffer
+	n, err := r.WriteTo(&buf)
+	if err != nil || n != int64(buf.Len()) {
+		t.Fatalf("WriteTo = (%d, %v), buffered %d", n, err, buf.Len())
+	}
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("e_total", "Help with \\ and\nnewline.", "k").With("a\"b\\c\nd").Inc()
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# HELP e_total Help with \\ and\nnewline.`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `e_total{k="a\"b\\c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "h").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if cl := rec.Header().Get("Content-Length"); cl != strconv.Itoa(rec.Body.Len()) {
+		t.Errorf("Content-Length = %q, body %d", cl, rec.Body.Len())
+	}
+	if !strings.Contains(rec.Body.String(), "h_total 1") {
+		t.Errorf("body:\n%s", rec.Body.String())
+	}
+}
+
+func TestVecWithAndDelete(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("v_gauge", "v", "k")
+	g1 := v.With("x")
+	g1.Set(1)
+	if g2 := v.With("x"); g2 != g1 {
+		t.Fatal("With(same values) returned a different gauge")
+	}
+	if !v.Delete("x") {
+		t.Fatal("Delete(existing) = false")
+	}
+	if v.Delete("x") {
+		t.Fatal("Delete(gone) = true")
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `v_gauge{k="x"}`) {
+		t.Errorf("deleted series still exposed:\n%s", buf.String())
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "first")
+	for name, bad := range map[string]func(){
+		"duplicate":      func() { r.Gauge("dup_total", "second") },
+		"bad name":       func() { r.Counter("0bad", "") },
+		"bad label":      func() { r.CounterVec("ok_total", "", "bad-label") },
+		"no vec labels":  func() { r.CounterVec("ok2_total", "") },
+		"label arity":    func() { r.CounterVec("ok3_total", "", "a").With("x", "y") },
+		"empty name":     func() { r.Counter("", "") },
+		"metric spaces":  func() { r.Counter("a b", "") },
+		"inf bound":      func() { r.Histogram("inf_seconds", "", []float64{1, math.Inf(1)}) },
+		"unsorted bound": func() { r.Histogram("uns_seconds", "", []float64{2, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// TestConcurrentScrape hammers instruments from many goroutines while
+// scraping; run under -race this is the package's data-race proof.
+// It also checks the scraped totals for internal consistency on a
+// quiesced registry.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "")
+	v := r.CounterVec("cv_total", "", "w")
+	h := r.Histogram("ch_seconds", "", ExpBuckets(1e-6, 4, 10))
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lc := v.With(fmt.Sprint(w))
+			for i := 0; i < per; i++ {
+				c.Inc()
+				lc.Inc()
+				h.Observe(float64(i) * 1e-5)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		var buf bytes.Buffer
+		if _, err := r.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-done:
+			if got := c.Value(); got != workers*per {
+				t.Fatalf("cc_total = %d, want %d", got, workers*per)
+			}
+			if got := h.Count(); got != workers*per {
+				t.Fatalf("ch_seconds count = %d, want %d", got, workers*per)
+			}
+			// Final scrape: per-worker counters sum to the scalar total.
+			var buf bytes.Buffer
+			if _, err := r.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			var sum uint64
+			sc := bufio.NewScanner(&buf)
+			for sc.Scan() {
+				line := sc.Text()
+				if strings.HasPrefix(line, "cv_total{") {
+					n, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+					if err != nil {
+						t.Fatalf("parse %q: %v", line, err)
+					}
+					sum += n
+				}
+			}
+			if sum != workers*per {
+				t.Fatalf("sum of cv_total series = %d, want %d", sum, workers*per)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry holds named metric families and renders them in the
+// Prometheus text format. Families are registered once (duplicate
+// names panic — a registration is a programming error, like a
+// duplicate flag); series within a vector family are created on
+// demand with With and may be removed with Delete. All methods are
+// safe for concurrent use, and scrapes never hold registry locks
+// while reading instrument values.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric with zero or more labeled series.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string  // label names; empty for a scalar metric
+	bounds []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// series is one sample stream: either a direct instrument or a
+// callback read at scrape time.
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+	fn          func() float64
+}
+
+// seriesKey joins label values with an unprintable separator so the
+// map key is unambiguous.
+func seriesKey(values []string) string { return strings.Join(values, "\x00") }
+
+var nameOK = func(r rune, first bool) bool {
+	switch {
+	case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		return true
+	case r >= '0' && r <= '9':
+		return !first
+	}
+	return false
+}
+
+func checkName(name string) {
+	if name == "" {
+		panic("metrics: empty metric name")
+	}
+	for i, r := range name {
+		if !nameOK(r, i == 0) {
+			panic(fmt.Sprintf("metrics: invalid metric/label name %q", name))
+		}
+	}
+}
+
+// register creates a family, panicking on duplicates or bad names.
+func (r *Registry) register(name, help string, kind metricKind, labels []string, bounds []float64) *family {
+	checkName(name)
+	for _, l := range labels {
+		checkName(l)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", name))
+	}
+	f := &family{
+		name:   name,
+		help:   help,
+		kind:   kind,
+		labels: labels,
+		bounds: bounds,
+		series: make(map[string]*series),
+	}
+	r.byName[name] = f
+	return f
+}
+
+// get returns (creating if needed) the series for the given label
+// values, initialized by mk.
+func (f *family) get(values []string, mk func() *series) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s: got %d label values, want %d", f.name, len(values), len(f.labels)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := mk()
+	s.labelValues = append([]string(nil), values...)
+	f.series[key] = s
+	return s
+}
+
+func (f *family) delete(values []string) bool {
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.series[key]; !ok {
+		return false
+	}
+	delete(f.series, key)
+	return true
+}
+
+// Counter registers and returns a scalar counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, counterKind, nil, nil)
+	return f.get(nil, func() *series { return &series{counter: NewCounter()} }).counter
+}
+
+// CounterFunc registers a scalar counter whose value is read from fn
+// at scrape time. fn must be safe for concurrent use and should be
+// cheap; it is called once per scrape.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, counterKind, nil, nil)
+	f.get(nil, func() *series { return &series{fn: fn} })
+}
+
+// Gauge registers and returns a scalar gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, gaugeKind, nil, nil)
+	return f.get(nil, func() *series { return &series{gauge: NewGauge()} }).gauge
+}
+
+// GaugeFunc registers a scalar gauge whose value is read from fn at
+// scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, gaugeKind, nil, nil)
+	f.get(nil, func() *series { return &series{fn: fn} })
+}
+
+// Histogram registers and returns a scalar histogram over the given
+// upper bounds (see NewHistogram).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	f := r.register(name, help, histogramKind, nil, h.bounds)
+	return f.get(nil, func() *series { return &series{hist: h} }).hist
+}
+
+// CounterVec is a family of counters partitioned by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic("metrics: CounterVec needs at least one label")
+	}
+	return &CounterVec{r.register(name, help, counterKind, labels, nil)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. Repeated calls with the same values return the same
+// counter.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.get(values, func() *series { return &series{counter: NewCounter()} }).counter
+}
+
+// Delete removes the series for the given label values, reporting
+// whether it existed.
+func (v *CounterVec) Delete(values ...string) bool { return v.f.delete(values) }
+
+// GaugeVec is a family of gauges partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic("metrics: GaugeVec needs at least one label")
+	}
+	return &GaugeVec{r.register(name, help, gaugeKind, labels, nil)}
+}
+
+// With returns the gauge for the given label values, creating it on
+// first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.get(values, func() *series { return &series{gauge: NewGauge()} }).gauge
+}
+
+// Delete removes the series for the given label values.
+func (v *GaugeVec) Delete(values ...string) bool { return v.f.delete(values) }
+
+// HistogramVec is a family of histograms partitioned by label values,
+// all sharing one set of bucket bounds.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family over the given
+// upper bounds.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic("metrics: HistogramVec needs at least one label")
+	}
+	// Validate once up front via a throwaway histogram.
+	checked := NewHistogram(bounds)
+	return &HistogramVec{r.register(name, help, histogramKind, labels, checked.bounds)}
+}
+
+// With returns the histogram for the given label values, creating it
+// on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.get(values, func() *series { return &series{hist: NewHistogram(v.f.bounds)} }).hist
+}
+
+// Delete removes the series for the given label values.
+func (v *HistogramVec) Delete(values ...string) bool { return v.f.delete(values) }
+
+// snapshot copies the family list (sorted by name) and each family's
+// series (sorted by label values) under the internal locks, so the
+// caller can read values without blocking registrations.
+func (r *Registry) snapshot() []famSnap {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.byName))
+	for _, f := range r.byName {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	out := make([]famSnap, 0, len(fams))
+	for _, f := range fams {
+		f.mu.Lock()
+		ss := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			ss = append(ss, s)
+		}
+		f.mu.Unlock()
+		sort.Slice(ss, func(i, j int) bool {
+			return seriesKey(ss[i].labelValues) < seriesKey(ss[j].labelValues)
+		})
+		out = append(out, famSnap{f: f, series: ss})
+	}
+	return out
+}
+
+type famSnap struct {
+	f      *family
+	series []*series
+}

@@ -2,9 +2,11 @@ package rt
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/lottery"
+	"repro/internal/metrics"
 	"repro/internal/random"
 	"repro/internal/ticket"
 )
@@ -13,7 +15,11 @@ import (
 // from Submit through worker pickup to completion, with nclients
 // competing for the pool.
 func benchDispatch(b *testing.B, nclients int) {
-	d := New(Config{Workers: 2, QueueCap: 4096, Seed: 42})
+	benchDispatchCfg(b, nclients, Config{Workers: 2, QueueCap: 4096, Seed: 42})
+}
+
+func benchDispatchCfg(b *testing.B, nclients int, cfg Config) {
+	d := New(cfg)
 	defer d.Close()
 	clients := make([]*Client, nclients)
 	for i := range clients {
@@ -46,6 +52,34 @@ func benchDispatch(b *testing.B, nclients int) {
 func BenchmarkDispatchThroughput(b *testing.B) {
 	b.Run("uncontended", func(b *testing.B) { benchDispatch(b, 1) })
 	b.Run("contended", func(b *testing.B) { benchDispatch(b, 8) })
+}
+
+// BenchmarkObserverOverhead prices the observability hooks on the
+// dispatch path, against the same workload as DispatchThroughput
+// contended. "nil" is the default fast path (no observer: one
+// predictable branch per event site, the bar the <5% regression
+// budget is measured against); "counting" is the cheapest possible
+// live observer; "recorder" is the bounded EventRecorder ring;
+// "metrics" adds a registry exporting every per-client family.
+func BenchmarkObserverOverhead(b *testing.B) {
+	base := Config{Workers: 2, QueueCap: 4096, Seed: 42}
+	b.Run("nil", func(b *testing.B) { benchDispatchCfg(b, 8, base) })
+	b.Run("counting", func(b *testing.B) {
+		var n atomic.Uint64
+		cfg := base
+		cfg.Observer = ObserverFunc(func(Event) { n.Add(1) })
+		benchDispatchCfg(b, 8, cfg)
+	})
+	b.Run("recorder", func(b *testing.B) {
+		cfg := base
+		cfg.Observer = NewEventRecorder(4096)
+		benchDispatchCfg(b, 8, cfg)
+	})
+	b.Run("metrics", func(b *testing.B) {
+		cfg := base
+		cfg.Metrics = metrics.NewRegistry()
+		benchDispatchCfg(b, 8, cfg)
+	})
 }
 
 // BenchmarkDrawLatency isolates the per-dispatch lottery cost: one

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/lottery"
+	"repro/internal/metrics"
 	"repro/internal/ticket"
 )
 
@@ -31,10 +32,6 @@ func WithQueueCap(n int) ClientOption { return func(c *Client) { c.qcap = n } }
 
 // WithOverflow sets the client's backpressure policy (default Block).
 func WithOverflow(p OverflowPolicy) ClientOption { return func(c *Client) { c.policy = p } }
-
-// waitSampleCap bounds the per-client ring of recent wait-latency
-// samples used for Snapshot percentiles.
-const waitSampleCap = 2048
 
 // Client is one competitor for the worker pool: a FIFO queue of tasks
 // backed by ticket funding. Clients are created via Dispatcher.
@@ -75,8 +72,19 @@ type Client struct {
 	dispatchedN uint64
 	cancelledN  uint64
 	panics      atomic.Uint64
-	waitRing    []float64 // recent wait latencies, seconds
-	waitStart   int
+
+	// Metric instruments, bound at creation (bindMetrics): registry
+	// series when the dispatcher exports metrics, standalone
+	// otherwise. All are atomic, so workers update them outside the
+	// dispatcher lock. waitHist is the single source for wait-latency
+	// quantiles, shared by Snapshot and /metrics scrapes.
+	mSubmitted  *metrics.Counter
+	mDispatched *metrics.Counter
+	mRejected   *metrics.Counter
+	mCancelled  *metrics.Counter
+	mPanics     *metrics.Counter
+	mDepth      *metrics.Gauge
+	waitHist    *metrics.Histogram
 }
 
 // Name returns the client's name.
@@ -151,12 +159,18 @@ func (c *Client) submit(ctx context.Context, fn func()) (*Task, error) {
 	}
 	if c.pendingLocked() >= c.qcap {
 		c.rejectedN++
+		c.mRejected.Inc()
 		d.mu.Unlock()
+		if d.obs != nil {
+			d.obs.Observe(Event{At: time.Now(), Kind: EventReject, Client: c.name, Tenant: c.tenant.name})
+		}
 		return nil, ErrQueueFull
 	}
 	t := &Task{client: c, ctx: ctx, fn: fn, enqueued: time.Now(), done: make(chan struct{})}
 	c.queue = append(c.queue, t)
 	c.submittedN++
+	c.mSubmitted.Inc()
+	c.mDepth.Add(1)
 	d.pending++
 	if c.pendingLocked() == 1 {
 		// Empty -> nonempty: the client starts competing. Activating
@@ -174,6 +188,9 @@ func (c *Client) submit(ctx context.Context, fn func()) (*Task, error) {
 	}
 	d.work.Signal()
 	d.mu.Unlock()
+	if d.obs != nil {
+		d.obs.Observe(Event{At: t.enqueued, Kind: EventSubmit, Client: c.name, Tenant: c.tenant.name})
+	}
 	return t, nil
 }
 
@@ -191,6 +208,7 @@ func (c *Client) popLocked() *Task {
 		c.head = 0
 	}
 	t.state = taskRunning
+	c.mDepth.Add(-1)
 	c.d.pending--
 	if c.pendingLocked() == 0 {
 		c.emptiedLocked()
@@ -213,6 +231,7 @@ func (c *Client) removeQueuedLocked(t *Task) bool {
 			c.queue = c.queue[:0]
 			c.head = 0
 		}
+		c.mDepth.Add(-1)
 		c.d.pending--
 		c.notFull.Signal()
 		if c.pendingLocked() == 0 {
@@ -232,18 +251,6 @@ func (c *Client) emptiedLocked() {
 	c.d.weightsDirty = true
 	if c.left && !c.torn {
 		c.teardownLocked()
-	}
-}
-
-// observeWaitLocked records one enqueue-to-dispatch latency in the
-// bounded sample ring.
-func (c *Client) observeWaitLocked(d time.Duration) {
-	v := d.Seconds()
-	if len(c.waitRing) < waitSampleCap {
-		c.waitRing = append(c.waitRing, v)
-	} else {
-		c.waitRing[c.waitStart] = v
-		c.waitStart = (c.waitStart + 1) % waitSampleCap
 	}
 }
 
@@ -305,6 +312,7 @@ func (c *Client) Abandon() {
 			for _, t := range dropped {
 				t.state = taskDone
 			}
+			c.mDepth.Add(float64(-n))
 			c.queue = c.queue[:0]
 			c.head = 0
 			d.pending -= n
@@ -316,6 +324,10 @@ func (c *Client) Abandon() {
 	}
 	d.mu.Unlock()
 	for _, t := range dropped {
+		if d.obs != nil {
+			d.obs.Observe(Event{At: time.Now(), Kind: EventCancel, Client: c.name,
+				Tenant: c.tenant.name, Err: ErrClientLeft.Error()})
+		}
 		t.finish(ErrClientLeft)
 	}
 }

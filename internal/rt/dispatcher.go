@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/lottery"
+	"repro/internal/metrics"
 	"repro/internal/random"
 	"repro/internal/ticket"
 )
@@ -56,6 +57,17 @@ type Config struct {
 	ExpectedSlice time.Duration
 	// MaxCompensation caps the compensation multiplier; default 1000.
 	MaxCompensation float64
+	// Observer, when non-nil, receives a structured Event for every
+	// submit, dispatch, completion, cancellation, rejection, panic,
+	// compensation grant, and ticket transfer. Nil disables emission
+	// entirely (see Observer for the contract and cost).
+	Observer Observer
+	// Metrics, when non-nil, receives the dispatcher's metric
+	// families (rt_* totals, per-client counters, and wait-latency
+	// histograms) for Prometheus exposition. One registry serves one
+	// dispatcher. Nil disables exporting; Snapshot percentiles work
+	// either way.
+	Metrics *metrics.Registry
 }
 
 // Dispatcher proportionally shares a bounded pool of worker
@@ -87,6 +99,12 @@ type Dispatcher struct {
 	maxComp  float64
 	queueCap int // default per-client queue bound
 
+	// obs and m are the observability hooks, fixed at construction.
+	// obs is read on every event site with a nil fast path; m holds
+	// the registry vec families clients bind their series from.
+	obs Observer
+	m   *rtMetrics
+
 	workers    int
 	wg         sync.WaitGroup
 	dispatched atomic.Uint64
@@ -117,6 +135,10 @@ func New(cfg Config) *Dispatcher {
 		maxComp:  cfg.MaxCompensation,
 		workers:  cfg.Workers,
 		queueCap: cfg.QueueCap,
+		obs:      cfg.Observer,
+	}
+	if cfg.Metrics != nil {
+		d.m = newRTMetrics(cfg.Metrics, d)
 	}
 	d.work = sync.NewCond(&d.mu)
 	d.base = d.tickets.Base()
@@ -172,6 +194,10 @@ func (d *Dispatcher) CloseCtx(ctx context.Context) error {
 	}
 	dropped := d.discardQueued()
 	for _, t := range dropped {
+		if d.obs != nil {
+			d.obs.Observe(Event{At: time.Now(), Kind: EventCancel, Client: t.client.name,
+				Tenant: t.client.tenant.name, Err: ErrClosed.Error()})
+		}
 		t.finish(ErrClosed)
 	}
 	<-drained
@@ -195,6 +221,7 @@ func (d *Dispatcher) discardQueued() []*Task {
 			t.state = taskDone
 			dropped = append(dropped, t)
 		}
+		c.mDepth.Add(float64(-n))
 		c.queue = c.queue[:0]
 		c.head = 0
 		d.pending -= n
@@ -219,9 +246,15 @@ func (d *Dispatcher) cancelQueued(t *Task) {
 	}
 	t.state = taskDone
 	c.cancelledN++
+	c.mCancelled.Inc()
 	d.cancelled++
 	d.mu.Unlock()
-	t.finish(t.ctx.Err())
+	err := t.ctx.Err()
+	if d.obs != nil {
+		d.obs.Observe(Event{At: time.Now(), Kind: EventCancel,
+			Client: c.name, Tenant: c.tenant.name, Err: err.Error()})
+	}
+	t.finish(err)
 }
 
 // worker is one pool goroutine: wait for pending work, win it by
@@ -266,9 +299,16 @@ func (d *Dispatcher) worker() {
 		seq := c.dispatchSeq
 		c.dispatchedN++
 		d.dispatched.Add(1)
-		c.observeWaitLocked(time.Since(t.enqueued))
+		wait := time.Since(t.enqueued)
 		c.notFull.Signal()
 		d.mu.Unlock()
+
+		c.mDispatched.Inc()
+		c.waitHist.Observe(wait.Seconds())
+		if d.obs != nil {
+			d.obs.Observe(Event{At: time.Now(), Kind: EventDispatch,
+				Client: c.name, Tenant: c.tenant.name, Wait: wait})
+		}
 
 		start := time.Now()
 		err := runTask(t)
@@ -277,6 +317,11 @@ func (d *Dispatcher) worker() {
 		if err != nil {
 			d.panicked.Add(1)
 			c.panics.Add(1)
+			c.mPanics.Inc()
+			if d.obs != nil {
+				d.obs.Observe(Event{At: time.Now(), Kind: EventPanic,
+					Client: c.name, Tenant: c.tenant.name, Elapsed: elapsed, Err: err.Error()})
+			}
 		}
 		if d.slice > 0 {
 			comp := 1.0
@@ -295,15 +340,24 @@ func (d *Dispatcher) worker() {
 			// slow task finishing late must not overwrite (or
 			// resurrect) a boost the client already consumed by
 			// winning again on another worker.
-			if !c.torn && seq == c.dispatchSeq {
+			settled := !c.torn && seq == c.dispatchSeq
+			if settled {
 				c.comp = comp
 				if c.inTree {
 					d.tree.Update(c.item, d.weightLocked(c))
 				}
 			}
 			d.mu.Unlock()
+			if settled && comp != 1 && d.obs != nil {
+				d.obs.Observe(Event{At: time.Now(), Kind: EventCompensate,
+					Client: c.name, Tenant: c.tenant.name, Elapsed: elapsed, Factor: comp})
+			}
 		}
 		d.completed.Add(1)
+		if d.obs != nil {
+			d.obs.Observe(Event{At: time.Now(), Kind: EventComplete,
+				Client: c.name, Tenant: c.tenant.name, Elapsed: elapsed})
+		}
 		t.finish(err)
 	}
 }

@@ -1,0 +1,102 @@
+package rt
+
+import (
+	"repro/internal/metrics"
+)
+
+// waitBuckets are the shared upper bounds (seconds) for
+// enqueue-to-dispatch wait histograms: 1µs doubling to ~34s, so
+// Snapshot quantiles carry a constant ~2x relative resolution from
+// microsecond dispatches to pathological backlogs.
+var waitBuckets = metrics.ExpBuckets(1e-6, 2, 26)
+
+// rtMetrics holds the per-client vector families a dispatcher exports
+// when Config.Metrics is set. Dispatcher-level totals are registered
+// as callbacks over the dispatcher's own counters — the same values
+// Snapshot reports, so a /metrics scrape and a Snapshot can never
+// disagree about what the totals mean.
+type rtMetrics struct {
+	submitted  *metrics.CounterVec
+	dispatched *metrics.CounterVec
+	rejected   *metrics.CounterVec
+	cancelled  *metrics.CounterVec
+	panics     *metrics.CounterVec
+	depth      *metrics.GaugeVec
+	wait       *metrics.HistogramVec
+}
+
+// newRTMetrics registers the dispatcher's families into r. One
+// registry serves one dispatcher: registering a second dispatcher
+// into the same registry panics on the duplicate family names.
+func newRTMetrics(r *metrics.Registry, d *Dispatcher) *rtMetrics {
+	r.CounterFunc("rt_dispatched_total", "Tasks handed to workers by lottery.",
+		func() float64 { return float64(d.dispatched.Load()) })
+	r.CounterFunc("rt_completed_total", "Tasks whose body finished (including panics).",
+		func() float64 { return float64(d.completed.Load()) })
+	r.CounterFunc("rt_panicked_total", "Tasks whose body panicked.",
+		func() float64 { return float64(d.panicked.Load()) })
+	r.CounterFunc("rt_cancelled_total", "Tasks cancelled while queued, before any worker ran them.",
+		func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return float64(d.cancelled)
+		})
+	r.GaugeFunc("rt_pending_tasks", "Queued tasks across all clients.",
+		func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return float64(d.pending)
+		})
+	r.GaugeFunc("rt_clients", "Clients currently registered.",
+		func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return float64(len(d.clients))
+		})
+	r.GaugeFunc("rt_workers", "Size of the worker pool.",
+		func() float64 { return float64(d.workers) })
+	return &rtMetrics{
+		submitted: r.CounterVec("rt_client_submitted_total",
+			"Tasks admitted to the client's queue.", "client", "tenant"),
+		dispatched: r.CounterVec("rt_client_dispatched_total",
+			"Tasks the client won by lottery.", "client", "tenant"),
+		rejected: r.CounterVec("rt_client_rejected_total",
+			"Submissions rejected with a full queue (Reject policy).", "client", "tenant"),
+		cancelled: r.CounterVec("rt_client_cancelled_total",
+			"Tasks cancelled while queued.", "client", "tenant"),
+		panics: r.CounterVec("rt_client_panics_total",
+			"Tasks of this client whose body panicked.", "client", "tenant"),
+		depth: r.GaugeVec("rt_client_queue_depth",
+			"Tasks currently queued for the client.", "client", "tenant"),
+		wait: r.HistogramVec("rt_client_wait_seconds",
+			"Enqueue-to-dispatch wait latency.", waitBuckets, "client", "tenant"),
+	}
+}
+
+// bindMetrics attaches the client's instruments: series in the
+// dispatcher's registry when one is configured, otherwise standalone
+// instruments (the wait histogram still backs Snapshot percentiles).
+// Series are keyed by (client, tenant) name, so a client recreated
+// under the same names resumes its counters — Prometheus-correct for
+// monotonic counters — while two *live* clients sharing a name would
+// share series; give clients unique names when exporting metrics.
+func (c *Client) bindMetrics(m *rtMetrics) {
+	if m == nil {
+		c.mSubmitted = metrics.NewCounter()
+		c.mDispatched = metrics.NewCounter()
+		c.mRejected = metrics.NewCounter()
+		c.mCancelled = metrics.NewCounter()
+		c.mPanics = metrics.NewCounter()
+		c.mDepth = metrics.NewGauge()
+		c.waitHist = metrics.NewHistogram(waitBuckets)
+		return
+	}
+	name, tenant := c.name, c.tenant.name
+	c.mSubmitted = m.submitted.With(name, tenant)
+	c.mDispatched = m.dispatched.With(name, tenant)
+	c.mRejected = m.rejected.With(name, tenant)
+	c.mCancelled = m.cancelled.With(name, tenant)
+	c.mPanics = m.panics.With(name, tenant)
+	c.mDepth = m.depth.With(name, tenant)
+	c.waitHist = m.wait.With(name, tenant)
+}

@@ -1,0 +1,197 @@
+package rt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventKind is the type of a dispatcher lifecycle event.
+type EventKind uint8
+
+// Event kinds, covering the full task lifecycle plus the paper's
+// ticket mechanisms.
+const (
+	// EventSubmit: a task was admitted to a client's queue.
+	EventSubmit EventKind = iota
+	// EventDispatch: a worker won the client's lottery and took the
+	// task; Wait holds the enqueue-to-dispatch latency.
+	EventDispatch
+	// EventComplete: the task body returned (or panicked — see
+	// EventPanic, emitted in addition); Elapsed holds the run time.
+	EventComplete
+	// EventCancel: a still-queued task was removed without running —
+	// submission-context cancellation, a deadline-cut Close, or
+	// Abandon; Err holds the completion error.
+	EventCancel
+	// EventReject: Submit failed fast with ErrQueueFull.
+	EventReject
+	// EventPanic: the task body panicked; Err holds the recovered
+	// panic as an error string.
+	EventPanic
+	// EventCompensate: the client earned a §3.4 compensation boost;
+	// Factor holds the multiplier, Elapsed the task run time.
+	EventCompensate
+	// EventTransfer: a WaitOn ticket transfer — Client lent its
+	// funding to Peer (§3.2).
+	EventTransfer
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventSubmit:
+		return "submit"
+	case EventDispatch:
+		return "dispatch"
+	case EventComplete:
+		return "complete"
+	case EventCancel:
+		return "cancel"
+	case EventReject:
+		return "reject"
+	case EventPanic:
+		return "panic"
+	case EventCompensate:
+		return "compensate"
+	case EventTransfer:
+		return "transfer"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one structured dispatcher event. Only the fields relevant
+// to the Kind are set (see the kind constants).
+type Event struct {
+	At      time.Time
+	Kind    EventKind
+	Client  string
+	Tenant  string
+	Wait    time.Duration // Dispatch: enqueue-to-dispatch latency
+	Elapsed time.Duration // Complete/Panic/Compensate: task run time
+	Factor  float64       // Compensate: the multiplier
+	Peer    string        // Transfer: the client funding was lent to
+	Err     string        // Cancel/Panic: the completion error
+}
+
+// eventJSON is the wire form shared with internal/trace's JSON-lines
+// export: at_ns/kind/who are the common core, the rest are
+// rt-specific extensions.
+type eventJSON struct {
+	AtNS    int64   `json:"at_ns"`
+	Kind    string  `json:"kind"`
+	Who     string  `json:"who,omitempty"`
+	Tenant  string  `json:"tenant,omitempty"`
+	WaitNS  int64   `json:"wait_ns,omitempty"`
+	ElapNS  int64   `json:"elapsed_ns,omitempty"`
+	Factor  float64 `json:"factor,omitempty"`
+	Peer    string  `json:"peer,omitempty"`
+	ErrText string  `json:"err,omitempty"`
+}
+
+// MarshalJSON renders the event as the JSON-lines schema shared with
+// the simulator's trace export: {"at_ns":..., "kind":..., "who":...}
+// plus rt-specific fields when set.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{
+		AtNS:    e.At.UnixNano(),
+		Kind:    e.Kind.String(),
+		Who:     e.Client,
+		Tenant:  e.Tenant,
+		WaitNS:  int64(e.Wait),
+		ElapNS:  int64(e.Elapsed),
+		Factor:  e.Factor,
+		Peer:    e.Peer,
+		ErrText: e.Err,
+	})
+}
+
+// Observer receives dispatcher events. Observe is called from
+// submitter goroutines and pool workers — concurrently, outside the
+// dispatcher lock, and synchronously on the paths it instruments — so
+// implementations must be safe for concurrent use and fast: a slow
+// observer slows dispatch. Observers must not call back into the
+// dispatcher (Snapshot, Submit, ...) from Observe.
+//
+// A nil Observer in Config disables event emission entirely; the
+// remaining cost is one predictable branch per event site
+// (BenchmarkObserverOverhead pins it).
+type Observer interface {
+	Observe(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Observe calls f(e).
+func (f ObserverFunc) Observe(e Event) { f(e) }
+
+// EventRecorder is a bounded ring Observer retaining the most recent
+// events for post-hoc debugging — the wall-clock analog of
+// internal/trace's Recorder. All methods are safe for concurrent use.
+type EventRecorder struct {
+	mu    sync.Mutex
+	cap   int
+	buf   []Event
+	start int // ring head once wrapped
+	total uint64
+}
+
+// NewEventRecorder creates a recorder retaining the last capacity
+// events; capacity must be positive.
+func NewEventRecorder(capacity int) *EventRecorder {
+	if capacity <= 0 {
+		panic("rt: EventRecorder capacity must be positive")
+	}
+	return &EventRecorder{cap: capacity}
+}
+
+// Observe records the event, evicting the oldest once full.
+func (r *EventRecorder) Observe(e Event) {
+	r.mu.Lock()
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.start] = e
+		r.start = (r.start + 1) % r.cap
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns how many events have ever been recorded, including
+// ones evicted from the ring.
+func (r *EventRecorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Events returns the retained events oldest-first.
+func (r *EventRecorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.start:]...)
+	out = append(out, r.buf[:r.start]...)
+	return out
+}
+
+// WriteJSON writes the last n retained events (n <= 0 means all) as
+// JSON lines, one event per line — the same schema as
+// trace.Recorder.WriteJSON, so sim and rt traces share tooling.
+func (r *EventRecorder) WriteJSON(w io.Writer, n int) error {
+	evs := r.Events()
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range evs {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,427 @@
+package rt
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/ticket"
+)
+
+// kinds extracts the event-kind sequence for one client.
+func kinds(evs []Event, client string) []EventKind {
+	var out []EventKind
+	for _, e := range evs {
+		if e.Client == client {
+			out = append(out, e.Kind)
+		}
+	}
+	return out
+}
+
+func hasKind(evs []Event, k EventKind) *Event {
+	for i := range evs {
+		if evs[i].Kind == k {
+			return &evs[i]
+		}
+	}
+	return nil
+}
+
+// TestObserverLifecycleEvents drives one task through the happy path
+// and checks the emitted sequence and payloads.
+func TestObserverLifecycleEvents(t *testing.T) {
+	rec := NewEventRecorder(64)
+	d := New(Config{Workers: 1, Seed: 7, Observer: rec})
+	defer d.Close()
+	c, err := d.NewClient("a", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := c.Submit(func() { time.Sleep(time.Millisecond) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got := kinds(rec.Events(), "a")
+	want := []EventKind{EventSubmit, EventDispatch, EventComplete}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("event kinds = %v, want %v", got, want)
+	}
+	evs := rec.Events()
+	if e := hasKind(evs, EventDispatch); e.Tenant != "a" || e.Wait < 0 {
+		t.Fatalf("dispatch event: %+v", e)
+	}
+	if e := hasKind(evs, EventComplete); e.Elapsed < time.Millisecond {
+		t.Fatalf("complete event elapsed = %v, want >= 1ms", e.Elapsed)
+	}
+}
+
+func TestObserverPanicAndRejectEvents(t *testing.T) {
+	rec := NewEventRecorder(64)
+	d := New(Config{Workers: 1, Seed: 7, Observer: rec})
+	defer d.Close()
+	c, err := d.NewClient("p", 100, WithQueueCap(1), WithOverflow(Reject))
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, _ := c.Submit(func() { panic("boom") })
+	if err := task.Wait(); err == nil {
+		t.Fatal("panicking task completed without error")
+	}
+	if e := hasKind(rec.Events(), EventPanic); e == nil || !strings.Contains(e.Err, "boom") {
+		t.Fatalf("panic event = %+v", e)
+	}
+
+	// Saturate the 1-slot queue with a task that blocks until we let
+	// it finish, then overflow it.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := c.Submit(func() { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := c.Submit(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(func() {}); err != ErrQueueFull {
+		t.Fatalf("overflow submit err = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	if e := hasKind(rec.Events(), EventReject); e == nil || e.Client != "p" {
+		t.Fatalf("reject event = %+v", e)
+	}
+}
+
+func TestObserverCancelAndTransferEvents(t *testing.T) {
+	rec := NewEventRecorder(256)
+	d := New(Config{Workers: 1, Seed: 7, Observer: rec})
+	defer d.Close()
+	a, err := d.NewClient("a", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.NewClient("b", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the single worker so a queued task can be cancelled.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	blocker, err := a.Submit(func() { close(started); <-release })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	queued, err := a.SubmitCtx(ctx, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := queued.Wait(); err != context.Canceled {
+		t.Fatalf("cancelled task err = %v", err)
+	}
+	e := hasKind(rec.Events(), EventCancel)
+	if e == nil || e.Client != "a" || !strings.Contains(e.Err, "canceled") {
+		t.Fatalf("cancel event = %+v", e)
+	}
+
+	// b waits on a's blocker: a ticket transfer b -> a.
+	done := make(chan error, 1)
+	go func() { done <- b.WaitOn(blocker) }()
+	for {
+		if ev := hasKind(rec.Events(), EventTransfer); ev != nil {
+			if ev.Client != "b" || ev.Peer != "a" {
+				t.Fatalf("transfer event = %+v", ev)
+			}
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserverCompensateEvent(t *testing.T) {
+	rec := NewEventRecorder(64)
+	d := New(Config{Workers: 1, Seed: 7, ExpectedSlice: time.Second, Observer: rec})
+	defer d.Close()
+	c, err := d.NewClient("fast", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := c.Submit(func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	e := hasKind(rec.Events(), EventCompensate)
+	if e == nil || e.Factor <= 1 {
+		t.Fatalf("compensate event = %+v, want factor > 1", e)
+	}
+}
+
+func TestEventRecorderRing(t *testing.T) {
+	rec := NewEventRecorder(4)
+	for i := 0; i < 10; i++ {
+		rec.Observe(Event{Kind: EventSubmit, Client: fmt.Sprint(i)})
+	}
+	if rec.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", rec.Total())
+	}
+	evs := rec.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := fmt.Sprint(6 + i); e.Client != want {
+			t.Fatalf("event %d client = %s, want %s (oldest-first order)", i, e.Client, want)
+		}
+	}
+}
+
+func TestEventJSON(t *testing.T) {
+	rec := NewEventRecorder(8)
+	at := time.Unix(12, 345)
+	rec.Observe(Event{At: at, Kind: EventDispatch, Client: "a", Tenant: "t", Wait: 2 * time.Millisecond})
+	rec.Observe(Event{At: at, Kind: EventTransfer, Client: "b", Peer: "a"})
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	var first struct {
+		AtNS   int64  `json:"at_ns"`
+		Kind   string `json:"kind"`
+		Who    string `json:"who"`
+		Tenant string `json:"tenant"`
+		WaitNS int64  `json:"wait_ns"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1: %v", err)
+	}
+	if first.AtNS != at.UnixNano() || first.Kind != "dispatch" || first.Who != "a" ||
+		first.Tenant != "t" || first.WaitNS != int64(2*time.Millisecond) {
+		t.Fatalf("line 1 = %+v", first)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 2: %v", err)
+	}
+	if second["kind"] != "transfer" || second["peer"] != "a" {
+		t.Fatalf("line 2 = %v", second)
+	}
+	if _, ok := second["wait_ns"]; ok {
+		t.Fatalf("zero wait_ns not omitted: %v", second)
+	}
+	// Last-n selection.
+	buf.Reset()
+	if err := rec.WriteJSON(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Fatalf("WriteJSON(n=1) wrote %d lines", got)
+	}
+}
+
+// TestMetricsExposition runs a dispatcher with a registry and checks
+// the scrape against the snapshot: per-client dispatch counters sum
+// to the dispatcher total, and the wait histogram covers every
+// dispatch.
+func TestMetricsExposition(t *testing.T) {
+	reg := metrics.NewRegistry()
+	d := New(Config{Workers: 2, Seed: 7, Metrics: reg})
+	defer d.Close()
+	names := []string{"gold", "silver", "bronze"}
+	var tasks []*Task
+	for i, name := range names {
+		c, err := d.NewClient(name, ticket.Amount(100*(3-i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 50; j++ {
+			task, err := c.Submit(func() {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tasks = append(tasks, task)
+		}
+	}
+	for _, task := range tasks {
+		if err := task.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := d.Snapshot()
+	if snap.Dispatched != uint64(len(tasks)) {
+		t.Fatalf("dispatched = %d, want %d", snap.Dispatched, len(tasks))
+	}
+
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var perClientSum, waitCount uint64
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		val := func() uint64 {
+			n, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return n
+		}
+		switch {
+		case strings.HasPrefix(line, "rt_client_dispatched_total{"):
+			perClientSum += val()
+		case strings.HasPrefix(line, "rt_client_wait_seconds_count{"):
+			waitCount += val()
+		}
+	}
+	if perClientSum != snap.Dispatched {
+		t.Fatalf("sum of rt_client_dispatched_total = %d, snapshot dispatched = %d\n%s",
+			perClientSum, snap.Dispatched, out)
+	}
+	if waitCount != snap.Dispatched {
+		t.Fatalf("wait histogram count = %d, want %d", waitCount, snap.Dispatched)
+	}
+	if !strings.Contains(out, "rt_dispatched_total "+strconv.FormatUint(snap.Dispatched, 10)) {
+		t.Fatalf("rt_dispatched_total missing or stale:\n%s", out)
+	}
+	for _, name := range names {
+		if !strings.Contains(out, `rt_client_dispatched_total{client="`+name+`",tenant="`+name+`"}`) {
+			t.Fatalf("missing per-client series for %q:\n%s", name, out)
+		}
+	}
+	// Snapshot percentiles come from the same histogram.
+	for _, cs := range snap.Clients {
+		if cs.WaitP50 <= 0 || cs.WaitP99 < cs.WaitP50 {
+			t.Fatalf("client %s percentiles p50=%v p99=%v", cs.Name, cs.WaitP50, cs.WaitP99)
+		}
+	}
+}
+
+// TestObservabilityRaceStress runs submitters, Snapshot, /metrics
+// scrapes, and a live EventRecorder concurrently; under -race this is
+// the instrumentation's data-race proof.
+func TestObservabilityRaceStress(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rec := NewEventRecorder(1024)
+	d := New(Config{Workers: 4, Seed: 7, ExpectedSlice: time.Millisecond, Metrics: reg, Observer: rec})
+	defer d.Close()
+
+	const nclients, perClient = 4, 300
+	clients := make([]*Client, nclients)
+	for i := range clients {
+		c, err := d.NewClient(fmt.Sprintf("c%d", i), ticket.Amount(100*(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+	}
+
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	scrapers.Add(2)
+	go func() {
+		defer scrapers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d.Snapshot()
+			}
+		}
+	}()
+	go func() {
+		defer scrapers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := reg.WriteTo(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	var submitters sync.WaitGroup
+	for _, c := range clients {
+		submitters.Add(1)
+		go func(c *Client) {
+			defer submitters.Done()
+			ctx := context.Background()
+			for i := 0; i < perClient; i++ {
+				fn := func() {}
+				if i%7 == 0 {
+					// Exercise the cancel path under load.
+					cctx, cancel := context.WithCancel(ctx)
+					task, err := c.SubmitCtx(cctx, fn)
+					if err != nil {
+						cancel()
+						t.Error(err)
+						return
+					}
+					cancel()
+					task.Wait()
+					continue
+				}
+				task, err := c.Submit(fn)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := task.Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	submitters.Wait()
+	close(stop)
+	scrapers.Wait()
+
+	// Quiesced: metrics, snapshot, and recorder must agree on totals.
+	snap := d.Snapshot()
+	var submitted uint64
+	for _, cs := range snap.Clients {
+		submitted += cs.Submitted
+	}
+	if want := uint64(nclients * perClient); submitted != want {
+		t.Fatalf("submitted = %d, want %d", submitted, want)
+	}
+	if snap.Dispatched+snap.Cancelled != submitted {
+		t.Fatalf("dispatched %d + cancelled %d != submitted %d",
+			snap.Dispatched, snap.Cancelled, submitted)
+	}
+	if rec.Total() == 0 {
+		t.Fatal("recorder saw no events")
+	}
+}

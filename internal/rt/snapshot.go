@@ -3,8 +3,6 @@ package rt
 import (
 	"sort"
 	"time"
-
-	"repro/internal/stats"
 )
 
 // ClientSnapshot is one client's view in a Snapshot.
@@ -30,7 +28,9 @@ type ClientSnapshot struct {
 	// Compensation is the client's current §3.4 multiplier (1 = none).
 	Compensation float64 `json:"compensation"`
 	// WaitP50/WaitP99 are enqueue-to-dispatch latency percentiles
-	// over the client's recent dispatches (bounded window).
+	// over all of the client's dispatches, estimated from the same
+	// log-bucketed histogram a /metrics scrape exports (constant ~2x
+	// relative resolution; see metrics.Histogram.Quantile).
 	WaitP50 time.Duration `json:"wait_p50_ns"`
 	WaitP99 time.Duration `json:"wait_p99_ns"`
 }
@@ -104,11 +104,9 @@ func (d *Dispatcher) Snapshot() Snapshot {
 		if s.Dispatched > 0 {
 			cs.AchievedShare = float64(c.dispatchedN) / float64(s.Dispatched)
 		}
-		if len(c.waitRing) > 0 {
-			sorted := append([]float64(nil), c.waitRing...)
-			sort.Float64s(sorted)
-			cs.WaitP50 = secToDur(stats.PercentileSorted(sorted, 50))
-			cs.WaitP99 = secToDur(stats.PercentileSorted(sorted, 99))
+		if c.waitHist.Count() > 0 {
+			cs.WaitP50 = secToDur(c.waitHist.Quantile(50))
+			cs.WaitP99 = secToDur(c.waitHist.Quantile(99))
 		}
 		s.Clients = append(s.Clients, cs)
 	}

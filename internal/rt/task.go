@@ -116,6 +116,10 @@ func (c *Client) WaitOn(t *Task) error {
 		d.weightsDirty = true
 	}
 	d.mu.Unlock()
+	if transferred && d.obs != nil {
+		d.obs.Observe(Event{At: time.Now(), Kind: EventTransfer,
+			Client: c.name, Tenant: c.tenant.name, Peer: t.client.name})
+	}
 
 	<-t.done
 

@@ -105,6 +105,7 @@ func (t *Tenant) NewClient(name string, amount ticket.Amount, opts ...ClientOpti
 	}
 	c.holder = holder
 	c.funding = fund
+	c.bindMetrics(d.m)
 	t.clients++
 	d.clients = append(d.clients, c)
 	d.weightsDirty = true

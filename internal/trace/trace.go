@@ -7,7 +7,9 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -186,6 +188,34 @@ func (r *Recorder) Latencies() []Latency {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Thread < out[j].Thread })
 	return out
+}
+
+// eventJSON is the wire form of one event: the same
+// {"at_ns","kind","who"} core that rt.Event marshals to, so simulated
+// and real-time traces share one JSON-lines schema and tooling. at_ns
+// is simulated nanoseconds since the run started.
+type eventJSON struct {
+	AtNS int64  `json:"at_ns"`
+	Kind string `json:"kind"`
+	Who  string `json:"who"`
+}
+
+// WriteJSON writes the last n retained events (n <= 0 means all) as
+// JSON lines, one event per line — the same schema as
+// rt.EventRecorder.WriteJSON.
+func (r *Recorder) WriteJSON(w io.Writer, n int) error {
+	evs := r.Events()
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	enc := json.NewEncoder(w)
+	for _, ev := range evs {
+		j := eventJSON{AtNS: int64(ev.At), Kind: ev.Kind.String(), Who: ev.Thread}
+		if err := enc.Encode(j); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Counts returns per-kind event counts over the retained window.

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -166,5 +168,43 @@ func TestLatencySampleWindowBounded(t *testing.T) {
 	// Mean still covers the whole run: (1+2)/2 = 1.5 ms.
 	if l.Mean != sim.Duration(float64(3*sim.Millisecond)/2) {
 		t.Errorf("Mean = %v, want 1.5ms", l.Mean)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(0, KindWake, "a")
+	r.Record(sim.Time(10*sim.Millisecond), KindDispatch, "a")
+	r.Record(sim.Time(20*sim.Millisecond), KindExit, "b")
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	// The schema is the shared {"at_ns","kind","who"} core that
+	// rt.Event also marshals to; field names are load-bearing.
+	var ev struct {
+		AtNS int64  `json:"at_ns"`
+		Kind string `json:"kind"`
+		Who  string `json:"who"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("line not JSON: %v\n%s", err, lines[1])
+	}
+	if ev.AtNS != int64(10*sim.Millisecond) || ev.Kind != "dispatch" || ev.Who != "a" {
+		t.Errorf("event = %+v", ev)
+	}
+
+	// n limits to the tail.
+	buf.Reset()
+	if err := r.WriteJSON(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); !strings.Contains(got, `"kind":"exit"`) || strings.Count(got, "\n") != 0 {
+		t.Errorf("tail = %q", got)
 	}
 }
