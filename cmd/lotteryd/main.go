@@ -122,7 +122,7 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	for name, amount := range funding {
 		c, err := d.NewClient(name, amount, rt.WithOverflow(rt.Reject))
 		if err != nil {
-			d.Close()
+			_ = d.CloseTimeout(*grace)
 			return err
 		}
 		clients[name] = c
@@ -235,7 +235,7 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		d.Close()
+		_ = d.CloseTimeout(*grace)
 		return fmt.Errorf("lotteryd: listen: %w", err)
 	}
 	srv := &http.Server{
@@ -257,7 +257,11 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 
 	select {
 	case err := <-serveErr:
-		d.Close()
+		// The server died under us; still drain bounded by the grace
+		// deadline rather than hanging on a stuck backlog.
+		if cerr := d.CloseTimeout(*grace); cerr != nil {
+			log.Printf("lotteryd: drain cut short, queued jobs discarded: %v", cerr)
+		}
 		return fmt.Errorf("lotteryd: serve: %w", err)
 	case <-ctx.Done():
 		log.Printf("lotteryd: shutdown signal; draining (grace %v)", *grace)

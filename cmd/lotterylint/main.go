@@ -1,0 +1,92 @@
+// Command lotterylint runs the repository's domain-specific static
+// analyzers (internal/analysis) over the given package patterns and
+// exits nonzero if any contract violation is found. It is the
+// machine-checked side of the scheduler's concurrency and determinism
+// contracts; see DESIGN.md §6 for the analyzer catalogue.
+//
+// Usage:
+//
+//	go run ./cmd/lotterylint ./...
+//	go run ./cmd/lotterylint -only detsource ./internal/sim/...
+//
+// Each analyzer carries its own package scope (detsource only runs
+// over the deterministic packages, ctxflow only over cmd/ and
+// examples/); -only restricts the suite further by name. Findings can
+// be waived line-by-line with a justified directive:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lotterylint [-only names] [-list] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Analyzers:\n")
+		for _, a := range analysis.Analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite := analysis.Analyzers
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analysis.Analyzers {
+			byName[a.Name] = a
+		}
+		suite = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "lotterylint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lotterylint:", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunScoped(suite, pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lotterylint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "lotterylint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,156 @@
+// Package analysis is a small, dependency-free static-analysis
+// framework modeled on golang.org/x/tools/go/analysis, hosting the
+// repository's domain-specific correctness analyzers (see the
+// Analyzers variable and DESIGN.md §6).
+//
+// The x/tools module is deliberately not imported: the repository is
+// zero-dependency by policy, and the subset of the go/analysis API the
+// suite needs — an Analyzer with a Run function over a type-checked
+// package, diagnostics with positions, and a fixture-based test
+// harness — is small enough to carry locally. The shapes mirror
+// x/tools so the analyzers could be ported to a real multichecker by
+// changing imports only.
+//
+// Analyzers are pure functions of a type-checked package; scoping
+// (which packages an analyzer applies to) is declared on the Analyzer
+// and enforced by the driver, so tests can run any analyzer against
+// any fixture directly.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the contract enforced.
+	Doc string
+	// AppliesTo reports whether the analyzer should run over the
+	// package with the given import path. A nil AppliesTo means every
+	// package. The driver consults it; tests bypass it to run
+	// analyzers against fixtures directly.
+	AppliesTo func(pkgPath string) bool
+	// Run performs the check, reporting findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	pkg *Package // for directive lookup
+	out *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless an ignore directive for this
+// analyzer covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.pkg != nil && p.pkg.ignored(p.Analyzer.Name, position) {
+		return
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzer to a loaded package and returns its
+// diagnostics sorted by position. It does not consult
+// Analyzer.AppliesTo — that is the driver's job (see RunScoped).
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		pkg:       pkg,
+		out:       &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunScoped applies every analyzer whose AppliesTo accepts the package
+// and returns the merged, position-sorted diagnostics.
+func RunScoped(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		if a.AppliesTo != nil && !a.AppliesTo(pkg.PkgPath) {
+			continue
+		}
+		diags, err := Run(a, pkg)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}
+
+// Analyzers is the repository's full analyzer suite, in the order the
+// driver runs them.
+var Analyzers = []*Analyzer{
+	LockEmitAnalyzer,
+	AtomicFieldAnalyzer,
+	DetSourceAnalyzer,
+	CtxFlowAnalyzer,
+}
+
+// pathSuffixMatcher builds an AppliesTo that accepts package paths
+// equal to or ending in "/"+one of the suffixes. Suffix matching (not
+// equality) lets test fixtures under testdata/src mimic real package
+// paths.
+func pathSuffixMatcher(suffixes ...string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, s := range suffixes {
+			if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// runFixture loads ./testdata/src/<name>, runs one analyzer over it
+// (bypassing AppliesTo, which is driver policy), and checks the
+// diagnostics against the fixture's own expectations: a line carrying
+//
+//	// want "substring"
+//
+// must produce exactly one diagnostic on that line whose message
+// contains the substring; any diagnostic without a matching want, or
+// want without a diagnostic, fails the test. This is the local analog
+// of x/tools' analysistest.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	pkgs, err := Load(".", "./testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	// Subpackages (stubs the fixture imports) load as dependencies
+	// only; the fixture root is the single listed target.
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", name, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	diags, err := Run(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]string)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, `// want "`)
+				if !ok {
+					continue
+				}
+				needle, ok := strings.CutSuffix(rest, `"`)
+				if !ok {
+					t.Fatalf("%s: malformed want comment %q", name, c.Text)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], needle)
+			}
+		}
+	}
+
+	matched := make(map[key]int)
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		needles := wants[k]
+		if matched[k] < len(needles) && strings.Contains(d.Message, needles[matched[k]]) {
+			matched[k]++
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for k, needles := range wants {
+		for i := matched[k]; i < len(needles); i++ {
+			t.Errorf("%s:%d: expected diagnostic containing %q, got none", k.file, k.line, needles[i])
+		}
+	}
+}
+
+func TestLockEmitFixture(t *testing.T)    { runFixture(t, LockEmitAnalyzer, "lockemit") }
+func TestAtomicFieldFixture(t *testing.T) { runFixture(t, AtomicFieldAnalyzer, "atomicfield") }
+func TestDetSourceFixture(t *testing.T)   { runFixture(t, DetSourceAnalyzer, "detsource") }
+func TestCtxFlowFixture(t *testing.T)     { runFixture(t, CtxFlowAnalyzer, "ctxflow") }
+
+// TestSuiteCleanOnRepo is the acceptance gate in test form: the full
+// analyzer suite, driver-scoped exactly as cmd/lotterylint runs it,
+// must be clean over the whole repository.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide load is not short")
+	}
+	pkgs, err := Load("", "repro/...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunScoped(Analyzers, pkg)
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", pkg.PkgPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestAnalyzerScoping pins each analyzer's package scope: detsource
+// must cover exactly the deterministic packages, ctxflow only the
+// binaries and examples, and the concurrency analyzers everything.
+func TestAnalyzerScoping(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		pkgPath  string
+		want     bool
+	}{
+		{DetSourceAnalyzer, "repro/internal/sim", true},
+		{DetSourceAnalyzer, "repro/internal/lottery", true},
+		{DetSourceAnalyzer, "repro/internal/experiments", true},
+		{DetSourceAnalyzer, "repro/internal/core", true},
+		{DetSourceAnalyzer, "repro/internal/rt", false},
+		{DetSourceAnalyzer, "repro/cmd/lotteryd", false},
+		{CtxFlowAnalyzer, "repro/cmd/lotteryd", true},
+		{CtxFlowAnalyzer, "repro/examples/quickstart", true},
+		{CtxFlowAnalyzer, "repro/internal/rt", false},
+		{LockEmitAnalyzer, "repro/internal/rt", true},
+		{LockEmitAnalyzer, "repro/internal/metrics", true},
+		{AtomicFieldAnalyzer, "anything/at/all", true},
+	}
+	for _, tc := range cases {
+		applies := tc.analyzer.AppliesTo == nil || tc.analyzer.AppliesTo(tc.pkgPath)
+		if applies != tc.want {
+			t.Errorf("%s.AppliesTo(%q) = %v, want %v", tc.analyzer.Name, tc.pkgPath, applies, tc.want)
+		}
+	}
+}
+
+func ExampleDiagnostic() {
+	d := Diagnostic{Analyzer: "detsource", Message: "time.Now in a deterministic package; use the simulation clock (sim.Time)"}
+	d.Pos.Filename, d.Pos.Line, d.Pos.Column = "engine.go", 42, 7
+	fmt.Println(d)
+	// Output: engine.go:42:7: detsource: time.Now in a deterministic package; use the simulation clock (sim.Time)
+}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicFieldAnalyzer enforces the repository's counter contract
+// (DESIGN.md §6): a variable is either guarded by a mutex and always
+// accessed plainly, or accessed exclusively through sync/atomic — a
+// mixture is a data race that -race only catches when both sides
+// actually collide in a test run. It reports
+//
+//  1. every plain (non-atomic) read or write of a struct field or
+//     package-level variable whose address is elsewhere passed to a
+//     sync/atomic function, and
+//  2. every struct field used with a 64-bit sync/atomic function whose
+//     offset is not 8-byte aligned under 32-bit (GOARCH=386) layout,
+//     where such an access traps at runtime. Fields of the typed
+//     atomic.Int64/Uint64 kinds are exempt: they carry their own
+//     alignment and forbid plain access by construction (prefer them).
+var AtomicFieldAnalyzer = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "flags variables accessed both via sync/atomic and plainly, and misaligned 64-bit atomics",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: find every &v argument to a sync/atomic call. sanctioned
+	// records the operand nodes so pass 2 does not count the atomic
+	// access itself as a plain use.
+	atomicUses := make(map[*types.Var][]token.Pos)
+	atomic64 := make(map[*types.Var]bool)
+	sanctioned := make(map[ast.Expr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			operand := ast.Unparen(addr.X)
+			v := referencedVar(pass.TypesInfo, operand)
+			if v == nil {
+				return true
+			}
+			if !v.IsField() && isLocalVar(v) {
+				return true // locals are visible at a glance; the contract is about shared state
+			}
+			atomicUses[v] = append(atomicUses[v], call.Pos())
+			sanctioned[operand] = true
+			if strings.HasSuffix(fn.Name(), "64") {
+				atomic64[v] = true
+			}
+			return true
+		})
+	}
+	if len(atomicUses) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other appearance of those variables is a plain
+	// access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var v *types.Var
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if sanctioned[ast.Expr(x)] {
+					return false
+				}
+				sel, ok := pass.TypesInfo.Selections[x]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				v, _ = sel.Obj().(*types.Var)
+			case *ast.Ident:
+				if sanctioned[ast.Expr(x)] {
+					return false
+				}
+				v, _ = pass.TypesInfo.Uses[x].(*types.Var)
+				if v != nil && v.IsField() {
+					return true // fields are reported at their selector, not the Sel ident
+				}
+			default:
+				return true
+			}
+			if v == nil || atomicUses[v] == nil {
+				return true
+			}
+			first := pass.Fset.Position(atomicUses[v][0])
+			pass.Reportf(n.Pos(),
+				"plain access to %s, which is accessed atomically at %s:%d; use sync/atomic for every access or a typed atomic",
+				v.Name(), first.Filename, first.Line)
+			return true
+		})
+	}
+
+	reportMisaligned64(pass, atomic64)
+	return nil
+}
+
+// reportMisaligned64 checks 32-bit layout for fields used with 64-bit
+// atomics: on 386/arm, a 64-bit atomic on a non-8-byte-aligned address
+// faults, and Go only guarantees alignment for the first word of an
+// allocation (sync/atomic "Bugs" section).
+func reportMisaligned64(pass *Pass, atomic64 map[*types.Var]bool) {
+	if len(atomic64) == 0 {
+		return
+	}
+	sizes := types.SizesFor("gc", "386")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Defs[ts.Name]
+			if obj == nil {
+				return true
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			fields := make([]*types.Var, st.NumFields())
+			for i := range fields {
+				fields[i] = st.Field(i)
+			}
+			offsets := sizes.Offsetsof(fields)
+			for i, fv := range fields {
+				if atomic64[fv] && offsets[i]%8 != 0 {
+					pass.Reportf(fv.Pos(),
+						"field %s is used with 64-bit sync/atomic but sits at 32-bit offset %d (not 8-byte aligned); move it first in %s or use atomic.%s",
+						fv.Name(), offsets[i], obj.Name(), typed64For(fv))
+				}
+			}
+			return true
+		})
+	}
+}
+
+func typed64For(v *types.Var) string {
+	if b, ok := v.Type().Underlying().(*types.Basic); ok && b.Kind() == types.Int64 {
+		return "Int64"
+	}
+	return "Uint64"
+}
+
+// referencedVar resolves a selector or identifier to the variable it
+// denotes, or nil.
+func referencedVar(info *types.Info, e ast.Expr) *types.Var {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+		v, _ := info.Uses[x.Sel].(*types.Var)
+		return v
+	case *ast.Ident:
+		v, _ := info.Uses[x].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// isLocalVar reports whether v is function-local (not a field, not
+// package-scoped).
+func isLocalVar(v *types.Var) bool {
+	if v.IsField() || v.Parent() == nil || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() != v.Pkg().Scope()
+}

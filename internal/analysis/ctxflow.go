@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlowAnalyzer flags call sites in the binaries and examples that
+// drop an available context.Context: calling a context-free method
+// (Submit, Wait, Close, ...) when (a) the receiver also offers the
+// Ctx-suffixed variant of the same method and (b) a context.Context
+// variable is in scope at the call site and declared before it.
+//
+// Dropping the context severs cancellation flow end to end — a request
+// handler whose context dies keeps its task queued (PR 2's lifecycle
+// machinery exists precisely so that cancellation propagates), so in
+// cmd/ and examples/ the Ctx variant is mandatory whenever a context
+// is available. Library-internal code is exempt: the context-free
+// variants are themselves implemented there.
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags Submit/Wait-style calls that drop an in-scope context.Context when a Ctx variant exists",
+	AppliesTo: func(pkgPath string) bool {
+		return hasPathComponent(pkgPath, "cmd") || hasPathComponent(pkgPath, "examples")
+	},
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() == nil {
+				return true
+			}
+			if !hasCtxVariant(sig.Recv().Type(), fn.Name()) {
+				return true
+			}
+			if takesContext(sig) {
+				return true // already the context-aware variant
+			}
+			if ctx := inScopeContext(pass, call); ctx != "" {
+				pass.Reportf(call.Pos(),
+					"%s.%s drops in-scope context %q; use %s%s so cancellation propagates",
+					recvTypeString(sig), fn.Name(), ctx, fn.Name(), "Ctx")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasCtxVariant reports whether recv's method set contains
+// name+"Ctx" taking a context.Context first.
+func hasCtxVariant(recv types.Type, name string) bool {
+	for _, t := range []types.Type{recv, types.NewPointer(recv)} {
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			m := ms.At(i).Obj()
+			if m.Name() != name+"Ctx" {
+				continue
+			}
+			if sig, ok := m.Type().(*types.Signature); ok && takesContext(sig) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func takesContext(sig *types.Signature) bool {
+	if sig.Params().Len() == 0 {
+		return false
+	}
+	return isContextType(sig.Params().At(0).Type())
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// inScopeContext returns the name of a context.Context variable
+// visible at the call position and declared before it, or "".
+func inScopeContext(pass *Pass, call *ast.CallExpr) string {
+	scope := pass.Pkg.Scope().Innermost(call.Pos())
+	for s := scope; s != nil && s != types.Universe; s = s.Parent() {
+		for _, name := range s.Names() {
+			obj := s.Lookup(name)
+			v, ok := obj.(*types.Var)
+			if !ok || !isContextType(v.Type()) {
+				continue
+			}
+			if v.Pos() < call.Pos() {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// hasPathComponent reports whether path contains comp as a complete
+// path element ("repro/cmd/lotteryd" has "cmd").
+func hasPathComponent(path, comp string) bool {
+	rest := path
+	for rest != "" {
+		var head string
+		head, rest = splitPathElem(rest)
+		if head == comp {
+			return true
+		}
+	}
+	return false
+}
+
+func splitPathElem(path string) (head, rest string) {
+	for i := 0; i < len(path); i++ {
+		if path[i] == '/' {
+			return path[:i], path[i+1:]
+		}
+	}
+	return path, ""
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetSourceAnalyzer enforces the replayability contract of the
+// deterministic packages: internal/sim, internal/lottery,
+// internal/experiments, and internal/core must produce byte-identical
+// results for a given seed (EXPERIMENTS.md pins golden outputs on
+// this). Three nondeterminism sources are forbidden there:
+//
+//   - time.Now — simulated code must read the virtual clock
+//     (sim.Time); wall-clock reads make traces unreproducible,
+//   - the global math/rand (and math/rand/v2) top-level functions,
+//     which draw from a shared, racily-seeded source — deterministic
+//     code must thread an explicit seeded source (random.PM or
+//     rand.New), and
+//   - ranging over a map, whose iteration order is randomized per run;
+//     iterate a sorted key slice instead.
+//
+// Deliberate wall-clock measurements (the §5.6 overhead experiment
+// times host cost) are waived with a //lint:ignore detsource <reason>
+// directive at the call site.
+var DetSourceAnalyzer = &Analyzer{
+	Name: "detsource",
+	Doc:  "forbids time.Now, global math/rand, and map iteration in the deterministic packages",
+	AppliesTo: pathSuffixMatcher(
+		"internal/sim", "internal/lottery", "internal/experiments", "internal/core",
+	),
+	Run: runDetSource,
+}
+
+// randConstructors are the math/rand names that create explicit,
+// seedable sources — allowed; everything else exported from math/rand
+// or math/rand/v2 operates on the shared global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDetSource(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.Types[x.X].Type; t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(x.Pos(),
+							"map iteration order is nondeterministic; range over sorted keys instead")
+					}
+				}
+			case *ast.SelectorExpr:
+				pkgName, ok := pass.TypesInfo.Uses[identOf(x.X)].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				switch pkgName.Imported().Path() {
+				case "time":
+					if x.Sel.Name == "Now" {
+						pass.Reportf(x.Pos(),
+							"time.Now in a deterministic package; use the simulation clock (sim.Time)")
+					}
+				case "math/rand", "math/rand/v2":
+					obj := pass.TypesInfo.Uses[x.Sel]
+					if _, isFunc := obj.(*types.Func); isFunc && !randConstructors[x.Sel.Name] {
+						pass.Reportf(x.Pos(),
+							"global math/rand.%s draws from a shared source; thread an explicit seeded source (random.PM or rand.New)",
+							x.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}

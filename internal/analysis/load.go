@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked package ready for
+// analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	// ignores maps file name -> source line -> analyzer names waived
+	// on that line by a //lint:ignore directive.
+	ignores map[string]map[int]map[string]bool
+}
+
+func (p *Package) ignored(analyzer string, pos token.Position) bool {
+	lines := p.ignores[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// A directive covers its own line (trailing comment) and the line
+	// directly below it (standalone comment above the statement).
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if names := lines[line]; names != nil && (names[analyzer] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load lists the packages matching patterns (relative to dir, "" for
+// the current directory), type-checks the non-dependency matches from
+// source, and returns them ready for analysis. Dependencies — both
+// standard library and intra-module — are imported from compiler
+// export data produced by `go list -export`, so only the packages
+// under analysis are re-parsed.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var targets []*listedPackage
+	for _, lp := range listed {
+		if lp.Error != nil && !lp.DepOnly {
+			return nil, fmt.Errorf("analysis: load %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		pkg, err := typeCheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	var out []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %v", lp.ImportPath, err)
+	}
+	pkg := &Package{
+		PkgPath:   lp.ImportPath,
+		Dir:       lp.Dir,
+		Fset:      fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+		ignores:   make(map[string]map[int]map[string]bool),
+	}
+	for _, f := range files {
+		pkg.collectDirectives(f)
+	}
+	return pkg, nil
+}
+
+// collectDirectives indexes //lint:ignore comments. The directive form
+// is:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// and waives the named analyzers (or "all") on the directive's own
+// line and the line directly below it. The reason is mandatory —
+// a waiver without a recorded justification is itself a finding.
+func (p *Package) collectDirectives(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+			if !ok {
+				continue
+			}
+			pos := p.Fset.Position(c.Pos())
+			fields := strings.Fields(text)
+			names := map[string]bool{}
+			reason := ""
+			if len(fields) > 0 {
+				for _, n := range strings.Split(fields[0], ",") {
+					names[n] = true
+				}
+				reason = strings.Join(fields[1:], " ")
+			}
+			if reason == "" {
+				// A malformed directive waives nothing; record it as a
+				// poisoned line so the mistake is visible in tests.
+				names = map[string]bool{}
+			}
+			lines := p.ignores[pos.Filename]
+			if lines == nil {
+				lines = make(map[int]map[string]bool)
+				p.ignores[pos.Filename] = lines
+			}
+			lines[pos.Line] = names
+		}
+	}
+}

@@ -1,0 +1,349 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockEmitAnalyzer enforces the dispatcher's in-lock hygiene contract
+// (DESIGN.md §5, "Observability"): while a sync.Mutex or sync.RWMutex
+// is held, code must not
+//
+//   - emit observer events (any method named Observe — rt.Observer,
+//     metrics.Histogram, and friends are all hot-path fan-out points
+//     whose implementations the lock holder cannot bound),
+//   - send on or receive from a channel, or select over channels, or
+//   - make a known blocking call (time.Sleep, or any Wait method
+//     other than sync.Cond.Wait, which releases the lock internally).
+//
+// The analysis is intra-procedural and syntactic about lock identity:
+// a critical section opens at x.Lock()/x.RLock() and closes at the
+// matching x.Unlock()/x.RUnlock() in the same statement list; defer
+// x.Unlock() holds the lock for the rest of the function. Nested
+// blocks inherit a copy of the lock set, so an early-unlock-and-return
+// branch does not leak "unlocked" into the fallthrough path. Function
+// literals are only analyzed under the caller's lock set when they are
+// invoked immediately; a goroutine body starts lock-free.
+var LockEmitAnalyzer = &Analyzer{
+	Name: "lockemit",
+	Doc:  "flags observer emission, channel operations, and blocking calls made while a mutex is held",
+	Run:  runLockEmit,
+}
+
+func runLockEmit(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass}
+			w.stmts(fd.Body.List, map[string]token.Pos{})
+		}
+	}
+	return nil
+}
+
+type lockWalker struct {
+	pass *Pass
+}
+
+// stmts walks one statement list with the current set of held locks,
+// keyed by the printed lock expression ("d.mu") and valued by the
+// Lock() position for the diagnostic.
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range list {
+		w.stmt(stmt, held)
+	}
+}
+
+func (w *lockWalker) stmt(stmt ast.Stmt, held map[string]token.Pos) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if name, op, ok := w.lockOp(s.X); ok {
+			switch op {
+			case lockAcquire:
+				held[name] = s.Pos()
+			case lockRelease:
+				delete(held, name)
+			}
+			return
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		// defer x.Unlock() keeps the lock held to the end of this
+		// walk; other deferred calls run after the section and are not
+		// scanned.
+		if _, op, ok := w.lockOp(s.Call); ok && op == lockRelease {
+			return
+		}
+	case *ast.SendStmt:
+		w.flag(s.Pos(), held, "channel send")
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.GoStmt:
+		// The new goroutine does not hold the caller's locks; only the
+		// argument expressions evaluate now.
+		for _, arg := range s.Call.Args {
+			w.expr(arg, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.stmts(s.Body.List, copyLocks(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyLocks(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		w.stmts(s.Body.List, copyLocks(held))
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.stmts(s.Body.List, copyLocks(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		for _, cc := range s.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				w.stmts(c.Body, copyLocks(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				w.stmts(c.Body, copyLocks(held))
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 && hasCommClause(s) {
+			w.flag(s.Pos(), held, "select over channels")
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, copyLocks(held))
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// expr scans an expression subtree for violations under held locks.
+// Function literal bodies are skipped unless immediately invoked.
+func (w *lockWalker) expr(e ast.Expr, held map[string]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // not running under this lock set (unless invoked; see CallExpr)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				w.flag(x.Pos(), held, "channel receive")
+			}
+		case *ast.CallExpr:
+			if lit, ok := x.Fun.(*ast.FuncLit); ok {
+				// Immediately-invoked literal runs under the lock.
+				w.stmts(lit.Body.List, copyLocks(held))
+				for _, arg := range x.Args {
+					w.expr(arg, held)
+				}
+				return false
+			}
+			w.call(x, held)
+		}
+		return true
+	})
+}
+
+// call classifies a call expression and flags emission or blocking
+// calls when locks are held.
+func (w *lockWalker) call(call *ast.CallExpr, held map[string]token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	fn := calleeFunc(w.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	switch {
+	case fn.Name() == "Observe" && sig != nil && sig.Recv() != nil:
+		w.flag(call.Pos(), held, "observer event emission (%s.Observe)", recvTypeString(sig))
+	case fn.Name() == "Sleep" && fn.Pkg() != nil && fn.Pkg().Path() == "time":
+		w.flag(call.Pos(), held, "blocking call time.Sleep")
+	case fn.Name() == "Wait" && sig != nil && sig.Recv() != nil && !isSyncCondRecv(sig):
+		w.flag(call.Pos(), held, "blocking call %s.Wait", recvTypeString(sig))
+	}
+}
+
+func (w *lockWalker) flag(pos token.Pos, held map[string]token.Pos, format string, args ...any) {
+	if len(held) == 0 {
+		return
+	}
+	lock := ""
+	for name := range held {
+		if lock == "" || name < lock {
+			lock = name
+		}
+	}
+	msg := format
+	w.pass.Reportf(pos, msg+" while %s is held", append(args, lock)...)
+}
+
+type lockOpKind int
+
+const (
+	lockAcquire lockOpKind = iota
+	lockRelease
+)
+
+// lockOp recognizes x.Lock()/x.RLock()/x.Unlock()/x.RUnlock() calls on
+// sync.Mutex or sync.RWMutex values with a nameable receiver path.
+func (w *lockWalker) lockOp(e ast.Expr) (name string, op lockOpKind, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", 0, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	fn := calleeFunc(w.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", 0, false
+	}
+	recv := namedRecvName(sig)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return "", 0, false
+	}
+	path, ok := exprPath(sel.X)
+	if !ok {
+		return "", 0, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return path, lockAcquire, true
+	case "Unlock", "RUnlock":
+		return path, lockRelease, true
+	}
+	return "", 0, false
+}
+
+// exprPath renders a selector/identifier chain ("d.mu", "c.d.mu") as a
+// stable key; expressions with calls or indexing are not tracked.
+func exprPath(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		base, ok := exprPath(x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	case *ast.ParenExpr:
+		return exprPath(x.X)
+	}
+	return "", false
+}
+
+func copyLocks(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func hasCommClause(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call's static callee, or nil for dynamic
+// calls (function values, interface conversions, built-ins).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// namedRecvName returns the receiver's named-type name ("Mutex"),
+// dereferencing a pointer receiver.
+func namedRecvName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func recvTypeString(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+func isSyncCondRecv(sig *types.Signature) bool {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Cond" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync"
+}

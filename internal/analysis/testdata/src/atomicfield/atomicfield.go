@@ -1,0 +1,81 @@
+// Package atomicfield is the atomicfield analyzer fixture.
+package atomicfield
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	// mixed is the violation: incremented atomically, read plainly.
+	mixed uint64
+	// atomicOnly is correct: every access goes through sync/atomic.
+	atomicOnly uint64
+	// guarded is correct: only ever touched under mu, never atomically.
+	mu      sync.Mutex
+	guarded uint64
+	// typed is correct by construction: atomic.Uint64 forbids plain use.
+	typed atomic.Uint64
+}
+
+func (c *counters) inc() {
+	atomic.AddUint64(&c.mixed, 1)
+	atomic.AddUint64(&c.atomicOnly, 1)
+	c.typed.Add(1)
+}
+
+func (c *counters) read() uint64 {
+	total := c.mixed // want "plain access to mixed"
+	total += atomic.LoadUint64(&c.atomicOnly)
+	c.mu.Lock()
+	total += c.guarded
+	c.mu.Unlock()
+	return total + c.typed.Load()
+}
+
+func (c *counters) write() {
+	c.mixed = 0 // want "plain access to mixed"
+	c.mu.Lock()
+	c.guarded = 0
+	c.mu.Unlock()
+}
+
+// misaligned triggers the 32-bit alignment check: on GOARCH=386 the
+// uint64 field sits at offset 4 and a 64-bit atomic on it faults.
+type misaligned struct {
+	flag uint32
+	hits uint64 // want "not 8-byte aligned"
+}
+
+func (m *misaligned) bump() {
+	atomic.AddUint64(&m.hits, 1)
+}
+
+// aligned is the same shape with the 64-bit field first: clean.
+type aligned struct {
+	hits uint64
+	flag uint32
+}
+
+func (a *aligned) bump() {
+	atomic.AddUint64(&a.hits, 1)
+}
+
+// pkgCounter is a package-level variable mixed-mode: also a violation.
+var pkgCounter int64
+
+func bumpPkg() {
+	atomic.AddInt64(&pkgCounter, 1)
+}
+
+func readPkg() int64 {
+	return pkgCounter // want "plain access to pkgCounter"
+}
+
+// localIsFine: a local int64 used both ways is visible at a glance and
+// not part of the shared-state contract.
+func localIsFine() int64 {
+	var n int64
+	atomic.AddInt64(&n, 1)
+	return n
+}

@@ -1,0 +1,76 @@
+// Package ctxflow is the ctxflow analyzer fixture. The rtstub
+// subpackage mimics the rt API shape: Submit/SubmitCtx on a client,
+// Wait/WaitCtx on a task.
+package ctxflow
+
+import (
+	"context"
+
+	"repro/internal/analysis/testdata/src/ctxflow/rtstub"
+)
+
+// handler has a context and drops it: both calls are violations.
+func handler(ctx context.Context, c *rtstub.Client) error {
+	task, err := c.Submit(func() {}) // want "drops in-scope context"
+	if err != nil {
+		return err
+	}
+	return task.Wait() // want "drops in-scope context"
+}
+
+// handlerCtx is the corrected form: nothing to flag.
+func handlerCtx(ctx context.Context, c *rtstub.Client) error {
+	task, err := c.SubmitCtx(ctx, func() {})
+	if err != nil {
+		return err
+	}
+	return task.WaitCtx(ctx)
+}
+
+// noContext has no context in scope: the context-free calls are the
+// only option and stay clean.
+func noContext(c *rtstub.Client) error {
+	task, err := c.Submit(func() {})
+	if err != nil {
+		return err
+	}
+	return task.Wait()
+}
+
+// declaredAfter: the context only comes into existence after the call,
+// so the call cannot have used it.
+func declaredAfter(c *rtstub.Client) context.Context {
+	_, _ = c.Submit(func() {})
+	ctx := context.Background()
+	return ctx
+}
+
+// capturedInClosure: a closure sees the enclosing function's context
+// and must still use it.
+func capturedInClosure(ctx context.Context, c *rtstub.Client) func() error {
+	return func() error {
+		task, err := c.Submit(func() {}) // want "drops in-scope context"
+		if err != nil {
+			return err
+		}
+		return task.WaitCtx(ctx)
+	}
+}
+
+// localContext: a context made locally (the lotteryd main pattern)
+// counts as in scope.
+func localContext(c *rtstub.Client) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	task, err := c.SubmitCtx(ctx, func() {})
+	if err != nil {
+		return err
+	}
+	return task.Wait() // want "drops in-scope context"
+}
+
+// noCtxVariant: methods without a Ctx sibling are never flagged even
+// with a context in scope.
+func noCtxVariant(ctx context.Context, c *rtstub.Client) {
+	c.Flush()
+}

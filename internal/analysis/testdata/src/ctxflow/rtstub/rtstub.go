@@ -1,0 +1,26 @@
+// Package rtstub mirrors the rt API shape for the ctxflow fixture:
+// context-free methods with Ctx-suffixed variants.
+package rtstub
+
+import "context"
+
+// Client mimics rt.Client.
+type Client struct{}
+
+// Submit mimics rt.Client.Submit.
+func (c *Client) Submit(fn func()) (*Task, error) { return &Task{}, nil }
+
+// SubmitCtx mimics rt.Client.SubmitCtx.
+func (c *Client) SubmitCtx(ctx context.Context, fn func()) (*Task, error) { return &Task{}, nil }
+
+// Flush has no Ctx variant; ctxflow must never flag it.
+func (c *Client) Flush() {}
+
+// Task mimics rt.Task.
+type Task struct{}
+
+// Wait mimics rt.Task.Wait.
+func (t *Task) Wait() error { return nil }
+
+// WaitCtx mimics rt.Task.WaitCtx.
+func (t *Task) WaitCtx(ctx context.Context) error { return nil }

@@ -1,0 +1,77 @@
+// Package detsource is the detsource analyzer fixture.
+package detsource
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock reads real time: forbidden in deterministic packages.
+func wallClock() int64 {
+	now := time.Now() // want "time.Now in a deterministic package"
+	return now.UnixNano()
+}
+
+// waived shows a justified directive suppressing the finding.
+func waived() time.Time {
+	return time.Now() //lint:ignore detsource fixture exercises the waiver path
+}
+
+// bareDirectiveWaivesNothing: a directive without a reason is
+// malformed and must not suppress the finding.
+func bareDirectiveWaivesNothing() time.Time {
+	//lint:ignore detsource
+	return time.Now() // want "time.Now in a deterministic package"
+}
+
+// globalRand draws from the shared, racily-seeded source.
+func globalRand() int {
+	return rand.Intn(6) // want "global math/rand.Intn"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "global math/rand.Shuffle"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// seededRand threads an explicit source: reproducible, allowed.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// mapOrder iterates a map directly: order is randomized per run.
+func mapOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		total += v
+	}
+	return total
+}
+
+// sortedOrder iterates sorted keys: deterministic, allowed.
+func sortedOrder(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "map iteration order is nondeterministic"
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sliceOrder ranges a slice: deterministic, allowed.
+func sliceOrder(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// virtualTime models the correct pattern: a duration computed from
+// simulated state, no wall clock involved.
+func virtualTime(ticks int64) time.Duration {
+	return time.Duration(ticks) * time.Millisecond
+}

@@ -1,0 +1,125 @@
+// Package lockemit is the lockemit analyzer fixture: each line
+// carrying a want comment must be flagged; everything else must not.
+package lockemit
+
+import (
+	"sync"
+	"time"
+)
+
+type event struct{ kind int }
+
+type observer interface {
+	Observe(event)
+}
+
+type dispatcher struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	obs  observer
+	ch   chan int
+	wg   sync.WaitGroup
+}
+
+// emitUnderLock is the canonical violation: emission inside the
+// critical section.
+func (d *dispatcher) emitUnderLock() {
+	d.mu.Lock()
+	d.obs.Observe(event{1}) // want "observer event emission"
+	d.mu.Unlock()
+	d.obs.Observe(event{2}) // fine: after the unlock
+}
+
+// emitUnderDeferredUnlock: defer Unlock holds the lock to the end.
+func (d *dispatcher) emitUnderDeferredUnlock() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.obs.Observe(event{3}) // want "observer event emission"
+}
+
+// channelOpsUnderLock: sends, receives, and selects block unboundedly
+// while every other lock user waits.
+func (d *dispatcher) channelOpsUnderLock() {
+	d.mu.Lock()
+	d.ch <- 1 // want "channel send"
+	<-d.ch    // want "channel receive"
+	select {  // want "select over channels"
+	case v := <-d.ch:
+		_ = v
+	default:
+	}
+	d.mu.Unlock()
+	d.ch <- 2 // fine: after the unlock
+}
+
+// blockingCallsUnderLock: time.Sleep and WaitGroup.Wait park the
+// goroutine with the lock held.
+func (d *dispatcher) blockingCallsUnderLock() {
+	d.rw.Lock()
+	time.Sleep(time.Millisecond) // want "blocking call time.Sleep"
+	d.wg.Wait()                  // want "blocking call sync.WaitGroup.Wait"
+	d.rw.Unlock()
+}
+
+// condWaitIsFine: sync.Cond.Wait releases the mutex internally — the
+// one legitimate in-lock wait.
+func (d *dispatcher) condWaitIsFine() {
+	d.mu.Lock()
+	d.cond.Wait()
+	d.mu.Unlock()
+}
+
+// earlyUnlockBranch: the unlock inside the branch must not leak
+// "unlocked" into the fallthrough path.
+func (d *dispatcher) earlyUnlockBranch(done bool) {
+	d.mu.Lock()
+	if done {
+		d.mu.Unlock()
+		d.obs.Observe(event{4}) // fine: this branch unlocked first
+		return
+	}
+	d.obs.Observe(event{5}) // want "observer event emission"
+	d.mu.Unlock()
+}
+
+// goroutineStartsUnlocked: a goroutine launched under the lock does
+// not itself hold it.
+func (d *dispatcher) goroutineStartsUnlocked() {
+	d.mu.Lock()
+	go func() {
+		d.obs.Observe(event{6}) // fine: new goroutine, lock not held
+	}()
+	d.mu.Unlock()
+}
+
+// immediatelyInvokedLiteralRunsLocked: an IIFE runs on this goroutine,
+// under the lock.
+func (d *dispatcher) immediatelyInvokedLiteralRunsLocked() {
+	d.mu.Lock()
+	func() {
+		d.obs.Observe(event{7}) // want "observer event emission"
+	}()
+	d.mu.Unlock()
+}
+
+// rlockCountsToo: read locks also serialize against writers.
+func (d *dispatcher) rlockCountsToo() {
+	d.rw.RLock()
+	d.obs.Observe(event{8}) // want "observer event emission"
+	d.rw.RUnlock()
+}
+
+// workerLoop mirrors the rt worker shape: lock, pop, unlock, emit —
+// the correct pattern, which must stay clean.
+func (d *dispatcher) workerLoop() {
+	for {
+		d.mu.Lock()
+		for len(d.ch) == 0 {
+			d.cond.Wait()
+		}
+		d.mu.Unlock()
+		d.obs.Observe(event{9}) // fine: emitted outside the lock
+		return
+	}
+}

@@ -1,0 +1,89 @@
+package lottery
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckTree verifies the structural invariants of the tree of partial
+// ticket sums (§4.2) — the properties Draw's O(log n) descent silently
+// relies on:
+//
+//  1. Shape: the slice lengths agree with the capacity and the live
+//     count equals the number of used slots.
+//  2. Leaves: unused slots carry weight 0; used slots carry a
+//     non-negative, finite weight.
+//  3. Partial sums: every internal node equals the sum of its two
+//     children up to float round-off (setLeaf recomputes rather than
+//     deltas exactly so drift cannot accumulate; Check pins that).
+//  4. Free list: recycled slots are in range, unique, unused, and
+//     together with the used slots account for every slot below the
+//     high-water mark.
+//
+// It returns the first violation, or nil. Cost is O(cap); call it from
+// tests and fuzz targets, not per draw.
+func CheckTree[T any](t *Tree[T]) error {
+	if t.cap < 2 || t.cap&(t.cap-1) != 0 {
+		return fmt.Errorf("lottery: capacity %d is not a power of two >= 2", t.cap)
+	}
+	if len(t.sums) != 2*t.cap || len(t.values) != t.cap || len(t.used) != t.cap {
+		return fmt.Errorf("lottery: slice lengths (sums %d, values %d, used %d) disagree with cap %d",
+			len(t.sums), len(t.values), len(t.used), t.cap)
+	}
+	live := 0
+	for s := 0; s < t.cap; s++ {
+		w := t.sums[t.cap+s]
+		if t.used[s] {
+			live++
+			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("lottery: used slot %d has invalid weight %v", s, w)
+			}
+		} else if w != 0 {
+			return fmt.Errorf("lottery: unused slot %d has weight %v", s, w)
+		}
+	}
+	if live != t.n {
+		return fmt.Errorf("lottery: Len %d but %d used slots", t.n, live)
+	}
+	for i := 1; i < t.cap; i++ {
+		children := t.sums[2*i] + t.sums[2*i+1]
+		if !sumsClose(t.sums[i], children) {
+			return fmt.Errorf("lottery: node %d sum %v != children sum %v", i, t.sums[i], children)
+		}
+	}
+	if t.next < 0 || t.next > t.cap {
+		return fmt.Errorf("lottery: high-water mark %d out of range [0, %d]", t.next, t.cap)
+	}
+	seen := make(map[int]bool, len(t.free))
+	for _, s := range t.free {
+		if s < 0 || s >= t.next {
+			return fmt.Errorf("lottery: free slot %d outside allocated range [0, %d)", s, t.next)
+		}
+		if t.used[s] {
+			return fmt.Errorf("lottery: slot %d is both free and used", s)
+		}
+		if seen[s] {
+			return fmt.Errorf("lottery: slot %d appears twice in the free list", s)
+		}
+		seen[s] = true
+	}
+	for s := t.next; s < t.cap; s++ {
+		if t.used[s] {
+			return fmt.Errorf("lottery: slot %d used beyond high-water mark %d", s, t.next)
+		}
+	}
+	if live+len(t.free) != t.next {
+		return fmt.Errorf("lottery: %d used + %d free != %d allocated slots",
+			live, len(t.free), t.next)
+	}
+	return nil
+}
+
+// sumsClose compares a stored partial sum against its recomputed
+// value with a relative tolerance: setLeaf recomputes parent sums from
+// children, so disagreement beyond round-off means a repair bug.
+func sumsClose(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*math.Max(scale, 1)
+}

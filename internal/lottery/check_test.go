@@ -1,0 +1,79 @@
+package lottery
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/random"
+)
+
+// TestCheckTreeCleanAfterChurn pins the positive direction: any tree
+// reached through the public API passes CheckTree, including ones that
+// grew, recycled slots, and drew.
+func TestCheckTreeCleanAfterChurn(t *testing.T) {
+	tr := NewTree[int](2)
+	if err := CheckTree(tr); err != nil {
+		t.Fatalf("fresh tree: %v", err)
+	}
+	src := random.NewPM(7)
+	var live []TreeItem // only handles still in the tree
+	for i := 0; i < 64; i++ {
+		live = append(live, tr.Add(i, float64(i%7)))
+		if i%3 == 0 {
+			tr.Update(live[len(live)/2], float64(i))
+		}
+		if i%5 == 4 {
+			tr.Remove(live[0])
+			live = live[1:]
+		}
+		tr.Draw(src)
+		if err := CheckTree(tr); err != nil {
+			t.Fatalf("after %d ops: %v", i, err)
+		}
+	}
+}
+
+// TestCheckTreeDetectsCorruption corrupts each internal structure in
+// turn and requires CheckTree to name the violation.
+func TestCheckTreeDetectsCorruption(t *testing.T) {
+	build := func() *Tree[int] {
+		tr := NewTree[int](4)
+		a := tr.Add(1, 10)
+		tr.Add(2, 20)
+		tr.Add(3, 30)
+		tr.Remove(a)
+		return tr
+	}
+	cases := []struct {
+		name    string
+		corrupt func(tr *Tree[int])
+		wantSub string
+	}{
+		{"stale partial sum", func(tr *Tree[int]) { tr.sums[1] += 5 }, "children sum"},
+		{"ghost weight on unused slot", func(tr *Tree[int]) { tr.sums[tr.cap+0] = 1 }, "unused slot"},
+		{"negative leaf weight", func(tr *Tree[int]) { tr.sums[tr.cap+1] = -1 }, "invalid weight"},
+		{"live count drift", func(tr *Tree[int]) { tr.n++ }, "used slots"},
+		{"free list duplicate", func(tr *Tree[int]) { tr.free = append(tr.free, tr.free[0]) }, "twice"},
+		// The n bumps below keep the live-count check quiet so the later,
+		// more specific check is the one that fires.
+		{"free yet used", func(tr *Tree[int]) { tr.used[tr.free[0]] = true; tr.n++ }, "free and used"},
+		{"used beyond high-water mark", func(tr *Tree[int]) { tr.used[tr.cap-1] = true; tr.n++ }, "high-water"},
+		{"leak past accounting", func(tr *Tree[int]) { tr.free = tr.free[:0] }, "allocated slots"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := build()
+			if err := CheckTree(tr); err != nil {
+				t.Fatalf("baseline tree already broken: %v", err)
+			}
+			tc.corrupt(tr)
+			err := CheckTree(tr)
+			if err == nil {
+				t.Fatal("CheckTree missed the corruption")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("CheckTree = %q, want mention of %q", err, tc.wantSub)
+			}
+		})
+	}
+}

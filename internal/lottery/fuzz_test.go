@@ -1,0 +1,87 @@
+package lottery
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/random"
+)
+
+// FuzzTicketTree drives the tree of partial ticket sums through an
+// arbitrary op stream — two bytes per op: opcode and argument — and
+// sweeps CheckTree after every step. The fuzzer owns the op schedule;
+// the invariant checker owns the oracle, so any sequence of
+// Add/Update/Remove/Draw that corrupts a partial sum, leaks a slot, or
+// drifts the live count is a crash, not a silent bias in later draws.
+func FuzzTicketTree(f *testing.F) {
+	const (
+		opAdd = iota
+		opUpdate
+		opRemove
+		opDraw
+	)
+	// Seeds cover the interesting regimes: growth past the initial
+	// capacity, remove/re-add slot recycling, zero weights, and draws
+	// interleaved with structural churn.
+	f.Add([]byte{opAdd, 10, opAdd, 2, opAdd, 5, opAdd, 1, opAdd, 2, opDraw, 0})
+	f.Add([]byte{opAdd, 1, opAdd, 2, opAdd, 3, opAdd, 4, opAdd, 5, opAdd, 6}) // grow past cap 4
+	f.Add([]byte{opAdd, 7, opAdd, 9, opRemove, 0, opAdd, 3, opRemove, 1, opAdd, 8})
+	f.Add([]byte{opAdd, 0, opAdd, 0, opDraw, 0, opUpdate, 1, opDraw, 0})
+	f.Add([]byte{opAdd, 255, opUpdate, 0, opRemove, 0, opDraw, 0, opAdd, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 2048 {
+			return // bound per-input work; long streams add no new structure
+		}
+		tr := NewTree[int](2)
+		src := random.NewPM(20260805)
+		var live []TreeItem
+		var want float64
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i]%4, ops[i+1]
+			switch op {
+			case opAdd:
+				w := float64(arg) / 3 // exercise fractional weights too
+				live = append(live, tr.Add(i, w))
+				want += w
+			case opUpdate:
+				if len(live) > 0 {
+					it := live[int(arg)%len(live)]
+					want += float64(arg) - tr.Weight(it)
+					tr.Update(it, float64(arg))
+				}
+			case opRemove:
+				if len(live) > 0 {
+					k := int(arg) % len(live)
+					want -= tr.Weight(live[k])
+					tr.Remove(live[k])
+					live = append(live[:k], live[k+1:]...)
+				}
+			case opDraw:
+				if v, ok := tr.Draw(src); ok {
+					// A winner must be a value some live handle maps to.
+					found := false
+					for _, it := range live {
+						if tr.Value(it) == v {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("op %d: draw returned %d, not a live value", i, v)
+					}
+				} else if tr.Len() > 0 && tr.Total() > 0 {
+					t.Fatalf("op %d: draw failed with %d entries totalling %v", i, tr.Len(), tr.Total())
+				}
+			}
+			if err := CheckTree(tr); err != nil {
+				t.Fatalf("op %d (opcode %d): %v", i, op, err)
+			}
+			if tr.Len() != len(live) {
+				t.Fatalf("op %d: Len %d != %d live handles", i, tr.Len(), len(live))
+			}
+			if diff := math.Abs(tr.Total() - want); diff > 1e-6*math.Max(want, 1) {
+				t.Fatalf("op %d: Total %v drifted from running sum %v", i, tr.Total(), want)
+			}
+		}
+	})
+}

@@ -74,6 +74,9 @@ func TestTreeGrowth(t *testing.T) {
 			t.Fatalf("item %d corrupted by growth: value=%v weight=%v", i, tr.Value(it), tr.Weight(it))
 		}
 	}
+	if err := CheckTree(tr); err != nil {
+		t.Fatalf("invariants after growth: %v", err)
+	}
 }
 
 func TestTreeSlotRecycling(t *testing.T) {
@@ -95,6 +98,9 @@ func TestTreeSlotRecycling(t *testing.T) {
 	}
 	if tr.Len() != 21 {
 		t.Fatalf("len = %d, want 21", tr.Len())
+	}
+	if err := CheckTree(tr); err != nil {
+		t.Fatalf("invariants after recycling: %v", err)
 	}
 }
 

@@ -173,13 +173,25 @@ func TestShareConformance(t *testing.T) {
 		}
 	}
 
+	// requireInvariants sweeps the full invariant set (tree partial
+	// sums, funding-graph conservation, dispatcher bookkeeping) at the
+	// phase boundaries, where churn from park/fill/Leave is freshest.
+	requireInvariants := func(phase string) {
+		t.Helper()
+		if err := CheckInvariants(d); err != nil {
+			t.Fatalf("%s: %v", phase, err)
+		}
+	}
+
 	// Static phase: A:B:C:D = 1:2:3:4 over at least phaseDraws
 	// dispatches, measured from a baseline taken while the workers are
 	// still parked (so the window contains only full-tree draws).
+	requireInvariants("static setup")
 	base1s := d.Snapshot()
 	base1 := counts(base1s)
 	release1()
 	s1 := waitDispatched(base1s.Dispatched + phaseDraws)
+	requireInvariants("static window")
 	requireBacklogged("static", s1, "A", "B", "C", "D")
 	checkPhase("static", delta(base1, counts(s1), "A", "B", "C", "D"), amounts)
 
@@ -212,6 +224,7 @@ func TestShareConformance(t *testing.T) {
 	}
 	release2()
 	s2 := waitDispatched(base2s.Dispatched + phaseDraws)
+	requireInvariants("dynamic window")
 	requireBacklogged("dynamic", s2, "B", "C", "E")
 	got2 := counts(s2)
 	if a1, a2 := base2["A"], got2["A"]; a2 > a1 {

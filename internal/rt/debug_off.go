@@ -1,0 +1,7 @@
+//go:build !lotterydebug
+
+package rt
+
+// debugCheckLocked is a no-op in the default build; the lotterydebug
+// build tag swaps in the full invariant sweep (see debug_on.go).
+func (d *Dispatcher) debugCheckLocked() {}

@@ -1,0 +1,13 @@
+//go:build lotterydebug
+
+package rt
+
+// debugCheckLocked runs the full invariant sweep after every dispatch
+// decision and compensation settle. Only built with -tags lotterydebug;
+// the default build compiles this away entirely (see debug_off.go).
+// A violation is a scheduler bug, never an input error, so it panics.
+func (d *Dispatcher) debugCheckLocked() {
+	if err := d.checkInvariantsLocked(); err != nil {
+		panic(err)
+	}
+}

@@ -301,6 +301,7 @@ func (d *Dispatcher) worker() {
 		d.dispatched.Add(1)
 		wait := time.Since(t.enqueued)
 		c.notFull.Signal()
+		d.debugCheckLocked()
 		d.mu.Unlock()
 
 		c.mDispatched.Inc()
@@ -347,6 +348,7 @@ func (d *Dispatcher) worker() {
 					d.tree.Update(c.item, d.weightLocked(c))
 				}
 			}
+			d.debugCheckLocked()
 			d.mu.Unlock()
 			if settled && comp != 1 && d.obs != nil {
 				d.obs.Observe(Event{At: time.Now(), Kind: EventCompensate,

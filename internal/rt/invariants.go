@@ -1,0 +1,93 @@
+package rt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lottery"
+)
+
+// CheckInvariants verifies the dispatcher's cross-layer invariants
+// under its lock and returns the first violation, or nil. It composes
+// the layers' own checkers — ticket.System.Check (funding-graph
+// acyclicity, activation propagation, base-unit conservation) and
+// lottery.CheckTree (partial-sum integrity) — with the dispatcher's
+// bridging contracts:
+//
+//   - the pending count equals the summed client queue depths;
+//   - a client competes in the tree exactly when it has queued work,
+//     and its holder is active exactly then (§4.4);
+//   - compensation multipliers stay within [1, MaxCompensation]
+//     (§3.4: a boost is bounded and consumed on the next win);
+//   - no torn-down client lingers in the roster, and every tenant's
+//     live client count matches the roster;
+//   - unless a reweigh is already pending, every in-tree weight equals
+//     the client's funding times its compensation multiplier;
+//   - completions never outrun dispatches.
+//
+// Safe for concurrent use; it takes the dispatcher lock for the whole
+// check, so treat it as a stop-the-world probe for tests, fuzzing, and
+// the lotterydebug build (which runs it after every dispatch).
+func CheckInvariants(d *Dispatcher) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.checkInvariantsLocked()
+}
+
+func (d *Dispatcher) checkInvariantsLocked() error {
+	if err := d.tickets.Check(); err != nil {
+		return err
+	}
+	if err := lottery.CheckTree(d.tree); err != nil {
+		return err
+	}
+
+	pending, inTree := 0, 0
+	tenants := make(map[*Tenant]int)
+	for _, c := range d.clients {
+		depth := c.pendingLocked()
+		if depth < 0 {
+			return fmt.Errorf("rt: client %q has negative queue depth %d", c.name, depth)
+		}
+		pending += depth
+		if c.torn {
+			return fmt.Errorf("rt: torn-down client %q still in the roster", c.name)
+		}
+		tenants[c.tenant]++
+		if c.inTree != (depth > 0) {
+			return fmt.Errorf("rt: client %q inTree=%v with queue depth %d", c.name, c.inTree, depth)
+		}
+		if got := c.holder.Active(); got != c.inTree {
+			return fmt.Errorf("rt: client %q holder active=%v but inTree=%v", c.name, got, c.inTree)
+		}
+		if c.comp < 1 || c.comp > d.maxComp || math.IsNaN(c.comp) {
+			return fmt.Errorf("rt: client %q compensation %v outside [1, %v]", c.name, c.comp, d.maxComp)
+		}
+		if c.inTree {
+			inTree++
+			if !d.weightsDirty {
+				want := d.weightLocked(c)
+				got := d.tree.Weight(c.item)
+				if math.Abs(got-want) > 1e-9*math.Max(math.Abs(want), 1) {
+					return fmt.Errorf("rt: client %q tree weight %v != funding*comp %v (weights not dirty)",
+						c.name, got, want)
+				}
+			}
+		}
+	}
+	if pending != d.pending {
+		return fmt.Errorf("rt: dispatcher pending %d != summed queue depths %d", d.pending, pending)
+	}
+	if got := d.tree.Len(); got != inTree {
+		return fmt.Errorf("rt: tree holds %d entries but %d clients are marked in-tree", got, inTree)
+	}
+	for tn, n := range tenants {
+		if tn.clients != n {
+			return fmt.Errorf("rt: tenant %q counts %d clients, roster has %d", tn.name, tn.clients, n)
+		}
+	}
+	if dispatched, completed := d.dispatched.Load(), d.completed.Load(); completed > dispatched {
+		return fmt.Errorf("rt: completed %d > dispatched %d", completed, dispatched)
+	}
+	return nil
+}

@@ -308,6 +308,11 @@ func TestCloseCtxDeadlineDiscardsBacklog(t *testing.T) {
 	if s := d.Snapshot(); s.Pending != 0 || !s.Closed {
 		t.Fatalf("after deadline Close: %+v", s)
 	}
+	// A cut-short drain discards state wholesale; the bookkeeping and
+	// funding graph must still balance afterwards.
+	if err := CheckInvariants(d); err != nil {
+		t.Fatalf("invariants after deadline Close: %v", err)
+	}
 }
 
 // TestZeroWeightFallbackRotates mirrors sched's
@@ -581,11 +586,36 @@ func TestConcurrentLifecycleChurn(t *testing.T) {
 			time.Sleep(time.Millisecond)
 		}
 	}()
+	// Invariant sweeper: the full cross-layer check must hold at every
+	// instant of the churn, not just at rest.
+	wg.Add(1)
+	invariantErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			if err := CheckInvariants(d); err != nil {
+				select {
+				case invariantErr <- err:
+				default:
+				}
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
 	time.Sleep(200 * time.Millisecond)
 	close(stop)
 	wg.Wait()
+	select {
+	case err := <-invariantErr:
+		t.Fatalf("invariants during churn: %v", err)
+	default:
+	}
 	if err := d.CloseTimeout(10 * time.Second); err != nil {
 		t.Fatalf("CloseTimeout: %v", err)
+	}
+	if err := CheckInvariants(d); err != nil {
+		t.Fatalf("invariants after drain: %v", err)
 	}
 	s := d.Snapshot()
 	if s.Completed != s.Dispatched {

@@ -54,6 +54,9 @@ func name(prefix string, i int) string {
 // ticket is active only if its target wants backing.
 func checkInvariants(t *testing.T, s *System) {
 	t.Helper()
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
 	for _, cname := range s.Currencies() {
 		c := s.Currency(cname)
 		var active, total Amount

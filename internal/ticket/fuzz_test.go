@@ -1,6 +1,7 @@
 package ticket
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -23,6 +24,9 @@ func FuzzParseGraphSpec(f *testing.F) {
 		if err != nil {
 			return
 		}
+		if err := g.System.Check(); err != nil {
+			t.Fatalf("accepted spec builds inconsistent system: %v", err)
+		}
 		// Accepted specs must produce consistent systems.
 		for _, name := range g.System.Currencies() {
 			c := g.System.Currency(name)
@@ -38,6 +42,115 @@ func FuzzParseGraphSpec(f *testing.F) {
 			}
 			if c.Value() < 0 {
 				t.Fatalf("currency %s negative value", name)
+			}
+		}
+	})
+}
+
+// FuzzCurrencyOps drives a funding graph through an arbitrary stream
+// of mutations — three bytes per op: opcode and two arguments — and
+// sweeps System.Check after every step. Individual ops are allowed to
+// fail (cycles, overflow, destroyed targets are *supposed* to be
+// rejected); what must never happen is a rejected or accepted op
+// leaving the graph inconsistent.
+func FuzzCurrencyOps(f *testing.F) {
+	const (
+		opCurrency = iota
+		opHolder
+		opIssue
+		opRetarget
+		opSetAmount
+		opToggle
+		opDestroy
+		opCount
+	)
+	// Seeds walk every opcode and the interesting rejections: a
+	// self-funding attempt, destroy-with-issued, and churn that
+	// exercises activation propagation through a chain.
+	f.Add([]byte{
+		opCurrency, 0, 0, opHolder, 0, 0, opIssue, 0, 1, opIssue, 1, 0,
+		opToggle, 0, 0, opSetAmount, 0, 200, opToggle, 0, 0,
+	})
+	f.Add([]byte{opCurrency, 0, 0, opIssue, 1, 1, opDestroy, 0, 1}) // self-fund + destroy currency
+	f.Add([]byte{
+		opCurrency, 0, 0, opCurrency, 1, 1, opHolder, 0, 0, opIssue, 0, 3,
+		opIssue, 1, 5, opIssue, 2, 0, opToggle, 0, 0, opRetarget, 0, 1,
+		opDestroy, 0, 0, opToggle, 0, 0,
+	})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 1536 {
+			return // bound per-input work; longer streams add no new structure
+		}
+		s := NewSystem()
+		currencies := []*Currency{s.Base()}
+		var holders []*Holder
+		var tickets []*Ticket
+		pruneDestroyed := func() {
+			kept := tickets[:0]
+			for _, tk := range tickets {
+				if !tk.destroyed {
+					kept = append(kept, tk)
+				}
+			}
+			tickets = kept
+		}
+		for i := 0; i+2 < len(ops); i += 3 {
+			op, a, b := int(ops[i])%opCount, int(ops[i+1]), int(ops[i+2])
+			switch op {
+			case opCurrency:
+				if len(currencies) < 24 {
+					if c, err := s.NewCurrency(fmt.Sprintf("c%d", s.Generation()), "u"); err == nil {
+						currencies = append(currencies, c)
+					}
+				}
+			case opHolder:
+				if len(holders) < 24 {
+					holders = append(holders, s.NewHolder(fmt.Sprintf("h%d", len(holders))))
+				}
+			case opIssue:
+				src := currencies[a%len(currencies)]
+				var to Node
+				if b%2 == 0 && len(holders) > 0 {
+					to = holders[a%len(holders)]
+				} else {
+					to = currencies[b%len(currencies)] // may be src: must be rejected, not corrupt
+				}
+				if tk, err := src.Issue(Amount(1+b), to); err == nil {
+					tickets = append(tickets, tk)
+				}
+			case opRetarget:
+				if len(tickets) > 0 {
+					tk := tickets[a%len(tickets)]
+					var to Node = currencies[b%len(currencies)]
+					if b%2 == 1 && len(holders) > 0 {
+						to = holders[b%len(holders)]
+					}
+					_ = tk.Retarget(to)
+				}
+			case opSetAmount:
+				if len(tickets) > 0 {
+					_ = tickets[a%len(tickets)].SetAmount(Amount(1 + b))
+				}
+			case opToggle:
+				if len(holders) > 0 {
+					h := holders[a%len(holders)]
+					h.SetActive(!h.Active())
+				}
+			case opDestroy:
+				if b%2 == 0 && len(tickets) > 0 {
+					tickets[a%len(tickets)].Destroy()
+					pruneDestroyed()
+				} else if len(currencies) > 1 {
+					k := 1 + a%(len(currencies)-1) // never the base
+					if err := currencies[k].Destroy(); err == nil {
+						// Destroy consumed the currency's backing tickets.
+						currencies = append(currencies[:k], currencies[k+1:]...)
+						pruneDestroyed()
+					}
+				}
+			}
+			if err := s.Check(); err != nil {
+				t.Fatalf("after op %d (opcode %d): %v\n%s", i/3, op, err, s.DumpGraph())
 			}
 		}
 	})

@@ -1,0 +1,189 @@
+package ticket
+
+import (
+	"fmt"
+	"math"
+)
+
+// Check verifies the funding graph's structural invariants — the
+// properties the paper's mechanisms silently assume (§3.3, §4.4) and
+// every mutation in this package must preserve:
+//
+//  1. Bookkeeping: each currency's total equals the sum of its issued
+//     tickets' amounts, its active amount the sum of the active ones,
+//     and neither exceeds MaxBaseUnits.
+//  2. Link symmetry: a live ticket is denominated in exactly the
+//     currency whose issued list holds it, and appears in the backing
+//     list of exactly the node it funds.
+//  3. Activation propagation: a ticket is active exactly when its
+//     funding target wants backing (an active holder, or a currency
+//     with a non-zero active amount).
+//  4. Acyclicity: following backing tickets from any currency never
+//     revisits a currency — the graph §3.3 requires to stay an
+//     arbitrary *acyclic* graph.
+//  5. Conservation: the value of the base currency equals the summed
+//     value of every active holder reachable in the graph; derived
+//     currencies neither mint nor destroy base units.
+//
+// It returns the first violation found, or nil. Cost is O(tickets +
+// currencies); callers on hot paths should gate it (see the rt
+// package's lotterydebug build tag).
+func (s *System) Check() error {
+	// 1 + 2: per-currency bookkeeping and link symmetry.
+	for name, c := range s.currencies {
+		if c.destroyed {
+			return fmt.Errorf("ticket: destroyed currency %q still registered", name)
+		}
+		if c.name != name {
+			return fmt.Errorf("ticket: currency registered as %q but named %q", name, c.name)
+		}
+		var active, total Amount
+		for _, t := range c.issued {
+			if t.destroyed {
+				return fmt.Errorf("ticket: destroyed ticket %d still issued in %q", t.id, name)
+			}
+			if t.currency != c {
+				return fmt.Errorf("ticket: ticket %d in %q's issued list is denominated in %q",
+					t.id, name, t.currency.name)
+			}
+			if t.amount <= 0 {
+				return fmt.Errorf("ticket: ticket %d has non-positive amount %d", t.id, t.amount)
+			}
+			if t.funds == nil {
+				return fmt.Errorf("ticket: live ticket %d funds nothing", t.id)
+			}
+			if t.funds.system() != s {
+				return fmt.Errorf("ticket: ticket %d funds a node in a different system", t.id)
+			}
+			if !backs(t.funds, t) {
+				return fmt.Errorf("ticket: ticket %d missing from %s's backing list",
+					t.id, t.funds.NodeName())
+			}
+			// 3: activation follows the target's wants.
+			if want := t.funds.wantsBacking(); t.active != want {
+				return fmt.Errorf("ticket: ticket %d active=%v but %s wantsBacking=%v",
+					t.id, t.active, t.funds.NodeName(), want)
+			}
+			total += t.amount
+			if t.active {
+				active += t.amount
+			}
+		}
+		if c.total != total {
+			return fmt.Errorf("ticket: currency %q total %d != issued sum %d", name, c.total, total)
+		}
+		if c.active != active {
+			return fmt.Errorf("ticket: currency %q active %d != active issued sum %d", name, c.active, active)
+		}
+		if c.total > MaxBaseUnits {
+			return fmt.Errorf("ticket: currency %q total %d exceeds MaxBaseUnits", name, c.total)
+		}
+		for _, t := range c.backing {
+			if t.destroyed {
+				return fmt.Errorf("ticket: destroyed ticket %d backs %q", t.id, name)
+			}
+			if t.funds != Node(c) {
+				return fmt.Errorf("ticket: ticket %d in %q's backing list funds %s",
+					t.id, name, t.funds.NodeName())
+			}
+		}
+	}
+	if s.base == nil || s.currencies["base"] != s.base {
+		return fmt.Errorf("ticket: base currency missing from registry")
+	}
+	if len(s.base.backing) != 0 {
+		return fmt.Errorf("ticket: base currency has %d backing tickets; base is the root",
+			len(s.base.backing))
+	}
+
+	// 4: acyclicity of the funding graph (edges: currency -> the
+	// currencies its backing tickets are denominated in).
+	const (
+		unseen = iota
+		visiting
+		done
+	)
+	state := make(map[*Currency]int, len(s.currencies))
+	var visit func(c *Currency) error
+	visit = func(c *Currency) error {
+		switch state[c] {
+		case visiting:
+			return fmt.Errorf("ticket: funding cycle through currency %q", c.name)
+		case done:
+			return nil
+		}
+		state[c] = visiting
+		for _, t := range c.backing {
+			if err := visit(t.currency); err != nil {
+				return err
+			}
+		}
+		state[c] = done
+		return nil
+	}
+	for _, c := range s.currencies {
+		if err := visit(c); err != nil {
+			return err
+		}
+	}
+
+	// 5: base-unit conservation. Every value path roots at base and
+	// sinks at an active holder, so the summed value of the active
+	// holders reachable through issued tickets must equal the base
+	// currency's value exactly (up to float round-off).
+	holders := make(map[*Holder]bool)
+	for _, c := range s.currencies {
+		for _, t := range c.issued {
+			if h, ok := t.funds.(*Holder); ok {
+				holders[h] = true
+			}
+		}
+	}
+	var sunk float64
+	for h := range holders {
+		if h.active {
+			sunk += h.Value()
+		}
+	}
+	baseValue := s.base.Value()
+	if !approxEqual(sunk, baseValue) {
+		return fmt.Errorf("ticket: conservation violated: active holders sink %.9g base units, base is worth %.9g",
+			sunk, baseValue)
+	}
+	return nil
+}
+
+// MustCheck panics on the first invariant violation; used by debug
+// builds and fuzz targets where a violation is a fatal finding.
+func (s *System) MustCheck() {
+	if err := s.Check(); err != nil {
+		panic(err)
+	}
+}
+
+func backs(n Node, t *Ticket) bool {
+	var list []*Ticket
+	switch x := n.(type) {
+	case *Currency:
+		list = x.backing
+	case *Holder:
+		list = x.backing
+	default:
+		return false
+	}
+	for _, b := range list {
+		if b == t {
+			return true
+		}
+	}
+	return false
+}
+
+// approxEqual compares with a relative tolerance wide enough for the
+// float64 round-off a deep currency chain accumulates, but far tighter
+// than any real conservation bug would produce.
+func approxEqual(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-6*math.Max(scale, 1)
+}

@@ -1,0 +1,128 @@
+package ticket
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSystemCheckCleanGraphs pins the positive direction: systems
+// reached through the public API pass Check at every activity mix.
+func TestSystemCheckCleanGraphs(t *testing.T) {
+	if err := NewSystem().Check(); err != nil {
+		t.Fatalf("fresh system: %v", err)
+	}
+	for seed := uint32(1); seed <= 5; seed++ {
+		s, holders := buildRandomGraph(seed, 8, 12)
+		if err := s.Check(); err != nil {
+			t.Fatalf("seed %d, all inactive: %v", seed, err)
+		}
+		for i, h := range holders {
+			if i%2 == 0 {
+				h.SetActive(true)
+			}
+		}
+		if err := s.Check(); err != nil {
+			t.Fatalf("seed %d, half active: %v", seed, err)
+		}
+		for _, h := range holders {
+			h.SetActive(true)
+		}
+		if err := s.Check(); err != nil {
+			t.Fatalf("seed %d, all active: %v", seed, err)
+		}
+		for i, h := range holders {
+			if i%3 == 0 {
+				h.SetActive(false)
+			}
+		}
+		if err := s.Check(); err != nil {
+			t.Fatalf("seed %d, churned: %v", seed, err)
+		}
+	}
+}
+
+// TestSystemCheckDetectsCorruption fabricates each class of violation
+// by hand (nothing reachable through the public API produces them) and
+// requires Check to name it.
+func TestSystemCheckDetectsCorruption(t *testing.T) {
+	// build: base funds currencies a and b; each funds an active
+	// holder; a also funds b. Every ticket is active.
+	type world struct {
+		s      *System
+		a, b   *Currency
+		ha, hb *Holder
+		tHa    *Ticket // a's ticket funding ha
+	}
+	build := func() *world {
+		s := NewSystem()
+		a := s.MustCurrency("a", "u")
+		b := s.MustCurrency("b", "u")
+		s.Base().MustIssue(100, a)
+		s.Base().MustIssue(100, b)
+		ha, hb := s.NewHolder("ha"), s.NewHolder("hb")
+		tHa := a.MustIssue(50, ha)
+		b.MustIssue(30, hb)
+		a.MustIssue(20, b)
+		ha.SetActive(true)
+		hb.SetActive(true)
+		return &world{s: s, a: a, b: b, ha: ha, hb: hb, tHa: tHa}
+	}
+	cases := []struct {
+		name    string
+		corrupt func(w *world)
+		wantSub string
+	}{
+		{"destroyed yet registered", func(w *world) { w.a.destroyed = true }, "still registered"},
+		{"total drift", func(w *world) { w.a.total++ }, "issued sum"},
+		{"active drift", func(w *world) { w.a.active++ }, "active issued sum"},
+		{"stale activation", func(w *world) { w.tHa.active = false; w.a.active -= w.tHa.amount }, "wantsBacking"},
+		{"broken link symmetry", func(w *world) { w.ha.backing = nil }, "backing list"},
+		{"funding cycle", func(w *world) {
+			// A hand-built ticket denominated in b funding a closes the
+			// loop a -> b -> a while keeping every local count balanced,
+			// so only the acyclicity sweep can see it.
+			tb := &Ticket{sys: w.s, id: 999, amount: 10, currency: w.b, funds: w.a, active: true}
+			w.b.issued = append(w.b.issued, tb)
+			w.b.total += tb.amount
+			w.b.active += tb.amount
+			w.a.backing = append(w.a.backing, tb)
+		}, "cycle"},
+		{"minted value", func(w *world) {
+			// Poison the valuation cache for the current generation:
+			// structurally sound, but a is suddenly worth 50 extra base
+			// units, which only conservation can notice.
+			w.a.cachedValue = w.a.valueUncached() + 50
+			w.a.cachedGen = w.s.gen
+		}, "conservation"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := build()
+			if err := w.s.Check(); err != nil {
+				t.Fatalf("baseline system already broken: %v", err)
+			}
+			tc.corrupt(w)
+			err := w.s.Check()
+			if err == nil {
+				t.Fatal("Check missed the corruption")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Check = %q, want mention of %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestMustCheckPanics pins the panicking variant used by debug builds.
+func TestMustCheckPanics(t *testing.T) {
+	s := NewSystem()
+	s.MustCheck() // clean: must not panic
+	c := s.MustCurrency("c", "u")
+	c.total++
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCheck did not panic on a violation")
+		}
+	}()
+	s.MustCheck()
+}

@@ -229,6 +229,13 @@ func (c *Currency) IssueAs(principal string, amount Amount, to Node) (*Ticket, e
 		if dst.destroyed {
 			return nil, fmt.Errorf("ticket: funding destroyed currency %q", dst.name)
 		}
+		// The base currency is the root: its value is its active amount
+		// by definition, so a ticket backing it would be dead weight in
+		// base and destroy the issuing currency's value outright.
+		// (Found by FuzzCurrencyOps via System.Check.)
+		if dst.isBase {
+			return nil, fmt.Errorf("ticket: cannot fund the base currency")
+		}
 		if dst == c || c.dependsOn(dst) {
 			return nil, fmt.Errorf("ticket: funding %q with %q would create a cycle", dst.name, c.name)
 		}
@@ -462,6 +469,10 @@ func (t *Ticket) Retarget(to Node) error {
 	if dst, ok := to.(*Currency); ok {
 		if dst.destroyed {
 			return fmt.Errorf("ticket: retarget to destroyed currency %q", dst.name)
+		}
+		// As in IssueAs: the root cannot be funded.
+		if dst.isBase {
+			return fmt.Errorf("ticket: cannot fund the base currency")
 		}
 		if dst == t.currency || t.currency.dependsOn(dst) {
 			return fmt.Errorf("ticket: retargeting to %q would create a cycle", dst.name)
