@@ -5,6 +5,18 @@
 //	go test -run xxx -bench . ./internal/rt/ | benchjson -o BENCH_rt.json
 //
 // With -o - (the default) the JSON is written to stdout.
+//
+// With -compare it instead diffs two such records and gates on
+// latency regressions:
+//
+//	benchjson -compare old.json new.json          # fail beyond +10% ns/op
+//	benchjson -tol 0.25 -compare old.json new.json
+//
+// Benchmarks are matched by name and GOMAXPROCS; per-benchmark ns/op
+// deltas are printed for every match, added and removed benchmarks
+// are noted, and the exit status is non-zero when any matched
+// benchmark slowed down by more than -tol (a fraction of the old
+// ns/op).
 package main
 
 import (
@@ -18,7 +30,17 @@ import (
 
 func main() {
 	out := flag.String("o", "-", "output file (- for stdout)")
+	compare := flag.Bool("compare", false, "compare two benchmark JSON files: -compare old.json new.json")
+	tol := flag.Float64("tol", 0.10, "ns/op regression tolerance for -compare, as a fraction (0.10 = +10%)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *tol))
+	}
 
 	set, err := benchfmt.Parse(os.Stdin)
 	if err != nil {
@@ -43,4 +65,55 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+func runCompare(oldPath, newPath string, tol float64) int {
+	oldSet, err := loadSet(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	newSet, err := loadSet(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	deltas := benchfmt.Compare(oldSet, newSet)
+	if len(deltas) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no comparable benchmarks (ns/op) in either file")
+		return 1
+	}
+	for _, d := range deltas {
+		name := fmt.Sprintf("%s-%d", d.Name, d.Procs)
+		switch {
+		case d.NewOnly:
+			fmt.Printf("%-60s %12s %12.1f    (added)\n", name, "-", d.NewNs)
+		case d.OldOnly:
+			fmt.Printf("%-60s %12.1f %12s    (removed)\n", name, d.OldNs, "-")
+		default:
+			fmt.Printf("%-60s %12.1f %12.1f  %+7.1f%%\n", name, d.OldNs, d.NewNs, d.Ratio*100)
+		}
+	}
+	regs := benchfmt.Regressions(deltas, tol)
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond +%.0f%% ns/op:\n", len(regs), tol*100)
+		for _, d := range regs {
+			fmt.Fprintf(os.Stderr, "  %s-%d: %.1f -> %.1f ns/op (%+.1f%%)\n",
+				d.Name, d.Procs, d.OldNs, d.NewNs, d.Ratio*100)
+		}
+		return 1
+	}
+	return 0
+}
+
+func loadSet(path string) (*benchfmt.Set, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	set := new(benchfmt.Set)
+	if err := json.Unmarshal(buf, set); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return set, nil
 }

@@ -82,6 +82,7 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	fs := flag.NewFlagSet("lotteryd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "run-queue shards (0 = GOMAXPROCS)")
 	queueCap := fs.Int("queue", 256, "per-class queue capacity")
 	seed := fs.Uint("seed", 1, "lottery PRNG seed")
 	slice := fs.Duration("slice", 0, "expected slice for compensation tickets (0 = off)")
@@ -106,6 +107,7 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	var rec *rt.EventRecorder
 	cfg := rt.Config{
 		Workers:       *workers,
+		Shards:        *shards,
 		QueueCap:      *queueCap,
 		Seed:          uint32(*seed),
 		ExpectedSlice: *slice,

@@ -20,7 +20,12 @@ import (
 // The analysis is intra-procedural and syntactic about lock identity:
 // a critical section opens at x.Lock()/x.RLock() and closes at the
 // matching x.Unlock()/x.RUnlock() in the same statement list; defer
-// x.Unlock() holds the lock for the rest of the function. Nested
+// x.Unlock() holds the lock for the rest of the function. One helper
+// is modeled specially: `sh := c.lockShard()` (the rt dispatcher's
+// shard-resolution loop) returns with sh.mu held, so the assignment
+// opens a critical section on "sh.mu" that the usual sh.mu.Unlock()
+// closes — per-shard regions get the same hygiene checks as regions
+// opened by a literal Lock call. Nested
 // blocks inherit a copy of the lock set, so an early-unlock-and-return
 // branch does not leak "unlocked" into the fallthrough path. Function
 // literals are only analyzed under the caller's lock set when they are
@@ -89,6 +94,14 @@ func (w *lockWalker) stmt(stmt ast.Stmt, held map[string]token.Pos) {
 			w.expr(arg, held)
 		}
 	case *ast.AssignStmt:
+		// sh := c.lockShard() (and the reacquire form sh = ...) returns
+		// with the shard mutex held: open a section on "<lhs>.mu", the
+		// same key its literal sh.mu.Unlock() will close.
+		if name, ok := w.lockShardAssign(s); ok {
+			w.expr(s.Rhs[0], held)
+			held[name+".mu"] = s.Pos()
+			return
+		}
 		for _, e := range s.Rhs {
 			w.expr(e, held)
 		}
@@ -220,6 +233,33 @@ func (w *lockWalker) flag(pos token.Pos, held map[string]token.Pos, format strin
 	}
 	msg := format
 	w.pass.Reportf(pos, msg+" while %s is held", append(args, lock)...)
+}
+
+// lockShardAssign recognizes `sh := c.lockShard()` / `sh = c.lockShard()`
+// — a single identifier assigned from a method call whose static
+// callee is named lockShard. The helper's contract is that it returns
+// its receiver's shard with that shard's mutex held.
+func (w *lockWalker) lockShardAssign(s *ast.AssignStmt) (name string, ok bool) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return "", false
+	}
+	id, isIdent := s.Lhs[0].(*ast.Ident)
+	if !isIdent || id.Name == "_" {
+		return "", false
+	}
+	call, isCall := s.Rhs[0].(*ast.CallExpr)
+	if !isCall {
+		return "", false
+	}
+	fn := calleeFunc(w.pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "lockShard" {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", false
+	}
+	return id.Name, true
 }
 
 type lockOpKind int

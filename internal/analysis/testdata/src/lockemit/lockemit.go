@@ -123,3 +123,52 @@ func (d *dispatcher) workerLoop() {
 		return
 	}
 }
+
+type shardFix struct {
+	mu  sync.Mutex
+	obs observer
+}
+
+type clientFix struct {
+	sh  *shardFix
+	obs observer
+}
+
+// lockShard mirrors rt.Client.lockShard: it resolves the client's
+// shard and returns with that shard's mutex held.
+func (c *clientFix) lockShard() *shardFix {
+	sh := c.sh
+	sh.mu.Lock()
+	return sh
+}
+
+// shardHelperAcquires: sh := c.lockShard() opens a critical section on
+// sh.mu even though no literal sh.mu.Lock() appears.
+func (c *clientFix) shardHelperAcquires() {
+	sh := c.lockShard()
+	c.obs.Observe(event{10}) // want "observer event emission"
+	sh.mu.Unlock()
+	c.obs.Observe(event{11}) // fine: shard lock released
+}
+
+// shardReacquireLoop mirrors the submit backpressure wait: unlock,
+// block outside the lock, reacquire through the helper — the blocking
+// receive must stay clean and the reacquired region must be checked.
+func (c *clientFix) shardReacquireLoop(ch chan int) {
+	sh := c.lockShard()
+	for i := 0; i < 2; i++ {
+		sh.mu.Unlock()
+		<-ch // fine: shard lock released across the wait
+		sh = c.lockShard()
+		c.obs.Observe(event{12}) // want "observer event emission"
+	}
+	sh.mu.Unlock()
+}
+
+// shardSettleShape is the correct runDrawn pattern: bookkeeping under
+// the shard lock, emission after release.
+func (c *clientFix) shardSettleShape() {
+	sh := c.lockShard()
+	sh.mu.Unlock()
+	c.obs.Observe(event{13}) // fine: emitted outside the shard lock
+}

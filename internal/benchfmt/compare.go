@@ -1,0 +1,79 @@
+package benchfmt
+
+// Delta is the ns/op movement of one benchmark between two parsed
+// runs, matched by Name and Procs. Benchmarks present on only one
+// side are reported with the corresponding -Only flag set so a
+// comparison never silently drops a result.
+type Delta struct {
+	Name    string
+	Procs   int
+	OldNs   float64
+	NewNs   float64
+	Ratio   float64 // NewNs/OldNs - 1; negative is an improvement
+	OldOnly bool    // in old but not new
+	NewOnly bool    // in new but not old
+}
+
+// Matched reports whether the benchmark appeared in both runs with an
+// ns/op metric, making Ratio meaningful.
+func (d Delta) Matched() bool { return !d.OldOnly && !d.NewOnly }
+
+// Compare matches the results of two runs by (Name, Procs) and
+// returns their ns/op deltas, new-run order first, then old-only
+// leftovers in old-run order. Results without an ns/op metric (pure
+// ReportMetric benchmarks) are skipped entirely: they have no
+// latency to regress.
+func Compare(oldSet, newSet *Set) []Delta {
+	type key struct {
+		name  string
+		procs int
+	}
+	oldNs := make(map[key]float64)
+	oldSeen := make(map[key]bool)
+	for _, r := range oldSet.Results {
+		if ns, ok := r.Metrics["ns/op"]; ok {
+			oldNs[key{r.Name, r.Procs}] = ns
+		}
+	}
+	var out []Delta
+	for _, r := range newSet.Results {
+		ns, ok := r.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		k := key{r.Name, r.Procs}
+		prev, matched := oldNs[k]
+		if !matched {
+			out = append(out, Delta{Name: r.Name, Procs: r.Procs, NewNs: ns, NewOnly: true})
+			continue
+		}
+		oldSeen[k] = true
+		d := Delta{Name: r.Name, Procs: r.Procs, OldNs: prev, NewNs: ns}
+		if prev > 0 {
+			d.Ratio = ns/prev - 1
+		}
+		out = append(out, d)
+	}
+	for _, r := range oldSet.Results {
+		k := key{r.Name, r.Procs}
+		if ns, ok := oldNs[k]; ok && !oldSeen[k] {
+			out = append(out, Delta{Name: r.Name, Procs: r.Procs, OldNs: ns, OldOnly: true})
+			oldSeen[k] = true
+		}
+	}
+	return out
+}
+
+// Regressions filters deltas whose ns/op grew by more than tol
+// (a fraction: 0.10 means +10%). Only matched benchmarks count —
+// added or removed benchmarks are visible in the Compare output but
+// are not regressions.
+func Regressions(deltas []Delta, tol float64) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Matched() && d.Ratio > tol {
+			out = append(out, d)
+		}
+	}
+	return out
+}

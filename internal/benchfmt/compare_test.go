@@ -1,0 +1,53 @@
+package benchfmt
+
+import "testing"
+
+func set(results ...Result) *Set { return &Set{Results: results} }
+
+func res(name string, procs int, ns float64) Result {
+	return Result{Name: name, Procs: procs, Iterations: 1, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestCompareMatchesByNameAndProcs(t *testing.T) {
+	oldSet := set(res("BenchmarkA", 1, 100), res("BenchmarkA", 4, 50), res("BenchmarkGone", 1, 10))
+	newSet := set(res("BenchmarkA", 1, 120), res("BenchmarkA", 4, 40), res("BenchmarkNew", 1, 5))
+	deltas := Compare(oldSet, newSet)
+	if len(deltas) != 4 {
+		t.Fatalf("got %d deltas, want 4: %+v", len(deltas), deltas)
+	}
+	if d := deltas[0]; !d.Matched() || d.Ratio < 0.199 || d.Ratio > 0.201 {
+		t.Errorf("BenchmarkA-1: want matched +20%%, got %+v", d)
+	}
+	if d := deltas[1]; !d.Matched() || d.Ratio > -0.199 || d.Ratio < -0.201 {
+		t.Errorf("BenchmarkA-4: want matched -20%%, got %+v", d)
+	}
+	if d := deltas[2]; !d.NewOnly || d.Name != "BenchmarkNew" {
+		t.Errorf("want BenchmarkNew flagged NewOnly, got %+v", d)
+	}
+	if d := deltas[3]; !d.OldOnly || d.Name != "BenchmarkGone" {
+		t.Errorf("want BenchmarkGone flagged OldOnly, got %+v", d)
+	}
+}
+
+func TestCompareSkipsResultsWithoutNsPerOp(t *testing.T) {
+	metricOnly := Result{Name: "BenchmarkRate", Procs: 1, Iterations: 1,
+		Metrics: map[string]float64{"tasks/s": 1e6}}
+	deltas := Compare(set(metricOnly), set(metricOnly))
+	if len(deltas) != 0 {
+		t.Fatalf("metric-only benchmarks should not be compared: %+v", deltas)
+	}
+}
+
+func TestRegressionsApplyTolerance(t *testing.T) {
+	oldSet := set(res("BenchmarkA", 1, 100), res("BenchmarkB", 1, 100), res("BenchmarkC", 1, 100))
+	newSet := set(res("BenchmarkA", 1, 109), res("BenchmarkB", 1, 111), res("BenchmarkD", 1, 1e6))
+	regs := Regressions(Compare(oldSet, newSet), 0.10)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkB" {
+		t.Fatalf("want exactly BenchmarkB beyond +10%%, got %+v", regs)
+	}
+	// An added benchmark (BenchmarkD) is never a regression, however
+	// slow; a removed one (BenchmarkC) is not either.
+	if regs := Regressions(Compare(oldSet, newSet), 0.15); len(regs) != 0 {
+		t.Fatalf("no delta exceeds +15%%, got %+v", regs)
+	}
+}

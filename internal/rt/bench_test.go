@@ -2,6 +2,8 @@ package rt
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -13,9 +15,10 @@ import (
 
 // benchDispatch measures end-to-end dispatch throughput: tasks/sec
 // from Submit through worker pickup to completion, with nclients
-// competing for the pool.
+// competing for the pool. Shards is pinned to 1 so the serial numbers
+// stay comparable with the pre-sharding history in BENCH_rt.json.
 func benchDispatch(b *testing.B, nclients int) {
-	benchDispatchCfg(b, nclients, Config{Workers: 2, QueueCap: 4096, Seed: 42})
+	benchDispatchCfg(b, nclients, Config{Workers: 2, Shards: 1, QueueCap: 4096, Seed: 42})
 }
 
 func benchDispatchCfg(b *testing.B, nclients int, cfg Config) {
@@ -52,6 +55,54 @@ func benchDispatchCfg(b *testing.B, nclients int, cfg Config) {
 func BenchmarkDispatchThroughput(b *testing.B) {
 	b.Run("uncontended", func(b *testing.B) { benchDispatch(b, 1) })
 	b.Run("contended", func(b *testing.B) { benchDispatch(b, 8) })
+	b.Run("parallel/shards=1", func(b *testing.B) { benchDispatchParallel(b, 1) })
+	b.Run("parallel/shards=max", func(b *testing.B) { benchDispatchParallel(b, runtime.GOMAXPROCS(0)) })
+}
+
+// benchDispatchParallel is the contended-submit throughput probe: as
+// many submitter goroutines as GOMAXPROCS (b.RunParallel, so -cpu
+// sets the level) firing detached tasks at 8 clients, against either
+// a single shard (the pre-sharding dispatcher, one lock) or one shard
+// per proc. SubmitDetached keeps the steady-state path allocation-free
+// — ReportAllocs is the regression gate for the pooled task path.
+func benchDispatchParallel(b *testing.B, shards int) {
+	const nclients = 8
+	d := New(Config{
+		Workers:  runtime.GOMAXPROCS(0),
+		Shards:   shards,
+		QueueCap: 4096,
+		Seed:     42,
+	})
+	defer d.Close()
+	clients := make([]*Client, nclients)
+	for i := range clients {
+		c, err := d.NewClient(fmt.Sprintf("c%d", i), ticket.Amount(100*(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[i] = c
+	}
+	var wg sync.WaitGroup
+	var nextClient atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// One completion closure per submitter goroutine, hoisted out
+		// of the loop: the steady-state iteration must not allocate.
+		fn := func() { wg.Done() }
+		c := clients[int(nextClient.Add(1))%nclients]
+		for pb.Next() {
+			wg.Add(1)
+			if err := c.SubmitDetached(fn); err != nil {
+				wg.Done()
+				b.Error(err)
+				return
+			}
+		}
+	})
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
 }
 
 // BenchmarkObserverOverhead prices the observability hooks on the
@@ -62,7 +113,7 @@ func BenchmarkDispatchThroughput(b *testing.B) {
 // live observer; "recorder" is the bounded EventRecorder ring;
 // "metrics" adds a registry exporting every per-client family.
 func BenchmarkObserverOverhead(b *testing.B) {
-	base := Config{Workers: 2, QueueCap: 4096, Seed: 42}
+	base := Config{Workers: 2, Shards: 1, QueueCap: 4096, Seed: 42}
 	b.Run("nil", func(b *testing.B) { benchDispatchCfg(b, 8, base) })
 	b.Run("counting", func(b *testing.B) {
 		var n atomic.Uint64

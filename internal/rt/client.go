@@ -2,7 +2,6 @@ package rt
 
 import (
 	"context"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -37,6 +36,14 @@ func WithOverflow(p OverflowPolicy) ClientOption { return func(c *Client) { c.po
 // backed by ticket funding. Clients are created via Dispatcher.
 // NewClient or Tenant.NewClient and retired with Leave. All methods
 // are safe for concurrent use.
+//
+// Every client is homed on one dispatcher shard at a time (sh); its
+// queue, tree membership, compensation, and counters are guarded by
+// that shard's mutex, reached through lockShard (the rebalancer may
+// migrate the client, so the home is re-checked under the lock).
+// Graph-derived state (fundingVal, left, torn) is written while
+// holding both the shard mutex and graphMu, and may be read under
+// either.
 type Client struct {
 	d       *Dispatcher
 	tenant  *Tenant
@@ -44,7 +51,15 @@ type Client struct {
 	holder  *ticket.Holder
 	funding *ticket.Ticket // tenant currency -> holder
 	policy  OverflowPolicy
-	notFull *sync.Cond // queue has room (Block submitters wait here)
+
+	// sh is the client's current home shard, written only by the
+	// rebalancer (holding both shard mutexes) and at creation.
+	sh atomic.Pointer[shard]
+
+	// waitCh, when non-nil, is closed to wake Block-policy submitters
+	// waiting for queue room; each waiter round lazily allocates a
+	// fresh channel. Guarded by the home shard's mutex.
+	waitCh chan struct{}
 
 	// Queue: slice-backed FIFO with a head index; compacted on empty.
 	queue []*Task
@@ -54,9 +69,17 @@ type Client struct {
 	item   lottery.TreeItem // valid while inTree
 	inTree bool
 	comp   float64 // compensation multiplier (>= 1)
-	left   bool    // Leave called: no new submissions
-	torn   bool    // funding destroyed, removed from dispatcher
-	lent   bool    // funding currently transferred via WaitOn
+
+	// fundingVal caches holder.Value() in base units, refreshed under
+	// graphMu whenever the client (re)enters the lottery or its shard
+	// reweighs after a graph mutation. The client's lottery weight is
+	// fundingVal×comp, so the steady-state draw/settle path never
+	// takes the graph lock.
+	fundingVal float64
+
+	left bool // Leave called: no new submissions
+	torn bool // funding destroyed, removed from dispatcher
+	lent bool // funding currently transferred via WaitOn; guarded by graphMu
 
 	// dispatchSeq counts dispatches handed to workers. Compensation
 	// settlement is tagged with the sequence it was dispatched under
@@ -65,8 +88,8 @@ type Client struct {
 	// client already consumed by winning again on another worker.
 	dispatchSeq uint64
 
-	// Stats. Counters written under d.mu are plain; panics is atomic
-	// because workers record it outside the lock.
+	// Stats. Counters written under the shard mutex are plain; panics
+	// is atomic because workers record it outside the lock.
 	submittedN  uint64
 	rejectedN   uint64
 	dispatchedN uint64
@@ -76,7 +99,7 @@ type Client struct {
 	// Metric instruments, bound at creation (bindMetrics): registry
 	// series when the dispatcher exports metrics, standalone
 	// otherwise. All are atomic, so workers update them outside the
-	// dispatcher lock. waitHist is the single source for wait-latency
+	// dispatcher locks. waitHist is the single source for wait-latency
 	// quantiles, shared by Snapshot and /metrics scrapes.
 	mSubmitted  *metrics.Counter
 	mDispatched *metrics.Counter
@@ -93,6 +116,11 @@ func (c *Client) Name() string { return c.name }
 // Tenant returns the tenant whose currency funds the client.
 func (c *Client) Tenant() *Tenant { return c.tenant }
 
+// weight is the client's lottery weight: its cached funding in base
+// units scaled by its compensation multiplier. Called under the home
+// shard's mutex.
+func (c *Client) weight() float64 { return c.fundingVal * c.comp }
+
 // Submit enqueues fn for dispatch and returns a handle to wait on.
 // Under the Block policy it blocks while the queue is full; under
 // Reject it fails fast with ErrQueueFull. It fails with ErrClosed
@@ -101,7 +129,7 @@ func (c *Client) Submit(fn func()) (*Task, error) {
 	if fn == nil {
 		panic("rt: Submit with nil task")
 	}
-	return c.submit(context.Background(), fn)
+	return c.submit(context.Background(), fn, false)
 }
 
 // SubmitCtx is Submit bound to a context. Cancelling ctx (or its
@@ -119,87 +147,159 @@ func (c *Client) SubmitCtx(ctx context.Context, fn func()) (*Task, error) {
 	if fn == nil {
 		panic("rt: Submit with nil task")
 	}
-	return c.submit(ctx, fn)
+	return c.submit(ctx, fn, false)
 }
 
-func (c *Client) submit(ctx context.Context, fn func()) (*Task, error) {
+// SubmitDetached enqueues fn fire-and-forget: no handle is returned,
+// so completion cannot be awaited and a panic in fn is visible only
+// through counters and events. In exchange the Task bookkeeping is
+// recycled through a pool, making the steady-state submit path
+// allocation-free — the right trade for high-rate workloads that
+// track completion out of band.
+func (c *Client) SubmitDetached(fn func()) error {
+	if fn == nil {
+		panic("rt: Submit with nil task")
+	}
+	_, err := c.submit(context.Background(), fn, true)
+	return err
+}
+
+func (c *Client) submit(ctx context.Context, fn func(), detached bool) (*Task, error) {
 	d := c.d
 	cancellable := ctx.Done() != nil
 	if cancellable {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		// Wake this submitter out of a Block-policy wait when the
-		// context fires while the queue is full.
-		stopWake := context.AfterFunc(ctx, func() {
-			d.mu.Lock()
-			c.notFull.Broadcast()
-			d.mu.Unlock()
-		})
-		defer stopWake()
 	}
-	d.mu.Lock()
-	for c.policy == Block && c.pendingLocked() >= c.qcap && !d.closed && !c.left {
-		if cancellable && ctx.Err() != nil {
-			break
+	var t *Task
+	if detached {
+		t = d.taskPool.Get().(*Task)
+	} else {
+		t = &Task{done: make(chan struct{})}
+	}
+	t.client = c
+	t.ctx = ctx
+	t.fn = fn
+	t.detached = detached
+	t.state = taskQueued
+
+	sh := c.lockShard()
+	for c.policy == Block && c.pendingLocked() >= c.qcap && !d.closed.Load() && !c.left {
+		// Wait for room off the shard lock: waiters share a channel
+		// whose close is the broadcast (a sync.Cond cannot follow the
+		// client across a shard migration).
+		ch := c.waitChLocked()
+		sh.mu.Unlock()
+		if cancellable {
+			select {
+			case <-ch:
+			case <-ctx.Done():
+			}
+			if err := ctx.Err(); err != nil {
+				if detached {
+					d.recycle(t)
+				}
+				return nil, err
+			}
+		} else {
+			<-ch
 		}
-		c.notFull.Wait()
+		sh = c.lockShard()
 	}
-	if cancellable && ctx.Err() != nil {
-		d.mu.Unlock()
-		return nil, ctx.Err()
-	}
-	if d.closed {
-		d.mu.Unlock()
-		return nil, ErrClosed
-	}
-	if c.left {
-		d.mu.Unlock()
-		return nil, ErrClientLeft
-	}
-	if c.pendingLocked() >= c.qcap {
+	var fail error
+	switch {
+	case d.closed.Load():
+		fail = ErrClosed
+	case c.left:
+		fail = ErrClientLeft
+	case c.pendingLocked() >= c.qcap:
 		c.rejectedN++
 		c.mRejected.Inc()
-		d.mu.Unlock()
-		if d.obs != nil {
+		fail = ErrQueueFull
+	}
+	if fail != nil {
+		sh.mu.Unlock()
+		if detached {
+			d.recycle(t)
+		}
+		if fail == ErrQueueFull && d.obs != nil {
 			d.obs.Observe(Event{At: time.Now(), Kind: EventReject, Client: c.name, Tenant: c.tenant.name})
 		}
-		return nil, ErrQueueFull
+		return nil, fail
 	}
-	t := &Task{client: c, ctx: ctx, fn: fn, enqueued: time.Now(), done: make(chan struct{})}
+	enqueued := time.Now()
+	t.enqueued = enqueued
 	c.queue = append(c.queue, t)
 	c.submittedN++
 	c.mSubmitted.Inc()
 	c.mDepth.Add(1)
-	d.pending++
+	sh.pending++
+	d.totalPending.Add(1)
 	if c.pendingLocked() == 1 {
-		// Empty -> nonempty: the client starts competing. Activating
-		// the holder can change same-tenant siblings' weights too, so
-		// mark all weights dirty rather than computing just this one.
-		c.holder.SetActive(true)
-		c.item = d.tree.Add(c, d.weightLocked(c))
-		c.inTree = true
-		d.weightsDirty = true
+		c.activateLocked(sh)
 	}
 	if cancellable {
 		// Registered under the lock so t.stop is visible to whichever
 		// worker (or cancel path) finishes the task.
 		t.stop = context.AfterFunc(ctx, func() { d.cancelQueued(t) })
 	}
-	d.work.Signal()
-	d.mu.Unlock()
+	sh.publishLocked()
+	sh.mu.Unlock()
+	d.wake()
 	if d.obs != nil {
-		d.obs.Observe(Event{At: t.enqueued, Kind: EventSubmit, Client: c.name, Tenant: c.tenant.name})
+		// Event fields come from locals and the client, never from t: a
+		// detached task may already have run and been recycled by now.
+		d.obs.Observe(Event{At: enqueued, Kind: EventSubmit, Client: c.name, Tenant: c.tenant.name})
+	}
+	if detached {
+		// The pool owns the handle from here; callers get only an error.
+		return nil, nil
 	}
 	return t, nil
+}
+
+// activateLocked is the empty -> nonempty transition: the client
+// starts competing. Activating the holder can change same-tenant
+// siblings' weights too (even on other shards), so the epoch is
+// bumped for everyone; this client's own weight is refreshed here so
+// its tree entry is born current.
+func (c *Client) activateLocked(sh *shard) {
+	d := c.d
+	d.graphMu.Lock()
+	c.holder.SetActive(true)
+	c.fundingVal = c.holder.Value()
+	d.weightEpoch.Add(1)
+	d.graphMu.Unlock()
+	c.item = sh.tree.Add(c, c.weight())
+	c.inTree = true
 }
 
 // pendingLocked returns the queued (not yet dispatched) task count.
 func (c *Client) pendingLocked() int { return len(c.queue) - c.head }
 
+// waitChLocked returns the channel the next room-wait round blocks
+// on, allocating it on first use.
+func (c *Client) waitChLocked() chan struct{} {
+	if c.waitCh == nil {
+		c.waitCh = make(chan struct{})
+	}
+	return c.waitCh
+}
+
+// wakeWaitersLocked wakes every Block-policy submitter currently
+// waiting for queue room (close is the broadcast). No-op when nobody
+// waits, so hot paths pay nothing.
+func (c *Client) wakeWaitersLocked() {
+	if c.waitCh != nil {
+		close(c.waitCh)
+		c.waitCh = nil
+	}
+}
+
 // popLocked removes the queue head and marks it running; the caller
-// guarantees the queue is nonempty.
-func (c *Client) popLocked() *Task {
+// guarantees the queue is nonempty and holds sh (the client's home).
+func (c *Client) popLocked(sh *shard) *Task {
 	t := c.queue[c.head]
 	c.queue[c.head] = nil
 	c.head++
@@ -209,9 +309,11 @@ func (c *Client) popLocked() *Task {
 	}
 	t.state = taskRunning
 	c.mDepth.Add(-1)
-	c.d.pending--
+	sh.pending--
+	c.d.totalPending.Add(-1)
+	c.wakeWaitersLocked()
 	if c.pendingLocked() == 0 {
-		c.emptiedLocked()
+		c.emptiedLocked(sh)
 	}
 	return t
 }
@@ -219,7 +321,7 @@ func (c *Client) popLocked() *Task {
 // removeQueuedLocked splices a still-queued task out of the FIFO,
 // reclaiming its slot for a blocked submitter. Reports whether the
 // task was found.
-func (c *Client) removeQueuedLocked(t *Task) bool {
+func (c *Client) removeQueuedLocked(sh *shard, t *Task) bool {
 	for i := c.head; i < len(c.queue); i++ {
 		if c.queue[i] != t {
 			continue
@@ -232,10 +334,11 @@ func (c *Client) removeQueuedLocked(t *Task) bool {
 			c.head = 0
 		}
 		c.mDepth.Add(-1)
-		c.d.pending--
-		c.notFull.Signal()
+		sh.pending--
+		c.d.totalPending.Add(-1)
+		c.wakeWaitersLocked()
 		if c.pendingLocked() == 0 {
-			c.emptiedLocked()
+			c.emptiedLocked(sh)
 		}
 		return true
 	}
@@ -244,13 +347,16 @@ func (c *Client) removeQueuedLocked(t *Task) bool {
 
 // emptiedLocked is the nonempty -> empty transition: the client stops
 // competing and, if it has left, is torn down.
-func (c *Client) emptiedLocked() {
-	c.d.tree.Remove(c.item)
+func (c *Client) emptiedLocked(sh *shard) {
+	d := c.d
+	sh.tree.Remove(c.item)
 	c.inTree = false
+	d.graphMu.Lock()
 	c.holder.SetActive(false)
-	c.d.weightsDirty = true
+	d.weightEpoch.Add(1)
+	d.graphMu.Unlock()
 	if c.left && !c.torn {
-		c.teardownLocked()
+		c.teardownLocked(sh)
 	}
 }
 
@@ -260,22 +366,22 @@ func (c *Client) emptiedLocked() {
 // untouched.
 func (c *Client) SetTickets(amount ticket.Amount) error {
 	d := c.d
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.graphMu.Lock()
+	defer d.graphMu.Unlock()
 	if c.torn {
 		return ErrClientLeft
 	}
 	if err := c.funding.SetAmount(amount); err != nil {
 		return err
 	}
-	d.weightsDirty = true
+	d.weightEpoch.Add(1)
 	return nil
 }
 
 // Tickets returns the client's funding amount in its tenant currency.
 func (c *Client) Tickets() ticket.Amount {
-	c.d.mu.Lock()
-	defer c.d.mu.Unlock()
+	c.d.graphMu.Lock()
+	defer c.d.graphMu.Unlock()
 	return c.funding.Amount()
 }
 
@@ -284,16 +390,18 @@ func (c *Client) Tickets() ticket.Amount {
 // client's tickets (and, for a dedicated tenant, its currency) are
 // destroyed. Blocked submitters are woken with ErrClientLeft.
 func (c *Client) Leave() {
-	d := c.d
-	d.mu.Lock()
+	sh := c.lockShard()
 	if !c.left {
+		d := c.d
+		d.graphMu.Lock()
 		c.left = true
-		c.notFull.Broadcast()
+		d.graphMu.Unlock()
+		c.wakeWaitersLocked()
 		if c.pendingLocked() == 0 && !c.torn {
-			c.teardownLocked()
+			c.teardownLocked(sh)
 		}
 	}
-	d.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // Abandon retires the client immediately: new submissions fail with
@@ -302,11 +410,13 @@ func (c *Client) Leave() {
 // finishes normally. Use Leave to let queued work drain instead.
 func (c *Client) Abandon() {
 	d := c.d
-	d.mu.Lock()
+	sh := c.lockShard()
 	var dropped []*Task
 	if !c.torn {
+		d.graphMu.Lock()
 		c.left = true
-		c.notFull.Broadcast()
+		d.graphMu.Unlock()
+		c.wakeWaitersLocked()
 		if n := c.pendingLocked(); n > 0 {
 			dropped = append(dropped, c.queue[c.head:]...)
 			for _, t := range dropped {
@@ -315,14 +425,19 @@ func (c *Client) Abandon() {
 			c.mDepth.Add(float64(-n))
 			c.queue = c.queue[:0]
 			c.head = 0
-			d.pending -= n
-			d.tree.Remove(c.item)
+			sh.pending -= n
+			d.totalPending.Add(int64(-n))
+			sh.tree.Remove(c.item)
 			c.inTree = false
+			d.graphMu.Lock()
 			c.holder.SetActive(false)
+			d.weightEpoch.Add(1)
+			d.graphMu.Unlock()
 		}
-		c.teardownLocked()
+		c.teardownLocked(sh)
+		sh.publishLocked()
 	}
-	d.mu.Unlock()
+	sh.mu.Unlock()
 	for _, t := range dropped {
 		if d.obs != nil {
 			d.obs.Observe(Event{At: time.Now(), Kind: EventCancel, Client: c.name,
@@ -333,15 +448,20 @@ func (c *Client) Abandon() {
 }
 
 // teardownLocked destroys the client's funding and removes it from
-// the dispatcher. Called with the queue empty and not in the tree.
-func (c *Client) teardownLocked() {
+// its shard. Called with the queue empty, the client out of the tree,
+// and sh (the home shard) locked.
+func (c *Client) teardownLocked(sh *shard) {
+	d := c.d
+	d.graphMu.Lock()
 	c.torn = true
 	c.lent = false
 	c.funding.Destroy()
 	c.tenant.clients--
 	if c.tenant.dedicated && c.tenant.clients == 0 {
-		c.tenant.teardownLocked()
+		c.tenant.teardownGraphLocked()
 	}
-	c.d.removeClientLocked(c)
-	c.d.weightsDirty = true
+	d.weightEpoch.Add(1)
+	d.graphMu.Unlock()
+	sh.removeClientLocked(c)
+	d.clientsN.Add(-1)
 }

@@ -2,6 +2,7 @@ package rt
 
 import (
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -46,35 +47,32 @@ func TestShareConformance(t *testing.T) {
 	// park stalls every worker on a blocking task from a massively
 	// funded gate client (it wins the next draws almost surely even
 	// with other clients competing), so backlogs can be rebuilt without
-	// the pool draining them concurrently. It returns the function that
-	// releases the workers.
+	// the pool draining them concurrently. Gate tasks are submitted one
+	// at a time, each waiting until the task has actually started
+	// running: with batched draws, two gate tasks submitted together
+	// would likely land in one worker's batch and pin one worker
+	// instead of two. Batch-mates drawn alongside a gate task are
+	// already counted as dispatched, so they cannot distort a window
+	// measured from a later baseline. Returns the release function.
 	park := func(name string) (release func()) {
 		t.Helper()
 		gateDone := make(chan struct{})
+		var running atomic.Int32
 		g, err := d.NewClient(name, 1_000_000)
 		if err != nil {
 			t.Fatal(err)
 		}
+		deadline := time.Now().Add(time.Minute)
 		for i := 0; i < d.Workers(); i++ {
-			if _, err := g.Submit(func() { <-gateDone }); err != nil {
+			if _, err := g.Submit(func() { running.Add(1); <-gateDone }); err != nil {
 				t.Fatal(err)
 			}
-		}
-		deadline := time.Now().Add(time.Minute)
-		for {
-			var got uint64
-			for _, c := range d.Snapshot().Clients {
-				if c.Name == name {
-					got = c.Dispatched
+			for running.Load() < int32(i+1) {
+				if time.Now().After(deadline) {
+					t.Fatalf("workers never parked on %s (%d/%d)", name, running.Load(), d.Workers())
 				}
+				runtime.Gosched()
 			}
-			if got == uint64(d.Workers()) {
-				break
-			}
-			if time.Now().After(deadline) {
-				t.Fatalf("workers never parked on %s", name)
-			}
-			runtime.Gosched()
 		}
 		g.Leave()
 		return func() { close(gateDone) }

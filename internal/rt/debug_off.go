@@ -2,6 +2,6 @@
 
 package rt
 
-// debugCheckLocked is a no-op in the default build; the lotterydebug
-// build tag swaps in the full invariant sweep (see debug_on.go).
-func (d *Dispatcher) debugCheckLocked() {}
+// debugCheck is a no-op in the default build; the lotterydebug build
+// tag swaps in the full invariant sweep (see debug_on.go).
+func (d *Dispatcher) debugCheck() {}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,18 +38,42 @@ const maxCompensation = 1000.0
 // resolution.
 const minElapsed = time.Microsecond
 
+// batchK is the maximum winners a worker draws per shard-lock
+// acquisition. Batching only engages while the global backlog exceeds
+// Workers×batchK queued tasks: below that, a worker could hoard tasks
+// other idle workers should run (and a latency-sensitive light load
+// gains nothing from batching anyway), so each acquisition draws one.
+const batchK = 8
+
+// passRenorm bounds the per-worker stride passes: when the leader's
+// virtual time exceeds it, all passes are shifted down together, which
+// preserves their differences (the only thing stride compares).
+const passRenorm = 1e12
+
+// defaultRebalanceEvery is the rebalancer period when the config
+// leaves it zero.
+const defaultRebalanceEvery = 100 * time.Millisecond
+
 // Config parameterizes a Dispatcher. The zero value is usable: a
-// worker per processor, 1024-entry queues, and no compensation.
+// worker per processor, a shard per processor, 1024-entry queues, and
+// no compensation.
 type Config struct {
 	// Workers is the size of the worker pool; default GOMAXPROCS.
 	Workers int
+	// Shards is the number of run-queue shards clients are spread
+	// across; default GOMAXPROCS. Each shard has its own mutex,
+	// lottery tree, and PRNG stream, so clients on different shards
+	// never contend. One shard reproduces the old single-lock
+	// behavior exactly.
+	Shards int
 	// QueueCap is the default per-client queue bound; default 1024.
 	// Individual clients can override it with WithQueueCap.
 	QueueCap int
-	// Seed seeds the dispatcher's Park-Miller lottery stream;
+	// Seed seeds the dispatcher's Park-Miller lottery streams (one
+	// independent stream per shard, split from this master seed);
 	// default 1. Note that under real concurrency the *assignment*
 	// of wins to wall-clock instants is not reproducible — only the
-	// draw stream itself is.
+	// per-shard draw streams themselves are.
 	Seed uint32
 	// ExpectedSlice enables wall-clock compensation tickets (§3.4):
 	// a task that completes in elapsed < ExpectedSlice boosts its
@@ -57,16 +82,22 @@ type Config struct {
 	ExpectedSlice time.Duration
 	// MaxCompensation caps the compensation multiplier; default 1000.
 	MaxCompensation float64
+	// RebalanceEvery is the period of the shard-weight rebalancer,
+	// which migrates clients from the heaviest to the lightest shard
+	// when their published total weights drift apart; default 100ms.
+	// Negative disables rebalancing. With one shard there is nothing
+	// to balance and no goroutine is started.
+	RebalanceEvery time.Duration
 	// Observer, when non-nil, receives a structured Event for every
 	// submit, dispatch, completion, cancellation, rejection, panic,
 	// compensation grant, and ticket transfer. Nil disables emission
 	// entirely (see Observer for the contract and cost).
 	Observer Observer
 	// Metrics, when non-nil, receives the dispatcher's metric
-	// families (rt_* totals, per-client counters, and wait-latency
-	// histograms) for Prometheus exposition. One registry serves one
-	// dispatcher. Nil disables exporting; Snapshot percentiles work
-	// either way.
+	// families (rt_* totals, per-client counters, per-shard weight
+	// and depth gauges, and wait-latency histograms) for Prometheus
+	// exposition. One registry serves one dispatcher. Nil disables
+	// exporting; Snapshot percentiles work either way.
 	Metrics *metrics.Registry
 }
 
@@ -74,26 +105,56 @@ type Config struct {
 // goroutines among clients using lottery scheduling. Create one with
 // New, add clients with NewClient or NewTenant, and stop it with
 // Close. All methods are safe for concurrent use.
+//
+// Internally the dispatcher is sharded: clients are spread across
+// Config.Shards run queues, each with its own mutex, lottery tree,
+// and PRNG stream. Workers pick a shard by a per-worker stride walk
+// over the shards' published total weights (the inter-shard level of
+// a two-level lottery) and then draw winners inside the shard's own
+// tree, so global proportional share is preserved while submits and
+// draws on different shards proceed in parallel. The ticket currency
+// graph itself stays global behind graphMu and is touched off the
+// draw path only when it actually changes (see weightEpoch).
 type Dispatcher struct {
-	mu      sync.Mutex
-	work    *sync.Cond // signaled when a client gains pending work or Close begins
-	tree    *lottery.Tree[*Client]
-	rng     *random.PM // guarded by mu
+	shards []*shard
+
+	// graphMu guards the ticket system: the currency graph is not
+	// concurrency-safe and even valuation mutates memo caches, so
+	// every Issue/Retarget/SetActive/Value goes through here. Lock
+	// order: a shard's mu may be held when taking graphMu, never the
+	// reverse.
+	graphMu sync.Mutex
 	tickets *ticket.System
 	base    *ticket.Currency
-	clients []*Client
-	pending int // queued tasks across all clients
-	closed  bool
 
-	// rr is the rotation cursor for the zero-total-weight fallback:
-	// with no funded pending client, service degrades to round-robin
-	// over the in-tree clients rather than starving all but one.
-	rr int
+	// weightEpoch is bumped (under graphMu) by every ticket-graph
+	// mutation; each shard lazily reweighs its tree when it notices
+	// its own epoch is stale. This keeps the graph lock entirely off
+	// the steady-state draw path.
+	weightEpoch atomic.Uint64
 
-	// weightsDirty is set by any ticket-graph mutation (activation,
-	// funding change, transfer); the next draw refreshes every
-	// in-tree weight once, amortizing reweighs across mutations.
-	weightsDirty bool
+	closed atomic.Bool
+
+	// Idle-worker parking. Workers with nothing to do anywhere wait
+	// on idleCond; submitters consult the idlersHint atomic first and
+	// take idleMu only when somebody might actually be asleep, so a
+	// saturated system never touches this lock.
+	idleMu     sync.Mutex
+	idleCond   *sync.Cond
+	idlers     int // guarded by idleMu
+	idlersHint atomic.Int32
+
+	// totalPending counts queued tasks across all shards. It is the
+	// park/exit condition for workers and the batching threshold.
+	totalPending atomic.Int64
+
+	nextShard atomic.Uint32 // round-robin placement cursor for new clients
+	clientsN  atomic.Int64  // registered clients across all shards
+
+	// taskPool recycles Task structs on the detached submit path
+	// (SubmitDetached), where the caller keeps no handle and the
+	// struct can be reused the moment the task finishes.
+	taskPool sync.Pool
 
 	slice    time.Duration
 	maxComp  float64
@@ -110,13 +171,21 @@ type Dispatcher struct {
 	dispatched atomic.Uint64
 	completed  atomic.Uint64
 	panicked   atomic.Uint64
-	cancelled  uint64 // tasks cancelled while queued; guarded by mu
+	cancelled  atomic.Uint64 // tasks cancelled while queued
+	rebalanced atomic.Uint64 // clients migrated between shards
+
+	balEvery time.Duration
+	balStop  chan struct{}
+	balOnce  sync.Once
 }
 
 // New creates a dispatcher and starts its worker pool.
 func New(cfg Config) *Dispatcher {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 1024
@@ -127,30 +196,51 @@ func New(cfg Config) *Dispatcher {
 	if cfg.MaxCompensation <= 1 {
 		cfg.MaxCompensation = maxCompensation
 	}
+	if cfg.RebalanceEvery == 0 {
+		cfg.RebalanceEvery = defaultRebalanceEvery
+	}
 	d := &Dispatcher{
-		tree:     lottery.NewTree[*Client](16),
-		rng:      random.NewPM(cfg.Seed),
 		tickets:  ticket.NewSystem(),
 		slice:    cfg.ExpectedSlice,
 		maxComp:  cfg.MaxCompensation,
 		workers:  cfg.Workers,
 		queueCap: cfg.QueueCap,
 		obs:      cfg.Observer,
+		balEvery: cfg.RebalanceEvery,
+		balStop:  make(chan struct{}),
+	}
+	d.idleCond = sync.NewCond(&d.idleMu)
+	d.taskPool.New = func() any { return new(Task) }
+	d.base = d.tickets.Base()
+	rngs := random.NewSharded(cfg.Seed, cfg.Shards)
+	d.shards = make([]*shard, cfg.Shards)
+	for i := range d.shards {
+		d.shards[i] = &shard{
+			d:    d,
+			id:   i,
+			tree: lottery.NewTree[*Client](16),
+			rng:  rngs.Shard(i),
+		}
 	}
 	if cfg.Metrics != nil {
 		d.m = newRTMetrics(cfg.Metrics, d)
 	}
-	d.work = sync.NewCond(&d.mu)
-	d.base = d.tickets.Base()
 	d.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go d.worker()
+		go d.worker(i)
+	}
+	if cfg.Shards > 1 && cfg.RebalanceEvery > 0 {
+		d.wg.Add(1)
+		go d.rebalancer()
 	}
 	return d
 }
 
 // Workers returns the pool size.
 func (d *Dispatcher) Workers() int { return d.workers }
+
+// Shards returns the number of run-queue shards.
+func (d *Dispatcher) Shards() int { return len(d.shards) }
 
 // Close stops accepting new work, wakes blocked submitters with
 // ErrClosed, drains every queued task, waits for in-flight tasks to
@@ -172,15 +262,19 @@ func (d *Dispatcher) CloseTimeout(timeout time.Duration) error {
 // for — a running task is never interrupted. It returns nil after a
 // full graceful drain and ctx.Err() if the backlog was cut short.
 func (d *Dispatcher) CloseCtx(ctx context.Context) error {
-	d.mu.Lock()
-	if !d.closed {
-		d.closed = true
-		d.work.Broadcast()
-		for _, c := range d.clients {
-			c.notFull.Broadcast()
+	if d.closed.CompareAndSwap(false, true) {
+		d.balOnce.Do(func() { close(d.balStop) })
+		for _, sh := range d.shards {
+			sh.mu.Lock()
+			for _, c := range sh.clients {
+				c.wakeWaitersLocked()
+			}
+			sh.mu.Unlock()
 		}
+		d.idleMu.Lock()
+		d.idleCond.Broadcast()
+		d.idleMu.Unlock()
 	}
-	d.mu.Unlock()
 	if ctx.Done() == nil {
 		d.wg.Wait()
 		return nil
@@ -205,32 +299,41 @@ func (d *Dispatcher) CloseCtx(ctx context.Context) error {
 }
 
 // discardQueued empties every client queue after a drain deadline,
-// returning the dropped tasks for completion outside the lock.
+// returning the dropped tasks for completion outside the locks.
 // Teardown of left clients is skipped: the dispatcher is dying and
 // the whole ticket system dies with it.
 func (d *Dispatcher) discardQueued() []*Task {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	var dropped []*Task
-	for _, c := range d.clients {
-		n := c.pendingLocked()
-		if n == 0 {
-			continue
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		for _, c := range sh.clients {
+			n := c.pendingLocked()
+			if n == 0 {
+				continue
+			}
+			for _, t := range c.queue[c.head:] {
+				t.state = taskDone
+				dropped = append(dropped, t)
+			}
+			c.mDepth.Add(float64(-n))
+			c.queue = c.queue[:0]
+			c.head = 0
+			sh.pending -= n
+			d.totalPending.Add(int64(-n))
+			sh.tree.Remove(c.item)
+			c.inTree = false
+			d.graphMu.Lock()
+			c.holder.SetActive(false)
+			d.weightEpoch.Add(1)
+			d.graphMu.Unlock()
+			c.wakeWaitersLocked()
 		}
-		for _, t := range c.queue[c.head:] {
-			t.state = taskDone
-			dropped = append(dropped, t)
-		}
-		c.mDepth.Add(float64(-n))
-		c.queue = c.queue[:0]
-		c.head = 0
-		d.pending -= n
-		d.tree.Remove(c.item)
-		c.inTree = false
-		c.holder.SetActive(false)
-		d.weightsDirty = true
+		sh.publishLocked()
+		sh.mu.Unlock()
 	}
-	d.work.Broadcast()
+	d.idleMu.Lock()
+	d.idleCond.Broadcast()
+	d.idleMu.Unlock()
 	return dropped
 }
 
@@ -239,128 +342,323 @@ func (d *Dispatcher) discardQueued() []*Task {
 // context's error. A task already running is left alone.
 func (d *Dispatcher) cancelQueued(t *Task) {
 	c := t.client
-	d.mu.Lock()
-	if t.state != taskQueued || !c.removeQueuedLocked(t) {
-		d.mu.Unlock()
+	sh := c.lockShard()
+	if t.state != taskQueued || !c.removeQueuedLocked(sh, t) {
+		sh.mu.Unlock()
 		return
 	}
 	t.state = taskDone
 	c.cancelledN++
 	c.mCancelled.Inc()
-	d.cancelled++
-	d.mu.Unlock()
+	d.cancelled.Add(1)
+	sh.publishLocked()
+	sh.mu.Unlock()
 	err := t.ctx.Err()
 	if d.obs != nil {
 		d.obs.Observe(Event{At: time.Now(), Kind: EventCancel,
 			Client: c.name, Tenant: c.tenant.name, Err: err.Error()})
 	}
 	t.finish(err)
+	d.debugCheck()
 }
 
-// worker is one pool goroutine: wait for pending work, win it by
-// lottery, run it with panic isolation, settle compensation, repeat.
-// Exits when the dispatcher is closed and fully drained.
-func (d *Dispatcher) worker() {
+// drawn is one lottery winner pulled out of a shard critical section:
+// everything a worker needs to run and settle the task without
+// re-deriving state that may have changed since the draw.
+type drawn struct {
+	t    *Task
+	c    *Client
+	wait time.Duration
+	seq  uint64
+}
+
+// worker is one pool goroutine: pick a shard by stride over the
+// published shard weights, win a batch of tasks by lottery inside it,
+// run them with panic isolation, settle compensation, repeat. Exits
+// when the dispatcher is closed and fully drained.
+//
+// The stride state (pass, eligible) is worker-local on purpose: each
+// worker's draw sequence is independently weight-proportional, so the
+// sum over workers is too, and shard selection needs no shared
+// mutable state at all.
+func (d *Dispatcher) worker(id int) {
 	defer d.wg.Done()
+	ns := len(d.shards)
+	pass := make([]float64, ns)
+	wasElig := make([]bool, ns)
+	elig := make([]bool, ns)
+	rr := id % ns // stagger the zero-weight fallback start across workers
+	var batch [batchK]drawn
 	for {
-		d.mu.Lock()
-		for d.tree.Len() == 0 && !d.closed {
-			d.work.Wait()
-		}
-		if d.tree.Len() == 0 && d.closed {
-			d.mu.Unlock()
+		if d.closed.Load() && d.totalPending.Load() == 0 {
 			return
 		}
-		if d.weightsDirty {
-			d.reweighLocked()
-		}
-		c, ok := d.tree.Draw(d.rng)
-		if !ok {
-			// Every pending client has zero funding (e.g. all lent
-			// away): rotate round-robin over the pending clients so
-			// zero total weight degrades to FIFO service, not livelock
-			// or starvation of all but one client.
-			c = d.nextPendingLocked()
-			if c == nil {
-				d.mu.Unlock()
+		si := d.pickShard(pass, elig, wasElig, &rr)
+		if si < 0 {
+			if d.totalPending.Load() > 0 {
+				// The published per-shard hints lag the global count by
+				// at most one in-flight critical section; yield and
+				// rescan rather than park.
+				runtime.Gosched()
 				continue
 			}
+			d.park()
+			continue
 		}
-		t := c.popLocked()
+		sh := d.shards[si]
+		n, w := d.drawBatch(sh, &batch)
+		if n == 0 {
+			continue
+		}
+		if w > 0 {
+			pass[si] += float64(n) / w
+			if pass[si] > passRenorm {
+				lo := math.Inf(1)
+				for _, p := range pass {
+					if p < lo {
+						lo = p
+					}
+				}
+				for i := range pass {
+					pass[i] -= lo
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			d.runDrawn(&batch[i])
+			batch[i] = drawn{}
+		}
+	}
+}
+
+// pickShard chooses the shard this worker draws from next: a stride
+// walk (smallest pass first, advanced by work/weight) over the shards
+// that currently have both pending work and positive published
+// weight. Stride rather than a second lottery keeps the inter-shard
+// level deterministic per worker, so sharding adds no draw variance
+// on top of the per-shard lotteries. Returns -1 with no eligible
+// shard; if some shard has pending work but every one of them has
+// zero weight, service degrades to round-robin over pending shards
+// (mirroring the intra-shard zero-weight fallback).
+func (d *Dispatcher) pickShard(pass []float64, elig, wasElig []bool, rr *int) int {
+	ns := len(d.shards)
+	if ns == 1 {
+		if d.shards[0].pendingPub.Load() > 0 {
+			return 0
+		}
+		return -1
+	}
+	anyPending := false
+	vt := math.Inf(1)
+	for i, sh := range d.shards {
+		p := sh.pendingPub.Load() > 0
+		elig[i] = p && sh.weightPub.Load() > 0
+		if p {
+			anyPending = true
+		}
+		if elig[i] && wasElig[i] && pass[i] < vt {
+			vt = pass[i]
+		}
+	}
+	best := -1
+	for i := range elig {
+		if !elig[i] {
+			continue
+		}
+		if !wasElig[i] && !math.IsInf(vt, 1) && pass[i] < vt {
+			// A shard (re)joining the competition starts at the current
+			// virtual time: it must not spend passes "saved up" while it
+			// was idle monopolizing the workers now.
+			pass[i] = vt
+		}
+		if best < 0 || pass[i] < pass[best] {
+			best = i
+		}
+	}
+	copy(wasElig, elig)
+	if best >= 0 {
+		return best
+	}
+	if !anyPending {
+		return -1
+	}
+	for i := 0; i < ns; i++ {
+		j := (*rr + i) % ns
+		if d.shards[j].pendingPub.Load() > 0 {
+			*rr = (j + 1) % ns
+			return j
+		}
+	}
+	return -1
+}
+
+// drawBatch holds the shard lock once and draws up to batchK winners
+// (one, below the global batching threshold — see batchK), amortizing
+// lock traffic and partial-sum updates across the batch. Dispatch
+// counters and sequence numbers advance at draw time, inside the
+// critical section, exactly as they did under the single lock.
+//
+// The second return value is the shard's post-reweigh tree total —
+// the weight the draws were actually made against — which the caller
+// uses to advance its stride pass. Returning it from inside the
+// critical section keeps the stride advance consistent with the draw
+// it pays for; the published weightPub can lag a concurrent reweigh.
+func (d *Dispatcher) drawBatch(sh *shard, batch *[batchK]drawn) (int, float64) {
+	sh.mu.Lock()
+	if sh.pending == 0 {
+		sh.mu.Unlock()
+		return 0, 0
+	}
+	sh.reweighLocked()
+	total := sh.tree.Total()
+	k := 1
+	if d.totalPending.Load() >= int64(d.workers*batchK) {
+		k = batchK
+	}
+	n := 0
+	now := time.Now()
+	for n < k && sh.pending > 0 {
+		c, ok := sh.tree.Draw(sh.rng)
+		if !ok {
+			// Every pending client on the shard has zero funding (e.g.
+			// all lent away): rotate round-robin so zero total weight
+			// degrades to FIFO service, not livelock or starvation of
+			// all but one client.
+			c = sh.nextPendingLocked()
+			if c == nil {
+				break
+			}
+		}
+		t := c.popLocked(sh)
 		// Winning a dispatch consumes any compensation boost (§3.4:
 		// the ticket lasts "until it next wins").
 		if c.comp != 1 {
 			c.comp = 1
 			if c.inTree {
-				d.tree.Update(c.item, d.weightLocked(c))
+				sh.tree.Update(c.item, c.weight())
 			}
 		}
 		c.dispatchSeq++
-		seq := c.dispatchSeq
 		c.dispatchedN++
 		d.dispatched.Add(1)
-		wait := time.Since(t.enqueued)
-		c.notFull.Signal()
-		d.debugCheckLocked()
-		d.mu.Unlock()
+		batch[n] = drawn{t: t, c: c, wait: now.Sub(t.enqueued), seq: c.dispatchSeq}
+		n++
+	}
+	sh.publishLocked()
+	sh.mu.Unlock()
+	return n, total
+}
 
-		c.mDispatched.Inc()
-		c.waitHist.Observe(wait.Seconds())
+// runDrawn runs one winner outside all locks and settles its
+// compensation against the client's current shard.
+func (d *Dispatcher) runDrawn(dr *drawn) {
+	c, t := dr.c, dr.t
+	c.mDispatched.Inc()
+	c.waitHist.Observe(dr.wait.Seconds())
+	if d.obs != nil {
+		d.obs.Observe(Event{At: time.Now(), Kind: EventDispatch,
+			Client: c.name, Tenant: c.tenant.name, Wait: dr.wait})
+	}
+
+	start := time.Now()
+	err := runTask(t)
+	elapsed := time.Since(start)
+
+	if err != nil {
+		d.panicked.Add(1)
+		c.panics.Add(1)
+		c.mPanics.Inc()
 		if d.obs != nil {
-			d.obs.Observe(Event{At: time.Now(), Kind: EventDispatch,
-				Client: c.name, Tenant: c.tenant.name, Wait: wait})
+			d.obs.Observe(Event{At: time.Now(), Kind: EventPanic,
+				Client: c.name, Tenant: c.tenant.name, Elapsed: elapsed, Err: err.Error()})
 		}
+	}
+	if d.slice > 0 {
+		comp := 1.0
+		if elapsed < d.slice {
+			e := elapsed
+			if e < minElapsed {
+				e = minElapsed
+			}
+			comp = float64(d.slice) / float64(e)
+			if comp > d.maxComp {
+				comp = d.maxComp
+			}
+		}
+		sh := c.lockShard()
+		// Only the client's most recent dispatch may settle: a slow
+		// task finishing late must not overwrite (or resurrect) a
+		// boost the client already consumed by winning again on
+		// another worker. Weight is fundingVal×comp, so settling
+		// never touches the ticket graph.
+		settled := !c.torn && dr.seq == c.dispatchSeq
+		if settled {
+			c.comp = comp
+			if c.inTree {
+				sh.tree.Update(c.item, c.weight())
+				sh.publishLocked()
+			}
+		}
+		sh.mu.Unlock()
+		if settled && comp != 1 && d.obs != nil {
+			d.obs.Observe(Event{At: time.Now(), Kind: EventCompensate,
+				Client: c.name, Tenant: c.tenant.name, Elapsed: elapsed, Factor: comp})
+		}
+	}
+	d.completed.Add(1)
+	if d.obs != nil {
+		d.obs.Observe(Event{At: time.Now(), Kind: EventComplete,
+			Client: c.name, Tenant: c.tenant.name, Elapsed: elapsed})
+	}
+	t.finish(err)
+	d.debugCheck()
+}
 
-		start := time.Now()
-		err := runTask(t)
-		elapsed := time.Since(start)
+// park blocks the calling worker until work arrives or the dispatcher
+// closes. The registration handshake with wake is race-free under
+// sequential consistency: the worker publishes its intent (idlersHint)
+// before re-checking totalPending, and submitters increment
+// totalPending before reading idlersHint, so at least one side always
+// sees the other.
+func (d *Dispatcher) park() {
+	d.idleMu.Lock()
+	d.idlers++
+	d.idlersHint.Store(int32(d.idlers))
+	for d.totalPending.Load() == 0 && !d.closed.Load() {
+		d.idleCond.Wait()
+	}
+	d.idlers--
+	d.idlersHint.Store(int32(d.idlers))
+	d.idleMu.Unlock()
+}
 
-		if err != nil {
-			d.panicked.Add(1)
-			c.panics.Add(1)
-			c.mPanics.Inc()
-			if d.obs != nil {
-				d.obs.Observe(Event{At: time.Now(), Kind: EventPanic,
-					Client: c.name, Tenant: c.tenant.name, Elapsed: elapsed, Err: err.Error()})
+// wake admits one parked worker after new work arrived. The common
+// saturated case (no idle workers) is a single atomic load.
+func (d *Dispatcher) wake() {
+	if d.idlersHint.Load() == 0 {
+		return
+	}
+	d.idleMu.Lock()
+	d.idleCond.Signal()
+	d.idleMu.Unlock()
+}
+
+// rebalancer periodically migrates clients from the heaviest to the
+// lightest shard when their published weights drift apart; see
+// rebalanceOnce for the policy.
+func (d *Dispatcher) rebalancer() {
+	defer d.wg.Done()
+	tick := time.NewTicker(d.balEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.balStop:
+			return
+		case <-tick.C:
+			if d.rebalanceOnce() > 0 {
+				d.debugCheck()
 			}
 		}
-		if d.slice > 0 {
-			comp := 1.0
-			if elapsed < d.slice {
-				e := elapsed
-				if e < minElapsed {
-					e = minElapsed
-				}
-				comp = float64(d.slice) / float64(e)
-				if comp > d.maxComp {
-					comp = d.maxComp
-				}
-			}
-			d.mu.Lock()
-			// Only the client's most recent dispatch may settle: a
-			// slow task finishing late must not overwrite (or
-			// resurrect) a boost the client already consumed by
-			// winning again on another worker.
-			settled := !c.torn && seq == c.dispatchSeq
-			if settled {
-				c.comp = comp
-				if c.inTree {
-					d.tree.Update(c.item, d.weightLocked(c))
-				}
-			}
-			d.debugCheckLocked()
-			d.mu.Unlock()
-			if settled && comp != 1 && d.obs != nil {
-				d.obs.Observe(Event{At: time.Now(), Kind: EventCompensate,
-					Client: c.name, Tenant: c.tenant.name, Elapsed: elapsed, Factor: comp})
-			}
-		}
-		d.completed.Add(1)
-		if d.obs != nil {
-			d.obs.Observe(Event{At: time.Now(), Kind: EventComplete,
-				Client: c.name, Tenant: c.tenant.name, Elapsed: elapsed})
-		}
-		t.finish(err)
 	}
 }
 
@@ -376,48 +674,8 @@ func runTask(t *Task) (err error) {
 	return nil
 }
 
-// weightLocked is the client's lottery weight: its funding in base
-// units scaled by its compensation multiplier.
-func (d *Dispatcher) weightLocked(c *Client) float64 {
-	return c.holder.Value() * c.comp
-}
-
-// reweighLocked refreshes every in-tree weight after a ticket-graph
-// mutation (any mutation can move value between clients, even across
-// currencies).
-func (d *Dispatcher) reweighLocked() {
-	for _, c := range d.clients {
-		if c.inTree {
-			d.tree.Update(c.item, d.weightLocked(c))
-		}
-	}
-	d.weightsDirty = false
-}
-
-// nextPendingLocked rotates round-robin among the clients currently
-// in the lottery tree. It is the zero-total-weight fallback; always
-// returning the earliest-created client here would starve every
-// other pending client (cf. sched.StaticLottery's rotation).
-func (d *Dispatcher) nextPendingLocked() *Client {
-	n := len(d.clients)
-	if n == 0 {
-		return nil
-	}
-	for i := 0; i < n; i++ {
-		c := d.clients[(d.rr+i)%n]
-		if c.inTree {
-			d.rr = (d.rr + i + 1) % n
-			return c
-		}
-	}
-	return nil
-}
-
-func (d *Dispatcher) removeClientLocked(c *Client) {
-	for i, x := range d.clients {
-		if x == c {
-			d.clients = append(d.clients[:i], d.clients[i+1:]...)
-			return
-		}
-	}
+// recycle returns a detached task's struct to the pool.
+func (d *Dispatcher) recycle(t *Task) {
+	*t = Task{}
+	d.taskPool.Put(t)
 }

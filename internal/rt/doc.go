@@ -54,8 +54,29 @@
 // SubmitRetry layers exponential backoff over ErrQueueFull for
 // Reject-policy clients.
 //
-// All dispatcher state — including the ticket graph and the PRNG,
-// neither of which is concurrency-safe on its own — is guarded by one
-// mutex. Draws, queue operations, and weight updates are O(log n) or
-// O(1) under that lock; task bodies run outside it.
+// # Sharded dispatch
+//
+// Dispatcher state is sharded (Config.Shards, default GOMAXPROCS):
+// clients are spread across shards, each with its own mutex, lottery
+// tree, and Park-Miller stream, so submits and draws for clients on
+// different shards proceed in parallel. Workers pick a shard by a
+// deterministic per-worker stride walk over the shards' published
+// total weights — the inter-shard level of a two-level lottery, the
+// currency abstraction turned into a concurrency structure — then
+// draw winners inside that shard's tree, up to K per lock
+// acquisition while a deep backlog makes batching safe. The ticket
+// currency graph stays global behind its own lock and is consulted
+// off the draw path only after it actually changes (an epoch counter
+// batches reweighs, the sharded successor of the old weightsDirty
+// flag); a periodic rebalancer migrates clients between shards when
+// their total weights drift apart. SubmitDetached recycles task
+// bookkeeping through a pool, making the steady-state submit path
+// allocation-free. See DESIGN.md §7 for the full structure.
+//
+// One consistency contract changed with sharding: Snapshot is now
+// eventually consistent rather than atomic. It visits shards one at a
+// time — each shard's rows are internally consistent, but counts
+// taken while work is in flight may disagree across shards by the few
+// tasks that moved between visits — in exchange, taking a snapshot no
+// longer stalls dispatch.
 package rt

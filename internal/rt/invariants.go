@@ -8,82 +8,124 @@ import (
 )
 
 // CheckInvariants verifies the dispatcher's cross-layer invariants
-// under its lock and returns the first violation, or nil. It composes
-// the layers' own checkers — ticket.System.Check (funding-graph
-// acyclicity, activation propagation, base-unit conservation) and
-// lottery.CheckTree (partial-sum integrity) — with the dispatcher's
-// bridging contracts:
+// and returns the first violation, or nil. It composes the layers'
+// own checkers — ticket.System.Check (funding-graph acyclicity,
+// activation propagation, base-unit conservation) and
+// lottery.CheckTree (partial-sum integrity, run per shard) — with the
+// dispatcher's bridging contracts:
 //
-//   - the pending count equals the summed client queue depths;
-//   - a client competes in the tree exactly when it has queued work,
-//     and its holder is active exactly then (§4.4);
+//   - each shard's pending count equals its summed client queue
+//     depths, and the shards sum to the dispatcher total;
+//   - each shard's published pending count and total weight match the
+//     values under its lock;
+//   - a client competes in its shard's tree exactly when it has
+//     queued work, its holder is active exactly then (§4.4), and it
+//     is homed on the shard whose roster holds it;
 //   - compensation multipliers stay within [1, MaxCompensation]
 //     (§3.4: a boost is bounded and consumed on the next win);
-//   - no torn-down client lingers in the roster, and every tenant's
-//     live client count matches the roster;
-//   - unless a reweigh is already pending, every in-tree weight equals
-//     the client's funding times its compensation multiplier;
+//   - no torn-down client lingers in any roster, and every tenant's
+//     live client count matches the rosters;
+//   - on a shard whose weight epoch is current, every in-tree weight
+//     (and the cached funding value behind it) equals the client's
+//     funding times its compensation multiplier;
 //   - completions never outrun dispatches.
 //
-// Safe for concurrent use; it takes the dispatcher lock for the whole
-// check, so treat it as a stop-the-world probe for tests, fuzzing, and
-// the lotterydebug build (which runs it after every dispatch).
+// Safe for concurrent use; it locks every shard (in shard order) plus
+// the ticket graph for the whole check, so treat it as a
+// stop-the-world probe for tests, fuzzing, and the lotterydebug build
+// (which runs it after every completion and rebalance).
 func CheckInvariants(d *Dispatcher) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.checkInvariantsLocked()
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+	}
+	d.graphMu.Lock()
+	err := d.checkInvariantsLocked()
+	d.graphMu.Unlock()
+	for i := len(d.shards) - 1; i >= 0; i-- {
+		d.shards[i].mu.Unlock()
+	}
+	return err
 }
 
+// checkInvariantsLocked runs the sweep with every shard mutex and the
+// graph lock held.
 func (d *Dispatcher) checkInvariantsLocked() error {
 	if err := d.tickets.Check(); err != nil {
 		return err
 	}
-	if err := lottery.CheckTree(d.tree); err != nil {
-		return err
-	}
-
-	pending, inTree := 0, 0
+	epoch := d.weightEpoch.Load()
+	totalPending, totalClients := 0, 0
 	tenants := make(map[*Tenant]int)
-	for _, c := range d.clients {
-		depth := c.pendingLocked()
-		if depth < 0 {
-			return fmt.Errorf("rt: client %q has negative queue depth %d", c.name, depth)
+	for _, sh := range d.shards {
+		if err := lottery.CheckTree(sh.tree); err != nil {
+			return fmt.Errorf("rt: shard %d: %w", sh.id, err)
 		}
-		pending += depth
-		if c.torn {
-			return fmt.Errorf("rt: torn-down client %q still in the roster", c.name)
+		if got := sh.pendingPub.Load(); got != int64(sh.pending) {
+			return fmt.Errorf("rt: shard %d published pending %d != actual %d", sh.id, got, sh.pending)
 		}
-		tenants[c.tenant]++
-		if c.inTree != (depth > 0) {
-			return fmt.Errorf("rt: client %q inTree=%v with queue depth %d", c.name, c.inTree, depth)
+		if got, want := sh.weightPub.Load(), sh.tree.Total(); got != want {
+			return fmt.Errorf("rt: shard %d published weight %v != tree total %v", sh.id, got, want)
 		}
-		if got := c.holder.Active(); got != c.inTree {
-			return fmt.Errorf("rt: client %q holder active=%v but inTree=%v", c.name, got, c.inTree)
-		}
-		if c.comp < 1 || c.comp > d.maxComp || math.IsNaN(c.comp) {
-			return fmt.Errorf("rt: client %q compensation %v outside [1, %v]", c.name, c.comp, d.maxComp)
-		}
-		if c.inTree {
-			inTree++
-			if !d.weightsDirty {
-				want := d.weightLocked(c)
-				got := d.tree.Weight(c.item)
-				if math.Abs(got-want) > 1e-9*math.Max(math.Abs(want), 1) {
-					return fmt.Errorf("rt: client %q tree weight %v != funding*comp %v (weights not dirty)",
-						c.name, got, want)
+		fresh := sh.epoch == epoch
+		pending, inTree := 0, 0
+		for _, c := range sh.clients {
+			depth := c.pendingLocked()
+			if depth < 0 {
+				return fmt.Errorf("rt: client %q has negative queue depth %d", c.name, depth)
+			}
+			pending += depth
+			if c.torn {
+				return fmt.Errorf("rt: torn-down client %q still in shard %d's roster", c.name, sh.id)
+			}
+			if c.sh.Load() != sh {
+				return fmt.Errorf("rt: client %q in shard %d's roster but homed elsewhere", c.name, sh.id)
+			}
+			tenants[c.tenant]++
+			if c.inTree != (depth > 0) {
+				return fmt.Errorf("rt: client %q inTree=%v with queue depth %d", c.name, c.inTree, depth)
+			}
+			if got := c.holder.Active(); got != c.inTree {
+				return fmt.Errorf("rt: client %q holder active=%v but inTree=%v", c.name, got, c.inTree)
+			}
+			if c.comp < 1 || c.comp > d.maxComp || math.IsNaN(c.comp) {
+				return fmt.Errorf("rt: client %q compensation %v outside [1, %v]", c.name, c.comp, d.maxComp)
+			}
+			if c.inTree {
+				inTree++
+				if fresh {
+					val := c.holder.Value()
+					if math.Abs(c.fundingVal-val) > 1e-9*math.Max(math.Abs(val), 1) {
+						return fmt.Errorf("rt: client %q cached funding %v != holder value %v (epoch fresh)",
+							c.name, c.fundingVal, val)
+					}
+					want := val * c.comp
+					got := sh.tree.Weight(c.item)
+					if math.Abs(got-want) > 1e-9*math.Max(math.Abs(want), 1) {
+						return fmt.Errorf("rt: client %q tree weight %v != funding*comp %v (epoch fresh)",
+							c.name, got, want)
+					}
 				}
 			}
 		}
+		if pending != sh.pending {
+			return fmt.Errorf("rt: shard %d pending %d != summed queue depths %d", sh.id, sh.pending, pending)
+		}
+		if got := sh.tree.Len(); got != inTree {
+			return fmt.Errorf("rt: shard %d tree holds %d entries but %d clients are marked in-tree",
+				sh.id, got, inTree)
+		}
+		totalPending += sh.pending
+		totalClients += len(sh.clients)
 	}
-	if pending != d.pending {
-		return fmt.Errorf("rt: dispatcher pending %d != summed queue depths %d", d.pending, pending)
+	if got := d.totalPending.Load(); got != int64(totalPending) {
+		return fmt.Errorf("rt: dispatcher pending %d != summed shard pending %d", got, totalPending)
 	}
-	if got := d.tree.Len(); got != inTree {
-		return fmt.Errorf("rt: tree holds %d entries but %d clients are marked in-tree", got, inTree)
+	if got := d.clientsN.Load(); got != int64(totalClients) {
+		return fmt.Errorf("rt: dispatcher client count %d != summed rosters %d", got, totalClients)
 	}
 	for tn, n := range tenants {
 		if tn.clients != n {
-			return fmt.Errorf("rt: tenant %q counts %d clients, roster has %d", tn.name, tn.clients, n)
+			return fmt.Errorf("rt: tenant %q counts %d clients, rosters have %d", tn.name, tn.clients, n)
 		}
 	}
 	if dispatched, completed := d.dispatched.Load(), d.completed.Load(); completed > dispatched {

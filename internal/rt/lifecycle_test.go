@@ -103,18 +103,20 @@ func TestSubmitCtxCancelEmptiesQueueLeavesLottery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d.mu.Lock()
+	sh := c.lockShard()
 	inTree := c.inTree
-	d.mu.Unlock()
+	sh.mu.Unlock()
 	if !inTree {
 		t.Fatal("client with queued work not in lottery tree")
 	}
 	cancel()
 	<-task.Done()
-	d.mu.Lock()
+	sh = c.lockShard()
 	inTree = c.inTree
+	d.graphMu.Lock()
 	active := c.holder.Active()
-	d.mu.Unlock()
+	d.graphMu.Unlock()
+	sh.mu.Unlock()
 	if inTree || active {
 		t.Fatalf("after cancelling last queued task: inTree=%v active=%v, want false/false", inTree, active)
 	}
@@ -320,7 +322,9 @@ func TestCloseCtxDeadlineDiscardsBacklog(t *testing.T) {
 // fallback must rotate among pending clients, not always serve the
 // earliest-created one.
 func TestZeroWeightFallbackRotates(t *testing.T) {
-	d := New(Config{Workers: 1})
+	// One shard so both clients share a roster and the rotation is
+	// observable deterministically.
+	d := New(Config{Workers: 1, Shards: 1})
 	defer d.Close()
 	gate := parkWorkers(t, d)
 	defer close(gate)
@@ -338,11 +342,12 @@ func TestZeroWeightFallbackRotates(t *testing.T) {
 	if _, err := b.Submit(func() {}); err != nil {
 		t.Fatal(err)
 	}
-	d.mu.Lock()
-	first := d.nextPendingLocked()
-	second := d.nextPendingLocked()
-	third := d.nextPendingLocked()
-	d.mu.Unlock()
+	sh := d.shards[0]
+	sh.mu.Lock()
+	first := sh.nextPendingLocked()
+	second := sh.nextPendingLocked()
+	third := sh.nextPendingLocked()
+	sh.mu.Unlock()
 	if first == nil || second == nil {
 		t.Fatal("fallback found no pending client")
 	}
@@ -410,9 +415,9 @@ func TestTenantTeardownOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d.mu.Lock()
-	tn.teardownLocked() // must refuse: c's funding is still issued
-	d.mu.Unlock()
+	d.graphMu.Lock()
+	tn.teardownGraphLocked() // must refuse: c's funding is still issued
+	d.graphMu.Unlock()
 	if got := d.Snapshot().Clients[0].Funding; got != 50 {
 		t.Fatalf("client funding after refused teardown = %v, want 50 (currency kept its backing)", got)
 	}

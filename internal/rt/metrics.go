@@ -1,6 +1,8 @@
 package rt
 
 import (
+	"strconv"
+
 	"repro/internal/metrics"
 )
 
@@ -12,9 +14,10 @@ var waitBuckets = metrics.ExpBuckets(1e-6, 2, 26)
 
 // rtMetrics holds the per-client vector families a dispatcher exports
 // when Config.Metrics is set. Dispatcher-level totals are registered
-// as callbacks over the dispatcher's own counters — the same values
-// Snapshot reports, so a /metrics scrape and a Snapshot can never
-// disagree about what the totals mean.
+// as callbacks over the dispatcher's own atomic counters — the same
+// values Snapshot reports, so a /metrics scrape and a Snapshot can
+// never disagree about what the totals mean, and a scrape never takes
+// any dispatcher lock.
 type rtMetrics struct {
 	submitted  *metrics.CounterVec
 	dispatched *metrics.CounterVec
@@ -28,6 +31,9 @@ type rtMetrics struct {
 // newRTMetrics registers the dispatcher's families into r. One
 // registry serves one dispatcher: registering a second dispatcher
 // into the same registry panics on the duplicate family names.
+// Called after the shards exist so the per-shard gauges can be bound;
+// each shard pushes its own weight/depth gauges from publishLocked
+// (two atomic stores — scrapes read them without touching any shard).
 func newRTMetrics(r *metrics.Registry, d *Dispatcher) *rtMetrics {
 	r.CounterFunc("rt_dispatched_total", "Tasks handed to workers by lottery.",
 		func() float64 { return float64(d.dispatched.Load()) })
@@ -36,25 +42,26 @@ func newRTMetrics(r *metrics.Registry, d *Dispatcher) *rtMetrics {
 	r.CounterFunc("rt_panicked_total", "Tasks whose body panicked.",
 		func() float64 { return float64(d.panicked.Load()) })
 	r.CounterFunc("rt_cancelled_total", "Tasks cancelled while queued, before any worker ran them.",
-		func() float64 {
-			d.mu.Lock()
-			defer d.mu.Unlock()
-			return float64(d.cancelled)
-		})
+		func() float64 { return float64(d.cancelled.Load()) })
+	r.CounterFunc("rt_rebalances_total", "Clients migrated between shards by the weight rebalancer.",
+		func() float64 { return float64(d.rebalanced.Load()) })
 	r.GaugeFunc("rt_pending_tasks", "Queued tasks across all clients.",
-		func() float64 {
-			d.mu.Lock()
-			defer d.mu.Unlock()
-			return float64(d.pending)
-		})
+		func() float64 { return float64(d.totalPending.Load()) })
 	r.GaugeFunc("rt_clients", "Clients currently registered.",
-		func() float64 {
-			d.mu.Lock()
-			defer d.mu.Unlock()
-			return float64(len(d.clients))
-		})
+		func() float64 { return float64(d.clientsN.Load()) })
 	r.GaugeFunc("rt_workers", "Size of the worker pool.",
 		func() float64 { return float64(d.workers) })
+	r.GaugeFunc("rt_shards", "Number of run-queue shards.",
+		func() float64 { return float64(len(d.shards)) })
+	shardWeight := r.GaugeVec("rt_shard_weight",
+		"Total lottery weight (base units × compensation) on the shard.", "shard")
+	shardPending := r.GaugeVec("rt_shard_pending",
+		"Queued tasks across the shard's clients.", "shard")
+	for _, sh := range d.shards {
+		id := strconv.Itoa(sh.id)
+		sh.mWeight = shardWeight.With(id)
+		sh.mPending = shardPending.With(id)
+	}
 	return &rtMetrics{
 		submitted: r.CounterVec("rt_client_submitted_total",
 			"Tasks admitted to the client's queue.", "client", "tenant"),

@@ -1,0 +1,332 @@
+package rt
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/ticket"
+)
+
+// parkGate stalls every worker on a blocking task from a massively
+// funded gate client, submitting the gate tasks one at a time and
+// waiting for each to actually start running (under batched draws,
+// two gate tasks submitted together can land in one worker's batch
+// and pin a single worker twice). Returns the release function.
+func parkGate(t *testing.T, d *Dispatcher, name string) (release func()) {
+	t.Helper()
+	gateDone := make(chan struct{})
+	var running atomic.Int32
+	g, err := d.NewClient(name, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for i := 0; i < d.Workers(); i++ {
+		if _, err := g.Submit(func() { running.Add(1); <-gateDone }); err != nil {
+			t.Fatal(err)
+		}
+		for running.Load() < int32(i+1) {
+			if time.Now().After(deadline) {
+				t.Fatalf("workers never parked on %s (%d/%d)", name, running.Load(), d.Workers())
+			}
+			runtime.Gosched()
+		}
+	}
+	g.Leave()
+	return func() { close(gateDone) }
+}
+
+// TestShardedShareConformance is the share-conformance check run
+// against a sharded dispatcher: 16 clients funded through 3 separate
+// currencies, spread round-robin over 4 shards, must still achieve
+// their global base-unit shares — the inter-shard stride level and
+// the per-shard trees must compose into one proportional lottery.
+func TestShardedShareConformance(t *testing.T) {
+	const (
+		phaseDraws = 120000
+		backlog    = 30000
+		relTol     = 0.05 // same tolerance as the single-shard conformance test
+	)
+	// The measurement window is closed from inside the dispatch path: an
+	// observer that blocks every EventDispatch past the target count.
+	// Events are emitted outside all locks, so blocking freezes both
+	// workers with no draws in flight — the closing Snapshot then sees
+	// one consistent cut, and the window overshoots its target by at
+	// most a couple of in-progress batches. (Polling d.dispatched from
+	// the test goroutine instead overshoots by whole scheduler bursts —
+	// tens of thousands of draws on a single-CPU box — which both
+	// smears the window and can drain the heaviest client's backlog.)
+	var drawCount atomic.Int64
+	var blocked atomic.Int32
+	windowGate := make(chan struct{})
+	obs := ObserverFunc(func(ev Event) {
+		if ev.Kind != EventDispatch {
+			return
+		}
+		if drawCount.Add(1) > phaseDraws {
+			blocked.Add(1)
+			<-windowGate
+			blocked.Add(-1)
+		}
+	})
+	d := New(Config{Workers: 2, Shards: 4, QueueCap: backlog, Seed: 7, Observer: obs})
+	defer d.Close()
+	defer close(windowGate) // before Close: drain needs unblocked workers
+	if d.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", d.Shards())
+	}
+
+	release := parkGate(t, d, "gate")
+
+	// Three tenants; per-client base-unit entitlement is the tenant
+	// funding split by intra-currency ticket ratios. Every client's
+	// share stays >= 40/800 = 5% so a 120k-draw window gives each one
+	// enough expected draws for the 5% relative tolerance.
+	type spec struct {
+		tenant  string
+		funding ticket.Amount
+		tickets []ticket.Amount
+	}
+	specs := []spec{
+		{"A", 200, []ticket.Amount{100, 100, 100, 100}},
+		{"B", 240, []ticket.Amount{100, 100, 100, 100, 100, 100}},
+		{"C", 360, []ticket.Amount{100, 100, 100, 100, 200, 200}},
+	}
+	entitled := make(map[string]float64) // client name -> base units
+	var totalBase float64
+	for _, sp := range specs {
+		tn, err := d.NewTenant(sp.tenant, sp.funding)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum ticket.Amount
+		for _, a := range sp.tickets {
+			sum += a
+		}
+		for i, a := range sp.tickets {
+			name := fmt.Sprintf("%s%d", sp.tenant, i)
+			c, err := tn.NewClient(name, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			entitled[name] = float64(sp.funding) * float64(a) / float64(sum)
+			totalBase += entitled[name]
+			for j := 0; j < backlog; j++ {
+				if _, err := c.Submit(func() {}); err != nil {
+					t.Fatalf("fill %s: %v", name, err)
+				}
+			}
+		}
+	}
+
+	// All 16 clients must be spread over all 4 shards.
+	shardsUsed := make(map[int]int)
+	base := d.Snapshot()
+	for _, cs := range base.Clients {
+		shardsUsed[cs.Shard]++
+	}
+	if len(shardsUsed) != 4 {
+		t.Fatalf("clients landed on %d shards, want 4: %v", len(shardsUsed), shardsUsed)
+	}
+	if err := CheckInvariants(d); err != nil {
+		t.Fatalf("parked setup: %v", err)
+	}
+
+	baseCounts := make(map[string]uint64)
+	for _, cs := range base.Clients {
+		baseCounts[cs.Name] = cs.Dispatched
+	}
+	release()
+	deadline := time.Now().Add(2 * time.Minute)
+	for i := 0; blocked.Load() < int32(d.Workers()); i++ {
+		if i%4096 == 0 && time.Now().After(deadline) {
+			t.Fatalf("window never closed: %d/%d workers blocked, %d draws",
+				blocked.Load(), d.Workers(), drawCount.Load())
+		}
+		runtime.Gosched()
+	}
+	s := d.Snapshot()
+	if err := CheckInvariants(d); err != nil {
+		t.Fatalf("after window: %v", err)
+	}
+
+	var total uint64
+	got := make(map[string]uint64)
+	shardGot := make(map[int]uint64)
+	shardWeight := make(map[int]float64)
+	for _, cs := range s.Clients {
+		if _, ok := entitled[cs.Name]; !ok {
+			continue
+		}
+		if cs.QueueDepth == 0 {
+			t.Fatalf("client %s drained its backlog mid-window; deepen backlog", cs.Name)
+		}
+		got[cs.Name] = cs.Dispatched - baseCounts[cs.Name]
+		total += got[cs.Name]
+		shardGot[cs.Shard] += got[cs.Name]
+		shardWeight[cs.Shard] += entitled[cs.Name]
+	}
+	for sid, n := range shardGot {
+		t.Logf("shard %d: %d draws (%.4f achieved, %.4f weighted)",
+			sid, n, float64(n)/float64(total), shardWeight[sid]/totalBase)
+	}
+	if len(got) != 16 {
+		t.Fatalf("snapshot has %d measured clients, want 16", len(got))
+	}
+	observed := make([]int, 0, len(got))
+	expected := make([]float64, 0, len(got))
+	for name, want := range entitled {
+		achieved := float64(got[name]) / float64(total)
+		share := want / totalBase
+		rel := achieved/share - 1
+		t.Logf("%s: %d dispatches, achieved %.4f, entitled %.4f (rel err %+.3f)",
+			name, got[name], achieved, share, rel)
+		if rel < -relTol || rel > relTol {
+			t.Errorf("client %s: achieved share %.4f vs entitled %.4f exceeds %.0f%% relative error",
+				name, achieved, share, relTol*100)
+		}
+		observed = append(observed, int(got[name]))
+		expected = append(expected, share*float64(total))
+	}
+	chi2, err := stats.ChiSquare(observed, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit := stats.ChiSquareCritical999(len(observed) - 1); chi2 > crit {
+		t.Errorf("chi-square %.2f exceeds 99.9%% critical value %.2f", chi2, crit)
+	}
+}
+
+// TestRebalanceMigratesAndConserves skews the weight distribution
+// across two shards and verifies that the periodic rebalancer
+// actually migrates clients, that migration preserves base-unit
+// conservation in the ticket graph, and that every migrated client's
+// queued work still runs.
+func TestRebalanceMigratesAndConserves(t *testing.T) {
+	d := New(Config{Workers: 1, Shards: 2, QueueCap: 128, Seed: 3, RebalanceEvery: time.Millisecond})
+	defer d.Close()
+
+	release := parkGate(t, d, "gate")
+
+	// Round-robin placement alternates shards; funding one client at
+	// 10000 tickets makes its shard dwarf the other, so the rebalancer
+	// must move some light clients the other way. The skew is set up
+	// before the backlogs are submitted: published shard weights
+	// refresh on the dispatch path, and with every worker parked the
+	// submit-time publish is what the rebalancer sees.
+	const n = 8
+	clients := make([]*Client, n)
+	for i := range clients {
+		amount := ticket.Amount(100)
+		if i == 0 {
+			amount = 10000
+		}
+		c, err := d.NewClient(fmt.Sprintf("c%d", i), amount)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		for j := 0; j < 4; j++ {
+			if _, err := c.Submit(func() {}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	waitUntil(t, "rebalancer migrated a client", func() bool {
+		return d.Snapshot().Rebalances >= 1
+	})
+	if err := CheckInvariants(d); err != nil {
+		t.Fatalf("after migration: %v", err)
+	}
+	// Base-unit conservation, checked directly at the source of truth:
+	// migration rehomes dispatcher bookkeeping only, so the currency
+	// graph must still balance exactly.
+	d.graphMu.Lock()
+	err := d.tickets.Check()
+	d.graphMu.Unlock()
+	if err != nil {
+		t.Fatalf("ticket conservation after migration: %v", err)
+	}
+
+	release()
+	waitUntil(t, "all queued work ran after migration", func() bool {
+		for _, cs := range d.Snapshot().Clients {
+			if cs.QueueDepth > 0 {
+				return false
+			}
+		}
+		return true
+	})
+	if err := CheckInvariants(d); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+}
+
+// TestSnapshotDoesNotStallDispatch is the regression test for the
+// sharded Snapshot: under full saturation a storm of concurrent
+// snapshots must not stall dispatch (the pre-shard implementation
+// froze the whole dispatcher for every snapshot). The backlog has to
+// drain to completion while snapshots hammer the dispatcher
+// continuously.
+func TestSnapshotDoesNotStallDispatch(t *testing.T) {
+	const backlog = 20000
+	d := New(Config{Workers: 2, QueueCap: backlog, Seed: 9})
+	defer d.Close()
+
+	clients := make([]*Client, 4)
+	for i := range clients {
+		c, err := d.NewClient(fmt.Sprintf("c%d", i), ticket.Amount(100*(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		for j := 0; j < backlog; j++ {
+			if _, err := c.Submit(func() {}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	stop := make(chan struct{})
+	stormDone := make(chan int)
+	go func() {
+		snaps := 0
+		for {
+			select {
+			case <-stop:
+				stormDone <- snaps
+				return
+			default:
+				s := d.Snapshot()
+				if got := len(s.Clients); got > len(clients) {
+					t.Errorf("snapshot has %d clients, want <= %d", got, len(clients))
+					stormDone <- snaps
+					return
+				}
+				snaps++
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(2 * time.Minute)
+	target := uint64(len(clients) * backlog)
+	for i := 0; d.completed.Load() < target; i++ {
+		if i%4096 == 0 && time.Now().After(deadline) {
+			close(stop)
+			t.Fatalf("dispatch stalled under snapshot storm: %d/%d completed", d.completed.Load(), target)
+		}
+		runtime.Gosched()
+	}
+	close(stop)
+	if snaps := <-stormDone; snaps == 0 {
+		t.Fatal("snapshot storm never completed a snapshot")
+	}
+	if err := CheckInvariants(d); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,6 +9,9 @@ import (
 type ClientSnapshot struct {
 	Name   string `json:"name"`
 	Tenant string `json:"tenant"`
+	// Shard is the dispatcher shard the client was homed on when the
+	// snapshot visited it (the rebalancer may move it later).
+	Shard int `json:"shard"`
 	// Funding is the client's current backing in base units (the
 	// value it would compete with), reflecting any outstanding
 	// transfers in or out.
@@ -35,13 +38,23 @@ type ClientSnapshot struct {
 	WaitP99 time.Duration `json:"wait_p99_ns"`
 }
 
-// Snapshot is an atomic view of the dispatcher: all fields are read
-// under one critical section, so shares and counts are mutually
-// consistent.
+// Snapshot is a view of the dispatcher. Since the dispatcher went
+// multi-shard the view is eventually consistent rather than atomic:
+// per-client stats are collected one shard at a time (each shard's
+// rows are internally consistent), the funding valuation happens
+// afterwards under the graph lock, and dispatcher totals are atomic
+// counter reads — so counts taken while work is in flight may
+// disagree by the few tasks that moved between phases. Dispatch is
+// never stalled for the duration of a snapshot the way the old
+// single-lock capture did.
 type Snapshot struct {
-	Workers    int              `json:"workers"`
-	Closed     bool             `json:"closed"`
-	Pending    int              `json:"pending"`
+	Workers int  `json:"workers"`
+	Shards  int  `json:"shards"`
+	Closed  bool `json:"closed"`
+	Pending int  `json:"pending"`
+	// Rebalances counts clients migrated between shards by the weight
+	// rebalancer since the dispatcher started.
+	Rebalances uint64           `json:"rebalances"`
 	Dispatched uint64           `json:"dispatched"`
 	Completed  uint64           `json:"completed"`
 	Panicked   uint64           `json:"panicked"`
@@ -49,68 +62,104 @@ type Snapshot struct {
 	Clients    []ClientSnapshot `json:"clients"`
 }
 
-// Snapshot captures the dispatcher's current state. Clients are
-// sorted by name.
+// Snapshot captures the dispatcher's current state (see Snapshot for
+// its consistency contract). Clients are sorted by name.
 func (d *Dispatcher) Snapshot() Snapshot {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	s := Snapshot{
 		Workers:    d.workers,
-		Closed:     d.closed,
-		Pending:    d.pending,
+		Shards:     len(d.shards),
+		Closed:     d.closed.Load(),
+		Pending:    int(d.totalPending.Load()),
+		Rebalances: d.rebalanced.Load(),
 		Dispatched: d.dispatched.Load(),
 		Completed:  d.completed.Load(),
 		Panicked:   d.panicked.Load(),
-		Cancelled:  d.cancelled,
-		Clients:    make([]ClientSnapshot, 0, len(d.clients)),
+		Cancelled:  d.cancelled.Load(),
 	}
-	// Entitlement is the share each client would hold if every client
-	// were competing, so idle holders are activated together before
-	// valuation (valuing them one at a time would let each idle
-	// client claim its currency's whole active amount). The toggling
-	// mutates the graph generation; weights are marked dirty below.
+
+	// Phase 1: copy per-client stats shard by shard, holding only that
+	// shard's mutex. A client migrating concurrently could be seen in
+	// two rosters (or neither); the seen-set drops duplicates and a
+	// miss is just staleness.
+	type row struct {
+		c    *Client
+		snap ClientSnapshot
+	}
+	var rows []row
+	seen := make(map[*Client]bool)
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		for _, c := range sh.clients {
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			rows = append(rows, row{c: c, snap: ClientSnapshot{
+				Name:         c.name,
+				Tenant:       c.tenant.name,
+				Shard:        sh.id,
+				Dispatched:   c.dispatchedN,
+				Submitted:    c.submittedN,
+				Rejected:     c.rejectedN,
+				Cancelled:    c.cancelledN,
+				Panics:       c.panics.Load(),
+				QueueDepth:   c.pendingLocked(),
+				Compensation: c.comp,
+			}})
+		}
+		sh.mu.Unlock()
+	}
+
+	// Phase 2: value funding under the graph lock only. Entitlement is
+	// the share each client would hold if every client were competing,
+	// so idle holders are activated together before valuation (valuing
+	// them one at a time would let each idle client claim its
+	// currency's whole active amount). The graph ends in the exact
+	// state it started in, so shard weight caches stay valid and no
+	// reweigh is forced.
+	fundings := make([]float64, len(rows))
+	var totalFunding float64
+	d.graphMu.Lock()
 	var idle []*Client
-	for _, c := range d.clients {
-		if !c.holder.Active() {
-			c.holder.SetActive(true)
-			idle = append(idle, c)
+	for _, r := range rows {
+		if r.c.torn {
+			continue
+		}
+		if !r.c.holder.Active() {
+			r.c.holder.SetActive(true)
+			idle = append(idle, r.c)
 		}
 	}
-	var totalFunding float64
-	fundings := make([]float64, len(d.clients))
-	for i, c := range d.clients {
-		fundings[i] = c.holder.Value()
+	for i, r := range rows {
+		if r.c.torn {
+			continue
+		}
+		fundings[i] = r.c.holder.Value()
 		totalFunding += fundings[i]
 	}
 	for _, c := range idle {
 		c.holder.SetActive(false)
 	}
-	for i, c := range d.clients {
-		cs := ClientSnapshot{
-			Name:         c.name,
-			Tenant:       c.tenant.name,
-			Funding:      fundings[i],
-			Dispatched:   c.dispatchedN,
-			Submitted:    c.submittedN,
-			Rejected:     c.rejectedN,
-			Cancelled:    c.cancelledN,
-			Panics:       c.panics.Load(),
-			QueueDepth:   c.pendingLocked(),
-			Compensation: c.comp,
-		}
+	d.graphMu.Unlock()
+
+	// Phase 3: assemble outside every lock (quantile estimation walks
+	// histogram buckets; the instruments themselves are atomic).
+	s.Clients = make([]ClientSnapshot, 0, len(rows))
+	for i, r := range rows {
+		cs := r.snap
+		cs.Funding = fundings[i]
 		if totalFunding > 0 {
 			cs.EntitledShare = fundings[i] / totalFunding
 		}
 		if s.Dispatched > 0 {
-			cs.AchievedShare = float64(c.dispatchedN) / float64(s.Dispatched)
+			cs.AchievedShare = float64(cs.Dispatched) / float64(s.Dispatched)
 		}
-		if c.waitHist.Count() > 0 {
-			cs.WaitP50 = secToDur(c.waitHist.Quantile(50))
-			cs.WaitP99 = secToDur(c.waitHist.Quantile(99))
+		if r.c.waitHist.Count() > 0 {
+			cs.WaitP50 = secToDur(r.c.waitHist.Quantile(50))
+			cs.WaitP99 = secToDur(r.c.waitHist.Quantile(99))
 		}
 		s.Clients = append(s.Clients, cs)
 	}
-	d.weightsDirty = true // FundedValue toggled activations above
 	sort.Slice(s.Clients, func(i, j int) bool { return s.Clients[i].Name < s.Clients[j].Name })
 	return s
 }

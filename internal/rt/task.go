@@ -7,9 +7,9 @@ import (
 )
 
 // taskState tracks the task lifecycle: queued → running → done.
-// Guarded by the dispatcher mutex; the done channel is the lock-free
-// view of the terminal state. A cancelled task goes queued → done
-// directly; a running task is never interrupted (workers are not
+// Guarded by the owning client's shard mutex; the done channel is the
+// lock-free view of the terminal state. A cancelled task goes queued →
+// done directly; a running task is never interrupted (workers are not
 // preemptible, matching the paper's quantum semantics — once a
 // quantum is won it runs to completion).
 type taskState int
@@ -24,14 +24,19 @@ const (
 // completion; a task whose body panicked completes with an error, and
 // a task cancelled while still queued completes with its context's
 // error without ever running.
+//
+// Detached tasks (SubmitDetached) have no caller-visible handle: the
+// struct comes from a pool and is recycled the moment the task
+// finishes, so the steady-state submit path allocates nothing.
 type Task struct {
 	client   *Client
 	ctx      context.Context
 	fn       func()
 	enqueued time.Time
-	done     chan struct{}
-	err      error     // written once before done is closed
-	state    taskState // guarded by client.d.mu
+	done     chan struct{} // nil for detached tasks
+	err      error         // written once before done is closed
+	state    taskState     // guarded by the client's shard mutex
+	detached bool
 	stop     func() bool
 }
 
@@ -80,6 +85,12 @@ func (t *Task) Err() error {
 }
 
 func (t *Task) finish(err error) {
+	if t.detached {
+		// Nobody holds a handle; the error was already surfaced through
+		// counters and events. Recycle immediately.
+		t.client.d.recycle(t)
+		return
+	}
 	t.err = err
 	close(t.done)
 	if t.stop != nil {
@@ -104,18 +115,18 @@ func (c *Client) WaitOn(t *Task) error {
 	if t.client == c || t.client.d != d {
 		return t.Wait()
 	}
-	d.mu.Lock()
+	d.graphMu.Lock()
 	transferred := false
 	if !c.left && !c.lent && !t.client.torn {
 		if err := c.funding.Retarget(t.client.holder); err != nil {
-			d.mu.Unlock()
+			d.graphMu.Unlock()
 			return fmt.Errorf("rt: ticket transfer: %w", err)
 		}
 		c.lent = true
 		transferred = true
-		d.weightsDirty = true
+		d.weightEpoch.Add(1)
 	}
-	d.mu.Unlock()
+	d.graphMu.Unlock()
 	if transferred && d.obs != nil {
 		d.obs.Observe(Event{At: time.Now(), Kind: EventTransfer,
 			Client: c.name, Tenant: c.tenant.name, Peer: t.client.name})
@@ -124,16 +135,16 @@ func (c *Client) WaitOn(t *Task) error {
 	<-t.done
 
 	if transferred {
-		d.mu.Lock()
+		d.graphMu.Lock()
 		// Skip restore if the client was torn down while waiting
 		// (teardown destroyed the lent ticket and cleared lent).
 		if c.lent && !c.torn {
 			if err := c.funding.Retarget(c.holder); err == nil {
-				d.weightsDirty = true
+				d.weightEpoch.Add(1)
 			}
 			c.lent = false
 		}
-		d.mu.Unlock()
+		d.graphMu.Unlock()
 	}
 	return t.err
 }

@@ -2,7 +2,6 @@ package rt
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/ticket"
 )
@@ -12,13 +11,15 @@ import (
 // amounts inside the currency set relative shares among the tenant's
 // own clients; the tenant's base funding sets its share against other
 // tenants. Inflation inside one tenant therefore cannot dilute
-// another (§3.3, §4.3).
+// another (§3.3, §4.3). A tenant's clients may be homed on different
+// shards; the currency graph itself is global and guarded by the
+// dispatcher's graph lock.
 type Tenant struct {
 	d       *Dispatcher
 	name    string
 	cur     *ticket.Currency
 	funding *ticket.Ticket // base -> cur
-	clients int
+	clients int            // guarded by d.graphMu
 	// dedicated marks the implicit single-client tenants made by
 	// Dispatcher.NewClient, torn down when their one client leaves.
 	dedicated bool
@@ -27,13 +28,13 @@ type Tenant struct {
 // NewTenant creates a currency named name funded with funding base
 // units. Names must be unique across the dispatcher.
 func (d *Dispatcher) NewTenant(name string, funding ticket.Amount) (*Tenant, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.newTenantLocked(name, funding, false)
+	d.graphMu.Lock()
+	defer d.graphMu.Unlock()
+	return d.newTenantGraphLocked(name, funding, false)
 }
 
-func (d *Dispatcher) newTenantLocked(name string, funding ticket.Amount, dedicated bool) (*Tenant, error) {
-	if d.closed {
+func (d *Dispatcher) newTenantGraphLocked(name string, funding ticket.Amount, dedicated bool) (*Tenant, error) {
+	if d.closed.Load() {
 		return nil, ErrClosed
 	}
 	cur, err := d.tickets.NewCurrency(name, name)
@@ -45,7 +46,7 @@ func (d *Dispatcher) newTenantLocked(name string, funding ticket.Amount, dedicat
 		_ = cur.Destroy()
 		return nil, err
 	}
-	d.weightsDirty = true
+	d.weightEpoch.Add(1)
 	return &Tenant{d: d, name: name, cur: cur, funding: fund, dedicated: dedicated}, nil
 }
 
@@ -55,32 +56,29 @@ func (t *Tenant) Name() string { return t.name }
 // SetFunding changes the tenant's base funding, rescaling its share
 // against every other tenant.
 func (t *Tenant) SetFunding(funding ticket.Amount) error {
-	t.d.mu.Lock()
-	defer t.d.mu.Unlock()
+	t.d.graphMu.Lock()
+	defer t.d.graphMu.Unlock()
 	if err := t.funding.SetAmount(funding); err != nil {
 		return err
 	}
-	t.d.weightsDirty = true
+	t.d.weightEpoch.Add(1)
 	return nil
 }
 
 // Funding returns the tenant's base funding.
 func (t *Tenant) Funding() ticket.Amount {
-	t.d.mu.Lock()
-	defer t.d.mu.Unlock()
+	t.d.graphMu.Lock()
+	defer t.d.graphMu.Unlock()
 	return t.funding.Amount()
 }
 
 // NewClient adds a client funded with amount tickets denominated in
 // the tenant's currency. The name must be unique within the
 // dispatcher's diagnostics (not enforced); amount must be positive.
+// The client is homed on a shard chosen round-robin; the rebalancer
+// may move it later to even out shard weights.
 func (t *Tenant) NewClient(name string, amount ticket.Amount, opts ...ClientOption) (*Client, error) {
 	d := t.d
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
-		return nil, ErrClosed
-	}
 	c := &Client{
 		d:      d,
 		tenant: t,
@@ -88,7 +86,6 @@ func (t *Tenant) NewClient(name string, amount ticket.Amount, opts ...ClientOpti
 		qcap:   d.queueCap,
 		comp:   1,
 	}
-	c.notFull = sync.NewCond(&d.mu)
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -98,17 +95,35 @@ func (t *Tenant) NewClient(name string, amount ticket.Amount, opts ...ClientOpti
 	if c.qcap <= 0 {
 		return nil, fmt.Errorf("rt: client %q: queue capacity must be positive", name)
 	}
+	d.graphMu.Lock()
+	if d.closed.Load() {
+		d.graphMu.Unlock()
+		return nil, ErrClosed
+	}
 	holder := d.tickets.NewHolder(name)
 	fund, err := t.cur.Issue(amount, holder)
 	if err != nil {
+		d.graphMu.Unlock()
 		return nil, err
 	}
 	c.holder = holder
 	c.funding = fund
+	d.weightEpoch.Add(1)
+	d.graphMu.Unlock()
 	c.bindMetrics(d.m)
+
+	// Home the client: roster insert and tenant count move together
+	// under the shard lock + graph lock, so the invariant sweep never
+	// sees them disagree.
+	sh := d.shards[int(d.nextShard.Add(1))%len(d.shards)]
+	c.sh.Store(sh)
+	sh.mu.Lock()
+	d.graphMu.Lock()
 	t.clients++
-	d.clients = append(d.clients, c)
-	d.weightsDirty = true
+	d.graphMu.Unlock()
+	sh.clients = append(sh.clients, c)
+	sh.mu.Unlock()
+	d.clientsN.Add(1)
 	return c, nil
 }
 
@@ -118,26 +133,26 @@ func (t *Tenant) NewClient(name string, amount ticket.Amount, opts ...ClientOpti
 // classes; use NewTenant + Tenant.NewClient to share one currency
 // among several clients.
 func (d *Dispatcher) NewClient(name string, funding ticket.Amount, opts ...ClientOption) (*Client, error) {
-	d.mu.Lock()
-	t, err := d.newTenantLocked(name, funding, true)
-	d.mu.Unlock()
+	d.graphMu.Lock()
+	t, err := d.newTenantGraphLocked(name, funding, true)
+	d.graphMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
 	c, err := t.NewClient(name, funding, opts...)
 	if err != nil {
-		d.mu.Lock()
-		t.teardownLocked()
-		d.mu.Unlock()
+		d.graphMu.Lock()
+		t.teardownGraphLocked()
+		d.graphMu.Unlock()
 		return nil, err
 	}
 	return c, nil
 }
 
-// teardownLocked destroys a tenant's funding and currency once its
-// last client is gone. Only dedicated tenants are torn down
-// automatically.
-func (t *Tenant) teardownLocked() {
+// teardownGraphLocked destroys a tenant's funding and currency once
+// its last client is gone. Only dedicated tenants are torn down
+// automatically. Called with the graph lock held.
+func (t *Tenant) teardownGraphLocked() {
 	// Destroy the currency first: it refuses while tickets are still
 	// issued in it, and on success destroys its own backing (the base
 	// funding). Destroying the funding before this check would leave a
@@ -148,5 +163,5 @@ func (t *Tenant) teardownLocked() {
 		// and its base funding intact.
 		return
 	}
-	t.d.weightsDirty = true
+	t.d.weightEpoch.Add(1)
 }
