@@ -9,6 +9,7 @@
 //	curl 'http://localhost:8080/snapshot'                   # achieved vs entitled
 //	curl 'http://localhost:8080/metrics'                    # Prometheus text format
 //	curl 'http://localhost:8080/debug/events?n=20'          # recent dispatcher events
+//	curl 'http://localhost:8080/resources'                  # multi-resource ledger view
 //
 // /work enqueues a job for its class and blocks until a worker has
 // run it; a class whose queue is full answers 503 (the dispatcher's
@@ -18,6 +19,19 @@
 // touching it. /snapshot returns the dispatcher's atomic rt.Snapshot
 // as JSON: per-class dispatch counts, achieved vs entitled share,
 // cancellations, queue depth, and wait-latency percentiles.
+//
+// Multi-resource mode: -mem (memory pool bytes) and -iorate/-ioburst
+// (I/O token bucket) attach a resource ledger to the dispatcher, so
+// one class currency jointly funds CPU time, memory, and I/O
+// bandwidth. -reserves gives each class a default per-job reserve
+// ("gold=4096:128" holds 4096 bytes and spends 128 I/O tokens per
+// job), which ?mem= and ?io= on /work override per request; reserves
+// are acquired before the job is admitted (memory reclamation and
+// token waits happen there, never on a worker) and released when it
+// finishes. /resources returns the ledger's resource.Snapshot as
+// JSON — per-tenant residency, tokens consumed, dominant shares,
+// reclamations, and throttles — and answers 404 when no pool is
+// configured.
 //
 // Observability: /metrics exposes the dispatcher's rt_* families
 // (per-class dispatch/reject/cancel counters, queue depths,
@@ -55,6 +69,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/rt"
+	"repro/internal/rt/resource"
 	"repro/internal/ticket"
 )
 
@@ -91,16 +106,31 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		"comma-separated class=tickets funding map")
 	events := fs.Int("events", 2048, "dispatcher event ring capacity for /debug/events (0 disables)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	memCap := fs.Int64("mem", 0, "memory pool capacity in bytes (0 disables the memory pool)")
+	ioRate := fs.Float64("iorate", 0, "I/O token-bucket refill rate in tokens/sec (0 disables the I/O pool)")
+	ioBurst := fs.Int64("ioburst", 0, "I/O token-bucket burst capacity (0 = rate)")
+	reserves := fs.String("reserves", "",
+		"comma-separated class=mem:io default per-job reserves (bytes held, tokens spent)")
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("%w: %v", errConfig, err)
 	}
 	if *events < 0 {
 		return fmt.Errorf("%w: -events must be >= 0", errConfig)
 	}
+	if *memCap < 0 || *ioRate < 0 || *ioBurst < 0 {
+		return fmt.Errorf("%w: -mem, -iorate, and -ioburst must be >= 0", errConfig)
+	}
 
 	funding, err := parseClasses(*classes)
 	if err != nil {
 		return fmt.Errorf("%w: %v", errConfig, err)
+	}
+	classRes, err := parseReserves(*reserves, funding)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errConfig, err)
+	}
+	if len(classRes) > 0 && *memCap == 0 && *ioRate == 0 {
+		return fmt.Errorf("%w: -reserves needs a resource pool (-mem or -iorate)", errConfig)
 	}
 
 	reg := metrics.NewRegistry()
@@ -112,6 +142,20 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		Seed:          uint32(*seed),
 		ExpectedSlice: *slice,
 		Metrics:       reg,
+	}
+	var ledger *resource.Ledger
+	if *memCap > 0 || *ioRate > 0 {
+		// The ledger reports into the same registry as the dispatcher:
+		// one /metrics scrape covers CPU scheduling, memory residency,
+		// and I/O token flow.
+		ledger = resource.NewLedger(resource.Config{
+			MemCapacity: *memCap,
+			IORate:      *ioRate,
+			IOBurst:     *ioBurst,
+			Seed:        uint32(*seed),
+			Metrics:     reg,
+		})
+		cfg.Resources = ledger
 	}
 	if *events > 0 {
 		rec = rt.NewEventRecorder(*events)
@@ -173,13 +217,36 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 				return
 			}
 		}
+		res := classRes[c.Name()]
+		for _, q := range []struct {
+			key string
+			dst *int64
+		}{{"mem", &res.MemBytes}, {"io", &res.IOTokens}} {
+			if v := r.URL.Query().Get(q.key); v != "" {
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || n < 0 {
+					http.Error(w, "bad "+q.key+": want a non-negative integer", http.StatusBadRequest)
+					return
+				}
+				*q.dst = n
+			}
+		}
 		enqueued := time.Now()
 		// The job rides the request context: a disconnected caller
-		// cancels its still-queued job and frees the slot.
-		task, err := c.SubmitCtx(r.Context(), func() { spin(busy) })
+		// cancels its still-queued job (and rolls back a reserve
+		// acquisition it is blocked in) and frees the slot.
+		task, err := c.SubmitReserve(r.Context(), func() { spin(busy) }, res)
 		switch {
 		case errors.Is(err, rt.ErrQueueFull):
 			http.Error(w, "class queue full", http.StatusServiceUnavailable)
+			return
+		case errors.Is(err, rt.ErrNoResources),
+			errors.Is(err, resource.ErrBadReserve),
+			errors.Is(err, resource.ErrMemCapacity),
+			errors.Is(err, resource.ErrIOCapacity):
+			// The reserve can never be satisfied as configured — caller
+			// error, not transient overload.
+			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			return // caller went away before the job was admitted
@@ -202,6 +269,13 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	})
 	handle("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, d.Snapshot())
+	})
+	handle("/resources", func(w http.ResponseWriter, r *http.Request) {
+		if ledger == nil {
+			http.Error(w, "no resource pools configured (-mem / -iorate)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, ledger.Snapshot())
 	})
 	metricsHandler := reg.Handler()
 	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -310,6 +384,43 @@ func parseClasses(s string) (map[string]ticket.Amount, error) {
 	}
 	if len(out) == 0 {
 		return nil, errors.New("lotteryd: no classes configured")
+	}
+	return out, nil
+}
+
+// parseReserves parses the -reserves flag: "class=mem:io" pairs where
+// mem is bytes held and io is tokens spent per job. Every named class
+// must exist in the funding map; unnamed classes default to a zero
+// reserve (plain CPU jobs).
+func parseReserves(s string, funding map[string]ticket.Amount) (map[string]rt.Reserve, error) {
+	out := make(map[string]rt.Reserve)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, spec, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("lotteryd: bad reserve spec %q (want class=mem:io)", part)
+		}
+		if _, known := funding[name]; !known {
+			return nil, fmt.Errorf("lotteryd: reserve for unknown class %q", name)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("lotteryd: duplicate reserve for class %q", name)
+		}
+		memStr, ioStr, ok := strings.Cut(spec, ":")
+		if !ok {
+			return nil, fmt.Errorf("lotteryd: bad reserve spec %q (want class=mem:io)", part)
+		}
+		mem, err := strconv.ParseInt(memStr, 10, 64)
+		if err != nil || mem < 0 {
+			return nil, fmt.Errorf("lotteryd: bad memory bytes in %q", part)
+		}
+		io, err := strconv.ParseInt(ioStr, 10, 64)
+		if err != nil || io < 0 {
+			return nil, fmt.Errorf("lotteryd: bad I/O tokens in %q", part)
+		}
+		out[name] = rt.Reserve{MemBytes: mem, IOTokens: io}
 	}
 	return out, nil
 }

@@ -17,6 +17,9 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/rt"
+	"repro/internal/ticket"
 )
 
 // startDaemon runs the daemon with test-friendly flags and returns
@@ -345,6 +348,138 @@ func TestWriteJSON(t *testing.T) {
 	}
 }
 
+// TestResourcesEndpoint runs the daemon in multi-resource mode:
+// default reserves from -reserves, per-request ?mem=/?io= overrides,
+// the /resources ledger view, impossible-reserve rejections, and full
+// release of every reservation once the jobs are done.
+func TestResourcesEndpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, done := startDaemon(t, ctx,
+		"-mem", "1048576", "-iorate", "1000000", "-ioburst", "65536",
+		"-reserves", "gold=4096:64")
+
+	// Default reserve rides along implicitly; overrides replace it.
+	for _, url := range []string{
+		"/work?class=gold&busy=1ms",                 // default 4096:64
+		"/work?class=gold&busy=1ms&mem=8192&io=128", // override both
+		"/work?class=bronze&busy=1ms",               // no default: plain CPU
+		"/work?class=bronze&busy=1ms&mem=512&io=1",  // opt-in override
+	} {
+		if code, body := get(t, base+url); code != http.StatusOK {
+			t.Fatalf("%s = %d: %s", url, code, body)
+		}
+	}
+
+	code, body := get(t, base+"/resources")
+	if code != http.StatusOK {
+		t.Fatalf("/resources = %d: %s", code, body)
+	}
+	var snap struct {
+		MemCapacity int64  `json:"mem_capacity_bytes"`
+		MemFree     int64  `json:"mem_free_bytes"`
+		IOGrants    uint64 `json:"io_grants"`
+		Tenants     []struct {
+			Name       string `json:"name"`
+			IOConsumed int64  `json:"io_tokens_consumed"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/resources not JSON: %v\n%s", err, body)
+	}
+	if snap.MemCapacity != 1048576 {
+		t.Errorf("mem capacity = %d, want 1048576", snap.MemCapacity)
+	}
+	// Every job above has finished (its /work response was read), so
+	// every reservation has been released.
+	if snap.MemFree != snap.MemCapacity {
+		t.Errorf("mem free = %d, want %d (all jobs done)", snap.MemFree, snap.MemCapacity)
+	}
+	if snap.IOGrants == 0 {
+		t.Error("no I/O grants recorded")
+	}
+	consumed := make(map[string]int64)
+	for _, tn := range snap.Tenants {
+		consumed[tn.Name] = tn.IOConsumed
+	}
+	if consumed["gold"] != 64+128 {
+		t.Errorf("gold tokens consumed = %d, want 192", consumed["gold"])
+	}
+	if consumed["bronze"] != 1 {
+		t.Errorf("bronze tokens consumed = %d, want 1", consumed["bronze"])
+	}
+
+	// The ledger reports into the shared registry.
+	if code, body := get(t, base+"/metrics"); code != http.StatusOK ||
+		!strings.Contains(string(body), `res_mem_capacity_bytes`) {
+		t.Errorf("/metrics missing res_* families (code %d)", code)
+	}
+
+	// Impossible reserves are caller errors, not overload.
+	for _, url := range []string{
+		"/work?class=gold&mem=9999999", // exceeds pool capacity
+		"/work?class=gold&io=999999",   // exceeds bucket burst
+		"/work?class=gold&mem=x",       // unparseable
+		"/work?class=gold&io=-1",       // negative
+	} {
+		if code, _ := get(t, base+url); code != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400", url, code)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run after shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run never returned after shutdown")
+	}
+
+	// Without pools the endpoint 404s and reserves are rejected.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	base2, done2 := startDaemon(t, ctx2)
+	if code, _ := get(t, base2+"/resources"); code != http.StatusNotFound {
+		t.Errorf("/resources without pools = %d, want 404", code)
+	}
+	if code, _ := get(t, base2+"/work?class=gold&mem=64"); code != http.StatusBadRequest {
+		t.Errorf("reserve without pools = %d, want 400", code)
+	}
+	cancel2()
+	<-done2
+}
+
+func TestParseReserves(t *testing.T) {
+	funding := map[string]ticket.Amount{"gold": 2, "bronze": 1}
+	m, err := parseReserves("gold=4096:64, bronze=0:8", funding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m["gold"] != (rt.Reserve{MemBytes: 4096, IOTokens: 64}) ||
+		m["bronze"] != (rt.Reserve{IOTokens: 8}) {
+		t.Fatalf("parseReserves: %v", m)
+	}
+	if m, err := parseReserves("", funding); err != nil || len(m) != 0 {
+		t.Errorf("empty spec: %v, %v", m, err)
+	}
+	for _, bad := range []string{
+		"gold",              // no =
+		"gold=64",           // no :
+		"gold=x:1",          // bad mem
+		"gold=1:x",          // bad io
+		"gold=-1:0",         // negative mem
+		"gold=0:-1",         // negative io
+		"silver=1:1",        // unknown class
+		"gold=1:1,gold=2:2", // duplicate
+	} {
+		if _, err := parseReserves(bad, funding); err == nil {
+			t.Errorf("parseReserves(%q) accepted", bad)
+		}
+	}
+}
+
 func TestRunBadConfig(t *testing.T) {
 	if err := run(context.Background(), []string{"-classes", "gold=-1"}, nil); err == nil {
 		t.Fatal("run accepted a negative ticket amount")
@@ -354,6 +489,15 @@ func TestRunBadConfig(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-events", "-1"}, nil); err == nil {
 		t.Fatal("run accepted a negative event ring capacity")
+	}
+	if err := run(context.Background(), []string{"-mem", "-1"}, nil); err == nil {
+		t.Fatal("run accepted a negative memory capacity")
+	}
+	if err := run(context.Background(), []string{"-reserves", "gold=1:1"}, nil); err == nil {
+		t.Fatal("run accepted reserves without any resource pool")
+	}
+	if err := run(context.Background(), []string{"-mem", "4096", "-reserves", "nope=1:1"}, nil); err == nil {
+		t.Fatal("run accepted a reserve for an unknown class")
 	}
 }
 

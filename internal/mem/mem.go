@@ -6,6 +6,12 @@
 // physical memory it currently occupies. Better-funded clients are
 // therefore less likely to lose a page, and a client cannot be
 // victimized beyond its residency.
+//
+// This package is the single-threaded simulation form of the
+// mechanism; internal/rt/resource ports it to a concurrency-safe,
+// byte-denominated runtime pool (tenant-granular victims, victim
+// selection outside the ledger lock, dominant-resource bias) for the
+// dispatcher's wall-clock task path.
 package mem
 
 import (

@@ -129,7 +129,7 @@ func (c *Client) Submit(fn func()) (*Task, error) {
 	if fn == nil {
 		panic("rt: Submit with nil task")
 	}
-	return c.submit(context.Background(), fn, false)
+	return c.submit(context.Background(), fn, false, Reserve{})
 }
 
 // SubmitCtx is Submit bound to a context. Cancelling ctx (or its
@@ -147,7 +147,7 @@ func (c *Client) SubmitCtx(ctx context.Context, fn func()) (*Task, error) {
 	if fn == nil {
 		panic("rt: Submit with nil task")
 	}
-	return c.submit(ctx, fn, false)
+	return c.submit(ctx, fn, false, Reserve{})
 }
 
 // SubmitDetached enqueues fn fire-and-forget: no handle is returned,
@@ -160,16 +160,68 @@ func (c *Client) SubmitDetached(fn func()) error {
 	if fn == nil {
 		panic("rt: Submit with nil task")
 	}
-	_, err := c.submit(context.Background(), fn, true)
+	_, err := c.submit(context.Background(), fn, true, Reserve{})
 	return err
 }
 
-func (c *Client) submit(ctx context.Context, fn func(), detached bool) (*Task, error) {
+// SubmitReserve is SubmitCtx with a resource reserve: res.MemBytes of
+// memory and res.IOTokens of I/O bandwidth are acquired from the
+// dispatcher's resource ledger *before* the task is enqueued —
+// admission is where backpressure belongs; workers never block on
+// resources — and released when the task finishes, whether it
+// completed, panicked, was cancelled while queued, or was discarded
+// by Abandon or a deadline-cut Close. Acquisition may revoke memory
+// from over-share tenants (§6.2 inverse lottery) and may block on I/O
+// tokens until the tenant's lottery-weighted turn at the bucket; ctx
+// cancellation while blocked rolls the reserve back and returns
+// ctx.Err(). On a dispatcher without a ledger a nonzero reserve fails
+// with ErrNoResources.
+func (c *Client) SubmitReserve(ctx context.Context, fn func(), res Reserve) (*Task, error) {
+	if ctx == nil {
+		panic("rt: SubmitReserve with nil context")
+	}
+	if fn == nil {
+		panic("rt: Submit with nil task")
+	}
+	return c.submit(ctx, fn, false, res)
+}
+
+// SubmitDetachedReserve is SubmitReserve fire-and-forget: the Task
+// bookkeeping is pool-recycled exactly as with SubmitDetached, so a
+// steady-state reserve-carrying submit stays allocation-free on the
+// uncontended path (BenchmarkReserveRelease pins it).
+func (c *Client) SubmitDetachedReserve(ctx context.Context, fn func(), res Reserve) error {
+	if ctx == nil {
+		panic("rt: SubmitReserve with nil context")
+	}
+	if fn == nil {
+		panic("rt: Submit with nil task")
+	}
+	_, err := c.submit(ctx, fn, true, res)
+	return err
+}
+
+func (c *Client) submit(ctx context.Context, fn func(), detached bool, res Reserve) (*Task, error) {
 	d := c.d
 	cancellable := ctx.Done() != nil
 	if cancellable {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+	}
+	if !res.IsZero() {
+		// Acquire before any dispatcher lock: memory reclamation and
+		// I/O waits happen entirely inside the ledger, and a submitter
+		// blocked on tokens holds no queue slot.
+		if d.ledger == nil {
+			return nil, ErrNoResources
+		}
+		if err := d.ledger.Acquire(ctx, c.tenant.res, res); err != nil {
+			return nil, err
+		}
+		if d.obs != nil {
+			d.obs.Observe(Event{At: time.Now(), Kind: EventReserve, Client: c.name,
+				Tenant: c.tenant.name, MemBytes: res.MemBytes, IOTokens: res.IOTokens})
 		}
 	}
 	var t *Task
@@ -183,6 +235,7 @@ func (c *Client) submit(ctx context.Context, fn func(), detached bool) (*Task, e
 	t.fn = fn
 	t.detached = detached
 	t.state = taskQueued
+	t.res = res
 
 	sh := c.lockShard()
 	for c.policy == Block && c.pendingLocked() >= c.qcap && !d.closed.Load() && !c.left {
@@ -199,6 +252,9 @@ func (c *Client) submit(ctx context.Context, fn func(), detached bool) (*Task, e
 			if err := ctx.Err(); err != nil {
 				if detached {
 					d.recycle(t)
+				}
+				if !res.IsZero() {
+					d.ledger.Release(c.tenant.res, res)
 				}
 				return nil, err
 			}
@@ -222,6 +278,9 @@ func (c *Client) submit(ctx context.Context, fn func(), detached bool) (*Task, e
 		sh.mu.Unlock()
 		if detached {
 			d.recycle(t)
+		}
+		if !res.IsZero() {
+			d.ledger.Release(c.tenant.res, res)
 		}
 		if fail == ErrQueueFull && d.obs != nil {
 			d.obs.Observe(Event{At: time.Now(), Kind: EventReject, Client: c.name, Tenant: c.tenant.name})

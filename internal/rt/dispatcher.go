@@ -13,6 +13,7 @@ import (
 	"repro/internal/lottery"
 	"repro/internal/metrics"
 	"repro/internal/random"
+	"repro/internal/rt/resource"
 	"repro/internal/ticket"
 )
 
@@ -25,7 +26,15 @@ var (
 	ErrQueueFull = errors.New("rt: client queue full")
 	// ErrClientLeft is returned by Submit after Client.Leave.
 	ErrClientLeft = errors.New("rt: client left")
+	// ErrNoResources is returned by SubmitReserve when the dispatcher
+	// was built without a resource ledger (Config.Resources).
+	ErrNoResources = errors.New("rt: dispatcher has no resource ledger")
 )
+
+// Reserve declares a task's memory and I/O bandwidth demand; see
+// resource.Reserve. Pass it to SubmitReserve on a dispatcher
+// configured with a resource ledger.
+type Reserve = resource.Reserve
 
 // maxCompensation is the default cap on the compensation multiplier;
 // same rationale as the simulator's scheduler (a task that completes
@@ -99,6 +108,15 @@ type Config struct {
 	// exposition. One registry serves one dispatcher. Nil disables
 	// exporting; Snapshot percentiles work either way.
 	Metrics *metrics.Registry
+	// Resources, when non-nil, is the multi-resource ledger the
+	// dispatcher's tenant currency jointly funds: tenants are
+	// registered into it with their base funding as tickets, task
+	// reserves (SubmitReserve) are acquired from it before enqueue and
+	// released when the task finishes, and every completion accrues
+	// its worker time to the tenant's CPU share. One ledger serves one
+	// dispatcher. Nil disables resource accounting; SubmitReserve then
+	// fails with ErrNoResources.
+	Resources *resource.Ledger
 }
 
 // Dispatcher proportionally shares a bounded pool of worker
@@ -166,6 +184,13 @@ type Dispatcher struct {
 	obs Observer
 	m   *rtMetrics
 
+	// ledger is the optional multi-resource ledger (Config.Resources),
+	// fixed at construction. Lock order: ledger internals are below
+	// every dispatcher lock — the ledger never calls into the
+	// dispatcher, and reserve acquisition happens before any shard
+	// lock is taken.
+	ledger *resource.Ledger
+
 	workers    int
 	wg         sync.WaitGroup
 	dispatched atomic.Uint64
@@ -206,8 +231,21 @@ func New(cfg Config) *Dispatcher {
 		workers:  cfg.Workers,
 		queueCap: cfg.QueueCap,
 		obs:      cfg.Observer,
+		ledger:   cfg.Resources,
 		balEvery: cfg.RebalanceEvery,
 		balStop:  make(chan struct{}),
+	}
+	if d.ledger != nil && d.obs != nil {
+		// Surface the ledger's enforcement as dispatcher events. The
+		// hooks run outside every ledger lock (see resource.Ledger), so
+		// the usual Observer contract holds.
+		obs := d.obs
+		d.ledger.OnReclaim(func(tenant string, bytes int64) {
+			obs.Observe(Event{At: time.Now(), Kind: EventReclaim, Tenant: tenant, MemBytes: bytes})
+		})
+		d.ledger.OnThrottle(func(tenant string, tokens int64) {
+			obs.Observe(Event{At: time.Now(), Kind: EventThrottle, Tenant: tenant, IOTokens: tokens})
+		})
 	}
 	d.idleCond = sync.NewCond(&d.idleMu)
 	d.taskPool.New = func() any { return new(Task) }
@@ -348,6 +386,10 @@ func (d *Dispatcher) cancelQueued(t *Task) {
 		return
 	}
 	t.state = taskDone
+	// This goroutine IS the context watcher; clearing stop tells
+	// finish it needs no disarming (and that a detached struct is
+	// safe to recycle — nothing else will touch it).
+	t.stop = nil
 	c.cancelledN++
 	c.mCancelled.Inc()
 	d.cancelled.Add(1)
@@ -564,6 +606,11 @@ func (d *Dispatcher) runDrawn(dr *drawn) {
 	err := runTask(t)
 	elapsed := time.Since(start)
 
+	if d.ledger != nil {
+		// Accrue the task's worker time to the tenant's CPU usage share
+		// (dominant-resource accounting).
+		c.tenant.res.NoteCPU(elapsed)
+	}
 	if err != nil {
 		d.panicked.Add(1)
 		c.panics.Add(1)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/lottery"
+	"repro/internal/rt/resource"
 )
 
 // CheckInvariants verifies the dispatcher's cross-layer invariants
@@ -28,7 +29,9 @@ import (
 //   - on a shard whose weight epoch is current, every in-tree weight
 //     (and the cached funding value behind it) equals the client's
 //     funding times its compensation multiplier;
-//   - completions never outrun dispatches.
+//   - completions never outrun dispatches;
+//   - with a resource ledger configured, resource.CheckLedger's pool
+//     and usage conservation invariants hold too.
 //
 // Safe for concurrent use; it locks every shard (in shard order) plus
 // the ticket graph for the whole check, so treat it as a
@@ -43,6 +46,12 @@ func CheckInvariants(d *Dispatcher) error {
 	d.graphMu.Unlock()
 	for i := len(d.shards) - 1; i >= 0; i-- {
 		d.shards[i].mu.Unlock()
+	}
+	if err == nil && d.ledger != nil {
+		// The ledger has its own lock, below every dispatcher lock in
+		// the order; checking it after the dispatcher sweep keeps the
+		// probe one-pass without nesting the ledger under the shards.
+		err = resource.CheckLedger(d.ledger)
 	}
 	return err
 }

@@ -37,6 +37,17 @@ const (
 	// EventTransfer: a WaitOn ticket transfer — Client lent its
 	// funding to Peer (§3.2).
 	EventTransfer
+	// EventReserve: a task's resource reserve was acquired from the
+	// ledger before enqueue; MemBytes/IOTokens hold the demand.
+	EventReserve
+	// EventReclaim: an inverse lottery revoked MemBytes of Tenant's
+	// memory under pressure (§6.2). Client is empty: reclamation is a
+	// tenant-level event.
+	EventReclaim
+	// EventThrottle: Tenant's queued I/O request was passed over for
+	// being over its dominant share; IOTokens holds the deferred
+	// demand. Client is empty, as with EventReclaim.
+	EventThrottle
 )
 
 func (k EventKind) String() string {
@@ -57,6 +68,12 @@ func (k EventKind) String() string {
 		return "compensate"
 	case EventTransfer:
 		return "transfer"
+	case EventReserve:
+		return "reserve"
+	case EventReclaim:
+		return "reclaim"
+	case EventThrottle:
+		return "throttle"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -74,6 +91,10 @@ type Event struct {
 	Factor  float64       // Compensate: the multiplier
 	Peer    string        // Transfer: the client funding was lent to
 	Err     string        // Cancel/Panic: the completion error
+
+	// Multi-resource fields (Reserve/Reclaim/Throttle).
+	MemBytes int64 // Reserve/Reclaim: bytes reserved or revoked
+	IOTokens int64 // Reserve/Throttle: tokens demanded or deferred
 }
 
 // eventJSON is the wire form shared with internal/trace's JSON-lines
@@ -89,6 +110,8 @@ type eventJSON struct {
 	Factor  float64 `json:"factor,omitempty"`
 	Peer    string  `json:"peer,omitempty"`
 	ErrText string  `json:"err,omitempty"`
+	MemB    int64   `json:"mem_bytes,omitempty"`
+	IOTok   int64   `json:"io_tokens,omitempty"`
 }
 
 // MarshalJSON renders the event as the JSON-lines schema shared with
@@ -105,6 +128,8 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		Factor:  e.Factor,
 		Peer:    e.Peer,
 		ErrText: e.Err,
+		MemB:    e.MemBytes,
+		IOTok:   e.IOTokens,
 	})
 }
 

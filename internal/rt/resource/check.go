@@ -1,0 +1,85 @@
+package resource
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckLedger verifies the ledger's accounting invariants and returns
+// the first violation, or nil:
+//
+//   - memory conservation: free >= 0, every residency >= 0, and
+//     free + Σ residencies == capacity;
+//   - bucket bounds: 0 <= tokens <= burst (within float slack);
+//   - waiter accounting: the waiter total equals the summed queue
+//     lengths, every queued request has 0 <= got < need, and its
+//     partial grant is not yet marked granted;
+//   - usage conservation: the per-resource totals equal the summed
+//     per-tenant usage, and the registered-ticket total equals the
+//     summed tenant tickets;
+//   - registration: the name index and the tenant list agree.
+//
+// It takes the ledger lock for the whole sweep — a stop-the-world
+// probe for tests, fuzzing, and the lotterydebug build (which runs it
+// after every acquire, release, and pump).
+func CheckLedger(l *Ledger) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.memFree < 0 {
+		return fmt.Errorf("resource: negative free memory %d", l.memFree)
+	}
+	if l.ioTokens < 0 || l.ioTokens > float64(l.ioBurst)+1e-6 {
+		return fmt.Errorf("resource: bucket tokens %v outside [0, %d]", l.ioTokens, l.ioBurst)
+	}
+	var (
+		resident, cpu, io int64
+		tickets           float64
+		waiters           int
+	)
+	for _, t := range l.tenants {
+		if t.memResident < 0 {
+			return fmt.Errorf("resource: tenant %q negative residency %d", t.name, t.memResident)
+		}
+		if t.tickets < 0 {
+			return fmt.Errorf("resource: tenant %q negative tickets %v", t.name, t.tickets)
+		}
+		if l.byName[t.name] != t {
+			return fmt.Errorf("resource: tenant %q not indexed under its name", t.name)
+		}
+		resident += t.memResident
+		cpu += t.cpuNanos
+		io += t.ioConsumed
+		tickets += t.tickets
+		waiters += len(t.waitq)
+		for i, w := range t.waitq {
+			if w.t != t {
+				return fmt.Errorf("resource: tenant %q queue slot %d owned by %q", t.name, i, w.t.name)
+			}
+			if w.got < 0 || w.got >= w.need {
+				return fmt.Errorf("resource: tenant %q queued request got %d of %d", t.name, w.got, w.need)
+			}
+			if w.granted {
+				return fmt.Errorf("resource: tenant %q still queues a granted request", t.name)
+			}
+		}
+	}
+	if len(l.byName) != len(l.tenants) {
+		return fmt.Errorf("resource: %d tenants but %d indexed names", len(l.tenants), len(l.byName))
+	}
+	if l.memFree+resident != l.memCap {
+		return fmt.Errorf("resource: free %d + resident %d != capacity %d", l.memFree, resident, l.memCap)
+	}
+	if cpu != l.cpuTotal {
+		return fmt.Errorf("resource: summed tenant CPU %d != total %d", cpu, l.cpuTotal)
+	}
+	if io != l.ioTotal {
+		return fmt.Errorf("resource: summed tenant I/O %d != total %d", io, l.ioTotal)
+	}
+	if math.Abs(tickets-l.tickets) > 1e-6*math.Max(tickets, 1) {
+		return fmt.Errorf("resource: summed tenant tickets %v != total %v", tickets, l.tickets)
+	}
+	if waiters != l.ioWaiters {
+		return fmt.Errorf("resource: summed queue lengths %d != waiter total %d", waiters, l.ioWaiters)
+	}
+	return nil
+}

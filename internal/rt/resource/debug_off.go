@@ -1,0 +1,7 @@
+//go:build !lotterydebug
+
+package resource
+
+// debugCheck is a no-op in the default build; the lotterydebug build
+// tag swaps in the full invariant sweep (see debug_on.go).
+func (l *Ledger) debugCheck() {}

@@ -1,0 +1,15 @@
+//go:build lotterydebug
+
+package resource
+
+// debugCheck runs the full ledger invariant sweep after every
+// acquire, release, and pump. Only built with -tags lotterydebug; the
+// default build compiles this away entirely (see debug_off.go). The
+// sweep takes the ledger lock itself, so it must be called with no
+// ledger lock held. A violation is an accounting bug, never an input
+// error, so it panics.
+func (l *Ledger) debugCheck() {
+	if err := CheckLedger(l); err != nil {
+		panic(err)
+	}
+}

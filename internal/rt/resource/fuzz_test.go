@@ -1,0 +1,94 @@
+package resource
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// FuzzResourceLedger feeds the ledger a byte-coded op stream —
+// registrations, reserves, releases, I/O enqueues and cancels, clock
+// advances, CPU charges — under a manual clock, and runs CheckLedger
+// after every op. Any conservation or bookkeeping violation panics in
+// the checker, so the fuzzer's only assertion is "no op sequence can
+// corrupt the ledger". Companion to the PR-4 fuzzers over the ticket
+// graph and lottery trees.
+func FuzzResourceLedger(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 40, 3, 30, 4, 5, 2, 0, 6, 0})
+	f.Add([]byte{0, 1, 0, 200, 1, 255, 1, 255, 1, 255, 5, 80, 3, 90, 4, 255})
+	f.Add([]byte{3, 200, 3, 200, 6, 0, 4, 1, 2, 255, 7, 3})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const (
+			memCap = 4096
+			rate   = 1000
+			burst  = 256
+		)
+		clk := newManualClock()
+		l := NewLedger(Config{MemCapacity: memCap, IORate: rate, IOBurst: burst, Seed: 1234, Clock: clk.Now})
+		names := []string{"a", "b", "c"}
+		tenants := make([]*Tenant, len(names))
+		for i, n := range names {
+			tenants[i] = l.Tenant(n, float64(50*(i+1)))
+		}
+		ctx := context.Background()
+		// held tracks live mem reserves per tenant so releases target
+		// real holdings; queued tracks cancellable I/O waiters.
+		held := make([][]int64, len(tenants))
+		var queued []*waiter
+		pick := func(b byte) int { return int(b) % len(tenants) }
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i], ops[i+1]
+			k := pick(arg)
+			tn := tenants[k]
+			switch op % 8 {
+			case 0: // retune tickets (idempotent re-registration)
+				l.Tenant(names[k], float64(arg))
+			case 1: // reserve memory; oversized asks may error, fine
+				n := int64(arg) * 32
+				if err := l.Acquire(ctx, tn, Reserve{MemBytes: n}); err == nil && n > 0 {
+					held[k] = append(held[k], n)
+				}
+			case 2: // release the oldest live reserve
+				if len(held[k]) > 0 {
+					l.Release(tn, Reserve{MemBytes: held[k][0]})
+					held[k] = held[k][1:]
+				}
+			case 3: // queue an I/O request (never more than burst)
+				n := 1 + int64(arg)%burst
+				queued = append(queued, enqueueIO(l, tn, n))
+			case 4: // advance the clock and pump
+				clk.Advance(time.Duration(arg) * time.Millisecond)
+				l.Pump()
+			case 5: // charge CPU time
+				tn.NoteCPU(time.Duration(arg) * time.Microsecond)
+			case 6: // cancel a queued request, as ctx expiry would
+				if len(queued) > 0 {
+					j := int(arg) % len(queued)
+					cancelIO(l, queued[j])
+					queued = append(queued[:j], queued[j+1:]...)
+				}
+			case 7: // over-release: must clamp, never corrupt
+				l.Release(tn, Reserve{MemBytes: int64(arg) * 64})
+				held[k] = nil
+			}
+			if err := CheckLedger(l); err != nil {
+				t.Fatalf("op %d (code %d arg %d): %v", i/2, op%8, arg, err)
+			}
+			// Granted waiters leave the queue's cancel set.
+			kept := queued[:0]
+			for _, w := range queued {
+				if !w.granted {
+					kept = append(kept, w)
+				}
+			}
+			queued = kept
+		}
+		// Drain: cancel leftovers and verify the ledger closes clean.
+		for _, w := range queued {
+			cancelIO(l, w)
+		}
+		if err := CheckLedger(l); err != nil {
+			t.Fatalf("after drain: %v", err)
+		}
+	})
+}

@@ -1,0 +1,298 @@
+package resource
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/lottery"
+)
+
+// ioTimerMin and ioTimerMax clamp the refill-timer delay: short
+// enough that grants stay responsive, long enough that a deep backlog
+// does not spin the timer.
+const (
+	ioTimerMin = 100 * time.Microsecond
+	ioTimerMax = 50 * time.Millisecond
+)
+
+// waiter is one queued I/O request: FIFO within its tenant, granted
+// possibly in installments as the bucket refills. Guarded by the
+// ledger mutex except done, which is closed (outside the lock) once
+// granted == true.
+type waiter struct {
+	t       *Tenant
+	need    int64
+	got     int64
+	granted bool
+	done    chan struct{}
+}
+
+// throttleEv is one pass-over of an over-dominant tenant's queue,
+// recorded under the lock for the OnThrottle hook.
+type throttleEv struct {
+	tenant string
+	tokens int64
+}
+
+// acquireIO consumes n tokens for t. The fast path — tokens available
+// and nobody queued — deducts and returns without blocking or
+// allocating. Otherwise the request joins t's FIFO queue and the
+// caller blocks until the pump grants it in full (or ctx is done,
+// which removes the request and refunds any partial grant).
+func (l *Ledger) acquireIO(ctx context.Context, t *Tenant, n int64) error {
+	if n > l.ioBurst {
+		return ErrIOCapacity
+	}
+	l.mu.Lock()
+	l.refillLocked(l.clock())
+	if l.ioWaiters == 0 && l.ioTokens >= float64(n) {
+		l.ioTokens -= float64(n)
+		l.grantLocked(t, n)
+		l.mu.Unlock()
+		return nil
+	}
+	w := &waiter{t: t, need: n, done: make(chan struct{})}
+	t.waitq = append(t.waitq, w)
+	l.ioWaiters++
+	wake, thr, hook := l.pumpLocked()
+	l.mu.Unlock()
+	finishPump(wake, thr, hook)
+
+	if ctx == nil || ctx.Done() == nil {
+		<-w.done
+		return nil
+	}
+	select {
+	case <-w.done:
+		return nil
+	case <-ctx.Done():
+	}
+	l.mu.Lock()
+	if w.granted {
+		// The grant completed while ctx fired; completion wins.
+		l.mu.Unlock()
+		<-w.done
+		return nil
+	}
+	l.removeWaiterLocked(t, w)
+	wake, thr, hook = l.pumpLocked() // the refund may satisfy others
+	l.mu.Unlock()
+	finishPump(wake, thr, hook)
+	return ctx.Err()
+}
+
+// removeWaiterLocked splices w out of t's queue and refunds its
+// partial grant to the bucket.
+func (l *Ledger) removeWaiterLocked(t *Tenant, w *waiter) {
+	for i, q := range t.waitq {
+		if q != w {
+			continue
+		}
+		copy(t.waitq[i:], t.waitq[i+1:])
+		t.waitq[len(t.waitq)-1] = nil
+		t.waitq = t.waitq[:len(t.waitq)-1]
+		l.ioWaiters--
+		break
+	}
+	l.ioTokens += float64(w.got)
+	if l.ioTokens > float64(l.ioBurst) {
+		l.ioTokens = float64(l.ioBurst)
+	}
+	w.got = 0
+}
+
+// refillLocked accrues rate·dt tokens, capped at the burst.
+func (l *Ledger) refillLocked(now time.Time) {
+	if l.ioRate <= 0 {
+		return
+	}
+	dt := now.Sub(l.ioLast)
+	if dt <= 0 {
+		return
+	}
+	l.ioLast = now
+	l.ioTokens += l.ioRate * dt.Seconds()
+	if l.ioTokens > float64(l.ioBurst) {
+		l.ioTokens = float64(l.ioBurst)
+	}
+}
+
+// grantLocked accounts n granted tokens to t.
+func (l *Ledger) grantLocked(t *Tenant, n int64) {
+	t.ioConsumed += n
+	l.ioTotal += n
+	l.ioGrants++
+	l.m.pushIOTokens(l.ioTokens)
+	t.tm.ioConsumed.Add(uint64(n))
+	t.pushSharesLocked()
+}
+
+// Pump refills the bucket from the clock and distributes tokens to
+// queued requests. It runs automatically (a single refill timer is
+// kept armed while requests wait), but is exported so manual-clock
+// tests and callers that just advanced the clock can drive grants
+// deterministically.
+func (l *Ledger) Pump() {
+	l.mu.Lock()
+	wake, thr, hook := l.pumpLocked()
+	l.mu.Unlock()
+	finishPump(wake, thr, hook)
+	l.debugCheck()
+}
+
+// finishPump performs the work pumpLocked defers to outside the lock:
+// waking granted waiters and invoking the throttle hook.
+func finishPump(wake []*waiter, thr []throttleEv, hook func(string, int64)) {
+	for _, w := range wake {
+		close(w.done)
+	}
+	if hook != nil {
+		for _, ev := range thr {
+			hook(ev.tenant, ev.tokens)
+		}
+	}
+}
+
+// pumpLocked is the grant loop: refill, then repeatedly draw a
+// waiting tenant by lottery in proportion to tickets and feed its
+// FIFO head, until tokens or waiters run out. A head request may be
+// filled across several pumps (partial grants); it completes — and
+// its waiter is handed back for wakeup — only when fully funded.
+//
+// Dominant-resource enforcement: while at least one waiting tenant is
+// within its entitlement, over-dominant tenants are excluded from the
+// draw (throttled, counted once per pump). When every waiting tenant
+// is over-dominant the draw runs over all of them — throttling
+// reorders service under contention but never wastes tokens.
+func (l *Ledger) pumpLocked() (wake []*waiter, thr []throttleEv, hook func(string, int64)) {
+	l.refillLocked(l.clock())
+	l.pumpSeq++
+	for l.ioWaiters > 0 {
+		avail := int64(l.ioTokens)
+		if avail <= 0 {
+			break
+		}
+		t := l.drawIOLocked(&thr)
+		w := t.waitq[0]
+		g := w.need - w.got
+		if g > avail {
+			w.got += avail
+			l.ioTokens -= float64(avail)
+			break
+		}
+		l.ioTokens -= float64(g)
+		w.got = w.need
+		w.granted = true
+		copy(t.waitq, t.waitq[1:])
+		t.waitq[len(t.waitq)-1] = nil
+		t.waitq = t.waitq[:len(t.waitq)-1]
+		l.ioWaiters--
+		l.grantLocked(t, w.need)
+		wake = append(wake, w)
+	}
+	l.m.pushIOTokens(l.ioTokens)
+	l.scheduleLocked()
+	return wake, thr, l.onThrottle
+}
+
+// drawIOLocked picks the waiting tenant the next grant goes to: a
+// lottery over tickets among eligible waiting tenants (see pumpLocked
+// for eligibility). With zero total tickets among the eligible the
+// draw degrades to round-robin, mirroring iodev's unfunded-stream
+// fallback. The caller guarantees at least one tenant waits.
+func (l *Ledger) drawIOLocked(thr *[]throttleEv) *Tenant {
+	var totalAll, totalElig float64
+	anyElig := false
+	for _, t := range l.tenants {
+		if len(t.waitq) == 0 {
+			continue
+		}
+		totalAll += t.tickets
+		if !t.overDominantLocked() {
+			anyElig = true
+			totalElig += t.tickets
+		}
+	}
+	if anyElig {
+		// Count each excluded tenant's pass-over once per pump.
+		for _, t := range l.tenants {
+			if len(t.waitq) > 0 && t.throttleSeq != l.pumpSeq && t.overDominantLocked() {
+				t.throttleSeq = l.pumpSeq
+				t.throttledN++
+				t.tm.throttled.Inc()
+				head := t.waitq[0]
+				*thr = append(*thr, throttleEv{tenant: t.name, tokens: head.need - head.got})
+			}
+		}
+	}
+	eligible := func(t *Tenant) bool {
+		if len(t.waitq) == 0 {
+			return false
+		}
+		return !anyElig || !t.overDominantLocked()
+	}
+	total := totalAll
+	if anyElig {
+		total = totalElig
+	}
+	if total > 0 {
+		u := lottery.Uniform(l.rng, total)
+		acc := 0.0
+		for _, t := range l.tenants {
+			if !eligible(t) {
+				continue
+			}
+			acc += t.tickets
+			if u < acc {
+				return t
+			}
+		}
+	}
+	// Zero funded tickets among the eligible: round-robin so unfunded
+	// tenants still progress (FIFO-ish service, no starvation).
+	n := len(l.tenants)
+	for i := 0; i < n; i++ {
+		t := l.tenants[(l.ioRR+i)%n]
+		if eligible(t) {
+			l.ioRR = (l.ioRR + i + 1) % n
+			return t
+		}
+	}
+	// The caller guarantees a waiter exists; with anyElig every
+	// eligible check above admits at least that tenant.
+	panic("resource: I/O draw found no waiting tenant")
+}
+
+// scheduleLocked keeps one refill timer armed while requests wait.
+// The delay targets the smallest outstanding head deficit, clamped to
+// [ioTimerMin, ioTimerMax]; manual-clock ledgers never arm timers
+// (their tests call Pump after advancing the clock).
+func (l *Ledger) scheduleLocked() {
+	if l.manual || l.timerOn || l.ioWaiters == 0 || l.ioRate <= 0 {
+		return
+	}
+	need := float64(l.ioBurst)
+	for _, t := range l.tenants {
+		if len(t.waitq) > 0 {
+			if d := float64(t.waitq[0].need - t.waitq[0].got); d < need {
+				need = d
+			}
+		}
+	}
+	deficit := need - l.ioTokens
+	delay := time.Duration(deficit / l.ioRate * float64(time.Second))
+	if delay < ioTimerMin {
+		delay = ioTimerMin
+	}
+	if delay > ioTimerMax {
+		delay = ioTimerMax
+	}
+	l.timerOn = true
+	time.AfterFunc(delay, func() {
+		l.mu.Lock()
+		l.timerOn = false
+		wake, thr, hook := l.pumpLocked()
+		l.mu.Unlock()
+		finishPump(wake, thr, hook)
+	})
+}

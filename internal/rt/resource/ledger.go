@@ -1,0 +1,385 @@
+package resource
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/random"
+)
+
+// Ledger is the multi-resource accountant: one set of tenant tickets
+// funds the memory pool, the I/O token bucket, and the CPU usage
+// shares the dispatcher reports into it. All methods are safe for
+// concurrent use.
+//
+// One ledger serves one dispatcher: rt.Config.Resources hands it to
+// the dispatcher, which registers its tenants, acquires task reserves
+// before enqueue, releases them when tasks finish, and reports CPU
+// time per completion.
+type Ledger struct {
+	slack  float64
+	clock  func() time.Time
+	manual bool // Clock overridden: never schedule refill timers
+
+	// rng feeds both lotteries. It locks internally so the memory
+	// victim draw can run outside mu (see reclaimLocked's caller).
+	rng *random.Locked
+
+	// mu guards everything below plus each tenant's mutable state.
+	// Lock order: mu may be held when locking rng (inside a draw),
+	// never the reverse; mu is taken with rt's shard and graph locks
+	// held (CheckInvariants), so the ledger never calls back into the
+	// dispatcher.
+	mu      sync.Mutex
+	tenants []*Tenant
+	byName  map[string]*Tenant
+	tickets float64 // sum over tenants
+
+	// Memory pool: memFree + Σ tenant.memResident == memCap always.
+	memCap   int64
+	memFree  int64
+	reclaims uint64 // inverse lotteries held
+
+	// I/O pool: a token bucket refilled lazily from the clock, with
+	// per-tenant FIFO waiter queues drained by lottery (iopool.go).
+	ioRate    float64
+	ioBurst   int64
+	ioTokens  float64
+	ioLast    time.Time
+	ioWaiters int // Σ len(tenant.waitq)
+	ioGrants  uint64
+	pumpSeq   uint64 // de-dupes throttle counts within one pump
+	ioRR      int    // round-robin cursor for the zero-ticket fallback
+	timerOn   bool
+
+	// Cross-resource usage totals, denominators of the usage shares.
+	cpuTotal int64 // nanoseconds
+	ioTotal  int64 // tokens granted
+
+	// Hooks, invoked outside mu; set them before the ledger is used.
+	onReclaim  func(tenant string, bytes int64)
+	onThrottle func(tenant string, tokens int64)
+
+	m *resMetrics
+}
+
+// Tenant is one principal in the ledger. Handles are returned by
+// Ledger.Tenant and never removed: usage counters are monotonic and a
+// re-registered name resumes its history.
+type Tenant struct {
+	l    *Ledger
+	name string
+
+	// Guarded by l.mu.
+	tickets     float64
+	memResident int64
+	waitq       []*waiter
+	throttleSeq uint64
+	cpuNanos    int64 // nanoseconds of worker time
+	ioConsumed  int64 // tokens granted
+	memLost     int64 // bytes revoked by inverse lotteries
+	victimized  uint64
+	throttledN  uint64
+
+	tm tenantMetrics
+}
+
+// NewLedger creates a ledger. The configuration is validated and
+// defaulted per Config; the token bucket starts full.
+func NewLedger(cfg Config) *Ledger {
+	cfg.normalize()
+	clock := cfg.Clock
+	manual := clock != nil
+	if clock == nil {
+		clock = time.Now
+	}
+	l := &Ledger{
+		slack:    cfg.DominanceSlack,
+		clock:    clock,
+		manual:   manual,
+		rng:      random.NewLocked(random.NewPM(cfg.Seed)),
+		byName:   make(map[string]*Tenant),
+		memCap:   cfg.MemCapacity,
+		memFree:  cfg.MemCapacity,
+		ioRate:   cfg.IORate,
+		ioBurst:  cfg.IOBurst,
+		ioTokens: float64(cfg.IOBurst),
+	}
+	l.ioLast = clock()
+	if cfg.Metrics != nil {
+		l.m = newResMetrics(cfg.Metrics, l)
+	}
+	return l
+}
+
+// MemCapacity returns the memory pool size in bytes.
+func (l *Ledger) MemCapacity() int64 { return l.memCap }
+
+// IORate returns the bucket refill rate in tokens per second.
+func (l *Ledger) IORate() float64 { return l.ioRate }
+
+// IOBurst returns the bucket capacity in tokens.
+func (l *Ledger) IOBurst() int64 { return l.ioBurst }
+
+// OnReclaim installs a hook called (outside the ledger lock) each
+// time bytes are revoked from a tenant by an inverse lottery. Install
+// hooks before the ledger is used.
+func (l *Ledger) OnReclaim(fn func(tenant string, bytes int64)) {
+	l.mu.Lock()
+	l.onReclaim = fn
+	l.mu.Unlock()
+}
+
+// OnThrottle installs a hook called (outside the ledger lock) each
+// time an over-dominant tenant's queued I/O request is passed over in
+// favor of tenants within their share. Install hooks before the
+// ledger is used.
+func (l *Ledger) OnThrottle(fn func(tenant string, tokens int64)) {
+	l.mu.Lock()
+	l.onThrottle = fn
+	l.mu.Unlock()
+}
+
+// Tenant returns the tenant registered under name, creating it with
+// the given tickets if new and updating its tickets otherwise.
+// Tickets set the tenant's entitled share of every resource: its
+// ticket fraction is the share its dominant usage is measured
+// against. Negative tickets are clamped to zero.
+func (l *Ledger) Tenant(name string, tickets float64) *Tenant {
+	if tickets < 0 {
+		tickets = 0
+	}
+	l.mu.Lock()
+	t := l.byName[name]
+	if t == nil {
+		t = &Tenant{l: l, name: name}
+		t.tm.bind(l.m, name)
+		l.tenants = append(l.tenants, t)
+		l.byName[name] = t
+	}
+	l.tickets += tickets - t.tickets
+	t.tickets = tickets
+	t.tm.tickets.Set(tickets)
+	l.mu.Unlock()
+	return t
+}
+
+// Name returns the tenant's name.
+func (t *Tenant) Name() string { return t.name }
+
+// SetTickets changes the tenant's ticket allocation; enforcement uses
+// the new entitlement immediately.
+func (t *Tenant) SetTickets(tickets float64) {
+	t.l.Tenant(t.name, tickets)
+}
+
+// NoteCPU accrues d of worker CPU time to the tenant — the
+// dispatcher calls it once per completed task. Non-positive durations
+// are ignored.
+func (t *Tenant) NoteCPU(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	l := t.l
+	l.mu.Lock()
+	t.cpuNanos += int64(d)
+	l.cpuTotal += int64(d)
+	t.tm.cpuNanos.Add(uint64(d))
+	t.pushSharesLocked()
+	l.mu.Unlock()
+}
+
+// Acquire obtains r for t, blocking only on I/O tokens: memory is
+// reserved immediately (revoking victims' bytes under pressure),
+// then the I/O demand waits its lottery-weighted turn at the bucket.
+// On ctx cancellation while waiting for tokens the memory reservation
+// is rolled back and ctx's error returned. A reserve larger than a
+// whole pool fails with ErrMemCapacity / ErrIOCapacity.
+func (l *Ledger) Acquire(ctx context.Context, t *Tenant, r Reserve) error {
+	if t == nil || t.l != l {
+		panic("resource: Acquire with foreign or nil tenant")
+	}
+	if r.MemBytes < 0 || r.IOTokens < 0 {
+		return ErrBadReserve
+	}
+	if r.MemBytes > 0 {
+		if err := l.acquireMem(t, r.MemBytes); err != nil {
+			return err
+		}
+	}
+	if r.IOTokens > 0 {
+		if err := l.acquireIO(ctx, t, r.IOTokens); err != nil {
+			if r.MemBytes > 0 {
+				l.releaseMem(t, r.MemBytes)
+			}
+			return err
+		}
+	}
+	l.debugCheck()
+	return nil
+}
+
+// Release returns r's memory to the pool (I/O tokens were consumed
+// at Acquire and do not return). A release is clamped to the tenant's
+// current residency: bytes an inverse lottery already revoked are not
+// double-freed.
+func (l *Ledger) Release(t *Tenant, r Reserve) {
+	if t == nil || t.l != l {
+		panic("resource: Release with foreign or nil tenant")
+	}
+	if r.MemBytes > 0 {
+		l.releaseMem(t, r.MemBytes)
+	}
+	l.debugCheck()
+}
+
+// ticketShareLocked is the tenant's entitled share: its tickets over
+// all registered tickets.
+func (t *Tenant) ticketShareLocked() float64 {
+	if t.l.tickets <= 0 {
+		return 0
+	}
+	return t.tickets / t.l.tickets
+}
+
+// sharesLocked returns the tenant's per-resource usage shares.
+func (t *Tenant) sharesLocked() (cpu, mem, io float64) {
+	l := t.l
+	if l.cpuTotal > 0 {
+		cpu = float64(t.cpuNanos) / float64(l.cpuTotal)
+	}
+	if l.memCap > 0 {
+		mem = float64(t.memResident) / float64(l.memCap)
+	}
+	if l.ioTotal > 0 {
+		io = float64(t.ioConsumed) / float64(l.ioTotal)
+	}
+	return cpu, mem, io
+}
+
+// dominantLocked returns the tenant's dominant share and which
+// resource it is on.
+func (t *Tenant) dominantLocked() (share float64, res string) {
+	cpu, mem, io := t.sharesLocked()
+	share, res = cpu, "cpu"
+	if mem > share {
+		share, res = mem, "mem"
+	}
+	if io > share {
+		share, res = io, "io"
+	}
+	return share, res
+}
+
+// overDominantLocked reports whether the tenant's dominant share
+// exceeds its ticket share by more than the configured slack — the
+// enforcement trigger for reclamation and throttling priority.
+func (t *Tenant) overDominantLocked() bool {
+	dom, _ := t.dominantLocked()
+	return dom > t.ticketShareLocked()*(1+t.l.slack)
+}
+
+// pushSharesLocked refreshes the tenant's share gauges from current
+// usage. Gauges are exact for the tenant being touched and eventually
+// consistent for the others (a grant to one tenant shifts everyone's
+// denominator; the others' gauges catch up on their own next
+// operation — Snapshot always recomputes exactly).
+func (t *Tenant) pushSharesLocked() {
+	cpu, mem, io := t.sharesLocked()
+	t.tm.shareCPU.Set(cpu)
+	t.tm.shareMem.Set(mem)
+	t.tm.shareIO.Set(io)
+	dom := cpu
+	if mem > dom {
+		dom = mem
+	}
+	if io > dom {
+		dom = io
+	}
+	t.tm.shareDom.Set(dom)
+}
+
+// TenantSnapshot is one tenant's view in a Snapshot.
+type TenantSnapshot struct {
+	Name        string  `json:"name"`
+	Tickets     float64 `json:"tickets"`
+	TicketShare float64 `json:"ticket_share"`
+	// Per-resource usage and usage shares.
+	CPUSeconds  float64 `json:"cpu_seconds"`
+	CPUShare    float64 `json:"cpu_share"`
+	MemResident int64   `json:"mem_resident_bytes"`
+	MemShare    float64 `json:"mem_share"`
+	IOConsumed  int64   `json:"io_tokens_consumed"`
+	IOShare     float64 `json:"io_share"`
+	// Dominant-resource accounting: the largest usage share, the
+	// resource it is on, and whether enforcement currently treats the
+	// tenant as over its entitlement.
+	DominantResource string  `json:"dominant_resource"`
+	DominantShare    float64 `json:"dominant_share"`
+	OverDominant     bool    `json:"over_dominant"`
+	// Enforcement history.
+	MemReclaimed int64  `json:"mem_reclaimed_bytes"`
+	Victimized   uint64 `json:"victimized"`
+	IOThrottled  uint64 `json:"io_throttled"`
+	IOWaiting    int    `json:"io_waiting"`
+}
+
+// Snapshot is a consistent view of the ledger: pools and all tenants,
+// captured under one lock acquisition.
+type Snapshot struct {
+	MemCapacity    int64            `json:"mem_capacity_bytes"`
+	MemFree        int64            `json:"mem_free_bytes"`
+	Reclaims       uint64           `json:"reclaims"`
+	IORate         float64          `json:"io_rate_tokens_per_sec,omitempty"`
+	IOBurst        int64            `json:"io_burst_tokens,omitempty"`
+	IOTokens       float64          `json:"io_tokens"`
+	IOGrants       uint64           `json:"io_grants"`
+	IOWaiters      int              `json:"io_waiters"`
+	DominanceSlack float64          `json:"dominance_slack"`
+	Tenants        []TenantSnapshot `json:"tenants"`
+}
+
+// Snapshot captures the ledger's current state. Tenants are sorted by
+// name.
+func (l *Ledger) Snapshot() Snapshot {
+	l.mu.Lock()
+	s := Snapshot{
+		MemCapacity:    l.memCap,
+		MemFree:        l.memFree,
+		Reclaims:       l.reclaims,
+		IORate:         l.ioRate,
+		IOBurst:        l.ioBurst,
+		IOTokens:       l.ioTokens,
+		IOGrants:       l.ioGrants,
+		IOWaiters:      l.ioWaiters,
+		DominanceSlack: l.slack,
+	}
+	s.Tenants = make([]TenantSnapshot, 0, len(l.tenants))
+	for _, t := range l.tenants {
+		cpu, mem, io := t.sharesLocked()
+		dom, res := t.dominantLocked()
+		s.Tenants = append(s.Tenants, TenantSnapshot{
+			Name:             t.name,
+			Tickets:          t.tickets,
+			TicketShare:      t.ticketShareLocked(),
+			CPUSeconds:       time.Duration(t.cpuNanos).Seconds(),
+			CPUShare:         cpu,
+			MemResident:      t.memResident,
+			MemShare:         mem,
+			IOConsumed:       t.ioConsumed,
+			IOShare:          io,
+			DominantResource: res,
+			DominantShare:    dom,
+			OverDominant:     t.overDominantLocked(),
+			MemReclaimed:     t.memLost,
+			Victimized:       t.victimized,
+			IOThrottled:      t.throttledN,
+			IOWaiting:        len(t.waitq),
+		})
+	}
+	l.mu.Unlock()
+	sort.Slice(s.Tenants, func(i, j int) bool { return s.Tenants[i].Name < s.Tenants[j].Name })
+	return s
+}

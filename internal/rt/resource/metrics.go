@@ -1,0 +1,120 @@
+package resource
+
+import "repro/internal/metrics"
+
+// resMetrics holds the ledger's registry families when Config.Metrics
+// is set. Pool capacities and rates are callbacks over immutable
+// config; the free-bytes and bucket gauges are pushed from the paths
+// that change them (two atomic stores — a scrape never takes the
+// ledger lock). A nil *resMetrics is valid and makes every ledger-
+// level push a no-op; per-tenant instruments are then standalone.
+type resMetrics struct {
+	memFree  *metrics.Gauge
+	ioTokens *metrics.Gauge
+
+	tickets    *metrics.GaugeVec
+	resident   *metrics.GaugeVec
+	cpuNanos   *metrics.CounterVec
+	ioConsumed *metrics.CounterVec
+	reclaimed  *metrics.CounterVec
+	victimized *metrics.CounterVec
+	throttled  *metrics.CounterVec
+	share      *metrics.GaugeVec
+	dominant   *metrics.GaugeVec
+}
+
+// newResMetrics registers the ledger's families into r. One registry
+// serves one ledger (a second registration panics on the duplicate
+// family names); the res_* prefix keeps it disjoint from a
+// dispatcher's rt_* families so both can share a registry.
+func newResMetrics(r *metrics.Registry, l *Ledger) *resMetrics {
+	r.GaugeFunc("res_mem_capacity_bytes", "Memory pool size.",
+		func() float64 { return float64(l.memCap) })
+	r.GaugeFunc("res_io_rate_tokens_per_sec", "I/O token bucket refill rate.",
+		func() float64 { return l.ioRate })
+	r.GaugeFunc("res_io_burst_tokens", "I/O token bucket capacity.",
+		func() float64 { return float64(l.ioBurst) })
+	m := &resMetrics{
+		memFree:  r.Gauge("res_mem_free_bytes", "Unreserved bytes in the memory pool."),
+		ioTokens: r.Gauge("res_io_tokens", "Tokens currently in the I/O bucket."),
+		tickets: r.GaugeVec("res_tenant_tickets",
+			"The tenant's ticket allocation in the resource ledger.", "tenant"),
+		resident: r.GaugeVec("res_mem_resident_bytes",
+			"Bytes the tenant currently holds reserved.", "tenant"),
+		cpuNanos: r.CounterVec("res_cpu_nanos_total",
+			"Worker CPU time accrued to the tenant, in nanoseconds.", "tenant"),
+		ioConsumed: r.CounterVec("res_io_tokens_consumed_total",
+			"I/O bandwidth tokens granted to the tenant.", "tenant"),
+		reclaimed: r.CounterVec("res_mem_reclaimed_bytes_total",
+			"Bytes revoked from the tenant by inverse lotteries.", "tenant"),
+		victimized: r.CounterVec("res_mem_victimized_total",
+			"Inverse lotteries the tenant lost.", "tenant"),
+		throttled: r.CounterVec("res_io_throttled_total",
+			"Pump rounds that passed over the tenant's queued I/O for being over-dominant.", "tenant"),
+		share: r.GaugeVec("res_tenant_share",
+			"The tenant's usage share of one resource (see res_tenant_dominant_share).",
+			"tenant", "resource"),
+		dominant: r.GaugeVec("res_tenant_dominant_share",
+			"The tenant's largest per-resource usage share (dominant-resource accounting).", "tenant"),
+	}
+	m.memFree.Set(float64(l.memCap))
+	m.ioTokens.Set(float64(l.ioBurst))
+	return m
+}
+
+func (m *resMetrics) pushMemFree(v int64) {
+	if m != nil {
+		m.memFree.Set(float64(v))
+	}
+}
+
+func (m *resMetrics) pushIOTokens(v float64) {
+	if m != nil {
+		m.ioTokens.Set(v)
+	}
+}
+
+// tenantMetrics are one tenant's instruments: registry series when
+// the ledger exports metrics, standalone otherwise, so the accounting
+// paths never branch on the registry's presence.
+type tenantMetrics struct {
+	tickets    *metrics.Gauge
+	resident   *metrics.Gauge
+	cpuNanos   *metrics.Counter
+	ioConsumed *metrics.Counter
+	reclaimed  *metrics.Counter
+	victimized *metrics.Counter
+	throttled  *metrics.Counter
+	shareCPU   *metrics.Gauge
+	shareMem   *metrics.Gauge
+	shareIO    *metrics.Gauge
+	shareDom   *metrics.Gauge
+}
+
+func (tm *tenantMetrics) bind(m *resMetrics, name string) {
+	if m == nil {
+		tm.tickets = metrics.NewGauge()
+		tm.resident = metrics.NewGauge()
+		tm.cpuNanos = metrics.NewCounter()
+		tm.ioConsumed = metrics.NewCounter()
+		tm.reclaimed = metrics.NewCounter()
+		tm.victimized = metrics.NewCounter()
+		tm.throttled = metrics.NewCounter()
+		tm.shareCPU = metrics.NewGauge()
+		tm.shareMem = metrics.NewGauge()
+		tm.shareIO = metrics.NewGauge()
+		tm.shareDom = metrics.NewGauge()
+		return
+	}
+	tm.tickets = m.tickets.With(name)
+	tm.resident = m.resident.With(name)
+	tm.cpuNanos = m.cpuNanos.With(name)
+	tm.ioConsumed = m.ioConsumed.With(name)
+	tm.reclaimed = m.reclaimed.With(name)
+	tm.victimized = m.victimized.With(name)
+	tm.throttled = m.throttled.With(name)
+	tm.shareCPU = m.share.With(name, "cpu")
+	tm.shareMem = m.share.With(name, "mem")
+	tm.shareIO = m.share.With(name, "io")
+	tm.shareDom = m.dominant.With(name)
+}

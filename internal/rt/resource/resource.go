@@ -1,0 +1,136 @@
+// Package resource is the wall-clock multi-resource ledger: one
+// tenant currency jointly funds CPU time, memory, and I/O bandwidth.
+//
+// The package promotes the paper's non-CPU mechanisms — §6.2 inverse
+// lotteries for space-shared memory (simulated in internal/mem) and
+// funded I/O queues (internal/iodev) — into a concurrency-safe
+// runtime that internal/rt's dispatcher consults on the task path.
+// A Ledger owns two pools behind one interface:
+//
+//   - a byte-denominated memory reservation pool: Acquire takes bytes
+//     from the free pool, and under pressure revokes bytes from a
+//     victim tenant chosen by inverse lottery with §6.2 weights
+//     w_i = (1 - t_i/T) · m_i/M — better-funded tenants are less
+//     likely to lose memory, and no tenant can be victimized beyond
+//     its residency;
+//
+//   - a token-bucket I/O bandwidth pool: the bucket refills at a
+//     configured rate and grants are split by lottery among the
+//     tenants with queued requests, in proportion to their tickets —
+//     the wall-clock analog of iodev's per-request device lottery.
+//     As in §6 the lottery funds queues, not bytes: each win grants
+//     one request, so token shares track ticket shares when request
+//     sizes are comparable, and a tenant inflating its request size
+//     gains tokens per win only until the dominance clamp below
+//     catches up.
+//
+// On top of both sits dominant-resource accounting ("No Justified
+// Complaints", PAPERS.md): per-tenant usage is tracked per resource,
+// each tenant's dominant share (its largest per-resource usage share)
+// is exposed in Snapshot and metrics, and tenants whose dominant
+// share exceeds their ticket share are first in line for memory
+// reclamation and I/O throttling — a tenant heavy on one resource
+// cannot corner the others.
+//
+// Lock discipline: the ledger has a single mutex; victim selection
+// for memory reclamation deliberately runs *outside* it (candidates
+// are snapshotted under the lock, the inverse lottery is drawn
+// unlocked, and the revocation is re-validated under the lock) so the
+// draw never extends the critical section — the same discipline the
+// lockemit analyzer enforces for the dispatcher. Waiter wakeups and
+// the OnReclaim/OnThrottle hooks are likewise invoked outside the
+// lock.
+package resource
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Reserve declares a task's resource demand: bytes of memory held
+// from dispatch admission until the task finishes (completion,
+// cancellation, or panic), and I/O bandwidth tokens consumed from the
+// tenant's share of the bucket before the task is admitted. The zero
+// value declares nothing.
+type Reserve struct {
+	MemBytes int64
+	IOTokens int64
+}
+
+// IsZero reports whether the reserve declares no demand.
+func (r Reserve) IsZero() bool { return r == Reserve{} }
+
+// Errors returned by Acquire.
+var (
+	// ErrBadReserve is returned for a negative demand.
+	ErrBadReserve = errors.New("resource: negative reserve")
+	// ErrMemCapacity is returned when a single reserve asks for more
+	// memory than the whole pool (or the ledger has no memory pool).
+	ErrMemCapacity = errors.New("resource: reserve exceeds memory pool capacity")
+	// ErrIOCapacity is returned when a single reserve asks for more
+	// I/O tokens than the bucket can ever hold (or the ledger has no
+	// I/O pool).
+	ErrIOCapacity = errors.New("resource: reserve exceeds I/O bucket burst")
+)
+
+// defaultDominanceSlack is the relative headroom a tenant's dominant
+// share gets over its ticket share before enforcement treats it as
+// over-dominant. It is deliberately tighter than the 5% conformance
+// tolerance so enforcement engages before a share drifts out of it.
+const defaultDominanceSlack = 0.02
+
+// Config parameterizes a Ledger. A zero capacity disables the
+// corresponding pool: reserves against a disabled pool fail rather
+// than silently succeed.
+type Config struct {
+	// MemCapacity is the memory pool size in bytes; 0 disables the
+	// memory pool.
+	MemCapacity int64
+	// IORate is the token-bucket refill rate in tokens per second;
+	// 0 disables the I/O pool.
+	IORate float64
+	// IOBurst caps the bucket (and the largest single reserve);
+	// default max(IORate, 1) when the I/O pool is enabled.
+	IOBurst int64
+	// Seed seeds the ledger's lottery stream (victim draws and I/O
+	// grant draws); default 1.
+	Seed uint32
+	// DominanceSlack is the relative headroom over the ticket share
+	// before a tenant counts as over-dominant; default 0.02 (2%).
+	DominanceSlack float64
+	// Metrics, when non-nil, receives the ledger's metric families
+	// (res_* pool gauges and per-tenant usage/share/reclaim/throttle
+	// series). One registry serves one ledger.
+	Metrics *metrics.Registry
+	// Clock overrides the wall clock for the token bucket; nil means
+	// time.Now. With a manual clock the ledger never schedules refill
+	// timers — the test drives grants itself (see Pump).
+	Clock func() time.Time
+}
+
+func (c *Config) normalize() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.DominanceSlack <= 0 {
+		c.DominanceSlack = defaultDominanceSlack
+	}
+	if c.MemCapacity < 0 {
+		panic(fmt.Sprintf("resource: negative MemCapacity %d", c.MemCapacity))
+	}
+	if c.IORate < 0 {
+		panic(fmt.Sprintf("resource: negative IORate %v", c.IORate))
+	}
+	if c.IORate > 0 && c.IOBurst <= 0 {
+		c.IOBurst = int64(c.IORate)
+		if c.IOBurst < 1 {
+			c.IOBurst = 1
+		}
+	}
+	if c.IORate == 0 {
+		c.IOBurst = 0
+	}
+}

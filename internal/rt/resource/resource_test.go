@@ -1,0 +1,328 @@
+package resource
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// manualClock is a settable clock for deterministic token-bucket
+// tests; the ledger never arms refill timers when one is installed.
+type manualClock struct{ now atomic.Int64 }
+
+func newManualClock() *manualClock {
+	c := &manualClock{}
+	c.now.Store(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC).UnixNano())
+	return c
+}
+
+func (c *manualClock) Now() time.Time          { return time.Unix(0, c.now.Load()) }
+func (c *manualClock) Advance(d time.Duration) { c.now.Add(int64(d)) }
+
+// enqueueIO queues an I/O request without blocking the caller — the
+// test-side analog of acquireIO's slow path, driven by Pump.
+func enqueueIO(l *Ledger, t *Tenant, n int64) *waiter {
+	l.mu.Lock()
+	w := &waiter{t: t, need: n, done: make(chan struct{})}
+	t.waitq = append(t.waitq, w)
+	l.ioWaiters++
+	l.mu.Unlock()
+	return w
+}
+
+// cancelIO removes a queued request, as a context cancellation would.
+func cancelIO(l *Ledger, w *waiter) bool {
+	l.mu.Lock()
+	if w.granted {
+		l.mu.Unlock()
+		return false
+	}
+	l.removeWaiterLocked(w.t, w)
+	wake, thr, hook := l.pumpLocked()
+	l.mu.Unlock()
+	finishPump(wake, thr, hook)
+	return true
+}
+
+func requireLedger(t *testing.T, l *Ledger) {
+	t.Helper()
+	if err := CheckLedger(l); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemReserveReleaseAccounting(t *testing.T) {
+	l := NewLedger(Config{MemCapacity: 1 << 20, Seed: 3})
+	a := l.Tenant("a", 100)
+	if err := l.Acquire(context.Background(), a, Reserve{MemBytes: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	requireLedger(t, l)
+	s := l.Snapshot()
+	if s.MemFree != 1<<20-4096 {
+		t.Fatalf("free = %d after reserving 4096 of %d", s.MemFree, 1<<20)
+	}
+	if got := s.Tenants[0].MemResident; got != 4096 {
+		t.Fatalf("resident = %d, want 4096", got)
+	}
+	l.Release(a, Reserve{MemBytes: 4096})
+	requireLedger(t, l)
+	if s := l.Snapshot(); s.MemFree != 1<<20 {
+		t.Fatalf("free = %d after release, want %d", s.MemFree, 1<<20)
+	}
+}
+
+func TestAcquireErrors(t *testing.T) {
+	l := NewLedger(Config{MemCapacity: 1024})
+	a := l.Tenant("a", 100)
+	ctx := context.Background()
+	if err := l.Acquire(ctx, a, Reserve{MemBytes: -1}); !errors.Is(err, ErrBadReserve) {
+		t.Fatalf("negative mem: %v", err)
+	}
+	if err := l.Acquire(ctx, a, Reserve{IOTokens: -1}); !errors.Is(err, ErrBadReserve) {
+		t.Fatalf("negative io: %v", err)
+	}
+	if err := l.Acquire(ctx, a, Reserve{MemBytes: 2048}); !errors.Is(err, ErrMemCapacity) {
+		t.Fatalf("oversized mem: %v", err)
+	}
+	// No I/O pool configured: any token demand exceeds the zero burst.
+	if err := l.Acquire(ctx, a, Reserve{IOTokens: 1}); !errors.Is(err, ErrIOCapacity) {
+		t.Fatalf("io without pool: %v", err)
+	}
+	requireLedger(t, l)
+}
+
+func TestInverseLotteryReclaim(t *testing.T) {
+	l := NewLedger(Config{MemCapacity: 1 << 16, Seed: 11})
+	var reclaimed atomic.Int64
+	l.OnReclaim(func(tenant string, bytes int64) {
+		if tenant != "hog" {
+			t.Errorf("reclaimed from %q, want hog", tenant)
+		}
+		reclaimed.Add(bytes)
+	})
+	hog := l.Tenant("hog", 100)
+	small := l.Tenant("small", 100)
+	ctx := context.Background()
+	// The hog takes the whole pool, then the small tenant's reserve
+	// must be funded by revocation — the hog holds everything, so it
+	// is the only possible victim.
+	if err := l.Acquire(ctx, hog, Reserve{MemBytes: 1 << 16}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(ctx, small, Reserve{MemBytes: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	requireLedger(t, l)
+	if got := reclaimed.Load(); got != 4096 {
+		t.Fatalf("OnReclaim saw %d bytes, want 4096", got)
+	}
+	s := l.Snapshot()
+	for _, ts := range s.Tenants {
+		switch ts.Name {
+		case "hog":
+			if ts.MemResident != 1<<16-4096 || ts.MemReclaimed != 4096 || ts.Victimized == 0 {
+				t.Fatalf("hog snapshot after revocation: %+v", ts)
+			}
+		case "small":
+			if ts.MemResident != 4096 {
+				t.Fatalf("small resident = %d, want 4096", ts.MemResident)
+			}
+		}
+	}
+	// Revocation semantics: the hog releasing its full original
+	// reserve must not double-free the bytes it already lost.
+	l.Release(hog, Reserve{MemBytes: 1 << 16})
+	requireLedger(t, l)
+	if s := l.Snapshot(); s.MemFree != 1<<16-4096 {
+		t.Fatalf("free = %d after clamped release, want %d", s.MemFree, 1<<16-4096)
+	}
+	if s := l.Snapshot(); s.Reclaims == 0 {
+		t.Fatal("snapshot records no inverse lotteries")
+	}
+}
+
+func TestIOFastPathAndBlocking(t *testing.T) {
+	clk := newManualClock()
+	l := NewLedger(Config{IORate: 1000, IOBurst: 100, Seed: 5, Clock: clk.Now})
+	a := l.Tenant("a", 100)
+	ctx := context.Background()
+	// Fast path: the bucket starts full.
+	if err := l.Acquire(ctx, a, Reserve{IOTokens: 100}); err != nil {
+		t.Fatal(err)
+	}
+	requireLedger(t, l)
+	// Bucket empty: a second acquire must block until the clock moves.
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(ctx, a, Reserve{IOTokens: 50}) }()
+	select {
+	case err := <-done:
+		t.Fatalf("acquire returned %v with an empty bucket", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	clk.Advance(60 * time.Millisecond) // 60 tokens
+	l.Pump()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("acquire still blocked after refill")
+	}
+	requireLedger(t, l)
+	if s := l.Snapshot(); s.Tenants[0].IOConsumed != 150 {
+		t.Fatalf("consumed = %d, want 150", s.Tenants[0].IOConsumed)
+	}
+}
+
+func TestIOCancelRefundsPartialGrant(t *testing.T) {
+	clk := newManualClock()
+	l := NewLedger(Config{IORate: 1000, IOBurst: 100, Seed: 5, Clock: clk.Now})
+	a := l.Tenant("a", 100)
+	if err := l.Acquire(context.Background(), a, Reserve{IOTokens: 100}); err != nil {
+		t.Fatal(err)
+	}
+	w := enqueueIO(l, a, 80)
+	clk.Advance(30 * time.Millisecond) // 30 tokens: a partial grant
+	l.Pump()
+	requireLedger(t, l)
+	if w.granted {
+		t.Fatal("80-token request granted from 30 tokens")
+	}
+	if !cancelIO(l, w) {
+		t.Fatal("cancel failed on a queued request")
+	}
+	requireLedger(t, l)
+	s := l.Snapshot()
+	if s.IOWaiters != 0 {
+		t.Fatalf("%d waiters after cancel", s.IOWaiters)
+	}
+	if s.IOTokens < 29 { // the partial grant went back to the bucket
+		t.Fatalf("bucket holds %v tokens after refund, want ~30", s.IOTokens)
+	}
+	if s.Tenants[0].IOConsumed != 100 {
+		t.Fatalf("consumed = %d; a cancelled partial grant must not count", s.Tenants[0].IOConsumed)
+	}
+}
+
+func TestOverDominantThrottledFirst(t *testing.T) {
+	clk := newManualClock()
+	l := NewLedger(Config{IORate: 1000, IOBurst: 100, Seed: 9, Clock: clk.Now})
+	var throttled atomic.Int64
+	l.OnThrottle(func(tenant string, tokens int64) {
+		if tenant != "hog" {
+			t.Errorf("throttled %q, want hog", tenant)
+		}
+		throttled.Add(1)
+	})
+	hog := l.Tenant("hog", 500)
+	meek := l.Tenant("meek", 500)
+	// Make the hog over-dominant on I/O: it consumed the whole bucket.
+	if err := l.Acquire(context.Background(), hog, Reserve{IOTokens: 100}); err != nil {
+		t.Fatal(err)
+	}
+	wh := enqueueIO(l, hog, 40)
+	wm := enqueueIO(l, meek, 40)
+	clk.Advance(45 * time.Millisecond) // 45 tokens: enough for one grant
+	l.Pump()
+	requireLedger(t, l)
+	if wh.granted || !wm.granted {
+		t.Fatalf("hog granted=%v meek granted=%v; the within-share tenant must win", wh.granted, wm.granted)
+	}
+	if throttled.Load() == 0 {
+		t.Fatal("OnThrottle never fired for the over-dominant tenant")
+	}
+	snap := l.Snapshot()
+	for _, ts := range snap.Tenants {
+		if ts.Name == "hog" && (ts.IOThrottled == 0 || !ts.OverDominant) {
+			t.Fatalf("hog snapshot: %+v", ts)
+		}
+	}
+	// Work conservation: with only the hog waiting, tokens still flow.
+	clk.Advance(50 * time.Millisecond)
+	l.Pump()
+	requireLedger(t, l)
+	if !wh.granted {
+		t.Fatal("sole waiter starved: throttling must not waste tokens")
+	}
+}
+
+func TestDominantShareAccounting(t *testing.T) {
+	clk := newManualClock()
+	l := NewLedger(Config{MemCapacity: 1 << 20, IORate: 1e6, IOBurst: 1000, Seed: 2, Clock: clk.Now})
+	cpu := l.Tenant("cpu", 250)
+	mem := l.Tenant("mem", 250)
+	io := l.Tenant("io", 500)
+	ctx := context.Background()
+	cpu.NoteCPU(80 * time.Millisecond)
+	mem.NoteCPU(10 * time.Millisecond)
+	io.NoteCPU(10 * time.Millisecond)
+	if err := l.Acquire(ctx, mem, Reserve{MemBytes: 1 << 19}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(ctx, io, Reserve{IOTokens: 900}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(ctx, cpu, Reserve{IOTokens: 100}); err != nil {
+		t.Fatal(err)
+	}
+	requireLedger(t, l)
+	want := map[string]string{"cpu": "cpu", "mem": "mem", "io": "io"}
+	for _, ts := range l.Snapshot().Tenants {
+		if ts.DominantResource != want[ts.Name] {
+			t.Fatalf("tenant %q dominant on %q (share %v), want %q",
+				ts.Name, ts.DominantResource, ts.DominantShare, want[ts.Name])
+		}
+		if ts.Name == "mem" && ts.DominantShare != 0.5 {
+			t.Fatalf("mem dominant share = %v, want 0.5", ts.DominantShare)
+		}
+	}
+}
+
+func TestLedgerMetricsExposition(t *testing.T) {
+	reg := metrics.NewRegistry()
+	clk := newManualClock()
+	l := NewLedger(Config{MemCapacity: 4096, IORate: 100, IOBurst: 100, Metrics: reg, Clock: clk.Now})
+	a := l.Tenant("a", 100)
+	ctx := context.Background()
+	if err := l.Acquire(ctx, a, Reserve{MemBytes: 1024, IOTokens: 10}); err != nil {
+		t.Fatal(err)
+	}
+	a.NoteCPU(time.Millisecond)
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`res_mem_free_bytes 3072`,
+		`res_mem_resident_bytes{tenant="a"} 1024`,
+		`res_io_tokens_consumed_total{tenant="a"} 10`,
+		`res_cpu_nanos_total{tenant="a"} 1000000`,
+		`res_tenant_share{tenant="a",resource="mem"} 0.25`,
+		`res_tenant_dominant_share{tenant="a"} 1`,
+		`res_tenant_tickets{tenant="a"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestTenantReregistrationUpdatesTickets(t *testing.T) {
+	l := NewLedger(Config{MemCapacity: 4096})
+	a := l.Tenant("a", 100)
+	if got := l.Tenant("a", 300); got != a {
+		t.Fatal("re-registration returned a new handle")
+	}
+	requireLedger(t, l)
+	if s := l.Snapshot(); s.Tenants[0].Tickets != 300 || s.Tenants[0].TicketShare != 1 {
+		t.Fatalf("tickets after update: %+v", s.Tenants[0])
+	}
+}

@@ -3,6 +3,8 @@ package rt
 import (
 	"sort"
 	"time"
+
+	"repro/internal/rt/resource"
 )
 
 // ClientSnapshot is one client's view in a Snapshot.
@@ -60,6 +62,12 @@ type Snapshot struct {
 	Panicked   uint64           `json:"panicked"`
 	Cancelled  uint64           `json:"cancelled"`
 	Clients    []ClientSnapshot `json:"clients"`
+	// Resources is the multi-resource ledger's view (per-tenant usage,
+	// shares, and dominant-resource accounting); nil when the
+	// dispatcher was built without Config.Resources. It is captured
+	// under the ledger's own lock, with the same eventual-consistency
+	// caveat against the per-client rows as the other phases.
+	Resources *resource.Snapshot `json:"resources,omitempty"`
 }
 
 // Snapshot captures the dispatcher's current state (see Snapshot for
@@ -75,6 +83,10 @@ func (d *Dispatcher) Snapshot() Snapshot {
 		Completed:  d.completed.Load(),
 		Panicked:   d.panicked.Load(),
 		Cancelled:  d.cancelled.Load(),
+	}
+	if d.ledger != nil {
+		rs := d.ledger.Snapshot()
+		s.Resources = &rs
 	}
 
 	// Phase 1: copy per-client stats shard by shard, holding only that

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"repro/internal/rt/resource"
 )
 
 // taskState tracks the task lifecycle: queued → running → done.
@@ -38,6 +40,10 @@ type Task struct {
 	state    taskState     // guarded by the client's shard mutex
 	detached bool
 	stop     func() bool
+
+	// res is the task's resource reserve, held from acquisition in
+	// submit until finish releases it. Immutable while the task lives.
+	res resource.Reserve
 }
 
 // Client returns the client the task was submitted to.
@@ -85,10 +91,24 @@ func (t *Task) Err() error {
 }
 
 func (t *Task) finish(err error) {
+	if !t.res.IsZero() {
+		// finish is the single completion choke point — completion,
+		// queued-task cancellation, panic, Abandon, and deadline-cut
+		// Close all land here exactly once, so the reserve can never
+		// leak or double-release. Runs outside every dispatcher lock.
+		t.client.d.ledger.Release(t.client.tenant.res, t.res)
+	}
 	if t.detached {
 		// Nobody holds a handle; the error was already surfaced through
-		// counters and events. Recycle immediately.
-		t.client.d.recycle(t)
+		// counters and events. Disarm the context watcher before the
+		// struct is pooled — an armed watcher firing later would cancel
+		// whatever task reuses the struct. If Stop reports the watcher
+		// already running, it may still be about to read this struct
+		// (it will find the task no longer queued and leave it alone),
+		// so the struct goes to the GC instead of the pool.
+		if t.stop == nil || t.stop() {
+			t.client.d.recycle(t)
+		}
 		return
 	}
 	t.err = err

@@ -3,6 +3,7 @@ package rt
 import (
 	"fmt"
 
+	"repro/internal/rt/resource"
 	"repro/internal/ticket"
 )
 
@@ -20,6 +21,10 @@ type Tenant struct {
 	cur     *ticket.Currency
 	funding *ticket.Ticket // base -> cur
 	clients int            // guarded by d.graphMu
+	// res is the tenant's handle in the dispatcher's resource ledger,
+	// registered with the base funding as tickets; nil without a
+	// ledger. Immutable after creation.
+	res *resource.Tenant
 	// dedicated marks the implicit single-client tenants made by
 	// Dispatcher.NewClient, torn down when their one client leaves.
 	dedicated bool
@@ -47,7 +52,15 @@ func (d *Dispatcher) newTenantGraphLocked(name string, funding ticket.Amount, de
 		return nil, err
 	}
 	d.weightEpoch.Add(1)
-	return &Tenant{d: d, name: name, cur: cur, funding: fund, dedicated: dedicated}, nil
+	t := &Tenant{d: d, name: name, cur: cur, funding: fund, dedicated: dedicated}
+	if d.ledger != nil {
+		// The base funding doubles as the tenant's ticket allocation in
+		// the resource ledger, so one currency funds all three resources.
+		// Registration is idempotent: a tenant recreated under the same
+		// name resumes its usage history.
+		t.res = d.ledger.Tenant(name, float64(funding))
+	}
+	return t, nil
 }
 
 // Name returns the tenant's currency name.
@@ -60,6 +73,9 @@ func (t *Tenant) SetFunding(funding ticket.Amount) error {
 	defer t.d.graphMu.Unlock()
 	if err := t.funding.SetAmount(funding); err != nil {
 		return err
+	}
+	if t.res != nil {
+		t.res.SetTickets(float64(funding))
 	}
 	t.d.weightEpoch.Add(1)
 	return nil
