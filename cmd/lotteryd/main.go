@@ -33,6 +33,19 @@
 // reclamations, and throttles — and answers 404 when no pool is
 // configured.
 //
+// Overload control: -slo gives classes p99 wait-latency targets
+// ("gold=50ms") that a feedback controller holds by inflating the
+// class's ticket funding (bounded by -inflate) while the target is
+// missed and burning the boost back once met; -shed sets the queued-
+// backlog high watermark past which the controller evicts queued jobs
+// by inverse lottery over the classes queued beyond their entitled
+// share, draining to -shedlow. Shed jobs answer 503; while the
+// backlog is past the watermark every 503 carries a Retry-After hint
+// derived from the measured drain rate. /overload returns the
+// controller's state as JSON (per-class inflation factors, windowed
+// p99s, shed counts, over-share ratios) and answers 404 when neither
+// -slo nor -shed is set.
+//
 // Observability: /metrics exposes the dispatcher's rt_* families
 // (per-class dispatch/reject/cancel counters, queue depths,
 // wait-latency histograms) plus per-endpoint http_requests_total and
@@ -69,6 +82,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/rt"
+	"repro/internal/rt/overload"
 	"repro/internal/rt/resource"
 	"repro/internal/ticket"
 )
@@ -111,6 +125,13 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	ioBurst := fs.Int64("ioburst", 0, "I/O token-bucket burst capacity (0 = rate)")
 	reserves := fs.String("reserves", "",
 		"comma-separated class=mem:io default per-job reserves (bytes held, tokens spent)")
+	slo := fs.String("slo", "",
+		"comma-separated class=duration p99 wait targets driving ticket inflation")
+	shedHigh := fs.Int("shed", 0,
+		"queued-backlog high watermark that starts inverse-lottery load shedding (0 disables)")
+	shedLow := fs.Int("shedlow", 0,
+		"backlog a shed drains down to (0 = half of -shed)")
+	inflate := fs.Float64("inflate", 8, "cap on the SLO controller's funding inflation factor")
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("%w: %v", errConfig, err)
 	}
@@ -119,6 +140,15 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	}
 	if *memCap < 0 || *ioRate < 0 || *ioBurst < 0 {
 		return fmt.Errorf("%w: -mem, -iorate, and -ioburst must be >= 0", errConfig)
+	}
+	if *shedHigh < 0 || *shedLow < 0 {
+		return fmt.Errorf("%w: -shed and -shedlow must be >= 0", errConfig)
+	}
+	if *shedLow > 0 && *shedLow >= *shedHigh {
+		return fmt.Errorf("%w: -shedlow must be below -shed", errConfig)
+	}
+	if *inflate < 1 {
+		return fmt.Errorf("%w: -inflate must be >= 1", errConfig)
 	}
 
 	funding, err := parseClasses(*classes)
@@ -131,6 +161,10 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	}
 	if len(classRes) > 0 && *memCap == 0 && *ioRate == 0 {
 		return fmt.Errorf("%w: -reserves needs a resource pool (-mem or -iorate)", errConfig)
+	}
+	slos, err := parseSLOs(*slo, funding)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errConfig, err)
 	}
 
 	reg := metrics.NewRegistry()
@@ -175,6 +209,37 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+
+	// The overload controller runs whenever a class has an SLO or a
+	// shed watermark is set: every class registers (shedding needs the
+	// full entitled-share picture), SLO-less classes with a zero
+	// target.
+	var ctrl *overload.Controller
+	if len(slos) > 0 || *shedHigh > 0 {
+		ctrl = overload.New(d, overload.Config{
+			HighWatermark: *shedHigh,
+			LowWatermark:  *shedLow,
+			MaxInflation:  *inflate,
+			Seed:          uint32(*seed),
+		})
+		for _, name := range names {
+			c := clients[name]
+			ctrl.Register(c.Tenant(), slos[name], c)
+		}
+		ctrl.Start()
+	}
+	// retryAfter derives the 503 backpressure hint: the controller's
+	// drain-rate estimate while it reports one, else a flat second —
+	// enough to desynchronize immediate re-tries without parking
+	// well-behaved callers.
+	retryAfter := func() string {
+		if ctrl != nil {
+			if hint := ctrl.RetryAfterHint(); hint > 0 {
+				return strconv.Itoa(int((hint + time.Second - 1) / time.Second))
+			}
+		}
+		return "1"
+	}
 
 	// Every endpoint below reports into the same registry the
 	// dispatcher exports through, so one /metrics scrape covers both
@@ -238,6 +303,7 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		task, err := c.SubmitReserve(r.Context(), func() { spin(busy) }, res)
 		switch {
 		case errors.Is(err, rt.ErrQueueFull):
+			w.Header().Set("Retry-After", retryAfter())
 			http.Error(w, "class queue full", http.StatusServiceUnavailable)
 			return
 		case errors.Is(err, rt.ErrNoResources),
@@ -251,12 +317,17 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			return // caller went away before the job was admitted
 		case err != nil:
+			w.Header().Set("Retry-After", retryAfter())
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}
 		switch err := task.WaitCtx(r.Context()); {
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			return // caller went away; a queued job was cancelled with it
+		case errors.Is(err, rt.ErrShed):
+			w.Header().Set("Retry-After", retryAfter())
+			http.Error(w, "job shed under overload", http.StatusServiceUnavailable)
+			return
 		case err != nil:
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -276,6 +347,13 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 			return
 		}
 		writeJSON(w, ledger.Snapshot())
+	})
+	handle("/overload", func(w http.ResponseWriter, r *http.Request) {
+		if ctrl == nil {
+			http.Error(w, "overload control disabled (-slo / -shed)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, ctrl.Status())
 	})
 	metricsHandler := reg.Handler()
 	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -335,12 +413,21 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	case err := <-serveErr:
 		// The server died under us; still drain bounded by the grace
 		// deadline rather than hanging on a stuck backlog.
+		if ctrl != nil {
+			ctrl.Stop()
+		}
 		if cerr := d.CloseTimeout(*grace); cerr != nil {
 			log.Printf("lotteryd: drain cut short, queued jobs discarded: %v", cerr)
 		}
 		return fmt.Errorf("lotteryd: serve: %w", err)
 	case <-ctx.Done():
 		log.Printf("lotteryd: shutdown signal; draining (grace %v)", *grace)
+	}
+
+	// Stop the overload controller before draining: a shed racing the
+	// drain would bounce jobs the grace period could still finish.
+	if ctrl != nil {
+		ctrl.Stop()
 	}
 
 	// Stop accepting connections and let in-flight requests finish,
@@ -421,6 +508,35 @@ func parseReserves(s string, funding map[string]ticket.Amount) (map[string]rt.Re
 			return nil, fmt.Errorf("lotteryd: bad I/O tokens in %q", part)
 		}
 		out[name] = rt.Reserve{MemBytes: mem, IOTokens: io}
+	}
+	return out, nil
+}
+
+// parseSLOs parses the -slo flag: "class=duration" pairs naming the
+// class's p99 wait target. Every named class must exist in the
+// funding map; unnamed classes get no SLO (no inflation, but they
+// still participate in shed accounting).
+func parseSLOs(s string, funding map[string]ticket.Amount) (map[string]time.Duration, error) {
+	out := make(map[string]time.Duration)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, spec, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("lotteryd: bad SLO spec %q (want class=duration)", part)
+		}
+		if _, known := funding[name]; !known {
+			return nil, fmt.Errorf("lotteryd: SLO for unknown class %q", name)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("lotteryd: duplicate SLO for class %q", name)
+		}
+		d, err := time.ParseDuration(spec)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("lotteryd: bad SLO duration in %q", part)
+		}
+		out[name] = d
 	}
 	return out, nil
 }

@@ -499,6 +499,151 @@ func TestRunBadConfig(t *testing.T) {
 	if err := run(context.Background(), []string{"-mem", "4096", "-reserves", "nope=1:1"}, nil); err == nil {
 		t.Fatal("run accepted a reserve for an unknown class")
 	}
+	if err := run(context.Background(), []string{"-slo", "nope=50ms"}, nil); err == nil {
+		t.Fatal("run accepted an SLO for an unknown class")
+	}
+	if err := run(context.Background(), []string{"-shed", "-1"}, nil); err == nil {
+		t.Fatal("run accepted a negative shed watermark")
+	}
+	if err := run(context.Background(), []string{"-shed", "10", "-shedlow", "10"}, nil); err == nil {
+		t.Fatal("run accepted -shedlow >= -shed")
+	}
+	if err := run(context.Background(), []string{"-inflate", "0.5"}, nil); err == nil {
+		t.Fatal("run accepted an inflation cap below 1")
+	}
+}
+
+func TestParseSLOs(t *testing.T) {
+	funding := map[string]ticket.Amount{"gold": 2, "bronze": 1}
+	m, err := parseSLOs("gold=50ms, bronze=2s", funding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m["gold"] != 50*time.Millisecond || m["bronze"] != 2*time.Second {
+		t.Fatalf("parseSLOs: %v", m)
+	}
+	if m, err := parseSLOs("", funding); err != nil || len(m) != 0 {
+		t.Fatalf("empty SLO spec: %v, %v", m, err)
+	}
+	for _, bad := range []string{"gold", "gold=0s", "gold=-1ms", "gold=x", "nope=1ms", "gold=1ms,gold=2ms"} {
+		if _, err := parseSLOs(bad, funding); err == nil {
+			t.Errorf("parseSLOs(%q) accepted", bad)
+		}
+	}
+}
+
+// TestOverloadEndpoint: /overload is 404 with the controller off, and
+// reports registered classes, watermarks, and SLO targets when on.
+func TestOverloadEndpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, done := startDaemon(t, ctx)
+	if code, _ := get(t, base+"/overload"); code != http.StatusNotFound {
+		t.Fatalf("/overload without -slo/-shed = %d, want 404", code)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	base2, done2 := startDaemon(t, ctx2, "-slo", "gold=50ms", "-shed", "100", "-shedlow", "40")
+	code, body := get(t, base2+"/overload")
+	if code != http.StatusOK {
+		t.Fatalf("/overload = %d: %s", code, body)
+	}
+	var st struct {
+		HighWatermark int `json:"high_watermark"`
+		LowWatermark  int `json:"low_watermark"`
+		Tenants       []struct {
+			Name      string  `json:"name"`
+			TargetP99 int64   `json:"target_p99_ns"`
+			Factor    float64 `json:"factor"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("/overload JSON: %v\n%s", err, body)
+	}
+	if st.HighWatermark != 100 || st.LowWatermark != 40 {
+		t.Fatalf("watermarks %d/%d, want 100/40", st.HighWatermark, st.LowWatermark)
+	}
+	if len(st.Tenants) != 2 {
+		t.Fatalf("registered tenants = %d, want both classes", len(st.Tenants))
+	}
+	for _, ts := range st.Tenants {
+		switch ts.Name {
+		case "gold":
+			if ts.TargetP99 != int64(50*time.Millisecond) {
+				t.Fatalf("gold target %d, want 50ms", ts.TargetP99)
+			}
+		case "bronze":
+			if ts.TargetP99 != 0 {
+				t.Fatalf("bronze target %d, want none", ts.TargetP99)
+			}
+		}
+		if ts.Factor < 1 {
+			t.Fatalf("tenant %s factor %v < 1", ts.Name, ts.Factor)
+		}
+	}
+	cancel2()
+	if err := <-done2; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetryAfterOn503: a full class queue answers 503 with a
+// Retry-After hint.
+func TestRetryAfterOn503(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// One worker, tiny queue, no shedding: saturate gold with slow
+	// jobs until a submit bounces.
+	base, done := startDaemon(t, ctx, "-workers", "1", "-queue", "2", "-slo", "gold=1s")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(base + "/work?class=gold&busy=20ms")
+				if err != nil {
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	defer func() { close(stop); wg.Wait() }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/work?class=gold&busy=20ms")
+		if err != nil {
+			t.Fatal(err)
+		}
+		retry := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if retry == "" {
+				t.Fatal("503 without a Retry-After header")
+			}
+			if n, err := strconv.Atoi(retry); err != nil || n < 1 {
+				t.Fatalf("Retry-After %q, want a positive integer of seconds", retry)
+			}
+			cancel()
+			<-done
+			return
+		}
+	}
+	t.Fatal("never provoked a 503 from the saturated queue")
 }
 
 func TestParseClasses(t *testing.T) {

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+)
+
+// snapshot is the subset of lotteryd's /snapshot JSON the harness
+// judges from.
+type snapshot struct {
+	Dispatched uint64 `json:"dispatched"`
+	Pending    int    `json:"pending"`
+	Shed       uint64 `json:"shed"`
+	Clients    []struct {
+		Name          string  `json:"name"`
+		Dispatched    uint64  `json:"dispatched"`
+		EntitledShare float64 `json:"entitled_share"`
+		QueueDepth    int     `json:"queue_depth"`
+	} `json:"clients"`
+}
+
+// overloadStatus is the subset of /overload the harness judges from.
+type overloadStatus struct {
+	Shed    uint64 `json:"shed"`
+	Tenants []struct {
+		Name      string        `json:"name"`
+		TargetP99 time.Duration `json:"target_p99_ns"`
+		WindowP99 time.Duration `json:"window_p99_ns"`
+		Factor    float64       `json:"factor"`
+		Shed      uint64        `json:"shed"`
+		OverShare float64       `json:"over_share"`
+	} `json:"tenants"`
+}
+
+func getJSON(ctx context.Context, httpc *http.Client, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func getSnapshot(ctx context.Context, httpc *http.Client, base string) (*snapshot, error) {
+	var s snapshot
+	if err := getJSON(ctx, httpc, base+"/snapshot", &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// getOverload returns nil (no error) when the daemon answers 404 —
+// overload control simply is not enabled.
+func getOverload(ctx context.Context, httpc *http.Client, base string) (*overloadStatus, error) {
+	var o overloadStatus
+	if err := getJSON(ctx, httpc, base+"/overload", &o); err != nil {
+		return nil, err
+	}
+	return &o, nil
+}
+
+type judgeConfig struct {
+	conformance float64
+	p99bounds   map[string]time.Duration
+	shedfrac    float64
+}
+
+// judge prints the per-class report and applies the configured
+// assertions against the differenced snapshots and the controller
+// status (ov may be nil when the daemon runs no controller).
+func judge(out io.Writer, classes []*classState, before, after *snapshot, ov *overloadStatus, cfg judgeConfig) error {
+	byName := func(s *snapshot, name string) (dispatched uint64, entitled float64, ok bool) {
+		for _, c := range s.Clients {
+			if c.Name == name {
+				return c.Dispatched, c.EntitledShare, true
+			}
+		}
+		return 0, 0, false
+	}
+
+	// Window totals count only the offered classes, so an idle class
+	// outside the soak (or the daemon's own bookkeeping) cannot skew
+	// the share denominators.
+	var windowTotal uint64
+	deltas := make(map[string]uint64, len(classes))
+	for _, c := range classes {
+		a, _, okA := byName(after, c.name)
+		b, _, _ := byName(before, c.name)
+		if !okA {
+			return fmt.Errorf("%w: class %q missing from /snapshot", errConfig, c.name)
+		}
+		deltas[c.name] = a - b
+		windowTotal += a - b
+	}
+	if windowTotal == 0 {
+		return fmt.Errorf("%w: no dispatches observed over the soak window", errConfig)
+	}
+
+	// Conformance is the paper's metric: dispatch ratios among
+	// *competing fixed-ticket* clients track their ticket ratios. Two
+	// kinds of class are therefore waived and the shares renormalized
+	// over the steady remainder: churned classes (their silence hands
+	// capacity to the others, work-conservingly) and SLO-managed
+	// classes (the controller deliberately moves their entitlement to
+	// hold a latency target, so a static ticket-share comparison is
+	// meaningless for them — their base funding staying put is what
+	// the controller's own invariant check enforces).
+	sloManaged := make(map[string]bool)
+	if ov != nil {
+		for _, ts := range ov.Tenants {
+			if ts.TargetP99 > 0 {
+				sloManaged[ts.Name] = true
+			}
+		}
+	}
+	entitleds := make(map[string]float64, len(classes))
+	var steadyDisp uint64
+	var steadyEnt float64
+	steady := func(c *classState) bool { return !c.churned && !sloManaged[c.name] }
+	for _, c := range classes {
+		_, entitleds[c.name], _ = byName(after, c.name)
+		if steady(c) {
+			steadyDisp += deltas[c.name]
+			steadyEnt += entitleds[c.name]
+		}
+	}
+
+	var failures []string
+	fmt.Fprintf(out, "%-10s %9s %9s %9s %9s %9s %10s %10s %7s\n",
+		"class", "sent", "ok", "503", "failed", "skipped", "achieved", "entitled", "diff")
+	for _, c := range classes {
+		entitled := entitleds[c.name]
+		achieved := float64(deltas[c.name]) / float64(windowTotal)
+		note, diffCol := "", "      -"
+		switch {
+		case c.churned:
+			note = " (churned; conformance waived)"
+		case sloManaged[c.name]:
+			note = " (slo-managed; conformance waived)"
+		case steadyDisp > 0 && steadyEnt > 0:
+			// Shares renormalized over the steady set, so waived
+			// classes' redistributed capacity cannot skew the check.
+			rAchieved := float64(deltas[c.name]) / float64(steadyDisp)
+			rEntitled := entitled / steadyEnt
+			diff := math.Abs(rAchieved - rEntitled)
+			diffCol = fmt.Sprintf("%7.4f", diff)
+			if cfg.conformance > 0 && diff > cfg.conformance {
+				failures = append(failures, fmt.Sprintf(
+					"class %s achieved steady share %.4f vs entitled %.4f (|diff| %.4f > %.4f)",
+					c.name, rAchieved, rEntitled, diff, cfg.conformance))
+			}
+		}
+		fmt.Fprintf(out, "%-10s %9d %9d %9d %9d %9d %9.4f %9.4f %s%s\n",
+			c.name, c.sent.Load(), c.ok.Load(), c.rejected.Load(), c.failed.Load(),
+			c.skipped.Load(), achieved, entitled, diffCol, note)
+	}
+
+	if ov != nil {
+		fmt.Fprintf(out, "overload: %d jobs shed\n", ov.Shed)
+		var overShed, totalShed uint64
+		for _, ts := range ov.Tenants {
+			totalShed += ts.Shed
+			// Over-offered judged by the controller's own over-share
+			// ratio (queued beyond entitlement) — the offered-load
+			// view of the same misbehaviour the harness induced.
+			if ts.OverShare > 1 {
+				overShed += ts.Shed
+			}
+			line := fmt.Sprintf("  %-10s factor %.3f shed %d over-share %.2f",
+				ts.Name, ts.Factor, ts.Shed, ts.OverShare)
+			if ts.TargetP99 > 0 {
+				line += fmt.Sprintf(" window-p99 %v (target %v)", ts.WindowP99, ts.TargetP99)
+			}
+			fmt.Fprintln(out, line)
+			if bound, has := cfg.p99bounds[ts.Name]; has && ts.WindowP99 > bound {
+				failures = append(failures, fmt.Sprintf(
+					"class %s windowed p99 %v exceeds bound %v", ts.Name, ts.WindowP99, bound))
+			}
+		}
+		// over_share holds the ratio from the controller's last victim
+		// selection, so it attributes sheds to the classes that were
+		// over share when shedding actually ran, not just at soak end.
+		if cfg.shedfrac > 0 && totalShed > 0 {
+			if frac := float64(overShed) / float64(totalShed); frac < cfg.shedfrac {
+				failures = append(failures, fmt.Sprintf(
+					"only %.2f of shed jobs came from over-share classes (want >= %.2f)",
+					frac, cfg.shedfrac))
+			}
+		}
+	} else {
+		if len(cfg.p99bounds) > 0 || cfg.shedfrac > 0 {
+			failures = append(failures,
+				"p99/shed assertions configured but the daemon exposes no /overload controller")
+		}
+	}
+	fmt.Fprintf(out, "backlog at end: %d queued\n", after.Pending)
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(out, "FAIL:", f)
+		}
+		return fmt.Errorf("%w: %d violation(s)", errAssert, len(failures))
+	}
+	fmt.Fprintln(out, "PASS")
+	return nil
+}

@@ -1,0 +1,370 @@
+// Command lotterysoak is an open-loop overload harness for a running
+// lotteryd: it offers each request class an independent Poisson
+// arrival stream at a configured rate — deliberately beyond the
+// daemon's capacity — layers bursts and class churn on top, and then
+// judges the daemon's proportional-share and overload-control
+// behaviour from its own /snapshot and /overload endpoints.
+//
+//	lotteryd -workers 2 -classes gold=500,bronze=100 -slo gold=50ms -shed 400 &
+//	lotterysoak -target http://localhost:8080 -duration 30s \
+//	    -rates gold=200,bronze=600 -busy 2ms -conformance 0.05
+//
+// Open-loop means arrivals do not wait for completions: a saturated
+// daemon faces a growing backlog exactly as it would from independent
+// clients, which is the regime the dispatcher's shedding and SLO
+// inflation exist for. In-flight requests are bounded (-inflight) so
+// the harness itself cannot exhaust sockets; arrivals past the bound
+// are counted as skipped and the schedule marches on.
+//
+// Chaos layers:
+//
+//   - -burst class=mult:period doubles down on one class: for the
+//     first half of every period its rate is multiplied by mult,
+//     modeling a tenant whose load comes in waves.
+//   - -churn period cycles one class at a time into silence for a
+//     period, modeling tenants that come and go; share conformance
+//     is only asserted over classes that were never churned.
+//
+// The measured window opens after -warmup (so queue-fill and
+// feedback-convergence transients stay out of the evidence) and
+// closes when the generators stop (so the dying backlog's drain does
+// too). After the run the harness reports, per class: offered/
+// completed/rejected counts, the dispatch share achieved over the
+// window (differenced /snapshot dispatch counters) against the
+// entitled share, and — when the daemon runs an overload controller — the
+// inflation factor, windowed p99, and shed count. Assertions:
+//
+//   - -conformance t: every steady class's achieved share is within
+//     absolute tolerance t of its entitled share. Shares are
+//     renormalized over the steady classes: churned classes and
+//     SLO-managed classes (whose entitlement the controller moves by
+//     design) are reported but waived;
+//   - -p99max class=bound: the class's controller-windowed p99 is
+//     under bound at the end of the soak (converged, not transient);
+//   - -shedfrac f: at least fraction f of all shed jobs came from
+//     classes whose offered share exceeded their entitled share.
+//
+// Exit status: 0 all assertions held, 1 an assertion failed, 2 the
+// harness could not run (bad flags, unreachable target).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/random"
+)
+
+// errConfig marks configuration/connectivity failures (exit 2, as
+// distinct from assertion failures, exit 1).
+var errConfig = errors.New("lotterysoak: cannot run")
+
+// errAssert marks a failed behavioural assertion (exit 1).
+var errAssert = errors.New("lotterysoak: assertion failed")
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	switch {
+	case err == nil:
+	case errors.Is(err, errAssert):
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+// classState is one offered class's generator config and counters.
+type classState struct {
+	name string
+	rate float64 // arrivals/sec before burst/churn shaping
+
+	sent     atomic.Uint64 // requests actually issued
+	ok       atomic.Uint64 // 200s
+	rejected atomic.Uint64 // 503s (full queue or shed)
+	failed   atomic.Uint64 // transport errors / unexpected statuses
+	skipped  atomic.Uint64 // arrivals dropped at the in-flight bound
+	churned  bool          // ever silenced by churn (exempt from conformance)
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lotterysoak", flag.ContinueOnError)
+	target := fs.String("target", "http://127.0.0.1:8080", "base URL of the lotteryd under test")
+	duration := fs.Duration("duration", 20*time.Second, "measured soak length")
+	warmup := fs.Duration("warmup", 0,
+		"run load this long before the measured window opens (lets the daemon's feedback loops converge)")
+	rates := fs.String("rates", "", "comma-separated class=arrivals-per-second offered load map")
+	busy := fs.Duration("busy", 2*time.Millisecond, "per-job busy time sent to /work")
+	inflight := fs.Int("inflight", 512, "max concurrent requests the harness keeps open")
+	seed := fs.Uint("seed", 1, "arrival-schedule PRNG seed")
+	burst := fs.String("burst", "", "class=mult:period square-wave burst on one class")
+	churn := fs.Duration("churn", 0, "cycle one class at a time into silence for this period (0 disables)")
+	conformance := fs.Float64("conformance", 0,
+		"assert every steady class's achieved share within this absolute tolerance of entitled, renormalized over non-churned non-SLO classes (0 = report only)")
+	p99max := fs.String("p99max", "", "comma-separated class=duration bounds on the controller's windowed p99")
+	shedfrac := fs.Float64("shedfrac", 0,
+		"assert at least this fraction of shed jobs came from over-offered classes (0 = report only)")
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%w: %v", errConfig, err)
+	}
+	classes, err := parseRates(*rates)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errConfig, err)
+	}
+	burstClass, burstMult, burstPeriod, err := parseBurst(*burst)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errConfig, err)
+	}
+	if burstClass != "" && findClass(classes, burstClass) == nil {
+		return fmt.Errorf("%w: -burst names unknown class %q", errConfig, burstClass)
+	}
+	p99bounds, err := parseP99Max(*p99max)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errConfig, err)
+	}
+	if *duration <= 0 || *inflight <= 0 {
+		return fmt.Errorf("%w: -duration and -inflight must be positive", errConfig)
+	}
+	if *warmup < 0 {
+		return fmt.Errorf("%w: -warmup must be non-negative", errConfig)
+	}
+
+	httpc := &http.Client{} // no timeout: /work legitimately waits out the backlog
+	base := strings.TrimRight(*target, "/")
+
+	// Reachability check before spinning anything up.
+	before, err := getSnapshot(ctx, httpc, base)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errConfig, err)
+	}
+
+	fmt.Fprintf(out, "lotterysoak: %v against %s, classes %s (warmup %v)\n",
+		*duration, base, *rates, *warmup)
+
+	// Generators: one goroutine per class, each with its own seeded
+	// Park-Miller stream, so the arrival schedule is reproducible for
+	// a given -seed regardless of response timing.
+	slots := make(chan struct{}, *inflight)
+	var reqs sync.WaitGroup
+	var gens sync.WaitGroup
+	genCtx, genCancel := context.WithTimeout(ctx, *warmup+*duration)
+	defer genCancel()
+	start := time.Now()
+	for i, c := range classes {
+		gens.Add(1)
+		src := random.NewPM(uint32(*seed) + uint32(i)*2654435761)
+		go func(c *classState, src *random.PM) {
+			defer gens.Done()
+			for {
+				rate := c.rate
+				now := time.Since(start)
+				if burstClass == c.name {
+					// Square wave: first half of each period runs hot.
+					if phase := now % burstPeriod; phase < burstPeriod/2 {
+						rate *= burstMult
+					}
+				}
+				if *churn > 0 {
+					// Round-robin silence: in cycle k, class k%N is idle.
+					cycle := int(now / *churn)
+					if cycle%len(classes) == indexOf(classes, c.name) {
+						c.churned = true
+						rate = 0
+					}
+				}
+				var wait time.Duration
+				if rate > 0 {
+					// Poisson arrivals: exponential interarrival times.
+					u := src.Float64()
+					wait = time.Duration(-math.Log(1-u) / rate * float64(time.Second))
+				} else {
+					wait = 10 * time.Millisecond // idle poll of the shaping state
+				}
+				t := time.NewTimer(wait)
+				select {
+				case <-genCtx.Done():
+					t.Stop()
+					return
+				case <-t.C:
+				}
+				if rate == 0 {
+					continue
+				}
+				select {
+				case slots <- struct{}{}:
+				default:
+					c.skipped.Add(1)
+					continue
+				}
+				reqs.Add(1)
+				go func() {
+					defer reqs.Done()
+					defer func() { <-slots }()
+					fire(ctx, httpc, base, c, *busy)
+				}()
+			}
+		}(c, src)
+	}
+	// The measured window opens after the warmup (the ramp transient —
+	// queues filling, the SLO feedback loop converging — would
+	// otherwise be averaged into the conformance check) and closes the
+	// moment the generators stop: dispatches from the dying backlog
+	// are not proportional-share evidence (the last queue standing
+	// gets everything, work-conservingly).
+	if *warmup > 0 {
+		select {
+		case <-time.After(*warmup):
+		case <-genCtx.Done():
+		}
+		if before, err = getSnapshot(ctx, httpc, base); err != nil {
+			return fmt.Errorf("%w: %v", errConfig, err)
+		}
+	}
+	gens.Wait()
+	after, err := getSnapshot(ctx, httpc, base)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errConfig, err)
+	}
+	reqs.Wait()
+
+	// Let the daemon's controller take a final tick before reading
+	// its converged status.
+	select {
+	case <-time.After(300 * time.Millisecond):
+	case <-ctx.Done():
+	}
+	ov, _ := getOverload(ctx, httpc, base) // nil when the daemon runs no controller
+
+	return judge(out, classes, before, after, ov, judgeConfig{
+		conformance: *conformance,
+		p99bounds:   p99bounds,
+		shedfrac:    *shedfrac,
+	})
+}
+
+// fire issues one /work request and buckets the outcome.
+func fire(ctx context.Context, httpc *http.Client, base string, c *classState, busy time.Duration) {
+	c.sent.Add(1)
+	url := fmt.Sprintf("%s/work?class=%s&busy=%s", base, c.name, busy)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		c.failed.Add(1)
+		return
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		c.failed.Add(1)
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		c.ok.Add(1)
+	case http.StatusServiceUnavailable:
+		c.rejected.Add(1)
+	default:
+		c.failed.Add(1)
+	}
+}
+
+func findClass(classes []*classState, name string) *classState {
+	for _, c := range classes {
+		if c.name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+func indexOf(classes []*classState, name string) int {
+	for i, c := range classes {
+		if c.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func parseRates(s string) ([]*classState, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("-rates is required (class=arrivals-per-second,...)")
+	}
+	var out []*classState
+	for _, part := range strings.Split(s, ",") {
+		name, spec, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad rate spec %q (want class=rate)", part)
+		}
+		rate, err := strconv.ParseFloat(spec, 64)
+		if err != nil || rate <= 0 {
+			return nil, fmt.Errorf("bad rate in %q (want a positive number)", part)
+		}
+		if findClass(out, name) != nil {
+			return nil, fmt.Errorf("duplicate class %q", name)
+		}
+		out = append(out, &classState{name: name, rate: rate})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out, nil
+}
+
+func parseBurst(s string) (class string, mult float64, period time.Duration, err error) {
+	if strings.TrimSpace(s) == "" {
+		return "", 0, 0, nil
+	}
+	name, spec, ok := strings.Cut(strings.TrimSpace(s), "=")
+	if !ok || name == "" {
+		return "", 0, 0, fmt.Errorf("bad burst spec %q (want class=mult:period)", s)
+	}
+	multStr, perStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return "", 0, 0, fmt.Errorf("bad burst spec %q (want class=mult:period)", s)
+	}
+	mult, err = strconv.ParseFloat(multStr, 64)
+	if err != nil || mult <= 1 {
+		return "", 0, 0, fmt.Errorf("bad burst multiplier in %q (want > 1)", s)
+	}
+	period, err = time.ParseDuration(perStr)
+	if err != nil || period <= 0 {
+		return "", 0, 0, fmt.Errorf("bad burst period in %q", s)
+	}
+	return name, mult, period, nil
+}
+
+func parseP99Max(s string) (map[string]time.Duration, error) {
+	out := make(map[string]time.Duration)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, spec, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad p99max spec %q (want class=duration)", part)
+		}
+		d, err := time.ParseDuration(spec)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad p99max duration in %q", part)
+		}
+		out[name] = d
+	}
+	return out, nil
+}

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeDaemon mimics the slice of lotteryd the harness talks to: /work
+// counts hits per class, /snapshot reports those counts as dispatch
+// counters, /overload replays a canned status. Entitled shares either
+// mirror the achieved split (mirror=true: conformance trivially
+// holds) or come from the fixed map.
+type fakeDaemon struct {
+	mu       sync.Mutex
+	hits     map[string]uint64
+	mirror   bool
+	entitled map[string]float64
+	overload *overloadStatus // nil => 404
+	work     func(w http.ResponseWriter) bool
+}
+
+func (f *fakeDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/work", func(w http.ResponseWriter, r *http.Request) {
+		if f.work != nil {
+			f.mu.Lock()
+			done := f.work(w)
+			f.mu.Unlock()
+			if done {
+				return
+			}
+		}
+		class := r.URL.Query().Get("class")
+		f.mu.Lock()
+		f.hits[class]++
+		f.mu.Unlock()
+		fmt.Fprint(w, "{}")
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		var total uint64
+		for _, n := range f.hits {
+			total += n
+		}
+		type client struct {
+			Name          string  `json:"name"`
+			Dispatched    uint64  `json:"dispatched"`
+			EntitledShare float64 `json:"entitled_share"`
+		}
+		out := struct {
+			Dispatched uint64   `json:"dispatched"`
+			Clients    []client `json:"clients"`
+		}{Dispatched: total}
+		for name, n := range f.hits {
+			share := f.entitled[name]
+			if f.mirror && total > 0 {
+				share = float64(n) / float64(total)
+			}
+			out.Clients = append(out.Clients, client{Name: name, Dispatched: n, EntitledShare: share})
+		}
+		json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/overload", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.overload == nil {
+			http.Error(w, "overload control disabled", http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(f.overload)
+	})
+	return mux
+}
+
+func newFake(classes ...string) *fakeDaemon {
+	f := &fakeDaemon{hits: map[string]uint64{}, mirror: true, entitled: map[string]float64{}}
+	for _, c := range classes {
+		f.hits[c] = 0 // classes appear in /snapshot even before traffic
+	}
+	return f
+}
+
+func soak(t *testing.T, f *fakeDaemon, args ...string) (string, error) {
+	t.Helper()
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+	var buf bytes.Buffer
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := run(ctx, append([]string{"-target", srv.URL}, args...), &buf)
+	return buf.String(), err
+}
+
+func TestSoakConformancePass(t *testing.T) {
+	f := newFake("gold", "bronze")
+	out, err := soak(t, f,
+		"-duration", "400ms", "-rates", "gold=300,bronze=150", "-conformance", "0.05")
+	if err != nil {
+		t.Fatalf("soak failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Fatalf("no PASS in report:\n%s", out)
+	}
+}
+
+func TestSoakConformanceFailure(t *testing.T) {
+	f := newFake("gold", "bronze")
+	f.mirror = false
+	// Entitlements nowhere near any achievable split.
+	f.entitled = map[string]float64{"gold": 0.99, "bronze": 0.01}
+	out, err := soak(t, f,
+		"-duration", "300ms", "-rates", "gold=100,bronze=100", "-conformance", "0.05")
+	if !errors.Is(err, errAssert) {
+		t.Fatalf("want errAssert, got %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "FAIL") {
+		t.Fatalf("no FAIL in report:\n%s", out)
+	}
+}
+
+func TestSoakOverloadAssertions(t *testing.T) {
+	f := newFake("gold", "bronze")
+	f.overload = &overloadStatus{Shed: 100}
+	f.overload.Tenants = []struct {
+		Name      string        `json:"name"`
+		TargetP99 time.Duration `json:"target_p99_ns"`
+		WindowP99 time.Duration `json:"window_p99_ns"`
+		Factor    float64       `json:"factor"`
+		Shed      uint64        `json:"shed"`
+		OverShare float64       `json:"over_share"`
+	}{
+		{Name: "gold", TargetP99: 50 * time.Millisecond, WindowP99: 10 * time.Millisecond, Factor: 1.5, Shed: 5, OverShare: 0.5},
+		{Name: "bronze", WindowP99: time.Second, Factor: 1, Shed: 95, OverShare: 3},
+	}
+	// 95% of sheds from the over-share class, gold p99 under bound: pass.
+	out, err := soak(t, f, "-duration", "300ms", "-rates", "gold=100,bronze=100",
+		"-p99max", "gold=50ms", "-shedfrac", "0.8")
+	if err != nil {
+		t.Fatalf("soak failed: %v\n%s", err, out)
+	}
+	// Tighten the p99 bound below the reported window p99: fail.
+	out, err = soak(t, f, "-duration", "300ms", "-rates", "gold=100,bronze=100",
+		"-p99max", "gold=1ms")
+	if !errors.Is(err, errAssert) {
+		t.Fatalf("want errAssert for p99 bound, got %v\n%s", err, out)
+	}
+	// Demand a shed-origin fraction the split cannot meet: fail.
+	f.overload.Tenants[0].Shed, f.overload.Tenants[1].Shed = 95, 5
+	out, err = soak(t, f, "-duration", "300ms", "-rates", "gold=100,bronze=100",
+		"-shedfrac", "0.8")
+	if !errors.Is(err, errAssert) {
+		t.Fatalf("want errAssert for shed origin, got %v\n%s", err, out)
+	}
+}
+
+func TestSoakNoOverloadEndpoint(t *testing.T) {
+	f := newFake("gold")
+	// Report-only run against a daemon without a controller: fine.
+	if out, err := soak(t, f, "-duration", "200ms", "-rates", "gold=100"); err != nil {
+		t.Fatalf("report-only soak failed: %v\n%s", err, out)
+	}
+	// But p99/shed assertions cannot be judged without /overload.
+	if _, err := soak(t, f, "-duration", "200ms", "-rates", "gold=100",
+		"-p99max", "gold=1ms"); !errors.Is(err, errAssert) {
+		t.Fatalf("want errAssert without /overload, got %v", err)
+	}
+}
+
+func TestSoakRejectionsCounted(t *testing.T) {
+	f := newFake("gold")
+	n := 0
+	f.work = func(w http.ResponseWriter) bool {
+		n++
+		if n%2 == 0 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "class queue full", http.StatusServiceUnavailable)
+			return true
+		}
+		return false
+	}
+	out, err := soak(t, f, "-duration", "300ms", "-rates", "gold=200")
+	if err != nil {
+		t.Fatalf("soak failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "503") {
+		t.Fatalf("report lacks 503 column:\n%s", out)
+	}
+}
+
+func TestSoakBadConfig(t *testing.T) {
+	cases := [][]string{
+		{},                          // no -rates
+		{"-rates", "gold=0"},        // zero rate
+		{"-rates", "gold=x"},        // junk rate
+		{"-rates", "gold=1,gold=2"}, // duplicate
+		{"-rates", "gold=1", "-burst", "nope=2:1s"},           // burst names unknown class
+		{"-rates", "gold=1", "-burst", "gold=1:1s"},           // multiplier must exceed 1
+		{"-rates", "gold=1", "-p99max", "gold=0s"},            // non-positive bound
+		{"-rates", "gold=1", "-duration", "0s"},               // zero duration
+		{"-rates", "gold=1", "-target", "http://127.0.0.1:1"}, // nothing listening
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		err := run(context.Background(), args, &buf)
+		if err == nil || errors.Is(err, errAssert) {
+			t.Errorf("run(%v) = %v, want config error", args, err)
+		}
+	}
+}
+
+func TestParseBurst(t *testing.T) {
+	class, mult, period, err := parseBurst("bronze=5:2s")
+	if err != nil || class != "bronze" || mult != 5 || period != 2*time.Second {
+		t.Fatalf("parseBurst: %q %v %v %v", class, mult, period, err)
+	}
+	if _, _, _, err := parseBurst(""); err != nil {
+		t.Fatalf("empty burst spec rejected: %v", err)
+	}
+}
+
+func TestSoakSLOWaivesConformance(t *testing.T) {
+	f := newFake("gold", "silver", "bronze")
+	f.mirror = false
+	// gold's entitlement is controller-managed and lopsided; silver and
+	// bronze hold a 5:3 ticket ratio, matching the offered 500:300
+	// rates once shares are renormalized over the steady pair.
+	f.entitled = map[string]float64{"gold": 0.9, "silver": 0.0625, "bronze": 0.0375}
+	f.overload = &overloadStatus{}
+	f.overload.Tenants = []struct {
+		Name      string        `json:"name"`
+		TargetP99 time.Duration `json:"target_p99_ns"`
+		WindowP99 time.Duration `json:"window_p99_ns"`
+		Factor    float64       `json:"factor"`
+		Shed      uint64        `json:"shed"`
+		OverShare float64       `json:"over_share"`
+	}{{Name: "gold", TargetP99: 50 * time.Millisecond, Factor: 4}}
+	out, err := soak(t, f, "-duration", "600ms",
+		"-rates", "gold=500,silver=500,bronze=300", "-conformance", "0.12")
+	if err != nil {
+		t.Fatalf("soak failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "slo-managed; conformance waived") {
+		t.Fatalf("report does not mark the SLO-managed class:\n%s", out)
+	}
+}
+
+func TestSoakChurnWaivesConformance(t *testing.T) {
+	f := newFake("gold", "bronze")
+	f.mirror = false
+	f.entitled = map[string]float64{"gold": 0.5, "bronze": 0.5}
+	// Churn period shorter than the run: both classes get silenced at
+	// some point, so conformance is waived for both and the lopsided
+	// entitlement cannot fail the run.
+	out, err := soak(t, f, "-duration", "500ms", "-rates", "gold=200,bronze=200",
+		"-churn", "100ms", "-conformance", "0.01")
+	if err != nil {
+		t.Fatalf("churned soak failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "churned") {
+		t.Fatalf("report does not mark churned classes:\n%s", out)
+	}
+}

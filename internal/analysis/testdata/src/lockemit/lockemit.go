@@ -172,3 +172,28 @@ func (c *clientFix) shardSettleShape() {
 	sh.mu.Unlock()
 	c.obs.Observe(event{13}) // fine: emitted outside the shard lock
 }
+
+// shedCollectShape mirrors rt.Client.Shed: victims are unlinked from
+// the queue under the shard lock, but their shed events are emitted
+// only after release.
+func (c *clientFix) shedCollectShape(n int) {
+	sh := c.lockShard()
+	victims := make([]event, 0, n)
+	for i := 0; i < n; i++ {
+		victims = append(victims, event{14})
+	}
+	sh.mu.Unlock()
+	for _, v := range victims {
+		c.obs.Observe(v) // fine: emitted after the shard lock is gone
+	}
+}
+
+// shedEmitUnderLock is the bug the shape above avoids: per-victim
+// emission from inside the eviction loop, still under the shard lock.
+func (c *clientFix) shedEmitUnderLock(n int) {
+	sh := c.lockShard()
+	for i := 0; i < n; i++ {
+		c.obs.Observe(event{15}) // want "observer event emission"
+	}
+	sh.mu.Unlock()
+}

@@ -117,18 +117,39 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 // observations. The estimate's resolution is the bucket width, which
 // for ExpBuckets-style bounds is a constant relative error.
 func (h *Histogram) Quantile(p float64) float64 {
+	return h.QuantileFromCounts(h.BucketCounts(), p)
+}
+
+// BucketCounts returns a snapshot of the raw per-bucket observation
+// counts — one per bound plus the trailing +Inf bucket. Subtracting
+// two snapshots element-wise isolates the observations made between
+// them, which QuantileFromCounts turns into a windowed quantile; the
+// overload controller's SLO sampling is built on exactly that.
+func (h *Histogram) BucketCounts() []uint64 {
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts
+}
+
+// QuantileFromCounts is Quantile over an explicit per-bucket count
+// slice laid out like BucketCounts (len(bounds)+1 entries; the total
+// is derived from the counts so the walk is self-consistent even when
+// the slice was snapshotted mid-update). It panics on a length
+// mismatch.
+func (h *Histogram) QuantileFromCounts(counts []uint64, p float64) float64 {
+	if len(counts) != len(h.counts) {
+		panic("metrics: QuantileFromCounts length does not match the histogram's buckets")
+	}
 	if p < 0 {
 		p = 0
 	} else if p > 100 {
 		p = 100
 	}
-	// Snapshot the per-bucket counts and derive the total from them so
-	// the walk is self-consistent even mid-update.
-	counts := make([]uint64, len(h.counts))
 	var total uint64
-	for i := range h.counts {
-		counts[i] = h.counts[i].Load()
-		total += counts[i]
+	for _, c := range counts {
+		total += c
 	}
 	if total == 0 {
 		return 0

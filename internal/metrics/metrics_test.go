@@ -114,6 +114,42 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramWindowedQuantile: differencing two BucketCounts
+// snapshots and feeding the delta to QuantileFromCounts yields the
+// quantile of just the observations between the snapshots — the
+// overload controller's per-tick window.
+func TestHistogramWindowedQuantile(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1e-3, 2, 20))
+	// Epoch 1: fast observations around 2ms.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.002)
+	}
+	before := h.BucketCounts()
+	// Epoch 2: slow observations around 0.5s.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	after := h.BucketCounts()
+	window := make([]uint64, len(after))
+	for i := range after {
+		window[i] = after[i] - before[i]
+	}
+	// The lifetime median straddles both epochs; the windowed median
+	// must see only the slow epoch.
+	if q := h.QuantileFromCounts(window, 50); q < 0.25 || q > 1.0 {
+		t.Errorf("windowed p50 = %g, want within one log2 bucket of 0.5", q)
+	}
+	if q := h.QuantileFromCounts(make([]uint64, len(after)), 99); q != 0 {
+		t.Errorf("empty-window quantile = %g, want 0", q)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("QuantileFromCounts accepted a mismatched bucket count")
+		}
+	}()
+	h.QuantileFromCounts(make([]uint64, 3), 50)
+}
+
 // TestExpositionGolden pins the full text format: family ordering,
 // label rendering, histogram expansion, and value formatting.
 func TestExpositionGolden(t *testing.T) {

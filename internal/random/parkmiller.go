@@ -147,6 +147,35 @@ func (p *PM) Split() *PM {
 
 var _ Source = (*PM)(nil)
 
+// Int63n returns a uniform value in [0, n) drawn from src, for any
+// positive n. It is the Source-interface counterpart of PM.Int64n, so
+// callers holding only a Source (e.g. a Locked stream shared by
+// concurrent retriers) can draw arbitrary ranges: small ranges use
+// one rejection-sampled 31-bit draw, larger ones compose two.
+func Int63n(src Source, n int64) int64 {
+	if n <= 0 {
+		panic("random: Int63n with non-positive n")
+	}
+	if n < M {
+		limit := uint32((M - 1) / uint32(n) * uint32(n))
+		for {
+			v := src.Uint31() - 1
+			if v < limit {
+				return int64(v % uint32(n))
+			}
+		}
+	}
+	limit := (int64(1)<<62 - 1) / n * n
+	for {
+		hi := int64(src.Uint31()-1) & (1<<31 - 1)
+		lo := int64(src.Uint31()-1) & (1<<31 - 1)
+		v := hi<<31 | lo
+		if v < limit {
+			return v % n
+		}
+	}
+}
+
 // Scripted is a Source for tests: it replays a fixed sequence of
 // values, then panics if exhausted. Values must lie in [1, 2^31-2].
 type Scripted struct {

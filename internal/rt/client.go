@@ -94,6 +94,7 @@ type Client struct {
 	rejectedN   uint64
 	dispatchedN uint64
 	cancelledN  uint64
+	shedN       uint64
 	panics      atomic.Uint64
 
 	// Metric instruments, bound at creation (bindMetrics): registry
@@ -105,6 +106,7 @@ type Client struct {
 	mDispatched *metrics.Counter
 	mRejected   *metrics.Counter
 	mCancelled  *metrics.Counter
+	mShed       *metrics.Counter
 	mPanics     *metrics.Counter
 	mDepth      *metrics.Gauge
 	waitHist    *metrics.Histogram
@@ -115,6 +117,24 @@ func (c *Client) Name() string { return c.name }
 
 // Tenant returns the tenant whose currency funds the client.
 func (c *Client) Tenant() *Tenant { return c.tenant }
+
+// Pending returns the client's current queued (not yet dispatched)
+// task count. It takes the home shard's mutex briefly; for a
+// dispatcher-wide count use Dispatcher.Pending.
+func (c *Client) Pending() int {
+	sh := c.lockShard()
+	n := c.pendingLocked()
+	sh.mu.Unlock()
+	return n
+}
+
+// WaitHistogram returns the client's enqueue-to-dispatch wait-latency
+// histogram — the same instrument Snapshot's WaitP50/WaitP99 and a
+// /metrics scrape read. Controllers can difference BucketCounts
+// snapshots between control ticks for a windowed quantile (see
+// metrics.Histogram.QuantileFromCounts); the instrument itself is
+// atomic, so sampling takes no dispatcher lock.
+func (c *Client) WaitHistogram() *metrics.Histogram { return c.waitHist }
 
 // weight is the client's lottery weight: its cached funding in base
 // units scaled by its compensation multiplier. Called under the home
@@ -504,6 +524,62 @@ func (c *Client) Abandon() {
 		}
 		t.finish(ErrClientLeft)
 	}
+}
+
+// Shed evicts up to n of the client's oldest queued tasks — overload
+// load shedding (§4.2's inverse lottery decides *which client* sheds;
+// this is the mechanism that sheds). Evicted tasks complete with
+// ErrShed without running and an EventShed is emitted for each;
+// oldest-first eviction drops the work most likely to have outlived
+// its caller's patience while preserving FIFO order among survivors.
+// Tasks already handed to a worker are untouched. Returns how many
+// tasks were evicted; the client stays usable (unlike Abandon, which
+// retires it).
+func (c *Client) Shed(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	d := c.d
+	sh := c.lockShard()
+	k := c.pendingLocked()
+	if k > n {
+		k = n
+	}
+	var dropped []*Task
+	if k > 0 {
+		dropped = make([]*Task, k)
+		for i := 0; i < k; i++ {
+			dropped[i] = c.queue[c.head+i]
+			c.queue[c.head+i] = nil
+			dropped[i].state = taskDone
+		}
+		c.head += k
+		if c.head == len(c.queue) {
+			c.queue = c.queue[:0]
+			c.head = 0
+		}
+		c.shedN += uint64(k)
+		c.mShed.Add(uint64(k))
+		d.shed.Add(uint64(k))
+		c.mDepth.Add(float64(-k))
+		sh.pending -= k
+		d.totalPending.Add(int64(-k))
+		c.wakeWaitersLocked()
+		if c.pendingLocked() == 0 {
+			c.emptiedLocked(sh)
+		}
+		sh.publishLocked()
+	}
+	sh.mu.Unlock()
+	for _, t := range dropped {
+		if d.obs != nil {
+			d.obs.Observe(Event{At: time.Now(), Kind: EventShed, Client: c.name,
+				Tenant: c.tenant.name, Err: ErrShed.Error()})
+		}
+		t.finish(ErrShed)
+	}
+	d.debugCheck()
+	return k
 }
 
 // teardownLocked destroys the client's funding and removes it from

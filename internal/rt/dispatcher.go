@@ -29,6 +29,11 @@ var (
 	// ErrNoResources is returned by SubmitReserve when the dispatcher
 	// was built without a resource ledger (Config.Resources).
 	ErrNoResources = errors.New("rt: dispatcher has no resource ledger")
+	// ErrShed completes a queued task evicted by overload shedding
+	// (Client.Shed): admission control decided the task will not run.
+	// Callers should treat it as a retryable server-overloaded signal,
+	// not a task failure.
+	ErrShed = errors.New("rt: task shed under overload")
 )
 
 // Reserve declares a task's memory and I/O bandwidth demand; see
@@ -197,7 +202,14 @@ type Dispatcher struct {
 	completed  atomic.Uint64
 	panicked   atomic.Uint64
 	cancelled  atomic.Uint64 // tasks cancelled while queued
+	shed       atomic.Uint64 // tasks evicted by overload shedding
 	rebalanced atomic.Uint64 // clients migrated between shards
+
+	// checks are external invariant checkers (Dispatcher.AddCheck) run
+	// by CheckInvariants after its own sweep — e.g. the overload
+	// controller's inflation-conservation check. Guarded by checksMu.
+	checksMu sync.Mutex
+	checks   []func() error
 
 	balEvery time.Duration
 	balStop  chan struct{}
@@ -279,6 +291,37 @@ func (d *Dispatcher) Workers() int { return d.workers }
 
 // Shards returns the number of run-queue shards.
 func (d *Dispatcher) Shards() int { return len(d.shards) }
+
+// Pending returns the number of queued (not yet dispatched) tasks
+// across all clients — one atomic load, cheap enough for per-request
+// overload probes (e.g. deriving a Retry-After hint on a 503 path).
+func (d *Dispatcher) Pending() int { return int(d.totalPending.Load()) }
+
+// Dispatched returns the lifetime count of tasks handed to workers —
+// one atomic load, so periodic callers (the overload controller's
+// drain-rate estimator) can difference it without taking a Snapshot.
+func (d *Dispatcher) Dispatched() uint64 { return d.dispatched.Load() }
+
+// Ledger returns the multi-resource ledger the dispatcher was built
+// with, or nil without Config.Resources. Callers use it for pressure
+// probes (free memory against capacity); enforcement stays inside the
+// dispatcher's own reserve/release paths.
+func (d *Dispatcher) Ledger() *resource.Ledger { return d.ledger }
+
+// AddCheck registers an external invariant checker that CheckInvariants
+// runs (outside every dispatcher lock) after its own sweep — the hook
+// layered subsystems use to put their conservation contracts under the
+// same probe, e.g. the overload controller's inflation-conservation
+// check. Checkers must be safe for concurrent use and must not assume
+// any dispatcher lock is held.
+func (d *Dispatcher) AddCheck(fn func() error) {
+	if fn == nil {
+		panic("rt: AddCheck with nil checker")
+	}
+	d.checksMu.Lock()
+	d.checks = append(d.checks, fn)
+	d.checksMu.Unlock()
+}
 
 // Close stops accepting new work, wakes blocked submitters with
 // ErrClosed, drains every queued task, waits for in-flight tasks to

@@ -29,9 +29,13 @@ import (
 //   - on a shard whose weight epoch is current, every in-tree weight
 //     (and the cached funding value behind it) equals the client's
 //     funding times its compensation multiplier;
-//   - completions never outrun dispatches;
+//   - completions never outrun dispatches, and no client's
+//     dispatched+cancelled+shed ledger exceeds its submissions;
 //   - with a resource ledger configured, resource.CheckLedger's pool
-//     and usage conservation invariants hold too.
+//     and usage conservation invariants hold too;
+//   - every external check registered with AddCheck passes (run after
+//     the sweep, outside all dispatcher locks — the overload
+//     controller registers its inflation-conservation check here).
 //
 // Safe for concurrent use; it locks every shard (in shard order) plus
 // the ticket graph for the whole check, so treat it as a
@@ -52,6 +56,20 @@ func CheckInvariants(d *Dispatcher) error {
 		// the order; checking it after the dispatcher sweep keeps the
 		// probe one-pass without nesting the ledger under the shards.
 		err = resource.CheckLedger(d.ledger)
+	}
+	if err == nil {
+		// External checks run last, outside every dispatcher lock, so
+		// they may call back into the dispatcher (Snapshot, Funding,
+		// the overload controller's own state) freely.
+		d.checksMu.Lock()
+		checks := make([]func() error, len(d.checks))
+		copy(checks, d.checks)
+		d.checksMu.Unlock()
+		for _, fn := range checks {
+			if cerr := fn(); cerr != nil {
+				return fmt.Errorf("rt: registered check failed: %w", cerr)
+			}
+		}
 	}
 	return err
 }
@@ -85,6 +103,12 @@ func (d *Dispatcher) checkInvariantsLocked() error {
 			pending += depth
 			if c.torn {
 				return fmt.Errorf("rt: torn-down client %q still in shard %d's roster", c.name, sh.id)
+			}
+			// Inequality, not equality: discardQueued and Abandon drop
+			// queued tasks without a dedicated counter.
+			if done := c.dispatchedN + c.cancelledN + c.shedN; done > c.submittedN {
+				return fmt.Errorf("rt: client %q dispatched+cancelled+shed %d > submitted %d",
+					c.name, done, c.submittedN)
 			}
 			if c.sh.Load() != sh {
 				return fmt.Errorf("rt: client %q in shard %d's roster but homed elsewhere", c.name, sh.id)

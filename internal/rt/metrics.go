@@ -24,6 +24,7 @@ type rtMetrics struct {
 	rejected   *metrics.CounterVec
 	cancelled  *metrics.CounterVec
 	panics     *metrics.CounterVec
+	shed       *metrics.CounterVec
 	depth      *metrics.GaugeVec
 	wait       *metrics.HistogramVec
 }
@@ -43,6 +44,8 @@ func newRTMetrics(r *metrics.Registry, d *Dispatcher) *rtMetrics {
 		func() float64 { return float64(d.panicked.Load()) })
 	r.CounterFunc("rt_cancelled_total", "Tasks cancelled while queued, before any worker ran them.",
 		func() float64 { return float64(d.cancelled.Load()) })
+	r.CounterFunc("rt_shed_total", "Tasks evicted while queued by overload load shedding.",
+		func() float64 { return float64(d.shed.Load()) })
 	r.CounterFunc("rt_rebalances_total", "Clients migrated between shards by the weight rebalancer.",
 		func() float64 { return float64(d.rebalanced.Load()) })
 	r.GaugeFunc("rt_pending_tasks", "Queued tasks across all clients.",
@@ -73,6 +76,8 @@ func newRTMetrics(r *metrics.Registry, d *Dispatcher) *rtMetrics {
 			"Tasks cancelled while queued.", "client", "tenant"),
 		panics: r.CounterVec("rt_client_panics_total",
 			"Tasks of this client whose body panicked.", "client", "tenant"),
+		shed: r.CounterVec("rt_client_shed_total",
+			"Tasks of this client evicted by overload load shedding.", "client", "tenant"),
 		depth: r.GaugeVec("rt_client_queue_depth",
 			"Tasks currently queued for the client.", "client", "tenant"),
 		wait: r.HistogramVec("rt_client_wait_seconds",
@@ -94,6 +99,7 @@ func (c *Client) bindMetrics(m *rtMetrics) {
 		c.mRejected = metrics.NewCounter()
 		c.mCancelled = metrics.NewCounter()
 		c.mPanics = metrics.NewCounter()
+		c.mShed = metrics.NewCounter()
 		c.mDepth = metrics.NewGauge()
 		c.waitHist = metrics.NewHistogram(waitBuckets)
 		return
@@ -104,6 +110,7 @@ func (c *Client) bindMetrics(m *rtMetrics) {
 	c.mRejected = m.rejected.With(name, tenant)
 	c.mCancelled = m.cancelled.With(name, tenant)
 	c.mPanics = m.panics.With(name, tenant)
+	c.mShed = m.shed.With(name, tenant)
 	c.mDepth = m.depth.With(name, tenant)
 	c.waitHist = m.wait.With(name, tenant)
 }

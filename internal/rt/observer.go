@@ -48,6 +48,11 @@ const (
 	// being over its dominant share; IOTokens holds the deferred
 	// demand. Client is empty, as with EventReclaim.
 	EventThrottle
+	// EventShed: a still-queued task was evicted by overload shedding
+	// (Client.Shed) and completed with ErrShed without running; Err
+	// holds the completion error. The inverse-lottery victim choice
+	// behind it is the overload controller's, not the dispatcher's.
+	EventShed
 )
 
 func (k EventKind) String() string {
@@ -74,6 +79,8 @@ func (k EventKind) String() string {
 		return "reclaim"
 	case EventThrottle:
 		return "throttle"
+	case EventShed:
+		return "shed"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

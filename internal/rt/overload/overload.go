@@ -1,0 +1,430 @@
+// Package overload closes the loop between observed latency and
+// ticket funding, and sheds queued work by inverse lottery when the
+// dispatcher is past saturation — the paper's two adaptive mechanisms
+// (§3.2 ticket inflation, §4.2/§6.2 inverse lotteries) pointed at
+// overload control.
+//
+// A Controller watches registered tenants each control tick:
+//
+//   - SLO feedback inflation: a tenant may declare a wait-latency
+//     target (p99 of enqueue-to-dispatch wait). The controller
+//     estimates the tenant's p99 over the last tick's window from the
+//     same histograms /metrics exports, and scales the tenant's base
+//     funding by a factor updated multiplicatively,
+//
+//     f' = clamp(f · (p99/target)^gain, 1, MaxInflation)
+//
+//     — over target mints tickets, under target burns them back
+//     toward the base grant, and a deadband around the target keeps
+//     the controller quiet once converged. Only the registered
+//     tenant's own base ticket is rescaled; every other tenant's
+//     funding is untouched (conservation is checked by Check, which
+//     the controller registers with rt.CheckInvariants via AddCheck).
+//
+//   - Inverse-lottery load shedding: when the global backlog exceeds
+//     HighWatermark (or the memory pool is past MemHighWatermark
+//     full), the controller drains the backlog to LowWatermark by
+//     repeatedly holding an inverse lottery over tenants' queued
+//     work: candidates are the tenants queued beyond their entitled
+//     share (enforcement first — a within-share tenant is never shed
+//     while an over-share tenant has queued work), weighted
+//
+//     w_i = (1 - s_i) · q_i/Q
+//
+//     with s_i the tenant's entitled (ticket) share and q_i/Q its
+//     share of the queued backlog — the same inverse weights the
+//     resource ledger uses to revoke memory. Each drawn victim sheds
+//     a small chunk of its oldest queued tasks (completed with
+//     rt.ErrShed, observable as rt.EventShed), then the lottery
+//     repeats with fresh weights, so shed counts track over-share
+//     ratios in expectation.
+//
+// The controller also derives a Retry-After hint from the excess
+// backlog and the measured drain rate, for servers bouncing work with
+// 503s while shedding.
+package overload
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/random"
+	"repro/internal/rt"
+	"repro/internal/ticket"
+)
+
+// Config tunes a Controller. The zero value is usable: 100ms ticks,
+// inflation capped at 8x, gain 0.5, 10% deadband, shedding disabled
+// until HighWatermark is set.
+type Config struct {
+	// Interval is the control tick period; default 100ms.
+	Interval time.Duration
+	// HighWatermark is the global queued-task backlog that starts a
+	// shed; 0 disables backlog-triggered shedding.
+	HighWatermark int
+	// LowWatermark is the backlog a shed drains down to; default
+	// HighWatermark/2. Hysteresis between the two keeps the shedder
+	// from chattering at the threshold.
+	LowWatermark int
+	// MemHighWatermark is the fraction of the memory pool in use that
+	// triggers a shed regardless of backlog (queued tasks pin their
+	// reserves, so draining the queue frees memory); 0 disables. Only
+	// meaningful when the dispatcher has a resource ledger.
+	MemHighWatermark float64
+	// MaxInflation caps the funding scale factor; default 8. A cap is
+	// what keeps a hopeless SLO (target below the service time) from
+	// minting unboundedly and starving everyone else.
+	MaxInflation float64
+	// Gain is the exponent of the multiplicative update; default 0.5.
+	// Below 1 damps the loop: the controller halves the log-error per
+	// tick instead of chasing it in one jump (queue dynamics lag the
+	// funding change, so a full-gain loop oscillates). The gain is
+	// asymmetric: decay (p99 under target) runs at a fifth of Gain,
+	// and the per-tick error ratio is clamped to [1/4, 4].
+	Gain float64
+	// Deadband is the relative band around the target inside which the
+	// factor is left alone; default 0.1 (p99 within ±10% of target).
+	Deadband float64
+	// ShedChunk is the most tasks one inverse-lottery draw evicts from
+	// its victim; default 8. Small chunks mean many draws per shed, so
+	// per-tenant shed counts concentrate around the lottery weights.
+	ShedChunk int
+	// Seed seeds the shedder's Park-Miller stream; default 1.
+	Seed uint32
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.LowWatermark <= 0 || c.LowWatermark > c.HighWatermark {
+		c.LowWatermark = c.HighWatermark / 2
+	}
+	if c.MaxInflation < 1 {
+		c.MaxInflation = 8
+	}
+	if c.Gain <= 0 {
+		c.Gain = 0.5
+	}
+	if c.Deadband < 0 {
+		c.Deadband = 0
+	} else if c.Deadband == 0 {
+		c.Deadband = 0.1
+	}
+	if c.ShedChunk <= 0 {
+		c.ShedChunk = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// tenantState is one registered tenant under control.
+type tenantState struct {
+	tenant  *rt.Tenant
+	clients []*rt.Client
+	// target is the tenant's p99 wait SLO; 0 means no inflation (the
+	// tenant still participates in shedding accounting).
+	target time.Duration
+	// base is the funding recorded at registration — the grant the
+	// inflation factor scales. Funding must always equal
+	// round(base·factor); Check enforces it.
+	base ticket.Amount
+	// factor is the current inflation scale, in [1, MaxInflation].
+	factor float64
+	// prevCounts holds each client's wait-histogram bucket counts at
+	// the last tick; differencing against the current counts yields
+	// the windowed latency distribution.
+	prevCounts [][]uint64
+	// windowP99 is an EWMA over per-tick windowed p99 observations
+	// (0 until a window first sees a dispatch; empty windows leave it
+	// untouched).
+	windowP99 time.Duration
+	// shed counts tasks the controller's lotteries evicted from this
+	// tenant.
+	shed uint64
+	// overShare is the last computed queued-share/entitled-share ratio
+	// (>1 means queued beyond entitlement).
+	overShare float64
+}
+
+// Controller runs the feedback and shedding loops against one
+// dispatcher. Create with New, add tenants with Register, then either
+// drive ticks manually (Tick, for tests) or Start the background
+// loop. All methods are safe for concurrent use.
+type Controller struct {
+	d   *rt.Dispatcher
+	cfg Config
+
+	mu      sync.Mutex
+	tenants []*tenantState
+	rng     *random.PM
+	ticks   uint64
+	// prevDispatched backs the drain-rate estimate; lastRate is tasks
+	// per second over the last tick.
+	prevDispatched uint64
+	lastTick       time.Time
+	lastRate       float64
+	shedTotal      uint64
+	shedding       bool
+	retryAfter     time.Duration
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	done     chan struct{}
+}
+
+// New creates a controller for d and registers its conservation check
+// with the dispatcher's invariant probe. The controller is idle until
+// Start (or explicit Tick) — construction takes no locks beyond the
+// check registration.
+func New(d *rt.Dispatcher, cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		d:      d,
+		cfg:    cfg,
+		rng:    random.NewPM(cfg.Seed),
+		stopCh: make(chan struct{}),
+	}
+	d.AddCheck(c.Check)
+	return c
+}
+
+// Register puts a tenant under control: target is its p99 wait SLO (0
+// for shedding-only participation), clients are the tenant's clients
+// (their wait histograms feed the p99 estimate, their queues are the
+// shed candidates). The tenant's current funding is recorded as the
+// base grant the inflation factor scales. Registering the same tenant
+// twice panics.
+func (c *Controller) Register(t *rt.Tenant, target time.Duration, clients ...*rt.Client) {
+	if len(clients) == 0 {
+		panic("overload: Register with no clients")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ts := range c.tenants {
+		if ts.tenant == t {
+			panic(fmt.Sprintf("overload: tenant %q registered twice", t.Name()))
+		}
+	}
+	ts := &tenantState{
+		tenant:     t,
+		clients:    clients,
+		target:     target,
+		base:       t.Funding(),
+		factor:     1,
+		prevCounts: make([][]uint64, len(clients)),
+	}
+	for i, cl := range clients {
+		ts.prevCounts[i] = cl.WaitHistogram().BucketCounts()
+	}
+	c.tenants = append(c.tenants, ts)
+}
+
+// Start launches the background control loop at the configured
+// interval. Stop it with Stop; Start after Stop panics.
+func (c *Controller) Start() {
+	select {
+	case <-c.stopCh:
+		panic("overload: Start after Stop")
+	default:
+	}
+	done := make(chan struct{})
+	c.mu.Lock()
+	if c.done != nil {
+		c.mu.Unlock()
+		panic("overload: Start called twice")
+	}
+	c.done = done
+	c.mu.Unlock()
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(c.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.stopCh:
+				return
+			case <-ticker.C:
+				c.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop and waits for the in-flight tick, if
+// any, to finish. Idempotent; a controller that was never started
+// stops trivially.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.mu.Lock()
+	done := c.done
+	c.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+}
+
+// Tick runs one control iteration: refresh the drain-rate estimate,
+// update every SLO tenant's inflation factor from its windowed p99,
+// then shed if a watermark is crossed. Exported so tests (and the
+// soak harness's verification mode) can step the controller
+// deterministically without a ticker.
+func (c *Controller) Tick() {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ticks++
+
+	// Drain rate over the elapsed wall time since the last tick.
+	dispatched := c.d.Dispatched()
+	if !c.lastTick.IsZero() {
+		if dt := now.Sub(c.lastTick).Seconds(); dt > 0 {
+			c.lastRate = float64(dispatched-c.prevDispatched) / dt
+		}
+	}
+	c.prevDispatched = dispatched
+	c.lastTick = now
+
+	c.inflateLocked()
+	c.shedLocked()
+	c.retryAfterLocked()
+}
+
+// inflateLocked runs the SLO feedback update for every registered
+// tenant with a target. Called with c.mu held; takes the dispatcher's
+// graph lock (via SetFunding/Funding) beneath it — c.mu is above
+// every rt lock in the order.
+func (c *Controller) inflateLocked() {
+	for _, ts := range c.tenants {
+		// Window the wait distribution: current minus previous bucket
+		// counts, summed across the tenant's clients.
+		var window []uint64
+		var total uint64
+		for i, cl := range ts.clients {
+			cur := cl.WaitHistogram().BucketCounts()
+			if window == nil {
+				window = make([]uint64, len(cur))
+			}
+			for j := range cur {
+				d := cur[j] - ts.prevCounts[i][j]
+				window[j] += d
+				total += d
+			}
+			ts.prevCounts[i] = cur
+		}
+		if ts.target <= 0 {
+			continue
+		}
+		if total == 0 {
+			// No dispatches this window: nothing to measure. Leave the
+			// factor alone — an empty window during a stall must not
+			// read as "SLO met" and burn the boost that would clear it.
+			continue
+		}
+		p99 := ts.clients[0].WaitHistogram().QuantileFromCounts(window, 99)
+		// EWMA-smooth the windowed p99: a single 100ms window holds
+		// few samples and whipsaws the loop; acting on the smoothed
+		// value damps the drain/starve oscillation.
+		obs := time.Duration(p99 * float64(time.Second))
+		if ts.windowP99 == 0 {
+			ts.windowP99 = obs
+		} else {
+			ts.windowP99 = (ts.windowP99 + obs) / 2
+		}
+		ratio := float64(ts.windowP99) / float64(ts.target)
+		if math.Abs(ratio-1) <= c.cfg.Deadband {
+			continue
+		}
+		// Clamp the per-tick error and decay far more gently than we
+		// inflate: overshoot starves nobody (the SLO tenant just
+		// drains), but an aggressive decay starves the SLO tenant the
+		// moment it drains, sawtoothing the loop between rail and
+		// floor. Inflate-fast/decay-slow converges instead.
+		if ratio > 4 {
+			ratio = 4
+		} else if ratio < 0.25 {
+			ratio = 0.25
+		}
+		gain := c.cfg.Gain
+		if ratio < 1 {
+			gain *= 0.2
+		}
+		factor := ts.factor * math.Pow(ratio, gain)
+		if factor < 1 {
+			factor = 1
+		} else if factor > c.cfg.MaxInflation {
+			factor = c.cfg.MaxInflation
+		}
+		if factor == ts.factor {
+			continue
+		}
+		want := ticket.Amount(math.Round(float64(ts.base) * factor))
+		if err := ts.tenant.SetFunding(want); err != nil {
+			// Funding change refused (e.g. currency cap): keep the old
+			// factor so Check still matches reality.
+			continue
+		}
+		ts.factor = factor
+	}
+}
+
+// retryAfterLocked refreshes the Retry-After hint: zero while the
+// backlog is under the high watermark, otherwise the time to drain
+// the excess at the measured rate, clamped to [1s, 30s].
+func (c *Controller) retryAfterLocked() {
+	backlog := c.d.Pending()
+	if c.cfg.HighWatermark <= 0 || backlog <= c.cfg.HighWatermark {
+		c.retryAfter = 0
+		return
+	}
+	excess := float64(backlog - c.cfg.LowWatermark)
+	hint := 30 * time.Second
+	if c.lastRate > 0 {
+		hint = time.Duration(excess / c.lastRate * float64(time.Second))
+	}
+	if hint < time.Second {
+		hint = time.Second
+	} else if hint > 30*time.Second {
+		hint = 30 * time.Second
+	}
+	c.retryAfter = hint
+}
+
+// RetryAfterHint returns the current backpressure hint for 503
+// responses: 0 when the backlog is below the high watermark,
+// otherwise the estimated drain time of the excess (1s–30s). Safe for
+// concurrent use from request handlers.
+func (c *Controller) RetryAfterHint() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retryAfter
+}
+
+// Check verifies the controller's conservation contract: every
+// registered tenant's funding equals its recorded base grant scaled
+// by the current inflation factor, and every factor lies in
+// [1, MaxInflation]. Registered with rt.CheckInvariants at
+// construction, so any funding drift — the controller touching a
+// tenant it shouldn't, or anything else mutating a controlled
+// tenant's funding behind its back — fails the dispatcher's own
+// invariant probe.
+func (c *Controller) Check() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ts := range c.tenants {
+		if ts.factor < 1 || ts.factor > c.cfg.MaxInflation || math.IsNaN(ts.factor) {
+			return fmt.Errorf("overload: tenant %q inflation factor %v outside [1, %v]",
+				ts.tenant.Name(), ts.factor, c.cfg.MaxInflation)
+		}
+		want := ticket.Amount(math.Round(float64(ts.base) * ts.factor))
+		if got := ts.tenant.Funding(); got != want {
+			return fmt.Errorf("overload: tenant %q funding %d != base %d x factor %v = %d",
+				ts.tenant.Name(), got, ts.base, ts.factor, want)
+		}
+	}
+	return nil
+}

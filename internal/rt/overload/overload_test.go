@@ -1,0 +1,346 @@
+package overload_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rt"
+	"repro/internal/rt/overload"
+)
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// park occupies every worker with a gated task so queued work stays
+// queued; closing the gate releases them.
+func park(t *testing.T, d *rt.Dispatcher) chan struct{} {
+	t.Helper()
+	gate := make(chan struct{})
+	p, err := d.NewClient("park", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Workers(); i++ {
+		if _, err := p.Submit(func() { <-gate }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "workers parked", func() bool {
+		return d.Dispatched() == uint64(d.Workers())
+	})
+	return gate
+}
+
+func fill(t *testing.T, c *rt.Client, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := c.Submit(func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShedFairness drives a sustained 5x-overload backlog and checks
+// that the inverse lottery concentrates evictions on the tenants
+// queued beyond their entitled share, in proportion to how far over
+// they are.
+func TestShedFairness(t *testing.T) {
+	d := rt.New(rt.Config{Workers: 2, QueueCap: 4096, Seed: 42})
+	defer d.Close()
+	gate := park(t, d)
+	defer close(gate)
+
+	// A and B hold a quarter of the tickets each but most of the
+	// backlog; C holds half the tickets and a sliver of queue.
+	a, err := d.NewClient("a", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.NewClient("b", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.NewClient("c", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, a, 1000)
+	fill(t, b, 500)
+	fill(t, c, 100)
+
+	ctrl := overload.New(d, overload.Config{
+		HighWatermark: 200,
+		LowWatermark:  100,
+		ShedChunk:     8,
+		Seed:          7,
+	})
+	ctrl.Register(a.Tenant(), 0, a)
+	ctrl.Register(b.Tenant(), 0, b)
+	ctrl.Register(c.Tenant(), 0, c)
+
+	ctrl.Tick()
+
+	if got := d.Pending(); got > 100 {
+		t.Fatalf("backlog %d after shed, want <= low watermark 100", got)
+	}
+	st := ctrl.Status()
+	if st.Shed < 1400 {
+		t.Fatalf("controller shed %d, want ~1500", st.Shed)
+	}
+	shed := map[string]uint64{}
+	for _, ts := range st.Tenants {
+		shed[ts.Name] = ts.Shed
+	}
+	// The over-share tenants must absorb at least 80% of the shed
+	// (the acceptance bar; with these ratios they take nearly all).
+	overShare := shed["a"] + shed["b"]
+	if frac := float64(overShare) / float64(st.Shed); frac < 0.8 {
+		t.Fatalf("over-share tenants absorbed %.2f of sheds, want >= 0.8", frac)
+	}
+	// A was twice as far over share as B, so it must shed more.
+	if shed["a"] <= shed["b"] {
+		t.Fatalf("shed a=%d <= b=%d; want the deeper over-share tenant shed more", shed["a"], shed["b"])
+	}
+	if err := rt.CheckInvariants(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShedSparesWithinShare: a tenant queued within its entitled share
+// is never shed while an over-share tenant has queued work.
+func TestShedSparesWithinShare(t *testing.T) {
+	d := rt.New(rt.Config{Workers: 1, QueueCap: 4096, Seed: 42})
+	defer d.Close()
+	gate := park(t, d)
+	defer close(gate)
+
+	hog, err := d.NewClient("hog", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meek, err := d.NewClient("meek", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, hog, 500)
+	fill(t, meek, 50)
+
+	ctrl := overload.New(d, overload.Config{
+		HighWatermark: 400,
+		LowWatermark:  300,
+		Seed:          3,
+	})
+	ctrl.Register(hog.Tenant(), 0, hog)
+	ctrl.Register(meek.Tenant(), 0, meek)
+
+	ctrl.Tick()
+
+	st := ctrl.Status()
+	for _, ts := range st.Tenants {
+		switch ts.Name {
+		case "meek":
+			if ts.Shed != 0 {
+				t.Fatalf("within-share tenant shed %d tasks; want 0", ts.Shed)
+			}
+		case "hog":
+			if ts.Shed != 250 {
+				t.Fatalf("over-share tenant shed %d, want 250", ts.Shed)
+			}
+		}
+	}
+	if got := meek.Pending(); got != 50 {
+		t.Fatalf("meek queue %d after shed, want untouched 50", got)
+	}
+	if err := rt.CheckInvariants(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInflationFeedback: a tenant whose windowed p99 sits above its
+// target gets its funding inflated (and only its funding); when the
+// latency falls back under target the boost burns back to the base
+// grant. CheckInvariants runs the controller's conservation check at
+// every step.
+func TestInflationFeedback(t *testing.T) {
+	d := rt.New(rt.Config{Workers: 1, QueueCap: 4096, Seed: 42})
+	defer d.Close()
+
+	slo, err := d.NewClient("slo", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := d.NewClient("other", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctrl := overload.New(d, overload.Config{MaxInflation: 8})
+	ctrl.Register(slo.Tenant(), 10*time.Millisecond, slo)
+
+	// Phase 1: force long waits — queue behind parked workers, hold
+	// the gate past the target, then drain and tick.
+	gate := park(t, d)
+	fill(t, slo, 20)
+	time.Sleep(30 * time.Millisecond)
+	close(gate)
+	waitUntil(t, "phase-1 drain", func() bool { return d.Pending() == 0 })
+	ctrl.Tick()
+
+	st := ctrl.Status()
+	var sloSt overload.TenantStatus
+	for _, ts := range st.Tenants {
+		if ts.Name == "slo" {
+			sloSt = ts
+		}
+	}
+	if sloSt.WindowP99 < 10*time.Millisecond {
+		t.Fatalf("window p99 %v, want above the 10ms target", sloSt.WindowP99)
+	}
+	if sloSt.Factor <= 1 {
+		t.Fatalf("factor %v after over-target window, want > 1", sloSt.Factor)
+	}
+	if got, want := slo.Tenant().Funding(), sloSt.Funding; int64(got) != want {
+		t.Fatalf("funding %d != status funding %d", got, want)
+	}
+	if got := other.Tenant().Funding(); got != 300 {
+		t.Fatalf("uninvolved tenant funding %d, want untouched 300", got)
+	}
+	if err := rt.CheckInvariants(d); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: with idle workers, waits collapse to microseconds —
+	// the boost must burn back toward the base grant. Several windows:
+	// the EWMA and the deliberately slow decay gain mean one quiet
+	// window only dents the factor.
+	for i := 0; i < 8; i++ {
+		fill(t, slo, 20)
+		waitUntil(t, "phase-2 drain", func() bool { return d.Pending() == 0 })
+		ctrl.Tick()
+	}
+	st = ctrl.Status()
+	for _, ts := range st.Tenants {
+		if ts.Name != "slo" {
+			continue
+		}
+		if ts.Factor >= sloSt.Factor {
+			t.Fatalf("factor %v did not burn down from %v after under-target window", ts.Factor, sloSt.Factor)
+		}
+	}
+	if err := rt.CheckInvariants(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckDetectsExternalMutation: funding changed behind the
+// controller's back fails the conservation check — and therefore the
+// dispatcher's own invariant probe.
+func TestCheckDetectsExternalMutation(t *testing.T) {
+	d := rt.New(rt.Config{Workers: 1, Seed: 1})
+	defer d.Close()
+	c, err := d.NewClient("t", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := overload.New(d, overload.Config{})
+	ctrl.Register(c.Tenant(), time.Second, c)
+	if err := rt.CheckInvariants(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Tenant().SetFunding(999); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Check(); err == nil {
+		t.Fatal("Check passed despite external funding mutation")
+	}
+	if err := rt.CheckInvariants(d); err == nil {
+		t.Fatal("CheckInvariants passed despite external funding mutation")
+	}
+}
+
+// TestRetryAfterHint: zero under the high watermark, clamped to
+// [1s, 30s] above it.
+func TestRetryAfterHint(t *testing.T) {
+	d := rt.New(rt.Config{Workers: 1, QueueCap: 4096, Seed: 1})
+	defer d.Close()
+	gate := park(t, d)
+	defer close(gate)
+	c, err := d.NewClient("t", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Watermarks far above the backlog: no hint. Shedding is disabled
+	// for the under-watermark tick by pointing both watermarks high.
+	ctrl := overload.New(d, overload.Config{HighWatermark: 100000, LowWatermark: 50000})
+	ctrl.Register(c.Tenant(), 0, c)
+	fill(t, c, 10)
+	ctrl.Tick()
+	if got := ctrl.RetryAfterHint(); got != 0 {
+		t.Fatalf("hint %v under watermark, want 0", got)
+	}
+
+	// Past the watermark the hint must be positive and clamped. The
+	// backlog lives on an unregistered client, so the shedder cannot
+	// drain it and the hint survives the tick; with no measured drain
+	// rate the hint pins to the 30s clamp.
+	loner, err := d.NewClient("loner", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, loner, 20)
+	ctrl2 := overload.New(d, overload.Config{HighWatermark: 5, LowWatermark: 2})
+	ctrl2.Register(c.Tenant(), 0, c)
+	ctrl2.Tick()
+	if got := ctrl2.RetryAfterHint(); got < time.Second || got > 30*time.Second {
+		t.Fatalf("hint %v over watermark, want within [1s, 30s]", got)
+	}
+}
+
+// TestRegisterTwicePanics pins the double-registration contract.
+func TestRegisterTwicePanics(t *testing.T) {
+	d := rt.New(rt.Config{Workers: 1, Seed: 1})
+	defer d.Close()
+	c, err := d.NewClient("t", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := overload.New(d, overload.Config{})
+	ctrl.Register(c.Tenant(), 0, c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Register did not panic")
+		}
+	}()
+	ctrl.Register(c.Tenant(), 0, c)
+}
+
+// TestStartStop exercises the background loop lifecycle.
+func TestStartStop(t *testing.T) {
+	d := rt.New(rt.Config{Workers: 1, Seed: 1})
+	defer d.Close()
+	c, err := d.NewClient("t", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := overload.New(d, overload.Config{Interval: time.Millisecond})
+	ctrl.Register(c.Tenant(), 0, c)
+	ctrl.Start()
+	waitUntil(t, "ticks", func() bool { return ctrl.Status().Ticks > 2 })
+	ctrl.Stop()
+	ctrl.Stop() // idempotent
+	ticks := ctrl.Status().Ticks
+	time.Sleep(10 * time.Millisecond)
+	if got := ctrl.Status().Ticks; got != ticks {
+		t.Fatalf("controller ticked after Stop: %d -> %d", ticks, got)
+	}
+}

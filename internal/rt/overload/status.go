@@ -1,0 +1,87 @@
+package overload
+
+import "time"
+
+// TenantStatus is one registered tenant's view in a Status.
+type TenantStatus struct {
+	Name string `json:"name"`
+	// TargetP99 is the tenant's wait SLO; 0 when shedding-only.
+	TargetP99 time.Duration `json:"target_p99_ns"`
+	// WindowP99 is the EWMA-smoothed p99 wait the controller acts on,
+	// updated each control window that saw a dispatch (0 when
+	// the window saw no dispatches).
+	WindowP99 time.Duration `json:"window_p99_ns"`
+	// Factor is the current inflation scale in [1, MaxInflation];
+	// Funding = round(BaseFunding · Factor).
+	Factor      float64 `json:"factor"`
+	BaseFunding int64   `json:"base_funding"`
+	Funding     int64   `json:"funding"`
+	// Shed counts tasks the controller's inverse lotteries evicted
+	// from this tenant.
+	Shed uint64 `json:"shed"`
+	// QueueDepth is the tenant's queued backlog (summed clients).
+	QueueDepth int `json:"queue_depth"`
+	// OverShare is the last computed queued-share / entitled-share
+	// ratio; above 1 the tenant is queued beyond its entitlement and
+	// is a preferred shed victim.
+	OverShare float64 `json:"over_share"`
+}
+
+// Status is a point-in-time view of the controller, JSON-shaped for
+// the daemon's /overload endpoint.
+type Status struct {
+	// Ticks counts control iterations run.
+	Ticks uint64 `json:"ticks"`
+	// Backlog is the dispatcher-wide queued-task count at capture.
+	Backlog       int `json:"backlog"`
+	HighWatermark int `json:"high_watermark"`
+	LowWatermark  int `json:"low_watermark"`
+	// Shedding reports whether the last tick crossed a watermark and
+	// ran the shedder.
+	Shedding bool `json:"shedding"`
+	// Shed counts tasks evicted by the controller since it started.
+	Shed uint64 `json:"shed"`
+	// RetryAfter is the current backpressure hint (0 when under the
+	// high watermark).
+	RetryAfter time.Duration `json:"retry_after_ns"`
+	// DrainRate is the measured dispatch rate, tasks/second, over the
+	// last tick.
+	DrainRate float64        `json:"drain_rate"`
+	Tenants   []TenantStatus `json:"tenants"`
+}
+
+// Status captures the controller's current state. Safe for concurrent
+// use; queue depths and funding are read fresh, the rest is the last
+// tick's view.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Status{
+		Ticks:         c.ticks,
+		Backlog:       c.d.Pending(),
+		HighWatermark: c.cfg.HighWatermark,
+		LowWatermark:  c.cfg.LowWatermark,
+		Shedding:      c.shedding,
+		Shed:          c.shedTotal,
+		RetryAfter:    c.retryAfter,
+		DrainRate:     c.lastRate,
+	}
+	for _, ts := range c.tenants {
+		depth := 0
+		for _, cl := range ts.clients {
+			depth += cl.Pending()
+		}
+		s.Tenants = append(s.Tenants, TenantStatus{
+			Name:        ts.tenant.Name(),
+			TargetP99:   ts.target,
+			WindowP99:   ts.windowP99,
+			Factor:      ts.factor,
+			BaseFunding: int64(ts.base),
+			Funding:     int64(ts.tenant.Funding()),
+			Shed:        ts.shed,
+			QueueDepth:  depth,
+			OverShare:   ts.overShare,
+		})
+	}
+	return s
+}

@@ -4,21 +4,64 @@ import (
 	"context"
 	"errors"
 	"time"
+
+	"repro/internal/random"
 )
+
+// Jitter selects how SubmitRetry randomizes the delay between
+// retries. The zero value is FullJitter: synchronized rejection is
+// the common case — every client bounced by the same full queue at
+// the same instant — and an unjittered exponential schedule keeps
+// those clients in lockstep, re-stampeding the queue at 1ms, 2ms,
+// 4ms, ... and defeating admission control. Full jitter draws each
+// delay uniformly from [0, d], which desynchronizes the storm while
+// preserving the exponential envelope (and, in expectation, halving
+// the added latency).
+type Jitter int
+
+const (
+	// FullJitter sleeps uniform-random in [0, d] where d is the
+	// current exponential delay (the AWS "full jitter" policy). This
+	// is the default.
+	FullJitter Jitter = iota
+	// NoJitter sleeps exactly the exponential delay. Use only where
+	// determinism matters more than contention, e.g. single-client
+	// tests asserting precise schedules.
+	NoJitter
+)
+
+// retryRNG is the process-global jitter stream shared by every
+// SubmitRetry without an explicit Source. One locked deterministic
+// stream is exactly right here: concurrent retriers interleave their
+// draws, so their delays decorrelate even though the stream itself is
+// seeded fixedly — no wall-clock seeding needed, and tests that want
+// full control inject their own Source instead.
+var retryRNG random.Source = random.NewLocked(random.NewPM(0x9E3779B9))
 
 // Backoff is an exponential-backoff schedule for SubmitRetry. The
 // zero value starts at 1ms, doubles each attempt, caps the delay at
-// 100ms, and retries until the context is done.
+// 100ms, applies full jitter, and retries until the context is done.
 type Backoff struct {
 	// Base is the delay before the first retry; default 1ms.
 	Base time.Duration
 	// Max caps the delay between retries; default 100ms.
 	Max time.Duration
-	// Factor multiplies the delay after each retry; default 2.
+	// Factor multiplies the delay after each retry. Zero selects the
+	// default 2. Values below 1 (including negatives) are rejected:
+	// a shrinking schedule converges on a zero-delay hot loop against
+	// a full queue, so SubmitRetry panics rather than silently
+	// rewriting the value (earlier versions substituted 2, masking
+	// the configuration error).
 	Factor float64
 	// Attempts bounds the total number of Submit attempts; 0 means
 	// retry until ctx is done.
 	Attempts int
+	// Jitter selects the delay randomization; default FullJitter.
+	Jitter Jitter
+	// Source supplies the jitter randomness; nil uses a shared
+	// deterministically-seeded process-global stream. Inject a seeded
+	// random.PM (or a random.Scripted) for reproducible tests.
+	Source random.Source
 }
 
 func (b Backoff) withDefaults() Backoff {
@@ -28,10 +71,26 @@ func (b Backoff) withDefaults() Backoff {
 	if b.Max <= 0 {
 		b.Max = 100 * time.Millisecond
 	}
-	if b.Factor < 1 {
+	if b.Factor == 0 {
 		b.Factor = 2
 	}
+	if b.Factor < 1 {
+		panic("rt: Backoff.Factor must be >= 1 (0 selects the default 2)")
+	}
+	if b.Source == nil {
+		b.Source = retryRNG
+	}
 	return b
+}
+
+// delay returns the sleep before the next retry given the current
+// exponential envelope d: d itself under NoJitter, uniform in [0, d]
+// under FullJitter.
+func (b Backoff) delay(d time.Duration) time.Duration {
+	if b.Jitter == NoJitter || d <= 0 {
+		return d
+	}
+	return time.Duration(random.Int63n(b.Source, int64(d)+1))
 }
 
 // SubmitRetry is SubmitCtx with retry-on-full for Reject-policy
@@ -52,7 +111,7 @@ func (c *Client) SubmitRetry(ctx context.Context, fn func(), b Backoff) (*Task, 
 		if b.Attempts > 0 && attempt >= b.Attempts {
 			return nil, err
 		}
-		timer := time.NewTimer(delay)
+		timer := time.NewTimer(b.delay(delay))
 		select {
 		case <-ctx.Done():
 			timer.Stop()

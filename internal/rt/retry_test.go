@@ -5,6 +5,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"repro/internal/random"
 )
 
 func TestSubmitRetryEventuallyAdmits(t *testing.T) {
@@ -66,6 +68,78 @@ func TestSubmitRetryAttemptsExhausted(t *testing.T) {
 	}
 	if got := d.Snapshot().Clients[0].Rejected; got < 3 {
 		t.Fatalf("rejected = %d, want >= 3", got)
+	}
+}
+
+// TestBackoffFullJitterBounds: under the default FullJitter every
+// delay is uniform in [0, d] — pinned with a seeded source, and
+// distinguishable from the unjittered schedule.
+func TestBackoffFullJitterBounds(t *testing.T) {
+	b := Backoff{Source: random.NewPM(12345)}.withDefaults()
+	const d = 50 * time.Millisecond
+	var sawBelow bool
+	for i := 0; i < 1000; i++ {
+		got := b.delay(d)
+		if got < 0 || got > d {
+			t.Fatalf("jittered delay %v outside [0, %v]", got, d)
+		}
+		if got < d/2 {
+			sawBelow = true
+		}
+	}
+	if !sawBelow {
+		t.Fatal("1000 full-jitter draws never fell below d/2; not uniform")
+	}
+}
+
+// TestBackoffJitterDeterministic: the same seed yields the same delay
+// sequence, so retry schedules are reproducible in tests.
+func TestBackoffJitterDeterministic(t *testing.T) {
+	mk := func() []time.Duration {
+		b := Backoff{Source: random.NewPM(777)}.withDefaults()
+		out := make([]time.Duration, 20)
+		for i := range out {
+			out[i] = b.delay(time.Duration(i+1) * time.Millisecond)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identically-seeded schedules: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBackoffNoJitter: NoJitter sleeps exactly the exponential delay.
+func TestBackoffNoJitter(t *testing.T) {
+	b := Backoff{Jitter: NoJitter}.withDefaults()
+	for _, d := range []time.Duration{0, time.Millisecond, time.Second} {
+		if got := b.delay(d); got != d {
+			t.Fatalf("NoJitter delay(%v) = %v", d, got)
+		}
+	}
+}
+
+// TestBackoffFactorBelowOnePanics: a shrinking schedule is a
+// configuration error, rejected loudly instead of silently rewritten.
+func TestBackoffFactorBelowOnePanics(t *testing.T) {
+	for _, factor := range []float64{0.5, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Factor=%v did not panic", factor)
+				}
+			}()
+			Backoff{Factor: factor}.withDefaults()
+		}()
+	}
+	// Zero still selects the default, and >= 1 is honored.
+	if got := (Backoff{}).withDefaults().Factor; got != 2 {
+		t.Fatalf("zero Factor defaulted to %v, want 2", got)
+	}
+	if got := (Backoff{Factor: 1.5}).withDefaults().Factor; got != 1.5 {
+		t.Fatalf("Factor 1.5 rewritten to %v", got)
 	}
 }
 

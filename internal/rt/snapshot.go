@@ -27,7 +27,10 @@ type ClientSnapshot struct {
 	Rejected      uint64  `json:"rejected"`
 	// Cancelled counts tasks removed from the queue by submission-
 	// context cancellation before any worker ran them.
-	Cancelled  uint64 `json:"cancelled"`
+	Cancelled uint64 `json:"cancelled"`
+	// Shed counts tasks evicted while queued by overload load
+	// shedding (Client.Shed), completed with ErrShed without running.
+	Shed       uint64 `json:"shed"`
 	Panics     uint64 `json:"panics"`
 	QueueDepth int    `json:"queue_depth"`
 	// Compensation is the client's current §3.4 multiplier (1 = none).
@@ -56,12 +59,14 @@ type Snapshot struct {
 	Pending int  `json:"pending"`
 	// Rebalances counts clients migrated between shards by the weight
 	// rebalancer since the dispatcher started.
-	Rebalances uint64           `json:"rebalances"`
-	Dispatched uint64           `json:"dispatched"`
-	Completed  uint64           `json:"completed"`
-	Panicked   uint64           `json:"panicked"`
-	Cancelled  uint64           `json:"cancelled"`
-	Clients    []ClientSnapshot `json:"clients"`
+	Rebalances uint64 `json:"rebalances"`
+	Dispatched uint64 `json:"dispatched"`
+	Completed  uint64 `json:"completed"`
+	Panicked   uint64 `json:"panicked"`
+	Cancelled  uint64 `json:"cancelled"`
+	// Shed counts tasks evicted while queued by overload load shedding.
+	Shed    uint64           `json:"shed"`
+	Clients []ClientSnapshot `json:"clients"`
 	// Resources is the multi-resource ledger's view (per-tenant usage,
 	// shares, and dominant-resource accounting); nil when the
 	// dispatcher was built without Config.Resources. It is captured
@@ -83,6 +88,7 @@ func (d *Dispatcher) Snapshot() Snapshot {
 		Completed:  d.completed.Load(),
 		Panicked:   d.panicked.Load(),
 		Cancelled:  d.cancelled.Load(),
+		Shed:       d.shed.Load(),
 	}
 	if d.ledger != nil {
 		rs := d.ledger.Snapshot()
@@ -114,6 +120,7 @@ func (d *Dispatcher) Snapshot() Snapshot {
 				Submitted:    c.submittedN,
 				Rejected:     c.rejectedN,
 				Cancelled:    c.cancelledN,
+				Shed:         c.shedN,
 				Panics:       c.panics.Load(),
 				QueueDepth:   c.pendingLocked(),
 				Compensation: c.comp,
