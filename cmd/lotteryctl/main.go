@@ -1,13 +1,20 @@
 // Command lotteryctl inspects ticket currency graphs — the analog of
 // the paper's user-level commands (mktkt, mkcur, fund, lstkt; §4.7),
 // driven by a declarative JSON spec instead of one syscall-wrapper
-// command per operation.
+// command per operation — and observes a running lotteryd daemon.
 //
 // Usage:
 //
 //	lotteryctl -example          # print the paper's Figure 3 as a spec
 //	lotteryctl -eval graph.json  # build the graph, print base values
 //	lotteryctl -eval -           # read the spec from stdin
+//
+//	lotteryctl top [-addr URL] [-once] [-interval 2s]
+//	    live per-class table joining /metrics (backlog, wait
+//	    quantiles) with /debug/fairness (expected vs observed share,
+//	    drift verdict)
+//	lotteryctl trace [-addr URL] [-n 20] [-follow] [-interval 1s]
+//	    tail the daemon's sampled task spans from /debug/trace
 package main
 
 import (
@@ -50,6 +57,22 @@ const fig3Spec = `{
 `
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "top":
+			if err := runTop(os.Args[2:], os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "lotteryctl top:", err)
+				os.Exit(1)
+			}
+			return
+		case "trace":
+			if err := runTrace(os.Args[2:], os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "lotteryctl trace:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	var (
 		evalPath = flag.String("eval", "", "path to a graph spec JSON ('-' for stdin)")
 		example  = flag.Bool("example", false, "print the paper's Figure 3 graph spec")

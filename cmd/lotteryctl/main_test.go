@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/rt"
+	"repro/internal/rt/audit"
+	"repro/internal/ticket"
+)
+
+// startBackend runs a real dispatcher — tracer and auditor wired, two
+// classes, 16 completed jobs closing two 8-draw audit windows — and
+// serves the three endpoints top and trace consume, shaped exactly
+// like lotteryd's.
+func startBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	tr := audit.NewTracer(audit.TracerConfig{Rate: 1, Capacity: 256, Seed: 1, Metrics: reg})
+	aud := audit.New(audit.Config{WindowDraws: 8, Tol: 100, Metrics: reg})
+	d := rt.New(rt.Config{
+		Workers: 2, Shards: 1, QueueCap: 256, Seed: 42,
+		Metrics: reg, Tracer: tr, Audit: aud,
+	})
+	t.Cleanup(func() { d.Close() })
+
+	gold, err := d.NewClient("gold", ticket.Amount(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bronze, err := d.NewClient("bronze", ticket.Amount(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		c := gold
+		if i%2 == 0 {
+			c = bronze
+		}
+		task, err := c.Submit(func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-task.Done()
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/fairness", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(aud.Report())
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+		after, _ := strconv.ParseUint(r.URL.Query().Get("after"), 10, 64)
+		spans, missed := tr.Spans(n, after)
+		last := after
+		if len(spans) > 0 {
+			last = spans[len(spans)-1].ID
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Trace-Last-ID", strconv.FormatUint(last, 10))
+		w.Header().Set("X-Trace-Missed", strconv.FormatUint(missed, 10))
+		enc := json.NewEncoder(w)
+		for i := range spans {
+			_ = enc.Encode(&spans[i])
+		}
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestTopOnce(t *testing.T) {
+	srv := startBackend(t)
+	var buf strings.Builder
+	if err := runTop([]string{"-addr", srv.URL, "-once"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "\033[2J") {
+		t.Error("-once must not clear the screen")
+	}
+	for _, want := range []string{
+		"audit window 2", "draws=8", "fair",
+		"TENANT", "SHARE", "EXPECT", "P99",
+		"gold", "bronze", "66.7%", "33.3%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top output missing %q:\n%s", want, out)
+		}
+	}
+	// Both tenant rows present, each once.
+	if n := strings.Count(out, "\ngold"); n != 1 {
+		t.Errorf("gold appears in %d rows:\n%s", n, out)
+	}
+}
+
+// TestTopWithoutAudit: a daemon with the audit disabled still renders
+// a table from /metrics alone.
+func TestTopWithoutAudit(t *testing.T) {
+	srv := startBackend(t)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		_, _ = io.Copy(w, resp.Body)
+	}))
+	noAudit := httptest.NewServer(mux) // no /debug/fairness route: 404
+	defer noAudit.Close()
+
+	var buf strings.Builder
+	if err := runTop([]string{"-addr", noAudit.URL, "-once"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "audit: unavailable") {
+		t.Errorf("missing audit-unavailable note:\n%s", out)
+	}
+	if !strings.Contains(out, "gold") || !strings.Contains(out, "bronze") {
+		t.Errorf("metrics-only table missing tenants:\n%s", out)
+	}
+}
+
+func TestTraceTail(t *testing.T) {
+	srv := startBackend(t)
+	var buf strings.Builder
+	if err := runTrace([]string{"-addr", srv.URL, "-n", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d trace lines, want 5:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "complete") || !strings.Contains(line, "run=") {
+			t.Errorf("unexpected trace line: %s", line)
+		}
+		if !strings.Contains(line, "s0/w") {
+			t.Errorf("trace line missing shard/worker placement: %s", line)
+		}
+	}
+
+	// All 16 spans when unlimited.
+	buf.Reset()
+	if err := runTrace([]string{"-addr", srv.URL, "-n", "0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); n != 16 {
+		t.Errorf("unlimited tail returned %d lines, want 16", n)
+	}
+}
+
+func TestTraceDisabled(t *testing.T) {
+	mux := http.NewServeMux() // no /debug/trace: 404
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	var buf strings.Builder
+	if err := runTrace([]string{"-addr", srv.URL, "-n", "5"}, &buf); err == nil {
+		t.Fatal("runTrace succeeded against a daemon without tracing")
+	}
+}
+
+func TestParsePromText(t *testing.T) {
+	text := `# HELP x_total doc
+# TYPE x_total counter
+x_total{a="1",b="q\"uo\\te\n"} 3
+x_total{a="2"} 4.5
+plain 7
+hist_bucket{t="g",le="0.5"} 2
+hist_bucket{t="g",le="1"} 3
+hist_bucket{t="g",le="+Inf"} 4
+`
+	p, err := parsePromText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p["x_total"]) != 2 {
+		t.Fatalf("x_total samples: %v", p["x_total"])
+	}
+	if got := p["x_total"][0].labels["b"]; got != "q\"uo\\te\n" {
+		t.Errorf("escaped label = %q", got)
+	}
+	if p["plain"][0].value != 7 {
+		t.Errorf("plain = %v", p["plain"])
+	}
+	byA := p.sumBy("x_total", "a")
+	if byA["1"] != 3 || byA["2"] != 4.5 {
+		t.Errorf("sumBy = %v", byA)
+	}
+
+	if q, ok := p.quantile("hist", "t", "g", 0.5); !ok || q != 0.5 {
+		t.Errorf("p50 = %v, %v; want 0.5", q, ok)
+	}
+	if q, ok := p.quantile("hist", "t", "g", 0.75); !ok || q != 1 {
+		t.Errorf("p75 = %v, %v; want 1", q, ok)
+	}
+	if q, ok := p.quantile("hist", "t", "g", 0.99); !ok || !math.IsInf(q, 1) {
+		t.Errorf("p99 = %v, %v; want +Inf", q, ok)
+	}
+	if _, ok := p.quantile("hist", "t", "missing", 0.5); ok {
+		t.Error("quantile of an absent series reported ok")
+	}
+
+	for _, bad := range []string{
+		"noval\n",
+		`x{a="1" 2` + "\n",
+		`x{a="unterminated} 2` + "\n",
+		"x{a=\"1\"} notafloat\n",
+	} {
+		if _, err := parsePromText(strings.NewReader(bad)); err == nil {
+			t.Errorf("parsePromText accepted %q", bad)
+		}
+	}
+}

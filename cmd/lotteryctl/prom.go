@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promSample is one exposition line: a metric's label set and value.
+type promSample struct {
+	labels map[string]string
+	value  float64
+}
+
+// promText indexes a Prometheus text exposition by family name. The
+// parser covers the subset the metrics registry emits — `name value`
+// and `name{k="v",...} value` lines with \\, \", and \n escapes —
+// which is all lotteryctl needs to read its own daemon.
+type promText map[string][]promSample
+
+func parsePromText(r io.Reader) (promText, error) {
+	out := make(promText)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, labels, err := splitPromLine(line)
+		if err != nil {
+			return nil, err
+		}
+		val, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q: %v", line, err)
+		}
+		out[name] = append(out[name], promSample{labels: labels, value: val})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func splitPromLine(line string) (name, rest string, labels map[string]string, err error) {
+	brace := strings.IndexByte(line, '{')
+	space := strings.IndexByte(line, ' ')
+	if brace < 0 || (space >= 0 && space < brace) {
+		if space < 0 {
+			return "", "", nil, fmt.Errorf("unparseable metrics line %q", line)
+		}
+		return line[:space], line[space+1:], nil, nil
+	}
+	name = line[:brace]
+	labels = make(map[string]string)
+	i := brace + 1
+	for i < len(line) && line[i] != '}' {
+		eq := strings.IndexByte(line[i:], '=')
+		if eq < 0 || i+eq+1 >= len(line) || line[i+eq+1] != '"' {
+			return "", "", nil, fmt.Errorf("bad label in %q", line)
+		}
+		key := line[i : i+eq]
+		j := i + eq + 2 // past ="
+		var val strings.Builder
+		for j < len(line) && line[j] != '"' {
+			if line[j] == '\\' && j+1 < len(line) {
+				j++
+				switch line[j] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(line[j])
+				}
+			} else {
+				val.WriteByte(line[j])
+			}
+			j++
+		}
+		if j >= len(line) {
+			return "", "", nil, fmt.Errorf("unterminated label value in %q", line)
+		}
+		labels[key] = val.String()
+		i = j + 1
+		if i < len(line) && line[i] == ',' {
+			i++
+		}
+	}
+	if i >= len(line) || i+2 > len(line) || line[i+1] != ' ' {
+		return "", "", nil, fmt.Errorf("missing value in %q", line)
+	}
+	return name, line[i+2:], labels, nil
+}
+
+// sumBy sums a family's samples grouped by one label's value.
+func (p promText) sumBy(family, label string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range p[family] {
+		out[s.labels[label]] += s.value
+	}
+	return out
+}
+
+// quantile estimates quantile q of a classic Prometheus histogram
+// restricted to samples whose label matches, merging buckets across
+// the remaining labels. It returns the upper bound of the bucket the
+// quantile falls in (the registry's buckets double, so the estimate is
+// within 2x), or NaN with ok=false when the histogram is empty.
+func (p promText) quantile(family, label, value string, q float64) (float64, bool) {
+	cum := make(map[float64]float64) // le -> cumulative count
+	for _, s := range p[family+"_bucket"] {
+		if s.labels[label] != value {
+			continue
+		}
+		le, err := strconv.ParseFloat(s.labels["le"], 64)
+		if err != nil { // +Inf parses; anything else is malformed
+			continue
+		}
+		cum[le] += s.value
+	}
+	les := make([]float64, 0, len(cum))
+	for le := range cum {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	if len(les) == 0 {
+		return 0, false
+	}
+	total := cum[les[len(les)-1]]
+	if total == 0 {
+		return 0, false
+	}
+	rank := q * total
+	for _, le := range les {
+		if cum[le] >= rank {
+			return le, true
+		}
+	}
+	return les[len(les)-1], true
+}

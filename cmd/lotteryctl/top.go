@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// fairnessReport mirrors lotteryd's /debug/fairness JSON (the audit
+// package's Report); only the fields the table renders are decoded.
+type fairnessReport struct {
+	Window    uint64  `json:"window"`
+	Draws     uint64  `json:"draws"`
+	ChiSquare float64 `json:"chi_square"`
+	MaxRelErr float64 `json:"max_rel_err"`
+	Drifted   bool    `json:"drifted"`
+	Streak    int     `json:"drift_streak"`
+	Tenants   []struct {
+		Name     string  `json:"name"`
+		Tickets  float64 `json:"tickets"`
+		Expected float64 `json:"expected_share"`
+		Observed float64 `json:"observed_share"`
+		RelErr   float64 `json:"rel_err"`
+		Observd  uint64  `json:"dispatched"`
+		Shed     uint64  `json:"shed"`
+		Excluded bool    `json:"excluded"`
+		Reason   string  `json:"reason"`
+	} `json:"tenants"`
+}
+
+// runTop implements `lotteryctl top`: a live per-class table joining
+// the daemon's /metrics families (backlog, wait quantiles, lifetime
+// dispatch counts) with the fairness audit's last closed window
+// (expected vs observed share, drift verdict).
+func runTop(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lotteryctl top", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "lotteryd base URL")
+	once := fs.Bool("once", false, "render a single frame and exit")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for {
+		frame, err := topFrame(strings.TrimSuffix(*addr, "/"))
+		if err != nil {
+			return err
+		}
+		if !*once {
+			fmt.Fprint(out, "\033[2J\033[H") // clear, home
+		}
+		fmt.Fprint(out, frame)
+		if *once {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func topFrame(base string) (string, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s/metrics: %s", base, resp.Status)
+	}
+	prom, err := parsePromText(resp.Body)
+	if err != nil {
+		return "", err
+	}
+
+	// The audit is optional (-audit-window 0): without it the table
+	// still renders from /metrics, with the share columns blank.
+	var rep *fairnessReport
+	if fresp, err := http.Get(base + "/debug/fairness"); err == nil {
+		if fresp.StatusCode == http.StatusOK {
+			rep = new(fairnessReport)
+			if err := json.NewDecoder(fresp.Body).Decode(rep); err != nil {
+				fresp.Body.Close()
+				return "", fmt.Errorf("%s/debug/fairness: %v", base, err)
+			}
+		}
+		fresp.Body.Close()
+	}
+
+	dispatched := prom.sumBy("rt_client_dispatched_total", "tenant")
+	backlog := prom.sumBy("rt_client_queue_depth", "tenant")
+	shedTotal := prom.sumBy("rt_client_shed_total", "tenant")
+
+	names := make(map[string]bool)
+	for name := range dispatched {
+		names[name] = true
+	}
+	if rep != nil {
+		for _, tn := range rep.Tenants {
+			names[tn.Name] = true
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for name := range names {
+		ordered = append(ordered, name)
+	}
+	sort.Strings(ordered)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "lotteryd %s  workers=%.0f pending=%.0f dispatched=%.0f\n",
+		base, sum(prom["rt_workers"]), sum(prom["rt_pending_tasks"]), sum(prom["rt_dispatched_total"]))
+	if rep != nil {
+		verdict := "fair"
+		if rep.Drifted {
+			verdict = fmt.Sprintf("DRIFTED (streak %d)", rep.Streak)
+		}
+		fmt.Fprintf(&b, "audit window %d  draws=%d  max_rel_err=%.3f  chi=%.2f  %s\n",
+			rep.Window, rep.Draws, rep.MaxRelErr, rep.ChiSquare, verdict)
+	} else {
+		b.WriteString("audit: unavailable (-audit-window 0?)\n")
+	}
+
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "TENANT\tTICKETS\tSHARE\tEXPECT\tRELERR\tDISP\tSHED\tBACKLOG\tP50\tP99")
+	for _, name := range ordered {
+		share, expect, relerr, windisp := "-", "-", "-", "-"
+		tickets := "-"
+		if rep != nil {
+			for _, tn := range rep.Tenants {
+				if tn.Name != name {
+					continue
+				}
+				tickets = fmt.Sprintf("%.0f", tn.Tickets)
+				windisp = fmt.Sprint(tn.Observd)
+				if tn.Excluded {
+					share = "excl:" + tn.Reason
+				} else {
+					share = fmt.Sprintf("%.1f%%", 100*tn.Observed)
+					expect = fmt.Sprintf("%.1f%%", 100*tn.Expected)
+					relerr = fmt.Sprintf("%.3f", tn.RelErr)
+				}
+			}
+		}
+		p50 := quantileCell(prom, name, 0.50)
+		p99 := quantileCell(prom, name, 0.99)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%.0f\t%.0f\t%s\t%s\n",
+			name, tickets, share, expect, relerr, windisp,
+			shedTotal[name], backlog[name], p50, p99)
+	}
+	tw.Flush()
+	return b.String(), nil
+}
+
+func quantileCell(prom promText, tenant string, q float64) string {
+	le, ok := prom.quantile("rt_client_wait_seconds", "tenant", tenant, q)
+	if !ok {
+		return "-"
+	}
+	if math.IsInf(le, 1) {
+		return ">top" // beyond the histogram's last finite bucket
+	}
+	return "<" + time.Duration(le*float64(time.Second)).Round(time.Microsecond).String()
+}
+
+func sum(samples []promSample) float64 {
+	var t float64
+	for _, s := range samples {
+		t += s.value
+	}
+	return t
+}

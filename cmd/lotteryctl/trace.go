@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// traceSpan mirrors one /debug/trace JSON line.
+type traceSpan struct {
+	AtNS       int64  `json:"at_ns"`
+	Kind       string `json:"kind"`
+	Who        string `json:"who"`
+	Tenant     string `json:"tenant"`
+	ID         uint64 `json:"id"`
+	Shard      int    `json:"shard"`
+	Worker     int    `json:"worker"`
+	ReserveNS  int64  `json:"reserve_ns"`
+	QueueNS    int64  `json:"queue_ns"`
+	DispatchNS int64  `json:"dispatch_ns"`
+	RunNS      int64  `json:"run_ns"`
+	Err        string `json:"err"`
+}
+
+// runTrace implements `lotteryctl trace`: tail the daemon's span
+// flight recorder, one formatted line per sampled task. -follow polls
+// with the X-Trace-Last-ID cursor so each span prints exactly once
+// (X-Trace-Missed reports ring evictions between polls).
+func runTrace(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lotteryctl trace", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "lotteryd base URL")
+	n := fs.Int("n", 20, "spans per request (0 = everything retained)")
+	follow := fs.Bool("follow", false, "poll for new spans instead of exiting")
+	interval := fs.Duration("interval", time.Second, "poll interval with -follow")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cursor uint64
+	first := true
+	for {
+		url := fmt.Sprintf("%s/debug/trace?n=%d", *addr, *n)
+		if !first {
+			url = fmt.Sprintf("%s/debug/trace?after=%d", *addr, cursor)
+		}
+		last, missed, err := traceTail(url, out)
+		if err != nil {
+			return err
+		}
+		if missed > 0 && !first {
+			fmt.Fprintf(out, "... %d spans evicted between polls (raise -trace-buf or poll faster)\n", missed)
+		}
+		cursor = last
+		first = false
+		if !*follow {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func traceTail(url string, out io.Writer) (last, missed uint64, err error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return 0, 0, fmt.Errorf("%s: %s: %s", url, resp.Status, body)
+	}
+	last, _ = strconv.ParseUint(resp.Header.Get("X-Trace-Last-ID"), 10, 64)
+	missed, _ = strconv.ParseUint(resp.Header.Get("X-Trace-Missed"), 10, 64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var sp traceSpan
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			return last, missed, fmt.Errorf("bad span line %q: %v", sc.Text(), err)
+		}
+		fmt.Fprintln(out, formatSpan(sp))
+	}
+	return last, missed, sc.Err()
+}
+
+func formatSpan(sp traceSpan) string {
+	place := "-"
+	if sp.Shard >= 0 {
+		place = fmt.Sprintf("s%d/w%d", sp.Shard, sp.Worker)
+	}
+	line := fmt.Sprintf("#%-6d %s %-8s %-12s %-6s reserve=%-10s queue=%-10s dispatch=%-10s run=%s",
+		sp.ID,
+		time.Unix(0, sp.AtNS).Format("15:04:05.000"),
+		sp.Kind, sp.Who, place,
+		time.Duration(sp.ReserveNS), time.Duration(sp.QueueNS),
+		time.Duration(sp.DispatchNS), time.Duration(sp.RunNS))
+	if sp.Err != "" {
+		line += "  err=" + sp.Err
+	}
+	return line
+}

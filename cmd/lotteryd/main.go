@@ -9,6 +9,8 @@
 //	curl 'http://localhost:8080/snapshot'                   # achieved vs entitled
 //	curl 'http://localhost:8080/metrics'                    # Prometheus text format
 //	curl 'http://localhost:8080/debug/events?n=20'          # recent dispatcher events
+//	curl 'http://localhost:8080/debug/trace?n=20'           # sampled task spans (-trace-sample)
+//	curl 'http://localhost:8080/debug/fairness'             # last fairness-audit window
 //	curl 'http://localhost:8080/resources'                  # multi-resource ledger view
 //
 // /work enqueues a job for its class and blocks until a worker has
@@ -51,9 +53,25 @@
 // wait-latency histograms) plus per-endpoint http_requests_total and
 // http_request_seconds, all from one metrics.Registry. /debug/events
 // streams the most recent dispatcher lifecycle events as JSON lines
-// (ring capacity set by -events; ?n= limits the tail). -pprof
+// (ring capacity set by -events; ?n= limits the tail, ?after= resumes
+// from an event id; X-Events-Last-ID and X-Events-Dropped headers
+// carry the polling cursor and the evicted-gap count). -pprof
 // additionally mounts net/http/pprof under /debug/pprof/ — opt-in,
 // since profiling endpoints should not be exposed by default.
+//
+// Tracing and the fairness audit: -trace-sample p samples a fraction
+// p of jobs into per-task lifecycle spans — submit, reserve, queue,
+// dispatch (shard, worker), run — retained in a bounded flight
+// recorder (-trace-buf) and served as JSON lines at /debug/trace
+// (?n= / ?after= as for events; X-Trace-Last-ID / X-Trace-Missed
+// carry the cursor), with per-stage latency histograms in /metrics
+// (trace_stage_seconds). -audit-window n closes a fairness-audit
+// window every n dispatches, comparing each class's observed dispatch
+// share against its ticket share; /debug/fairness returns the last
+// closed window (expected vs observed shares, chi-square, drift
+// streak) and audit_* gauges track it in /metrics. Classes the
+// controller sheds or inflates are renormalized out of their windows,
+// so overload control does not read as unfairness.
 //
 // On SIGINT/SIGTERM the daemon shuts down gracefully: the listener
 // closes, in-flight requests finish, and the dispatcher drains its
@@ -82,6 +100,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/rt"
+	"repro/internal/rt/audit"
 	"repro/internal/rt/overload"
 	"repro/internal/rt/resource"
 	"repro/internal/ticket"
@@ -132,11 +151,27 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	shedLow := fs.Int("shedlow", 0,
 		"backlog a shed drains down to (0 = half of -shed)")
 	inflate := fs.Float64("inflate", 8, "cap on the SLO controller's funding inflation factor")
+	traceSample := fs.Float64("trace-sample", 0,
+		"task span sampling probability in [0, 1] for /debug/trace (0 disables tracing)")
+	traceBuf := fs.Int("trace-buf", 4096, "span flight-recorder capacity")
+	auditWindow := fs.Uint64("audit-window", 4096,
+		"dispatches per fairness-audit window for /debug/fairness (0 disables the audit)")
+	auditTol := fs.Float64("audit-tol", 0.10,
+		"fairness-audit drift threshold (max relative share error per window)")
 	if err := fs.Parse(args); err != nil {
 		return fmt.Errorf("%w: %v", errConfig, err)
 	}
 	if *events < 0 {
 		return fmt.Errorf("%w: -events must be >= 0", errConfig)
+	}
+	if *traceSample < 0 || *traceSample > 1 {
+		return fmt.Errorf("%w: -trace-sample must be in [0, 1]", errConfig)
+	}
+	if *traceBuf <= 0 {
+		return fmt.Errorf("%w: -trace-buf must be positive", errConfig)
+	}
+	if *auditTol <= 0 {
+		return fmt.Errorf("%w: -audit-tol must be positive", errConfig)
 	}
 	if *memCap < 0 || *ioRate < 0 || *ioBurst < 0 {
 		return fmt.Errorf("%w: -mem, -iorate, and -ioburst must be >= 0", errConfig)
@@ -194,6 +229,25 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	if *events > 0 {
 		rec = rt.NewEventRecorder(*events)
 		cfg.Observer = rec
+	}
+	var tracer *audit.Tracer
+	if *traceSample > 0 {
+		tracer = audit.NewTracer(audit.TracerConfig{
+			Rate:     *traceSample,
+			Capacity: *traceBuf,
+			Seed:     uint32(*seed),
+			Metrics:  reg,
+		})
+		cfg.Tracer = tracer
+	}
+	var auditor *audit.Auditor
+	if *auditWindow > 0 {
+		auditor = audit.New(audit.Config{
+			WindowDraws: *auditWindow,
+			Tol:         *auditTol,
+			Metrics:     reg,
+		})
+		cfg.Audit = auditor
 	}
 	d := rt.New(cfg)
 
@@ -364,18 +418,61 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 			http.Error(w, "event recording disabled (-events 0)", http.StatusNotFound)
 			return
 		}
-		n := 0 // 0 = everything retained
-		if v := r.URL.Query().Get("n"); v != "" {
-			var err error
-			if n, err = strconv.Atoi(v); err != nil || n < 0 {
-				http.Error(w, "bad n: want a non-negative integer", http.StatusBadRequest)
+		n, after, ok := tailParams(w, r)
+		if !ok {
+			return
+		}
+		evs, dropped := rec.EventsAfter(after)
+		if n > 0 && len(evs) > n {
+			evs = evs[len(evs)-n:]
+		}
+		last := after
+		if len(evs) > 0 {
+			last = evs[len(evs)-1].ID
+		}
+		// Headers before any body bytes: they carry the polling cursor.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Events-Last-ID", strconv.FormatUint(last, 10))
+		w.Header().Set("X-Events-Dropped", strconv.FormatUint(dropped, 10))
+		enc := json.NewEncoder(w)
+		for i := range evs {
+			if err := enc.Encode(&evs[i]); err != nil {
+				log.Printf("lotteryd: /debug/events write: %v", err)
 				return
 			}
 		}
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		if err := rec.WriteJSON(w, n); err != nil {
-			log.Printf("lotteryd: /debug/events write: %v", err)
+	})
+	handle("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if tracer == nil {
+			http.Error(w, "tracing disabled (-trace-sample 0)", http.StatusNotFound)
+			return
 		}
+		n, after, ok := tailParams(w, r)
+		if !ok {
+			return
+		}
+		spans, missed := tracer.Spans(n, after)
+		last := after
+		if len(spans) > 0 {
+			last = spans[len(spans)-1].ID
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Trace-Last-ID", strconv.FormatUint(last, 10))
+		w.Header().Set("X-Trace-Missed", strconv.FormatUint(missed, 10))
+		enc := json.NewEncoder(w)
+		for i := range spans {
+			if err := enc.Encode(&spans[i]); err != nil {
+				log.Printf("lotteryd: /debug/trace write: %v", err)
+				return
+			}
+		}
+	})
+	handle("/debug/fairness", func(w http.ResponseWriter, r *http.Request) {
+		if auditor == nil {
+			http.Error(w, "fairness audit disabled (-audit-window 0)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, auditor.Report())
 	})
 	if *pprofOn {
 		// Explicit routes rather than a blank import: pprof stays off
@@ -561,6 +658,27 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 		w.status = http.StatusOK
 	}
 	return w.ResponseWriter.Write(p)
+}
+
+// tailParams parses the shared ?n= / ?after= query parameters of the
+// /debug/events and /debug/trace tails. On a malformed value it
+// writes a 400 and reports ok=false.
+func tailParams(w http.ResponseWriter, r *http.Request) (n int, after uint64, ok bool) {
+	if v := r.URL.Query().Get("n"); v != "" {
+		var err error
+		if n, err = strconv.Atoi(v); err != nil || n < 0 {
+			http.Error(w, "bad n: want a non-negative integer", http.StatusBadRequest)
+			return 0, 0, false
+		}
+	}
+	if v := r.URL.Query().Get("after"); v != "" {
+		var err error
+		if after, err = strconv.ParseUint(v, 10, 64); err != nil {
+			http.Error(w, "bad after: want an event id", http.StatusBadRequest)
+			return 0, 0, false
+		}
+	}
+	return n, after, true
 }
 
 // writeJSON encodes v into a buffer first so an encoding failure can

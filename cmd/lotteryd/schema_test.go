@@ -1,0 +1,172 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fieldPaths flattens a decoded JSON value into the sorted set of
+// leaf-field paths: object keys join with ".", array elements collapse
+// to "[]" (every element is walked, so heterogeneous entries — e.g. an
+// excluded tenant's extra reason field — all contribute their paths).
+func fieldPaths(v any) []string {
+	set := make(map[string]bool)
+	var walk func(prefix string, v any)
+	walk = func(prefix string, v any) {
+		switch x := v.(type) {
+		case map[string]any:
+			keys := make([]string, 0, len(x))
+			for k := range x {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				p := k
+				if prefix != "" {
+					p = prefix + "." + k
+				}
+				walk(p, x[k])
+			}
+		case []any:
+			for _, e := range x {
+				walk(prefix+"[]", e)
+			}
+		default:
+			set[prefix] = true
+		}
+	}
+	walk("", v)
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestFieldPathsHelper(t *testing.T) {
+	var v any
+	if err := json.Unmarshal([]byte(`{"a":1,"b":{"c":[{"d":2},{"d":3,"e":"x"}]},"f":[]}`), &v); err != nil {
+		t.Fatal(err)
+	}
+	got := fieldPaths(v)
+	want := []string{"a", "b.c[].d", "b.c[].e"}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("fieldPaths = %v, want %v", got, want)
+	}
+}
+
+// endpointSchemas is the golden: the exact leaf-field paths each JSON
+// endpoint serves. A wire-format change must show up here as a
+// deliberate diff, not leak out silently.
+var endpointSchemas = map[string][]string{
+	"/overload": {
+		"backlog", "drain_rate", "high_watermark", "low_watermark",
+		"retry_after_ns", "shed", "shedding",
+		"tenants[].base_funding", "tenants[].factor", "tenants[].funding",
+		"tenants[].name", "tenants[].over_share", "tenants[].queue_depth",
+		"tenants[].shed", "tenants[].target_p99_ns", "tenants[].window_p99_ns",
+		"ticks",
+	},
+	"/resources": {
+		"dominance_slack", "io_burst_tokens", "io_grants",
+		"io_rate_tokens_per_sec", "io_tokens", "io_waiters",
+		"mem_capacity_bytes", "mem_free_bytes", "reclaims",
+		"tenants[].cpu_seconds", "tenants[].cpu_share",
+		"tenants[].dominant_resource", "tenants[].dominant_share",
+		"tenants[].io_share", "tenants[].io_throttled",
+		"tenants[].io_tokens_consumed", "tenants[].io_waiting",
+		"tenants[].mem_reclaimed_bytes", "tenants[].mem_resident_bytes",
+		"tenants[].mem_share", "tenants[].name", "tenants[].over_dominant",
+		"tenants[].ticket_share", "tenants[].tickets", "tenants[].victimized",
+	},
+	"/debug/fairness": {
+		"chi_square", "draws", "drift_streak", "drifted", "included",
+		"max_rel_err",
+		"tenants[].dispatched", "tenants[].excluded", "tenants[].expected_share",
+		"tenants[].name", "tenants[].observed_share", "tenants[].rel_err",
+		"tenants[].shed", "tenants[].tickets",
+		"window",
+	},
+	"/debug/trace": {
+		"at_ns", "dispatch_ns", "end_ns", "id", "kind", "queue_ns",
+		"reserve_ns", "run_ns", "shard", "tenant", "who", "worker",
+	},
+}
+
+// TestEndpointSchemas boots one daemon with every subsystem enabled —
+// resource pools, overload control, tracing, a tiny audit window —
+// drives enough work through it to populate each view, and pins the
+// JSON field paths of the four structured endpoints against the
+// golden above.
+func TestEndpointSchemas(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, done := startDaemon(t, ctx,
+		"-mem", "1048576", "-iorate", "1000000", "-ioburst", "65536",
+		"-reserves", "gold=4096:64",
+		"-slo", "gold=50ms", "-shed", "100", "-shedlow", "40",
+		"-trace-sample", "1", "-audit-window", "8", "-audit-tol", "100",
+	)
+	defer func() { cancel(); <-done }()
+
+	// 16 jobs with both classes and resource use: closes two audit
+	// windows, records spans, touches mem and I/O ledgers.
+	for i := 0; i < 16; i++ {
+		class := "gold"
+		if i%2 == 0 {
+			class = "bronze"
+		}
+		url := "/work?class=" + class + "&busy=1ms"
+		if class == "bronze" {
+			url += "&mem=512&io=2"
+		}
+		if code, body := get(t, base+url); code != http.StatusOK {
+			t.Fatalf("%s = %d: %s", url, code, body)
+		}
+	}
+
+	for path, want := range map[string][]string{
+		"/overload":       endpointSchemas["/overload"],
+		"/resources":      endpointSchemas["/resources"],
+		"/debug/fairness": endpointSchemas["/debug/fairness"],
+	} {
+		code, body := get(t, base+path)
+		if code != http.StatusOK {
+			t.Fatalf("%s = %d: %s", path, code, body)
+		}
+		var v any
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatalf("%s not JSON: %v\n%s", path, err, body)
+		}
+		if got := fieldPaths(v); strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Errorf("%s schema drifted:\n got:  %v\n want: %v", path, got, want)
+		}
+	}
+
+	// /debug/trace is JSON lines: every span line must carry exactly
+	// the golden fields (err/omitempty fields absent on success).
+	code, body := get(t, base+"/debug/trace?n=4")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace = %d: %s", code, body)
+	}
+	lines := ndjsonLines(body)
+	if len(lines) != 4 {
+		t.Fatalf("trace tail returned %d lines", len(lines))
+	}
+	for _, line := range lines {
+		var v any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("span line not JSON: %v\n%s", err, line)
+		}
+		got := fieldPaths(v)
+		want := endpointSchemas["/debug/trace"]
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Errorf("/debug/trace schema drifted:\n got:  %v\n want: %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// traceLine is the /debug/trace JSON-lines schema.
+type traceLine struct {
+	AtNS       int64  `json:"at_ns"`
+	Kind       string `json:"kind"`
+	Who        string `json:"who"`
+	Tenant     string `json:"tenant"`
+	ID         uint64 `json:"id"`
+	Shard      int    `json:"shard"`
+	Worker     int    `json:"worker"`
+	ReserveNS  int64  `json:"reserve_ns"`
+	QueueNS    int64  `json:"queue_ns"`
+	DispatchNS int64  `json:"dispatch_ns"`
+	RunNS      int64  `json:"run_ns"`
+	EndNS      int64  `json:"end_ns"`
+}
+
+func getFull(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp, body
+}
+
+func ndjsonLines(body []byte) []string {
+	s := strings.TrimSpace(string(body))
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// TestDebugTraceEndpoint drives a fully-sampled daemon and checks the
+// /debug/trace flight recorder: span schema, stage accounting, the
+// ?n= / ?after= cursor with its X-Trace-* headers, and the 404 when
+// tracing is off (the default).
+func TestDebugTraceEndpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, done := startDaemon(t, ctx, "-trace-sample", "1", "-trace-buf", "64")
+
+	const jobs = 12
+	for i := 0; i < jobs; i++ {
+		class := "gold"
+		if i%3 == 0 {
+			class = "bronze"
+		}
+		if code, body := get(t, base+"/work?class="+class+"&busy=1ms"); code != http.StatusOK {
+			t.Fatalf("/work = %d: %s", code, body)
+		}
+	}
+
+	resp, body := getFull(t, base+"/debug/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace = %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	lines := ndjsonLines(body)
+	if len(lines) != jobs {
+		t.Fatalf("got %d spans at 100%% sampling, want %d:\n%s", len(lines), jobs, body)
+	}
+	var lastID uint64
+	for _, line := range lines {
+		var sp traceLine
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			t.Fatalf("span line not JSON: %v\n%s", err, line)
+		}
+		if sp.ID <= lastID {
+			t.Errorf("span ids not increasing: %d after %d", sp.ID, lastID)
+		}
+		lastID = sp.ID
+		if sp.Kind != "complete" {
+			t.Errorf("span kind = %q, want complete", sp.Kind)
+		}
+		if sp.Who != "gold" && sp.Who != "bronze" {
+			t.Errorf("span who = %q", sp.Who)
+		}
+		if sp.Tenant != sp.Who {
+			t.Errorf("span tenant = %q, want %q", sp.Tenant, sp.Who)
+		}
+		if sp.Shard < 0 || sp.Worker < 0 || sp.Worker >= 2 {
+			t.Errorf("completed span placed at shard %d worker %d", sp.Shard, sp.Worker)
+		}
+		if sp.AtNS <= 0 || sp.ReserveNS < 0 || sp.QueueNS < 0 || sp.DispatchNS < 0 || sp.RunNS < 0 {
+			t.Errorf("implausible span timing: %s", line)
+		}
+		if sum := sp.AtNS + sp.ReserveNS + sp.QueueNS + sp.DispatchNS + sp.RunNS; sp.EndNS != sum {
+			t.Errorf("end_ns = %d, want at_ns + stage sum = %d", sp.EndNS, sum)
+		}
+	}
+	if got := resp.Header.Get("X-Trace-Last-ID"); got != strconv.FormatUint(lastID, 10) {
+		t.Errorf("X-Trace-Last-ID = %q, want %d", got, lastID)
+	}
+	if got := resp.Header.Get("X-Trace-Missed"); got != "0" {
+		t.Errorf("X-Trace-Missed = %q, want 0 (ring larger than span count)", got)
+	}
+
+	// Tail limit.
+	if _, body := getFull(t, base+"/debug/trace?n=3"); len(ndjsonLines(body)) != 3 {
+		t.Errorf("?n=3 returned %d lines", len(ndjsonLines(body)))
+	}
+	// Cursor: nothing newer than the last id; the header echoes the cursor.
+	resp, body = getFull(t, base+"/debug/trace?after="+strconv.FormatUint(lastID, 10))
+	if len(ndjsonLines(body)) != 0 {
+		t.Errorf("cursor past the end returned %d lines", len(ndjsonLines(body)))
+	}
+	if got := resp.Header.Get("X-Trace-Last-ID"); got != strconv.FormatUint(lastID, 10) {
+		t.Errorf("empty tail X-Trace-Last-ID = %q, want the cursor %d", got, lastID)
+	}
+	// Cursor mid-stream: strictly newer spans only.
+	mid := lastID - 4
+	_, body = getFull(t, base+"/debug/trace?after="+strconv.FormatUint(mid, 10))
+	lines = ndjsonLines(body)
+	if len(lines) != 4 {
+		t.Fatalf("?after=%d returned %d lines, want 4", mid, len(lines))
+	}
+	var first traceLine
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.ID != mid+1 {
+		t.Errorf("first span after cursor = id %d, want %d", first.ID, mid+1)
+	}
+	if code, _ := get(t, base+"/debug/trace?after=x"); code != http.StatusBadRequest {
+		t.Errorf("bad after = %d, want 400", code)
+	}
+	cancel()
+	<-done
+
+	// Tracing is off by default: 404, daemon otherwise healthy.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	base2, done2 := startDaemon(t, ctx2)
+	if code, _ := get(t, base2+"/work?class=gold"); code != http.StatusOK {
+		t.Fatal("default daemon cannot serve work")
+	}
+	if code, _ := get(t, base2+"/debug/trace"); code != http.StatusNotFound {
+		t.Errorf("/debug/trace without -trace-sample = %d, want 404", code)
+	}
+	cancel2()
+	<-done2
+}
+
+// TestFairnessEndpoint closes audit windows with a tiny -audit-window
+// and checks the /debug/fairness report: both classes included, exact
+// expected shares from the ticket ratio, observed shares summing to 1,
+// and the 404 with the audit disabled.
+func TestFairnessEndpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, done := startDaemon(t, ctx, "-audit-window", "8", "-audit-tol", "100")
+
+	// Sequential requests alternate classes, so every 8-draw window
+	// contains both tenants. 24 jobs close 3 windows.
+	for i := 0; i < 24; i++ {
+		class := "gold"
+		if i%2 == 0 {
+			class = "bronze"
+		}
+		if code, body := get(t, base+"/work?class="+class); code != http.StatusOK {
+			t.Fatalf("/work = %d: %s", code, body)
+		}
+	}
+
+	code, body := get(t, base+"/debug/fairness")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/fairness = %d: %s", code, body)
+	}
+	var rep struct {
+		Window   uint64  `json:"window"`
+		Draws    uint64  `json:"draws"`
+		Included int     `json:"included"`
+		MaxRel   float64 `json:"max_rel_err"`
+		Drifted  bool    `json:"drifted"`
+		Tenants  []struct {
+			Name     string  `json:"name"`
+			Tickets  float64 `json:"tickets"`
+			Expected float64 `json:"expected_share"`
+			Observed float64 `json:"observed_share"`
+			Excluded bool    `json:"excluded"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("/debug/fairness not JSON: %v\n%s", err, body)
+	}
+	if rep.Window < 3 || rep.Draws != 8 {
+		t.Fatalf("window %d draws %d, want >= 3 windows of 8", rep.Window, rep.Draws)
+	}
+	if rep.Included != 2 || len(rep.Tenants) != 2 {
+		t.Fatalf("included %d of %d tenants, want both: %s", rep.Included, len(rep.Tenants), body)
+	}
+	var obsSum float64
+	for _, tn := range rep.Tenants {
+		if tn.Excluded {
+			t.Errorf("tenant %s excluded: %s", tn.Name, body)
+		}
+		obsSum += tn.Observed
+		want := 2.0 / 3.0 // gold=2
+		if tn.Name == "bronze" {
+			want = 1.0 / 3.0
+		}
+		if tn.Expected != want {
+			t.Errorf("tenant %s expected share %v, want %v", tn.Name, tn.Expected, want)
+		}
+	}
+	if obsSum < 0.999 || obsSum > 1.001 {
+		t.Errorf("observed shares sum to %v, want 1", obsSum)
+	}
+	if rep.Drifted {
+		t.Errorf("drifted at tolerance 100: %s", body)
+	}
+	cancel()
+	<-done
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	base2, done2 := startDaemon(t, ctx2, "-audit-window", "0")
+	if code, _ := get(t, base2+"/debug/fairness"); code != http.StatusNotFound {
+		t.Errorf("/debug/fairness with -audit-window 0 = %d, want 404", code)
+	}
+	cancel2()
+	<-done2
+}
+
+// TestDebugEventsCursor pins the ?after= resume protocol on a ring
+// small enough to evict: X-Events-Last-ID is the polling cursor,
+// X-Events-Dropped counts the evicted gap, and ids are monotone.
+func TestDebugEventsCursor(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, done := startDaemon(t, ctx, "-events", "4")
+
+	for i := 0; i < 6; i++ {
+		if code, body := get(t, base+"/work?class=gold"); code != http.StatusOK {
+			t.Fatalf("/work = %d: %s", code, body)
+		}
+	}
+	resp, body := getFull(t, base+"/debug/events")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/events = %d: %s", resp.StatusCode, body)
+	}
+	lines := ndjsonLines(body)
+	if len(lines) != 4 {
+		t.Fatalf("ring of 4 returned %d lines:\n%s", len(lines), body)
+	}
+	var lastID uint64
+	for _, line := range lines {
+		var ev struct {
+			ID   uint64 `json:"id"`
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("event line not JSON: %v\n%s", err, line)
+		}
+		if ev.ID <= lastID {
+			t.Errorf("event ids not increasing: %d after %d", ev.ID, lastID)
+		}
+		lastID = ev.ID
+	}
+	// 6 jobs emit well over 4 events, so eviction has happened and an
+	// after=0 reader is told how much of the stream it missed.
+	dropped, err := strconv.ParseUint(resp.Header.Get("X-Events-Dropped"), 10, 64)
+	if err != nil || dropped == 0 {
+		t.Errorf("X-Events-Dropped = %q, want a positive count", resp.Header.Get("X-Events-Dropped"))
+	}
+	if got := resp.Header.Get("X-Events-Last-ID"); got != strconv.FormatUint(lastID, 10) {
+		t.Errorf("X-Events-Last-ID = %q, want %d", got, lastID)
+	}
+	if lastID != dropped+4 {
+		t.Errorf("last id %d != dropped %d + 4 retained", lastID, dropped)
+	}
+
+	// Resuming from the cursor sees nothing new and drops nothing.
+	resp, body = getFull(t, base+"/debug/events?after="+strconv.FormatUint(lastID, 10))
+	if len(ndjsonLines(body)) != 0 {
+		t.Errorf("resume at cursor returned %d lines", len(ndjsonLines(body)))
+	}
+	if got := resp.Header.Get("X-Events-Dropped"); got != "0" {
+		t.Errorf("resume at cursor X-Events-Dropped = %q, want 0", got)
+	}
+	// A cursor inside the retained window resumes without loss.
+	resp, body = getFull(t, base+"/debug/events?after="+strconv.FormatUint(lastID-2, 10))
+	if len(ndjsonLines(body)) != 2 {
+		t.Errorf("resume 2 back returned %d lines", len(ndjsonLines(body)))
+	}
+	if got := resp.Header.Get("X-Events-Dropped"); got != "0" {
+		t.Errorf("in-window resume X-Events-Dropped = %q, want 0", got)
+	}
+	if code, _ := get(t, base+"/debug/events?after=-1"); code != http.StatusBadRequest {
+		t.Errorf("bad after = %d, want 400", code)
+	}
+	cancel()
+	<-done
+}
+
+func TestTraceAuditBadConfig(t *testing.T) {
+	for _, args := range [][]string{
+		{"-trace-sample", "1.5"},
+		{"-trace-sample", "-0.1"},
+		{"-trace-sample", "0.5", "-trace-buf", "0"},
+		{"-audit-tol", "0"},
+	} {
+		if err := run(context.Background(), args, nil); err == nil {
+			t.Errorf("run accepted %v", args)
+		}
+	}
+}

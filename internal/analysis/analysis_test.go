@@ -117,6 +117,7 @@ func TestAnalyzerScoping(t *testing.T) {
 		{DetSourceAnalyzer, "repro/internal/lottery", true},
 		{DetSourceAnalyzer, "repro/internal/experiments", true},
 		{DetSourceAnalyzer, "repro/internal/core", true},
+		{DetSourceAnalyzer, "repro/internal/rt/audit", true},
 		{DetSourceAnalyzer, "repro/internal/rt", false},
 		{DetSourceAnalyzer, "repro/cmd/lotteryd", false},
 		{CtxFlowAnalyzer, "repro/cmd/lotteryd", true},

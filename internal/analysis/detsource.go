@@ -7,9 +7,12 @@ import (
 
 // DetSourceAnalyzer enforces the replayability contract of the
 // deterministic packages: internal/sim, internal/lottery,
-// internal/experiments, and internal/core must produce byte-identical
-// results for a given seed (EXPERIMENTS.md pins golden outputs on
-// this). Three nondeterminism sources are forbidden there:
+// internal/experiments, internal/core, and internal/rt/audit must
+// produce byte-identical results for a given seed (EXPERIMENTS.md
+// pins golden outputs on this; the audit package's contract is that
+// every timestamp arrives as an argument and sampling draws from an
+// explicit seeded stream). Three nondeterminism sources are forbidden
+// there:
 //
 //   - time.Now — simulated code must read the virtual clock
 //     (sim.Time); wall-clock reads make traces unreproducible,
@@ -28,6 +31,7 @@ var DetSourceAnalyzer = &Analyzer{
 	Doc:  "forbids time.Now, global math/rand, and map iteration in the deterministic packages",
 	AppliesTo: pathSuffixMatcher(
 		"internal/sim", "internal/lottery", "internal/experiments", "internal/core",
+		"internal/rt/audit",
 	),
 	Run: runDetSource,
 }

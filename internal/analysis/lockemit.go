@@ -10,9 +10,10 @@ import (
 // (DESIGN.md §5, "Observability"): while a sync.Mutex or sync.RWMutex
 // is held, code must not
 //
-//   - emit observer events (any method named Observe — rt.Observer,
-//     metrics.Histogram, and friends are all hot-path fan-out points
-//     whose implementations the lock holder cannot bound),
+//   - emit observer events or trace spans (any method named Observe
+//     or Emit — rt.Observer, metrics.Histogram, audit.Tracer, and
+//     friends are all hot-path fan-out points whose implementations
+//     the lock holder cannot bound),
 //   - send on or receive from a channel, or select over channels, or
 //   - make a known blocking call (time.Sleep, or any Wait method
 //     other than sync.Cond.Wait, which releases the lock internally).
@@ -32,7 +33,7 @@ import (
 // invoked immediately; a goroutine body starts lock-free.
 var LockEmitAnalyzer = &Analyzer{
 	Name: "lockemit",
-	Doc:  "flags observer emission, channel operations, and blocking calls made while a mutex is held",
+	Doc:  "flags observer/span emission, channel operations, and blocking calls made while a mutex is held",
 	Run:  runLockEmit,
 }
 
@@ -214,6 +215,8 @@ func (w *lockWalker) call(call *ast.CallExpr, held map[string]token.Pos) {
 	switch {
 	case fn.Name() == "Observe" && sig != nil && sig.Recv() != nil:
 		w.flag(call.Pos(), held, "observer event emission (%s.Observe)", recvTypeString(sig))
+	case fn.Name() == "Emit" && sig != nil && sig.Recv() != nil:
+		w.flag(call.Pos(), held, "span emission (%s.Emit)", recvTypeString(sig))
 	case fn.Name() == "Sleep" && fn.Pkg() != nil && fn.Pkg().Path() == "time":
 		w.flag(call.Pos(), held, "blocking call time.Sleep")
 	case fn.Name() == "Wait" && sig != nil && sig.Recv() != nil && !isSyncCondRecv(sig):

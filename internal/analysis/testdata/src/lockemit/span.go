@@ -1,0 +1,58 @@
+package lockemit
+
+// Fixtures mirroring internal/rt's span tracing discipline: a task's
+// span is stamped under the shard lock (plain field writes — fine),
+// but emission hands the span to the tracer's flight recorder and
+// histograms, so Tracer.Emit must only ever run outside dispatcher
+// locks. finish-style emission after unlock must stay clean; emitting
+// from inside a critical section must be flagged.
+
+import (
+	"sync"
+	"time"
+)
+
+type span struct {
+	submit time.Time
+	draw   time.Time
+}
+
+type tracer struct{}
+
+func (tracer) Emit(sp *span, end time.Time, outcome string) {}
+
+type traced struct {
+	mu   sync.Mutex
+	tr   tracer
+	span *span
+}
+
+// stampDisciplined is the dispatcher shape: stamps are plain field
+// writes inside the critical section, and the span leaves through
+// Emit only after the lock is released.
+func (t *traced) stampDisciplined(now time.Time) {
+	t.mu.Lock()
+	sp := t.span
+	sp.draw = now // fine: stamping is a field write, not emission
+	t.span = nil
+	t.mu.Unlock()
+
+	t.tr.Emit(sp, now, "complete") // fine: after unlock
+}
+
+// emitUnderLock collapses the discipline: the span is emitted while
+// the mutex is still held.
+func (t *traced) emitUnderLock(now time.Time) {
+	t.mu.Lock()
+	sp := t.span
+	t.tr.Emit(sp, now, "complete") // want "span emission"
+	t.mu.Unlock()
+}
+
+// emitUnderDefer holds the lock for the whole function body, so the
+// emission is still inside the critical section.
+func (t *traced) emitUnderDefer(now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tr.Emit(t.span, now, "cancel") // want "span emission"
+}

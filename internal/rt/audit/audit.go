@@ -1,0 +1,340 @@
+package audit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// Config parameterizes an Auditor.
+type Config struct {
+	// WindowDraws is the number of dispatches per audit window;
+	// default 4096. Windows are the paper's 1/√n error bound made
+	// operational: over n draws a tenant's observed share has standard
+	// deviation √(p(1-p)/n), so the default window resolves share
+	// drift of a few percent while absorbing ordinary lottery noise.
+	WindowDraws uint64
+	// Tol is the max-relative-error drift threshold: a window whose
+	// worst included tenant deviates from its expected share by more
+	// than Tol (relative) is marked drifted; default 0.10.
+	Tol float64
+	// ChiCrit, when positive, additionally marks a window drifted if
+	// its chi-square statistic over the included tenants exceeds it.
+	// Zero disables the chi-square gate (the max-relative-error test
+	// alone is scale-free across tenant counts).
+	ChiCrit float64
+	// Metrics, when non-nil, receives audit_share_error{tenant},
+	// audit_chi_square, audit_max_rel_error, audit_windows_total, and
+	// audit_drift_windows_total. One registry serves one auditor.
+	Metrics *metrics.Registry
+	// OnWindow, when non-nil, receives every closed window's report,
+	// called synchronously by the dispatch that closed the window
+	// (after the auditor's lock is released — keep it fast, it sits on
+	// a dispatch path). Reports for different windows may be delivered
+	// concurrently and out of order under extreme draw rates; order by
+	// Report.Window. The callback must not mutate the report's Tenants.
+	OnWindow func(Report)
+}
+
+// TenantAudit is one tenant's handle in the auditor's draw ledger.
+// The dispatcher updates it with atomic counters only, so recording a
+// dispatch adds two uncontended atomic adds to the dispatch path and
+// never takes a lock.
+type TenantAudit struct {
+	name    string
+	tickets atomic.Uint64 // math.Float64bits of the ticket share
+	obs     atomic.Uint64 // dispatches in the open window
+	shed    atomic.Uint64 // sheds in the open window
+	total   atomic.Uint64 // lifetime dispatches
+	changed atomic.Bool   // tickets changed during the open window
+	retired atomic.Bool
+	// joined is the highest window id the tenant must sit out: it was
+	// registered too late to have competed for that window's full draw
+	// stream. Guarded by Auditor.mu.
+	joined uint64
+}
+
+// Name returns the tenant's name.
+func (ta *TenantAudit) Name() string { return ta.name }
+
+// Tickets returns the tenant's current ticket allocation.
+func (ta *TenantAudit) Tickets() float64 {
+	return math.Float64frombits(ta.tickets.Load())
+}
+
+// SetTickets updates the tenant's ticket allocation. The tenant is
+// excluded from the window the change lands in (its expected share
+// was not constant over the window) and rejoins from the next.
+func (ta *TenantAudit) SetTickets(tickets float64) {
+	ta.tickets.Store(math.Float64bits(tickets))
+	ta.changed.Store(true)
+}
+
+// Retire removes the tenant from future windows. Its counters remain
+// readable; re-registering the name un-retires the handle.
+func (ta *TenantAudit) Retire() { ta.retired.Store(true) }
+
+// TotalDispatched returns the tenant's lifetime dispatch count.
+func (ta *TenantAudit) TotalDispatched() uint64 { return ta.total.Load() }
+
+// TenantReport is one tenant's row in a closed window's Report.
+type TenantReport struct {
+	Name     string  `json:"name"`
+	Tickets  float64 `json:"tickets"`
+	Expected float64 `json:"expected_share"` // over the included set
+	Observed float64 `json:"observed_share"` // over the included set
+	RelErr   float64 `json:"rel_err"`
+	Observd  uint64  `json:"dispatched"` // window dispatch count
+	Shed     uint64  `json:"shed"`       // window shed count
+	Excluded bool    `json:"excluded"`
+	Reason   string  `json:"reason,omitempty"`
+}
+
+// Report is one closed audit window, JSON-shaped for the daemon's
+// /debug/fairness endpoint. Shares are renormalized over the included
+// tenants, so excluded tenants' redistributed capacity cannot skew
+// the drift test (the same waiver lotterysoak's judge applies).
+type Report struct {
+	Window      uint64         `json:"window"` // 1-based closed-window count
+	Draws       uint64         `json:"draws"`  // dispatches across all tenants
+	Included    int            `json:"included"`
+	ChiSquare   float64        `json:"chi_square"`
+	MaxRelErr   float64        `json:"max_rel_err"`
+	Drifted     bool           `json:"drifted"`
+	DriftStreak int            `json:"drift_streak"`
+	Tenants     []TenantReport `json:"tenants"`
+}
+
+// Auditor is the online fairness audit: a windowed expected-vs-
+// observed ledger over the dispatcher's draw stream with a chi-square
+// / max-relative-error drift detector. Dispatch recording is lock-free
+// (atomics only); the dispatch that crosses the window boundary closes
+// the window under the auditor's own mutex, outside every dispatcher
+// lock. All methods are safe for concurrent use.
+type Auditor struct {
+	window   uint64
+	tol      float64
+	chiCrit  float64
+	onWindow func(Report)
+
+	draws atomic.Uint64 // dispatches since the last window close
+
+	mu       sync.Mutex
+	byName   map[string]*TenantAudit
+	ordered  []*TenantAudit // sorted by name; detsource forbids map ranging
+	windowID uint64         // closed windows so far
+	streak   int            // consecutive drifted windows
+
+	last atomic.Pointer[Report]
+
+	mShareErr *metrics.GaugeVec
+	mChi      *metrics.Gauge
+	mMaxRel   *metrics.Gauge
+	mWindows  *metrics.Counter
+	mDrift    *metrics.Counter
+}
+
+// New creates an auditor closing a window every cfg.WindowDraws
+// dispatches.
+func New(cfg Config) *Auditor {
+	if cfg.WindowDraws == 0 {
+		cfg.WindowDraws = 4096
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 0.10
+	}
+	a := &Auditor{
+		window:   cfg.WindowDraws,
+		tol:      cfg.Tol,
+		chiCrit:  cfg.ChiCrit,
+		onWindow: cfg.OnWindow,
+		byName:   make(map[string]*TenantAudit),
+	}
+	if cfg.Metrics != nil {
+		a.mShareErr = cfg.Metrics.GaugeVec("audit_share_error",
+			"Relative error between the tenant's observed and expected dispatch share over the last closed audit window (0 while excluded).", "tenant")
+		a.mChi = cfg.Metrics.Gauge("audit_chi_square",
+			"Chi-square statistic of the last closed audit window over its included tenants.")
+		a.mMaxRel = cfg.Metrics.Gauge("audit_max_rel_error",
+			"Worst included tenant's relative share error in the last closed audit window.")
+		a.mWindows = cfg.Metrics.Counter("audit_windows_total",
+			"Audit windows closed.")
+		a.mDrift = cfg.Metrics.Counter("audit_drift_windows_total",
+			"Audit windows whose drift detector fired.")
+	}
+	return a
+}
+
+// WindowDraws returns the configured window size.
+func (a *Auditor) WindowDraws() uint64 { return a.window }
+
+// Tol returns the configured drift tolerance.
+func (a *Auditor) Tol() float64 { return a.tol }
+
+// Tenant registers (or re-registers) a tenant with its ticket
+// allocation and returns its handle. Registration is idempotent: an
+// existing name gets its tickets updated and is un-retired, resuming
+// its lifetime counters. A tenant first competes in the window after
+// the one it joined during — a mid-window joiner's expected share
+// would be wrong for the draws before it existed.
+func (a *Auditor) Tenant(name string, tickets float64) *TenantAudit {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ta, ok := a.byName[name]; ok {
+		ta.retired.Store(false)
+		ta.tickets.Store(math.Float64bits(tickets))
+		ta.changed.Store(true)
+		return ta
+	}
+	joined := a.windowID + 1
+	if a.draws.Load() == 0 {
+		// No draws yet in the open window: the tenant is present for
+		// all of it (the common at-startup registration), so it may
+		// compete immediately instead of sitting the window out.
+		joined = a.windowID
+	}
+	ta := &TenantAudit{name: name, joined: joined}
+	ta.tickets.Store(math.Float64bits(tickets))
+	a.byName[name] = ta
+	a.ordered = append(a.ordered, ta)
+	sort.Slice(a.ordered, func(i, j int) bool { return a.ordered[i].name < a.ordered[j].name })
+	return ta
+}
+
+// RecordDispatch counts one dispatch for the tenant. The caller (the
+// dispatcher worker) must invoke it outside every dispatcher lock: the
+// recording itself is two atomic adds, but the dispatch that crosses
+// the window boundary closes the window, which takes the auditor's
+// mutex and updates gauges.
+func (a *Auditor) RecordDispatch(ta *TenantAudit) {
+	ta.obs.Add(1)
+	ta.total.Add(1)
+	if a.draws.Add(1) == a.window {
+		a.closeWindow()
+	}
+}
+
+// RecordShed counts n shed tasks against the tenant, excluding it
+// from the open window: eviction deliberately distorts its service,
+// so a static share comparison is meaningless until the next window.
+func (a *Auditor) RecordShed(ta *TenantAudit, n uint64) {
+	ta.shed.Add(n)
+}
+
+// closeWindow swaps every tenant's window counters, computes the
+// expected-vs-observed report over the included tenants, and arms or
+// clears the drift streak. Exactly one goroutine enters per window
+// (the one whose Add returned the boundary); draws recorded while it
+// runs land in the window being closed via the counter swaps.
+func (a *Auditor) closeWindow() {
+	a.mu.Lock()
+	a.windowID++
+	rep := &Report{Window: a.windowID, Tenants: make([]TenantReport, 0, len(a.ordered))}
+	var expSum float64
+	var obsSum uint64
+	include := make([]int, 0, len(a.ordered))
+	for i, ta := range a.ordered {
+		row := TenantReport{
+			Name:    ta.name,
+			Tickets: ta.Tickets(),
+			Observd: ta.obs.Swap(0),
+			Shed:    ta.shed.Swap(0),
+		}
+		changed := ta.changed.Swap(false)
+		switch {
+		case ta.retired.Load():
+			row.Excluded, row.Reason = true, "retired"
+		case ta.joined >= a.windowID:
+			row.Excluded, row.Reason = true, "joined mid-window"
+		case row.Shed > 0:
+			row.Excluded, row.Reason = true, "shed"
+		case changed:
+			row.Excluded, row.Reason = true, "tickets changed"
+		case row.Observd == 0:
+			row.Excluded, row.Reason = true, "idle"
+		case row.Tickets <= 0:
+			row.Excluded, row.Reason = true, "unfunded"
+		default:
+			expSum += row.Tickets
+			obsSum += row.Observd
+			include = append(include, i)
+		}
+		rep.Draws += row.Observd
+		rep.Tenants = append(rep.Tenants, row)
+	}
+	rep.Included = len(include)
+	if len(include) >= 2 && expSum > 0 && obsSum > 0 {
+		for _, i := range include {
+			row := &rep.Tenants[i]
+			row.Expected = row.Tickets / expSum
+			row.Observed = float64(row.Observd) / float64(obsSum)
+			row.RelErr = math.Abs(row.Observed-row.Expected) / row.Expected
+			if row.RelErr > rep.MaxRelErr {
+				rep.MaxRelErr = row.RelErr
+			}
+			expected := row.Expected * float64(obsSum)
+			diff := float64(row.Observd) - expected
+			rep.ChiSquare += diff * diff / expected
+		}
+		rep.Drifted = rep.MaxRelErr > a.tol ||
+			(a.chiCrit > 0 && rep.ChiSquare > a.chiCrit)
+	}
+	if rep.Drifted {
+		a.streak++
+	} else {
+		a.streak = 0
+	}
+	rep.DriftStreak = a.streak
+	a.last.Store(rep)
+	a.draws.Store(0)
+	a.mu.Unlock()
+
+	if a.mWindows != nil {
+		a.mWindows.Inc()
+		a.mChi.Set(rep.ChiSquare)
+		a.mMaxRel.Set(rep.MaxRelErr)
+		if rep.Drifted {
+			a.mDrift.Inc()
+		}
+		for _, row := range rep.Tenants {
+			a.mShareErr.With(row.Name).Set(row.RelErr)
+		}
+	}
+	if a.onWindow != nil {
+		a.onWindow(*rep)
+	}
+}
+
+// Report returns the last closed window (the zero Report before any
+// window has closed). The returned value is a copy; callers may keep
+// it across later windows.
+func (a *Auditor) Report() Report {
+	if r := a.last.Load(); r != nil {
+		rep := *r
+		rep.Tenants = append([]TenantReport(nil), r.Tenants...)
+		return rep
+	}
+	return Report{Tenants: []TenantReport{}}
+}
+
+// Check is the invariant hook (rt.Dispatcher.AddCheck): it fails once
+// two consecutive windows have drifted. A single drifted window is
+// absorbed — at the default tolerance an honest lottery trips one now
+// and then, but consecutive failures mean the observed shares are
+// systematically off their ticket ratios.
+func (a *Auditor) Check() error {
+	a.mu.Lock()
+	streak := a.streak
+	a.mu.Unlock()
+	if streak < 2 {
+		return nil
+	}
+	rep := a.Report()
+	return fmt.Errorf(
+		"audit: share drift for %d consecutive windows (window %d: max rel err %.4f > tol %.4f, chi-square %.2f)",
+		streak, rep.Window, rep.MaxRelErr, a.tol, rep.ChiSquare)
+}

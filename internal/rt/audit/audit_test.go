@@ -1,0 +1,268 @@
+package audit
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// fill drives dispatches round-robin in the given per-tenant counts,
+// interleaved so the window boundary is crossed mid-stream like the
+// real sharded draw stream would.
+func fill(a *Auditor, tenants []*TenantAudit, counts []uint64) {
+	remaining := append([]uint64(nil), counts...)
+	for {
+		progressed := false
+		for i, ta := range tenants {
+			if remaining[i] > 0 {
+				a.RecordDispatch(ta)
+				remaining[i]--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+func TestWindowCloseAndShares(t *testing.T) {
+	a := New(Config{WindowDraws: 100})
+	gold := a.Tenant("gold", 300)
+	bronze := a.Tenant("bronze", 100)
+
+	fill(a, []*TenantAudit{gold, bronze}, []uint64{74, 25})
+	if rep := a.Report(); rep.Window != 0 {
+		t.Fatalf("window closed early: %+v", rep)
+	}
+	a.RecordDispatch(gold) // draw 100 crosses the boundary
+
+	rep := a.Report()
+	if rep.Window != 1 || rep.Draws != 100 || rep.Included != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	byName := map[string]TenantReport{}
+	for _, row := range rep.Tenants {
+		byName[row.Name] = row
+	}
+	g, b := byName["gold"], byName["bronze"]
+	if g.Expected != 0.75 || b.Expected != 0.25 {
+		t.Fatalf("expected shares %v/%v, want 0.75/0.25", g.Expected, b.Expected)
+	}
+	if g.Observed != 0.75 || b.Observed != 0.25 || rep.MaxRelErr != 0 {
+		t.Fatalf("observed %v/%v maxRelErr %v", g.Observed, b.Observed, rep.MaxRelErr)
+	}
+	if rep.Drifted || rep.ChiSquare != 0 {
+		t.Fatalf("exact shares flagged drifted: %+v", rep)
+	}
+	if gold.TotalDispatched() != 75 {
+		t.Fatalf("lifetime dispatches = %d", gold.TotalDispatched())
+	}
+}
+
+func TestDriftStreakAndCheck(t *testing.T) {
+	a := New(Config{WindowDraws: 100, Tol: 0.10})
+	x := a.Tenant("x", 1)
+	y := a.Tenant("y", 1)
+
+	fill(a, []*TenantAudit{x, y}, []uint64{80, 20}) // rel err 0.6 each
+	rep := a.Report()
+	if !rep.Drifted || rep.DriftStreak != 1 {
+		t.Fatalf("first skewed window: %+v", rep)
+	}
+	if err := a.Check(); err != nil {
+		t.Fatalf("one drifted window should be absorbed, got %v", err)
+	}
+
+	fill(a, []*TenantAudit{x, y}, []uint64{80, 20})
+	if rep := a.Report(); rep.DriftStreak != 2 {
+		t.Fatalf("second skewed window: %+v", rep)
+	}
+	if err := a.Check(); err == nil {
+		t.Fatal("Check nil after two consecutive drifted windows")
+	} else if !strings.Contains(err.Error(), "share drift") {
+		t.Fatalf("Check error = %v", err)
+	}
+
+	fill(a, []*TenantAudit{x, y}, []uint64{50, 50})
+	if rep := a.Report(); rep.Drifted || rep.DriftStreak != 0 {
+		t.Fatalf("fair window did not clear the streak: %+v", rep)
+	}
+	if err := a.Check(); err != nil {
+		t.Fatalf("Check after recovery: %v", err)
+	}
+}
+
+func TestExclusionsAndRenormalization(t *testing.T) {
+	a := New(Config{WindowDraws: 90})
+	gold := a.Tenant("gold", 500)
+	silver := a.Tenant("silver", 300)
+	bronze := a.Tenant("bronze", 200)
+
+	// bronze gets shed this window: it must be waived and the expected
+	// shares renormalized over gold+silver (500/800, 300/800).
+	a.RecordShed(bronze, 3)
+	fill(a, []*TenantAudit{gold, silver, bronze}, []uint64{50, 30, 10})
+
+	rep := a.Report()
+	if rep.Window != 1 || rep.Included != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	byName := map[string]TenantReport{}
+	for _, row := range rep.Tenants {
+		byName[row.Name] = row
+	}
+	br := byName["bronze"]
+	if !br.Excluded || br.Reason != "shed" || br.Shed != 3 {
+		t.Fatalf("bronze row = %+v", br)
+	}
+	g, s := byName["gold"], byName["silver"]
+	if g.Expected != 0.625 || s.Expected != 0.375 {
+		t.Fatalf("renormalized expected %v/%v, want 0.625/0.375", g.Expected, s.Expected)
+	}
+	if g.Observed != 0.625 || s.Observed != 0.375 || rep.Drifted {
+		t.Fatalf("renormalized observed %v/%v drifted=%v", g.Observed, s.Observed, rep.Drifted)
+	}
+
+	// Next window: the shed flag was consumed, bronze rejoins.
+	fill(a, []*TenantAudit{gold, silver, bronze}, []uint64{45, 27, 18})
+	rep = a.Report()
+	if rep.Window != 2 || rep.Included != 3 || rep.MaxRelErr != 0 {
+		t.Fatalf("recovery window = %+v", rep)
+	}
+}
+
+func TestExclusionReasons(t *testing.T) {
+	a := New(Config{WindowDraws: 60})
+	x := a.Tenant("x", 1)
+	y := a.Tenant("y", 1)
+	a.Tenant("idle", 1) // never dispatched
+	unfunded := a.Tenant("unfunded", 0)
+	retired := a.Tenant("retired", 1)
+	retired.Retire()
+
+	// unfunded gets draws so its zero allocation (not idleness) is the
+	// exclusion that fires; idle stays at zero dispatches.
+	fill(a, []*TenantAudit{x, y, unfunded}, []uint64{15, 10, 5})
+	late := a.Tenant("late", 5) // joins mid-window
+	y.SetTickets(2)             // changes mid-window
+	fill(a, []*TenantAudit{x, late}, []uint64{20, 10})
+
+	rep := a.Report()
+	if rep.Window != 1 {
+		t.Fatalf("window not closed: %+v", rep)
+	}
+	reasons := map[string]string{}
+	for _, row := range rep.Tenants {
+		if row.Excluded {
+			reasons[row.Name] = row.Reason
+		}
+	}
+	want := map[string]string{
+		"idle":     "idle",
+		"unfunded": "unfunded",
+		"retired":  "retired",
+		"late":     "joined mid-window",
+		"y":        "tickets changed",
+	}
+	for name, reason := range want {
+		if reasons[name] != reason {
+			t.Errorf("tenant %q excluded for %q, want %q", name, reasons[name], reason)
+		}
+	}
+	if _, ok := reasons["x"]; ok {
+		t.Error("steady tenant x was excluded")
+	}
+	// Only one included tenant remains, so no drift verdict is possible.
+	if rep.Included != 1 || rep.Drifted {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// Window 2: late and y rejoin with their new tickets (x=1, y=2,
+	// late=5, idle=1 still idle, unfunded still unfunded).
+	fill(a, []*TenantAudit{x, y, late}, []uint64{10, 20, 30})
+	rep = a.Report()
+	if rep.Window != 2 || rep.Included != 3 {
+		t.Fatalf("window 2 = %+v", rep)
+	}
+	for _, row := range rep.Tenants {
+		if row.Name == "late" && (row.Excluded || row.Expected != 0.625) {
+			t.Fatalf("late row in window 2 = %+v", row)
+		}
+	}
+}
+
+func TestTenantIdempotentReregistration(t *testing.T) {
+	a := New(Config{WindowDraws: 10})
+	x := a.Tenant("x", 1)
+	a.RecordDispatch(x)
+	x.Retire()
+
+	again := a.Tenant("x", 3)
+	if again != x {
+		t.Fatal("re-registration returned a new handle")
+	}
+	if x.retired.Load() {
+		t.Fatal("re-registration did not un-retire")
+	}
+	if x.Tickets() != 3 {
+		t.Fatalf("tickets = %v, want 3", x.Tickets())
+	}
+	if x.TotalDispatched() != 1 {
+		t.Fatalf("lifetime counter reset: %d", x.TotalDispatched())
+	}
+}
+
+func TestChiSquareGate(t *testing.T) {
+	// Tol set far above any relative error here; only the chi-square
+	// gate can fire. 55/45 over 100 draws at p=0.5 gives chi-square
+	// (5²/50)*2 = 1, above 0.5 but relative error only 0.1.
+	a := New(Config{WindowDraws: 100, Tol: 5, ChiCrit: 0.5})
+	x := a.Tenant("x", 1)
+	y := a.Tenant("y", 1)
+	fill(a, []*TenantAudit{x, y}, []uint64{55, 45})
+	rep := a.Report()
+	if rep.ChiSquare != 1 {
+		t.Fatalf("chi-square = %v, want 1", rep.ChiSquare)
+	}
+	if !rep.Drifted {
+		t.Fatal("chi-square gate did not fire")
+	}
+}
+
+func TestAuditorMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	a := New(Config{WindowDraws: 100, Metrics: reg})
+	x := a.Tenant("x", 3)
+	y := a.Tenant("y", 1)
+	fill(a, []*TenantAudit{x, y}, []uint64{75, 25})
+
+	rr := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	body := rr.Body.String()
+	for _, want := range []string{
+		`audit_share_error{tenant="x"} 0`,
+		`audit_share_error{tenant="y"} 0`,
+		"audit_windows_total 1",
+		"audit_max_rel_error 0",
+		"audit_chi_square 0",
+		"audit_drift_windows_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+func TestReportBeforeFirstWindow(t *testing.T) {
+	a := New(Config{})
+	rep := a.Report()
+	if rep.Window != 0 || rep.Tenants == nil || len(rep.Tenants) != 0 {
+		t.Fatalf("zero report = %+v", rep)
+	}
+	if a.WindowDraws() != 4096 || a.Tol() != 0.10 {
+		t.Fatalf("defaults = %d/%v", a.WindowDraws(), a.Tol())
+	}
+}

@@ -1,0 +1,346 @@
+// Package audit is the observability layer above the dispatcher's
+// events and metrics: sampled per-task lifecycle spans with per-stage
+// latency attribution, and an online fairness audit that continuously
+// replays the paper's Monte-Carlo self-diagnosis (§5) against the live
+// draw stream.
+//
+// The package deliberately contains no clock and no global randomness:
+// every timestamp is stamped by the caller (the rt dispatcher, which
+// owns the task lifecycle) and the sampling stream is an explicit
+// seeded Park-Miller source, so a given seed and task interleaving
+// reproduces the same sampling decisions. The detsource analyzer
+// enforces this contract.
+//
+// Audit windows are closed by whichever dispatch crosses the window
+// boundary and aggregate counters that shards update independently, so
+// a window's per-tenant counts are eventually consistent across shards
+// — each tenant's count is exact, but the window edge may split a
+// batch of draws that one shard handed out together.
+package audit
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/random"
+)
+
+// Span is one sampled task's in-flight lifecycle record. The
+// dispatcher stamps each phase transition as it happens — Submit when
+// the task enters the submit path, Reserve when its resource reserve
+// is acquired (equal to Submit without one), Draw when a lottery draw
+// wins it, Run when its body starts — and finally hands the span to
+// Tracer.Emit with the completion time. Draw and Run stay zero for
+// tasks that never reach a worker (cancelled or shed while queued).
+//
+// Each stamp is written by the goroutine that owns the task during
+// that phase; the dispatcher's shard mutex hand-off orders them, so a
+// span needs no lock of its own. Spans come from Sample and must be
+// returned through exactly one of Emit or Discard.
+type Span struct {
+	Client string
+	Tenant string
+	Shard  int // -1 until Draw
+	Worker int // -1 until Run
+
+	Submit  time.Time
+	Reserve time.Time
+	Draw    time.Time
+	Run     time.Time
+}
+
+// reset clears a span for pooling, restoring the -1 placement
+// sentinels a never-dispatched span reports.
+func (sp *Span) reset() {
+	*sp = Span{Shard: -1, Worker: -1}
+}
+
+// SpanRecord is one completed span as retained by the tracer's flight
+// recorder: the wall-clock start plus monotonic per-stage durations.
+// By construction Reserve+Queue+Dispatch+Run == End, so consumers can
+// reconstruct gap-free stage boundaries from the start time alone.
+type SpanRecord struct {
+	ID      uint64 // monotonic emission id, 1-based
+	Client  string
+	Tenant  string
+	Shard   int    // -1 when the task never reached a draw
+	Worker  int    // -1 when the task never reached a worker
+	Outcome string // complete | panic | cancel | shed
+	Err     string // completion error for panic/cancel/shed
+
+	Start    time.Time     // submit wall time
+	Reserve  time.Duration // submit -> reserve acquired
+	Queue    time.Duration // reserve -> lottery draw (or eviction)
+	Dispatch time.Duration // draw -> body start
+	Run      time.Duration // body start -> completion
+	End      time.Duration // submit -> completion (sum of the stages)
+}
+
+// spanJSON is the wire form: the {at_ns, kind, who} core shared with
+// internal/trace and the rt event recorder, plus the span extensions.
+type spanJSON struct {
+	AtNS       int64  `json:"at_ns"`
+	Kind       string `json:"kind"`
+	Who        string `json:"who"`
+	Tenant     string `json:"tenant,omitempty"`
+	ID         uint64 `json:"id"`
+	Shard      int    `json:"shard"`
+	Worker     int    `json:"worker"`
+	ReserveNS  int64  `json:"reserve_ns"`
+	QueueNS    int64  `json:"queue_ns"`
+	DispatchNS int64  `json:"dispatch_ns"`
+	RunNS      int64  `json:"run_ns"`
+	EndNS      int64  `json:"end_ns"`
+	ErrText    string `json:"err,omitempty"`
+}
+
+// MarshalJSON renders the record in the JSON-lines schema shared with
+// internal/trace: at_ns/kind/who plus per-stage durations, with
+// end_ns = at_ns + the stage sum so timestamps stay gap-free.
+func (r SpanRecord) MarshalJSON() ([]byte, error) {
+	at := r.Start.UnixNano()
+	return json.Marshal(spanJSON{
+		AtNS:       at,
+		Kind:       r.Outcome,
+		Who:        r.Client,
+		Tenant:     r.Tenant,
+		ID:         r.ID,
+		Shard:      r.Shard,
+		Worker:     r.Worker,
+		ReserveNS:  int64(r.Reserve),
+		QueueNS:    int64(r.Queue),
+		DispatchNS: int64(r.Dispatch),
+		RunNS:      int64(r.Run),
+		EndNS:      at + int64(r.End),
+		ErrText:    r.Err,
+	})
+}
+
+// stageBuckets bound the trace_stage_seconds histograms: 1µs doubling
+// to ~34s, matching the dispatcher's wait-latency buckets so stage and
+// wait quantiles are directly comparable.
+var stageBuckets = metrics.ExpBuckets(1e-6, 2, 26)
+
+// TracerConfig parameterizes a Tracer.
+type TracerConfig struct {
+	// Rate is the sampling probability in [0, 1]. 1 samples every
+	// task with no PRNG draw at all; 0 samples none (prefer a nil
+	// *Tracer in the dispatcher config, which also skips the stamp
+	// branches). Intermediate rates draw from a seeded Park-Miller
+	// stream, so a seed reproduces the same accept/reject sequence.
+	Rate float64
+	// Capacity bounds the flight recorder ring; default 4096.
+	Capacity int
+	// Seed seeds the sampling stream; default 1.
+	Seed uint32
+	// Metrics, when non-nil, receives trace_spans_total{kind},
+	// trace_spans_dropped_total, and trace_stage_seconds{stage}.
+	// One registry serves one tracer.
+	Metrics *metrics.Registry
+}
+
+// Tracer samples task spans and retains the most recent completions in
+// a bounded flight recorder. All methods are safe for concurrent use.
+// Emit and Discard are the only operations that touch the internal
+// lock, and Emit observes its histograms before taking it, so the
+// tracer adds no emission work to any dispatcher critical section.
+type Tracer struct {
+	rate   float64
+	all    bool // Rate >= 1: skip the draw entirely
+	never  bool // Rate <= 0: Sample always declines
+	thresh uint32
+	rng    *random.Locked
+
+	pool sync.Pool
+
+	mu      sync.Mutex
+	cap     int
+	buf     []SpanRecord
+	start   int // ring head once wrapped
+	total   uint64
+	dropped uint64 // retained-span evictions
+
+	mSpans   *metrics.CounterVec
+	mDropped *metrics.Counter
+	mStages  *metrics.HistogramVec
+}
+
+// NewTracer creates a tracer sampling at cfg.Rate with a flight
+// recorder of cfg.Capacity spans.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 4096
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	tr := &Tracer{
+		rate:  cfg.Rate,
+		all:   cfg.Rate >= 1,
+		never: cfg.Rate <= 0,
+		rng:   random.NewLocked(random.NewPM(cfg.Seed)),
+		cap:   cfg.Capacity,
+	}
+	if !tr.all && !tr.never {
+		// Uint31 is uniform on [1, M-1]; accept draws at or below the
+		// rate-scaled threshold.
+		tr.thresh = uint32(cfg.Rate * float64(random.M-1))
+	}
+	tr.pool.New = func() any { return &Span{Shard: -1, Worker: -1} }
+	if cfg.Metrics != nil {
+		tr.mSpans = cfg.Metrics.CounterVec("trace_spans_total",
+			"Sampled task spans emitted, by outcome.", "kind")
+		tr.mDropped = cfg.Metrics.Counter("trace_spans_dropped_total",
+			"Sampled spans evicted from the flight recorder ring before being read.")
+		tr.mStages = cfg.Metrics.HistogramVec("trace_stage_seconds",
+			"Per-stage latency of sampled task spans.", stageBuckets, "stage")
+	}
+	return tr
+}
+
+// Rate returns the configured sampling probability.
+func (tr *Tracer) Rate() float64 { return tr.rate }
+
+// Cap returns the flight recorder capacity.
+func (tr *Tracer) Cap() int { return tr.cap }
+
+// Sample decides whether the task being submitted is traced. It
+// returns a pooled span to stamp, or nil to skip the task. The caller
+// must hand a returned span to exactly one of Emit or Discard.
+func (tr *Tracer) Sample() *Span {
+	if tr.never {
+		return nil
+	}
+	if !tr.all && tr.rng.Uint31() > tr.thresh {
+		return nil
+	}
+	return tr.pool.Get().(*Span)
+}
+
+// Discard returns an unemitted span to the pool — the submit failed
+// before the task was enqueued, so there is no lifecycle to record.
+func (tr *Tracer) Discard(sp *Span) {
+	sp.reset()
+	tr.pool.Put(sp)
+}
+
+// Emit completes a span: stage durations are derived from the stamps
+// (monotonic, via time.Time.Sub), observed into the stage histograms,
+// and the record is appended to the flight recorder. The span struct
+// returns to the pool. Emit must be called outside every dispatcher
+// lock — it is the span analog of Observer.Observe, and the lockemit
+// analyzer enforces the same discipline for it.
+func (tr *Tracer) Emit(sp *Span, end time.Time, outcome, errText string) {
+	rec := SpanRecord{
+		Client:  sp.Client,
+		Tenant:  sp.Tenant,
+		Shard:   sp.Shard,
+		Worker:  sp.Worker,
+		Outcome: outcome,
+		Err:     errText,
+		Start:   sp.Submit,
+		Reserve: sp.Reserve.Sub(sp.Submit),
+	}
+	if sp.Draw.IsZero() {
+		// Never dispatched: the queue stage runs to the eviction.
+		rec.Queue = end.Sub(sp.Reserve)
+	} else {
+		rec.Queue = sp.Draw.Sub(sp.Reserve)
+		rec.Dispatch = sp.Run.Sub(sp.Draw)
+		rec.Run = end.Sub(sp.Run)
+	}
+	dispatched := !sp.Draw.IsZero()
+	rec.End = rec.Reserve + rec.Queue + rec.Dispatch + rec.Run
+	sp.reset()
+	tr.pool.Put(sp)
+
+	// Instruments first, ring second: the histograms are lock-free
+	// atomics, and keeping them outside tr.mu keeps the lockemit
+	// contract trivially true for the tracer itself.
+	if tr.mStages != nil {
+		tr.mSpans.With(outcome).Inc()
+		tr.mStages.With("reserve").Observe(rec.Reserve.Seconds())
+		tr.mStages.With("queue").Observe(rec.Queue.Seconds())
+		if dispatched {
+			tr.mStages.With("dispatch").Observe(rec.Dispatch.Seconds())
+			tr.mStages.With("run").Observe(rec.Run.Seconds())
+		}
+	}
+
+	evicted := false
+	tr.mu.Lock()
+	tr.total++
+	rec.ID = tr.total
+	if len(tr.buf) < tr.cap {
+		tr.buf = append(tr.buf, rec)
+	} else {
+		tr.buf[tr.start] = rec
+		tr.start = (tr.start + 1) % tr.cap
+		tr.dropped++
+		evicted = true
+	}
+	tr.mu.Unlock()
+	if evicted && tr.mDropped != nil {
+		tr.mDropped.Inc()
+	}
+}
+
+// Total returns how many spans have ever been emitted, including ones
+// evicted from the ring.
+func (tr *Tracer) Total() uint64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.total
+}
+
+// Dropped returns how many retained spans were evicted from the ring
+// before being read.
+func (tr *Tracer) Dropped() uint64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.dropped
+}
+
+// Spans returns up to n retained spans (n <= 0 means all) with
+// ID > after, oldest first. missed counts spans a cursor-following
+// caller can no longer read: emitted after `after` but already
+// evicted from the ring.
+func (tr *Tracer) Spans(n int, after uint64) (spans []SpanRecord, missed uint64) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]SpanRecord, 0, len(tr.buf))
+	out = append(out, tr.buf[tr.start:]...)
+	out = append(out, tr.buf[:tr.start]...)
+	first := tr.total - uint64(len(tr.buf)) // id before the oldest retained
+	if after < first {
+		missed = first - after
+	}
+	cut := 0
+	for cut < len(out) && out[cut].ID <= after {
+		cut++
+	}
+	out = out[cut:]
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out, missed
+}
+
+// WriteJSON writes up to n retained spans with ID > after (n <= 0
+// means all) as JSON lines, oldest first, and returns the last id
+// written (0 when nothing matched) plus the missed count from Spans —
+// the pieces a polling client needs to resume without re-reading.
+func (tr *Tracer) WriteJSON(w io.Writer, n int, after uint64) (last, missed uint64, err error) {
+	spans, missed := tr.Spans(n, after)
+	enc := json.NewEncoder(w)
+	for _, s := range spans {
+		if err := enc.Encode(s); err != nil {
+			return last, missed, err
+		}
+		last = s.ID
+	}
+	return last, missed, nil
+}

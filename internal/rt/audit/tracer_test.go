@@ -1,0 +1,236 @@
+package audit
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// sampleDecisions runs n Sample calls and returns the accept/reject
+// pattern, discarding accepted spans back to the pool.
+func sampleDecisions(tr *Tracer, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		sp := tr.Sample()
+		out[i] = sp != nil
+		if sp != nil {
+			tr.Discard(sp)
+		}
+	}
+	return out
+}
+
+func TestSamplerDeterministicBySeed(t *testing.T) {
+	a := NewTracer(TracerConfig{Rate: 0.5, Seed: 7})
+	b := NewTracer(TracerConfig{Rate: 0.5, Seed: 7})
+	c := NewTracer(TracerConfig{Rate: 0.5, Seed: 8})
+
+	da, db, dc := sampleDecisions(a, 2000), sampleDecisions(b, 2000), sampleDecisions(c, 2000)
+	same, accepts := true, 0
+	diff := false
+	for i := range da {
+		if da[i] != db[i] {
+			same = false
+		}
+		if da[i] != dc[i] {
+			diff = true
+		}
+		if da[i] {
+			accepts++
+		}
+	}
+	if !same {
+		t.Error("same seed produced different sampling decisions")
+	}
+	if !diff {
+		t.Error("different seeds produced identical sampling decisions")
+	}
+	// 2000 draws at p=0.5: anything outside [800, 1200] is > 9 sigma.
+	if accepts < 800 || accepts > 1200 {
+		t.Errorf("rate 0.5 accepted %d of 2000", accepts)
+	}
+}
+
+func TestSamplerRateEndpoints(t *testing.T) {
+	all := NewTracer(TracerConfig{Rate: 1})
+	for i := 0; i < 100; i++ {
+		sp := all.Sample()
+		if sp == nil {
+			t.Fatal("rate 1 declined a sample")
+		}
+		if sp.Shard != -1 || sp.Worker != -1 {
+			t.Fatalf("fresh span placement = (%d, %d), want (-1, -1)", sp.Shard, sp.Worker)
+		}
+		all.Discard(sp)
+	}
+	never := NewTracer(TracerConfig{Rate: 0})
+	for i := 0; i < 100; i++ {
+		if never.Sample() != nil {
+			t.Fatal("rate 0 accepted a sample")
+		}
+	}
+}
+
+func TestEmitStageDurations(t *testing.T) {
+	tr := NewTracer(TracerConfig{Rate: 1})
+	base := time.Now()
+	sp := tr.Sample()
+	sp.Client, sp.Tenant = "c", "t"
+	sp.Submit = base
+	sp.Reserve = base.Add(1 * time.Millisecond)
+	sp.Draw = base.Add(4 * time.Millisecond)
+	sp.Shard = 2
+	sp.Run = base.Add(6 * time.Millisecond)
+	sp.Worker = 3
+	tr.Emit(sp, base.Add(10*time.Millisecond), "complete", "")
+
+	spans, missed := tr.Spans(0, 0)
+	if missed != 0 || len(spans) != 1 {
+		t.Fatalf("Spans = %d records, missed %d", len(spans), missed)
+	}
+	rec := spans[0]
+	if rec.ID != 1 || rec.Client != "c" || rec.Tenant != "t" ||
+		rec.Shard != 2 || rec.Worker != 3 || rec.Outcome != "complete" {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.Reserve != 1*time.Millisecond || rec.Queue != 3*time.Millisecond ||
+		rec.Dispatch != 2*time.Millisecond || rec.Run != 4*time.Millisecond {
+		t.Fatalf("stages = %v/%v/%v/%v", rec.Reserve, rec.Queue, rec.Dispatch, rec.Run)
+	}
+	if rec.End != rec.Reserve+rec.Queue+rec.Dispatch+rec.Run {
+		t.Fatalf("End %v != stage sum", rec.End)
+	}
+}
+
+func TestEmitUndispatchedSpan(t *testing.T) {
+	tr := NewTracer(TracerConfig{Rate: 1})
+	base := time.Now()
+	sp := tr.Sample()
+	sp.Client, sp.Tenant = "c", "t"
+	sp.Submit = base
+	sp.Reserve = base.Add(1 * time.Millisecond)
+	// Draw and Run stay zero: the task was evicted while queued.
+	tr.Emit(sp, base.Add(5*time.Millisecond), "cancel", "context canceled")
+
+	spans, _ := tr.Spans(0, 0)
+	rec := spans[0]
+	if rec.Shard != -1 || rec.Worker != -1 {
+		t.Fatalf("undispatched placement = (%d, %d), want (-1, -1)", rec.Shard, rec.Worker)
+	}
+	if rec.Queue != 4*time.Millisecond || rec.Dispatch != 0 || rec.Run != 0 {
+		t.Fatalf("stages = %v/%v/%v", rec.Queue, rec.Dispatch, rec.Run)
+	}
+	if rec.End != 5*time.Millisecond {
+		t.Fatalf("End = %v, want 5ms", rec.End)
+	}
+	if rec.Err != "context canceled" || rec.Outcome != "cancel" {
+		t.Fatalf("outcome %q err %q", rec.Outcome, rec.Err)
+	}
+}
+
+func emitN(tr *Tracer, n int) {
+	base := time.Now()
+	for i := 0; i < n; i++ {
+		sp := tr.Sample()
+		sp.Client = "c"
+		sp.Submit = base
+		sp.Reserve = base
+		tr.Emit(sp, base.Add(time.Millisecond), "complete", "")
+	}
+}
+
+func TestRingEvictionAndCursor(t *testing.T) {
+	tr := NewTracer(TracerConfig{Rate: 1, Capacity: 4})
+	emitN(tr, 10)
+
+	if tr.Total() != 10 || tr.Dropped() != 6 {
+		t.Fatalf("total %d dropped %d, want 10/6", tr.Total(), tr.Dropped())
+	}
+	spans, missed := tr.Spans(0, 0)
+	if missed != 6 || len(spans) != 4 {
+		t.Fatalf("fresh cursor: %d spans, missed %d, want 4/6", len(spans), missed)
+	}
+	for i, s := range spans {
+		if s.ID != uint64(7+i) {
+			t.Fatalf("span %d has ID %d, want %d", i, s.ID, 7+i)
+		}
+	}
+	// Resuming from a still-retained cursor loses nothing.
+	spans, missed = tr.Spans(0, 8)
+	if missed != 0 || len(spans) != 2 || spans[0].ID != 9 {
+		t.Fatalf("after=8: %d spans, missed %d", len(spans), missed)
+	}
+	// A stale cursor reports exactly the evicted gap.
+	_, missed = tr.Spans(0, 2)
+	if missed != 4 {
+		t.Fatalf("after=2: missed %d, want 4", missed)
+	}
+	// n limits to the newest.
+	spans, _ = tr.Spans(2, 0)
+	if len(spans) != 2 || spans[0].ID != 9 || spans[1].ID != 10 {
+		t.Fatalf("n=2: ids %v", []uint64{spans[0].ID, spans[1].ID})
+	}
+}
+
+func TestWriteJSONSchema(t *testing.T) {
+	tr := NewTracer(TracerConfig{Rate: 1})
+	base := time.Now()
+	sp := tr.Sample()
+	sp.Client, sp.Tenant = "who", "ten"
+	sp.Submit = base
+	sp.Reserve = base.Add(time.Millisecond)
+	sp.Draw = base.Add(2 * time.Millisecond)
+	sp.Shard = 0
+	sp.Run = base.Add(3 * time.Millisecond)
+	sp.Worker = 1
+	tr.Emit(sp, base.Add(4*time.Millisecond), "complete", "")
+
+	var buf bytes.Buffer
+	last, missed, err := tr.WriteJSON(&buf, 0, 0)
+	if err != nil || last != 1 || missed != 0 {
+		t.Fatalf("WriteJSON last=%d missed=%d err=%v", last, missed, err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("output is not a JSON line: %v", err)
+	}
+	for _, k := range []string{"at_ns", "kind", "who", "tenant", "id",
+		"shard", "worker", "reserve_ns", "queue_ns", "dispatch_ns", "run_ns", "end_ns"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("missing field %q in %s", k, buf.String())
+		}
+	}
+	at := int64(m["at_ns"].(float64))
+	sum := int64(m["reserve_ns"].(float64) + m["queue_ns"].(float64) +
+		m["dispatch_ns"].(float64) + m["run_ns"].(float64))
+	if end := int64(m["end_ns"].(float64)); end != at+sum {
+		t.Errorf("end_ns %d != at_ns %d + stage sum %d (gap)", end, at, sum)
+	}
+	if m["kind"] != "complete" || m["who"] != "who" {
+		t.Errorf("kind/who = %v/%v", m["kind"], m["who"])
+	}
+}
+
+func TestTracerMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := NewTracer(TracerConfig{Rate: 1, Capacity: 2, Metrics: reg})
+	emitN(tr, 3) // one eviction
+
+	rr := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	body := rr.Body.String()
+	for _, want := range []string{
+		`trace_spans_total{kind="complete"} 3`,
+		`trace_spans_dropped_total 1`,
+		"trace_stage_seconds_bucket",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package rt
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rt/audit"
+	"repro/internal/ticket"
+)
+
+// TestTraceAuditAcceptance drives the sharded dispatcher at 100%
+// sampling with an online fairness audit attached and checks the
+// PR's acceptance bar end to end: every steady tenant's observed
+// dispatch share stays within 5% of its ticket share over the audited
+// draw stream (>= 24k draws, with a 5-sigma binomial bound per
+// individual window), the auditor's invariant hook stays green, and
+// every retained span has monotone, gap-free stage timestamps with
+// sequential IDs.
+//
+// Load is built the same way as TestShareConformance: workers are
+// parked on gate tasks while deep backlogs are filled, so the draw
+// stream runs on a full tree from the first audited window. Three
+// tenants (gold 500, silver 300, bronze 200) each spread four clients
+// across four shards, so per-shard draws stay proportional across
+// tenants and batched draws cannot correlate a whole batch to one
+// tenant. Backlogs are sized proportionally to share, so all clients
+// drain together and the tree stays proportional through the asserted
+// windows; window reports are collected synchronously through the
+// auditor's OnWindow hook, not polled.
+func TestTraceAuditAcceptance(t *testing.T) {
+	const (
+		windowDraws = 2048
+		firstWindow = 2  // window 1 starts before the tenants register
+		lastWindow  = 13 // 12 asserted windows, >= 24k audited draws
+		shareTol    = 0.05
+	)
+	// Per-client backlog proportional to per-client share (gold client
+	// 12.5%, silver 7.5%, bronze 5%): everyone drains around draw
+	// 32000, comfortably past the asserted 24576-draw horizon.
+	backlog := map[string]int{"gold": 4000, "silver": 2400, "bronze": 1600}
+	funding := map[string]int{"gold": 500, "silver": 300, "bronze": 200}
+	share := map[string]float64{"gold": 0.5, "silver": 0.3, "bronze": 0.2}
+
+	var (
+		winMu   sync.Mutex
+		windows []audit.Report
+	)
+	tr := audit.NewTracer(audit.TracerConfig{Rate: 1, Capacity: 16384, Seed: 7})
+	aud := audit.New(audit.Config{
+		WindowDraws: windowDraws,
+		Tol:         0.15,
+		OnWindow: func(rep audit.Report) {
+			winMu.Lock()
+			windows = append(windows, rep)
+			winMu.Unlock()
+		},
+	})
+	d := New(Config{
+		Workers:  4,
+		Shards:   4,
+		QueueCap: backlog["gold"],
+		Seed:     42,
+		Tracer:   tr,
+		Audit:    aud,
+	})
+	defer d.Close()
+
+	// Park every worker on a hugely funded gate client so the
+	// backlogs build on a stalled pool (see TestShareConformance).
+	gateDone := make(chan struct{})
+	var running atomic.Int32
+	gate, err := d.NewClient("gate", 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for i := 0; i < d.Workers(); i++ {
+		if _, err := gate.Submit(func() { running.Add(1); <-gateDone }); err != nil {
+			t.Fatal(err)
+		}
+		for running.Load() < int32(i+1) {
+			if time.Now().After(deadline) {
+				t.Fatalf("workers never parked (%d/%d)", running.Load(), d.Workers())
+			}
+			runtime.Gosched()
+		}
+	}
+	gate.Leave()
+
+	var clients []*Client
+	tenants := map[string]*Tenant{}
+	submitted := d.Workers() // the gate tasks
+	for _, name := range []string{"gold", "silver", "bronze"} {
+		ten, err := d.NewTenant(name, ticket.Amount(funding[name]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tenants[name] = ten
+		for i := 0; i < 4; i++ {
+			c, err := ten.NewClient(name+"-"+string(rune('a'+i)), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clients = append(clients, c)
+			for j := 0; j < backlog[name]; j++ {
+				if _, err := c.Submit(func() {}); err != nil {
+					t.Fatalf("fill %s: %v", c.Name(), err)
+				}
+				submitted++
+			}
+		}
+	}
+	if submitted < 10000 {
+		t.Fatalf("acceptance requires >= 10k tasks, submitted %d", submitted)
+	}
+
+	if err := CheckInvariants(d); err != nil {
+		t.Fatalf("setup invariants: %v", err)
+	}
+	close(gateDone)
+
+	// Wait for the asserted window horizon; windows close per audited
+	// draw, so this is deterministic in draw count, not wall time.
+	deadline = time.Now().Add(2 * time.Minute)
+	for {
+		winMu.Lock()
+		n := len(windows)
+		winMu.Unlock()
+		if n >= lastWindow {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d audit windows closed, want %d", n, lastWindow)
+		}
+		runtime.Gosched()
+	}
+	if err := CheckInvariants(d); err != nil {
+		t.Fatalf("measured-phase invariants (includes auditor check): %v", err)
+	}
+	if err := aud.Check(); err != nil {
+		t.Errorf("auditor drift check: %v", err)
+	}
+
+	winMu.Lock()
+	collected := append([]audit.Report(nil), windows...)
+	winMu.Unlock()
+	sort.Slice(collected, func(i, j int) bool { return collected[i].Window < collected[j].Window })
+
+	// Every steady tenant, every asserted window: observed share
+	// within 5 sigma of its binomial noise floor — a per-window event
+	// with ~3e-7 false-alarm probability, so any hit is a real skew.
+	// The gate tenant retires in window 1 and must never be judged.
+	asserted := 0
+	windowSum := map[string]uint64{}
+	var drawSum uint64
+	for _, rep := range collected {
+		if rep.Window < firstWindow || rep.Window > lastWindow {
+			continue
+		}
+		asserted++
+		if rep.Draws == 0 {
+			t.Fatalf("window %d closed with zero draws", rep.Window)
+		}
+		for _, row := range rep.Tenants {
+			if row.Name == "gate" {
+				if !row.Excluded {
+					t.Errorf("window %d: retired gate tenant was judged: %+v", rep.Window, row)
+				}
+				continue
+			}
+			if row.Excluded {
+				t.Errorf("window %d: steady tenant %s excluded (%s)", rep.Window, row.Name, row.Reason)
+				continue
+			}
+			p := share[row.Name]
+			sigma := math.Sqrt(p * (1 - p) / float64(rep.Draws))
+			if diff := math.Abs(row.Observed - p); diff > 5*sigma {
+				t.Errorf("window %d: tenant %s observed share %.4f vs ticket share %.4f (%.1f sigma)",
+					rep.Window, row.Name, row.Observed, p, diff/sigma)
+			}
+			if row.Expected != p {
+				t.Errorf("window %d: tenant %s expected share %.4f, want %.4f",
+					rep.Window, row.Name, row.Expected, p)
+			}
+			windowSum[row.Name] += row.Observd
+		}
+		drawSum += rep.Draws
+	}
+	if asserted != lastWindow-firstWindow+1 {
+		t.Errorf("asserted %d windows, want %d", asserted, lastWindow-firstWindow+1)
+	}
+
+	// The 5% acceptance bar, over the full asserted draw stream
+	// (>= 24k draws, where 5% relative is >7 sigma): each tenant's
+	// observed share within 5% of its ticket share.
+	if drawSum < 10000 {
+		t.Fatalf("asserted windows cover %d draws, want >= 10k", drawSum)
+	}
+	for name, want := range share {
+		got := float64(windowSum[name]) / float64(drawSum)
+		t.Logf("tenant %s: %d/%d audited dispatches, share %.4f (ticket share %.4f, rel err %+.4f)",
+			name, windowSum[name], drawSum, got, want, got/want-1)
+		if rel := math.Abs(got/want - 1); rel > shareTol {
+			t.Errorf("tenant %s audited share %.4f vs ticket share %.4f: rel err %.4f > %.2f",
+				name, got, want, rel, shareTol)
+		}
+	}
+
+	// Lifetime ledger totals stay proportional too (the backlogs are
+	// share-proportional, so this holds mid-drain and at full drain).
+	var total uint64
+	dispatched := map[string]uint64{}
+	for name, ten := range tenants {
+		n := ten.aud.TotalDispatched()
+		dispatched[name] = n
+		total += n
+	}
+	for name, want := range share {
+		got := float64(dispatched[name]) / float64(total)
+		if diff := math.Abs(got - want); diff > shareTol {
+			t.Errorf("tenant %s cumulative share %.4f vs %.4f", name, got, want)
+		}
+	}
+
+	// Tear down without draining whatever backlog remains: abandoning
+	// cancels queued tasks, which emit cancel spans but no dispatches.
+	for _, c := range clients {
+		c.Abandon()
+	}
+	d.Close()
+
+	// Span integrity: every submission was sampled (rate 1) and every
+	// task has finished, so the tracer saw them all; retained spans
+	// must have sequential IDs and monotone, gap-free stages.
+	if got := tr.Total(); got != uint64(submitted) {
+		t.Errorf("tracer emitted %d spans, want %d (one per finished task)", got, submitted)
+	}
+	spans, _ := tr.Spans(0, 0)
+	if len(spans) == 0 {
+		t.Fatal("no spans retained")
+	}
+	counts := map[string]int{}
+	for i, sp := range spans {
+		if i > 0 && sp.ID != spans[i-1].ID+1 {
+			t.Fatalf("span IDs not sequential: %d after %d", sp.ID, spans[i-1].ID)
+		}
+		counts[sp.Outcome]++
+		if sp.Start.IsZero() {
+			t.Fatalf("span %d has zero start", sp.ID)
+		}
+		if sp.Reserve < 0 || sp.Queue < 0 || sp.Dispatch < 0 || sp.Run < 0 {
+			t.Fatalf("span %d has a negative stage: %+v", sp.ID, sp)
+		}
+		if sp.End != sp.Reserve+sp.Queue+sp.Dispatch+sp.Run {
+			t.Fatalf("span %d stages leave a gap: end %v vs sum %v",
+				sp.ID, sp.End, sp.Reserve+sp.Queue+sp.Dispatch+sp.Run)
+		}
+		switch sp.Outcome {
+		case "complete":
+			if sp.Shard < 0 || sp.Shard >= d.Shards() || sp.Worker < 0 || sp.Worker >= d.Workers() {
+				t.Fatalf("completed span %d has placement (%d, %d)", sp.ID, sp.Shard, sp.Worker)
+			}
+		case "cancel":
+			if sp.Shard != -1 || sp.Worker != -1 || sp.Dispatch != 0 || sp.Run != 0 {
+				t.Fatalf("cancelled span %d was placed: %+v", sp.ID, sp)
+			}
+		default:
+			t.Fatalf("span %d has outcome %q", sp.ID, sp.Outcome)
+		}
+	}
+	if counts["complete"] == 0 {
+		t.Errorf("retained outcomes %v, want completes", counts)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/lottery"
 	"repro/internal/metrics"
 	"repro/internal/random"
+	"repro/internal/rt/audit"
 	"repro/internal/rt/resource"
 	"repro/internal/ticket"
 )
@@ -131,6 +132,33 @@ func BenchmarkObserverOverhead(b *testing.B) {
 	b.Run("metrics", func(b *testing.B) {
 		cfg := base
 		cfg.Metrics = metrics.NewRegistry()
+		benchDispatchCfg(b, 8, cfg)
+	})
+}
+
+// BenchmarkTraceOverhead prices the task-span tracer on the dispatch
+// path, against the same workload as ObserverOverhead. "off" is the
+// default fast path with no tracer configured — a nil check per stamp
+// site, which must stay within noise of ObserverOverhead/nil;
+// "sample=0.01" adds one seeded PRNG draw per submit and a pooled
+// span for ~1% of tasks; "sample=1" stamps, emits, and ring-appends a
+// span for every task, the worst case the flight recorder is priced
+// at. The fairness auditor rides along in every traced variant (two
+// atomic adds per dispatch plus a window close per 4096 draws), so
+// the traced bars price the whole observability II stack.
+func BenchmarkTraceOverhead(b *testing.B) {
+	base := Config{Workers: 2, Shards: 1, QueueCap: 4096, Seed: 42}
+	b.Run("off", func(b *testing.B) { benchDispatchCfg(b, 8, base) })
+	b.Run("sample=0.01", func(b *testing.B) {
+		cfg := base
+		cfg.Tracer = audit.NewTracer(audit.TracerConfig{Rate: 0.01, Seed: 42})
+		cfg.Audit = audit.New(audit.Config{})
+		benchDispatchCfg(b, 8, cfg)
+	})
+	b.Run("sample=1", func(b *testing.B) {
+		cfg := base
+		cfg.Tracer = audit.NewTracer(audit.TracerConfig{Rate: 1, Seed: 42})
+		cfg.Audit = audit.New(audit.Config{})
 		benchDispatchCfg(b, 8, cfg)
 	})
 }

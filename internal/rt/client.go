@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/lottery"
 	"repro/internal/metrics"
+	"repro/internal/rt/audit"
 	"repro/internal/ticket"
 )
 
@@ -229,15 +230,35 @@ func (c *Client) submit(ctx context.Context, fn func(), detached bool, res Reser
 			return nil, err
 		}
 	}
+	var span *audit.Span
+	if d.tracer != nil {
+		if span = d.tracer.Sample(); span != nil {
+			span.Client = c.name
+			span.Tenant = c.tenant.name
+			span.Submit = time.Now()
+			// Without a reserve the stage is zero-width, keeping the
+			// stage chain gap-free either way.
+			span.Reserve = span.Submit
+		}
+	}
 	if !res.IsZero() {
 		// Acquire before any dispatcher lock: memory reclamation and
 		// I/O waits happen entirely inside the ledger, and a submitter
 		// blocked on tokens holds no queue slot.
 		if d.ledger == nil {
+			if span != nil {
+				d.tracer.Discard(span)
+			}
 			return nil, ErrNoResources
 		}
 		if err := d.ledger.Acquire(ctx, c.tenant.res, res); err != nil {
+			if span != nil {
+				d.tracer.Discard(span)
+			}
 			return nil, err
+		}
+		if span != nil {
+			span.Reserve = time.Now()
 		}
 		if d.obs != nil {
 			d.obs.Observe(Event{At: time.Now(), Kind: EventReserve, Client: c.name,
@@ -273,6 +294,9 @@ func (c *Client) submit(ctx context.Context, fn func(), detached bool, res Reser
 				if detached {
 					d.recycle(t)
 				}
+				if span != nil {
+					d.tracer.Discard(span)
+				}
 				if !res.IsZero() {
 					d.ledger.Release(c.tenant.res, res)
 				}
@@ -299,6 +323,9 @@ func (c *Client) submit(ctx context.Context, fn func(), detached bool, res Reser
 		if detached {
 			d.recycle(t)
 		}
+		if span != nil {
+			d.tracer.Discard(span)
+		}
 		if !res.IsZero() {
 			d.ledger.Release(c.tenant.res, res)
 		}
@@ -309,6 +336,7 @@ func (c *Client) submit(ctx context.Context, fn func(), detached bool, res Reser
 	}
 	enqueued := time.Now()
 	t.enqueued = enqueued
+	t.span = span
 	c.queue = append(c.queue, t)
 	c.submittedN++
 	c.mSubmitted.Inc()
@@ -571,6 +599,11 @@ func (c *Client) Shed(n int) int {
 		sh.publishLocked()
 	}
 	sh.mu.Unlock()
+	if k > 0 && d.aud != nil {
+		// The auditor renormalizes shed tenants out of the window they
+		// were evicted in, exactly as lotterysoak's judge waives them.
+		d.aud.RecordShed(c.tenant.aud, uint64(k))
+	}
 	for _, t := range dropped {
 		if d.obs != nil {
 			d.obs.Observe(Event{At: time.Now(), Kind: EventShed, Client: c.name,

@@ -13,6 +13,7 @@ import (
 	"repro/internal/lottery"
 	"repro/internal/metrics"
 	"repro/internal/random"
+	"repro/internal/rt/audit"
 	"repro/internal/rt/resource"
 	"repro/internal/ticket"
 )
@@ -113,6 +114,21 @@ type Config struct {
 	// exposition. One registry serves one dispatcher. Nil disables
 	// exporting; Snapshot percentiles work either way.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, samples per-task lifecycle spans: each
+	// sampled task's submit→reserve→queue→dispatch→run progression is
+	// stamped in place and emitted as one audit.SpanRecord when the
+	// task finishes (always outside dispatcher locks, like Observer
+	// events). Nil disables tracing entirely; the remaining cost is
+	// one predictable branch per stamp site (BenchmarkTraceOverhead
+	// pins it).
+	Tracer *audit.Tracer
+	// Audit, when non-nil, is the online fairness auditor: every
+	// dispatch is counted into the winning tenant's windowed ledger
+	// and the auditor's drift check is registered with AddCheck, so
+	// CheckInvariants fails if observed shares leave their ticket
+	// ratios for consecutive windows. Tenants are registered into it
+	// with their base funding, mirroring the resource ledger.
+	Audit *audit.Auditor
 	// Resources, when non-nil, is the multi-resource ledger the
 	// dispatcher's tenant currency jointly funds: tenants are
 	// registered into it with their base funding as tickets, task
@@ -189,6 +205,14 @@ type Dispatcher struct {
 	obs Observer
 	m   *rtMetrics
 
+	// tracer and aud are the span/audit hooks (Config.Tracer and
+	// Config.Audit), fixed at construction, both with nil fast paths.
+	// Span stamps are plain field writes ordered by the shard mutex
+	// hand-off; emission and audit window closes happen only outside
+	// dispatcher locks.
+	tracer *audit.Tracer
+	aud    *audit.Auditor
+
 	// ledger is the optional multi-resource ledger (Config.Resources),
 	// fixed at construction. Lock order: ledger internals are below
 	// every dispatcher lock — the ledger never calls into the
@@ -243,6 +267,8 @@ func New(cfg Config) *Dispatcher {
 		workers:  cfg.Workers,
 		queueCap: cfg.QueueCap,
 		obs:      cfg.Observer,
+		tracer:   cfg.Tracer,
+		aud:      cfg.Audit,
 		ledger:   cfg.Resources,
 		balEvery: cfg.RebalanceEvery,
 		balStop:  make(chan struct{}),
@@ -258,6 +284,11 @@ func New(cfg Config) *Dispatcher {
 		d.ledger.OnThrottle(func(tenant string, tokens int64) {
 			obs.Observe(Event{At: time.Now(), Kind: EventThrottle, Tenant: tenant, IOTokens: tokens})
 		})
+	}
+	if d.aud != nil {
+		// The auditor's drift detector rides the same invariant probe
+		// as the overload controller's conservation check.
+		d.AddCheck(d.aud.Check)
 	}
 	d.idleCond = sync.NewCond(&d.idleMu)
 	d.taskPool.New = func() any { return new(Task) }
@@ -510,7 +541,7 @@ func (d *Dispatcher) worker(id int) {
 			}
 		}
 		for i := 0; i < n; i++ {
-			d.runDrawn(&batch[i])
+			d.runDrawn(&batch[i], id)
 			batch[i] = drawn{}
 		}
 	}
@@ -615,6 +646,12 @@ func (d *Dispatcher) drawBatch(sh *shard, batch *[batchK]drawn) (int, float64) {
 			}
 		}
 		t := c.popLocked(sh)
+		if t.span != nil {
+			// Plain field writes: the span is stamped in place, never
+			// emitted, while the shard mutex is held (lockemit's rule).
+			t.span.Draw = now
+			t.span.Shard = sh.id
+		}
 		// Winning a dispatch consumes any compensation boost (§3.4:
 		// the ticket lasts "until it next wins").
 		if c.comp != 1 {
@@ -635,17 +672,27 @@ func (d *Dispatcher) drawBatch(sh *shard, batch *[batchK]drawn) (int, float64) {
 }
 
 // runDrawn runs one winner outside all locks and settles its
-// compensation against the client's current shard.
-func (d *Dispatcher) runDrawn(dr *drawn) {
+// compensation against the client's current shard. worker is the pool
+// goroutine's id, recorded into sampled spans.
+func (d *Dispatcher) runDrawn(dr *drawn, worker int) {
 	c, t := dr.c, dr.t
 	c.mDispatched.Inc()
 	c.waitHist.Observe(dr.wait.Seconds())
+	if d.aud != nil {
+		// Outside all locks: the dispatch that crosses an audit window
+		// boundary closes the window inline.
+		d.aud.RecordDispatch(c.tenant.aud)
+	}
 	if d.obs != nil {
 		d.obs.Observe(Event{At: time.Now(), Kind: EventDispatch,
 			Client: c.name, Tenant: c.tenant.name, Wait: dr.wait})
 	}
 
 	start := time.Now()
+	if t.span != nil {
+		t.span.Worker = worker
+		t.span.Run = start
+	}
 	err := runTask(t)
 	elapsed := time.Since(start)
 

@@ -79,4 +79,20 @@
 // taken while work is in flight may disagree across shards by the few
 // tasks that moved between visits — in exchange, taking a snapshot no
 // longer stalls dispatch.
+//
+// # Tracing and the fairness audit
+//
+// Config.Tracer samples tasks at submit and stitches a per-task span
+// — reserve, queue, dispatch, run — emitted exactly once from finish,
+// outside every dispatcher lock; Config.Audit keeps a windowed
+// per-tenant ledger of expected vs. observed dispatches and flags
+// drift (see internal/rt/audit). Both are nil-cheap: unset, the only
+// cost is a predictable branch per site (BenchmarkTraceOverhead).
+//
+// Like Snapshot, audit windows are eventually consistent across
+// shards: dispatches are counted as workers complete draws, so a
+// window boundary is not a cut through simultaneous shard states —
+// draws racing the boundary land in the adjacent window. Window
+// verdicts are exact over the draws they counted; they are not an
+// instantaneous global cut.
 package rt

@@ -89,6 +89,11 @@ func (k EventKind) String() string {
 // Event is one structured dispatcher event. Only the fields relevant
 // to the Kind are set (see the kind constants).
 type Event struct {
+	// ID is a monotone 1-based sequence number assigned by
+	// EventRecorder.Observe — zero until the event is recorded. It is
+	// the resume cursor for EventsAfter and /debug/events?after=.
+	ID uint64
+
 	At      time.Time
 	Kind    EventKind
 	Client  string
@@ -108,6 +113,7 @@ type Event struct {
 // export: at_ns/kind/who are the common core, the rest are
 // rt-specific extensions.
 type eventJSON struct {
+	ID      uint64  `json:"id,omitempty"`
 	AtNS    int64   `json:"at_ns"`
 	Kind    string  `json:"kind"`
 	Who     string  `json:"who,omitempty"`
@@ -126,6 +132,7 @@ type eventJSON struct {
 // plus rt-specific fields when set.
 func (e Event) MarshalJSON() ([]byte, error) {
 	return json.Marshal(eventJSON{
+		ID:      e.ID,
 		AtNS:    e.At.UnixNano(),
 		Kind:    e.Kind.String(),
 		Who:     e.Client,
@@ -180,16 +187,19 @@ func NewEventRecorder(capacity int) *EventRecorder {
 	return &EventRecorder{cap: capacity}
 }
 
-// Observe records the event, evicting the oldest once full.
+// Observe records the event, evicting the oldest once full. The
+// stored copy gets the next monotone ID; the caller's value is not
+// modified.
 func (r *EventRecorder) Observe(e Event) {
 	r.mu.Lock()
+	r.total++
+	e.ID = r.total
 	if len(r.buf) < r.cap {
 		r.buf = append(r.buf, e)
 	} else {
 		r.buf[r.start] = e
 		r.start = (r.start + 1) % r.cap
 	}
-	r.total++
 	r.mu.Unlock()
 }
 
@@ -209,6 +219,28 @@ func (r *EventRecorder) Events() []Event {
 	out = append(out, r.buf[r.start:]...)
 	out = append(out, r.buf[:r.start]...)
 	return out
+}
+
+// EventsAfter returns the retained events with ID > after,
+// oldest-first, plus how many matching events were already evicted
+// from the ring (the gap between the cursor and the oldest retained
+// ID). A fresh cursor of 0 pages from the start; feeding the last
+// returned ID back in resumes without duplicates.
+func (r *EventRecorder) EventsAfter(after uint64) ([]Event, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	firstID := r.total - uint64(len(r.buf)) + 1 // oldest retained
+	var dropped uint64
+	if len(r.buf) > 0 && after+1 < firstID {
+		dropped = firstID - 1 - after
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.start:]...)
+	out = append(out, r.buf[:r.start]...)
+	for len(out) > 0 && out[0].ID <= after {
+		out = out[1:]
+	}
+	return out, dropped
 }
 
 // WriteJSON writes the last n retained events (n <= 0 means all) as

@@ -2,9 +2,11 @@ package rt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"repro/internal/rt/audit"
 	"repro/internal/rt/resource"
 )
 
@@ -44,6 +46,12 @@ type Task struct {
 	// res is the task's resource reserve, held from acquisition in
 	// submit until finish releases it. Immutable while the task lives.
 	res resource.Reserve
+
+	// span is the task's sampled trace span, nil for unsampled tasks.
+	// Stage stamps are written by whichever goroutine owns the task's
+	// current phase (ordered by the shard mutex hand-off); finish
+	// emits it exactly once, outside every dispatcher lock.
+	span *audit.Span
 }
 
 // Client returns the client the task was submitted to.
@@ -91,6 +99,13 @@ func (t *Task) Err() error {
 }
 
 func (t *Task) finish(err error) {
+	if sp := t.span; sp != nil {
+		// Emission shares finish's exactly-once guarantee, and finish
+		// always runs outside dispatcher locks — the only place the
+		// lockemit discipline allows a span to leave the task.
+		t.span = nil
+		t.client.d.tracer.Emit(sp, time.Now(), spanOutcome(sp, err), errText(err))
+	}
 	if !t.res.IsZero() {
 		// finish is the single completion choke point — completion,
 		// queued-task cancellation, panic, Abandon, and deadline-cut
@@ -116,6 +131,29 @@ func (t *Task) finish(err error) {
 	if t.stop != nil {
 		t.stop() // release the context watcher
 	}
+}
+
+// spanOutcome derives a span's terminal kind: a task that reached a
+// worker completed or panicked; one evicted while queued was shed or
+// cancelled (context, Abandon, or a deadline-cut Close).
+func spanOutcome(sp *audit.Span, err error) string {
+	switch {
+	case !sp.Run.IsZero() && err != nil:
+		return "panic"
+	case !sp.Run.IsZero():
+		return "complete"
+	case errors.Is(err, ErrShed):
+		return "shed"
+	default:
+		return "cancel"
+	}
+}
+
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // WaitOn blocks until t finishes, lending the calling client's

@@ -3,6 +3,7 @@ package rt
 import (
 	"fmt"
 
+	"repro/internal/rt/audit"
 	"repro/internal/rt/resource"
 	"repro/internal/ticket"
 )
@@ -25,6 +26,9 @@ type Tenant struct {
 	// registered with the base funding as tickets; nil without a
 	// ledger. Immutable after creation.
 	res *resource.Tenant
+	// aud is the tenant's entry in the fairness auditor's draw ledger,
+	// nil without an auditor. Immutable after creation.
+	aud *audit.TenantAudit
 	// dedicated marks the implicit single-client tenants made by
 	// Dispatcher.NewClient, torn down when their one client leaves.
 	dedicated bool
@@ -60,6 +64,13 @@ func (d *Dispatcher) newTenantGraphLocked(name string, funding ticket.Amount, de
 		// name resumes its usage history.
 		t.res = d.ledger.Tenant(name, float64(funding))
 	}
+	if d.aud != nil {
+		// Same funding feeds the draw ledger: the auditor's expected
+		// share is the tenant's base-ticket fraction. Registration is
+		// idempotent, so a recreated tenant resumes (and un-retires)
+		// its audit entry.
+		t.aud = d.aud.Tenant(name, float64(funding))
+	}
 	return t, nil
 }
 
@@ -76,6 +87,12 @@ func (t *Tenant) SetFunding(funding ticket.Amount) error {
 	}
 	if t.res != nil {
 		t.res.SetTickets(float64(funding))
+	}
+	if t.aud != nil {
+		// Marks the tenant ticket-changed so the auditor excludes it
+		// from the in-flight window rather than judging it against a
+		// share it only held for part of the window.
+		t.aud.SetTickets(float64(funding))
 	}
 	t.d.weightEpoch.Add(1)
 	return nil
@@ -178,6 +195,9 @@ func (t *Tenant) teardownGraphLocked() {
 		// Still-issued tickets mean a live client; leave the currency
 		// and its base funding intact.
 		return
+	}
+	if t.aud != nil {
+		t.aud.Retire()
 	}
 	t.d.weightEpoch.Add(1)
 }
