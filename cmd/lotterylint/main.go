@@ -1,23 +1,40 @@
 // Command lotterylint runs the repository's domain-specific static
 // analyzers (internal/analysis) over the given package patterns and
-// exits nonzero if any contract violation is found. It is the
-// machine-checked side of the scheduler's concurrency and determinism
-// contracts; see DESIGN.md §6 for the analyzer catalogue.
+// exits nonzero on contract violations. It is the machine-checked side
+// of the scheduler's concurrency and determinism contracts; see
+// DESIGN.md §6 for the analyzer catalogue and the declared global lock
+// order the suite enforces.
 //
 // Usage:
 //
 //	go run ./cmd/lotterylint ./...
-//	go run ./cmd/lotterylint -only detsource ./internal/sim/...
+//	go run ./cmd/lotterylint -only lockorder ./internal/rt/...
+//	go run ./cmd/lotterylint -json -baseline lint_baseline.json ./...
 //
-// Each analyzer carries its own package scope (detsource only runs
-// over the deterministic packages, ctxflow only over cmd/ and
-// examples/); -only restricts the suite further by name. Findings can
-// be waived line-by-line with a justified directive:
+// The load is inter-procedural: every matched package is type-checked
+// together with its _test.go files, and the concurrency analyzers
+// follow calls across package boundaries. Each analyzer carries its
+// own package scope; -only restricts the suite further by name.
+//
+// Findings can be waived line-by-line with a justified directive —
 //
 //	//lint:ignore <analyzer> <reason>
+//
+// — or accepted wholesale in a baseline file (-baseline): a JSON list
+// of findings with written justifications. Exit codes distinguish the
+// failure modes so CI can tell them apart:
+//
+//	0  clean (or every finding baselined)
+//	1  new finding not in the baseline
+//	2  usage or load error
+//	3  stale baseline entry or directive debt (nothing left to suppress)
+//
+// -update-baseline rewrites the baseline file from the current run,
+// preserving reasons for entries that survive.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,8 +46,11 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON objects, one per line")
+	baselinePath := flag.String("baseline", "", "baseline file of accepted findings (lint_baseline.json)")
+	updateBaseline := flag.Bool("update-baseline", false, "rewrite the baseline file from this run's findings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lotterylint [-only names] [-list] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: lotterylint [-only names] [-list] [-json] [-baseline file] [-update-baseline] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Analyzers:\n")
 		for _, a := range analysis.Analyzers {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
@@ -48,19 +68,19 @@ func main() {
 
 	suite := analysis.Analyzers
 	if *only != "" {
-		byName := make(map[string]*analysis.Analyzer)
-		for _, a := range analysis.Analyzers {
-			byName[a.Name] = a
-		}
 		suite = nil
 		for _, name := range strings.Split(*only, ",") {
-			a, ok := byName[name]
-			if !ok {
+			a := analysis.AnalyzerByName(name)
+			if a == nil {
 				fmt.Fprintf(os.Stderr, "lotterylint: unknown analyzer %q\n", name)
 				os.Exit(2)
 			}
 			suite = append(suite, a)
 		}
+	}
+	if *updateBaseline && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "lotterylint: -update-baseline requires -baseline")
+		os.Exit(2)
 	}
 
 	patterns := flag.Args()
@@ -73,20 +93,65 @@ func main() {
 		os.Exit(2)
 	}
 
-	found := 0
-	for _, pkg := range pkgs {
-		diags, err := analysis.RunScoped(suite, pkg)
+	diags, err := analysis.RunSuite(suite, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lotterylint:", err)
+		os.Exit(2)
+	}
+
+	var baseline *analysis.Baseline
+	if *baselinePath != "" && !*updateBaseline {
+		baseline, err = analysis.LoadBaseline(*baselinePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lotterylint:", err)
 			os.Exit(2)
 		}
-		for _, d := range diags {
-			fmt.Println(d)
-			found++
-		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "lotterylint: %d finding(s)\n", found)
+
+	if *updateBaseline {
+		prev, _ := analysis.LoadBaseline(*baselinePath)
+		if err := analysis.WriteBaseline(*baselinePath, ".", diags, prev); err != nil {
+			fmt.Fprintln(os.Stderr, "lotterylint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "lotterylint: wrote %d finding(s) to %s\n", len(diags), *baselinePath)
+		return
+	}
+
+	news, stale := diags, []analysis.BaselineEntry(nil)
+	if baseline != nil {
+		news, stale = baseline.Diff(".", diags)
+	}
+
+	emit := func(d analysis.Diagnostic) {
+		if *jsonOut {
+			out, _ := json.Marshal(struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Column   int    `json:"column"`
+				Analyzer string `json:"analyzer"`
+				Message  string `json:"message"`
+			}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Println(d)
+	}
+	for _, d := range news {
+		emit(d)
+	}
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "lotterylint: stale baseline entry (finding no longer produced): %s: %s: %s\n",
+			e.File, e.Analyzer, e.Message)
+	}
+
+	switch {
+	case len(news) > 0:
+		fmt.Fprintf(os.Stderr, "lotterylint: %d new finding(s)\n", len(news))
 		os.Exit(1)
+	case len(stale) > 0:
+		fmt.Fprintf(os.Stderr, "lotterylint: %d stale baseline entr(ies); delete them from %s\n",
+			len(stale), *baselinePath)
+		os.Exit(3)
 	}
 }

@@ -5,16 +5,23 @@
 //
 // The x/tools module is deliberately not imported: the repository is
 // zero-dependency by policy, and the subset of the go/analysis API the
-// suite needs — an Analyzer with a Run function over a type-checked
-// package, diagnostics with positions, and a fixture-based test
-// harness — is small enough to carry locally. The shapes mirror
-// x/tools so the analyzers could be ported to a real multichecker by
-// changing imports only.
+// suite needs — analyzers over type-checked packages, diagnostics with
+// positions, a fixture-based test harness — is small enough to carry
+// locally.
 //
-// Analyzers are pure functions of a type-checked package; scoping
-// (which packages an analyzer applies to) is declared on the Analyzer
-// and enforced by the driver, so tests can run any analyzer against
-// any fixture directly.
+// Since lotterylint v2 the framework is inter-procedural: Load pulls
+// in every first-party package including its _test.go files, and a
+// Program (see callgraph.go) resolves calls across packages — static
+// calls, function values, and first-party interface dispatch — so the
+// concurrency analyzers (lockorder, atomicpub, blockinglock) reason
+// about what a function reaches, not just what it contains. Analyzers
+// still run and report per package; the Program carries the shared,
+// memoized program-wide facts. detsource and ctxflow remain
+// single-package checks.
+//
+// Analyzer scoping (which packages, whether _test.go files count) is
+// declared on the Analyzer and enforced by the driver, so tests can
+// run any analyzer against any fixture directly.
 package analysis
 
 import (
@@ -38,13 +45,20 @@ type Analyzer struct {
 	// package. The driver consults it; tests bypass it to run
 	// analyzers against fixtures directly.
 	AppliesTo func(pkgPath string) bool
-	// Run performs the check, reporting findings via pass.Report.
+	// SkipTests suppresses diagnostics positioned in _test.go files.
+	// The concurrency analyzers keep tests in scope (a data race in a
+	// test is still a data race); the determinism and context-flow
+	// contracts bind library code only.
+	SkipTests bool
+	// Run performs the check, reporting findings via pass.Reportf.
 	Run func(pass *Pass) error
 }
 
-// Pass carries one analyzer's view of one type-checked package.
+// Pass carries one analyzer's view of one type-checked package, plus
+// the Program for inter-procedural facts.
 type Pass struct {
 	Analyzer  *Analyzer
+	Prog      *Program
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
@@ -66,9 +80,13 @@ func (d Diagnostic) String() string {
 }
 
 // Reportf records a finding at pos unless an ignore directive for this
-// analyzer covers the position's line.
+// analyzer covers the position's line, or the analyzer skips test
+// files and the position is in one.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
+	if p.Analyzer.SkipTests && IsTestFile(position.Filename) {
+		return
+	}
 	if p.pkg != nil && p.pkg.ignored(p.Analyzer.Name, position) {
 		return
 	}
@@ -79,13 +97,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run applies the analyzer to a loaded package and returns its
-// diagnostics sorted by position. It does not consult
+// Run applies the analyzer to one package of the program and returns
+// its diagnostics sorted by position. It does not consult
 // Analyzer.AppliesTo — that is the driver's job (see RunScoped).
-func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+func (prog *Program) Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer:  a,
+		Prog:      prog,
 		Fset:      pkg.Fset,
 		Files:     pkg.Syntax,
 		Pkg:       pkg.Types,
@@ -102,13 +121,13 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 
 // RunScoped applies every analyzer whose AppliesTo accepts the package
 // and returns the merged, position-sorted diagnostics.
-func RunScoped(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
+func (prog *Program) RunScoped(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
 	var all []Diagnostic
 	for _, a := range analyzers {
 		if a.AppliesTo != nil && !a.AppliesTo(pkg.PkgPath) {
 			continue
 		}
-		diags, err := Run(a, pkg)
+		diags, err := prog.Run(a, pkg)
 		if err != nil {
 			return nil, err
 		}
@@ -116,6 +135,77 @@ func RunScoped(analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
 	}
 	sortDiagnostics(all)
 	return all, nil
+}
+
+// Run applies one analyzer to a package as a single-package program —
+// the fixture harness's entry point. Inter-procedural facts stay
+// within the package.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return NewProgram([]*Package{pkg}).Run(a, pkg)
+}
+
+// RunSuite runs the scoped analyzer suite over every package of the
+// program and returns the merged diagnostics plus directive findings
+// (unknown analyzer names, missing reasons, stale waivers). This is
+// the driver's entry point: program-wide facts are built once and
+// shared across packages.
+func RunSuite(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	prog := NewProgram(pkgs)
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := prog.RunScoped(analyzers, pkg)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	all = append(all, CheckDirectives(analyzers, pkgs)...)
+	sortDiagnostics(all)
+	return all, nil
+}
+
+// CheckDirectives audits //lint:ignore usage after a run: directives
+// naming analyzers that do not exist, directives with no reason, and
+// stale directives that suppressed nothing are all findings — a waiver
+// that does not waive anything real is debt masquerading as
+// justification. Must be called after the analyzers have run, since
+// "stale" is defined by this run's suppressions.
+func CheckDirectives(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	report := func(d *Directive, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Analyzer: "lintdirective",
+			Pos:      d.Pos,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, pkg := range pkgs {
+		for _, d := range pkg.directives {
+			if d.Malformed {
+				report(d, "//lint:ignore directive without a reason; write //lint:ignore <analyzer> <why>")
+				continue
+			}
+			unknown := false
+			for _, n := range d.Names {
+				if n != "all" && !known[n] {
+					report(d, "//lint:ignore names unknown analyzer %q", n)
+					unknown = true
+				}
+			}
+			// An unknown name explains the staleness by itself; one
+			// finding per mistake.
+			if !d.Used && !unknown {
+				report(d, "stale //lint:ignore (%s): no finding left to suppress; delete it",
+					strings.Join(d.Names, ","))
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out
 }
 
 func sortDiagnostics(diags []Diagnostic) {
@@ -127,15 +217,19 @@ func sortDiagnostics(diags []Diagnostic) {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Message < diags[j].Message
 	})
 }
 
 // Analyzers is the repository's full analyzer suite, in the order the
 // driver runs them.
 var Analyzers = []*Analyzer{
-	LockEmitAnalyzer,
-	AtomicFieldAnalyzer,
+	LockOrderAnalyzer,
+	AtomicPubAnalyzer,
+	BlockingLockAnalyzer,
 	DetSourceAnalyzer,
 	CtxFlowAnalyzer,
 }
@@ -153,4 +247,14 @@ func pathSuffixMatcher(suffixes ...string) func(string) bool {
 		}
 		return false
 	}
+}
+
+// AnalyzerByName returns the named analyzer from the suite, or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
 }

@@ -2,13 +2,29 @@ package analysis
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 )
 
-// runFixture loads ./testdata/src/<name>, runs one analyzer over it
-// (bypassing AppliesTo, which is driver policy), and checks the
-// diagnostics against the fixture's own expectations: a line carrying
+// loadFixture loads ./testdata/src/<name> and every package beneath it
+// into one Program, so inter-procedural fixtures can spread lock
+// classes and helpers across packages the way the real tree does.
+func loadFixture(t *testing.T, name string) (*Program, []*Package) {
+	t.Helper()
+	pkgs, err := Load(".", "./testdata/src/"+name+"/...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s: no packages loaded", name)
+	}
+	return NewProgram(pkgs), pkgs
+}
+
+// runFixture runs one analyzer over a fixture tree (bypassing
+// AppliesTo, which is driver policy) and checks the diagnostics
+// against the fixture's own expectations: a line carrying
 //
 //	// want "substring"
 //
@@ -18,41 +34,39 @@ import (
 // of x/tools' analysistest.
 func runFixture(t *testing.T, a *Analyzer, name string) {
 	t.Helper()
-	pkgs, err := Load(".", "./testdata/src/"+name)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", name, err)
-	}
-	// Subpackages (stubs the fixture imports) load as dependencies
-	// only; the fixture root is the single listed target.
-	if len(pkgs) != 1 {
-		t.Fatalf("fixture %s: got %d packages, want 1", name, len(pkgs))
-	}
-	pkg := pkgs[0]
+	prog, pkgs := loadFixture(t, name)
 
-	diags, err := Run(a, pkg)
-	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, name, err)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		d, err := prog.Run(a, pkg)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+		diags = append(diags, d...)
 	}
+	sortDiagnostics(diags)
 
 	type key struct {
 		file string
 		line int
 	}
 	wants := make(map[key][]string)
-	for _, f := range pkg.Syntax {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, `// want "`)
-				if !ok {
-					continue
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, `// want "`)
+					if !ok {
+						continue
+					}
+					needle, ok := strings.CutSuffix(rest, `"`)
+					if !ok {
+						t.Fatalf("%s: malformed want comment %q", name, c.Text)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], needle)
 				}
-				needle, ok := strings.CutSuffix(rest, `"`)
-				if !ok {
-					t.Fatalf("%s: malformed want comment %q", name, c.Text)
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				k := key{pos.Filename, pos.Line}
-				wants[k] = append(wants[k], needle)
 			}
 		}
 	}
@@ -74,14 +88,177 @@ func runFixture(t *testing.T, a *Analyzer, name string) {
 	}
 }
 
-func TestLockEmitFixture(t *testing.T)    { runFixture(t, LockEmitAnalyzer, "lockemit") }
-func TestAtomicFieldFixture(t *testing.T) { runFixture(t, AtomicFieldAnalyzer, "atomicfield") }
-func TestDetSourceFixture(t *testing.T)   { runFixture(t, DetSourceAnalyzer, "detsource") }
-func TestCtxFlowFixture(t *testing.T)     { runFixture(t, CtxFlowAnalyzer, "ctxflow") }
+func TestLockOrderFixture(t *testing.T) { runFixture(t, LockOrderAnalyzer, "lockorder") }
+func TestAtomicPubFixture(t *testing.T) { runFixture(t, AtomicPubAnalyzer, "atomicpub") }
+func TestBlockingLockFixture(t *testing.T) {
+	runFixture(t, BlockingLockAnalyzer, "blockinglock")
+}
+func TestDetSourceFixture(t *testing.T) { runFixture(t, DetSourceAnalyzer, "detsource") }
+func TestCtxFlowFixture(t *testing.T)   { runFixture(t, CtxFlowAnalyzer, "ctxflow") }
+
+// The retired single-package analyzers' fixtures pin backward
+// compatibility: blockinglock subsumes lockemit's intra-procedural
+// checks, atomicpub subsumes atomicfield's, message for message.
+func TestLockEmitFixtureStillGreen(t *testing.T) {
+	runFixture(t, BlockingLockAnalyzer, "lockemit")
+}
+func TestAtomicFieldFixtureStillGreen(t *testing.T) {
+	runFixture(t, AtomicPubAnalyzer, "atomicfield")
+}
+
+// TestIgnoreDirectives pins //lint:ignore semantics per analyzer:
+// suppression is scoped to the named analyzer, and the post-run audit
+// reports malformed directives, unknown analyzer names, and stale
+// waivers — each exactly once.
+func TestIgnoreDirectives(t *testing.T) {
+	prog, pkgs := loadFixture(t, "ignores")
+
+	cases := []struct {
+		analyzer *Analyzer
+		want     []string // expected message substrings, in position order
+	}{
+		// relock's double acquisition is waived by name: silent.
+		{LockOrderAnalyzer, nil},
+		// wrongScope's waiver names lockorder, malformed's has no
+		// reason: neither suppresses blockinglock.
+		{BlockingLockAnalyzer, []string{
+			"blocking call time.Sleep",
+			"blocking call time.Sleep",
+		}},
+		{DetSourceAnalyzer, nil},
+		{AtomicPubAnalyzer, nil},
+	}
+	for _, tc := range cases {
+		var got []Diagnostic
+		for _, pkg := range pkgs {
+			d, err := prog.Run(tc.analyzer, pkg)
+			if err != nil {
+				t.Fatalf("running %s: %v", tc.analyzer.Name, err)
+			}
+			got = append(got, d...)
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: got %d diagnostics, want %d: %v", tc.analyzer.Name, len(got), len(tc.want), got)
+			continue
+		}
+		for i, d := range got {
+			if !strings.Contains(d.Message, tc.want[i]) {
+				t.Errorf("%s: diagnostic %d = %q, want substring %q", tc.analyzer.Name, i, d.Message, tc.want[i])
+			}
+		}
+	}
+
+	// The audit runs after the analyzers so Used is settled.
+	audit := CheckDirectives(Analyzers, pkgs)
+	wantAudit := []string{
+		`directive without a reason`,
+		`unknown analyzer "nosuchcheck"`,
+		`stale //lint:ignore (atomicpub)`,
+		`stale //lint:ignore (lockorder)`,
+	}
+	var gotAudit []string
+	for _, d := range audit {
+		gotAudit = append(gotAudit, d.Message)
+	}
+	if len(gotAudit) != len(wantAudit) {
+		t.Fatalf("directive audit: got %d findings %v, want %d", len(gotAudit), gotAudit, len(wantAudit))
+	}
+	matched := make([]bool, len(gotAudit))
+	for _, w := range wantAudit {
+		found := false
+		for i, g := range gotAudit {
+			if !matched[i] && strings.Contains(g, w) {
+				matched[i], found = true, true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("directive audit: no finding containing %q in %v", w, gotAudit)
+		}
+	}
+}
+
+// TestUnknownAnalyzerRejected pins the driver-facing lookup: only
+// suite names resolve.
+func TestUnknownAnalyzerRejected(t *testing.T) {
+	for _, a := range Analyzers {
+		if AnalyzerByName(a.Name) != a {
+			t.Errorf("AnalyzerByName(%q) did not round-trip", a.Name)
+		}
+	}
+	for _, name := range []string{"nosuchcheck", "lockemit", "atomicfield", ""} {
+		if got := AnalyzerByName(name); got != nil {
+			t.Errorf("AnalyzerByName(%q) = %v, want nil", name, got)
+		}
+	}
+}
+
+// TestBaselineDiff pins the accept/fail split: baselined findings pass,
+// new findings fail, and baseline entries nothing matched are stale.
+func TestBaselineDiff(t *testing.T) {
+	mk := func(analyzer, file, msg string) Diagnostic {
+		d := Diagnostic{Analyzer: analyzer, Message: msg}
+		d.Pos.Filename, d.Pos.Line = file, 10
+		return d
+	}
+	b := &Baseline{Findings: []BaselineEntry{
+		{Analyzer: "lockorder", File: "internal/rt/dispatcher.go", Message: "accepted inversion", Reason: "documented"},
+		{Analyzer: "atomicpub", File: "internal/rt/shard.go", Message: "paid off", Reason: "was fixed"},
+	}}
+	diags := []Diagnostic{
+		mk("lockorder", "internal/rt/dispatcher.go", "accepted inversion"), // baselined
+		mk("blockinglock", "internal/rt/observer.go", "fresh finding"),     // new
+	}
+	news, stale := b.Diff("", diags)
+	if len(news) != 1 || news[0].Message != "fresh finding" {
+		t.Errorf("news = %v, want the one fresh finding", news)
+	}
+	if len(stale) != 1 || stale[0].Message != "paid off" {
+		t.Errorf("stale = %v, want the one paid-off entry", stale)
+	}
+
+	// Line moves must not invalidate the baseline: identity is
+	// analyzer+file+message.
+	moved := mk("lockorder", "internal/rt/dispatcher.go", "accepted inversion")
+	moved.Pos.Line = 999
+	news, _ = b.Diff("", []Diagnostic{moved})
+	if len(news) != 0 {
+		t.Errorf("line move broke baseline match: %v", news)
+	}
+}
+
+// TestBaselineRoundTrip pins the on-disk format and reason carryover.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/lint_baseline.json"
+	d := Diagnostic{Analyzer: "lockorder", Message: "kept"}
+	d.Pos.Filename = dir + "/pkg/file.go"
+	prev := &Baseline{Findings: []BaselineEntry{
+		{Analyzer: "lockorder", File: "pkg/file.go", Message: "kept", Reason: "still justified"},
+	}}
+	if err := WriteBaseline(path, dir, []Diagnostic{d}, prev); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Findings) != 1 {
+		t.Fatalf("got %d findings, want 1", len(got.Findings))
+	}
+	e := got.Findings[0]
+	if e.File != "pkg/file.go" || e.Reason != "still justified" {
+		t.Errorf("round-trip entry = %+v", e)
+	}
+	if _, err := LoadBaseline(dir + "/missing.json"); err == nil {
+		t.Error("missing baseline loaded without error; a typo'd path must fail loudly")
+	}
+}
 
 // TestSuiteCleanOnRepo is the acceptance gate in test form: the full
-// analyzer suite, driver-scoped exactly as cmd/lotterylint runs it,
-// must be clean over the whole repository.
+// analyzer suite, loaded and scoped exactly as cmd/lotterylint runs
+// it, must be clean over the whole repository modulo the checked-in
+// baseline — and the baseline itself must carry no stale entries.
 func TestSuiteCleanOnRepo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("repo-wide load is not short")
@@ -93,20 +270,28 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
-	for _, pkg := range pkgs {
-		diags, err := RunScoped(Analyzers, pkg)
-		if err != nil {
-			t.Fatalf("analyzing %s: %v", pkg.PkgPath, err)
-		}
-		for _, d := range diags {
-			t.Errorf("%s", d)
-		}
+	diags, err := RunSuite(Analyzers, pkgs)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	news, stale := diags, []BaselineEntry(nil)
+	if b, err := LoadBaseline("../../lint_baseline.json"); err == nil {
+		news, stale = b.Diff("../..", diags)
+	} else if !os.IsNotExist(err) {
+		t.Fatalf("loading baseline: %v", err)
+	}
+	for _, d := range news {
+		t.Errorf("new finding: %s", d)
+	}
+	for _, e := range stale {
+		t.Errorf("stale baseline entry: %s: %s: %s", e.File, e.Analyzer, e.Message)
 	}
 }
 
 // TestAnalyzerScoping pins each analyzer's package scope: detsource
 // must cover exactly the deterministic packages, ctxflow only the
-// binaries and examples, and the concurrency analyzers everything.
+// binaries and examples, and the concurrency analyzers everything —
+// tests included.
 func TestAnalyzerScoping(t *testing.T) {
 	cases := []struct {
 		analyzer *Analyzer
@@ -123,14 +308,21 @@ func TestAnalyzerScoping(t *testing.T) {
 		{CtxFlowAnalyzer, "repro/cmd/lotteryd", true},
 		{CtxFlowAnalyzer, "repro/examples/quickstart", true},
 		{CtxFlowAnalyzer, "repro/internal/rt", false},
-		{LockEmitAnalyzer, "repro/internal/rt", true},
-		{LockEmitAnalyzer, "repro/internal/metrics", true},
-		{AtomicFieldAnalyzer, "anything/at/all", true},
+		{LockOrderAnalyzer, "repro/internal/rt", true},
+		{AtomicPubAnalyzer, "anything/at/all", true},
+		{BlockingLockAnalyzer, "repro/internal/metrics", true},
 	}
 	for _, tc := range cases {
 		applies := tc.analyzer.AppliesTo == nil || tc.analyzer.AppliesTo(tc.pkgPath)
 		if applies != tc.want {
 			t.Errorf("%s.AppliesTo(%q) = %v, want %v", tc.analyzer.Name, tc.pkgPath, applies, tc.want)
+		}
+	}
+	for _, a := range Analyzers {
+		wantSkip := a == DetSourceAnalyzer || a == CtxFlowAnalyzer
+		if a.SkipTests != wantSkip {
+			t.Errorf("%s.SkipTests = %v, want %v (concurrency analyzers must cover _test.go)",
+				a.Name, a.SkipTests, wantSkip)
 		}
 	}
 }

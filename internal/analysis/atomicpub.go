@@ -1,0 +1,365 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicPubAnalyzer enforces the repository's publication contract
+// (DESIGN.md §6), generalizing the retired atomicfield check from one
+// package to the whole program: a struct field or package-level
+// variable that is EVER accessed through sync/atomic — anywhere in the
+// program, tests included — must be accessed atomically EVERYWHERE.
+// It reports
+//
+//  1. every plain (non-atomic) read or write of such a variable, in
+//     whatever package or _test.go file it appears — a debug helper or
+//     invariant check reading a published counter plainly is a data
+//     race that -race only catches if the two sides collide in a run;
+//  2. taking the variable's address outside a sync/atomic operand
+//     position — an escaped address is a plain access waiting to
+//     happen;
+//  3. struct fields used with 64-bit sync/atomic functions at offsets
+//     that are not 8-byte aligned under 32-bit (GOARCH=386) layout,
+//     where the access traps at runtime.
+//
+// Addresses passed to "atomic transporter" parameters are sanctioned:
+// a parameter whose every use in its function is as a sync/atomic
+// operand (or forwarded to another transporter) extends the atomic
+// access contract rather than breaking it, so `bump(&s.count)` with
+// `func bump(p *int64) { atomic.AddInt64(p, 1) }` is a single atomic
+// access, not an escape. This also means the analysis sees THROUGH
+// one or more levels of call indirection: the field picks up its
+// "atomic" classification from the transporter's body, and any plain
+// access elsewhere is flagged.
+//
+// Fields of the typed atomic.Int64/Uint64 kinds are exempt: they carry
+// their own alignment and forbid plain access by construction (prefer
+// them — pendingPub and weightPub in internal/rt are the models).
+var AtomicPubAnalyzer = &Analyzer{
+	Name: "atomicpub",
+	Doc:  "flags plain access to, and escaping addresses of, variables published via sync/atomic, plus misaligned 64-bit atomics",
+	Run:  runAtomicPub,
+}
+
+// atomicFacts is the program-wide half of the analysis, built once:
+// which variables are atomically published, where, and which operand
+// expressions are sanctioned atomic uses.
+type atomicFacts struct {
+	uses       map[*types.Var][]token.Pos // atomic access sites per variable
+	is64       map[*types.Var]bool        // used with a 64-bit atomic op
+	sanctioned map[ast.Expr]bool          // operand exprs that ARE the atomic access
+}
+
+func (p *Program) atomics() *atomicFacts {
+	if p.atomicOnce {
+		return p.atomicFacts
+	}
+	p.atomicOnce = true
+	facts := &atomicFacts{
+		uses:       make(map[*types.Var][]token.Pos),
+		is64:       make(map[*types.Var]bool),
+		sanctioned: make(map[ast.Expr]bool),
+	}
+
+	// Transporter discovery: parameters used exclusively as sync/atomic
+	// operands (or forwarded to other transporters). Iterate to a fixed
+	// point so chains of forwarding helpers resolve.
+	transporters := make(map[*types.Var]bool)
+	for {
+		grew := false
+		for _, pkg := range p.Pkgs {
+			for _, f := range pkg.Syntax {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					for _, param := range paramVars(pkg.TypesInfo, fd) {
+						if transporters[param] {
+							continue
+						}
+						if _, ok := param.Type().Underlying().(*types.Pointer); !ok {
+							continue
+						}
+						if paramOnlyAtomic(pkg.TypesInfo, fd.Body, param, transporters) {
+							transporters[param] = true
+							grew = true
+						}
+					}
+				}
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+
+	// Atomic-use collection: &v as a sync/atomic operand, or &v passed
+	// in transporter position.
+	for _, pkg := range p.Pkgs {
+		info := pkg.TypesInfo
+		for _, f := range pkg.Syntax {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil {
+					return true
+				}
+				atomicOp := fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+				var sig *types.Signature
+				if !atomicOp {
+					sig, _ = fn.Type().(*types.Signature)
+					if sig == nil {
+						return true
+					}
+				}
+				for i, arg := range call.Args {
+					addr, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || addr.Op != token.AND {
+						continue
+					}
+					operand := ast.Unparen(addr.X)
+					v := referencedVar(info, operand)
+					if v == nil || (!v.IsField() && isLocalVar(v)) {
+						continue // locals are visible at a glance; the contract is about shared state
+					}
+					switch {
+					case atomicOp && i == 0:
+						facts.uses[v] = append(facts.uses[v], call.Pos())
+						facts.sanctioned[operand] = true
+						if strings.HasSuffix(fn.Name(), "64") {
+							facts.is64[v] = true
+						}
+					case !atomicOp && i < sig.Params().Len() && transporters[sig.Params().At(i)]:
+						facts.uses[v] = append(facts.uses[v], call.Pos())
+						facts.sanctioned[operand] = true
+						if isWord64(v.Type()) {
+							facts.is64[v] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	p.atomicFacts = facts
+	return facts
+}
+
+func paramVars(info *types.Info, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// paramOnlyAtomic reports whether every use of param inside body is as
+// the operand of a sync/atomic call or an argument in another
+// transporter position.
+func paramOnlyAtomic(info *types.Info, body *ast.BlockStmt, param *types.Var, transporters map[*types.Var]bool) bool {
+	found := false
+	ok := true
+	sanctionedIdents := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		atomicOp := fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+		sig, _ := fn.Type().(*types.Signature)
+		for i, arg := range call.Args {
+			id, isIdent := ast.Unparen(arg).(*ast.Ident)
+			if !isIdent || info.Uses[id] != param {
+				continue
+			}
+			if (atomicOp && i == 0) ||
+				(sig != nil && i < sig.Params().Len() && transporters[sig.Params().At(i)]) {
+				sanctionedIdents[id] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || info.Uses[id] != param {
+			return true
+		}
+		found = true
+		if !sanctionedIdents[id] {
+			ok = false
+		}
+		return true
+	})
+	return found && ok
+}
+
+func isWord64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Int64 || b.Kind() == types.Uint64)
+}
+
+func runAtomicPub(pass *Pass) error {
+	facts := pass.Prog.atomics()
+	if len(facts.uses) == 0 {
+		return nil
+	}
+
+	// Per-package pass: any other appearance of an atomically-published
+	// variable is a plain access; a non-sanctioned &v is an escaping
+	// address.
+	skip := make(map[ast.Expr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.UnaryExpr:
+				if x.Op != token.AND {
+					return true
+				}
+				operand := ast.Unparen(x.X)
+				if facts.sanctioned[operand] {
+					return false
+				}
+				v := referencedVar(pass.TypesInfo, operand)
+				if v == nil || facts.uses[v] == nil {
+					return true
+				}
+				first := pass.Fset.Position(facts.uses[v][0])
+				pass.Reportf(x.Pos(),
+					"address of %s escapes outside sync/atomic (accessed atomically at %s:%d); every access must go through sync/atomic",
+					v.Name(), first.Filename, first.Line)
+				skip[operand] = true
+				return false
+			case *ast.SelectorExpr:
+				if facts.sanctioned[ast.Expr(x)] || skip[ast.Expr(x)] {
+					return false
+				}
+				sel, ok := pass.TypesInfo.Selections[x]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				v, _ := sel.Obj().(*types.Var)
+				reportPlain(pass, facts, v, x.Pos())
+			case *ast.Ident:
+				if facts.sanctioned[ast.Expr(x)] || skip[ast.Expr(x)] {
+					return false
+				}
+				v, _ := pass.TypesInfo.Uses[x].(*types.Var)
+				if v != nil && v.IsField() {
+					return true // fields are reported at their selector, not the Sel ident
+				}
+				reportPlain(pass, facts, v, x.Pos())
+			}
+			return true
+		})
+	}
+
+	reportMisaligned64(pass, facts.is64)
+	return nil
+}
+
+func reportPlain(pass *Pass, facts *atomicFacts, v *types.Var, pos token.Pos) {
+	if v == nil || facts.uses[v] == nil {
+		return
+	}
+	first := pass.Fset.Position(facts.uses[v][0])
+	pass.Reportf(pos,
+		"plain access to %s, which is accessed atomically at %s:%d; use sync/atomic for every access or a typed atomic",
+		v.Name(), first.Filename, first.Line)
+}
+
+// reportMisaligned64 checks 32-bit layout for fields used with 64-bit
+// atomics: on 386/arm, a 64-bit atomic on a non-8-byte-aligned address
+// faults, and Go only guarantees alignment for the first word of an
+// allocation (sync/atomic "Bugs" section).
+func reportMisaligned64(pass *Pass, atomic64 map[*types.Var]bool) {
+	if len(atomic64) == 0 {
+		return
+	}
+	sizes := types.SizesFor("gc", "386")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			// Generic declarations have no layout until instantiated
+			// (and Offsetsof panics on type-parameter fields).
+			if ts.TypeParams != nil {
+				return true
+			}
+			obj := pass.TypesInfo.Defs[ts.Name]
+			if obj == nil {
+				return true
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			fields := make([]*types.Var, st.NumFields())
+			for i := range fields {
+				fields[i] = st.Field(i)
+			}
+			offsets := sizes.Offsetsof(fields)
+			for i, fv := range fields {
+				if atomic64[fv] && offsets[i]%8 != 0 {
+					pass.Reportf(fv.Pos(),
+						"field %s is used with 64-bit sync/atomic but sits at 32-bit offset %d (not 8-byte aligned); move it first in %s or use atomic.%s",
+						fv.Name(), offsets[i], obj.Name(), typed64For(fv))
+				}
+			}
+			return true
+		})
+	}
+}
+
+func typed64For(v *types.Var) string {
+	if b, ok := v.Type().Underlying().(*types.Basic); ok && b.Kind() == types.Int64 {
+		return "Int64"
+	}
+	return "Uint64"
+}
+
+// referencedVar resolves a selector or identifier to the variable it
+// denotes, or nil.
+func referencedVar(info *types.Info, e ast.Expr) *types.Var {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+		v, _ := info.Uses[x.Sel].(*types.Var)
+		return v
+	case *ast.Ident:
+		v, _ := info.Uses[x].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// isLocalVar reports whether v is function-local (not a field, not
+// package-scoped).
+func isLocalVar(v *types.Var) bool {
+	if v.IsField() || v.Parent() == nil || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() != v.Pkg().Scope()
+}

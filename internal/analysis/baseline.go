@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BaselineEntry is one accepted finding: a diagnostic the repository
+// has decided to live with, together with the written justification
+// the acceptance criteria demand. Line numbers are deliberately not
+// part of the identity — refactors move findings around; a finding is
+// the same finding as long as the analyzer, file, and message match.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // relative to the baseline file's directory
+	Message  string `json:"message"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// Baseline is the checked-in set of accepted findings
+// (lint_baseline.json at the repository root).
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an error —
+// the driver treats "no baseline" as an empty one explicitly, so a
+// typo'd -baseline path fails loudly instead of accepting everything.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b := new(Baseline)
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	return b, nil
+}
+
+// WriteBaseline writes the diagnostics as the new accepted set, file
+// paths relative to dir. Reasons carry over from the previous baseline
+// where the entry matches; new entries get a placeholder that the
+// directive audit of a human review should replace.
+func WriteBaseline(path, dir string, diags []Diagnostic, prev *Baseline) error {
+	prevReason := make(map[string]string)
+	if prev != nil {
+		for _, e := range prev.Findings {
+			prevReason[e.Analyzer+"\x00"+e.File+"\x00"+e.Message] = e.Reason
+		}
+	}
+	b := &Baseline{Findings: []BaselineEntry{}}
+	for _, d := range diags {
+		e := BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     relTo(dir, d.Pos.Filename),
+			Message:  d.Message,
+		}
+		e.Reason = prevReason[e.Analyzer+"\x00"+e.File+"\x00"+e.Message]
+		if e.Reason == "" {
+			e.Reason = "TODO: justify or fix"
+		}
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Diff splits a run's diagnostics against the baseline: findings not
+// in the baseline are new (fail the build), baseline entries no
+// diagnostic matched are stale (the debt was paid — the entry must be
+// deleted so the baseline never shadows a regression).
+func (b *Baseline) Diff(dir string, diags []Diagnostic) (news []Diagnostic, stale []BaselineEntry) {
+	type key struct{ analyzer, file, message string }
+	accepted := make(map[key]int) // entry index, for stale tracking
+	matched := make([]bool, len(b.Findings))
+	for i, e := range b.Findings {
+		accepted[key{e.Analyzer, e.File, e.Message}] = i
+	}
+	for _, d := range diags {
+		k := key{d.Analyzer, relTo(dir, d.Pos.Filename), d.Message}
+		if i, ok := accepted[k]; ok {
+			matched[i] = true
+			continue
+		}
+		news = append(news, d)
+	}
+	for i, e := range b.Findings {
+		if !matched[i] {
+			stale = append(stale, e)
+		}
+	}
+	return news, stale
+}
+
+// relTo renders path relative to dir when possible, for stable
+// baseline entries across checkouts.
+func relTo(dir, path string) string {
+	if dir == "" {
+		return path
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(abs, path)
+	if err != nil || rel == "" {
+		return path
+	}
+	return filepath.ToSlash(rel)
+}

@@ -23,7 +23,8 @@ var CtxFlowAnalyzer = &Analyzer{
 	AppliesTo: func(pkgPath string) bool {
 		return hasPathComponent(pkgPath, "cmd") || hasPathComponent(pkgPath, "examples")
 	},
-	Run: runCtxFlow,
+	SkipTests: true,
+	Run:       runCtxFlow,
 }
 
 func runCtxFlow(pass *Pass) error {

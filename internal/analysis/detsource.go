@@ -33,7 +33,8 @@ var DetSourceAnalyzer = &Analyzer{
 		"internal/sim", "internal/lottery", "internal/experiments", "internal/core",
 		"internal/rt/audit",
 	),
-	Run: runDetSource,
+	SkipTests: true,
+	Run:       runDetSource,
 }
 
 // randConstructors are the math/rand names that create explicit,

@@ -13,11 +13,17 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
 // Package is one loaded, parsed, type-checked package ready for
-// analysis.
+// analysis. When the package has in-package test files, the loaded
+// unit is the test variant (`go list -test`'s "p [p.test]"): the
+// regular sources plus the _test.go files, type-checked together, so
+// analyzers see test code under the same contracts as the code it
+// exercises. External test packages ("p_test") load as their own
+// Package.
 type Package struct {
 	PkgPath   string
 	Dir       string
@@ -26,9 +32,21 @@ type Package struct {
 	Types     *types.Package
 	TypesInfo *types.Info
 
-	// ignores maps file name -> source line -> analyzer names waived
-	// on that line by a //lint:ignore directive.
-	ignores map[string]map[int]map[string]bool
+	// directives are the //lint:ignore waivers collected from the
+	// package's comments, indexed by file and line in `ignores`.
+	directives []*Directive
+	ignores    map[string]map[int]*Directive
+}
+
+// Directive is one //lint:ignore waiver with its use tracked, so the
+// driver can report stale waivers (no finding left to suppress) and
+// unknown analyzer names.
+type Directive struct {
+	Pos       token.Position
+	Names     []string // analyzer names waived ("all" waives every one)
+	Reason    string
+	Used      bool // suppressed at least one finding this run
+	Malformed bool // no reason given: waives nothing
 }
 
 func (p *Package) ignored(analyzer string, pos token.Position) bool {
@@ -39,23 +57,39 @@ func (p *Package) ignored(analyzer string, pos token.Position) bool {
 	// A directive covers its own line (trailing comment) and the line
 	// directly below it (standalone comment above the statement).
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		if names := lines[line]; names != nil && (names[analyzer] || names["all"]) {
-			return true
+		d := lines[line]
+		if d == nil || d.Malformed {
+			continue
+		}
+		for _, n := range d.Names {
+			if n == analyzer || n == "all" {
+				d.Used = true
+				return true
+			}
 		}
 	}
 	return false
 }
 
+// IsTestFile reports whether filename is a _test.go file. Analyzers
+// with SkipTests set are not run over such files.
+func IsTestFile(filename string) bool {
+	return strings.HasSuffix(filename, "_test.go")
+}
+
 // listedPackage is the subset of `go list -json` output the loader
 // consumes.
 type listedPackage struct {
-	ImportPath string
-	Dir        string
-	Export     string
-	DepOnly    bool
-	Standard   bool
-	GoFiles    []string
-	Error      *struct{ Err string }
+	ImportPath  string
+	Dir         string
+	Export      string
+	DepOnly     bool
+	Standard    bool
+	ForTest     string
+	GoFiles     []string
+	TestGoFiles []string
+	ImportMap   map[string]string
+	Error       *struct{ Err string }
 }
 
 // Load lists the packages matching patterns (relative to dir, "" for
@@ -64,6 +98,14 @@ type listedPackage struct {
 // standard library and intra-module — are imported from compiler
 // export data produced by `go list -export`, so only the packages
 // under analysis are re-parsed.
+//
+// Test files are in scope: the listing runs with -test, and when a
+// package has in-package tests the test variant (regular plus _test.go
+// sources) replaces the plain package as the analysis unit; external
+// test packages ("p_test") are additional units. Each unit is
+// type-checked against its own import map, so test-only dependencies
+// and test-recompiled packages resolve exactly as the compiler sees
+// them.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -73,7 +115,8 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return nil, err
 	}
 
-	exports := make(map[string]string) // import path -> export data file
+	exports := make(map[string]string) // listed import path -> export data file
+	hasTestVariant := make(map[string]bool)
 	var targets []*listedPackage
 	for _, lp := range listed {
 		if lp.Error != nil && !lp.DepOnly {
@@ -82,34 +125,37 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if lp.Export != "" {
 			exports[lp.ImportPath] = lp.Export
 		}
-		if !lp.DepOnly && !lp.Standard {
-			targets = append(targets, lp)
+		if lp.DepOnly || lp.Standard {
+			continue
 		}
+		if strings.HasSuffix(lp.ImportPath, ".test") {
+			continue // synthesized test main: generated sources, nothing to analyze
+		}
+		if lp.ForTest != "" && canonicalPath(lp.ImportPath) == lp.ForTest {
+			// In-package test variant "p [p.test]": supersedes plain p.
+			hasTestVariant[lp.ForTest] = true
+		}
+		targets = append(targets, lp)
 	}
 
 	fset := token.NewFileSet()
-	lookup := func(path string) (io.ReadCloser, error) {
-		f, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("analysis: no export data for %q", path)
-		}
-		return os.Open(f)
-	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
-
 	var pkgs []*Package
 	for _, lp := range targets {
-		pkg, err := typeCheck(fset, imp, lp)
+		if lp.ForTest == "" && hasTestVariant[lp.ImportPath] {
+			continue // the test variant covers these files and more
+		}
+		pkg, err := typeCheck(fset, exports, lp)
 		if err != nil {
 			return nil, err
 		}
 		pkgs = append(pkgs, pkg)
 	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
 	return pkgs, nil
 }
 
 func goList(dir string, patterns []string) ([]*listedPackage, error) {
-	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	args := append([]string{"list", "-deps", "-export", "-test", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
@@ -131,15 +177,51 @@ func goList(dir string, patterns []string) ([]*listedPackage, error) {
 	return out, nil
 }
 
-func typeCheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
-	files := make([]*ast.File, 0, len(lp.GoFiles))
-	for _, name := range lp.GoFiles {
+// canonicalPath strips go list's test-variant suffix: both
+// "p [p.test]" and "p_test [p.test]" analyze under their bracket-free
+// import path, so analyzer scoping and diagnostics see stable paths.
+func canonicalPath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+func typeCheck(fset *token.FileSet, exports map[string]string, lp *listedPackage) (*Package, error) {
+	// A test variant ("p [p.test]") lists its _test.go sources in
+	// TestGoFiles; the unit is both sets together. Depending on the
+	// toolchain the variant's GoFiles may already repeat them, so
+	// dedupe rather than double-parse.
+	seen := make(map[string]bool, len(lp.GoFiles)+len(lp.TestGoFiles))
+	var names []string
+	for _, name := range append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...) {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
 		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: parse %s: %v", name, err)
 		}
 		files = append(files, f)
 	}
+	// Each unit gets its own importer wired to its own import map:
+	// inside a test unit, an import of "p" must resolve to p's
+	// test-recompiled export data, not the plain build.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := lp.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -147,19 +229,20 @@ func typeCheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Pac
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
+	pkgPath := canonicalPath(lp.ImportPath)
 	conf := types.Config{Importer: imp}
-	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-check %s: %v", lp.ImportPath, err)
 	}
 	pkg := &Package{
-		PkgPath:   lp.ImportPath,
+		PkgPath:   pkgPath,
 		Dir:       lp.Dir,
 		Fset:      fset,
 		Syntax:    files,
 		Types:     tpkg,
 		TypesInfo: info,
-		ignores:   make(map[string]map[int]map[string]bool),
+		ignores:   make(map[string]map[int]*Directive),
 	}
 	for _, f := range files {
 		pkg.collectDirectives(f)
@@ -184,25 +267,21 @@ func (p *Package) collectDirectives(f *ast.File) {
 			}
 			pos := p.Fset.Position(c.Pos())
 			fields := strings.Fields(text)
-			names := map[string]bool{}
-			reason := ""
+			d := &Directive{Pos: pos}
 			if len(fields) > 0 {
-				for _, n := range strings.Split(fields[0], ",") {
-					names[n] = true
-				}
-				reason = strings.Join(fields[1:], " ")
+				d.Names = strings.Split(fields[0], ",")
+				d.Reason = strings.Join(fields[1:], " ")
 			}
-			if reason == "" {
-				// A malformed directive waives nothing; record it as a
-				// poisoned line so the mistake is visible in tests.
-				names = map[string]bool{}
-			}
+			// A malformed directive waives nothing; it stays recorded so
+			// the driver can surface the mistake.
+			d.Malformed = d.Reason == ""
+			p.directives = append(p.directives, d)
 			lines := p.ignores[pos.Filename]
 			if lines == nil {
-				lines = make(map[int]map[string]bool)
+				lines = make(map[int]*Directive)
 				p.ignores[pos.Filename] = lines
 			}
-			lines[pos.Line] = names
+			lines[pos.Line] = d
 		}
 	}
 }

@@ -1,0 +1,56 @@
+// Package atomicpub is the atomicpub analyzer fixture: publication
+// violations the single-package atomicfield check could not see —
+// plain reads one call away from the atomic writes, escaping
+// addresses — plus the transporter pattern that must stay sanctioned.
+package atomicpub
+
+import "sync/atomic"
+
+type stats struct {
+	count int64
+	peak  int64
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.count, 1)
+}
+
+// readCount is the seeded violation behind one level of call
+// indirection: the atomic write is in bump, the plain read here; only
+// a program-wide view connects them.
+func (s *stats) readCount() int64 {
+	return s.count // want "plain access to count"
+}
+
+// escape leaks the field's address outside any sync/atomic operand: a
+// plain access waiting to happen at every dereference of the result.
+func (s *stats) escape() *int64 {
+	return &s.count // want "address of count escapes"
+}
+
+// transport is an atomic transporter: every use of p is a sync/atomic
+// operand, so passing &s.peak extends the atomic contract instead of
+// breaking it.
+func transport(p *int64, delta int64) {
+	for {
+		cur := atomic.LoadInt64(p)
+		if delta <= cur || atomic.CompareAndSwapInt64(p, cur, delta) {
+			return
+		}
+	}
+}
+
+// forward forwards to a transporter; the fixpoint must classify it as
+// one too.
+func forward(p *int64, delta int64) {
+	transport(p, delta)
+}
+
+func (s *stats) bumpPeakDirect(v int64)  { transport(&s.peak, v) }
+func (s *stats) bumpPeakForward(v int64) { forward(&s.peak, v) }
+
+// readPeak is still a violation: transporter writes are atomic
+// accesses, so the plain read mixes modes exactly like readCount.
+func (s *stats) readPeak() int64 {
+	return s.peak // want "plain access to peak"
+}

@@ -1,0 +1,100 @@
+// Package blockinglock is the inter-procedural half of the
+// blockinglock fixture suite (the retired lockemit analyzer's fixture
+// pins the intra-procedural behavior): blocking operations reached
+// through calls, function values, and interface dispatch while a
+// mutex is held.
+package blockinglock
+
+import (
+	"sync"
+	"time"
+)
+
+type engine struct {
+	mu   sync.Mutex
+	done chan struct{}
+	n    int
+}
+
+// emitDone blocks directly: channel send. Unlocked callers are fine.
+func (e *engine) emitDone() {
+	e.done <- struct{}{}
+}
+
+// nap blocks two calls deep from holdAndRest.
+func nap() {
+	time.Sleep(time.Millisecond)
+}
+
+func restCall() {
+	nap()
+}
+
+func (e *engine) holdAndSend() {
+	e.mu.Lock()
+	e.emitDone() // want "channel send"
+	e.mu.Unlock()
+}
+
+func (e *engine) holdAndRest() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	restCall() // want "blocking call time.Sleep"
+}
+
+func (e *engine) sendUnlocked() {
+	e.emitDone()
+	e.mu.Lock()
+	e.n++
+	e.mu.Unlock()
+}
+
+// hooks carries a function value; wire stores a blocking one, so a
+// locked call through the field must be flagged (flow-insensitive:
+// any function ever stored counts).
+type hooks struct {
+	fn func()
+}
+
+func wire(h *hooks) {
+	h.fn = nap
+}
+
+func (e *engine) holdAndHook(h *hooks) {
+	e.mu.Lock()
+	h.fn() // want "blocking call time.Sleep"
+	e.mu.Unlock()
+}
+
+// Sink is a first-party interface: CHA expands s.Flush to every
+// implementation in the program, and slowSink's blocks.
+type Sink interface {
+	Flush()
+}
+
+type slowSink struct{}
+
+func (slowSink) Flush() {
+	time.Sleep(time.Millisecond)
+}
+
+type fastSink struct{ n int }
+
+func (s *fastSink) Flush() { s.n++ }
+
+func (e *engine) holdAndFlush(s Sink) {
+	e.mu.Lock()
+	s.Flush() // want "blocking call time.Sleep"
+	e.mu.Unlock()
+}
+
+// helper chains that never block stay silent under lock.
+func (e *engine) calm() {
+	e.n++
+}
+
+func (e *engine) holdAndCalm() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.calm()
+}

@@ -1,0 +1,66 @@
+// Package ignores exercises //lint:ignore handling: per-analyzer
+// scoped suppression, unknown analyzer names, missing reasons, and
+// stale waivers. The directive-audit expectations live in
+// TestIgnoreDirectives, not in want comments, because the findings
+// here come from CheckDirectives rather than a single analyzer.
+package ignores
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type box struct {
+	hot int64 // first for 64-bit alignment on 32-bit targets
+	mu  sync.Mutex
+	n   int
+}
+
+// relock's double acquisition is waived for exactly the analyzer that
+// would report it: suppressed, and the directive counts as used.
+func (b *box) relock() {
+	b.mu.Lock()
+	//lint:ignore lockorder fixture: deliberate double acquisition
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// wrongScope names lockorder, but the finding on the next line belongs
+// to blockinglock: suppression must not leak across analyzers, so the
+// sleep is still reported and the directive goes stale.
+func (b *box) wrongScope() {
+	b.mu.Lock()
+	//lint:ignore lockorder fixture: names the wrong analyzer
+	time.Sleep(time.Millisecond)
+	b.mu.Unlock()
+}
+
+// now waives detsource with a written reason: used, silent.
+func now() int64 {
+	//lint:ignore detsource fixture: wall clock on purpose
+	return time.Now().UnixNano()
+}
+
+// unknownName waives an analyzer that does not exist.
+func unknownName() {
+	//lint:ignore nosuchcheck fixture: no analyzer by this name
+	_ = 0
+}
+
+// malformed gives no reason, so the directive waives nothing: the
+// sleep under lock is still reported, plus the malformed finding.
+func (b *box) malformed() {
+	b.mu.Lock()
+	//lint:ignore blockinglock
+	time.Sleep(time.Millisecond)
+	b.mu.Unlock()
+}
+
+// stale covers a line that produces no finding.
+func (b *box) stale() {
+	//lint:ignore atomicpub fixture: suppresses nothing
+	atomic.AddInt64(&b.hot, 1)
+}

@@ -1,0 +1,101 @@
+// Package lockorder is the lockorder analyzer fixture: a seeded
+// two-mutex ordering cycle (one leg direct, one leg through a helper,
+// so the diagnostic carries a real witness path) plus double
+// acquisition, and clean patterns that must stay silent.
+package lockorder
+
+import "sync"
+
+type registry struct {
+	amu sync.Mutex
+	bmu sync.Mutex
+	n   int
+}
+
+// withB acquires bmu — the helper leg of the seeded cycle, so the
+// cycle witness must spell lockAB → withB.
+func (r *registry) withB() {
+	r.bmu.Lock()
+	r.n++
+	r.bmu.Unlock()
+}
+
+// lockAB holds amu and reaches bmu through withB: the a→b leg.
+func (r *registry) lockAB() {
+	r.amu.Lock()
+	defer r.amu.Unlock()
+	r.withB() // want "lock-order cycle lockorder.registry.amu → lockorder.registry.bmu"
+}
+
+// lockBA holds bmu and takes amu directly: the b→a leg. The cycle is
+// reported once, at the first leg above.
+func (r *registry) lockBA() {
+	r.bmu.Lock()
+	defer r.bmu.Unlock()
+	r.amu.Lock()
+	r.n++
+	r.amu.Unlock()
+}
+
+// consistentNesting always takes amu before bmu from both entry
+// points: ordered, silent.
+type ordered struct {
+	outer sync.Mutex
+	inner sync.Mutex
+	n     int
+}
+
+func (o *ordered) first() {
+	o.outer.Lock()
+	defer o.outer.Unlock()
+	o.innerOp()
+}
+
+func (o *ordered) second() {
+	o.outer.Lock()
+	o.inner.Lock()
+	o.n++
+	o.inner.Unlock()
+	o.outer.Unlock()
+}
+
+func (o *ordered) innerOp() {
+	o.inner.Lock()
+	o.n++
+	o.inner.Unlock()
+}
+
+// relock is the non-reentrancy violation: the same mutex expression
+// locked twice in one frame.
+func (r *registry) relock() {
+	r.amu.Lock()
+	r.amu.Lock() // want "locked twice"
+	r.n++
+	r.amu.Unlock()
+	r.amu.Unlock()
+}
+
+// relockViaCall deadlocks the same way one call deep: amu is held and
+// the callee takes it again.
+func (r *registry) lockA() {
+	r.amu.Lock()
+	r.n++
+	r.amu.Unlock()
+}
+
+func (r *registry) relockViaCall() {
+	r.amu.Lock()
+	defer r.amu.Unlock()
+	r.lockA() // want "acquired while already held"
+}
+
+// sequential is clean: the locks are never nested, so no edge exists
+// in either direction.
+func (r *registry) sequential() {
+	r.amu.Lock()
+	r.n++
+	r.amu.Unlock()
+	r.bmu.Lock()
+	r.n++
+	r.bmu.Unlock()
+}

@@ -1,0 +1,30 @@
+//go:build !race
+
+package rt
+
+import "time"
+
+// dominanceParams is the full-strength workload for
+// TestMultiResourceDominance: deep queues, a fast token bucket, and
+// the suite-wide 5% tolerance. Race builds substitute the shrunken
+// profile in dominance_params_race_test.go.
+var dominanceParams = multiResourceParams{
+	memCapacity: 1 << 20,
+	ioRate:      200_000,
+	ioBurst:     2048,
+	ioTokens:    128,
+	relTol:      0.05,
+	// The window length is set by the I/O pool: shares are judged on
+	// token deltas, and at ~1k grants/sec the window needs a few
+	// thousand grants for lottery noise to sit well inside the band.
+	window:           2 * time.Second,
+	hold:             150 * time.Microsecond,
+	cpuDepthHeavy:    512,
+	cpuDepthLight:    128,
+	ioFeedersHeavy:   6,
+	ioFeedersLight:   2,
+	dominanceSlack:   0.03,
+	convergeDeadline: 2 * time.Minute,
+	refaultChunks:    4,
+	refaultEvery:     10 * time.Millisecond,
+}

@@ -1,0 +1,49 @@
+//go:build race
+
+package rt
+
+import "time"
+
+// dominanceParams under the race detector: the same three-tenant
+// saturation shape, scaled down so a single-core CI runner converges
+// inside the deadline. The detector costs roughly an order of
+// magnitude on the dispatch hot path, so the full-strength profile
+// (deep queues, 200k tokens/sec) spends its whole budget fighting
+// instrumentation overhead instead of measuring shares.
+//
+// The scaling keeps every pool past saturation — that is what the test
+// is about — but slows churn (longer hold, shallower queues, slower
+// bucket) and widens the tolerance to match the smaller sample: at
+// ~780 grants/sec over a 4s window the 20%-ticket tenant collects
+// ~600 grants, putting 10% relative error near three standard
+// deviations of lottery noise.
+var dominanceParams = multiResourceParams{
+	memCapacity:   1 << 20,
+	ioRate:        50_000,
+	ioBurst:       1024,
+	ioTokens:      64,
+	relTol:        0.10,
+	window:        4 * time.Second,
+	hold:          300 * time.Microsecond,
+	cpuDepthHeavy: 96,
+	cpuDepthLight: 48,
+	// Feeders stay generous even in the shrunken profile: a feeder
+	// that cannot keep its tenant's I/O queue non-empty leaks refill
+	// wins to the other tenants, and a few percent of systematic skew
+	// is enough to pin a tenant over the dominance clamp (see
+	// dominanceSlack) and starve its residency.
+	ioFeedersHeavy: 8,
+	ioFeedersLight: 4,
+	// Half the tolerance, as in the non-race profile: enforcement pins
+	// a persistent over-consumer at ticket*(1+slack), so the gap up to
+	// relTol is the margin the share assertions keep over the clamp's
+	// own equilibrium; the gap below is covered by the refault pager,
+	// which wins back any residency the clamp trims too eagerly.
+	dominanceSlack:   0.05,
+	convergeDeadline: 3 * time.Minute,
+	// The pager ticks slower than the non-race profile: refault
+	// pressure needs to exist, not to be fast, and every tick costs
+	// instrumented snapshot and ledger work.
+	refaultChunks: 4,
+	refaultEvery:  25 * time.Millisecond,
+}
