@@ -6,17 +6,24 @@
 //
 // With -o - (the default) the JSON is written to stdout.
 //
+// On the write path each multi-proc result also gets a derived
+// "speedup" metric: its tasks/s divided by the same benchmark's
+// tasks/s at GOMAXPROCS=1, so BENCH files record scaling alongside
+// the raw numbers.
+//
 // With -compare it instead diffs two such records and gates on
 // latency regressions:
 //
 //	benchjson -compare old.json new.json          # fail beyond +10% ns/op
 //	benchjson -tol 0.25 -compare old.json new.json
+//	benchjson -tailtol 1.0 -compare old.json new.json
 //
 // Benchmarks are matched by name and GOMAXPROCS; per-benchmark ns/op
 // deltas are printed for every match, added and removed benchmarks
 // are noted, and the exit status is non-zero when any matched
 // benchmark slowed down by more than -tol (a fraction of the old
-// ns/op).
+// ns/op) or its reported wait-p99-ns tail grew by more than -tailtol
+// (tails are noisier than means, so the tail gate is looser).
 package main
 
 import (
@@ -32,6 +39,7 @@ func main() {
 	out := flag.String("o", "-", "output file (- for stdout)")
 	compare := flag.Bool("compare", false, "compare two benchmark JSON files: -compare old.json new.json")
 	tol := flag.Float64("tol", 0.10, "ns/op regression tolerance for -compare, as a fraction (0.10 = +10%)")
+	tailTol := flag.Float64("tailtol", 0.50, "wait-p99-ns regression tolerance for -compare, as a fraction (0.50 = +50%)")
 	flag.Parse()
 
 	if *compare {
@@ -39,7 +47,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *tol))
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *tol, *tailTol))
 	}
 
 	set, err := benchfmt.Parse(os.Stdin)
@@ -51,6 +59,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	benchfmt.AddSpeedups(set, "tasks/s")
 	buf, err := json.MarshalIndent(set, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -67,7 +76,7 @@ func main() {
 	}
 }
 
-func runCompare(oldPath, newPath string, tol float64) int {
+func runCompare(oldPath, newPath string, tol, tailTol float64) int {
 	oldSet, err := loadSet(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -83,27 +92,45 @@ func runCompare(oldPath, newPath string, tol float64) int {
 		fmt.Fprintln(os.Stderr, "benchjson: no comparable benchmarks (ns/op) in either file")
 		return 1
 	}
+	printDeltas(deltas)
+	tails := benchfmt.CompareMetric(oldSet, newSet, "wait-p99-ns")
+	if len(tails) > 0 {
+		fmt.Printf("\nwait-p99-ns:\n")
+		printDeltas(tails)
+	}
+	code := 0
+	if regs := benchfmt.Regressions(deltas, tol); len(regs) > 0 {
+		reportRegressions(regs, tol)
+		code = 1
+	}
+	if regs := benchfmt.Regressions(tails, tailTol); len(regs) > 0 {
+		reportRegressions(regs, tailTol)
+		code = 1
+	}
+	return code
+}
+
+func printDeltas(deltas []benchfmt.Delta) {
 	for _, d := range deltas {
 		name := fmt.Sprintf("%s-%d", d.Name, d.Procs)
 		switch {
 		case d.NewOnly:
-			fmt.Printf("%-60s %12s %12.1f    (added)\n", name, "-", d.NewNs)
+			fmt.Printf("%-60s %12s %12.1f    (added)\n", name, "-", d.New)
 		case d.OldOnly:
-			fmt.Printf("%-60s %12.1f %12s    (removed)\n", name, d.OldNs, "-")
+			fmt.Printf("%-60s %12.1f %12s    (removed)\n", name, d.Old, "-")
 		default:
-			fmt.Printf("%-60s %12.1f %12.1f  %+7.1f%%\n", name, d.OldNs, d.NewNs, d.Ratio*100)
+			fmt.Printf("%-60s %12.1f %12.1f  %+7.1f%%\n", name, d.Old, d.New, d.Ratio*100)
 		}
 	}
-	regs := benchfmt.Regressions(deltas, tol)
-	if len(regs) > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond +%.0f%% ns/op:\n", len(regs), tol*100)
-		for _, d := range regs {
-			fmt.Fprintf(os.Stderr, "  %s-%d: %.1f -> %.1f ns/op (%+.1f%%)\n",
-				d.Name, d.Procs, d.OldNs, d.NewNs, d.Ratio*100)
-		}
-		return 1
+}
+
+func reportRegressions(regs []benchfmt.Delta, tol float64) {
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond +%.0f%% %s:\n",
+		len(regs), tol*100, regs[0].Metric)
+	for _, d := range regs {
+		fmt.Fprintf(os.Stderr, "  %s-%d: %.1f -> %.1f %s (%+.1f%%)\n",
+			d.Name, d.Procs, d.Old, d.New, d.Metric, d.Ratio*100)
 	}
-	return 0
 }
 
 func loadSet(path string) (*benchfmt.Set, error) {

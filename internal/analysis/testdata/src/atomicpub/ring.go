@@ -1,0 +1,85 @@
+// ring.go covers the MPSC ring-publication pattern from the lock-free
+// submit path, written in the raw sync/atomic idiom the analyzer
+// polices (the production ring uses typed atomics, which are exempt by
+// construction). The contract under test: a producer-side cursor and
+// per-slot sequence numbers are atomic everywhere — CAS reservation,
+// release store on publish, acquire load on pop — while the
+// single-consumer cursor is deliberately plain and must stay
+// unflagged. Two seeded violations mirror the bugs the check exists
+// for: a racy plain read of the producer cursor, and a sequence
+// address escaping to code the analyzer can no longer see.
+package atomicpub
+
+import "sync/atomic"
+
+// mpscSlot keeps seq first: 64-bit sync/atomic operands must sit at
+// 8-aligned offsets under 32-bit layout or the misalignment check
+// fires too.
+type mpscSlot struct {
+	seq uint64
+	val int
+}
+
+// mpsc orders its raw 64-bit atomic cursor first for the same
+// alignment reason. tail is the single consumer's private cursor —
+// never touched atomically, so the analyzer must never track it.
+type mpsc struct {
+	head  uint64
+	tail  uint64
+	mask  uint64
+	slots []mpscSlot
+}
+
+func newMpsc(size int) *mpsc {
+	r := &mpsc{slots: make([]mpscSlot, size), mask: uint64(size - 1)}
+	for i := range r.slots {
+		atomic.StoreUint64(&r.slots[i].seq, uint64(i))
+	}
+	return r
+}
+
+// publish is the producer side: CAS-reserve a position on head, write
+// the message plainly, then release it with the slot's seq store.
+func (r *mpsc) publish(v int) bool {
+	for {
+		pos := atomic.LoadUint64(&r.head)
+		s := &r.slots[pos&r.mask]
+		switch diff := int64(atomic.LoadUint64(&s.seq)) - int64(pos); {
+		case diff == 0:
+			if atomic.CompareAndSwapUint64(&r.head, pos, pos+1) {
+				s.val = v
+				atomic.StoreUint64(&s.seq, pos+1)
+				return true
+			}
+		case diff < 0:
+			return false
+		}
+	}
+}
+
+// pop is the single consumer: the plain tail cursor is sound (one
+// goroutine), but the seq handshake with producers stays atomic.
+func (r *mpsc) pop() (int, bool) {
+	pos := r.tail
+	s := &r.slots[pos&r.mask]
+	if int64(atomic.LoadUint64(&s.seq))-int64(pos+1) < 0 {
+		return 0, false
+	}
+	v := s.val
+	atomic.StoreUint64(&s.seq, pos+uint64(len(r.slots)))
+	r.tail = pos + 1
+	return v, true
+}
+
+// depth is the seeded cursor violation: head is published by CAS in
+// publish, so this racy plain read mixes access modes.
+func (r *mpsc) depth() uint64 {
+	return r.head - r.tail // want "plain access to head"
+}
+
+// peekSeq is the seeded escape: once a slot's sequence address leaves
+// the ring, every dereference of it is an unordered read of the
+// publication point.
+func (r *mpsc) peekSeq() *uint64 {
+	return &r.slots[0].seq // want "address of seq escapes"
+}

@@ -1,0 +1,57 @@
+// ring.go covers the locking half of the ring-drain protocol: the
+// single consumer drains under the shard mutex and may use atomics
+// freely there (publication atomics are not acquisitions — the
+// analyzer must stay silent), but settling a drained task while still
+// holding the shard lock recreates the classic shard/client cycle the
+// production code avoids by finishing off-lock.
+package lockorder
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type ringShard struct {
+	mu  sync.Mutex
+	seq atomic.Uint64
+	n   int
+}
+
+type ringClient struct {
+	mu    sync.Mutex
+	depth int
+}
+
+// drainLocked is the clean pattern: the consumer holds the shard
+// mutex and handshakes with producers through the sequence atomic
+// alone. No lock edge exists here.
+func (s *ringShard) drainLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.seq.Load() > uint64(s.n) {
+		s.n++
+	}
+}
+
+// drainAndSettle is the shard→client leg of the seeded cycle: it
+// settles the client's ledger while the shard mutex is still held,
+// instead of collecting actions and finishing after unlock.
+func (s *ringShard) drainAndSettle(c *ringClient) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	c.mu.Lock()
+	c.depth--
+	c.mu.Unlock()
+}
+
+// submitFull is the client→shard leg: a full-ring fallback that takes
+// the shard mutex while the client's own lock is held.
+func (c *ringClient) submitFull(s *ringShard) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.depth++
+	s.mu.Lock() // want "lock-order cycle lockorder.ringClient.mu → lockorder.ringShard.mu"
+	s.n++
+	s.mu.Unlock()
+}

@@ -1,73 +1,83 @@
 package benchfmt
 
-// Delta is the ns/op movement of one benchmark between two parsed
+// Delta is the movement of one benchmark metric between two parsed
 // runs, matched by Name and Procs. Benchmarks present on only one
 // side are reported with the corresponding -Only flag set so a
 // comparison never silently drops a result.
 type Delta struct {
 	Name    string
 	Procs   int
-	OldNs   float64
-	NewNs   float64
-	Ratio   float64 // NewNs/OldNs - 1; negative is an improvement
+	Metric  string // the unit compared, e.g. "ns/op" or "wait-p99-ns"
+	Old     float64
+	New     float64
+	Ratio   float64 // New/Old - 1; negative is an improvement for cost metrics
 	OldOnly bool    // in old but not new
 	NewOnly bool    // in new but not old
 }
 
-// Matched reports whether the benchmark appeared in both runs with an
-// ns/op metric, making Ratio meaningful.
+// Matched reports whether the benchmark appeared in both runs with
+// the compared metric, making Ratio meaningful.
 func (d Delta) Matched() bool { return !d.OldOnly && !d.NewOnly }
 
 // Compare matches the results of two runs by (Name, Procs) and
-// returns their ns/op deltas, new-run order first, then old-only
-// leftovers in old-run order. Results without an ns/op metric (pure
-// ReportMetric benchmarks) are skipped entirely: they have no
-// latency to regress.
+// returns their ns/op deltas — the conventional latency gate. See
+// CompareMetric for other units.
 func Compare(oldSet, newSet *Set) []Delta {
+	return CompareMetric(oldSet, newSet, "ns/op")
+}
+
+// CompareMetric matches the results of two runs by (Name, Procs) and
+// returns their deltas in the given metric, new-run order first, then
+// old-only leftovers in old-run order. Results without the metric
+// (e.g. pure ReportMetric benchmarks when comparing ns/op, or
+// benchmarks that never reported a custom unit) are skipped entirely:
+// they have nothing to regress in this unit.
+func CompareMetric(oldSet, newSet *Set, metric string) []Delta {
 	type key struct {
 		name  string
 		procs int
 	}
-	oldNs := make(map[key]float64)
+	oldVal := make(map[key]float64)
 	oldSeen := make(map[key]bool)
 	for _, r := range oldSet.Results {
-		if ns, ok := r.Metrics["ns/op"]; ok {
-			oldNs[key{r.Name, r.Procs}] = ns
+		if v, ok := r.Metrics[metric]; ok {
+			oldVal[key{r.Name, r.Procs}] = v
 		}
 	}
 	var out []Delta
 	for _, r := range newSet.Results {
-		ns, ok := r.Metrics["ns/op"]
+		v, ok := r.Metrics[metric]
 		if !ok {
 			continue
 		}
 		k := key{r.Name, r.Procs}
-		prev, matched := oldNs[k]
+		prev, matched := oldVal[k]
 		if !matched {
-			out = append(out, Delta{Name: r.Name, Procs: r.Procs, NewNs: ns, NewOnly: true})
+			out = append(out, Delta{Name: r.Name, Procs: r.Procs, Metric: metric, New: v, NewOnly: true})
 			continue
 		}
 		oldSeen[k] = true
-		d := Delta{Name: r.Name, Procs: r.Procs, OldNs: prev, NewNs: ns}
+		d := Delta{Name: r.Name, Procs: r.Procs, Metric: metric, Old: prev, New: v}
 		if prev > 0 {
-			d.Ratio = ns/prev - 1
+			d.Ratio = v/prev - 1
 		}
 		out = append(out, d)
 	}
 	for _, r := range oldSet.Results {
 		k := key{r.Name, r.Procs}
-		if ns, ok := oldNs[k]; ok && !oldSeen[k] {
-			out = append(out, Delta{Name: r.Name, Procs: r.Procs, OldNs: ns, OldOnly: true})
+		if v, ok := oldVal[k]; ok && !oldSeen[k] {
+			out = append(out, Delta{Name: r.Name, Procs: r.Procs, Metric: metric, Old: v, OldOnly: true})
 			oldSeen[k] = true
 		}
 	}
 	return out
 }
 
-// Regressions filters deltas whose ns/op grew by more than tol
-// (a fraction: 0.10 means +10%). Only matched benchmarks count —
-// added or removed benchmarks are visible in the Compare output but
-// are not regressions.
+// Regressions filters deltas whose metric grew by more than tol
+// (a fraction: 0.10 means +10%). Growth-is-bad applies to cost
+// metrics (ns/op, tail latency); don't gate throughput units with
+// this. Only matched benchmarks count — added or removed benchmarks
+// are visible in the Compare output but are not regressions.
 func Regressions(deltas []Delta, tol float64) []Delta {
 	var out []Delta
 	for _, d := range deltas {
@@ -76,4 +86,36 @@ func Regressions(deltas []Delta, tol float64) []Delta {
 		}
 	}
 	return out
+}
+
+// AddSpeedups derives a "speedup" metric for every multi-proc result:
+// its value in the given metric divided by the same benchmark's value
+// at GOMAXPROCS=1 from the same run. The metric should be a
+// throughput unit (bigger is better, e.g. "tasks/s") so speedup > 1
+// means the benchmark actually scales with cores. Results lacking the
+// metric, lacking a single-proc baseline, or with a non-positive
+// baseline are left untouched.
+func AddSpeedups(s *Set, metric string) {
+	base := make(map[string]float64)
+	for _, r := range s.Results {
+		if r.Procs != 1 {
+			continue
+		}
+		if v, ok := r.Metrics[metric]; ok && v > 0 {
+			base[r.Name] = v
+		}
+	}
+	for i := range s.Results {
+		r := &s.Results[i]
+		if r.Procs == 1 {
+			continue
+		}
+		b, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		if v, ok := r.Metrics[metric]; ok {
+			r.Metrics["speedup"] = v / b
+		}
+	}
 }

@@ -38,6 +38,52 @@ func TestCompareSkipsResultsWithoutNsPerOp(t *testing.T) {
 	}
 }
 
+func TestCompareMetricMatchesCustomUnit(t *testing.T) {
+	tail := func(name string, procs int, v float64) Result {
+		return Result{Name: name, Procs: procs, Iterations: 1,
+			Metrics: map[string]float64{"wait-p99-ns": v, "ns/op": 1}}
+	}
+	oldSet := set(tail("BenchmarkA", 1, 1000), res("BenchmarkNoTail", 1, 50))
+	newSet := set(tail("BenchmarkA", 1, 2000), res("BenchmarkNoTail", 1, 50))
+	deltas := CompareMetric(oldSet, newSet, "wait-p99-ns")
+	if len(deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1 (results without the unit skipped): %+v", len(deltas), deltas)
+	}
+	d := deltas[0]
+	if d.Metric != "wait-p99-ns" || !d.Matched() || d.Old != 1000 || d.New != 2000 {
+		t.Fatalf("unexpected delta %+v", d)
+	}
+	if d.Ratio < 0.999 || d.Ratio > 1.001 {
+		t.Fatalf("Ratio = %v, want +100%%", d.Ratio)
+	}
+	if regs := Regressions(deltas, 0.5); len(regs) != 1 {
+		t.Fatalf("tail doubling must trip a +50%% gate: %+v", regs)
+	}
+}
+
+func TestAddSpeedups(t *testing.T) {
+	rate := func(procs int, v float64) Result {
+		return Result{Name: "BenchmarkT", Procs: procs, Iterations: 1,
+			Metrics: map[string]float64{"tasks/s": v}}
+	}
+	s := set(rate(1, 1e6), rate(4, 3e6), rate(8, 0.5e6),
+		Result{Name: "BenchmarkNoBase", Procs: 4, Iterations: 1,
+			Metrics: map[string]float64{"tasks/s": 1}})
+	AddSpeedups(s, "tasks/s")
+	if _, ok := s.Results[0].Metrics["speedup"]; ok {
+		t.Fatal("single-proc baseline must not get a speedup metric")
+	}
+	if got := s.Results[1].Metrics["speedup"]; got < 2.999 || got > 3.001 {
+		t.Fatalf("4-proc speedup = %v, want 3", got)
+	}
+	if got := s.Results[2].Metrics["speedup"]; got < 0.499 || got > 0.501 {
+		t.Fatalf("8-proc speedup = %v, want 0.5 (slowdowns recorded too)", got)
+	}
+	if _, ok := s.Results[3].Metrics["speedup"]; ok {
+		t.Fatal("result with no single-proc baseline must be left untouched")
+	}
+}
+
 func TestRegressionsApplyTolerance(t *testing.T) {
 	oldSet := set(res("BenchmarkA", 1, 100), res("BenchmarkB", 1, 100), res("BenchmarkC", 1, 100))
 	newSet := set(res("BenchmarkA", 1, 109), res("BenchmarkB", 1, 111), res("BenchmarkD", 1, 1e6))

@@ -50,16 +50,43 @@ func benchDispatchCfg(b *testing.B, nclients int, cfg Config) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+	reportWaitTails(b, clients)
+}
+
+// reportWaitTails merges the clients' enqueue-to-dispatch wait
+// histograms into one count vector and reports its p99/p99.9 in
+// nanoseconds — the tail metrics benchjson's -tailtol gate compares
+// in CI, so a throughput win bought with tail latency shows up red.
+func reportWaitTails(b *testing.B, clients []*Client) {
+	var agg []uint64
+	for _, c := range clients {
+		counts := c.waitHist.BucketCounts()
+		if agg == nil {
+			agg = make([]uint64, len(counts))
+		}
+		for i, n := range counts {
+			agg[i] += n
+		}
+	}
+	h := clients[0].waitHist
+	b.ReportMetric(h.QuantileFromCounts(agg, 99)*1e9, "wait-p99-ns")
+	b.ReportMetric(h.QuantileFromCounts(agg, 99.9)*1e9, "wait-p999-ns")
 }
 
 // BenchmarkDispatchThroughput exercises the dispatcher uncontended
 // (one client: every draw is trivial) and contended (eight clients
-// competing by lottery for every slot).
+// competing by lottery for every slot). The mutex variants pin
+// DisableLockFree so the lock-free submit/draw path's win (and any
+// future regression in the fallback) is measurable from one run.
 func BenchmarkDispatchThroughput(b *testing.B) {
 	b.Run("uncontended", func(b *testing.B) { benchDispatch(b, 1) })
 	b.Run("contended", func(b *testing.B) { benchDispatch(b, 8) })
-	b.Run("parallel/shards=1", func(b *testing.B) { benchDispatchParallel(b, 1) })
-	b.Run("parallel/shards=max", func(b *testing.B) { benchDispatchParallel(b, runtime.GOMAXPROCS(0)) })
+	b.Run("contended/mutex", func(b *testing.B) {
+		benchDispatchCfg(b, 8, Config{Workers: 2, Shards: 1, QueueCap: 4096, Seed: 42, DisableLockFree: true})
+	})
+	b.Run("parallel/shards=1", func(b *testing.B) { benchDispatchParallel(b, 1, false) })
+	b.Run("parallel/shards=1/mutex", func(b *testing.B) { benchDispatchParallel(b, 1, true) })
+	b.Run("parallel/shards=max", func(b *testing.B) { benchDispatchParallel(b, runtime.GOMAXPROCS(0), false) })
 }
 
 // benchDispatchParallel is the contended-submit throughput probe: as
@@ -68,13 +95,14 @@ func BenchmarkDispatchThroughput(b *testing.B) {
 // a single shard (the pre-sharding dispatcher, one lock) or one shard
 // per proc. SubmitDetached keeps the steady-state path allocation-free
 // — ReportAllocs is the regression gate for the pooled task path.
-func benchDispatchParallel(b *testing.B, shards int) {
+func benchDispatchParallel(b *testing.B, shards int, mutex bool) {
 	const nclients = 8
 	d := New(Config{
-		Workers:  runtime.GOMAXPROCS(0),
-		Shards:   shards,
-		QueueCap: 4096,
-		Seed:     42,
+		Workers:         runtime.GOMAXPROCS(0),
+		Shards:          shards,
+		QueueCap:        4096,
+		Seed:            42,
+		DisableLockFree: mutex,
 	})
 	defer d.Close()
 	clients := make([]*Client, nclients)
@@ -106,6 +134,7 @@ func benchDispatchParallel(b *testing.B, shards int) {
 	wg.Wait()
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+	reportWaitTails(b, clients)
 }
 
 // BenchmarkObserverOverhead prices the observability hooks on the

@@ -62,6 +62,19 @@ type Client struct {
 	// fresh channel. Guarded by the home shard's mutex.
 	waitCh chan struct{}
 
+	// depth counts the client's admitted, not-yet-dispatched tasks:
+	// queued ones plus those still in a submit ring. It is the
+	// capacity gate — both submit paths admit by incrementing and
+	// checking against qcap, so the lock-free and locked paths share
+	// one bound — decremented wherever a task leaves the queue (or
+	// dies in the ring).
+	depth atomic.Int64
+
+	// gone mirrors left for the lock-free fast path, which must turn
+	// submissions away without any lock. Set (before left) in Leave
+	// and Abandon, never cleared.
+	gone atomic.Bool
+
 	// Queue: slice-backed FIFO with a head index; compacted on empty.
 	queue []*Task
 	head  int
@@ -119,14 +132,12 @@ func (c *Client) Name() string { return c.name }
 // Tenant returns the tenant whose currency funds the client.
 func (c *Client) Tenant() *Tenant { return c.tenant }
 
-// Pending returns the client's current queued (not yet dispatched)
-// task count. It takes the home shard's mutex briefly; for a
-// dispatcher-wide count use Dispatcher.Pending.
+// Pending returns the client's current admitted (not yet dispatched)
+// task count, including submissions still in its shard's submit ring
+// — one atomic load. For a dispatcher-wide count use
+// Dispatcher.Pending.
 func (c *Client) Pending() int {
-	sh := c.lockShard()
-	n := c.pendingLocked()
-	sh.mu.Unlock()
-	return n
+	return int(c.depth.Load())
 }
 
 // WaitHistogram returns the client's enqueue-to-dispatch wait-latency
@@ -265,6 +276,11 @@ func (c *Client) submit(ctx context.Context, fn func(), detached bool, res Reser
 				Tenant: c.tenant.name, MemBytes: res.MemBytes, IOTokens: res.IOTokens})
 		}
 	}
+	if d.lockfree {
+		if t, ok := c.submitFast(ctx, fn, detached, res, span, cancellable); ok {
+			return t, nil
+		}
+	}
 	var t *Task
 	if detached {
 		t = d.taskPool.Get().(*Task)
@@ -275,16 +291,70 @@ func (c *Client) submit(ctx context.Context, fn func(), detached bool, res Reser
 	t.ctx = ctx
 	t.fn = fn
 	t.detached = detached
-	t.state = taskQueued
+	atomic.StoreInt32(&t.state, taskQueued)
 	t.res = res
 
+	// failNow unwinds a rejected submission off-lock: the reserve,
+	// span, and pooled struct roll back and any drain leftovers
+	// settle. Callers publish and drop the shard mutex first — the
+	// unlock stays inline at each exit so lock-path analysis (and
+	// readers) can see it paired with the acquisition.
+	failNow := func(acts []drainAction, fail error) (*Task, error) {
+		d.finishActions(acts)
+		if detached {
+			d.recycle(t)
+		}
+		if span != nil {
+			d.tracer.Discard(span)
+		}
+		if !res.IsZero() {
+			d.ledger.Release(c.tenant.res, res)
+		}
+		return nil, fail
+	}
+
 	sh := c.lockShard()
-	for c.policy == Block && c.pendingLocked() >= c.qcap && !d.closed.Load() && !c.left {
+	// Drain the ring before enqueueing directly: messages published
+	// before this submission must reach the queue first, keeping the
+	// client's FIFO order across the two paths.
+	acts := d.drainRingLocked(sh, nil)
+	for {
+		if d.closed.Load() {
+			sh.publishLocked()
+			sh.mu.Unlock()
+			return failNow(acts, ErrClosed)
+		}
+		if c.left {
+			sh.publishLocked()
+			sh.mu.Unlock()
+			return failNow(acts, ErrClientLeft)
+		}
+		if c.depth.Add(1) <= int64(c.qcap) {
+			break // slot reserved
+		}
+		c.depth.Add(-1)
+		if c.policy == Reject {
+			c.rejectedN++
+			c.mRejected.Inc()
+			sh.publishLocked()
+			sh.mu.Unlock()
+			if d.obs != nil {
+				d.obs.Observe(Event{At: time.Now(), Kind: EventReject, Client: c.name, Tenant: c.tenant.name})
+			}
+			return failNow(acts, ErrQueueFull)
+		}
 		// Wait for room off the shard lock: waiters share a channel
 		// whose close is the broadcast (a sync.Cond cannot follow the
-		// client across a shard migration).
+		// client across a shard migration). Fast-path submitters may
+		// steal the slot a pop just freed, so the reservation is
+		// re-attempted under the lock each round.
 		ch := c.waitChLocked()
+		// The drain above may have placed work (pending, tree); publish
+		// before unlocking or workers scanning the stale hints would
+		// never find it.
+		sh.publishLocked()
 		sh.mu.Unlock()
+		d.finishActions(acts)
 		if cancellable {
 			select {
 			case <-ch:
@@ -306,33 +376,7 @@ func (c *Client) submit(ctx context.Context, fn func(), detached bool, res Reser
 			<-ch
 		}
 		sh = c.lockShard()
-	}
-	var fail error
-	switch {
-	case d.closed.Load():
-		fail = ErrClosed
-	case c.left:
-		fail = ErrClientLeft
-	case c.pendingLocked() >= c.qcap:
-		c.rejectedN++
-		c.mRejected.Inc()
-		fail = ErrQueueFull
-	}
-	if fail != nil {
-		sh.mu.Unlock()
-		if detached {
-			d.recycle(t)
-		}
-		if span != nil {
-			d.tracer.Discard(span)
-		}
-		if !res.IsZero() {
-			d.ledger.Release(c.tenant.res, res)
-		}
-		if fail == ErrQueueFull && d.obs != nil {
-			d.obs.Observe(Event{At: time.Now(), Kind: EventReject, Client: c.name, Tenant: c.tenant.name})
-		}
-		return nil, fail
+		acts = d.drainRingLocked(sh, nil)
 	}
 	enqueued := time.Now()
 	t.enqueued = enqueued
@@ -349,10 +393,12 @@ func (c *Client) submit(ctx context.Context, fn func(), detached bool, res Reser
 	if cancellable {
 		// Registered under the lock so t.stop is visible to whichever
 		// worker (or cancel path) finishes the task.
-		t.stop = context.AfterFunc(ctx, func() { d.cancelQueued(t) })
+		stop := context.AfterFunc(ctx, func() { d.cancelQueued(t) })
+		t.stop.Store(&stop)
 	}
 	sh.publishLocked()
 	sh.mu.Unlock()
+	d.finishActions(acts)
 	d.wake()
 	if d.obs != nil {
 		// Event fields come from locals and the client, never from t: a
@@ -364,6 +410,84 @@ func (c *Client) submit(ctx context.Context, fn func(), detached bool, res Reser
 		return nil, nil
 	}
 	return t, nil
+}
+
+// submitFast is the lock-free submit path: reserve a queue slot with
+// one atomic add, publish the submission into the home shard's MPSC
+// ring, and return — no shard mutex, and for detached submissions no
+// allocation (the Task struct is materialized at drain time from the
+// draining worker's cache). Returns ok=false to defer to the locked
+// slow path: a full queue or ring (where the client's Block/Reject
+// policy and its rejection bookkeeping live), a closing dispatcher,
+// or a left client (which must report ErrClosed/ErrClientLeft with
+// the proper rollbacks).
+func (c *Client) submitFast(ctx context.Context, fn func(), detached bool, res Reserve, span *audit.Span, cancellable bool) (*Task, bool) {
+	d := c.d
+	if d.closed.Load() || c.gone.Load() {
+		return nil, false
+	}
+	if c.depth.Add(1) > int64(c.qcap) {
+		c.depth.Add(-1)
+		return nil, false
+	}
+	now := time.Now()
+	var t *Task
+	if !detached {
+		t = &Task{done: make(chan struct{}), client: c, ctx: ctx, fn: fn, enqueued: now, span: span, res: res}
+		atomic.StoreInt32(&t.state, taskRinged)
+	}
+	m := ringMsg{c: c, fn: fn, t: t, span: span, res: res, enq: now}
+	if cancellable {
+		m.ctx = ctx
+	}
+	sh := c.sh.Load()
+	sh.ringPending.Add(1)
+	if d.closed.Load() {
+		// Close may already be past its sweep; rather than publish into
+		// a dispatcher whose workers are gone, roll back and let the
+		// slow path fail with ErrClosed. (The increment-before-check
+		// ordering is what lets sweepStragglers trust pendingAll.)
+		sh.ringPending.Add(-1)
+		c.depth.Add(-1)
+		return nil, false
+	}
+	if !sh.ring.publish(m) {
+		sh.ringPending.Add(-1)
+		c.depth.Add(-1)
+		d.ringFull.Add(1)
+		return nil, false
+	}
+	if t != nil && cancellable {
+		// The watcher is armed after publish with no lock held; if ctx
+		// is already done it fires right now on another goroutine and
+		// races this store — which is why stop is atomic. The fired
+		// watcher settles the task itself and never needs the handle.
+		stop := context.AfterFunc(ctx, func() { d.cancelQueued(t) })
+		t.stop.Store(&stop)
+	}
+	d.wake()
+	if d.obs != nil {
+		d.obs.Observe(Event{At: now, Kind: EventSubmit, Client: c.name, Tenant: c.tenant.name})
+	}
+	if detached {
+		return nil, true
+	}
+	return t, true
+}
+
+// noteRingCancelLocked records a submission cancelled while still in
+// the submit ring: it counts as submitted (its EventSubmit already
+// fired) and cancelled, mirroring the queued-cancel ledger so
+// dispatched+cancelled+shed ≤ submitted keeps holding. Called under
+// the home shard's mutex by the draining worker.
+func (c *Client) noteRingCancelLocked() {
+	c.submittedN++
+	c.mSubmitted.Inc()
+	c.cancelledN++
+	c.mCancelled.Inc()
+	c.d.cancelled.Add(1)
+	c.depth.Add(-1)
+	c.wakeWaitersLocked()
 }
 
 // activateLocked is the empty -> nonempty transition: the client
@@ -378,7 +502,7 @@ func (c *Client) activateLocked(sh *shard) {
 	c.fundingVal = c.holder.Value()
 	d.weightEpoch.Add(1)
 	d.graphMu.Unlock()
-	c.item = sh.tree.Add(c, c.weight())
+	c.item = sh.treeAdd(c, c.weight())
 	c.inTree = true
 }
 
@@ -414,7 +538,8 @@ func (c *Client) popLocked(sh *shard) *Task {
 		c.queue = c.queue[:0]
 		c.head = 0
 	}
-	t.state = taskRunning
+	atomic.StoreInt32(&t.state, taskRunning)
+	c.depth.Add(-1)
 	c.mDepth.Add(-1)
 	sh.pending--
 	c.d.totalPending.Add(-1)
@@ -440,6 +565,7 @@ func (c *Client) removeQueuedLocked(sh *shard, t *Task) bool {
 			c.queue = c.queue[:0]
 			c.head = 0
 		}
+		c.depth.Add(-1)
 		c.mDepth.Add(-1)
 		sh.pending--
 		c.d.totalPending.Add(-1)
@@ -456,7 +582,7 @@ func (c *Client) removeQueuedLocked(sh *shard, t *Task) bool {
 // competing and, if it has left, is torn down.
 func (c *Client) emptiedLocked(sh *shard) {
 	d := c.d
-	sh.tree.Remove(c.item)
+	sh.treeRemove(c.item)
 	c.inTree = false
 	d.graphMu.Lock()
 	c.holder.SetActive(false)
@@ -497,9 +623,14 @@ func (c *Client) Tickets() ticket.Amount {
 // client's tickets (and, for a dedicated tenant, its currency) are
 // destroyed. Blocked submitters are woken with ErrClientLeft.
 func (c *Client) Leave() {
+	d := c.d
 	sh := c.lockShard()
+	// Drain the shard's ring first: submissions accepted before Leave
+	// must reach the queue so they still run (fresh publishes racing
+	// Leave may instead complete with ErrClientLeft at their drain).
+	acts := d.drainRingLocked(sh, nil)
 	if !c.left {
-		d := c.d
+		c.gone.Store(true)
 		d.graphMu.Lock()
 		c.left = true
 		d.graphMu.Unlock()
@@ -508,7 +639,9 @@ func (c *Client) Leave() {
 			c.teardownLocked(sh)
 		}
 	}
+	sh.publishLocked()
 	sh.mu.Unlock()
+	d.finishActions(acts)
 }
 
 // Abandon retires the client immediately: new submissions fail with
@@ -518,8 +651,12 @@ func (c *Client) Leave() {
 func (c *Client) Abandon() {
 	d := c.d
 	sh := c.lockShard()
+	// Ringed submissions drain into the queue first and are then
+	// dropped with everything else below.
+	acts := d.drainRingLocked(sh, nil)
 	var dropped []*Task
 	if !c.torn {
+		c.gone.Store(true)
 		d.graphMu.Lock()
 		c.left = true
 		d.graphMu.Unlock()
@@ -527,14 +664,15 @@ func (c *Client) Abandon() {
 		if n := c.pendingLocked(); n > 0 {
 			dropped = append(dropped, c.queue[c.head:]...)
 			for _, t := range dropped {
-				t.state = taskDone
+				atomic.StoreInt32(&t.state, taskDone)
 			}
+			c.depth.Add(int64(-n))
 			c.mDepth.Add(float64(-n))
 			c.queue = c.queue[:0]
 			c.head = 0
 			sh.pending -= n
 			d.totalPending.Add(int64(-n))
-			sh.tree.Remove(c.item)
+			sh.treeRemove(c.item)
 			c.inTree = false
 			d.graphMu.Lock()
 			c.holder.SetActive(false)
@@ -542,9 +680,10 @@ func (c *Client) Abandon() {
 			d.graphMu.Unlock()
 		}
 		c.teardownLocked(sh)
-		sh.publishLocked()
 	}
+	sh.publishLocked()
 	sh.mu.Unlock()
+	d.finishActions(acts)
 	for _, t := range dropped {
 		if d.obs != nil {
 			d.obs.Observe(Event{At: time.Now(), Kind: EventCancel, Client: c.name,
@@ -569,6 +708,10 @@ func (c *Client) Shed(n int) int {
 	}
 	d := c.d
 	sh := c.lockShard()
+	// Drain first so ringed submissions are sheddable too: the
+	// overload controller sizes its shed from Pending(), which counts
+	// them.
+	acts := d.drainRingLocked(sh, nil)
 	k := c.pendingLocked()
 	if k > n {
 		k = n
@@ -579,7 +722,7 @@ func (c *Client) Shed(n int) int {
 		for i := 0; i < k; i++ {
 			dropped[i] = c.queue[c.head+i]
 			c.queue[c.head+i] = nil
-			dropped[i].state = taskDone
+			atomic.StoreInt32(&dropped[i].state, taskDone)
 		}
 		c.head += k
 		if c.head == len(c.queue) {
@@ -589,6 +732,7 @@ func (c *Client) Shed(n int) int {
 		c.shedN += uint64(k)
 		c.mShed.Add(uint64(k))
 		d.shed.Add(uint64(k))
+		c.depth.Add(int64(-k))
 		c.mDepth.Add(float64(-k))
 		sh.pending -= k
 		d.totalPending.Add(int64(-k))
@@ -596,9 +740,10 @@ func (c *Client) Shed(n int) int {
 		if c.pendingLocked() == 0 {
 			c.emptiedLocked(sh)
 		}
-		sh.publishLocked()
 	}
+	sh.publishLocked()
 	sh.mu.Unlock()
+	d.finishActions(acts)
 	if k > 0 && d.aud != nil {
 		// The auditor renormalizes shed tenants out of the window they
 		// were evicted in, exactly as lotterysoak's judge waives them.

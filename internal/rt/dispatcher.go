@@ -60,6 +60,14 @@ const minElapsed = time.Microsecond
 // gains nothing from batching anyway), so each acquisition draws one.
 const batchK = 8
 
+// snapCoolTrial is the warm-up length of the off-lock pre-draw
+// hysteresis (shard.snapCool): after any batch arrives at a stale
+// snapshot, the snapshot must be found fresh on this many consecutive
+// batches before candidates are pre-drawn off-lock again. Tree churn
+// faster than roughly one mutation per snapCoolTrial batches keeps
+// draws on the locked tree.
+const snapCoolTrial = 8
+
 // passRenorm bounds the per-worker stride passes: when the leader's
 // virtual time exceeds it, all passes are shifted down together, which
 // preserves their differences (the only thing stride compares).
@@ -129,6 +137,13 @@ type Config struct {
 	// ratios for consecutive windows. Tenants are registered into it
 	// with their base funding, mirroring the resource ledger.
 	Audit *audit.Auditor
+	// DisableLockFree forces every submit and draw through the shard
+	// mutexes, bypassing the MPSC submit rings, the RCU draw
+	// snapshots, and the per-worker task caches. The zero value (lock-
+	// free on) is the intended configuration; the mutex path exists for
+	// bisection when chasing a suspected fast-path bug (lotteryd
+	// -lockfree=false).
+	DisableLockFree bool
 	// Resources, when non-nil, is the multi-resource ledger the
 	// dispatcher's tenant currency jointly funds: tenants are
 	// registered into it with their base funding as tickets, task
@@ -220,14 +235,32 @@ type Dispatcher struct {
 	// lock is taken.
 	ledger *resource.Ledger
 
-	workers    int
-	wg         sync.WaitGroup
-	dispatched atomic.Uint64
-	completed  atomic.Uint64
-	panicked   atomic.Uint64
-	cancelled  atomic.Uint64 // tasks cancelled while queued
-	shed       atomic.Uint64 // tasks evicted by overload shedding
-	rebalanced atomic.Uint64 // clients migrated between shards
+	// lockfree enables the MPSC submit rings, RCU draw snapshots, and
+	// per-worker task caches (Config.DisableLockFree inverted). Fixed
+	// at construction.
+	lockfree bool
+
+	// predraw additionally enables the off-lock candidate pre-draw
+	// from the RCU snapshots. It requires lockfree and GOMAXPROCS > 1
+	// at construction: the pre-draw's whole value is overlapping draw
+	// computation with other workers' critical sections, and with one
+	// scheduler P there is no overlap to buy — only extra work whose
+	// interleaving perturbs windowed fairness on an oversubscribed
+	// box. Snapshots are still built and validated either way (the
+	// staleness machinery is exercised regardless); only the off-lock
+	// picks are gated.
+	predraw bool
+
+	workers      int
+	wg           sync.WaitGroup
+	dispatched   atomic.Uint64
+	completed    atomic.Uint64
+	panicked     atomic.Uint64
+	cancelled    atomic.Uint64 // tasks cancelled while queued or ringed
+	shed         atomic.Uint64 // tasks evicted by overload shedding
+	rebalanced   atomic.Uint64 // clients migrated between shards
+	snapRebuilds atomic.Uint64 // lock-free draw snapshots rebuilt after a weight change
+	ringFull     atomic.Uint64 // submit-ring publishes that fell back to the mutex path
 
 	// checks are external invariant checkers (Dispatcher.AddCheck) run
 	// by CheckInvariants after its own sweep — e.g. the overload
@@ -270,6 +303,8 @@ func New(cfg Config) *Dispatcher {
 		tracer:   cfg.Tracer,
 		aud:      cfg.Audit,
 		ledger:   cfg.Resources,
+		lockfree: !cfg.DisableLockFree,
+		predraw:  !cfg.DisableLockFree && runtime.GOMAXPROCS(0) > 1,
 		balEvery: cfg.RebalanceEvery,
 		balStop:  make(chan struct{}),
 	}
@@ -293,7 +328,11 @@ func New(cfg Config) *Dispatcher {
 	d.idleCond = sync.NewCond(&d.idleMu)
 	d.taskPool.New = func() any { return new(Task) }
 	d.base = d.tickets.Base()
-	rngs := random.NewSharded(cfg.Seed, cfg.Shards)
+	// One Park-Miller stream per shard plus one per worker, split from
+	// the same master seed. Shard streams come first so a given
+	// (seed, shards) pair draws the same per-shard sequences whether or
+	// not the lock-free path is on.
+	rngs := random.NewSharded(cfg.Seed, cfg.Shards+cfg.Workers)
 	d.shards = make([]*shard, cfg.Shards)
 	for i := range d.shards {
 		d.shards[i] = &shard{
@@ -302,13 +341,14 @@ func New(cfg Config) *Dispatcher {
 			tree: lottery.NewTree[*Client](16),
 			rng:  rngs.Shard(i),
 		}
+		d.shards[i].ring.init(ringSize)
 	}
 	if cfg.Metrics != nil {
 		d.m = newRTMetrics(cfg.Metrics, d)
 	}
 	d.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go d.worker(i)
+		go d.worker(i, rngs.Shard(cfg.Shards+i))
 	}
 	if cfg.Shards > 1 && cfg.RebalanceEvery > 0 {
 		d.wg.Add(1)
@@ -323,10 +363,25 @@ func (d *Dispatcher) Workers() int { return d.workers }
 // Shards returns the number of run-queue shards.
 func (d *Dispatcher) Shards() int { return len(d.shards) }
 
-// Pending returns the number of queued (not yet dispatched) tasks
-// across all clients — one atomic load, cheap enough for per-request
-// overload probes (e.g. deriving a Retry-After hint on a 503 path).
-func (d *Dispatcher) Pending() int { return int(d.totalPending.Load()) }
+// Pending returns the number of accepted but not yet dispatched tasks
+// across all clients, including submissions still sitting in the
+// lock-free submit rings — a handful of atomic loads, cheap enough
+// for per-request overload probes (e.g. deriving a Retry-After hint
+// on a 503 path).
+func (d *Dispatcher) Pending() int { return int(d.pendingAll()) }
+
+// pendingAll is queued work plus ring backlog: the park/exit
+// condition. A task is counted from the moment its submit is accepted
+// (ringPending is incremented before the ring publish) until a worker
+// pops it, so a worker never parks or exits while accepted work
+// exists anywhere.
+func (d *Dispatcher) pendingAll() int64 {
+	n := d.totalPending.Load()
+	for _, sh := range d.shards {
+		n += sh.ringPending.Load()
+	}
+	return n
+}
 
 // Dispatched returns the lifetime count of tasks handed to workers —
 // one atomic load, so periodic callers (the overload controller's
@@ -389,16 +444,41 @@ func (d *Dispatcher) CloseCtx(ctx context.Context) error {
 	}
 	if ctx.Done() == nil {
 		d.wg.Wait()
+		d.sweepStragglers()
 		return nil
 	}
 	drained := make(chan struct{})
 	go func() { d.wg.Wait(); close(drained) }()
 	select {
 	case <-drained:
+		d.sweepStragglers()
 		return nil
 	case <-ctx.Done():
 	}
-	dropped := d.discardQueued()
+	d.failDropped(d.discardQueued())
+	<-drained
+	d.sweepStragglers()
+	return ctx.Err()
+}
+
+// sweepStragglers discards submissions that raced Close: a publish to
+// a submit ring can land after the last worker checked for work and
+// exited, so the final sweep (after the pool is gone) is what
+// guarantees every accepted task completes, with ErrClosed here. The
+// loop covers a producer caught between its ringPending increment and
+// the ring store — submitFast re-checks closed after the increment,
+// so any message this loop waits for is already mid-publish and lands
+// promptly.
+func (d *Dispatcher) sweepStragglers() {
+	for d.pendingAll() > 0 {
+		d.failDropped(d.discardQueued())
+		runtime.Gosched()
+	}
+}
+
+// failDropped completes tasks discarded by a deadline-cut or
+// straggler-sweeping Close, outside every lock.
+func (d *Dispatcher) failDropped(dropped []*Task) {
 	for _, t := range dropped {
 		if d.obs != nil {
 			d.obs.Observe(Event{At: time.Now(), Kind: EventCancel, Client: t.client.name,
@@ -406,33 +486,36 @@ func (d *Dispatcher) CloseCtx(ctx context.Context) error {
 		}
 		t.finish(ErrClosed)
 	}
-	<-drained
-	return ctx.Err()
 }
 
 // discardQueued empties every client queue after a drain deadline,
-// returning the dropped tasks for completion outside the locks.
-// Teardown of left clients is skipped: the dispatcher is dying and
-// the whole ticket system dies with it.
+// returning the dropped tasks for completion outside the locks. The
+// submit rings are drained first so ringed submissions share the
+// queued tasks' fate instead of leaking. Teardown of left clients is
+// skipped: the dispatcher is dying and the whole ticket system dies
+// with it.
 func (d *Dispatcher) discardQueued() []*Task {
 	var dropped []*Task
+	var acts []drainAction
 	for _, sh := range d.shards {
 		sh.mu.Lock()
+		acts = append(acts, d.drainRingLocked(sh, nil)...)
 		for _, c := range sh.clients {
 			n := c.pendingLocked()
 			if n == 0 {
 				continue
 			}
 			for _, t := range c.queue[c.head:] {
-				t.state = taskDone
+				atomic.StoreInt32(&t.state, taskDone)
 				dropped = append(dropped, t)
 			}
+			c.depth.Add(int64(-n))
 			c.mDepth.Add(float64(-n))
 			c.queue = c.queue[:0]
 			c.head = 0
 			sh.pending -= n
 			d.totalPending.Add(int64(-n))
-			sh.tree.Remove(c.item)
+			sh.treeRemove(c.item)
 			c.inTree = false
 			d.graphMu.Lock()
 			c.holder.SetActive(false)
@@ -443,6 +526,7 @@ func (d *Dispatcher) discardQueued() []*Task {
 		sh.publishLocked()
 		sh.mu.Unlock()
 	}
+	d.finishActions(acts)
 	d.idleMu.Lock()
 	d.idleCond.Broadcast()
 	d.idleMu.Unlock()
@@ -451,19 +535,44 @@ func (d *Dispatcher) discardQueued() []*Task {
 
 // cancelQueued is the submission-context watcher: if the task is
 // still queued, remove it, reclaim its slot, and complete it with the
-// context's error. A task already running is left alone.
+// context's error. A task already running is left alone. A task still
+// in a submit ring is claimed by CAS instead of removed — only the
+// draining consumer may pop ring slots, so the message itself stays
+// behind — but the watcher settles the ledger and completion right
+// here: a drain may be arbitrarily far away (every worker busy), and
+// cancellation must not wait for one. The drain discards the dead
+// message when it eventually pops it (see placeLocked).
 func (d *Dispatcher) cancelQueued(t *Task) {
 	c := t.client
+	if atomic.CompareAndSwapInt32(&t.state, taskRinged, taskCancelledRing) {
+		sh := c.lockShard()
+		c.noteRingCancelLocked()
+		sh.mu.Unlock()
+		atomic.StoreInt32(&t.state, taskDone)
+		// This goroutine IS the context watcher; clearing stop tells
+		// finish it needs no disarming. Only attached submissions carry
+		// a watcher while ringed (detached ones arm theirs at enqueue),
+		// so finish never recycles the struct the ring still points at.
+		t.stop.Store(nil)
+		err := t.ctx.Err()
+		if d.obs != nil {
+			d.obs.Observe(Event{At: time.Now(), Kind: EventCancel,
+				Client: c.name, Tenant: c.tenant.name, Err: err.Error()})
+		}
+		t.finish(err)
+		d.debugCheck()
+		return
+	}
 	sh := c.lockShard()
-	if t.state != taskQueued || !c.removeQueuedLocked(sh, t) {
+	if atomic.LoadInt32(&t.state) != taskQueued || !c.removeQueuedLocked(sh, t) {
 		sh.mu.Unlock()
 		return
 	}
-	t.state = taskDone
+	atomic.StoreInt32(&t.state, taskDone)
 	// This goroutine IS the context watcher; clearing stop tells
 	// finish it needs no disarming (and that a detached struct is
 	// safe to recycle — nothing else will touch it).
-	t.stop = nil
+	t.stop.Store(nil)
 	c.cancelledN++
 	c.mCancelled.Inc()
 	d.cancelled.Add(1)
@@ -488,6 +597,175 @@ type drawn struct {
 	seq  uint64
 }
 
+// workerState is one pool goroutine's private draw state: an
+// independent Park-Miller stream for lock-free snapshot draws and the
+// local task cache detached structs are materialized from and
+// recycled into. Never shared between goroutines.
+type workerState struct {
+	id    int
+	rng   *random.PM
+	cache taskCache
+}
+
+// drainAction is the out-of-lock work a ring drain leaves behind:
+// either a task to complete (cancelled while ringed, or its client
+// left) or a message to re-route through the slow path because the
+// destination shard's ring was full mid-forward.
+type drainAction struct {
+	t       *Task
+	err     error
+	m       ringMsg
+	requeue bool
+}
+
+// drainRingLocked empties sh's submit ring into its clients' queues.
+// Callers hold sh.mu; dead submissions and forwarding overflow come
+// back as drainActions for the caller to settle via finishActions
+// once the lock is dropped. cache, when non-nil, supplies recycled
+// Task structs for detached messages.
+func (d *Dispatcher) drainRingLocked(sh *shard, cache *taskCache) []drainAction {
+	var acts []drainAction
+	for {
+		m, ok := sh.ring.pop()
+		if !ok {
+			return acts
+		}
+		sh.ringPending.Add(-1)
+		if home := m.c.sh.Load(); home != sh {
+			// The client migrated between publish and drain: forward the
+			// message to its current home's ring. Only its home shard's
+			// consumer may touch the client's queue.
+			home.ringPending.Add(1)
+			if home.ring.publish(m) {
+				continue
+			}
+			home.ringPending.Add(-1)
+			d.ringFull.Add(1)
+			acts = append(acts, drainAction{m: m, requeue: true})
+			continue
+		}
+		if a, dead := d.placeLocked(sh, m, cache); dead {
+			acts = append(acts, a)
+		}
+	}
+}
+
+// placeLocked moves one popped ring message into its client's queue.
+// The client is homed on sh and sh.mu is held. Returns a dead action
+// (and true) instead when the submission was cancelled while ringed
+// or its client has left; the caller completes it outside the lock.
+func (d *Dispatcher) placeLocked(sh *shard, m ringMsg, cache *taskCache) (drainAction, bool) {
+	c := m.c
+	t := m.t
+	if t != nil {
+		if !atomic.CompareAndSwapInt32(&t.state, taskRinged, taskQueued) {
+			// The context watcher beat the drain to the task and has
+			// already settled the ledger and completed it (cancelQueued's
+			// ring branch); the popped message is just a husk.
+			return drainAction{}, false
+		}
+	} else if m.ctx != nil && m.ctx.Err() != nil {
+		// Detached cancellable submission whose context died in the
+		// ring; it never had a watcher (those are registered at enqueue,
+		// below), so the error is read directly.
+		c.noteRingCancelLocked()
+		t = d.takeTask(cache)
+		t.client, t.ctx, t.fn, t.detached, t.res, t.span = c, m.ctx, m.fn, true, m.res, m.span
+		atomic.StoreInt32(&t.state, taskDone)
+		return drainAction{t: t, err: m.ctx.Err()}, true
+	}
+	if c.left {
+		// The client left (or was torn down) after the publish was
+		// accepted; the submission completes with ErrClientLeft like an
+		// Abandoned queue entry. It still counts as submitted — the
+		// fast path already emitted its EventSubmit.
+		c.submittedN++
+		c.mSubmitted.Inc()
+		c.depth.Add(-1)
+		c.wakeWaitersLocked()
+		if t == nil {
+			t = d.takeTask(cache)
+			t.client, t.ctx, t.fn, t.detached, t.res, t.span = c, context.Background(), m.fn, true, m.res, m.span
+		}
+		atomic.StoreInt32(&t.state, taskDone)
+		return drainAction{t: t, err: ErrClientLeft}, true
+	}
+	if t == nil {
+		t = d.takeTask(cache)
+		t.client, t.fn, t.detached, t.res = c, m.fn, true, m.res
+		t.ctx = context.Background()
+		if m.ctx != nil {
+			t.ctx = m.ctx
+		}
+		atomic.StoreInt32(&t.state, taskQueued)
+	}
+	t.enqueued = m.enq
+	t.span = m.span
+	c.queue = append(c.queue, t)
+	c.submittedN++
+	c.mSubmitted.Inc()
+	c.mDepth.Add(1)
+	sh.pending++
+	d.totalPending.Add(1)
+	if c.pendingLocked() == 1 {
+		c.activateLocked(sh)
+	}
+	if t.detached && m.ctx != nil {
+		tt := t
+		stop := context.AfterFunc(m.ctx, func() { d.cancelQueued(tt) })
+		tt.stop.Store(&stop)
+	}
+	return drainAction{}, false
+}
+
+// finishActions settles a drain's out-of-lock leftovers: dead
+// submissions complete (with an EventCancel, mirroring the queued
+// cancel path), forwarding overflow re-enters through the slow path.
+// Must be called with no dispatcher lock held.
+func (d *Dispatcher) finishActions(acts []drainAction) {
+	for _, a := range acts {
+		if a.requeue {
+			d.enqueueSlow(a.m)
+			continue
+		}
+		if d.obs != nil {
+			d.obs.Observe(Event{At: time.Now(), Kind: EventCancel, Client: a.t.client.name,
+				Tenant: a.t.client.tenant.name, Err: a.err.Error()})
+		}
+		a.t.finish(a.err)
+	}
+	if len(acts) > 0 {
+		d.debugCheck()
+	}
+}
+
+// enqueueSlow re-routes a ring message that could not be forwarded to
+// its client's current home ring. Admission was already decided at
+// publish time (the client's depth still counts the task), so the
+// message is placed directly, with only the usual dead checks.
+func (d *Dispatcher) enqueueSlow(m ringMsg) {
+	sh := m.c.lockShard()
+	a, dead := d.placeLocked(sh, m, nil)
+	sh.publishLocked()
+	sh.mu.Unlock()
+	if dead {
+		d.finishActions([]drainAction{a})
+		return
+	}
+	d.wake()
+}
+
+// takeTask pulls a detached Task struct from the worker's cache when
+// one is available, falling back to the shared pool.
+func (d *Dispatcher) takeTask(cache *taskCache) *Task {
+	if cache != nil {
+		if t := cache.get(); t != nil {
+			return t
+		}
+	}
+	return d.taskPool.Get().(*Task)
+}
+
 // worker is one pool goroutine: pick a shard by stride over the
 // published shard weights, win a batch of tasks by lottery inside it,
 // run them with panic isolation, settle compensation, repeat. Exits
@@ -497,8 +775,9 @@ type drawn struct {
 // worker's draw sequence is independently weight-proportional, so the
 // sum over workers is too, and shard selection needs no shared
 // mutable state at all.
-func (d *Dispatcher) worker(id int) {
+func (d *Dispatcher) worker(id int, rng *random.PM) {
 	defer d.wg.Done()
+	ws := workerState{id: id, rng: rng}
 	ns := len(d.shards)
 	pass := make([]float64, ns)
 	wasElig := make([]bool, ns)
@@ -506,12 +785,12 @@ func (d *Dispatcher) worker(id int) {
 	rr := id % ns // stagger the zero-weight fallback start across workers
 	var batch [batchK]drawn
 	for {
-		if d.closed.Load() && d.totalPending.Load() == 0 {
+		if d.closed.Load() && d.pendingAll() == 0 {
 			return
 		}
 		si := d.pickShard(pass, elig, wasElig, &rr)
 		if si < 0 {
-			if d.totalPending.Load() > 0 {
+			if d.pendingAll() > 0 {
 				// The published per-shard hints lag the global count by
 				// at most one in-flight critical section; yield and
 				// rescan rather than park.
@@ -522,7 +801,7 @@ func (d *Dispatcher) worker(id int) {
 			continue
 		}
 		sh := d.shards[si]
-		n, w := d.drawBatch(sh, &batch)
+		n, w := d.drawBatch(sh, &ws, &batch)
 		if n == 0 {
 			continue
 		}
@@ -541,7 +820,7 @@ func (d *Dispatcher) worker(id int) {
 			}
 		}
 		for i := 0; i < n; i++ {
-			d.runDrawn(&batch[i], id)
+			d.runDrawn(&batch[i], &ws)
 			batch[i] = drawn{}
 		}
 	}
@@ -559,7 +838,7 @@ func (d *Dispatcher) worker(id int) {
 func (d *Dispatcher) pickShard(pass []float64, elig, wasElig []bool, rr *int) int {
 	ns := len(d.shards)
 	if ns == 1 {
-		if d.shards[0].pendingPub.Load() > 0 {
+		if d.shards[0].hasWork() {
 			return 0
 		}
 		return -1
@@ -567,7 +846,7 @@ func (d *Dispatcher) pickShard(pass []float64, elig, wasElig []bool, rr *int) in
 	anyPending := false
 	vt := math.Inf(1)
 	for i, sh := range d.shards {
-		p := sh.pendingPub.Load() > 0
+		p := sh.hasWork()
 		elig[i] = p && sh.weightPub.Load() > 0
 		if p {
 			anyPending = true
@@ -600,7 +879,7 @@ func (d *Dispatcher) pickShard(pass []float64, elig, wasElig []bool, rr *int) in
 	}
 	for i := 0; i < ns; i++ {
 		j := (*rr + i) % ns
-		if d.shards[j].pendingPub.Load() > 0 {
+		if d.shards[j].hasWork() {
 			*rr = (j + 1) % ns
 			return j
 		}
@@ -614,18 +893,72 @@ func (d *Dispatcher) pickShard(pass []float64, elig, wasElig []bool, rr *int) in
 // counters and sequence numbers advance at draw time, inside the
 // critical section, exactly as they did under the single lock.
 //
+// On the lock-free path the winners themselves are chosen before the
+// lock is taken: candidates are drawn from the shard's published
+// snapshot with the worker's private PRNG, then re-validated against
+// the tree generation under the lock (a candidate from a snapshot the
+// tree has since diverged from is discarded and redrawn from the tree
+// — stale snapshots can waste a draw, never miswin one). Pre-drawing
+// engages only when it can pay: multiple scheduler Ps (Dispatcher.
+// predraw), a backlog deep enough to batch, and a snapshot that has
+// stayed warm through its hysteresis trial (shard.snapCool). The ring
+// is drained inside the same lock hold, so a drain and its draws share
+// one acquisition.
+//
 // The second return value is the shard's post-reweigh tree total —
 // the weight the draws were actually made against — which the caller
 // uses to advance its stride pass. Returning it from inside the
 // critical section keeps the stride advance consistent with the draw
 // it pays for; the published weightPub can lag a concurrent reweigh.
-func (d *Dispatcher) drawBatch(sh *shard, batch *[batchK]drawn) (int, float64) {
+func (d *Dispatcher) drawBatch(sh *shard, ws *workerState, batch *[batchK]drawn) (int, float64) {
+	var cands [batchK]*Client
+	ncand := 0
+	var snapGen uint64
+	// Candidates are pre-drawn only when the backlog is deep enough to
+	// batch — the same threshold that sets k below — and the shard's
+	// snapshot has been warm (found fresh at batch entry) for
+	// snapCoolTrial consecutive batches. A deep, stable backlog is
+	// where the snapshot pays: batchK tree descents move off-lock per
+	// acquisition and almost every candidate validates. Under tree
+	// churn — shallow queues emptying and refilling, reweighs — the
+	// candidates would mostly be drawn for nothing and discarded, and
+	// the off-lock timing they introduce measurably widens windowed
+	// fairness in resource-coupled workloads, so churny shards stay on
+	// the locked tree until the snapshot proves warm again (and
+	// single-P processes skip pre-draws entirely; see predraw).
+	if d.predraw && d.totalPending.Load() >= int64(d.workers*batchK) && sh.snapCool.Load() == 0 {
+		if snap := sh.snap.Load(); snap != nil && snap.total > 0 {
+			for ncand < batchK {
+				cands[ncand] = snap.pick(ws.rng)
+				ncand++
+			}
+			snapGen = snap.gen
+		}
+	}
 	sh.mu.Lock()
+	var acts []drainAction
+	if d.lockfree {
+		acts = d.drainRingLocked(sh, &ws.cache)
+	}
 	if sh.pending == 0 {
+		sh.publishLocked()
 		sh.mu.Unlock()
+		d.finishActions(acts)
 		return 0, 0
 	}
 	sh.reweighLocked()
+	if d.lockfree {
+		// Hysteresis bookkeeping (see snapCoolTrial): a stale arrival —
+		// the tree mutated since the last batch rebuilt the snapshot —
+		// restarts the warm-up trial; a fresh arrival advances it. The
+		// check sits after the drain and reweigh so joins carried in by
+		// the ring and epoch reweighs count as the churn they are.
+		if sh.snapGen != sh.treeGen {
+			sh.snapCool.Store(snapCoolTrial)
+		} else if v := sh.snapCool.Load(); v > 0 {
+			sh.snapCool.Store(v - 1)
+		}
+	}
 	total := sh.tree.Total()
 	k := 1
 	if d.totalPending.Load() >= int64(d.workers*batchK) {
@@ -634,15 +967,26 @@ func (d *Dispatcher) drawBatch(sh *shard, batch *[batchK]drawn) (int, float64) {
 	n := 0
 	now := time.Now()
 	for n < k && sh.pending > 0 {
-		c, ok := sh.tree.Draw(sh.rng)
-		if !ok {
-			// Every pending client on the shard has zero funding (e.g.
-			// all lent away): rotate round-robin so zero total weight
-			// degrades to FIFO service, not livelock or starvation of
-			// all but one client.
-			c = sh.nextPendingLocked()
-			if c == nil {
-				break
+		var c *Client
+		if n < ncand && snapGen == sh.treeGen {
+			// Epoch re-validation: the snapshot's generation still equals
+			// the tree's, so its membership and weights are the tree's —
+			// the off-lock draw is exactly the draw the tree would have
+			// made. Checked per winner: a pop that empties a queue
+			// mutates the tree and invalidates the remaining candidates.
+			c = cands[n]
+		} else {
+			var ok bool
+			c, ok = sh.tree.Draw(sh.rng)
+			if !ok {
+				// Every pending client on the shard has zero funding (e.g.
+				// all lent away): rotate round-robin so zero total weight
+				// degrades to FIFO service, not livelock or starvation of
+				// all but one client.
+				c = sh.nextPendingLocked()
+				if c == nil {
+					break
+				}
 			}
 		}
 		t := c.popLocked(sh)
@@ -657,7 +1001,7 @@ func (d *Dispatcher) drawBatch(sh *shard, batch *[batchK]drawn) (int, float64) {
 		if c.comp != 1 {
 			c.comp = 1
 			if c.inTree {
-				sh.tree.Update(c.item, c.weight())
+				sh.treeUpdate(c.item, c.weight())
 			}
 		}
 		c.dispatchSeq++
@@ -666,15 +1010,26 @@ func (d *Dispatcher) drawBatch(sh *shard, batch *[batchK]drawn) (int, float64) {
 		batch[n] = drawn{t: t, c: c, wait: now.Sub(t.enqueued), seq: c.dispatchSeq}
 		n++
 	}
+	if d.lockfree && sh.snapGen != sh.treeGen {
+		// Rebuild after the draws so this batch's own mutations (pops,
+		// compensation consumption) are already folded in; the next
+		// batch draws off-lock again. A weight-churn-heavy interval
+		// degrades to locked tree draws, never to wrong ones.
+		sh.rebuildSnapLocked()
+		d.snapRebuilds.Add(1)
+	}
 	sh.publishLocked()
 	sh.mu.Unlock()
+	d.finishActions(acts)
 	return n, total
 }
 
 // runDrawn runs one winner outside all locks and settles its
-// compensation against the client's current shard. worker is the pool
-// goroutine's id, recorded into sampled spans.
-func (d *Dispatcher) runDrawn(dr *drawn, worker int) {
+// compensation against the client's current shard. ws is the pool
+// goroutine's private state: its id is recorded into sampled spans,
+// and its task cache takes the detached struct back when the task
+// finishes.
+func (d *Dispatcher) runDrawn(dr *drawn, ws *workerState) {
 	c, t := dr.c, dr.t
 	c.mDispatched.Inc()
 	c.waitHist.Observe(dr.wait.Seconds())
@@ -690,8 +1045,14 @@ func (d *Dispatcher) runDrawn(dr *drawn, worker int) {
 
 	start := time.Now()
 	if t.span != nil {
-		t.span.Worker = worker
+		t.span.Worker = ws.id
 		t.span.Run = start
+	}
+	if t.detached && d.lockfree {
+		// Route the struct back to this worker's private cache when the
+		// finish path recycles it; only the owning goroutine ever
+		// touches the cache, so the hand-back is synchronization-free.
+		t.cache = &ws.cache
 	}
 	err := runTask(t)
 	elapsed := time.Since(start)
@@ -732,7 +1093,7 @@ func (d *Dispatcher) runDrawn(dr *drawn, worker int) {
 		if settled {
 			c.comp = comp
 			if c.inTree {
-				sh.tree.Update(c.item, c.weight())
+				sh.treeUpdate(c.item, c.weight())
 				sh.publishLocked()
 			}
 		}
@@ -761,7 +1122,7 @@ func (d *Dispatcher) park() {
 	d.idleMu.Lock()
 	d.idlers++
 	d.idlersHint.Store(int32(d.idlers))
-	for d.totalPending.Load() == 0 && !d.closed.Load() {
+	for d.pendingAll() == 0 && !d.closed.Load() {
 		d.idleCond.Wait()
 	}
 	d.idlers--
@@ -811,8 +1172,28 @@ func runTask(t *Task) (err error) {
 	return nil
 }
 
-// recycle returns a detached task's struct to the pool.
+// recycle returns a detached task's struct to its worker's cache when
+// it carries one, else to the shared pool.
 func (d *Dispatcher) recycle(t *Task) {
-	*t = Task{}
+	cache := t.cache
+	// Field-wise reset rather than a struct copy: the atomic stop
+	// handle must not be copied, only cleared. recycle owns the struct
+	// exclusively (finish's one-shot guarantee), so plain stores are
+	// fine; Store keeps the atomic field's discipline uniform.
+	t.client = nil
+	t.ctx = nil
+	t.fn = nil
+	t.enqueued = time.Time{}
+	t.done = nil
+	t.err = nil
+	atomic.StoreInt32(&t.state, taskQueued)
+	t.detached = false
+	t.stop.Store(nil)
+	t.cache = nil
+	t.res = resource.Reserve{}
+	t.span = nil
+	if cache != nil && cache.put(t) {
+		return
+	}
 	d.taskPool.Put(t)
 }

@@ -80,6 +80,34 @@
 // tasks that moved between visits — in exchange, taking a snapshot no
 // longer stalls dispatch.
 //
+// # Lock-free dispatch
+//
+// On top of sharding, the steady-state hot path takes no locks at all
+// (Config.DisableLockFree restores the mutex path). Submissions
+// publish into a per-shard bounded MPSC ring and return; whichever
+// worker next holds the shard mutex drains the ring into the run
+// queue. Draws read an immutable prefix-sum snapshot of the shard's
+// lottery tree, swapped atomically and rebuilt only when tickets
+// actually changed; a winner drawn from a snapshot made stale by a
+// concurrent SetTickets, join, or leave is re-validated against the
+// shard's generation under the lock and redrawn if invalid, so a
+// retired client is never dispatched. Off-lock pre-draws engage only
+// where they can overlap with another worker's critical section
+// (GOMAXPROCS > 1) and only after the snapshot has stayed fresh for a
+// few consecutive batches; churny or single-P regimes keep draws on
+// the locked tree, whose timing the windowed fairness checks are
+// calibrated against. Detached task structs recycle
+// through per-worker caches instead of the global pool. See DESIGN.md
+// §11 for the ring protocol and memory-ordering argument.
+//
+// The ring relaxes one ordering edge, observability only: a
+// submission is live from the moment it is published (it counts
+// against the client's queue cap, it will run, FIFO per client
+// holds), but it reaches the queue — and the counts Snapshot reports
+// — only when a worker drains it. A Snapshot cut between publish and
+// drain sees the task in neither queue; Pending and the fairness
+// ledger account for it via the shard's ring-pending gauge.
+//
 // # Tracing and the fairness audit
 //
 // Config.Tracer samples tasks at submit and stitches a per-task span

@@ -19,6 +19,13 @@ import (
 //     depths, and the shards sum to the dispatcher total;
 //   - each shard's published pending count and total weight match the
 //     values under its lock;
+//   - each shard's ring backlog counter is non-negative, and every
+//     client's admitted-depth counter covers at least its queued
+//     tasks (the excess is its in-ring backlog);
+//   - a shard's published draw snapshot, when current (its generation
+//     equals the tree's), lists exactly in-tree clients homed on the
+//     shard with non-decreasing cumulative weights whose total
+//     matches the tree's;
 //   - a client competes in its shard's tree exactly when it has
 //     queued work, its holder is active exactly then (§4.4), and it
 //     is homed on the shard whose roster holds it;
@@ -93,12 +100,47 @@ func (d *Dispatcher) checkInvariantsLocked() error {
 		if got, want := sh.weightPub.Load(), sh.tree.Total(); got != want {
 			return fmt.Errorf("rt: shard %d published weight %v != tree total %v", sh.id, got, want)
 		}
+		if rp := sh.ringPending.Load(); rp < 0 {
+			return fmt.Errorf("rt: shard %d ring backlog %d negative", sh.id, rp)
+		}
+		if snap := sh.snap.Load(); snap != nil && snap.gen == sh.treeGen {
+			if len(snap.clients) != len(snap.cum) {
+				return fmt.Errorf("rt: shard %d snapshot has %d clients but %d sums",
+					sh.id, len(snap.clients), len(snap.cum))
+			}
+			prev := 0.0
+			for i, sc := range snap.clients {
+				if !sc.inTree {
+					return fmt.Errorf("rt: shard %d current snapshot lists non-competing client %q", sh.id, sc.name)
+				}
+				if sc.sh.Load() != sh {
+					return fmt.Errorf("rt: shard %d current snapshot lists client %q homed elsewhere", sh.id, sc.name)
+				}
+				// Non-decreasing, not strictly: a weight smaller than the
+				// running total's ulp adds zero width (such a client just
+				// cannot win off this snapshot, which is fair to within
+				// float resolution).
+				if snap.cum[i] < prev {
+					return fmt.Errorf("rt: shard %d snapshot sums decrease at %d", sh.id, i)
+				}
+				prev = snap.cum[i]
+			}
+			if math.Abs(snap.total-prev) > 1e-9*math.Max(math.Abs(prev), 1) {
+				return fmt.Errorf("rt: shard %d snapshot total %v != last cumulative sum %v", sh.id, snap.total, prev)
+			}
+			if want := sh.tree.Total(); math.Abs(snap.total-want) > 1e-9*math.Max(math.Abs(want), 1) {
+				return fmt.Errorf("rt: shard %d current snapshot total %v != tree total %v", sh.id, snap.total, want)
+			}
+		}
 		fresh := sh.epoch == epoch
 		pending, inTree := 0, 0
 		for _, c := range sh.clients {
 			depth := c.pendingLocked()
 			if depth < 0 {
 				return fmt.Errorf("rt: client %q has negative queue depth %d", c.name, depth)
+			}
+			if adm := c.depth.Load(); adm < int64(depth) {
+				return fmt.Errorf("rt: client %q admitted depth %d < queued %d", c.name, adm, depth)
 			}
 			pending += depth
 			if c.torn {

@@ -103,6 +103,11 @@ func TestSubmitCtxCancelEmptiesQueueLeavesLottery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The lock-free fast path parks the submission in the shard's ring;
+	// tree membership is established when the ring drains (every draw
+	// does that first, but the only worker here is parked). Force the
+	// drain so the peek below observes the queued state.
+	drainRings(d)
 	sh := c.lockShard()
 	inTree := c.inTree
 	sh.mu.Unlock()
@@ -342,6 +347,9 @@ func TestZeroWeightFallbackRotates(t *testing.T) {
 	if _, err := b.Submit(func() {}); err != nil {
 		t.Fatal(err)
 	}
+	// Both submissions sit in the ring until a drain; force one so the
+	// fallback below has queued clients to rotate over.
+	drainRings(d)
 	sh := d.shards[0]
 	sh.mu.Lock()
 	first := sh.nextPendingLocked()

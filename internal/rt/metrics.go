@@ -48,8 +48,19 @@ func newRTMetrics(r *metrics.Registry, d *Dispatcher) *rtMetrics {
 		func() float64 { return float64(d.shed.Load()) })
 	r.CounterFunc("rt_rebalances_total", "Clients migrated between shards by the weight rebalancer.",
 		func() float64 { return float64(d.rebalanced.Load()) })
-	r.GaugeFunc("rt_pending_tasks", "Queued tasks across all clients.",
-		func() float64 { return float64(d.totalPending.Load()) })
+	r.CounterFunc("rt_snapshot_rebuilds_total", "Lock-free draw snapshots rebuilt after a tree change.",
+		func() float64 { return float64(d.snapRebuilds.Load()) })
+	r.CounterFunc("rt_ring_full_total", "Submit-ring publishes that fell back to the mutex path.",
+		func() float64 { return float64(d.ringFull.Load()) })
+	r.GaugeFunc("rt_lockfree", "1 when the lock-free submit/draw path is enabled, 0 when disabled.",
+		func() float64 {
+			if d.lockfree {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("rt_pending_tasks", "Tasks accepted but not yet dispatched (queued plus ring backlog).",
+		func() float64 { return float64(d.pendingAll()) })
 	r.GaugeFunc("rt_clients", "Clients currently registered.",
 		func() float64 { return float64(d.clientsN.Load()) })
 	r.GaugeFunc("rt_workers", "Size of the worker pool.",

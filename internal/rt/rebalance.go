@@ -29,6 +29,21 @@ func (d *Dispatcher) rebalanceOnce() int {
 	if ns < 2 {
 		return 0
 	}
+	if d.lockfree {
+		// Drain every shard's submit ring first: with all workers busy
+		// for a whole period, ring-parked submissions have not reached
+		// any queue or tree yet, and the published weights read below
+		// would show a shard as empty when it has a ring backlog. The
+		// rebalancer doubles as the liveness backstop that keeps tree
+		// membership (and the weight hints) from going stale forever.
+		for _, sh := range d.shards {
+			sh.mu.Lock()
+			acts := d.drainRingLocked(sh, nil)
+			sh.publishLocked()
+			sh.mu.Unlock()
+			d.finishActions(acts)
+		}
+	}
 	// Pick heaviest and lightest by the published weights; a stale
 	// read just wastes (or skips) one pass.
 	hi, lo := 0, 0
@@ -56,6 +71,11 @@ func (d *Dispatcher) rebalanceOnce() int {
 	}
 	first.mu.Lock()
 	second.mu.Lock()
+	// Drain the source ring before weighing queues: a migrated
+	// client's ring backlog should move with its queue, not trickle in
+	// later through the forwarding path (which costs an extra hop per
+	// message). Messages for clients homed elsewhere forward now.
+	acts := d.drainRingLocked(src, nil)
 	budget := (src.tree.Total() - dst.tree.Total()) / 2
 	moved := 0
 	for i := 0; i < len(src.clients); {
@@ -65,8 +85,8 @@ func (d *Dispatcher) rebalanceOnce() int {
 			i++
 			continue
 		}
-		src.tree.Remove(c.item)
-		c.item = dst.tree.Add(c, w)
+		src.treeRemove(c.item)
+		c.item = dst.treeAdd(c, w)
 		q := c.pendingLocked()
 		src.pending -= q
 		dst.pending += q
@@ -82,11 +102,14 @@ func (d *Dispatcher) rebalanceOnce() int {
 		// draw reweigh everything against the current graph.
 		src.epoch--
 		dst.epoch--
-		src.publishLocked()
-		dst.publishLocked()
 		d.rebalanced.Add(uint64(moved))
 	}
+	// Publish unconditionally: the drain alone may have changed the
+	// source's pending count (and, via placement, its tree).
+	src.publishLocked()
+	dst.publishLocked()
 	second.mu.Unlock()
 	first.mu.Unlock()
+	d.finishActions(acts)
 	return moved
 }

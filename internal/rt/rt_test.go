@@ -25,6 +25,20 @@ func waitUntil(t *testing.T, what string, cond func() bool) {
 	t.Fatalf("timed out waiting for %s", what)
 }
 
+// drainRings force-drains every shard's submit ring, placing parked
+// lock-free submissions into their clients' queues, so tests can
+// observe post-enqueue state (tree membership, queue depth) without
+// waiting for a worker's next draw to do the drain.
+func drainRings(d *Dispatcher) {
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		acts := d.drainRingLocked(sh, nil)
+		sh.publishLocked()
+		sh.mu.Unlock()
+		d.finishActions(acts)
+	}
+}
+
 func TestSubmitRunsTask(t *testing.T) {
 	d := New(Config{Workers: 2})
 	defer d.Close()

@@ -45,6 +45,46 @@ type shard struct {
 	// sharded successor of the old weightsDirty flag).
 	epoch uint64
 
+	// treeGen counts this shard's tree mutations (every Add, Update,
+	// and Remove goes through the treeAdd/treeUpdate/treeRemove
+	// helpers). It is the validity token for lock-free draw snapshots:
+	// a candidate drawn from a snapshot wins only if the snapshot's
+	// generation still equals treeGen under the lock. Guarded by mu.
+	treeGen uint64
+
+	// snapGen is the generation of the currently published snapshot;
+	// drawBatch rebuilds when it trails treeGen. Guarded by mu.
+	snapGen uint64
+
+	// snap is the RCU-published flattened view of the tree that workers
+	// draw candidates from without the lock; see drawSnap.
+	snap atomic.Pointer[drawSnap]
+
+	// snapCool is the off-lock pre-draw hysteresis: drawBatch arriving
+	// at a stale snapshot resets it to snapCoolTrial, a fresh arrival
+	// decrements it, and workers pre-draw candidates only at zero — the
+	// snapshot must stay warm for snapCoolTrial consecutive batches
+	// before draws move off the locked tree. Membership-churny
+	// workloads (many shallow queues emptying and refilling) therefore
+	// stay on the locked path, whose draw timing the windowed fairness
+	// tests are calibrated against; steady deep-backlog dispatch warms
+	// up within a few batches and keeps the off-lock draws. Mutated
+	// only under mu; atomic because the pre-draw decision reads it
+	// before locking.
+	snapCool atomic.Int32
+
+	// ring is the shard's MPSC submit ring: the lock-free fast path of
+	// Submit/SubmitDetached publishes here and workers drain it into
+	// the client queues under mu.
+	ring ring
+
+	// ringPending counts messages published to ring but not yet drained
+	// (incremented by producers before publish, decremented by the
+	// consumer at pop). Together with the dispatcher's totalPending it
+	// forms the park/exit condition: pendingAll never undercounts live
+	// work.
+	ringPending atomic.Int64
+
 	// Published views of pending and tree.Total(), stored before every
 	// unlock that changed them. Readers may see values at most one
 	// critical section old.
@@ -55,6 +95,31 @@ type shard struct {
 	// pushed from publishLocked, both are single atomic stores.
 	mWeight  *metrics.Gauge
 	mPending *metrics.Gauge
+}
+
+// hasWork reports whether the shard has anything for a worker to do:
+// queued tasks, or ring messages still waiting to be drained.
+func (sh *shard) hasWork() bool {
+	return sh.pendingPub.Load() > 0 || sh.ringPending.Load() > 0
+}
+
+// treeAdd, treeUpdate, and treeRemove wrap every tree mutation so the
+// generation counter can never miss one; a missed bump would let a
+// stale snapshot validate and dispatch a client that no longer
+// competes.
+func (sh *shard) treeAdd(c *Client, w float64) lottery.TreeItem {
+	sh.treeGen++
+	return sh.tree.Add(c, w)
+}
+
+func (sh *shard) treeUpdate(item lottery.TreeItem, w float64) {
+	sh.treeGen++
+	sh.tree.Update(item, w)
+}
+
+func (sh *shard) treeRemove(item lottery.TreeItem) {
+	sh.treeGen++
+	sh.tree.Remove(item)
 }
 
 // publishLocked mirrors the shard's pending count and tree total into
@@ -89,7 +154,7 @@ func (sh *shard) reweighLocked() {
 	sh.d.graphMu.Unlock()
 	for _, c := range sh.clients {
 		if c.inTree {
-			sh.tree.Update(c.item, c.weight())
+			sh.treeUpdate(c.item, c.weight())
 		}
 	}
 	sh.epoch = e

@@ -57,6 +57,17 @@ type Snapshot struct {
 	Shards  int  `json:"shards"`
 	Closed  bool `json:"closed"`
 	Pending int  `json:"pending"`
+	// LockFree reports whether the lock-free submit/draw path (MPSC
+	// submit rings + RCU draw snapshots) is enabled.
+	LockFree bool `json:"lock_free"`
+	// SnapshotRebuilds counts lock-free draw snapshots rebuilt after a
+	// tree change; its rate against Dispatched is the snapshot churn
+	// (a high ratio means weight changes are outpacing draws and the
+	// draw path is degrading to the locked tree).
+	SnapshotRebuilds uint64 `json:"snapshot_rebuilds"`
+	// RingFull counts submissions that found their shard's submit ring
+	// full and fell back to the mutex path.
+	RingFull uint64 `json:"ring_full"`
 	// Rebalances counts clients migrated between shards by the weight
 	// rebalancer since the dispatcher started.
 	Rebalances uint64 `json:"rebalances"`
@@ -79,16 +90,19 @@ type Snapshot struct {
 // its consistency contract). Clients are sorted by name.
 func (d *Dispatcher) Snapshot() Snapshot {
 	s := Snapshot{
-		Workers:    d.workers,
-		Shards:     len(d.shards),
-		Closed:     d.closed.Load(),
-		Pending:    int(d.totalPending.Load()),
-		Rebalances: d.rebalanced.Load(),
-		Dispatched: d.dispatched.Load(),
-		Completed:  d.completed.Load(),
-		Panicked:   d.panicked.Load(),
-		Cancelled:  d.cancelled.Load(),
-		Shed:       d.shed.Load(),
+		Workers:          d.workers,
+		Shards:           len(d.shards),
+		Closed:           d.closed.Load(),
+		Pending:          int(d.pendingAll()),
+		LockFree:         d.lockfree,
+		SnapshotRebuilds: d.snapRebuilds.Load(),
+		RingFull:         d.ringFull.Load(),
+		Rebalances:       d.rebalanced.Load(),
+		Dispatched:       d.dispatched.Load(),
+		Completed:        d.completed.Load(),
+		Panicked:         d.panicked.Load(),
+		Cancelled:        d.cancelled.Load(),
+		Shed:             d.shed.Load(),
 	}
 	if d.ledger != nil {
 		rs := d.ledger.Snapshot()

@@ -4,24 +4,32 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/rt/audit"
 	"repro/internal/rt/resource"
 )
 
-// taskState tracks the task lifecycle: queued → running → done.
-// Guarded by the owning client's shard mutex; the done channel is the
-// lock-free view of the terminal state. A cancelled task goes queued →
-// done directly; a running task is never interrupted (workers are not
-// preemptible, matching the paper's quantum semantics — once a
-// quantum is won it runs to completion).
-type taskState int
-
+// Task lifecycle states: queued → running → done, with two extra
+// states for the lock-free submit path — a task published to a shard's
+// MPSC ring is ringed until a worker drains it into the client's queue
+// (taskRinged → taskQueued), and a context watcher that fires while
+// the task is still in the ring flags it taskCancelledRing so the
+// drain settles the cancellation under the shard lock it requires.
+// The field is accessed atomically: queued↔running↔done transitions
+// still happen under the owning client's shard mutex, but the
+// ring-side CASes race with them by design, and the done channel
+// remains the lock-free view of the terminal state. A cancelled task
+// goes queued → done directly; a running task is never interrupted
+// (workers are not preemptible, matching the paper's quantum
+// semantics — once a quantum is won it runs to completion).
 const (
-	taskQueued taskState = iota
+	taskQueued int32 = iota
 	taskRunning
 	taskDone
+	taskRinged
+	taskCancelledRing
 )
 
 // Task is a submitted unit of work. Wait (or Done + Err) observes its
@@ -39,9 +47,24 @@ type Task struct {
 	enqueued time.Time
 	done     chan struct{} // nil for detached tasks
 	err      error         // written once before done is closed
-	state    taskState     // guarded by the client's shard mutex
+	state    int32         // atomic; see the state constants above
 	detached bool
-	stop     func() bool
+
+	// stop disarms the task's context watcher (context.AfterFunc
+	// handle). Atomic because the lock-free submit path arms it after
+	// publishing into the ring with no lock held, and a context that is
+	// already done fires the watcher immediately — on another
+	// goroutine, concurrently with the arm — which then clears the
+	// handle and finishes the task. One-shot watchers make every
+	// interleaving benign (a missed disarm of a fired watcher is a
+	// no-op), so a plain pointer would work in practice, but the
+	// handoff itself must still be a synchronized write.
+	stop atomic.Pointer[func() bool]
+
+	// cache, when non-nil, is the worker-local free list this detached
+	// struct should be recycled into (set by the worker that ran it);
+	// nil falls back to the shared pool. Only read by recycle.
+	cache *taskCache
 
 	// res is the task's resource reserve, held from acquisition in
 	// submit until finish releases it. Immutable while the task lives.
@@ -121,15 +144,15 @@ func (t *Task) finish(err error) {
 		// already running, it may still be about to read this struct
 		// (it will find the task no longer queued and leave it alone),
 		// so the struct goes to the GC instead of the pool.
-		if t.stop == nil || t.stop() {
+		if p := t.stop.Load(); p == nil || (*p)() {
 			t.client.d.recycle(t)
 		}
 		return
 	}
 	t.err = err
 	close(t.done)
-	if t.stop != nil {
-		t.stop() // release the context watcher
+	if p := t.stop.Load(); p != nil {
+		(*p)() // release the context watcher
 	}
 }
 

@@ -155,8 +155,11 @@ func (t *Tenant) NewClient(name string, amount ticket.Amount, opts ...ClientOpti
 	t.clients++
 	d.graphMu.Unlock()
 	sh.clients = append(sh.clients, c)
-	sh.mu.Unlock()
+	// Count before unlocking: the invariant sweep holds every shard
+	// lock, so bumping clientsN inside the critical section keeps the
+	// roster insert and the global count atomic with respect to it.
 	d.clientsN.Add(1)
+	sh.mu.Unlock()
 	return c, nil
 }
 
